@@ -1,0 +1,53 @@
+// Ablation: sequential-clustering similarity bound alpha.
+//
+// The paper fixes alpha implicitly; this sweep shows the design space:
+// tiny alpha -> one cluster per node (DTH == own speed, max adaptivity,
+// max clustering overhead); huge alpha -> one global cluster (the ADF
+// degenerates into the general DF).
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  util::Config config;
+  mgbench::BenchArgs args = mgbench::parse_args(argc, argv, &config);
+  const std::vector<double> alphas = config.get_double_list(
+      "alphas", {0.1, 0.25, 0.5, 0.8, 1.5, 3.0, 6.0, 12.0});
+
+  std::cout << "=== Ablation: clustering bound alpha ===\n\n";
+
+  scenario::ExperimentOptions ideal = args.base;
+  ideal.filter = scenario::FilterKind::kIdeal;
+  const scenario::ExperimentResult ideal_result =
+      scenario::run_experiment(ideal);
+
+  stats::Table table({"alpha", "clusters(end)", "reduction %", "RMSE w/o LE",
+                      "RMSE w/ LE"});
+  for (double alpha : alphas) {
+    scenario::ExperimentOptions options = args.base;
+    options.filter = scenario::FilterKind::kAdf;
+    options.dth_factor = 1.0;
+    options.adf.clustering.alpha = alpha;
+    const scenario::ExperimentResult plain = scenario::run_experiment(options);
+    options.estimator = "brown_polar";
+    const scenario::ExperimentResult with_le =
+        scenario::run_experiment(options);
+    table.add_row(
+        {stats::format_double(alpha, 2),
+         std::to_string(plain.final_cluster_count),
+         stats::format_double(
+             mgbench::reduction_percent(
+                 static_cast<double>(ideal_result.total_transmitted),
+                 static_cast<double>(plain.total_transmitted)),
+             1),
+         stats::format_double(plain.rmse_overall, 2),
+         stats::format_double(with_le.rmse_overall, 2)});
+  }
+  table.write_pretty(std::cout);
+  std::cout << "\nread: cluster count falls monotonically with alpha; the "
+               "traffic/error trade-off is flat across a broad middle "
+               "range, which is why the heuristic works without tuning.\n";
+  return 0;
+}

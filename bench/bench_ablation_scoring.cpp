@@ -1,0 +1,64 @@
+// Ablation: error-accounting mode (real-time vs logical).
+//
+// The paper's monolithic simulator compares the broker's location DB with
+// ground truth once per second without modelling delivery latency
+// ("logical"). Our federation also supports scoring the view the broker
+// *actually held* at each instant, which charges the 2-cycle MN->ADF->broker
+// pipeline to the broker ("real-time").
+//
+// The instructive result: under logical accounting with 1 s sampling, the
+// distance filter already bounds the broker's error by the DTH (a few
+// metres), so the Location Estimator has almost nothing to correct — it can
+// even *add* error at small DTHs by over-extrapolating. The LE's paper-sized
+// wins appear exactly when there is latency (or loss) to bridge. This bench
+// quantifies both regimes.
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  const mgbench::BenchArgs args = mgbench::parse_args(argc, argv);
+
+  std::cout << "=== Ablation: error accounting (real-time vs logical) ===\n\n";
+
+  stats::Table table({"scoring", "DTH", "ideal RMSE", "ADF RMSE w/o LE",
+                      "ADF RMSE w/ LE", "LE/no-LE %"});
+  for (scenario::ScoringMode scoring :
+       {scenario::ScoringMode::kRealTime, scenario::ScoringMode::kLogical}) {
+    const char* label =
+        scoring == scenario::ScoringMode::kRealTime ? "real-time" : "logical";
+    scenario::ExperimentOptions ideal = args.base;
+    ideal.filter = scenario::FilterKind::kIdeal;
+    ideal.scoring = scoring;
+    const scenario::ExperimentResult ideal_result =
+        scenario::run_experiment(ideal);
+    for (double factor : args.factors) {
+      scenario::ExperimentOptions adf = args.base;
+      adf.filter = scenario::FilterKind::kAdf;
+      adf.dth_factor = factor;
+      adf.scoring = scoring;
+      const scenario::ExperimentResult no_le = scenario::run_experiment(adf);
+      adf.estimator = "brown_polar";
+      const scenario::ExperimentResult le = scenario::run_experiment(adf);
+      table.add_row(
+          {label, mgbench::factor_label(factor),
+           stats::format_double(ideal_result.rmse_overall, 2),
+           stats::format_double(no_le.rmse_overall, 2),
+           stats::format_double(le.rmse_overall, 2),
+           stats::format_double(
+               no_le.rmse_overall > 0.0
+                   ? 100.0 * le.rmse_overall / no_le.rmse_overall
+                   : 0.0,
+               1)});
+    }
+  }
+  table.write_pretty(std::cout);
+  std::cout << "\nread: under logical accounting the DF bounds the error by "
+               "the DTH and LE is moot at 1 Hz sampling; under real-time "
+               "accounting (latency included) LE recovers the paper-style "
+               "reduction. The paper's large absolute RMSEs imply long "
+               "effective LU gaps, i.e. a latency-like regime.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: Brown DES smoothing coefficient (alpha) sweep.
+//
+// The paper uses Brown's double exponential smoothing but does not report
+// its coefficient. This sweep shows the sensitivity: small alpha reacts
+// slowly to velocity changes, large alpha chases noise.
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  util::Config config;
+  const mgbench::BenchArgs args = mgbench::parse_args(argc, argv, &config);
+  const std::vector<double> alphas = config.get_double_list(
+      "alphas", {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9});
+  const double factor = config.get_double("dth_factor", 1.0);
+
+  std::cout << "=== Ablation: Brown DES alpha sweep (ADF, DTH "
+            << mgbench::factor_label(factor) << ") ===\n\n";
+
+  stats::Table table(
+      {"alpha", "polar RMSE", "cartesian RMSE", "polar road", "polar bld"});
+  for (double alpha : alphas) {
+    scenario::ExperimentOptions polar = args.base;
+    polar.filter = scenario::FilterKind::kAdf;
+    polar.dth_factor = factor;
+    polar.estimator = "brown_polar";
+    polar.estimator_alpha = alpha;
+    const scenario::ExperimentResult polar_result =
+        scenario::run_experiment(polar);
+
+    scenario::ExperimentOptions cartesian = polar;
+    cartesian.estimator = "brown_cartesian";
+    const scenario::ExperimentResult cartesian_result =
+        scenario::run_experiment(cartesian);
+
+    table.add_row({stats::format_double(alpha, 2),
+                   stats::format_double(polar_result.rmse_overall, 2),
+                   stats::format_double(cartesian_result.rmse_overall, 2),
+                   stats::format_double(polar_result.rmse_road, 2),
+                   stats::format_double(polar_result.rmse_building, 2)});
+  }
+  table.write_pretty(std::cout);
+  return 0;
+}

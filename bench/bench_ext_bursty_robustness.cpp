@@ -1,0 +1,75 @@
+// Extension bench: robustness to disconnectivity (Gilbert-Elliott bursts).
+//
+// Paper §1 lists "frequent disconnectivity" among the mobile grid's defining
+// constraints but the evaluation assumes a perfect channel. This bench
+// subjects the ADF + broker to (a) uniform loss and (b) bursty loss with
+// the same average rate, and sweeps the estimator/forecast-horizon choices
+// that determine how gracefully the broker rides out outages.
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  util::Config config;
+  const mgbench::BenchArgs args = mgbench::parse_args(argc, argv, &config);
+  const double factor = config.get_double("dth_factor", 1.0);
+
+  std::cout << "=== Extension: bursty-loss robustness (ADF, DTH "
+            << mgbench::factor_label(factor) << ") ===\n\n";
+
+  struct ChannelCase {
+    const char* name;
+    net::ChannelParams uniform;
+    net::GilbertElliottChannel::Params burst;
+  };
+  // Bursty case: stationary bad fraction 0.0909 with 5 s mean outages;
+  // uniform case matched to the same average loss.
+  ChannelCase cases[3];
+  cases[0] = {"clean", {}, {}};
+  cases[1] = {"uniform 9% loss", {}, {}};
+  cases[1].uniform.loss_probability = 0.0909;
+  cases[2] = {"bursty 9% loss (5 s fades)", {}, {}};
+  cases[2].burst.p_enter_bad = 0.02;
+  cases[2].burst.p_exit_bad = 0.2;
+
+  struct EstimatorCase {
+    const char* name;
+    const char* estimator;
+    double horizon;
+  };
+  const EstimatorCase estimators[] = {
+      {"no LE", "", 0.0},
+      {"brown_polar (unclamped)", "brown_polar", 0.0},
+      {"brown_polar, 3 s horizon", "brown_polar", 3.0},
+      {"dead_reckoning, 3 s horizon", "dead_reckoning", 3.0},
+  };
+
+  stats::Table table({"channel", "estimator", "LUs lost", "RMSE",
+                      "road RMSE", "building RMSE"});
+  for (const ChannelCase& channel : cases) {
+    for (const EstimatorCase& est : estimators) {
+      scenario::ExperimentOptions options = args.base;
+      options.filter = scenario::FilterKind::kAdf;
+      options.dth_factor = factor;
+      options.channel = channel.uniform;
+      options.burst = channel.burst;
+      options.estimator = est.estimator;
+      options.forecast_horizon = est.horizon;
+      const scenario::ExperimentResult result =
+          scenario::run_experiment(options);
+      table.add_row({channel.name, est.name,
+                     std::to_string(result.lus_lost_on_air),
+                     stats::format_double(result.rmse_overall, 2),
+                     stats::format_double(result.rmse_road, 2),
+                     stats::format_double(result.rmse_building, 2)});
+    }
+  }
+  table.write_pretty(std::cout);
+  std::cout << "\nread: at equal average loss, bursts hurt far more than "
+               "uniform loss; an unclamped forecast amplifies long outages "
+               "while a 3 s horizon turns the estimator into a strict "
+               "improvement across every channel.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Extension bench: location-update protocol shoot-out.
+//
+// Puts the paper's ADF next to the rest of the location-management design
+// space on the two axes that matter — uplink traffic vs broker error:
+//   * time filter (temporal reporting at fixed intervals),
+//   * general distance filter (global spatial threshold),
+//   * ADF (the paper: per-cluster spatial thresholds),
+//   * ADF + bounded silence (ADF with a hard staleness guarantee),
+//   * prediction-based reporting (DIS/HLA dead-reckoning protocol: device
+//     and broker share a predictor; transmit only when reality deviates).
+//
+// Each policy is swept over its own knob so the output reads as a traffic/
+// error trade-off frontier. The broker runs without LE except for the
+// prediction rows, where the broker's dead-reckoning *is* the protocol.
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  const mgbench::BenchArgs args = mgbench::parse_args(argc, argv);
+
+  std::cout << "=== Extension: protocol shoot-out (traffic vs error) ===\n\n";
+
+  scenario::ExperimentOptions base = args.base;
+  scenario::ExperimentOptions ideal = base;
+  ideal.filter = scenario::FilterKind::kIdeal;
+  const auto ideal_result = scenario::run_experiment(ideal);
+
+  stats::Table table({"policy", "knob", "LU/s", "reduction %", "RMSE",
+                      "RMSE w/ LE"});
+  // The LE column pairs each policy with its natural estimator: Brown DES
+  // for the distance/time family (the paper's choice), and — for the
+  // prediction protocol — the SAME predictor the device runs: the protocol
+  // only bounds the error of a broker that stays in lockstep.
+  auto run_row = [&](const char* policy, const std::string& knob,
+                     scenario::ExperimentOptions options,
+                     const char* le_estimator = "brown_polar") {
+    const auto plain = scenario::run_experiment(options);
+    options.estimator = le_estimator;
+    const auto with_le = scenario::run_experiment(options);
+    table.add_row(
+        {policy, knob, stats::format_double(plain.mean_lu_per_bucket, 1),
+         stats::format_double(
+             mgbench::reduction_percent(
+                 static_cast<double>(ideal_result.total_transmitted),
+                 static_cast<double>(plain.total_transmitted)),
+             1),
+         stats::format_double(plain.rmse_overall, 2),
+         stats::format_double(with_le.rmse_overall, 2)});
+  };
+
+  table.add_row({"ideal", "-",
+                 stats::format_double(ideal_result.mean_lu_per_bucket, 1),
+                 "0.0", stats::format_double(ideal_result.rmse_overall, 2),
+                 "-"});
+
+  for (double interval : {2.0, 3.0, 5.0}) {
+    scenario::ExperimentOptions options = base;
+    options.filter = scenario::FilterKind::kTimeFilter;
+    options.time_filter_interval = interval;
+    run_row("time_filter", stats::format_double(interval, 0) + " s", options);
+  }
+  for (double factor : args.factors) {
+    scenario::ExperimentOptions options = base;
+    options.filter = scenario::FilterKind::kGeneralDf;
+    options.dth_factor = factor;
+    run_row("general_df", mgbench::factor_label(factor), options);
+  }
+  for (double factor : args.factors) {
+    scenario::ExperimentOptions options = base;
+    options.filter = scenario::FilterKind::kAdf;
+    options.dth_factor = factor;
+    run_row("adf", mgbench::factor_label(factor), options);
+  }
+  {
+    scenario::ExperimentOptions options = base;
+    options.filter = scenario::FilterKind::kAdf;
+    options.dth_factor = 1.0;
+    options.max_silence = 10.0;
+    run_row("adf+bounded_silence", "1.0 av / 10 s", options);
+  }
+  for (double threshold : {1.0, 2.0, 4.0, 8.0}) {
+    scenario::ExperimentOptions options = base;
+    options.filter = scenario::FilterKind::kPrediction;
+    options.prediction_threshold = threshold;
+    run_row("prediction", stats::format_double(threshold, 0) + " m", options,
+            /*le_estimator=*/"dead_reckoning");
+  }
+
+  table.write_pretty(std::cout);
+  std::cout << "\nread: the time filter wastes LUs on parked nodes and "
+               "still misses fast ones; the ADF beats the general DF on "
+               "the error side at equal traffic; prediction-based "
+               "reporting dominates the distance family — the deviation "
+               "bound is enforced on exactly the quantity the broker "
+               "cares about. The ADF's advantage is that it needs no "
+               "agreed predictor on the device.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 4: The number of transmitted LUs per second.
+//
+// Paper series: ideal LU (no filter) vs ADF with DTH sizes 0.75 av, 1.0 av
+// and 1.25 av. Paper headline: ideal averages ~135 LU/s; the ADF averages
+// ~94 (-30.53 %), ~63 (-53.35 %) and ~31 (-76.73 %).
+#include <iostream>
+
+#include "bench/common.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  const mgbench::BenchArgs args = mgbench::parse_args(argc, argv);
+
+  std::cout << "=== Figure 4: transmitted LUs per second ===\n"
+            << "workload: 140 MNs, " << args.base.duration
+            << " s, 1 s sampling\n\n";
+
+  scenario::ExperimentOptions ideal = args.base;
+  ideal.filter = scenario::FilterKind::kIdeal;
+  const scenario::ExperimentResult ideal_result =
+      scenario::run_experiment(ideal);
+
+  std::vector<std::string> labels{"ideal"};
+  std::vector<std::vector<double>> series{ideal_result.lu_per_bucket};
+  std::vector<scenario::ExperimentResult> adf_results;
+  for (double factor : args.factors) {
+    scenario::ExperimentOptions adf = args.base;
+    adf.filter = scenario::FilterKind::kAdf;
+    adf.dth_factor = factor;
+    adf_results.push_back(scenario::run_experiment(adf));
+    labels.push_back("ADF " + mgbench::factor_label(factor));
+    series.push_back(adf_results.back().lu_per_bucket);
+  }
+
+  mgbench::print_series_table("LUs per second", labels, series);
+
+  stats::Table summary({"configuration", "avg LU/s", "reduction %",
+                        "paper avg LU/s", "paper reduction %"});
+  summary.add_row({"ideal",
+                   stats::format_double(ideal_result.mean_lu_per_bucket, 1),
+                   "0.0", "135", "0.0"});
+  const char* paper_lus[] = {"94", "63", "31"};
+  const char* paper_red[] = {"30.53", "53.35", "76.73"};
+  for (std::size_t i = 0; i < adf_results.size(); ++i) {
+    const double reduction = mgbench::reduction_percent(
+        static_cast<double>(ideal_result.total_transmitted),
+        static_cast<double>(adf_results[i].total_transmitted));
+    summary.add_row(
+        {"ADF " + mgbench::factor_label(args.factors[i]),
+         stats::format_double(adf_results[i].mean_lu_per_bucket, 1),
+         stats::format_double(reduction, 2), i < 3 ? paper_lus[i] : "-",
+         i < 3 ? paper_red[i] : "-"});
+  }
+  std::cout << "summary (paper reference: Fig. 4 / Sec. 4.1)\n";
+  summary.write_pretty(std::cout);
+
+  mgbench::maybe_save_csv(args, "fig4_lu_per_second.csv", labels, series);
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "broker/grid_broker.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mgrid::broker {
+
+GridBroker::GridBroker(
+    std::unique_ptr<estimation::LocationEstimator> estimator_prototype,
+    std::size_t history_limit)
+    : prototype_(std::move(estimator_prototype)), db_(history_limit) {}
+
+void GridBroker::on_location_update(MnId mn, SimTime t, geo::Vec2 position,
+                                    geo::Vec2 velocity,
+                                    double battery_fraction) {
+  db_.record_update(mn, t, position, velocity);
+  last_update_time_[mn] = t;
+  last_contact_time_[mn] = t;
+  battery_[mn] = battery_fraction;
+  ++stats_.updates_received;
+  if (prototype_ != nullptr) {
+    auto it = estimators_.find(mn);
+    if (it == estimators_.end()) {
+      it = estimators_.emplace(mn, prototype_->clone()).first;
+    }
+    it->second->observe(t, position, velocity);
+  }
+}
+
+void GridBroker::on_tick(SimTime t) {
+  if (prototype_ == nullptr) return;  // view stays at the last fix
+  for (auto& [mn, estimator] : estimators_) {
+    auto last = last_update_time_.find(mn);
+    if (last != last_update_time_.end() && last->second >= t) {
+      continue;  // reported this tick; the view is already fresh
+    }
+    db_.record_estimate(mn, t, estimator->estimate(t));
+    ++stats_.estimates_made;
+  }
+}
+
+double GridBroker::battery_fraction(MnId mn) const {
+  auto it = battery_.find(mn);
+  return it == battery_.end() ? 1.0 : it->second;
+}
+
+void GridBroker::on_keepalive(MnId mn, SimTime t) {
+  last_contact_time_[mn] = t;
+  ++stats_.keepalives_received;
+}
+
+Duration GridBroker::contact_staleness(MnId mn, SimTime now) const {
+  auto it = last_contact_time_.find(mn);
+  if (it == last_contact_time_.end()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return now - it->second;
+}
+
+std::vector<MnId> GridBroker::silent_nodes(SimTime now,
+                                           Duration timeout) const {
+  std::vector<MnId> out;
+  for (const auto& [mn, last] : last_contact_time_) {
+    if (now - last > timeout) out.push_back(mn);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<geo::Vec2> GridBroker::belief_at(MnId mn, SimTime t) const {
+  const std::optional<LocationRecord> record = db_.lookup(mn);
+  if (!record) return std::nullopt;
+  if (record->last_reported.t >= t || prototype_ == nullptr) {
+    return record->last_reported.position;
+  }
+  auto it = estimators_.find(mn);
+  if (it == estimators_.end()) return record->last_reported.position;
+  return it->second->estimate(t);
+}
+
+std::optional<geo::Vec2> GridBroker::position_view(MnId mn) const {
+  const std::optional<LocationRecord> record = db_.lookup(mn);
+  if (!record) return std::nullopt;
+  return record->current_view.position;
+}
+
+}  // namespace mgrid::broker

@@ -1,0 +1,75 @@
+#include "broker/location_db.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mgrid::broker {
+
+const std::deque<LocationFix> LocationDb::kEmptyHistory{};
+
+LocationDb::LocationDb(std::size_t history_limit)
+    : history_limit_(history_limit) {
+  if (history_limit == 0) {
+    throw std::invalid_argument("LocationDb: history_limit must be >= 1");
+  }
+}
+
+void LocationDb::push_history(Entry& entry, const LocationFix& fix) {
+  entry.history.push_back(fix);
+  while (entry.history.size() > history_limit_) entry.history.pop_front();
+}
+
+void LocationDb::record_update(MnId mn, SimTime t, geo::Vec2 position,
+                               geo::Vec2 velocity) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("LocationDb::record_update: invalid MnId");
+  }
+  Entry& entry = records_[mn];
+  const LocationFix fix{t, position, velocity, /*estimated=*/false};
+  entry.record.last_reported = fix;
+  entry.record.current_view = fix;
+  push_history(entry, fix);
+}
+
+void LocationDb::record_estimate(MnId mn, SimTime t, geo::Vec2 position) {
+  auto it = records_.find(mn);
+  if (it == records_.end()) {
+    throw std::logic_error(
+        "LocationDb::record_estimate: MN was never reported");
+  }
+  const LocationFix fix{t, position, {}, /*estimated=*/true};
+  it->second.record.current_view = fix;
+  push_history(it->second, fix);
+}
+
+bool LocationDb::knows(MnId mn) const noexcept {
+  return records_.find(mn) != records_.end();
+}
+
+std::optional<LocationRecord> LocationDb::lookup(MnId mn) const {
+  auto it = records_.find(mn);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.record;
+}
+
+Duration LocationDb::staleness(MnId mn, SimTime now) const {
+  auto it = records_.find(mn);
+  if (it == records_.end()) return std::numeric_limits<double>::infinity();
+  return now - it->second.record.last_reported.t;
+}
+
+std::vector<MnId> LocationDb::known_nodes() const {
+  std::vector<MnId> out;
+  out.reserve(records_.size());
+  for (const auto& [mn, entry] : records_) out.push_back(mn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::deque<LocationFix>& LocationDb::history(MnId mn) const {
+  auto it = records_.find(mn);
+  return it == records_.end() ? kEmptyHistory : it->second.history;
+}
+
+}  // namespace mgrid::broker

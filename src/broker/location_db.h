@@ -1,0 +1,76 @@
+// Location database (paper Fig. 3: the grid broker's location DB).
+//
+// Stores, per MN, the last *reported* fix, the broker's *current view*
+// (reported or estimated), and a bounded history of fixes for diagnostics
+// and estimator warm-starts.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/types.h"
+
+namespace mgrid::broker {
+
+/// One stored fix.
+struct LocationFix {
+  SimTime t = 0.0;
+  geo::Vec2 position;
+  geo::Vec2 velocity;
+  /// True when produced by the location estimator rather than received.
+  bool estimated = false;
+};
+
+/// The broker's knowledge about one MN.
+struct LocationRecord {
+  /// Last fix actually received from the ADF.
+  LocationFix last_reported;
+  /// Broker's current belief (== last_reported, or an estimate).
+  LocationFix current_view;
+};
+
+class LocationDb {
+ public:
+  /// `history_limit`: fixes retained per MN (>= 1).
+  explicit LocationDb(std::size_t history_limit = 128);
+
+  /// Stores a received LU and makes it the current view.
+  void record_update(MnId mn, SimTime t, geo::Vec2 position,
+                     geo::Vec2 velocity);
+  /// Stores an estimated position as the current view (the last reported
+  /// fix is untouched). Unknown MNs are rejected — the broker cannot
+  /// estimate a node it has never heard from.
+  void record_estimate(MnId mn, SimTime t, geo::Vec2 position);
+
+  [[nodiscard]] bool knows(MnId mn) const noexcept;
+  /// Record for an MN; nullopt when never reported.
+  [[nodiscard]] std::optional<LocationRecord> lookup(MnId mn) const;
+  /// Staleness of the last *received* fix at time `now` (+inf when never
+  /// reported).
+  [[nodiscard]] Duration staleness(MnId mn, SimTime now) const;
+
+  /// All known MNs, sorted by id (deterministic iteration for callers).
+  [[nodiscard]] std::vector<MnId> known_nodes() const;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Bounded fix history (oldest first), received and estimated fixes
+  /// interleaved.
+  [[nodiscard]] const std::deque<LocationFix>& history(MnId mn) const;
+
+ private:
+  struct Entry {
+    LocationRecord record;
+    std::deque<LocationFix> history;
+  };
+
+  void push_history(Entry& entry, const LocationFix& fix);
+
+  std::size_t history_limit_;
+  std::unordered_map<MnId, Entry> records_;
+  static const std::deque<LocationFix> kEmptyHistory;
+};
+
+}  // namespace mgrid::broker

@@ -1,0 +1,148 @@
+#include "broker/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mgrid::broker {
+
+JobScheduler::JobScheduler(const GridBroker& broker, SchedulerParams params)
+    : broker_(broker), params_(params) {
+  if (params.staleness_weight < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerParams: staleness_weight must be >= 0");
+  }
+  if (params.battery_weight < 0.0) {
+    throw std::invalid_argument(
+        "SchedulerParams: battery_weight must be >= 0");
+  }
+  if (params.min_battery < 0.0 || params.min_battery > 1.0) {
+    throw std::invalid_argument(
+        "SchedulerParams: min_battery must be in [0, 1]");
+  }
+}
+
+std::vector<MnId> JobScheduler::rank_candidates(geo::Vec2 site, SimTime now,
+                                                std::size_t limit) const {
+  struct Scored {
+    double score;
+    MnId mn;
+  };
+  std::vector<Scored> scored;
+  for (MnId mn : broker_.db().known_nodes()) {
+    const Duration staleness = broker_.staleness(mn, now);
+    if (params_.max_staleness > 0.0 && staleness > params_.max_staleness) {
+      continue;
+    }
+    const double battery = broker_.battery_fraction(mn);
+    if (params_.min_battery > 0.0 && battery < params_.min_battery) continue;
+    const std::optional<geo::Vec2> view = broker_.position_view(mn);
+    if (!view) continue;
+    scored.push_back(Scored{geo::distance(*view, site) +
+                                params_.staleness_weight * staleness +
+                                params_.battery_weight * (1.0 - battery),
+                            mn});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.mn < b.mn;  // deterministic ties
+  });
+  std::vector<MnId> out;
+  for (const Scored& s : scored) {
+    if (out.size() >= limit) break;
+    out.push_back(s.mn);
+  }
+  return out;
+}
+
+bool JobScheduler::try_assign(JobStatus& job, SimTime now) {
+  std::vector<MnId> candidates =
+      rank_candidates(job.spec.site, now, job.spec.replicas);
+  if (candidates.size() < job.spec.replicas) return false;
+  job.assignees = std::move(candidates);
+  job.state = JobState::kRunning;
+  outstanding_[job.spec.id] = job.assignees.size();
+  return true;
+}
+
+JobState JobScheduler::submit(const JobSpec& spec, SimTime now) {
+  if (!spec.id.valid()) {
+    throw std::invalid_argument("JobScheduler::submit: invalid JobId");
+  }
+  if (spec.replicas == 0) {
+    throw std::invalid_argument("JobScheduler::submit: replicas must be > 0");
+  }
+  if (jobs_.find(spec.id) != jobs_.end()) {
+    throw std::invalid_argument("JobScheduler::submit: duplicate JobId");
+  }
+  JobStatus status;
+  status.spec = spec;
+  status.submitted_at = now;
+  try_assign(status, now);
+  const JobState state = status.state;
+  jobs_.emplace(spec.id, std::move(status));
+  return state;
+}
+
+void JobScheduler::reschedule_pending(SimTime now) {
+  for (auto& [id, job] : jobs_) {
+    if (job.state == JobState::kPending) try_assign(job, now);
+  }
+}
+
+void JobScheduler::report_completion(JobId job_id, MnId worker, SimTime now,
+                                     bool success) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument("JobScheduler::report_completion: unknown job");
+  }
+  JobStatus& job = it->second;
+  if (job.state != JobState::kRunning) {
+    throw std::logic_error(
+        "JobScheduler::report_completion: job is not running");
+  }
+  if (std::find(job.assignees.begin(), job.assignees.end(), worker) ==
+      job.assignees.end()) {
+    throw std::invalid_argument(
+        "JobScheduler::report_completion: MN is not an assignee");
+  }
+  if (!success) {
+    job.state = JobState::kFailed;
+    job.completed_at = now;
+    outstanding_.erase(job_id);
+    return;
+  }
+  std::size_t& remaining = outstanding_.at(job_id);
+  if (remaining == 0) {
+    throw std::logic_error(
+        "JobScheduler::report_completion: duplicate completion");
+  }
+  if (--remaining == 0) {
+    job.state = JobState::kCompleted;
+    job.completed_at = now;
+    outstanding_.erase(job_id);
+  }
+}
+
+std::optional<JobStatus> JobScheduler::status(JobId job) const {
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t JobScheduler::pending_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kPending) ++count;
+  }
+  return count;
+}
+
+std::size_t JobScheduler::running_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::kRunning) ++count;
+  }
+  return count;
+}
+
+}  // namespace mgrid::broker

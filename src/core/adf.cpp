@@ -1,0 +1,87 @@
+#include "core/adf.h"
+
+#include <stdexcept>
+
+namespace mgrid::core {
+
+AdaptiveDistanceFilter::AdaptiveDistanceFilter(AdfParams params)
+    : params_(params),
+      classifier_(params.classifier),
+      clusterer_(params.clustering) {
+  if (!(params.dth_factor > 0.0)) {
+    throw std::invalid_argument("AdfParams: dth_factor must be > 0");
+  }
+  if (!(params.sample_period > 0.0)) {
+    throw std::invalid_argument("AdfParams: sample_period must be > 0");
+  }
+  if (params.stop_dth_factor < 0.0) {
+    throw std::invalid_argument("AdfParams: stop_dth_factor must be >= 0");
+  }
+  if (params.recluster_interval < 0.0) {
+    throw std::invalid_argument("AdfParams: recluster_interval must be >= 0");
+  }
+}
+
+double AdaptiveDistanceFilter::stop_dth() const noexcept {
+  return params_.stop_dth_factor * params_.classifier.walk_velocity *
+         params_.sample_period;
+}
+
+FilterDecision AdaptiveDistanceFilter::process(MnId mn, SimTime t,
+                                               geo::Vec2 position) {
+  FilterDecision decision = update_dth(mn, t, position);
+  // (4) filter, (5) transmit.
+  const DistanceFilter::Decision df =
+      filter_.apply(mn, position, decision.dth);
+  decision.transmit = df.transmit;
+  decision.moved = df.moved;
+  return decision;
+}
+
+FilterDecision AdaptiveDistanceFilter::update_dth(MnId mn, SimTime t,
+                                                  geo::Vec2 position) {
+  // (3) acquire + (1) observe velocity/direction.
+  classifier_.observe(mn, t, position);
+
+  // Periodic cluster reconstruction (6).
+  if (params_.recluster_interval > 0.0) {
+    if (!rebuild_clock_started_) {
+      rebuild_clock_started_ = true;
+      last_rebuild_ = t;
+    } else if (t - last_rebuild_ >= params_.recluster_interval) {
+      clusterer_.rebuild();
+      last_rebuild_ = t;
+      ++rebuilds_;
+    }
+  }
+
+  FilterDecision decision;
+  decision.pattern = classifier_.classify(mn);
+
+  // (2) classify + cluster.
+  if (decision.pattern == mobility::MobilityPattern::kStop) {
+    clusterer_.remove(mn);
+    decision.dth = stop_dth();
+  } else {
+    const MotionFeatures features = classifier_.features(mn);
+    decision.cluster = clusterer_.assign(mn, features);
+    decision.dth = params_.dth_factor *
+                   clusterer_.cluster(decision.cluster).mean_speed() *
+                   params_.sample_period;
+  }
+  current_dth_[mn] = decision.dth;
+  decision.transmit = true;
+  return decision;
+}
+
+void AdaptiveDistanceFilter::note_forced_transmit(MnId mn, SimTime /*t*/,
+                                                  geo::Vec2 position) {
+  filter_.force_transmit(mn, position);
+}
+
+double AdaptiveDistanceFilter::current_dth(MnId mn) const {
+  auto it = current_dth_.find(mn);
+  return it == current_dth_.end() ? 0.0 : it->second;
+}
+
+}  // namespace mgrid::core

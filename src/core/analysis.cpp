@@ -1,0 +1,65 @@
+#include "core/analysis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::core {
+
+double predicted_transmission_rate(double speed, double dth,
+                                   Duration period) {
+  if (!(period > 0.0)) {
+    throw std::invalid_argument(
+        "predicted_transmission_rate: period must be > 0");
+  }
+  if (speed < 0.0 || dth < 0.0) {
+    throw std::invalid_argument(
+        "predicted_transmission_rate: negative speed or dth");
+  }
+  if (speed == 0.0) return 0.0;  // never exceeds any threshold
+  const double per_tick = speed * period;
+  // Smallest k with k * per_tick > dth.
+  const double k = std::floor(dth / per_tick) + 1.0;
+  return 1.0 / k;
+}
+
+double predicted_transmission_rate_uniform(const mobility::SpeedRange& speeds,
+                                           double dth, Duration period,
+                                           std::size_t integration_steps) {
+  if (!speeds.valid()) {
+    throw std::invalid_argument(
+        "predicted_transmission_rate_uniform: invalid range");
+  }
+  if (integration_steps == 0) {
+    throw std::invalid_argument(
+        "predicted_transmission_rate_uniform: zero steps");
+  }
+  if (speeds.lo == speeds.hi) {
+    return predicted_transmission_rate(speeds.lo, dth, period);
+  }
+  // Midpoint rule over the staircase (exact in the limit; the staircase
+  // has finitely many jumps so midpoint converges quickly).
+  const double width = (speeds.hi - speeds.lo) /
+                       static_cast<double>(integration_steps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < integration_steps; ++i) {
+    const double s = speeds.lo + (static_cast<double>(i) + 0.5) * width;
+    sum += predicted_transmission_rate(s, dth, period);
+  }
+  return sum / static_cast<double>(integration_steps);
+}
+
+double adf_dth(double factor, double mean_speed, Duration period) {
+  if (!(factor > 0.0) || mean_speed < 0.0 || !(period > 0.0)) {
+    throw std::invalid_argument("adf_dth: invalid arguments");
+  }
+  return factor * mean_speed * period;
+}
+
+double stale_view_error_bound(double dth, double speed, Duration period) {
+  if (dth < 0.0 || speed < 0.0 || !(period > 0.0)) {
+    throw std::invalid_argument("stale_view_error_bound: invalid arguments");
+  }
+  return dth + speed * period;
+}
+
+}  // namespace mgrid::core

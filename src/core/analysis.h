@@ -1,0 +1,45 @@
+// Analytical model of distance filtering (validation aid).
+//
+// For a node moving in a straight line at constant speed s sampled every T
+// seconds, the DF transmits once every k ticks where k is the smallest
+// integer with k*s*T > DTH, i.e. k = floor(DTH/(s*T)) + 1. The
+// transmission rate is therefore a staircase 1/k in DTH — a closed form the
+// simulator must match exactly, which the test suite asserts. The
+// expectation over a uniform speed population predicts the aggregate
+// reduction a cluster achieves and explains the Fig. 4 curve's shape.
+#pragma once
+
+#include <cstddef>
+
+#include "mobility/mobility_model.h"
+#include "util/types.h"
+
+namespace mgrid::core {
+
+/// Expected fraction of samples transmitted by a straight-line mover at
+/// constant `speed`, threshold `dth`, sampling period `period`.
+/// speed <= 0 yields 0 (only the first sample ever transmits);
+/// dth == 0 yields 1 (every moving sample transmits). Requires period > 0,
+/// speed >= 0, dth >= 0.
+[[nodiscard]] double predicted_transmission_rate(double speed, double dth,
+                                                 Duration period);
+
+/// Expected transmission rate of a population with speeds uniform in
+/// `speeds`, all sharing one `dth` (numeric integration of the staircase).
+/// Requires a valid range.
+[[nodiscard]] double predicted_transmission_rate_uniform(
+    const mobility::SpeedRange& speeds, double dth, Duration period,
+    std::size_t integration_steps = 512);
+
+/// The ADF's DTH for a cluster of mean speed `mean_speed` at `factor`
+/// ("f av"): factor * mean_speed * period.
+[[nodiscard]] double adf_dth(double factor, double mean_speed,
+                             Duration period);
+
+/// Worst-case broker error bound for a filtered node under LOGICAL
+/// accounting: the node is never farther than dth from its last transmitted
+/// position plus one inter-sample move (dth + speed * period).
+[[nodiscard]] double stale_view_error_bound(double dth, double speed,
+                                            Duration period);
+
+}  // namespace mgrid::core

@@ -1,0 +1,61 @@
+#include "core/baselines.h"
+
+#include <stdexcept>
+
+namespace mgrid::core {
+
+FilterDecision IdealReporter::process(MnId mn, SimTime t,
+                                      geo::Vec2 position) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("IdealReporter::process: invalid MnId");
+  }
+  FilterDecision decision;
+  decision.transmit = true;
+  auto [it, inserted] = last_.try_emplace(mn, LastFix{t, position});
+  if (!inserted) {
+    decision.moved = geo::distance(it->second.position, position);
+    it->second = LastFix{t, position};
+  }
+  ++transmitted_;
+  return decision;
+}
+
+GeneralDistanceFilter::GeneralDistanceFilter(GeneralDfParams params)
+    : params_(params) {
+  if (!(params.dth_factor > 0.0)) {
+    throw std::invalid_argument("GeneralDfParams: dth_factor must be > 0");
+  }
+  if (!(params.sample_period > 0.0)) {
+    throw std::invalid_argument("GeneralDfParams: sample_period must be > 0");
+  }
+}
+
+double GeneralDistanceFilter::global_dth() const noexcept {
+  if (speeds_.count() < params_.warmup_samples) return 0.0;
+  return params_.dth_factor * speeds_.mean() * params_.sample_period;
+}
+
+FilterDecision GeneralDistanceFilter::process(MnId mn, SimTime t,
+                                              geo::Vec2 position) {
+  if (!mn.valid()) {
+    throw std::invalid_argument(
+        "GeneralDistanceFilter::process: invalid MnId");
+  }
+  // Update the population speed estimate from this node's displacement.
+  if (auto it = previous_.find(mn); it != previous_.end()) {
+    const Duration dt = t - previous_time_.at(mn);
+    if (dt > 0.0) speeds_.add(geo::distance(it->second, position) / dt);
+  }
+  previous_[mn] = position;
+  previous_time_[mn] = t;
+
+  FilterDecision decision;
+  decision.dth = global_dth();
+  const DistanceFilter::Decision df =
+      filter_.apply(mn, position, decision.dth);
+  decision.transmit = df.transmit;
+  decision.moved = df.moved;
+  return decision;
+}
+
+}  // namespace mgrid::core

@@ -1,0 +1,80 @@
+// Baseline filtering policies.
+//
+//  * IdealReporter — "ideal LU" in the paper's figures: every sampled
+//    position is transmitted, nothing filtered.
+//  * GeneralDistanceFilter — §3.2.2's general DF: one global DTH derived
+//    from the *population* average speed, applied to every MN regardless of
+//    its mobility. This is what the ADF's per-cluster DTH improves on.
+#pragma once
+
+#include <cstdint>
+
+#include "core/distance_filter.h"
+#include "core/update_filter.h"
+#include "stats/running_stats.h"
+
+namespace mgrid::core {
+
+class IdealReporter final : public LocationUpdateFilter {
+ public:
+  FilterDecision process(MnId mn, SimTime t, geo::Vec2 position) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ideal";
+  }
+  [[nodiscard]] std::uint64_t transmitted() const noexcept override {
+    return transmitted_;
+  }
+  [[nodiscard]] std::uint64_t filtered() const noexcept override { return 0; }
+
+ private:
+  struct LastFix {
+    SimTime t;
+    geo::Vec2 position;
+  };
+  std::unordered_map<MnId, LastFix> last_;
+  std::uint64_t transmitted_ = 0;
+};
+
+struct GeneralDfParams {
+  /// DTH = dth_factor * population mean speed * sample_period.
+  double dth_factor = 1.0;
+  /// LU sampling period, seconds (> 0).
+  Duration sample_period = 1.0;
+  /// Samples to accumulate before the global DTH kicks in (the filter
+  /// passes everything while it is still estimating the population speed).
+  std::size_t warmup_samples = 64;
+};
+
+class GeneralDistanceFilter final : public LocationUpdateFilter {
+ public:
+  explicit GeneralDistanceFilter(GeneralDfParams params = {});
+
+  FilterDecision process(MnId mn, SimTime t, geo::Vec2 position) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "general_df";
+  }
+  [[nodiscard]] std::uint64_t transmitted() const noexcept override {
+    return filter_.transmitted();
+  }
+  [[nodiscard]] std::uint64_t filtered() const noexcept override {
+    return filter_.filtered();
+  }
+
+  /// The global DTH currently in force (0 during warm-up).
+  [[nodiscard]] double global_dth() const noexcept;
+  /// Population mean speed observed so far.
+  [[nodiscard]] double population_mean_speed() const noexcept {
+    return speeds_.mean();
+  }
+
+ private:
+  GeneralDfParams params_;
+  DistanceFilter filter_;
+  stats::RunningStats speeds_;
+  std::unordered_map<MnId, geo::Vec2> previous_;
+  std::unordered_map<MnId, SimTime> previous_time_;
+};
+
+}  // namespace mgrid::core

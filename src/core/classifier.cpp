@@ -1,0 +1,108 @@
+#include "core/classifier.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/running_stats.h"
+
+namespace mgrid::core {
+
+MobilityClassifier::MobilityClassifier(ClassifierParams params)
+    : params_(params) {
+  if (params.window < 2) {
+    throw std::invalid_argument("MobilityClassifier: window must be >= 2");
+  }
+  if (!(params.walk_velocity > 0.0)) {
+    throw std::invalid_argument(
+        "MobilityClassifier: walk_velocity must be > 0");
+  }
+  if (params.stop_epsilon < 0.0 ||
+      params.stop_epsilon >= params.walk_velocity) {
+    throw std::invalid_argument(
+        "MobilityClassifier: stop_epsilon must be in [0, walk_velocity)");
+  }
+  if (params.heading_change_threshold <= 0.0 ||
+      params.speed_cv_threshold <= 0.0) {
+    throw std::invalid_argument(
+        "MobilityClassifier: thresholds must be > 0");
+  }
+}
+
+void MobilityClassifier::observe(MnId mn, SimTime t, geo::Vec2 position) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("MobilityClassifier::observe: invalid MnId");
+  }
+  auto& window = windows_[mn];
+  if (!window.empty()) {
+    if (t < window.back().t) {
+      throw std::invalid_argument(
+          "MobilityClassifier::observe: time went backwards");
+    }
+    if (t == window.back().t) return;  // duplicate tick
+  }
+  window.push_back(Sample{t, position});
+  while (window.size() > params_.window) window.pop_front();
+}
+
+MotionFeatures MobilityClassifier::features(MnId mn) const {
+  MotionFeatures out;
+  auto it = windows_.find(mn);
+  if (it == windows_.end()) return out;
+  const std::deque<Sample>& window = it->second;
+  out.samples = window.size();
+  if (window.size() < 2) return out;
+
+  stats::RunningStats speeds;
+  std::vector<double> headings;  // headings of moving segments only
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    const Duration dt = window[i].t - window[i - 1].t;
+    const geo::Vec2 displacement =
+        window[i].position - window[i - 1].position;
+    const double dist = displacement.norm();
+    speeds.add(dist / dt);
+    // The heading of a (near-)zero displacement is noise, not direction.
+    if (dist / dt >= params_.stop_epsilon) {
+      headings.push_back(displacement.heading());
+    }
+  }
+  out.mean_speed = speeds.mean();
+  out.speed_stddev = speeds.stddev();
+  if (!headings.empty()) out.heading = headings.back();
+
+  if (headings.size() >= 2) {
+    stats::RunningStats changes;
+    for (std::size_t i = 1; i < headings.size(); ++i) {
+      changes.add(geo::angle_diff(headings[i], headings[i - 1]));
+    }
+    // RMS movement produces zero-mean but high-variance heading changes;
+    // use the RMS of the change (not the stddev about the mean) so a single
+    // steady turn still reads as "one direction change".
+    const double mean_sq =
+        changes.variance() + changes.mean() * changes.mean();
+    out.heading_change_stddev = std::sqrt(mean_sq);
+  }
+  return out;
+}
+
+mobility::MobilityPattern MobilityClassifier::classify(MnId mn) const {
+  const MotionFeatures f = features(mn);
+  // Fig. 2, line 1: V_mn == 0 -> Stop.
+  if (f.samples < 2 || f.mean_speed < params_.stop_epsilon) {
+    return mobility::MobilityPattern::kStop;
+  }
+  // Fig. 2: V_mn > V_walk -> running / vehicle -> Linear.
+  if (f.mean_speed > params_.walk_velocity) {
+    return mobility::MobilityPattern::kLinear;
+  }
+  // Walking: frequent velocity or direction change -> Random.
+  if (f.heading_change_stddev > params_.heading_change_threshold ||
+      f.speed_cv() > params_.speed_cv_threshold) {
+    return mobility::MobilityPattern::kRandom;
+  }
+  return mobility::MobilityPattern::kLinear;
+}
+
+void MobilityClassifier::forget(MnId mn) { windows_.erase(mn); }
+
+}  // namespace mgrid::core

@@ -1,0 +1,71 @@
+// Mobility-pattern classifier (paper §3.2.1, Fig. 2).
+//
+// From an MN's sampled positions it maintains a sliding observation window
+// and classifies:
+//   V_mn ~ 0                                  -> Stop State (SS)
+//   V_mn > V_walk                             -> Linear Movement (running /
+//                                                vehicle)
+//   0 < V_mn <= V_walk, V and D constant      -> Linear Movement (walking)
+//   0 < V_mn <= V_walk, V or D change often   -> Random Movement
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/motion_features.h"
+#include "mobility/mobility_model.h"
+#include "util/types.h"
+
+namespace mgrid::core {
+
+struct ClassifierParams {
+  /// Maximum walking velocity V_walk (m/s). Faster nodes are running or in
+  /// a vehicle -> LMS by definition.
+  double walk_velocity = 2.0;
+  /// Speeds below this are "not moving" (m/s).
+  double stop_epsilon = 0.05;
+  /// Sliding window length in samples (>= 2).
+  std::size_t window = 8;
+  /// A walking node is RMS when the stddev of consecutive heading changes
+  /// exceeds this (radians)...
+  double heading_change_threshold = 0.7;
+  /// ...or when the speed coefficient-of-variation exceeds this.
+  double speed_cv_threshold = 0.5;
+};
+
+class MobilityClassifier {
+ public:
+  explicit MobilityClassifier(ClassifierParams params = {});
+
+  /// Feeds one sampled position. Samples must be time-ordered per MN
+  /// (equal timestamps are ignored).
+  void observe(MnId mn, SimTime t, geo::Vec2 position);
+
+  /// Classifies from the current window. An MN with fewer than 2 samples is
+  /// SS (nothing has been seen moving yet).
+  [[nodiscard]] mobility::MobilityPattern classify(MnId mn) const;
+
+  /// Motion features for the clusterer (zeroed when unknown MN).
+  [[nodiscard]] MotionFeatures features(MnId mn) const;
+
+  /// Drops an MN's history (e.g. when it leaves the grid).
+  void forget(MnId mn);
+
+  [[nodiscard]] std::size_t tracked_count() const noexcept {
+    return windows_.size();
+  }
+  [[nodiscard]] const ClassifierParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  struct Sample {
+    SimTime t;
+    geo::Vec2 position;
+  };
+
+  ClassifierParams params_;
+  std::unordered_map<MnId, std::deque<Sample>> windows_;
+};
+
+}  // namespace mgrid::core

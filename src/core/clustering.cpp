@@ -1,0 +1,197 @@
+#include "core/clustering.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mgrid::core {
+
+SequentialClusterer::SequentialClusterer(ClusteringParams params)
+    : params_(params) {
+  if (!(params.alpha > 0.0)) {
+    throw std::invalid_argument("SequentialClusterer: alpha must be > 0");
+  }
+  if (params.direction_weight < 0.0) {
+    throw std::invalid_argument(
+        "SequentialClusterer: direction_weight must be >= 0");
+  }
+}
+
+ClusterId SequentialClusterer::create_cluster(const ClusterFeature& seed) {
+  const ClusterId id{static_cast<ClusterId::value_type>(clusters_.size())};
+  ClusterState state;
+  state.info.id = id;
+  state.info.centroid = seed;
+  clusters_.push_back(std::move(state));
+  ++clusters_created_;
+  return id;
+}
+
+void SequentialClusterer::add_member(ClusterState& cluster, MnId mn,
+                                     const ClusterFeature& f) {
+  cluster.sum_speed += f.speed;
+  cluster.sum_dir_x += f.dir_x;
+  cluster.sum_dir_y += f.dir_y;
+  ++cluster.info.size;
+  refresh_centroid(cluster);
+  memberships_[mn] = cluster.info.id;
+}
+
+void SequentialClusterer::remove_member(ClusterState& cluster, MnId mn) {
+  const ClusterFeature& f = latest_features_.at(mn);
+  cluster.sum_speed -= f.speed;
+  cluster.sum_dir_x -= f.dir_x;
+  cluster.sum_dir_y -= f.dir_y;
+  --cluster.info.size;
+  refresh_centroid(cluster);
+  memberships_.erase(mn);
+  if (cluster.info.size == 0) {
+    clusters_[cluster.info.id.value()].reset();  // retire
+  }
+}
+
+void SequentialClusterer::refresh_centroid(ClusterState& cluster) noexcept {
+  if (cluster.info.size == 0) return;
+  const double n = static_cast<double>(cluster.info.size);
+  cluster.info.centroid.speed = cluster.sum_speed / n;
+  cluster.info.centroid.dir_x = cluster.sum_dir_x / n;
+  cluster.info.centroid.dir_y = cluster.sum_dir_y / n;
+}
+
+SequentialClusterer::ClusterState* SequentialClusterer::find_nearest(
+    const ClusterFeature& f, double* out_distance) {
+  ClusterState* best = nullptr;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (auto& slot : clusters_) {
+    if (!slot) continue;
+    const double d = f.distance_to(slot->info.centroid);
+    if (d < best_d) {
+      best_d = d;
+      best = &*slot;
+    }
+  }
+  if (out_distance != nullptr) *out_distance = best_d;
+  return best;
+}
+
+ClusterId SequentialClusterer::assign(MnId mn,
+                                      const MotionFeatures& features) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("SequentialClusterer::assign: invalid MnId");
+  }
+  const ClusterFeature f =
+      ClusterFeature::from_motion(features, params_.direction_weight);
+
+  // Detach from the current cluster first so the node's stale feature does
+  // not drag the centroid it is being compared against.
+  if (auto it = memberships_.find(mn); it != memberships_.end()) {
+    remove_member(*clusters_[it->second.value()], mn);
+  }
+  latest_features_[mn] = f;
+
+  double nearest_distance = 0.0;
+  ClusterState* nearest = find_nearest(f, &nearest_distance);
+  const bool cap_reached =
+      params_.max_clusters != 0 && cluster_count() >= params_.max_clusters;
+  if (nearest != nullptr &&
+      (nearest_distance <= params_.alpha || cap_reached)) {
+    add_member(*nearest, mn, f);
+    return nearest->info.id;
+  }
+  const ClusterId id = create_cluster(f);
+  add_member(*clusters_[id.value()], mn, f);
+  return id;
+}
+
+bool SequentialClusterer::remove(MnId mn) {
+  auto it = memberships_.find(mn);
+  if (it == memberships_.end()) return false;
+  remove_member(*clusters_[it->second.value()], mn);
+  latest_features_.erase(mn);
+  return true;
+}
+
+std::optional<ClusterId> SequentialClusterer::cluster_of(MnId mn) const {
+  auto it = memberships_.find(mn);
+  if (it == memberships_.end()) return std::nullopt;
+  return it->second;
+}
+
+const ClusterInfo& SequentialClusterer::cluster(ClusterId id) const {
+  if (!id.valid() || id.value() >= clusters_.size() ||
+      !clusters_[id.value()]) {
+    throw std::out_of_range("SequentialClusterer::cluster: unknown id");
+  }
+  return clusters_[id.value()]->info;
+}
+
+std::vector<ClusterInfo> SequentialClusterer::clusters() const {
+  std::vector<ClusterInfo> out;
+  for (const auto& slot : clusters_) {
+    if (slot) out.push_back(slot->info);
+  }
+  return out;
+}
+
+std::size_t SequentialClusterer::cluster_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& slot : clusters_) {
+    if (slot) ++count;
+  }
+  return count;
+}
+
+void SequentialClusterer::rebuild(double merge_fraction) {
+  if (merge_fraction < 0.0) {
+    throw std::invalid_argument(
+        "SequentialClusterer::rebuild: merge_fraction must be >= 0");
+  }
+  // Snapshot members in MnId order for determinism.
+  std::vector<std::pair<MnId, ClusterFeature>> members(
+      latest_features_.begin(), latest_features_.end());
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  clusters_.clear();
+  memberships_.clear();
+  for (const auto& [mn, f] : members) {
+    double nearest_distance = 0.0;
+    ClusterState* nearest = find_nearest(f, &nearest_distance);
+    const bool cap_reached =
+        params_.max_clusters != 0 && cluster_count() >= params_.max_clusters;
+    if (nearest != nullptr &&
+        (nearest_distance <= params_.alpha || cap_reached)) {
+      add_member(*nearest, mn, f);
+    } else {
+      const ClusterId id = create_cluster(f);
+      add_member(*clusters_[id.value()], mn, f);
+    }
+  }
+
+  // Merge pass: absorb clusters whose centroids ended up closer than
+  // merge_fraction * alpha (BSAS refinement).
+  const double merge_radius = merge_fraction * params_.alpha;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (!clusters_[i]) continue;
+    for (std::size_t j = i + 1; j < clusters_.size(); ++j) {
+      if (!clusters_[j]) continue;
+      if (clusters_[i]->info.centroid.distance_to(
+              clusters_[j]->info.centroid) > merge_radius) {
+        continue;
+      }
+      // Move every member of j into i.
+      std::vector<MnId> moved;
+      for (const auto& [mn, cid] : memberships_) {
+        if (cid == clusters_[j]->info.id) moved.push_back(mn);
+      }
+      std::sort(moved.begin(), moved.end());
+      for (MnId mn : moved) {
+        const ClusterFeature f = latest_features_.at(mn);
+        remove_member(*clusters_[j], mn);
+        add_member(*clusters_[i], mn, f);
+      }
+    }
+  }
+}
+
+}  // namespace mgrid::core

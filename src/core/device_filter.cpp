@@ -1,0 +1,31 @@
+#include "core/device_filter.h"
+
+#include <stdexcept>
+
+namespace mgrid::core {
+
+void DeviceSideFilter::set_dth(double dth) {
+  if (dth < 0.0) {
+    throw std::invalid_argument("DeviceSideFilter::set_dth: dth must be >= 0");
+  }
+  dth_ = dth;
+  ++dth_updates_;
+}
+
+bool DeviceSideFilter::should_transmit(geo::Vec2 position) {
+  if (!has_anchor_) {
+    has_anchor_ = true;
+    anchor_ = position;
+    ++transmitted_;
+    return true;
+  }
+  if (geo::distance(anchor_, position) > dth_) {
+    anchor_ = position;
+    ++transmitted_;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+}  // namespace mgrid::core

@@ -1,0 +1,56 @@
+// Device-side distance filtering (extension; paper's future-work direction).
+//
+// The paper filters LUs at the ADF, *after* the mobile node has already
+// spent uplink energy sending them. If the ADF instead pushes each node's
+// current DTH down to the device, the node can suppress the LU locally and
+// keep its radio off — trading a small downlink control stream (DTH
+// updates) for the entire suppressed uplink.
+//
+// DeviceSideFilter is the MN-resident half: it holds the last DTH pushed by
+// the ADF and the last *transmitted* position, and decides per sample
+// whether to key the radio. The ADF-resident half is
+// AdaptiveDistanceFilter::update_dth() plus a hysteresis publisher (see
+// FilterFederate's device-side mode).
+#pragma once
+
+#include <cstdint>
+
+#include "geo/vec2.h"
+#include "util/types.h"
+
+namespace mgrid::core {
+
+class DeviceSideFilter {
+ public:
+  /// Starts with DTH 0 (transmit every movement) until the ADF pushes a
+  /// threshold.
+  DeviceSideFilter() = default;
+
+  /// Applies a DTH pushed by the ADF (must be >= 0).
+  void set_dth(double dth);
+  [[nodiscard]] double dth() const noexcept { return dth_; }
+
+  /// Decides whether the sampled position must be transmitted; updates the
+  /// anchor when it is. First sample always transmits.
+  [[nodiscard]] bool should_transmit(geo::Vec2 position);
+
+  [[nodiscard]] std::uint64_t transmitted() const noexcept {
+    return transmitted_;
+  }
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_;
+  }
+  [[nodiscard]] std::uint64_t dth_updates_received() const noexcept {
+    return dth_updates_;
+  }
+
+ private:
+  double dth_ = 0.0;
+  bool has_anchor_ = false;
+  geo::Vec2 anchor_{};
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::uint64_t dth_updates_ = 0;
+};
+
+}  // namespace mgrid::core

@@ -1,0 +1,47 @@
+#include "core/distance_filter.h"
+
+#include <stdexcept>
+
+namespace mgrid::core {
+
+DistanceFilter::Decision DistanceFilter::apply(MnId mn, geo::Vec2 position,
+                                               double dth) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("DistanceFilter::apply: invalid MnId");
+  }
+  if (dth < 0.0) {
+    throw std::invalid_argument("DistanceFilter::apply: dth must be >= 0");
+  }
+  auto [it, inserted] = anchors_.try_emplace(mn, position);
+  if (inserted) {
+    ++transmitted_;
+    return Decision{true, 0.0};
+  }
+  const double moved = geo::distance(it->second, position);
+  if (moved > dth) {
+    it->second = position;
+    ++transmitted_;
+    return Decision{true, moved};
+  }
+  ++filtered_;
+  return Decision{false, moved};
+}
+
+double DistanceFilter::force_transmit(MnId mn, geo::Vec2 position) {
+  auto [it, inserted] = anchors_.try_emplace(mn, position);
+  ++transmitted_;
+  if (inserted) return 0.0;
+  const double moved = geo::distance(it->second, position);
+  it->second = position;
+  return moved;
+}
+
+std::optional<geo::Vec2> DistanceFilter::last_transmitted(MnId mn) const {
+  auto it = anchors_.find(mn);
+  if (it == anchors_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DistanceFilter::forget(MnId mn) { anchors_.erase(mn); }
+
+}  // namespace mgrid::core

@@ -1,0 +1,58 @@
+// Motion features derived from an MN's recent sampled positions.
+//
+// Both the mobility-pattern classifier (paper Fig. 2) and the sequential
+// clusterer consume these: the classifier thresholds them, the clusterer
+// embeds (speed, direction) into a similarity space.
+#pragma once
+
+#include <cstddef>
+
+#include "geo/vec2.h"
+#include "util/types.h"
+
+namespace mgrid::core {
+
+struct MotionFeatures {
+  /// Mean speed over the window, m/s.
+  double mean_speed = 0.0;
+  /// Stddev of per-sample speeds, m/s.
+  double speed_stddev = 0.0;
+  /// Most recent movement heading, radians (0 when never moved).
+  double heading = 0.0;
+  /// Stddev of consecutive (wrapped) heading changes, radians.
+  double heading_change_stddev = 0.0;
+  /// Number of position samples the features were computed from.
+  std::size_t samples = 0;
+
+  /// Coefficient of variation of speed (0 when mean is ~0).
+  [[nodiscard]] double speed_cv() const noexcept {
+    return mean_speed > 1e-9 ? speed_stddev / mean_speed : 0.0;
+  }
+};
+
+/// Feature embedding used for cluster similarity:
+///   (speed, w * cos(heading), w * sin(heading)).
+/// `direction_weight` converts direction mismatch into m/s-equivalent
+/// distance so the BSAS bound alpha has a single unit.
+struct ClusterFeature {
+  double speed = 0.0;
+  double dir_x = 0.0;
+  double dir_y = 0.0;
+
+  static ClusterFeature from_motion(const MotionFeatures& motion,
+                                    double direction_weight) noexcept {
+    return ClusterFeature{
+        motion.mean_speed,
+        direction_weight * std::cos(motion.heading),
+        direction_weight * std::sin(motion.heading)};
+  }
+
+  [[nodiscard]] double distance_to(const ClusterFeature& other) const noexcept {
+    const double ds = speed - other.speed;
+    const double dx = dir_x - other.dir_x;
+    const double dy = dir_y - other.dir_y;
+    return std::sqrt(ds * ds + dx * dx + dy * dy);
+  }
+};
+
+}  // namespace mgrid::core

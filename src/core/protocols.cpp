@@ -1,0 +1,147 @@
+#include "core/protocols.h"
+
+#include <stdexcept>
+
+namespace mgrid::core {
+
+// ---------------------------------------------------------------------------
+// TimeFilter
+// ---------------------------------------------------------------------------
+
+TimeFilter::TimeFilter(Duration interval) : interval_(interval) {
+  if (!(interval > 0.0)) {
+    throw std::invalid_argument("TimeFilter: interval must be > 0");
+  }
+}
+
+FilterDecision TimeFilter::process(MnId mn, SimTime t, geo::Vec2 position) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("TimeFilter::process: invalid MnId");
+  }
+  (void)position;
+  FilterDecision decision;
+  auto [it, inserted] = last_tx_.try_emplace(mn, t);
+  if (inserted || t - it->second >= interval_) {
+    it->second = t;
+    decision.transmit = true;
+    ++transmitted_;
+  } else {
+    ++filtered_;
+  }
+  return decision;
+}
+
+void TimeFilter::note_forced_transmit(MnId mn, SimTime t,
+                                      geo::Vec2 /*position*/) {
+  last_tx_[mn] = t;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedSilenceFilter
+// ---------------------------------------------------------------------------
+
+BoundedSilenceFilter::BoundedSilenceFilter(
+    std::unique_ptr<LocationUpdateFilter> inner, Duration max_silence)
+    : inner_(std::move(inner)), max_silence_(max_silence) {
+  if (!inner_) {
+    throw std::invalid_argument("BoundedSilenceFilter: null inner");
+  }
+  if (!(max_silence > 0.0)) {
+    throw std::invalid_argument(
+        "BoundedSilenceFilter: max_silence must be > 0");
+  }
+  name_ = "bounded_silence(" + std::string(inner_->name()) + ")";
+}
+
+FilterDecision BoundedSilenceFilter::process(MnId mn, SimTime t,
+                                             geo::Vec2 position) {
+  FilterDecision decision = inner_->process(mn, t, position);
+  auto [it, inserted] = last_tx_.try_emplace(mn, t);
+  if (decision.transmit) {
+    it->second = t;
+    ++transmitted_;
+    return decision;
+  }
+  if (t - it->second >= max_silence_) {
+    // Bound expired: force this sample through and realign the inner
+    // policy's anchor so it measures displacement from here on.
+    inner_->note_forced_transmit(mn, t, position);
+    it->second = t;
+    decision.transmit = true;
+    ++forced_;
+    ++transmitted_;
+    return decision;
+  }
+  ++filtered_;
+  return decision;
+}
+
+void BoundedSilenceFilter::note_forced_transmit(MnId mn, SimTime t,
+                                                geo::Vec2 position) {
+  inner_->note_forced_transmit(mn, t, position);
+  last_tx_[mn] = t;
+}
+
+// ---------------------------------------------------------------------------
+// PredictionFilter
+// ---------------------------------------------------------------------------
+
+PredictionFilter::PredictionFilter(EstimatorFactory make_estimator,
+                                   double threshold)
+    : make_estimator_(std::move(make_estimator)), threshold_(threshold) {
+  if (!make_estimator_) {
+    throw std::invalid_argument("PredictionFilter: null estimator factory");
+  }
+  if (!(threshold > 0.0)) {
+    throw std::invalid_argument("PredictionFilter: threshold must be > 0");
+  }
+}
+
+FilterDecision PredictionFilter::process(MnId mn, SimTime t,
+                                         geo::Vec2 position) {
+  if (!mn.valid()) {
+    throw std::invalid_argument("PredictionFilter::process: invalid MnId");
+  }
+  FilterDecision decision;
+  auto it = predictors_.find(mn);
+  if (it == predictors_.end()) {
+    // First sighting: introduce the node and seed the shared predictor.
+    it = predictors_.emplace(mn, make_estimator_()).first;
+    it->second->observe(t, position);
+    decision.transmit = true;
+    ++transmitted_;
+    return decision;
+  }
+  const geo::Vec2 predicted = it->second->estimate(t);
+  decision.moved = geo::distance(predicted, position);
+  decision.dth = threshold_;
+  if (decision.moved > threshold_) {
+    // The shared prediction has drifted too far: correct it. Only
+    // transmitted fixes feed the predictor — the broker sees the same
+    // stream and stays in lockstep.
+    it->second->observe(t, position);
+    decision.transmit = true;
+    ++transmitted_;
+  } else {
+    ++filtered_;
+  }
+  return decision;
+}
+
+void PredictionFilter::note_forced_transmit(MnId mn, SimTime t,
+                                            geo::Vec2 position) {
+  auto it = predictors_.find(mn);
+  if (it == predictors_.end()) {
+    it = predictors_.emplace(mn, make_estimator_()).first;
+  }
+  it->second->observe(t, position);
+}
+
+std::optional<geo::Vec2> PredictionFilter::shared_prediction(
+    MnId mn, SimTime t) const {
+  auto it = predictors_.find(mn);
+  if (it == predictors_.end()) return std::nullopt;
+  return it->second->estimate(t);
+}
+
+}  // namespace mgrid::core

@@ -1,0 +1,53 @@
+// Common interface of all location-update filtering policies, so the
+// experiment runner and benches can swap the ADF, the general DF baseline
+// and the ideal (no-filter) reporter behind one API.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "geo/vec2.h"
+#include "mobility/mobility_model.h"
+#include "util/types.h"
+
+namespace mgrid::core {
+
+/// The outcome of feeding one sampled position through a filter.
+struct FilterDecision {
+  /// Forward this LU to the grid broker?
+  bool transmit = false;
+  /// Pattern the policy believes the MN is in (ground truth for baselines
+  /// that do not classify; kStop as a neutral default).
+  mobility::MobilityPattern pattern = mobility::MobilityPattern::kStop;
+  /// Cluster the MN sits in (invalid when unclustered / not applicable).
+  ClusterId cluster;
+  /// Distance threshold applied (0 for the ideal reporter).
+  double dth = 0.0;
+  /// Displacement since the last transmitted LU.
+  double moved = 0.0;
+};
+
+class LocationUpdateFilter {
+ public:
+  virtual ~LocationUpdateFilter() = default;
+
+  /// Processes one sampled position of `mn` at time `t`. Samples must be
+  /// time-ordered per MN.
+  virtual FilterDecision process(MnId mn, SimTime t, geo::Vec2 position) = 0;
+
+  /// Informs the policy that an LU was transmitted out-of-band (e.g. a
+  /// bounded-silence override forced it through): implementations move
+  /// their suppression anchor so subsequent decisions measure from this
+  /// position. Default: no-op.
+  virtual void note_forced_transmit(MnId /*mn*/, SimTime /*t*/,
+                                    geo::Vec2 /*position*/) {}
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// LUs forwarded to the broker so far.
+  [[nodiscard]] virtual std::uint64_t transmitted() const noexcept = 0;
+  /// LUs suppressed so far.
+  [[nodiscard]] virtual std::uint64_t filtered() const noexcept = 0;
+};
+
+}  // namespace mgrid::core

@@ -1,0 +1,147 @@
+#include "estimation/ar_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::estimation {
+
+std::vector<double> autocovariance(const std::vector<double>& series,
+                                   std::size_t max_lag) {
+  const std::size_t n = series.size();
+  if (n == 0) return {};
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  std::vector<double> r(max_lag + 1, 0.0);
+  for (std::size_t lag = 0; lag <= max_lag && lag < n; ++lag) {
+    double sum = 0.0;
+    for (std::size_t i = lag; i < n; ++i) {
+      sum += (series[i] - mean) * (series[i - lag] - mean);
+    }
+    r[lag] = sum / static_cast<double>(n);  // biased estimator
+  }
+  return r;
+}
+
+std::vector<double> levinson_durbin(
+    const std::vector<double>& autocov) {
+  if (autocov.size() < 2) return {};
+  const std::size_t p = autocov.size() - 1;
+  if (!(autocov[0] > 0.0)) return {};  // degenerate (constant) series
+  std::vector<double> a(p, 0.0);       // current coefficients
+  std::vector<double> prev(p, 0.0);
+  double error = autocov[0];
+  for (std::size_t k = 0; k < p; ++k) {
+    double acc = autocov[k + 1];
+    for (std::size_t j = 0; j < k; ++j) acc -= prev[j] * autocov[k - j];
+    const double reflection = acc / error;
+    a[k] = reflection;
+    for (std::size_t j = 0; j < k; ++j) {
+      a[j] = prev[j] - reflection * prev[k - 1 - j];
+    }
+    error *= (1.0 - reflection * reflection);
+    if (!(error > 1e-12)) {
+      // Model fits (near-)perfectly at order k+1; higher coefficients are 0.
+      std::fill(a.begin() + static_cast<std::ptrdiff_t>(k) + 1, a.end(), 0.0);
+      return a;
+    }
+    prev = a;
+  }
+  return a;
+}
+
+ArEstimator::ArEstimator(ArParams params) : params_(params) {
+  if (params.order < 1) {
+    throw std::invalid_argument("ArEstimator: order must be >= 1");
+  }
+  if (params.window <= params.order + 1) {
+    throw std::invalid_argument("ArEstimator: window must exceed order + 1");
+  }
+  if (!(params.nominal_period > 0.0)) {
+    throw std::invalid_argument("ArEstimator: nominal_period must be > 0");
+  }
+}
+
+void ArEstimator::observe(SimTime t, geo::Vec2 position,
+                          std::optional<geo::Vec2> velocity_hint) {
+  if (!has_fix_) {
+    has_fix_ = true;
+    last_time_ = t;
+    last_position_ = position;
+    if (velocity_hint) last_velocity_ = *velocity_hint;
+    return;
+  }
+  if (t < last_time_) {
+    throw std::invalid_argument("ArEstimator: time went backwards");
+  }
+  const Duration dt = t - last_time_;
+  if (dt > 0.0) {
+    const geo::Vec2 velocity = (position - last_position_) / dt;
+    last_velocity_ = velocity;
+    vx_window_.push_back(velocity.x);
+    vy_window_.push_back(velocity.y);
+    while (vx_window_.size() > params_.window) {
+      vx_window_.pop_front();
+      vy_window_.pop_front();
+    }
+  }
+  last_time_ = t;
+  last_position_ = position;
+}
+
+double ArEstimator::forecast_axis(const std::deque<double>& window,
+                                  double steps) const {
+  std::vector<double> series(window.begin(), window.end());
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+
+  const std::vector<double> r = autocovariance(series, params_.order);
+  const std::vector<double> coeffs = levinson_durbin(r);
+  if (coeffs.empty()) return mean;  // constant series: forecast its mean
+
+  // Recursive multi-step forecast on the mean-removed series.
+  std::vector<double> history;
+  history.reserve(series.size());
+  for (double x : series) history.push_back(x - mean);
+  const auto horizon = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(steps)));
+  double accumulated = 0.0;
+  for (std::size_t step = 0; step < horizon; ++step) {
+    double prediction = 0.0;
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      const std::size_t idx = history.size() - 1 - k;
+      prediction += coeffs[k] * history[idx];
+    }
+    history.push_back(prediction);
+    accumulated += prediction + mean;
+  }
+  // Mean predicted velocity over the gap.
+  return accumulated / static_cast<double>(horizon);
+}
+
+geo::Vec2 ArEstimator::estimate(SimTime t) const {
+  if (!has_fix_) return {};
+  const Duration gap = t - last_time_;
+  if (gap <= 0.0) return last_position_;
+  if (!model_ready()) {
+    // Not enough data: dead-reckon (the paper's criticism of ARIMA).
+    return last_position_ + last_velocity_ * gap;
+  }
+  const double steps = gap / params_.nominal_period;
+  const geo::Vec2 mean_velocity{forecast_axis(vx_window_, steps),
+                                forecast_axis(vy_window_, steps)};
+  return last_position_ + mean_velocity * gap;
+}
+
+void ArEstimator::reset() {
+  vx_window_.clear();
+  vy_window_.clear();
+  has_fix_ = false;
+  last_time_ = 0.0;
+  last_position_ = {};
+  last_velocity_ = {};
+}
+
+}  // namespace mgrid::estimation

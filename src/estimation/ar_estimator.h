@@ -1,0 +1,78 @@
+// AR(p) location estimator — the "ARIMA" comparator the paper mentions but
+// rejects for its data appetite and parameter-update cost (§3.3).
+//
+// Fits an autoregressive model of order p to the recent per-axis velocity
+// series with the Yule-Walker equations solved by Levinson-Durbin, then
+// forecasts velocity recursively and integrates. Falls back to dead
+// reckoning until the window holds enough samples — which is exactly the
+// weakness the paper calls out.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "estimation/estimator.h"
+
+namespace mgrid::estimation {
+
+struct ArParams {
+  /// Model order (>= 1).
+  std::size_t order = 4;
+  /// Sliding window length (> order + 1).
+  std::size_t window = 64;
+  /// Nominal observation period, seconds (> 0).
+  Duration nominal_period = 1.0;
+};
+
+/// Solves the Yule-Walker system for AR coefficients from autocovariances
+/// r[0..p] via Levinson-Durbin. Returns p coefficients (empty when r[0] is
+/// not positive). Exposed for direct testing.
+[[nodiscard]] std::vector<double> levinson_durbin(
+    const std::vector<double>& autocovariance);
+
+/// Sample autocovariance of `series` at lags 0..max_lag (biased estimator,
+/// mean removed). Exposed for direct testing.
+[[nodiscard]] std::vector<double> autocovariance(
+    const std::vector<double>& series, std::size_t max_lag);
+
+class ArEstimator final : public LocationEstimator {
+ public:
+  explicit ArEstimator(ArParams params = {});
+
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ar";
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+    return std::make_unique<ArEstimator>(*this);
+  }
+
+  /// Number of velocity samples currently in the window.
+  [[nodiscard]] std::size_t window_fill() const noexcept {
+    return vx_window_.size();
+  }
+  /// True once the estimator has enough data to fit the AR model.
+  [[nodiscard]] bool model_ready() const noexcept {
+    return vx_window_.size() >= params_.order + 2;
+  }
+
+ private:
+  /// One-axis forecast: fit AR(p) on `window`, recursively predict `steps`
+  /// values ahead, return the *average* predicted value over the gap (the
+  /// projected displacement uses mean velocity x gap).
+  [[nodiscard]] double forecast_axis(const std::deque<double>& window,
+                                     double steps) const;
+
+  ArParams params_;
+  std::deque<double> vx_window_;
+  std::deque<double> vy_window_;
+  bool has_fix_ = false;
+  SimTime last_time_ = 0.0;
+  geo::Vec2 last_position_{};
+  geo::Vec2 last_velocity_{};
+};
+
+}  // namespace mgrid::estimation

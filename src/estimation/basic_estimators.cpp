@@ -1,0 +1,42 @@
+#include "estimation/basic_estimators.h"
+
+namespace mgrid::estimation {
+
+void LastKnownEstimator::observe(SimTime /*t*/, geo::Vec2 position,
+                                 std::optional<geo::Vec2> /*velocity_hint*/) {
+  last_position_ = position;
+}
+
+geo::Vec2 LastKnownEstimator::estimate(SimTime /*t*/) const {
+  return last_position_;
+}
+
+void LastKnownEstimator::reset() { last_position_ = {}; }
+
+void DeadReckoningEstimator::observe(SimTime t, geo::Vec2 position,
+                                     std::optional<geo::Vec2> velocity_hint) {
+  if (velocity_hint) {
+    last_velocity_ = *velocity_hint;
+  } else if (has_fix_ && t > last_time_) {
+    last_velocity_ = (position - last_position_) / (t - last_time_);
+  }
+  last_position_ = position;
+  last_time_ = t;
+  has_fix_ = true;
+}
+
+geo::Vec2 DeadReckoningEstimator::estimate(SimTime t) const {
+  if (!has_fix_) return {};
+  const Duration gap = t - last_time_;
+  if (gap <= 0.0) return last_position_;
+  return last_position_ + last_velocity_ * gap;
+}
+
+void DeadReckoningEstimator::reset() {
+  has_fix_ = false;
+  last_time_ = 0.0;
+  last_position_ = {};
+  last_velocity_ = {};
+}
+
+}  // namespace mgrid::estimation

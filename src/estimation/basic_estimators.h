@@ -1,0 +1,50 @@
+// Baseline estimators: last-known position and dead reckoning.
+//
+//  * LastKnownEstimator — the broker without any LE (the paper's "RMSE
+//    without LE" lines): the estimate is simply the last received fix.
+//  * DeadReckoningEstimator — projects the last fix forward with the last
+//    reported (or derived) velocity; no smoothing.
+#pragma once
+
+#include "estimation/estimator.h"
+
+namespace mgrid::estimation {
+
+class LastKnownEstimator final : public LocationEstimator {
+ public:
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "last_known";
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+    return std::make_unique<LastKnownEstimator>(*this);
+  }
+
+ private:
+  geo::Vec2 last_position_{};
+};
+
+class DeadReckoningEstimator final : public LocationEstimator {
+ public:
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dead_reckoning";
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+    return std::make_unique<DeadReckoningEstimator>(*this);
+  }
+
+ private:
+  bool has_fix_ = false;
+  SimTime last_time_ = 0.0;
+  geo::Vec2 last_position_{};
+  geo::Vec2 last_velocity_{};
+};
+
+}  // namespace mgrid::estimation

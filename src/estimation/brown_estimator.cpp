@@ -1,0 +1,192 @@
+#include "estimation/brown_estimator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mgrid::estimation {
+
+namespace {
+void validate(const BrownParams& params) {
+  if (!(params.alpha > 0.0) || !(params.alpha < 1.0)) {
+    throw std::invalid_argument("BrownParams: alpha must be in (0, 1)");
+  }
+  if (!(params.nominal_period > 0.0)) {
+    throw std::invalid_argument("BrownParams: nominal_period must be > 0");
+  }
+  if (params.min_heading_displacement < 0.0) {
+    throw std::invalid_argument(
+        "BrownParams: min_heading_displacement must be >= 0");
+  }
+}
+}  // namespace
+
+BrownPolarEstimator::BrownPolarEstimator(BrownParams params)
+    : params_(params), speed_(params.alpha), heading_(params.alpha) {
+  validate(params);
+}
+
+void BrownPolarEstimator::observe(SimTime t, geo::Vec2 position,
+                                  std::optional<geo::Vec2> velocity_hint) {
+  if (!has_fix_) {
+    has_fix_ = true;
+    last_time_ = t;
+    last_position_ = position;
+    // Seed the smoothers from the reported velocity when available, so the
+    // very first filtered gap already has a usable forecast.
+    if (velocity_hint) {
+      const double v = velocity_hint->norm();
+      speed_.add(v);
+      if (v > 0.0) {
+        last_unwrapped_heading_ = velocity_hint->heading();
+        heading_.add(last_unwrapped_heading_);
+      }
+    }
+    return;
+  }
+  if (t < last_time_) {
+    throw std::invalid_argument("BrownPolarEstimator: time went backwards");
+  }
+  const Duration dt = t - last_time_;
+  if (dt > 0.0) {
+    const geo::Vec2 displacement = position - last_position_;
+    const double dist = displacement.norm();
+    speed_.add(dist / dt);
+    if (dist >= params_.min_heading_displacement) {
+      // Unwrap toward the previous heading so the smoother works on a
+      // continuous series.
+      last_unwrapped_heading_ =
+          geo::unwrap_toward(displacement.heading(), last_unwrapped_heading_);
+      heading_.add(last_unwrapped_heading_);
+    }
+  }
+  last_time_ = t;
+  last_position_ = position;
+}
+
+double BrownPolarEstimator::speed_forecast(double m) const noexcept {
+  if (!speed_.ready()) return 0.0;
+  return std::max(0.0, speed_.forecast(m));
+}
+
+double BrownPolarEstimator::heading_forecast(double m) const noexcept {
+  if (!heading_.ready()) return last_unwrapped_heading_;
+  return heading_.forecast(m);
+}
+
+geo::Vec2 BrownPolarEstimator::estimate(SimTime t) const {
+  if (!has_fix_) return {};
+  const Duration gap = t - last_time_;
+  if (gap <= 0.0) return last_position_;
+  const double steps = gap / params_.nominal_period;
+  const double v = speed_forecast(steps);
+  const double theta = heading_forecast(steps);
+  // The paper's projection: next = last + v * dt * (cos, sin).
+  return last_position_ + geo::from_polar(theta, v * gap);
+}
+
+void BrownPolarEstimator::reset() {
+  speed_.reset();
+  heading_.reset();
+  has_fix_ = false;
+  last_time_ = 0.0;
+  last_position_ = {};
+  last_unwrapped_heading_ = 0.0;
+}
+
+BrownCartesianEstimator::BrownCartesianEstimator(BrownParams params)
+    : params_(params), vx_(params.alpha), vy_(params.alpha) {
+  validate(params);
+}
+
+void BrownCartesianEstimator::observe(SimTime t, geo::Vec2 position,
+                                      std::optional<geo::Vec2> velocity_hint) {
+  if (!has_fix_) {
+    has_fix_ = true;
+    last_time_ = t;
+    last_position_ = position;
+    if (velocity_hint) {
+      vx_.add(velocity_hint->x);
+      vy_.add(velocity_hint->y);
+    }
+    return;
+  }
+  if (t < last_time_) {
+    throw std::invalid_argument(
+        "BrownCartesianEstimator: time went backwards");
+  }
+  const Duration dt = t - last_time_;
+  if (dt > 0.0) {
+    const geo::Vec2 velocity = (position - last_position_) / dt;
+    vx_.add(velocity.x);
+    vy_.add(velocity.y);
+  }
+  last_time_ = t;
+  last_position_ = position;
+}
+
+geo::Vec2 BrownCartesianEstimator::estimate(SimTime t) const {
+  if (!has_fix_) return {};
+  const Duration gap = t - last_time_;
+  if (gap <= 0.0) return last_position_;
+  if (!vx_.ready()) return last_position_;
+  const double steps = gap / params_.nominal_period;
+  return last_position_ +
+         geo::Vec2{vx_.forecast(steps), vy_.forecast(steps)} * gap;
+}
+
+void BrownCartesianEstimator::reset() {
+  vx_.reset();
+  vy_.reset();
+  has_fix_ = false;
+  last_time_ = 0.0;
+  last_position_ = {};
+}
+
+SesEstimator::SesEstimator(double alpha, Duration nominal_period)
+    : nominal_period_(nominal_period), vx_(alpha), vy_(alpha) {
+  if (!(nominal_period > 0.0)) {
+    throw std::invalid_argument("SesEstimator: nominal_period must be > 0");
+  }
+}
+
+void SesEstimator::observe(SimTime t, geo::Vec2 position,
+                           std::optional<geo::Vec2> velocity_hint) {
+  if (!has_fix_) {
+    has_fix_ = true;
+    last_time_ = t;
+    last_position_ = position;
+    if (velocity_hint) {
+      vx_.add(velocity_hint->x);
+      vy_.add(velocity_hint->y);
+    }
+    return;
+  }
+  if (t < last_time_) {
+    throw std::invalid_argument("SesEstimator: time went backwards");
+  }
+  const Duration dt = t - last_time_;
+  if (dt > 0.0) {
+    const geo::Vec2 velocity = (position - last_position_) / dt;
+    vx_.add(velocity.x);
+    vy_.add(velocity.y);
+  }
+  last_time_ = t;
+  last_position_ = position;
+}
+
+geo::Vec2 SesEstimator::estimate(SimTime t) const {
+  if (!has_fix_) return {};
+  const Duration gap = t - last_time_;
+  if (gap <= 0.0 || !vx_.ready()) return last_position_;
+  return last_position_ + geo::Vec2{vx_.level(), vy_.level()} * gap;
+}
+
+void SesEstimator::reset() {
+  vx_.reset();
+  vy_.reset();
+  has_fix_ = false;
+  last_time_ = 0.0;
+  last_position_ = {};
+}
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,109 @@
+// Brown double-exponential-smoothing location estimators (paper §3.3).
+//
+// The paper smooths the MN's velocity and direction with Brown's DES and
+// projects the next coordinates with the trigonometric identity
+//   x' = x + v * dt * cos(theta),  y' = y + v * dt * sin(theta).
+// BrownPolarEstimator implements exactly that (with heading unwrapping so
+// the smoother never sees a +pi -> -pi discontinuity). BrownCartesianEstimator
+// smooths the velocity components instead — an ablation variant that avoids
+// the polar singularity at v = 0.
+#pragma once
+
+#include "estimation/estimator.h"
+#include "estimation/smoothing.h"
+
+namespace mgrid::estimation {
+
+struct BrownParams {
+  /// Smoothing coefficient in (0, 1).
+  double alpha = 0.4;
+  /// Nominal observation period in seconds: DES forecasts in "steps", this
+  /// converts a time gap into a step count. Must be > 0.
+  Duration nominal_period = 1.0;
+  /// Displacements shorter than this (m) do not update the heading (the
+  /// direction of a sub-centimetre wiggle is noise).
+  double min_heading_displacement = 1e-3;
+};
+
+class BrownPolarEstimator final : public LocationEstimator {
+ public:
+  explicit BrownPolarEstimator(BrownParams params = {});
+
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "brown_polar";
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+    return std::make_unique<BrownPolarEstimator>(*this);
+  }
+
+  /// Smoothed speed forecast m steps ahead, clamped at >= 0.
+  [[nodiscard]] double speed_forecast(double m) const noexcept;
+  /// Smoothed (unwrapped) heading forecast m steps ahead.
+  [[nodiscard]] double heading_forecast(double m) const noexcept;
+
+ private:
+  BrownParams params_;
+  BrownDoubleSmoother speed_;
+  BrownDoubleSmoother heading_;
+  bool has_fix_ = false;
+  SimTime last_time_ = 0.0;
+  geo::Vec2 last_position_{};
+  double last_unwrapped_heading_ = 0.0;
+};
+
+class BrownCartesianEstimator final : public LocationEstimator {
+ public:
+  explicit BrownCartesianEstimator(BrownParams params = {});
+
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "brown_cartesian";
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+    return std::make_unique<BrownCartesianEstimator>(*this);
+  }
+
+ private:
+  BrownParams params_;
+  BrownDoubleSmoother vx_;
+  BrownDoubleSmoother vy_;
+  bool has_fix_ = false;
+  SimTime last_time_ = 0.0;
+  geo::Vec2 last_position_{};
+};
+
+/// Single-exponential-smoothing variant (flat velocity forecast) — the
+/// estimator shoot-out baseline showing why the paper picked *double*
+/// smoothing.
+class SesEstimator final : public LocationEstimator {
+ public:
+  explicit SesEstimator(double alpha = 0.4, Duration nominal_period = 1.0);
+
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ses";
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+    return std::make_unique<SesEstimator>(*this);
+  }
+
+ private:
+  Duration nominal_period_;
+  SingleExponentialSmoother vx_;
+  SingleExponentialSmoother vy_;
+  bool has_fix_ = false;
+  SimTime last_time_ = 0.0;
+  geo::Vec2 last_position_{};
+};
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,48 @@
+// Location estimator interface (paper §3.3).
+//
+// The grid broker holds one estimator per MN. Every *received* LU is fed via
+// observe(); when an LU was filtered, the broker asks estimate(t) for the
+// node's most likely position. Estimators must tolerate irregular
+// observation intervals — that is precisely what filtering produces.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/vec2.h"
+#include "util/types.h"
+
+namespace mgrid::estimation {
+
+class LocationEstimator {
+ public:
+  virtual ~LocationEstimator() = default;
+
+  /// Feeds a received location update. `velocity_hint` is the velocity the
+  /// MN reported in the LU (estimators may use or ignore it). Observations
+  /// must not go backwards in time; equal times replace the last fix.
+  virtual void observe(SimTime t, geo::Vec2 position,
+                       std::optional<geo::Vec2> velocity_hint = {}) = 0;
+
+  /// Best position estimate at time t (>= time of last observation). Before
+  /// any observation the estimate is the origin — the broker never queries
+  /// an estimator it has not fed.
+  [[nodiscard]] virtual geo::Vec2 estimate(SimTime t) const = 0;
+
+  /// Forgets all state.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<LocationEstimator> clone() const = 0;
+};
+
+/// Factory: "last_known" | "dead_reckoning" | "brown_polar" |
+/// "brown_cartesian" | "ses" | "ar". Throws std::invalid_argument for an
+/// unknown name.
+[[nodiscard]] std::unique_ptr<LocationEstimator> make_estimator(
+    std::string_view name);
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,26 @@
+#include <stdexcept>
+#include <string>
+
+#include "estimation/ar_estimator.h"
+#include "estimation/basic_estimators.h"
+#include "estimation/brown_estimator.h"
+#include "estimation/estimator.h"
+
+namespace mgrid::estimation {
+
+std::unique_ptr<LocationEstimator> make_estimator(std::string_view name) {
+  if (name == "last_known") return std::make_unique<LastKnownEstimator>();
+  if (name == "dead_reckoning") {
+    return std::make_unique<DeadReckoningEstimator>();
+  }
+  if (name == "brown_polar") return std::make_unique<BrownPolarEstimator>();
+  if (name == "brown_cartesian") {
+    return std::make_unique<BrownCartesianEstimator>();
+  }
+  if (name == "ses") return std::make_unique<SesEstimator>();
+  if (name == "ar") return std::make_unique<ArEstimator>();
+  throw std::invalid_argument("make_estimator: unknown estimator '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace mgrid::estimation

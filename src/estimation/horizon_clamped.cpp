@@ -1,0 +1,47 @@
+#include "estimation/horizon_clamped.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mgrid::estimation {
+
+HorizonClampedEstimator::HorizonClampedEstimator(
+    std::unique_ptr<LocationEstimator> inner, Duration horizon)
+    : inner_(std::move(inner)), horizon_(horizon) {
+  if (!inner_) {
+    throw std::invalid_argument("HorizonClampedEstimator: null inner");
+  }
+  if (!(horizon > 0.0)) {
+    throw std::invalid_argument(
+        "HorizonClampedEstimator: horizon must be > 0");
+  }
+  name_ = "horizon(" + std::string(inner_->name()) + ")";
+}
+
+void HorizonClampedEstimator::observe(SimTime t, geo::Vec2 position,
+                                      std::optional<geo::Vec2> velocity_hint) {
+  inner_->observe(t, position, velocity_hint);
+  has_fix_ = true;
+  last_time_ = t;
+}
+
+geo::Vec2 HorizonClampedEstimator::estimate(SimTime t) const {
+  if (!has_fix_) return inner_->estimate(t);
+  return inner_->estimate(std::min(t, last_time_ + horizon_));
+}
+
+void HorizonClampedEstimator::reset() {
+  inner_->reset();
+  has_fix_ = false;
+  last_time_ = 0.0;
+}
+
+std::unique_ptr<LocationEstimator> HorizonClampedEstimator::clone() const {
+  auto copy = std::make_unique<HorizonClampedEstimator>(inner_->clone(),
+                                                        horizon_);
+  copy->has_fix_ = has_fix_;
+  copy->last_time_ = last_time_;
+  return copy;
+}
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,46 @@
+// Forecast-horizon clamping (extension).
+//
+// Linear forecasts are only trustworthy for a few steps: across a long
+// outage (a bursty channel's deep fade, paper §1 "frequent
+// disconnectivity") an extrapolation keeps marching while the real node has
+// long turned, stopped or bounced off a wall — and ends up *worse* than the
+// stale fix it replaced. Production trackers therefore clamp the forecast
+// horizon. This decorator forwards estimates for gaps up to `horizon`
+// seconds and freezes the forecast beyond that, giving short-gap gains
+// without long-gap blowups.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "estimation/estimator.h"
+
+namespace mgrid::estimation {
+
+class HorizonClampedEstimator final : public LocationEstimator {
+ public:
+  /// `horizon` seconds (> 0): estimates beyond last-observation + horizon
+  /// are evaluated at the horizon.
+  HorizonClampedEstimator(std::unique_ptr<LocationEstimator> inner,
+                          Duration horizon);
+
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override;
+
+  [[nodiscard]] Duration horizon() const noexcept { return horizon_; }
+
+ private:
+  std::unique_ptr<LocationEstimator> inner_;
+  Duration horizon_;
+  std::string name_;
+  bool has_fix_ = false;
+  SimTime last_time_ = 0.0;
+};
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,67 @@
+#include "estimation/map_matched.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mgrid::estimation {
+
+MapMatchedEstimator::MapMatchedEstimator(
+    std::unique_ptr<LocationEstimator> inner, const geo::CampusMap& campus,
+    MapMatchParams params)
+    : inner_(std::move(inner)), campus_(campus), params_(params) {
+  if (!inner_) {
+    throw std::invalid_argument("MapMatchedEstimator: null inner estimator");
+  }
+  if (!(params.snap_radius > 0.0)) {
+    throw std::invalid_argument(
+        "MapMatchedEstimator: snap_radius must be > 0");
+  }
+  name_ = "map_matched(" + std::string(inner_->name()) + ")";
+}
+
+void MapMatchedEstimator::observe(SimTime t, geo::Vec2 position,
+                                  std::optional<geo::Vec2> velocity_hint) {
+  const std::optional<RegionId> region = campus_.locate(position);
+  last_fix_on_road_ = region && campus_.region(*region).is_road();
+  inner_->observe(t, position, velocity_hint);
+}
+
+std::optional<geo::Vec2> MapMatchedEstimator::nearest_road_point(
+    geo::Vec2 p) const {
+  std::optional<geo::Vec2> best;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const geo::Region& region : campus_.regions()) {
+    const geo::Polyline* line = region.centreline();
+    if (line == nullptr) continue;
+    const geo::Vec2 candidate = line->closest_point(p);
+    const double d = geo::distance(candidate, p);
+    if (d < best_d) {
+      best_d = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+geo::Vec2 MapMatchedEstimator::estimate(SimTime t) const {
+  const geo::Vec2 raw = inner_->estimate(t);
+  if (!last_fix_on_road_) return raw;
+  const std::optional<geo::Vec2> snapped = nearest_road_point(raw);
+  if (!snapped) return raw;
+  if (geo::distance(*snapped, raw) > params_.snap_radius) return raw;
+  return *snapped;
+}
+
+void MapMatchedEstimator::reset() {
+  inner_->reset();
+  last_fix_on_road_ = false;
+}
+
+std::unique_ptr<LocationEstimator> MapMatchedEstimator::clone() const {
+  auto copy = std::make_unique<MapMatchedEstimator>(inner_->clone(), campus_,
+                                                    params_);
+  copy->last_fix_on_road_ = last_fix_on_road_;
+  return copy;
+}
+
+}  // namespace mgrid::estimation

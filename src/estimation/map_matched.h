@@ -1,0 +1,57 @@
+// Map-matched location estimation (extension beyond the paper).
+//
+// Brown's DES — like any linear extrapolator — overshoots a vehicle that
+// turns at an intersection: the forecast sails off the road. A mobile grid
+// broker knows the campus map, so it can snap forecasts for road-bound
+// nodes back onto the road network. This decorator wraps any inner
+// LocationEstimator and projects its estimate onto the nearest road
+// centreline when (a) the node's last received fix was on a road and
+// (b) the projection is within `snap_radius` of the raw estimate.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "estimation/estimator.h"
+#include "geo/campus.h"
+
+namespace mgrid::estimation {
+
+struct MapMatchParams {
+  /// Raw estimates farther than this from every road are left unsnapped
+  /// (the node probably walked into a building). Must be > 0.
+  double snap_radius = 50.0;
+};
+
+class MapMatchedEstimator final : public LocationEstimator {
+ public:
+  /// `campus` must outlive the estimator (and all its clones).
+  MapMatchedEstimator(std::unique_ptr<LocationEstimator> inner,
+                      const geo::CampusMap& campus, MapMatchParams params = {});
+
+  void observe(SimTime t, geo::Vec2 position,
+               std::optional<geo::Vec2> velocity_hint = {}) override;
+  [[nodiscard]] geo::Vec2 estimate(SimTime t) const override;
+  void reset() override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override;
+
+  /// Whether the last observation put the node on a road (and estimates are
+  /// therefore being snapped).
+  [[nodiscard]] bool snapping() const noexcept { return last_fix_on_road_; }
+
+ private:
+  /// Closest point on any road centreline; nullopt when the campus has no
+  /// roads.
+  [[nodiscard]] std::optional<geo::Vec2> nearest_road_point(geo::Vec2 p) const;
+
+  std::unique_ptr<LocationEstimator> inner_;
+  const geo::CampusMap& campus_;
+  MapMatchParams params_;
+  std::string name_;
+  bool last_fix_on_road_ = false;
+};
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,65 @@
+#include "estimation/smoothing.h"
+
+#include <stdexcept>
+
+namespace mgrid::estimation {
+
+SingleExponentialSmoother::SingleExponentialSmoother(double alpha)
+    : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument(
+        "SingleExponentialSmoother: alpha must be in (0, 1]");
+  }
+}
+
+void SingleExponentialSmoother::add(double x) noexcept {
+  if (count_ == 0) {
+    s_ = x;
+  } else {
+    s_ = alpha_ * x + (1.0 - alpha_) * s_;
+  }
+  ++count_;
+}
+
+void SingleExponentialSmoother::reset() noexcept {
+  s_ = 0.0;
+  count_ = 0;
+}
+
+BrownDoubleSmoother::BrownDoubleSmoother(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument(
+        "BrownDoubleSmoother: alpha must be in (0, 1)");
+  }
+}
+
+void BrownDoubleSmoother::add(double x) noexcept {
+  if (count_ == 0) {
+    // Standard initialisation: both smoothed series start at the first
+    // observation, giving zero initial trend.
+    s1_ = x;
+    s2_ = x;
+  } else {
+    s1_ = alpha_ * x + (1.0 - alpha_) * s1_;
+    s2_ = alpha_ * s1_ + (1.0 - alpha_) * s2_;
+  }
+  ++count_;
+}
+
+void BrownDoubleSmoother::reset() noexcept {
+  s1_ = 0.0;
+  s2_ = 0.0;
+  count_ = 0;
+}
+
+double BrownDoubleSmoother::level() const noexcept { return 2.0 * s1_ - s2_; }
+
+double BrownDoubleSmoother::trend() const noexcept {
+  return alpha_ / (1.0 - alpha_) * (s1_ - s2_);
+}
+
+double BrownDoubleSmoother::forecast(double m) const noexcept {
+  return level() + trend() * m;
+}
+
+}  // namespace mgrid::estimation

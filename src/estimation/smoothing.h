@@ -1,0 +1,61 @@
+// Scalar exponential smoothing primitives.
+//
+//  * SingleExponentialSmoother — level only (flat forecast).
+//  * BrownDoubleSmoother — Brown's linear (double) exponential smoothing
+//    (McClave/Benson/Sincich): S'_t = a x_t + (1-a) S'_{t-1},
+//    S''_t = a S'_t + (1-a) S''_{t-1}; level = 2S' - S'',
+//    trend = a/(1-a) (S' - S''), forecast(m) = level + trend * m.
+#pragma once
+
+#include <cstddef>
+
+namespace mgrid::estimation {
+
+class SingleExponentialSmoother {
+ public:
+  /// alpha in (0, 1].
+  explicit SingleExponentialSmoother(double alpha);
+
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] bool ready() const noexcept { return count_ > 0; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Smoothed level (0 before the first sample).
+  [[nodiscard]] double level() const noexcept { return s_; }
+  /// SES forecasts are flat: forecast(m) == level() for all m.
+  [[nodiscard]] double forecast(double /*m*/) const noexcept { return s_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double s_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+class BrownDoubleSmoother {
+ public:
+  /// alpha in (0, 1) — the trend term divides by (1 - alpha).
+  explicit BrownDoubleSmoother(double alpha);
+
+  void add(double x) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] bool ready() const noexcept { return count_ > 0; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Current level estimate a_t = 2 S' - S''.
+  [[nodiscard]] double level() const noexcept;
+  /// Current per-step trend b_t = alpha / (1 - alpha) * (S' - S'').
+  [[nodiscard]] double trend() const noexcept;
+  /// m-step-ahead forecast: level + trend * m.
+  [[nodiscard]] double forecast(double m) const noexcept;
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mgrid::estimation

@@ -1,0 +1,105 @@
+#include "geo/ascii_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::geo {
+
+AsciiMapRenderer::AsciiMapRenderer(const CampusMap& campus,
+                                   std::size_t columns)
+    : campus_(campus), columns_(columns), bounds_(campus.bounds()) {
+  if (columns < 20) {
+    throw std::invalid_argument("AsciiMapRenderer: columns must be >= 20");
+  }
+  const double width = std::max(bounds_.width(), 1.0);
+  const double height = std::max(bounds_.height(), 1.0);
+  // Terminal cells are roughly twice as tall as wide.
+  rows_ = std::max<std::size_t>(
+      8, static_cast<std::size_t>(
+             std::lround(static_cast<double>(columns) * height / width / 2.0)));
+  scale_x_ = (static_cast<double>(columns_) - 1.0) / width;
+  scale_y_ = (static_cast<double>(rows_) - 1.0) / height;
+}
+
+AsciiMapRenderer::Cell AsciiMapRenderer::to_cell(Vec2 p) const noexcept {
+  const double fx = (p.x - bounds_.min().x) * scale_x_;
+  // Screen rows grow downward; campus y grows upward.
+  const double fy =
+      (static_cast<double>(rows_) - 1.0) - (p.y - bounds_.min().y) * scale_y_;
+  Cell cell{};
+  cell.on_canvas = fx >= -0.5 && fy >= -0.5 &&
+                   fx < static_cast<double>(columns_) - 0.5 &&
+                   fy < static_cast<double>(rows_) - 0.5;
+  cell.col = static_cast<std::size_t>(std::clamp(
+      std::lround(fx), 0L, static_cast<long>(columns_) - 1));
+  cell.row = static_cast<std::size_t>(std::clamp(
+      std::lround(fy), 0L, static_cast<long>(rows_) - 1));
+  return cell;
+}
+
+std::string AsciiMapRenderer::render(
+    const std::vector<MapMarker>& markers) const {
+  std::vector<std::string> canvas(rows_, std::string(columns_, ' '));
+  auto put = [&](Vec2 p, char glyph) {
+    const Cell cell = to_cell(p);
+    if (cell.on_canvas) canvas[cell.row][cell.col] = glyph;
+  };
+
+  // Roads: sample each centreline densely.
+  for (const Region& region : campus_.regions()) {
+    const Polyline* line = region.centreline();
+    if (line == nullptr) continue;
+    const double step =
+        std::max(1.0, 0.5 / std::max(scale_x_, scale_y_));
+    for (double s = 0.0; s <= line->length(); s += step) {
+      put(line->point_at_length(s), '.');
+    }
+    put(line->points().back(), '.');
+  }
+
+  // Buildings: rectangle outlines plus a name label inside.
+  for (const Region& region : campus_.regions()) {
+    const Rect* rect = region.rect();
+    if (rect == nullptr) continue;
+    const char glyph = region.kind() == RegionKind::kGate ? 'G' : '#';
+    const Cell lo = to_cell({rect->min().x, rect->min().y});
+    const Cell hi = to_cell({rect->max().x, rect->max().y});
+    const std::size_t row_top = std::min(lo.row, hi.row);
+    const std::size_t row_bottom = std::max(lo.row, hi.row);
+    for (std::size_t col = hi.col >= lo.col ? lo.col : hi.col;
+         col <= std::max(lo.col, hi.col); ++col) {
+      canvas[row_top][col] = glyph;
+      canvas[row_bottom][col] = glyph;
+    }
+    for (std::size_t row = row_top; row <= row_bottom; ++row) {
+      canvas[row][lo.col] = glyph;
+      canvas[row][hi.col] = glyph;
+    }
+    if (region.kind() == RegionKind::kBuilding) {
+      const Cell centre = to_cell(rect->center());
+      const std::string& name = region.name();
+      std::size_t col = centre.col >= name.size() / 2
+                            ? centre.col - name.size() / 2
+                            : 0;
+      for (char c : name) {
+        if (col >= columns_) break;
+        canvas[centre.row][col++] = c;
+      }
+    }
+  }
+
+  for (const MapMarker& marker : markers) {
+    put(marker.position, marker.glyph);
+  }
+
+  std::string out;
+  out.reserve(rows_ * (columns_ + 1));
+  for (const std::string& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mgrid::geo

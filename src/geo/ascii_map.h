@@ -1,0 +1,51 @@
+// ASCII rendering of a campus and node positions.
+//
+// Terminal-friendly situational display used by the examples: roads are
+// drawn as '.', buildings as '#' outlines with their name, gates as 'G',
+// and caller-supplied markers (node positions, estimates) on top. Purely a
+// presentation aid — no simulation logic depends on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/campus.h"
+
+namespace mgrid::geo {
+
+struct MapMarker {
+  Vec2 position;
+  char glyph = 'o';
+};
+
+class AsciiMapRenderer {
+ public:
+  /// `columns` character cells across (>= 20); rows follow from the campus
+  /// aspect ratio (terminal cells are ~2x taller than wide, compensated).
+  explicit AsciiMapRenderer(const CampusMap& campus, std::size_t columns = 96);
+
+  /// Renders the base map plus markers (later markers overwrite earlier
+  /// ones on collision).
+  [[nodiscard]] std::string render(
+      const std::vector<MapMarker>& markers = {}) const;
+
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  struct Cell {
+    std::size_t col;
+    std::size_t row;
+    bool on_canvas;
+  };
+  [[nodiscard]] Cell to_cell(Vec2 p) const noexcept;
+
+  const CampusMap& campus_;
+  std::size_t columns_;
+  std::size_t rows_;
+  Rect bounds_;
+  double scale_x_;
+  double scale_y_;
+};
+
+}  // namespace mgrid::geo

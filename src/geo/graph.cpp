@@ -1,0 +1,138 @@
+#include "geo/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace mgrid::geo {
+
+NodeIndex WaypointGraph::add_node(GraphNode node) {
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+void WaypointGraph::add_edge(NodeIndex a, NodeIndex b) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("WaypointGraph::add_edge: bad node index");
+  }
+  if (a == b) {
+    throw std::invalid_argument("WaypointGraph::add_edge: self-loop");
+  }
+  const double w = distance(nodes_[a].position, nodes_[b].position);
+  adjacency_[a].emplace_back(b, w);
+  adjacency_[b].emplace_back(a, w);
+  ++edge_count_;
+}
+
+NodeIndex WaypointGraph::nearest_node(Vec2 p) const {
+  NodeIndex best = kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    const double d2 = distance_squared(nodes_[i].position, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+NodeIndex WaypointGraph::nearest_node_of_kind(Vec2 p, NodeKind kind) const {
+  NodeIndex best = kInvalidNode;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind != kind) continue;
+    const double d2 = distance_squared(nodes_[i].position, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+NodeIndex WaypointGraph::find_by_name(std::string_view name) const noexcept {
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeIndex> WaypointGraph::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeIndex> out;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+WaypointGraph::DijkstraResult WaypointGraph::run_dijkstra(
+    NodeIndex from) const {
+  if (from >= nodes_.size()) {
+    throw std::out_of_range("WaypointGraph: bad source node");
+  }
+  DijkstraResult result;
+  result.dist.assign(nodes_.size(), std::numeric_limits<double>::infinity());
+  result.prev.assign(nodes_.size(), kInvalidNode);
+  using Entry = std::pair<double, NodeIndex>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  result.dist[from] = 0.0;
+  queue.emplace(0.0, from);
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > result.dist[u]) continue;  // stale entry
+    for (auto [v, w] : adjacency_[u]) {
+      const double candidate = d + w;
+      if (candidate < result.dist[v]) {
+        result.dist[v] = candidate;
+        result.prev[v] = u;
+        queue.emplace(candidate, v);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<NodeIndex> WaypointGraph::shortest_path(NodeIndex from,
+                                                    NodeIndex to) const {
+  if (to >= nodes_.size()) {
+    throw std::out_of_range("WaypointGraph: bad target node");
+  }
+  if (from == to) return {from};
+  const DijkstraResult result = run_dijkstra(from);
+  if (result.prev[to] == kInvalidNode) return {};
+  std::vector<NodeIndex> path;
+  for (NodeIndex at = to; at != kInvalidNode; at = result.prev[at]) {
+    path.push_back(at);
+    if (at == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double WaypointGraph::shortest_distance(NodeIndex from, NodeIndex to) const {
+  if (to >= nodes_.size()) {
+    throw std::out_of_range("WaypointGraph: bad target node");
+  }
+  return run_dijkstra(from).dist[to];
+}
+
+std::vector<Vec2> WaypointGraph::path_points(
+    const std::vector<NodeIndex>& path) const {
+  std::vector<Vec2> out;
+  out.reserve(path.size());
+  for (NodeIndex i : path) out.push_back(node(i).position);
+  return out;
+}
+
+bool WaypointGraph::is_connected() const {
+  if (nodes_.empty()) return true;
+  const DijkstraResult result = run_dijkstra(0);
+  return std::all_of(result.dist.begin(), result.dist.end(), [](double d) {
+    return d < std::numeric_limits<double>::infinity();
+  });
+}
+
+}  // namespace mgrid::geo

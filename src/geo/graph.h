@@ -1,0 +1,95 @@
+// Waypoint routing graph.
+//
+// Linear Movement State nodes travel between campus destinations along the
+// road network; this graph gives them realistic paths (Dijkstra over road
+// waypoints, gates and building entrances) rather than straight-line
+// teleports through buildings.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/types.h"
+
+namespace mgrid::geo {
+
+enum class NodeKind {
+  kRoad,      ///< road waypoint / intersection — usable by vehicles
+  kGate,      ///< campus gate — usable by vehicles and pedestrians
+  kEntrance,  ///< building entrance — pedestrians only
+};
+
+using NodeIndex = std::uint32_t;
+inline constexpr NodeIndex kInvalidNode =
+    std::numeric_limits<NodeIndex>::max();
+
+struct GraphNode {
+  Vec2 position;
+  NodeKind kind = NodeKind::kRoad;
+  std::string name;
+  /// Region this node belongs to / leads into (e.g. the entrance's
+  /// building), if any.
+  RegionId region = RegionId::invalid();
+};
+
+class WaypointGraph {
+ public:
+  /// Adds a node, returns its index.
+  NodeIndex add_node(GraphNode node);
+  /// Adds an undirected edge with weight = Euclidean distance between the
+  /// endpoints. Throws std::out_of_range for bad indices,
+  /// std::invalid_argument for a self-loop.
+  void add_edge(NodeIndex a, NodeIndex b);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+  [[nodiscard]] const GraphNode& node(NodeIndex i) const {
+    return nodes_.at(i);
+  }
+  [[nodiscard]] const std::vector<std::pair<NodeIndex, double>>& neighbors(
+      NodeIndex i) const {
+    return adjacency_.at(i);
+  }
+
+  /// Node closest to `p`, optionally restricted by kind predicate.
+  [[nodiscard]] NodeIndex nearest_node(Vec2 p) const;
+  [[nodiscard]] NodeIndex nearest_node_of_kind(Vec2 p, NodeKind kind) const;
+  /// First node with the given name, or kInvalidNode.
+  [[nodiscard]] NodeIndex find_by_name(std::string_view name) const noexcept;
+
+  /// All node indices of a given kind.
+  [[nodiscard]] std::vector<NodeIndex> nodes_of_kind(NodeKind kind) const;
+
+  /// Dijkstra shortest path (inclusive of both endpoints). Empty when
+  /// unreachable; a single element when from == to.
+  [[nodiscard]] std::vector<NodeIndex> shortest_path(NodeIndex from,
+                                                     NodeIndex to) const;
+  /// Total length of the shortest path; +inf when unreachable.
+  [[nodiscard]] double shortest_distance(NodeIndex from, NodeIndex to) const;
+
+  /// Positions along a node path.
+  [[nodiscard]] std::vector<Vec2> path_points(
+      const std::vector<NodeIndex>& path) const;
+
+  /// True if every node can reach every other node.
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  struct DijkstraResult {
+    std::vector<double> dist;
+    std::vector<NodeIndex> prev;
+  };
+  [[nodiscard]] DijkstraResult run_dijkstra(NodeIndex from) const;
+
+  std::vector<GraphNode> nodes_;
+  std::vector<std::vector<std::pair<NodeIndex, double>>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace mgrid::geo

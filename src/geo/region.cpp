@@ -1,0 +1,83 @@
+#include "geo/region.h"
+
+#include <stdexcept>
+
+namespace mgrid::geo {
+
+std::string_view to_string(RegionKind kind) noexcept {
+  switch (kind) {
+    case RegionKind::kRoad:
+      return "road";
+    case RegionKind::kBuilding:
+      return "building";
+    case RegionKind::kGate:
+      return "gate";
+  }
+  return "unknown";
+}
+
+Region::Region(RegionId id, std::string name, RegionKind kind, Rect bounds)
+    : id_(id), name_(std::move(name)), kind_(kind), shape_(bounds) {
+  if (kind == RegionKind::kRoad) {
+    throw std::invalid_argument("Region: a road needs a centreline + width");
+  }
+}
+
+Region::Region(RegionId id, std::string name, RegionKind kind,
+               Polyline centreline, double width)
+    : id_(id),
+      name_(std::move(name)),
+      kind_(kind),
+      shape_(std::move(centreline)),
+      width_(width) {
+  if (kind != RegionKind::kRoad) {
+    throw std::invalid_argument(
+        "Region: only roads are polyline-shaped");
+  }
+  if (!(width > 0.0)) {
+    throw std::invalid_argument("Region: road width must be > 0");
+  }
+}
+
+bool Region::contains(Vec2 p) const noexcept {
+  if (const Rect* r = std::get_if<Rect>(&shape_)) return r->contains(p);
+  const Polyline& line = std::get<Polyline>(shape_);
+  return line.distance_to(p) <= width_ * 0.5;
+}
+
+double Region::distance_to(Vec2 p) const noexcept {
+  if (const Rect* r = std::get_if<Rect>(&shape_)) return r->distance_to(p);
+  const Polyline& line = std::get<Polyline>(shape_);
+  const double d = line.distance_to(p) - width_ * 0.5;
+  return d > 0.0 ? d : 0.0;
+}
+
+Vec2 Region::representative_point() const noexcept {
+  if (const Rect* r = std::get_if<Rect>(&shape_)) return r->center();
+  const Polyline& line = std::get<Polyline>(shape_);
+  return line.point_at_length(line.length() * 0.5);
+}
+
+Vec2 Region::sample(util::RngStream& rng) const {
+  if (const Rect* r = std::get_if<Rect>(&shape_)) return r->sample(rng);
+  const Polyline& line = std::get<Polyline>(shape_);
+  const Vec2 on_line = line.point_at_length(rng.uniform(0.0, line.length()));
+  // Lateral offset perpendicular-ish via a small random jitter box; precise
+  // perpendicularity is not needed for workload placement.
+  const double half = width_ * 0.5;
+  Vec2 jittered{on_line.x + rng.uniform(-half, half),
+                on_line.y + rng.uniform(-half, half)};
+  // Project back into the corridor if the jitter escaped near a bend.
+  if (line.distance_to(jittered) > half) {
+    jittered = line.closest_point(jittered);
+  }
+  return jittered;
+}
+
+const Rect* Region::rect() const noexcept { return std::get_if<Rect>(&shape_); }
+
+const Polyline* Region::centreline() const noexcept {
+  return std::get_if<Polyline>(&shape_);
+}
+
+}  // namespace mgrid::geo

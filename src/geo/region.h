@@ -1,0 +1,66 @@
+// Campus access regions.
+//
+// The paper's experiment site (Fig. 1) exposes 11 regions offering mobile
+// grid access: 5 roads and 6 buildings, plus two campus gates. A region is
+// either a rectangle (building, gate pad) or a widened polyline (road).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "geo/shapes.h"
+#include "util/types.h"
+
+namespace mgrid::geo {
+
+enum class RegionKind { kRoad, kBuilding, kGate };
+
+[[nodiscard]] std::string_view to_string(RegionKind kind) noexcept;
+
+class Region {
+ public:
+  /// Building or gate pad region.
+  Region(RegionId id, std::string name, RegionKind kind, Rect bounds);
+  /// Road region: centreline plus total width. Throws std::invalid_argument
+  /// unless width > 0 or if kind is not kRoad.
+  Region(RegionId id, std::string name, RegionKind kind, Polyline centreline,
+         double width);
+
+  [[nodiscard]] RegionId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] RegionKind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] bool is_road() const noexcept {
+    return kind_ == RegionKind::kRoad;
+  }
+  [[nodiscard]] bool is_building() const noexcept {
+    return kind_ == RegionKind::kBuilding;
+  }
+
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+  /// Distance from p to the region (0 inside).
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept;
+  /// A representative interior point (rect centre / polyline midpoint).
+  [[nodiscard]] Vec2 representative_point() const noexcept;
+  /// Uniform random interior point (rejection-free for rects; for roads,
+  /// a random arc length plus lateral offset).
+  [[nodiscard]] Vec2 sample(util::RngStream& rng) const;
+
+  /// The rectangle, if this region is rect-shaped.
+  [[nodiscard]] const Rect* rect() const noexcept;
+  /// The centreline, if this region is a road.
+  [[nodiscard]] const Polyline* centreline() const noexcept;
+  /// Road width (0 for rect regions).
+  [[nodiscard]] double road_width() const noexcept { return width_; }
+
+ private:
+  RegionId id_;
+  std::string name_;
+  RegionKind kind_;
+  std::variant<Rect, Polyline> shape_;
+  double width_ = 0.0;
+};
+
+}  // namespace mgrid::geo

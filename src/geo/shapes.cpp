@@ -1,0 +1,93 @@
+#include "geo/shapes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mgrid::geo {
+
+Rect::Rect(Vec2 min, Vec2 max) : min_(min), max_(max) {
+  if (min.x > max.x || min.y > max.y) {
+    throw std::invalid_argument("Rect: min must be <= max componentwise");
+  }
+}
+
+bool Rect::contains(Vec2 p) const noexcept {
+  return p.x >= min_.x && p.x <= max_.x && p.y >= min_.y && p.y <= max_.y;
+}
+
+Vec2 Rect::clamp(Vec2 p) const noexcept {
+  return {std::clamp(p.x, min_.x, max_.x), std::clamp(p.y, min_.y, max_.y)};
+}
+
+double Rect::distance_to(Vec2 p) const noexcept {
+  return distance(clamp(p), p);
+}
+
+Rect Rect::inflated(double margin) const {
+  return Rect({min_.x - margin, min_.y - margin},
+              {max_.x + margin, max_.y + margin});
+}
+
+Vec2 Rect::sample(util::RngStream& rng) const {
+  return {rng.uniform(min_.x, max_.x), rng.uniform(min_.y, max_.y)};
+}
+
+Vec2 Segment::point_at(double t) const noexcept {
+  return lerp(a_, b_, std::clamp(t, 0.0, 1.0));
+}
+
+Vec2 Segment::closest_point(Vec2 p) const noexcept {
+  const Vec2 ab = b_ - a_;
+  const double len2 = ab.norm_squared();
+  if (len2 == 0.0) return a_;
+  const double t = std::clamp((p - a_).dot(ab) / len2, 0.0, 1.0);
+  return a_ + ab * t;
+}
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("Polyline: needs at least 2 points");
+  }
+  cumulative_.reserve(points_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    total_length_ += distance(points_[i - 1], points_[i]);
+    cumulative_.push_back(total_length_);
+  }
+}
+
+Segment Polyline::segment(std::size_t i) const {
+  if (i + 1 >= points_.size()) {
+    throw std::out_of_range("Polyline::segment index");
+  }
+  return {points_[i], points_[i + 1]};
+}
+
+Vec2 Polyline::point_at_length(double s) const noexcept {
+  if (s <= 0.0) return points_.front();
+  if (s >= total_length_) return points_.back();
+  // Binary search for the segment containing arc length s.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - cumulative_.begin()) - 1;
+  const double seg_start = cumulative_[idx];
+  const double seg_len = cumulative_[idx + 1] - seg_start;
+  const double t = seg_len > 0.0 ? (s - seg_start) / seg_len : 0.0;
+  return lerp(points_[idx], points_[idx + 1], t);
+}
+
+Vec2 Polyline::closest_point(Vec2 p) const noexcept {
+  Vec2 best = points_.front();
+  double best_d2 = distance_squared(best, p);
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    const Vec2 candidate = Segment(points_[i], points_[i + 1]).closest_point(p);
+    const double d2 = distance_squared(candidate, p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace mgrid::geo

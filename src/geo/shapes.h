@@ -1,0 +1,97 @@
+// Geometric primitives used by the campus model: axis-aligned rectangles,
+// segments and polylines (road centrelines).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "util/rng.h"
+
+namespace mgrid::geo {
+
+/// Axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+class Rect {
+ public:
+  Rect() = default;
+  /// Throws std::invalid_argument unless min <= max componentwise.
+  Rect(Vec2 min, Vec2 max);
+
+  [[nodiscard]] Vec2 min() const noexcept { return min_; }
+  [[nodiscard]] Vec2 max() const noexcept { return max_; }
+  [[nodiscard]] Vec2 center() const noexcept {
+    return (min_ + max_) * 0.5;
+  }
+  [[nodiscard]] double width() const noexcept { return max_.x - min_.x; }
+  [[nodiscard]] double height() const noexcept { return max_.y - min_.y; }
+  [[nodiscard]] double area() const noexcept { return width() * height(); }
+
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+  /// Closest point of the rectangle to p (p itself when inside).
+  [[nodiscard]] Vec2 clamp(Vec2 p) const noexcept;
+  /// Distance from p to the rectangle (0 when inside).
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept;
+  /// Rectangle grown by `margin` on every side (may be negative; throws if
+  /// it would invert).
+  [[nodiscard]] Rect inflated(double margin) const;
+  /// Uniform random interior point.
+  [[nodiscard]] Vec2 sample(util::RngStream& rng) const;
+
+ private:
+  Vec2 min_{};
+  Vec2 max_{};
+};
+
+/// Line segment.
+class Segment {
+ public:
+  Segment() = default;
+  Segment(Vec2 a, Vec2 b) noexcept : a_(a), b_(b) {}
+
+  [[nodiscard]] Vec2 a() const noexcept { return a_; }
+  [[nodiscard]] Vec2 b() const noexcept { return b_; }
+  [[nodiscard]] double length() const noexcept { return distance(a_, b_); }
+  /// Point at arc-length fraction t in [0,1] (clamped).
+  [[nodiscard]] Vec2 point_at(double t) const noexcept;
+  /// Closest point on the segment to p.
+  [[nodiscard]] Vec2 closest_point(Vec2 p) const noexcept;
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept {
+    return distance(closest_point(p), p);
+  }
+
+ private:
+  Vec2 a_{};
+  Vec2 b_{};
+};
+
+/// A connected chain of segments (road centreline).
+class Polyline {
+ public:
+  Polyline() = default;
+  /// Throws std::invalid_argument with fewer than 2 points.
+  explicit Polyline(std::vector<Vec2> points);
+
+  [[nodiscard]] const std::vector<Vec2>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return points_.size() - 1;
+  }
+  [[nodiscard]] Segment segment(std::size_t i) const;
+  [[nodiscard]] double length() const noexcept { return total_length_; }
+
+  /// Point at arc length s from the start (clamped to [0, length]).
+  [[nodiscard]] Vec2 point_at_length(double s) const noexcept;
+  /// Closest point on the polyline to p.
+  [[nodiscard]] Vec2 closest_point(Vec2 p) const noexcept;
+  [[nodiscard]] double distance_to(Vec2 p) const noexcept {
+    return distance(closest_point(p), p);
+  }
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> cumulative_;  // cumulative length at each vertex
+  double total_length_ = 0.0;
+};
+
+}  // namespace mgrid::geo

@@ -1,0 +1,105 @@
+// 2D vector and angle arithmetic.
+//
+// Positions are metres in a local campus frame; headings are radians in
+// (-pi, pi], measured counter-clockwise from +x. Heading continuity helpers
+// (wrap/diff/unwrap) are what the direction-smoothing estimator relies on.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace mgrid::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 v, double s) noexcept {
+    return {v.x * s, v.y * s};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+  friend constexpr Vec2 operator/(Vec2 v, double s) noexcept {
+    return {v.x / s, v.y / s};
+  }
+  constexpr Vec2& operator+=(Vec2 o) noexcept {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) noexcept {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept {
+    return x * o.x + y * o.y;
+  }
+  /// z component of the 3D cross product (signed parallelogram area).
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] constexpr double norm_squared() const noexcept {
+    return x * x + y * y;
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm_squared()); }
+  /// Unit vector; returns {0,0} for the zero vector.
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Heading of this vector in radians; 0 for the zero vector.
+  [[nodiscard]] double heading() const noexcept {
+    if (x == 0.0 && y == 0.0) return 0.0;
+    return std::atan2(y, x);
+  }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm();
+}
+
+[[nodiscard]] inline double distance_squared(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_squared();
+}
+
+/// Point at parameter t on segment ab (t in [0,1] interpolates; values
+/// outside extrapolate).
+[[nodiscard]] inline Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Unit vector with the given heading.
+[[nodiscard]] inline Vec2 from_polar(double heading, double magnitude = 1.0) noexcept {
+  return {magnitude * std::cos(heading), magnitude * std::sin(heading)};
+}
+
+/// Wraps an angle into (-pi, pi].
+[[nodiscard]] inline double wrap_angle(double a) noexcept {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  a = std::fmod(a, kTwoPi);
+  if (a <= -std::numbers::pi) a += kTwoPi;
+  if (a > std::numbers::pi) a -= kTwoPi;
+  return a;
+}
+
+/// Smallest signed rotation taking `from` to `to`, in (-pi, pi].
+[[nodiscard]] inline double angle_diff(double to, double from) noexcept {
+  return wrap_angle(to - from);
+}
+
+/// Returns the representative of `next` closest to `reference` on the real
+/// line (next + 2*pi*k). This is how heading streams are unwrapped before
+/// smoothing, so a node circling an atrium does not see +pi -> -pi jumps.
+[[nodiscard]] inline double unwrap_toward(double next, double reference) noexcept {
+  return reference + angle_diff(next, reference);
+}
+
+}  // namespace mgrid::geo

@@ -1,0 +1,111 @@
+#include "mobility/linear_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+LinearMovementModel::LinearMovementModel(
+    geo::Vec2 start, Params params, std::unique_ptr<PathProvider> provider,
+    util::RngStream& rng)
+    : position_(start), params_(params), provider_(std::move(provider)) {
+  if (!params.speed.valid() || !(params.speed.hi > 0.0)) {
+    throw std::invalid_argument("LinearMovementModel: invalid speed range");
+  }
+  if (!params.dwell.valid()) {
+    throw std::invalid_argument("LinearMovementModel: invalid dwell range");
+  }
+  if (params.speed_jitter < 0.0) {
+    throw std::invalid_argument("LinearMovementModel: negative speed jitter");
+  }
+  if (!provider_) {
+    throw std::invalid_argument("LinearMovementModel: null path provider");
+  }
+  begin_new_path(rng);
+}
+
+void LinearMovementModel::begin_new_path(util::RngStream& rng) {
+  path_ = provider_->next_path(position_, rng);
+  if (path_.empty()) {
+    throw std::logic_error("LinearMovementModel: provider returned no path");
+  }
+  next_waypoint_ = 0;
+  leg_speed_ = params_.speed.sample(rng);
+  if (leg_speed_ <= 0.0) leg_speed_ = params_.speed.hi;
+  current_speed_ = leg_speed_;
+}
+
+void LinearMovementModel::arrive(util::RngStream& rng) {
+  dwell_remaining_ = params_.dwell.sample(rng);
+  if (dwell_remaining_ <= 0.0) {
+    begin_new_path(rng);
+  }
+}
+
+geo::Vec2 LinearMovementModel::current_target() const noexcept {
+  if (next_waypoint_ >= path_.size()) return position_;
+  return path_[next_waypoint_];
+}
+
+geo::Vec2 LinearMovementModel::velocity() const noexcept {
+  if (dwelling() || next_waypoint_ >= path_.size()) return {};
+  const geo::Vec2 to_target = path_[next_waypoint_] - position_;
+  const double dist = to_target.norm();
+  if (dist == 0.0) return {};
+  return to_target * (current_speed_ / dist);
+}
+
+MobilityPattern LinearMovementModel::pattern() const noexcept {
+  return dwelling() ? MobilityPattern::kStop : MobilityPattern::kLinear;
+}
+
+void LinearMovementModel::step(Duration dt, util::RngStream& rng) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("LinearMovementModel::step: dt <= 0");
+  }
+  if (dwelling()) {
+    dwell_remaining_ -= dt;
+    if (dwell_remaining_ <= 0.0) {
+      dwell_remaining_ = 0.0;
+      begin_new_path(rng);
+    }
+    return;
+  }
+  if (params_.speed_resample_interval > 0.0) {
+    resample_countdown_ -= dt;
+    if (resample_countdown_ <= 0.0) {
+      leg_speed_ = params_.speed.sample(rng);
+      current_speed_ = leg_speed_;
+      resample_countdown_ = params_.speed_resample_interval;
+    }
+  }
+  if (params_.speed_jitter > 0.0) {
+    current_speed_ = std::max(
+        0.0, leg_speed_ * (1.0 + rng.normal(0.0, params_.speed_jitter)));
+  }
+  double budget = current_speed_ * dt;  // distance to cover this step
+  // Safety valve: a degenerate provider that keeps returning the current
+  // position would otherwise spin forever consuming zero budget.
+  int zero_progress_paths = 0;
+  while (budget > 0.0 && zero_progress_paths < 4) {
+    if (next_waypoint_ >= path_.size()) {
+      arrive(rng);
+      if (dwelling()) return;
+      // New path started; keep walking with the remaining budget.
+      ++zero_progress_paths;
+      continue;
+    }
+    const geo::Vec2 target = path_[next_waypoint_];
+    const double dist = geo::distance(position_, target);
+    if (dist <= budget) {
+      position_ = target;
+      budget -= dist;
+      ++next_waypoint_;
+    } else {
+      position_ = position_ + (target - position_) * (budget / dist);
+      budget = 0.0;
+    }
+  }
+}
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,66 @@
+// Linear Movement State (LMS): destination-directed movement.
+//
+// Walks/drives a waypoint path at a per-leg speed drawn from a range, with
+// optional dwell pauses at destinations (during which the ground-truth
+// pattern is kStop — a walker who has arrived is a stopper). Covers both
+// LMS flavours from the paper: constant velocity/direction journeys, and
+// journeys with direction changes at intersections (the path's interior
+// waypoints).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "mobility/path_provider.h"
+
+namespace mgrid::mobility {
+
+class LinearMovementModel final : public MobilityModel {
+ public:
+  struct Params {
+    SpeedRange speed{0.5, 1.5};
+    /// Dwell at each destination, seconds (lo == hi == 0 disables dwell).
+    SpeedRange dwell{0.0, 0.0};
+    /// Per-step fractional speed jitter stddev (0 = perfectly constant legs).
+    double speed_jitter = 0.0;
+    /// Redraw the travel speed from `speed` every this many seconds while
+    /// walking (0 = one draw per journey leg). Models Table 1's
+    /// velocity-*range* semantics: a node labelled "1~4 m/s" wanders within
+    /// that band rather than picking one speed forever.
+    Duration speed_resample_interval = 0.0;
+  };
+
+  /// Takes ownership of the provider; `rng` is used to draw the first leg.
+  LinearMovementModel(geo::Vec2 start, Params params,
+                      std::unique_ptr<PathProvider> provider,
+                      util::RngStream& rng);
+
+  void step(Duration dt, util::RngStream& rng) override;
+  [[nodiscard]] geo::Vec2 position() const noexcept override {
+    return position_;
+  }
+  [[nodiscard]] geo::Vec2 velocity() const noexcept override;
+  [[nodiscard]] MobilityPattern pattern() const noexcept override;
+
+  /// True while dwelling at a destination.
+  [[nodiscard]] bool dwelling() const noexcept { return dwell_remaining_ > 0.0; }
+  /// The waypoint currently being walked toward (position when dwelling).
+  [[nodiscard]] geo::Vec2 current_target() const noexcept;
+
+ private:
+  void begin_new_path(util::RngStream& rng);
+  void arrive(util::RngStream& rng);
+
+  geo::Vec2 position_;
+  Params params_;
+  std::unique_ptr<PathProvider> provider_;
+  std::vector<geo::Vec2> path_;
+  std::size_t next_waypoint_ = 0;
+  double leg_speed_ = 0.0;
+  double current_speed_ = 0.0;  // leg speed with jitter applied
+  double dwell_remaining_ = 0.0;
+  double resample_countdown_ = 0.0;
+};
+
+}  // namespace mgrid::mobility

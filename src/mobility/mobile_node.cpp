@@ -1,0 +1,20 @@
+#include "mobility/mobile_node.h"
+
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+MobileNode::MobileNode(MnSpec spec, std::unique_ptr<MobilityModel> model,
+                       util::RngStream rng)
+    : spec_(std::move(spec)), model_(std::move(model)), rng_(rng) {
+  if (!model_) throw std::invalid_argument("MobileNode: null mobility model");
+  if (!spec_.id.valid()) throw std::invalid_argument("MobileNode: invalid id");
+}
+
+void MobileNode::step(Duration dt) {
+  const geo::Vec2 before = model_->position();
+  model_->step(dt, rng_);
+  odometer_ += geo::distance(before, model_->position());
+}
+
+}  // namespace mgrid::mobility

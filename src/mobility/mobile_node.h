@@ -1,0 +1,70 @@
+// A mobile grid node: identity + device + mobility.
+//
+// Owns its mobility model and its private RNG stream, so stepping node A
+// never perturbs node B's trajectory — experiments stay reproducible when
+// the node population changes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mobility/mobility_model.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mgrid::mobility {
+
+/// Static description of a node (who it is, not where it is).
+struct MnSpec {
+  MnId id;
+  std::string name;
+  MnType type = MnType::kHuman;
+  DeviceType device = DeviceType::kCellPhone;
+  /// Region the node was placed in at workload-construction time.
+  RegionId home_region;
+  /// Ground-truth pattern the workload assigned (Table 1 column MP).
+  MobilityPattern assigned_pattern = MobilityPattern::kStop;
+  /// Velocity range the workload assigned (Table 1 column VR).
+  SpeedRange assigned_speed{0.0, 0.0};
+};
+
+class MobileNode {
+ public:
+  /// Throws std::invalid_argument on a null model or invalid id.
+  MobileNode(MnSpec spec, std::unique_ptr<MobilityModel> model,
+             util::RngStream rng);
+
+  MobileNode(MobileNode&&) noexcept = default;
+  MobileNode& operator=(MobileNode&&) noexcept = default;
+
+  [[nodiscard]] const MnSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] MnId id() const noexcept { return spec_.id; }
+
+  /// Advances the node's true position by dt seconds.
+  void step(Duration dt);
+
+  [[nodiscard]] geo::Vec2 position() const noexcept {
+    return model_->position();
+  }
+  [[nodiscard]] geo::Vec2 velocity() const noexcept {
+    return model_->velocity();
+  }
+  [[nodiscard]] double speed() const noexcept { return model_->speed(); }
+  [[nodiscard]] MobilityPattern ground_truth_pattern() const noexcept {
+    return model_->pattern();
+  }
+
+  /// Total distance travelled since construction.
+  [[nodiscard]] double odometer() const noexcept { return odometer_; }
+
+  [[nodiscard]] MobilityModel& model() noexcept { return *model_; }
+  [[nodiscard]] const MobilityModel& model() const noexcept { return *model_; }
+
+ private:
+  MnSpec spec_;
+  std::unique_ptr<MobilityModel> model_;
+  util::RngStream rng_;
+  double odometer_ = 0.0;
+};
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,39 @@
+#include "mobility/mobility_model.h"
+
+namespace mgrid::mobility {
+
+std::string_view to_string(MobilityPattern pattern) noexcept {
+  switch (pattern) {
+    case MobilityPattern::kStop:
+      return "SS";
+    case MobilityPattern::kRandom:
+      return "RMS";
+    case MobilityPattern::kLinear:
+      return "LMS";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(MnType type) noexcept {
+  switch (type) {
+    case MnType::kHuman:
+      return "human";
+    case MnType::kVehicle:
+      return "vehicle";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(DeviceType device) noexcept {
+  switch (device) {
+    case DeviceType::kLaptop:
+      return "laptop";
+    case DeviceType::kPda:
+      return "PDA";
+    case DeviceType::kCellPhone:
+      return "cellphone";
+  }
+  return "unknown";
+}
+
+}  // namespace mgrid::mobility

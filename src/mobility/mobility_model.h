@@ -1,0 +1,65 @@
+// Mobility model interface and MN taxonomy.
+//
+// The paper distils campus movement into three ground-truth mobility
+// patterns (§3.1): Stop State (SS), Random Movement State (RMS) and Linear
+// Movement State (LMS), carried by human or vehicle nodes equipped with
+// laptops, PDAs or cell phones. A MobilityModel advances a position with a
+// (usually sub-second) integration step; the ADF only ever observes sampled
+// positions, never the model's internals.
+#pragma once
+
+#include <string_view>
+
+#include "geo/vec2.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mgrid::mobility {
+
+/// Ground-truth mobility pattern (what the node is actually doing — the
+/// classifier's job is to recover this from observed positions).
+enum class MobilityPattern { kStop, kRandom, kLinear };
+
+enum class MnType { kHuman, kVehicle };
+
+enum class DeviceType { kLaptop, kPda, kCellPhone };
+
+[[nodiscard]] std::string_view to_string(MobilityPattern pattern) noexcept;
+[[nodiscard]] std::string_view to_string(MnType type) noexcept;
+[[nodiscard]] std::string_view to_string(DeviceType device) noexcept;
+
+/// Inclusive speed range in m/s.
+struct SpeedRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept { return 0.0 <= lo && lo <= hi; }
+  [[nodiscard]] double sample(util::RngStream& rng) const {
+    return rng.uniform(lo, hi);
+  }
+  [[nodiscard]] double mid() const noexcept { return 0.5 * (lo + hi); }
+};
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advances the node by `dt` seconds (dt > 0). `rng` is the node's own
+  /// deterministic stream.
+  virtual void step(Duration dt, util::RngStream& rng) = 0;
+
+  /// Current true position.
+  [[nodiscard]] virtual geo::Vec2 position() const noexcept = 0;
+  /// Current true velocity vector (m/s).
+  [[nodiscard]] virtual geo::Vec2 velocity() const noexcept = 0;
+  /// Current ground-truth pattern (a linear mover dwelling at its
+  /// destination reports kStop for the dwell).
+  [[nodiscard]] virtual MobilityPattern pattern() const noexcept = 0;
+
+  [[nodiscard]] double speed() const noexcept { return velocity().norm(); }
+  [[nodiscard]] double heading() const noexcept {
+    return velocity().heading();
+  }
+};
+
+}  // namespace mgrid::mobility

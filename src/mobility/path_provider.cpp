@@ -1,0 +1,72 @@
+#include "mobility/path_provider.h"
+
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+GraphPathProvider::GraphPathProvider(const geo::WaypointGraph& graph,
+                                     bool allow_entrances)
+    : graph_(graph) {
+  for (geo::NodeIndex i = 0; i < graph.node_count(); ++i) {
+    const geo::GraphNode& node = graph.node(i);
+    if (node.kind == geo::NodeKind::kEntrance && !allow_entrances) continue;
+    destinations_.push_back(i);
+  }
+  if (destinations_.size() < 2) {
+    throw std::invalid_argument(
+        "GraphPathProvider: graph has fewer than 2 usable destinations");
+  }
+}
+
+std::vector<geo::Vec2> GraphPathProvider::next_path(geo::Vec2 from,
+                                                    util::RngStream& rng) {
+  const geo::NodeIndex start = graph_.nearest_node(from);
+  // Draw a destination different from the start node.
+  geo::NodeIndex target = start;
+  for (int attempt = 0; attempt < 16 && target == start; ++attempt) {
+    target = destinations_[rng.index(destinations_.size())];
+  }
+  if (target == start) {
+    // Degenerate graph (start is the only destination): stay in place.
+    return {graph_.node(start).position};
+  }
+  std::vector<geo::NodeIndex> node_path = graph_.shortest_path(start, target);
+  if (node_path.empty()) {
+    // Unreachable target (disconnected graph): walk straight to it.
+    return {graph_.node(target).position};
+  }
+  return graph_.path_points(node_path);
+}
+
+RectPathProvider::RectPathProvider(geo::Rect bounds, double min_leg)
+    : bounds_(bounds), min_leg_(min_leg) {
+  if (min_leg < 0.0) {
+    throw std::invalid_argument("RectPathProvider: min_leg must be >= 0");
+  }
+}
+
+std::vector<geo::Vec2> RectPathProvider::next_path(geo::Vec2 from,
+                                                   util::RngStream& rng) {
+  geo::Vec2 target = bounds_.sample(rng);
+  for (int attempt = 0;
+       attempt < 8 && geo::distance(from, target) < min_leg_; ++attempt) {
+    target = bounds_.sample(rng);
+  }
+  return {target};
+}
+
+LoopPathProvider::LoopPathProvider(std::vector<geo::Vec2> circuit)
+    : circuit_(std::move(circuit)) {
+  if (circuit_.size() < 2) {
+    throw std::invalid_argument("LoopPathProvider: needs >= 2 waypoints");
+  }
+}
+
+std::vector<geo::Vec2> LoopPathProvider::next_path(geo::Vec2 /*from*/,
+                                                   util::RngStream& /*rng*/) {
+  const geo::Vec2 target = circuit_[next_index_];
+  next_index_ = (next_index_ + 1) % circuit_.size();
+  return {target};
+}
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,77 @@
+// Path providers: strategies that hand a LinearMovementModel its next
+// journey (a polyline of waypoints).
+//
+//  * GraphPathProvider  — routes between random destinations on the campus
+//                         waypoint graph (pedestrians use every node,
+//                         vehicles only road/gate nodes).
+//  * RectPathProvider   — straight legs between random points of a building
+//                         interior (hallway walking, paper case 9).
+//  * LoopPathProvider   — a fixed circuit (campus shuttle, patrols).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/campus.h"
+#include "geo/graph.h"
+#include "geo/shapes.h"
+#include "geo/vec2.h"
+#include "mobility/mobility_model.h"
+
+namespace mgrid::mobility {
+
+class PathProvider {
+ public:
+  virtual ~PathProvider() = default;
+  /// Returns the next journey starting from `from` (the returned path does
+  /// not need to include `from`; the mover walks to its first point). Must
+  /// return at least one point.
+  [[nodiscard]] virtual std::vector<geo::Vec2> next_path(
+      geo::Vec2 from, util::RngStream& rng) = 0;
+};
+
+/// Random destinations routed over the campus graph.
+class GraphPathProvider final : public PathProvider {
+ public:
+  /// `allow_entrances` false restricts destinations to road/gate nodes
+  /// (vehicle traffic). The graph reference must outlive the provider.
+  GraphPathProvider(const geo::WaypointGraph& graph, bool allow_entrances);
+
+  [[nodiscard]] std::vector<geo::Vec2> next_path(geo::Vec2 from,
+                                                 util::RngStream& rng) override;
+
+ private:
+  const geo::WaypointGraph& graph_;
+  std::vector<geo::NodeIndex> destinations_;
+};
+
+/// Straight hallway legs inside a rectangle.
+class RectPathProvider final : public PathProvider {
+ public:
+  /// `min_leg` metres: destinations closer than this to the current position
+  /// are re-drawn (a few times) to avoid degenerate zero-length journeys.
+  explicit RectPathProvider(geo::Rect bounds, double min_leg = 5.0);
+
+  [[nodiscard]] std::vector<geo::Vec2> next_path(geo::Vec2 from,
+                                                 util::RngStream& rng) override;
+
+ private:
+  geo::Rect bounds_;
+  double min_leg_;
+};
+
+/// A fixed waypoint circuit, traversed repeatedly.
+class LoopPathProvider final : public PathProvider {
+ public:
+  /// Throws std::invalid_argument with fewer than 2 waypoints.
+  explicit LoopPathProvider(std::vector<geo::Vec2> circuit);
+
+  [[nodiscard]] std::vector<geo::Vec2> next_path(geo::Vec2 from,
+                                                 util::RngStream& rng) override;
+
+ private:
+  std::vector<geo::Vec2> circuit_;
+  std::size_t next_index_ = 0;
+};
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,78 @@
+#include "mobility/random_model.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+RandomMovementModel::RandomMovementModel(geo::Vec2 start, geo::Rect bounds,
+                                         Params params, util::RngStream& rng)
+    : position_(start), bounds_(bounds), params_(params) {
+  if (!params.speed.valid()) {
+    throw std::invalid_argument("RandomMovementModel: invalid speed range");
+  }
+  if (!(params.mean_heading_interval > 0.0) ||
+      !(params.mean_speed_interval > 0.0)) {
+    throw std::invalid_argument(
+        "RandomMovementModel: change intervals must be > 0");
+  }
+  if (!bounds.contains(start)) {
+    throw std::invalid_argument("RandomMovementModel: start outside bounds");
+  }
+  redraw_heading(rng);
+  redraw_speed(rng);
+}
+
+geo::Vec2 RandomMovementModel::velocity() const noexcept {
+  return geo::from_polar(heading_, speed_);
+}
+
+void RandomMovementModel::redraw_heading(util::RngStream& rng) {
+  heading_ = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  next_heading_change_ = rng.exponential(1.0 / params_.mean_heading_interval);
+}
+
+void RandomMovementModel::redraw_speed(util::RngStream& rng) {
+  speed_ = params_.speed.sample(rng);
+  next_speed_change_ = rng.exponential(1.0 / params_.mean_speed_interval);
+}
+
+void RandomMovementModel::step(Duration dt, util::RngStream& rng) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("RandomMovementModel::step: dt <= 0");
+  }
+  next_heading_change_ -= dt;
+  if (next_heading_change_ <= 0.0) redraw_heading(rng);
+  next_speed_change_ -= dt;
+  if (next_speed_change_ <= 0.0) redraw_speed(rng);
+
+  geo::Vec2 next = position_ + geo::from_polar(heading_, speed_ * dt);
+  // Reflect off the walls: flip the offending velocity component and mirror
+  // the overshoot back inside.
+  const geo::Vec2 lo = bounds_.min();
+  const geo::Vec2 hi = bounds_.max();
+  bool bounced = false;
+  if (next.x < lo.x) {
+    next.x = lo.x + (lo.x - next.x);
+    bounced = true;
+  } else if (next.x > hi.x) {
+    next.x = hi.x - (next.x - hi.x);
+    bounced = true;
+  }
+  if (next.y < lo.y) {
+    next.y = lo.y + (lo.y - next.y);
+    bounced = true;
+  } else if (next.y > hi.y) {
+    next.y = hi.y - (next.y - hi.y);
+    bounced = true;
+  }
+  // A reflection changes the travel direction; keep the heading consistent
+  // with the actual displacement so observers see the true motion.
+  if (bounced) {
+    next = bounds_.clamp(next);  // guard: huge dt could overshoot twice
+    heading_ = (next - position_).heading();
+  }
+  position_ = next;
+}
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,54 @@
+// Random Movement State (RMS): bounded random walk.
+//
+// Models a student milling around a lab or chatting over coffee (paper
+// cases 7 and 10): speed drawn from a range, heading redrawn at random
+// exponentially-distributed intervals, reflected off the region walls.
+// Because heading changes happen at sub-second granularity, the *net*
+// displacement over a 1 s sampling period is below speed x 1 s — exactly the
+// property that makes buildings more filterable than roads in Fig. 6.
+#pragma once
+
+#include "geo/shapes.h"
+#include "mobility/mobility_model.h"
+
+namespace mgrid::mobility {
+
+class RandomMovementModel final : public MobilityModel {
+ public:
+  struct Params {
+    SpeedRange speed{0.0, 1.0};
+    /// Mean seconds between heading redraws (exponential). Must be > 0.
+    double mean_heading_interval = 2.0;
+    /// Mean seconds between speed redraws (exponential). Must be > 0.
+    double mean_speed_interval = 5.0;
+  };
+
+  /// `start` must lie inside `bounds`.
+  RandomMovementModel(geo::Vec2 start, geo::Rect bounds, Params params,
+                      util::RngStream& rng);
+
+  void step(Duration dt, util::RngStream& rng) override;
+  [[nodiscard]] geo::Vec2 position() const noexcept override {
+    return position_;
+  }
+  [[nodiscard]] geo::Vec2 velocity() const noexcept override;
+  [[nodiscard]] MobilityPattern pattern() const noexcept override {
+    return MobilityPattern::kRandom;
+  }
+
+  [[nodiscard]] const geo::Rect& bounds() const noexcept { return bounds_; }
+
+ private:
+  void redraw_heading(util::RngStream& rng);
+  void redraw_speed(util::RngStream& rng);
+
+  geo::Vec2 position_;
+  geo::Rect bounds_;
+  Params params_;
+  double speed_ = 0.0;
+  double heading_ = 0.0;
+  double next_heading_change_ = 0.0;  // countdown in seconds
+  double next_speed_change_ = 0.0;
+};
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,186 @@
+#include "mobility/schedule.h"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+ScheduledMobilityModel::ScheduledMobilityModel(geo::Vec2 start,
+                                               SchedulePlan plan,
+                                               util::RngStream& rng)
+    : position_(start), plan_(std::move(plan)) {
+  if (plan_.phases.empty()) {
+    throw std::invalid_argument("ScheduledMobilityModel: empty plan");
+  }
+  for (const SchedulePhase& phase : plan_.phases) {
+    if (const auto* move = std::get_if<MoveToPhase>(&phase)) {
+      if (move->waypoints.empty()) {
+        throw std::invalid_argument(
+            "ScheduledMobilityModel: MoveToPhase without waypoints");
+      }
+      if (!move->speed.valid() || !(move->speed.hi > 0.0)) {
+        throw std::invalid_argument(
+            "ScheduledMobilityModel: MoveToPhase with invalid speed");
+      }
+    } else if (const auto* wander = std::get_if<WanderPhase>(&phase)) {
+      if (!wander->speed.valid()) {
+        throw std::invalid_argument(
+            "ScheduledMobilityModel: WanderPhase with invalid speed");
+      }
+      if (!(wander->mean_heading_interval > 0.0)) {
+        throw std::invalid_argument(
+            "ScheduledMobilityModel: WanderPhase heading interval <= 0");
+      }
+    }
+  }
+  enter_phase(rng);
+}
+
+void ScheduledMobilityModel::enter_phase(util::RngStream& rng) {
+  current_velocity_ = {};
+  if (finished()) return;
+  const SchedulePhase& phase = plan_.phases[phase_];
+  if (const auto* move = std::get_if<MoveToPhase>(&phase)) {
+    next_waypoint_ = 0;
+    move_speed_ = move->speed.sample(rng);
+    if (move_speed_ <= 0.0) move_speed_ = move->speed.hi;
+  } else if (const auto* stay = std::get_if<StayPhase>(&phase)) {
+    phase_remaining_ = stay->duration;
+  } else if (const auto* wander = std::get_if<WanderPhase>(&phase)) {
+    phase_remaining_ = wander->duration;
+    // Ensure we start inside the wander area (teleport-free: clamp).
+    position_ = wander->area.clamp(position_);
+    wander_heading_ = rng.uniform(-std::numbers::pi, std::numbers::pi);
+    wander_speed_ = wander->speed.sample(rng);
+    wander_heading_countdown_ =
+        rng.exponential(1.0 / wander->mean_heading_interval);
+  }
+}
+
+void ScheduledMobilityModel::advance_phase(util::RngStream& rng) {
+  ++phase_;
+  if (finished() && plan_.repeat) phase_ = 0;
+  enter_phase(rng);
+}
+
+geo::Vec2 ScheduledMobilityModel::velocity() const noexcept {
+  return current_velocity_;
+}
+
+MobilityPattern ScheduledMobilityModel::pattern() const noexcept {
+  if (finished()) return MobilityPattern::kStop;
+  const SchedulePhase& phase = plan_.phases[phase_];
+  if (std::holds_alternative<MoveToPhase>(phase)) {
+    return MobilityPattern::kLinear;
+  }
+  if (std::holds_alternative<WanderPhase>(phase)) {
+    return MobilityPattern::kRandom;
+  }
+  return MobilityPattern::kStop;
+}
+
+std::string_view ScheduledMobilityModel::phase_label() const noexcept {
+  if (finished()) return {};
+  const SchedulePhase& phase = plan_.phases[phase_];
+  if (const auto* move = std::get_if<MoveToPhase>(&phase)) return move->label;
+  if (const auto* stay = std::get_if<StayPhase>(&phase)) return stay->label;
+  return std::get<WanderPhase>(phase).label;
+}
+
+void ScheduledMobilityModel::step(Duration dt, util::RngStream& rng) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("ScheduledMobilityModel::step: dt <= 0");
+  }
+  if (finished()) {
+    current_velocity_ = {};
+    return;
+  }
+  const SchedulePhase& phase = plan_.phases[phase_];
+
+  if (const auto* move = std::get_if<MoveToPhase>(&phase)) {
+    double budget = move_speed_ * dt;
+    const geo::Vec2 before = position_;
+    while (budget > 0.0 && next_waypoint_ < move->waypoints.size()) {
+      const geo::Vec2 target = move->waypoints[next_waypoint_];
+      const double dist = geo::distance(position_, target);
+      if (dist <= budget) {
+        position_ = target;
+        budget -= dist;
+        ++next_waypoint_;
+      } else {
+        position_ = position_ + (target - position_) * (budget / dist);
+        budget = 0.0;
+      }
+    }
+    current_velocity_ = (position_ - before) / dt;
+    if (next_waypoint_ >= move->waypoints.size()) advance_phase(rng);
+    return;
+  }
+
+  if (std::get_if<StayPhase>(&phase) != nullptr) {
+    current_velocity_ = {};
+    phase_remaining_ -= dt;
+    if (phase_remaining_ <= 0.0) advance_phase(rng);
+    return;
+  }
+
+  const auto& wander = std::get<WanderPhase>(phase);
+  wander_heading_countdown_ -= dt;
+  if (wander_heading_countdown_ <= 0.0) {
+    wander_heading_ = rng.uniform(-std::numbers::pi, std::numbers::pi);
+    wander_speed_ = wander.speed.sample(rng);
+    wander_heading_countdown_ =
+        rng.exponential(1.0 / wander.mean_heading_interval);
+  }
+  geo::Vec2 next =
+      position_ + geo::from_polar(wander_heading_, wander_speed_ * dt);
+  if (!wander.area.contains(next)) {
+    next = wander.area.clamp(next);
+    wander_heading_ = rng.uniform(-std::numbers::pi, std::numbers::pi);
+  }
+  current_velocity_ = (next - position_) / dt;
+  position_ = next;
+  phase_remaining_ -= dt;
+  if (phase_remaining_ <= 0.0) advance_phase(rng);
+}
+
+SchedulePlan make_toms_day(const TomsDayInputs& inputs, double time_scale) {
+  if (!(time_scale > 0.0)) {
+    throw std::invalid_argument("make_toms_day: time_scale must be > 0");
+  }
+  auto scaled = [time_scale](double seconds) { return seconds * time_scale; };
+  const SpeedRange walk{1.0, 1.5};
+
+  SchedulePlan plan;
+  // (1) bus stop -> library via gate B and R2.
+  plan.phases.push_back(MoveToPhase{inputs.to_library, walk, "to library"});
+  // (2) study 1 h.
+  plan.phases.push_back(StayPhase{scaled(3600.0), "study in library"});
+  // (3) library -> lecture hall B6 via R5.
+  plan.phases.push_back(MoveToPhase{inputs.to_lecture, walk, "to lecture"});
+  // (4) class, 2 h.
+  plan.phases.push_back(StayPhase{scaled(7200.0), "attend class"});
+  // (5) back to the library via R5.
+  plan.phases.push_back(
+      MoveToPhase{inputs.back_to_library, walk, "back to library"});
+  // (6) study 90 min.
+  plan.phases.push_back(StayPhase{scaled(5400.0), "study again"});
+  // (7) 30 min coffee break, moving slowly and randomly.
+  plan.phases.push_back(WanderPhase{scaled(1800.0), inputs.cafe_area,
+                                    SpeedRange{0.0, 0.8}, 2.0,
+                                    "coffee break"});
+  // (8) library -> chemistry lab B3 via R2, R1, R3 (direction changes at the
+  // two intersections are interior waypoints of `to_lab`).
+  plan.phases.push_back(MoveToPhase{inputs.to_lab, walk, "to lab"});
+  // (9) hallway walk inside B3.
+  plan.phases.push_back(
+      MoveToPhase{inputs.lab_hallway, SpeedRange{0.8, 1.2}, "lab hallway"});
+  // (10) 3 h experiment, moving around the equipment.
+  plan.phases.push_back(WanderPhase{scaled(10800.0), inputs.lab_area,
+                                    SpeedRange{0.0, 1.0}, 3.0, "experiment"});
+  // (11) lab -> bus stop via R4 and gate A.
+  plan.phases.push_back(MoveToPhase{inputs.to_bus, walk, "to bus"});
+  return plan;
+}
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,111 @@
+// Scripted day plans (the paper's "Tom" scenario, §3.1).
+//
+// A SchedulePlan is an ordered list of phases — move somewhere along given
+// waypoints, stay put for a while, or wander a room — and
+// ScheduledMobilityModel replays it. Used by the campus_day example to
+// reproduce Tom's 11-leg day and by tests as a deterministic mixed-pattern
+// source.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "geo/shapes.h"
+#include "mobility/mobility_model.h"
+
+namespace mgrid::mobility {
+
+/// Walk through `waypoints` (in order) at a speed drawn from `speed`.
+struct MoveToPhase {
+  std::vector<geo::Vec2> waypoints;
+  SpeedRange speed{0.5, 1.5};
+  std::string label;
+};
+
+/// Remain stationary for `duration` seconds.
+struct StayPhase {
+  Duration duration = 0.0;
+  std::string label;
+};
+
+/// Random-walk inside `area` for `duration` seconds.
+struct WanderPhase {
+  Duration duration = 0.0;
+  geo::Rect area;
+  SpeedRange speed{0.0, 1.0};
+  /// Mean seconds between heading changes.
+  double mean_heading_interval = 2.0;
+  std::string label;
+};
+
+using SchedulePhase = std::variant<MoveToPhase, StayPhase, WanderPhase>;
+
+struct SchedulePlan {
+  std::vector<SchedulePhase> phases;
+  /// Restart from the first phase after the last completes (otherwise the
+  /// node stops forever at its final position).
+  bool repeat = false;
+};
+
+class ScheduledMobilityModel final : public MobilityModel {
+ public:
+  /// Throws std::invalid_argument on an empty plan or a MoveToPhase without
+  /// waypoints.
+  ScheduledMobilityModel(geo::Vec2 start, SchedulePlan plan,
+                         util::RngStream& rng);
+
+  void step(Duration dt, util::RngStream& rng) override;
+  [[nodiscard]] geo::Vec2 position() const noexcept override {
+    return position_;
+  }
+  [[nodiscard]] geo::Vec2 velocity() const noexcept override;
+  [[nodiscard]] MobilityPattern pattern() const noexcept override;
+
+  /// Index of the active phase (== phases.size() when the plan finished).
+  [[nodiscard]] std::size_t phase_index() const noexcept { return phase_; }
+  [[nodiscard]] bool finished() const noexcept {
+    return phase_ >= plan_.phases.size();
+  }
+  /// Label of the active phase ("" when finished or unlabeled).
+  [[nodiscard]] std::string_view phase_label() const noexcept;
+
+ private:
+  void enter_phase(util::RngStream& rng);
+  void advance_phase(util::RngStream& rng);
+
+  geo::Vec2 position_;
+  SchedulePlan plan_;
+  std::size_t phase_ = 0;
+
+  // Per-phase execution state.
+  Duration phase_remaining_ = 0.0;      // Stay / Wander countdown
+  std::size_t next_waypoint_ = 0;       // MoveTo progress
+  double move_speed_ = 0.0;             // MoveTo leg speed
+  double wander_heading_ = 0.0;         // Wander state
+  double wander_speed_ = 0.0;
+  double wander_heading_countdown_ = 0.0;
+  geo::Vec2 current_velocity_{};
+};
+
+/// Builds Tom's day from the paper §3.1 on the given campus-like waypoint
+/// positions. Exposed so the example and tests share one source of truth.
+/// `scale` compresses the durations (the real day spans ~8 h; the default
+/// scale of 1/16 fits it into a 1800 s simulation).
+struct TomsDayInputs {
+  geo::Vec2 bus_stop;        // between gates A and B
+  std::vector<geo::Vec2> to_library;    // (1) via gate B and R2
+  geo::Vec2 library_seat;               // B4
+  std::vector<geo::Vec2> to_lecture;    // (3) via R5 to B6
+  geo::Vec2 lecture_seat;
+  std::vector<geo::Vec2> back_to_library;  // (5)
+  geo::Rect cafe_area;                  // (7) coffee corner in B4
+  std::vector<geo::Vec2> to_lab;        // (8) via R2,R1,R3 to B3
+  std::vector<geo::Vec2> lab_hallway;   // (9) hallway waypoints in B3
+  geo::Rect lab_area;                   // (10)
+  std::vector<geo::Vec2> to_bus;        // (11) via R4 and gate A
+};
+[[nodiscard]] SchedulePlan make_toms_day(const TomsDayInputs& inputs,
+                                         double time_scale = 1.0 / 16.0);
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,23 @@
+#include "mobility/stop_model.h"
+
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+StopModel::StopModel(geo::Vec2 position, double jitter_stddev)
+    : position_(position), anchor_(position), jitter_stddev_(jitter_stddev) {
+  if (jitter_stddev < 0.0) {
+    throw std::invalid_argument("StopModel: jitter_stddev must be >= 0");
+  }
+}
+
+void StopModel::step(Duration dt, util::RngStream& rng) {
+  if (!(dt > 0.0)) throw std::invalid_argument("StopModel::step: dt <= 0");
+  if (jitter_stddev_ == 0.0) return;
+  // Mean-reverting jitter around the anchor, so a jittering device never
+  // wanders away from its desk.
+  position_.x = anchor_.x + rng.normal(0.0, jitter_stddev_);
+  position_.y = anchor_.y + rng.normal(0.0, jitter_stddev_);
+}
+
+}  // namespace mgrid::mobility

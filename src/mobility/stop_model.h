@@ -1,0 +1,31 @@
+// Stop State (SS): the node does not move (paper: a student sitting in the
+// library for an hour). An optional position jitter models a device resting
+// on a desk being nudged — disabled by default so SS nodes are exactly
+// stationary, as in the paper's Table 1 (0 m/s).
+#pragma once
+
+#include "mobility/mobility_model.h"
+
+namespace mgrid::mobility {
+
+class StopModel final : public MobilityModel {
+ public:
+  /// `jitter_stddev` metres of per-step Gaussian jitter (>= 0; default 0).
+  explicit StopModel(geo::Vec2 position, double jitter_stddev = 0.0);
+
+  void step(Duration dt, util::RngStream& rng) override;
+  [[nodiscard]] geo::Vec2 position() const noexcept override {
+    return position_;
+  }
+  [[nodiscard]] geo::Vec2 velocity() const noexcept override { return {}; }
+  [[nodiscard]] MobilityPattern pattern() const noexcept override {
+    return MobilityPattern::kStop;
+  }
+
+ private:
+  geo::Vec2 position_;
+  geo::Vec2 anchor_;
+  double jitter_stddev_;
+};
+
+}  // namespace mgrid::mobility

@@ -1,0 +1,49 @@
+#include "mobility/trace.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace mgrid::mobility {
+
+void TraceRecorder::record(SimTime t, geo::Vec2 position, double speed) {
+  if (!samples_.empty() && t < samples_.back().t) {
+    throw std::invalid_argument("TraceRecorder: time went backwards");
+  }
+  samples_.push_back(TraceSample{t, position, speed});
+}
+
+double TraceRecorder::total_distance() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    total += geo::distance(samples_[i - 1].position, samples_[i].position);
+  }
+  return total;
+}
+
+double TraceRecorder::net_displacement() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  return geo::distance(samples_.front().position, samples_.back().position);
+}
+
+stats::RunningStats TraceRecorder::speed_stats() const noexcept {
+  stats::RunningStats out;
+  for (const TraceSample& s : samples_) out.add(s.speed);
+  return out;
+}
+
+double TraceRecorder::mean_path_speed() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double elapsed = samples_.back().t - samples_.front().t;
+  if (elapsed <= 0.0) return 0.0;
+  return total_distance() / elapsed;
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  out << "t,x,y,speed\n";
+  for (const TraceSample& s : samples_) {
+    out << s.t << ',' << s.position.x << ',' << s.position.y << ',' << s.speed
+        << '\n';
+  }
+}
+
+}  // namespace mgrid::mobility

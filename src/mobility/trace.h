@@ -1,0 +1,54 @@
+// Trajectory trace recording.
+//
+// Records (t, position, speed) samples for a node; used by examples to dump
+// trajectories, by tests to assert kinematic invariants (max speed, region
+// containment), and by the workload validator to report realised velocity
+// ranges against Table 1.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "geo/vec2.h"
+#include "stats/running_stats.h"
+#include "util/types.h"
+
+namespace mgrid::mobility {
+
+struct TraceSample {
+  SimTime t = 0.0;
+  geo::Vec2 position;
+  double speed = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void record(SimTime t, geo::Vec2 position, double speed);
+
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] const std::vector<TraceSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const TraceSample& front() const { return samples_.front(); }
+  [[nodiscard]] const TraceSample& back() const { return samples_.back(); }
+
+  /// Path length implied by consecutive samples.
+  [[nodiscard]] double total_distance() const noexcept;
+  /// Straight-line displacement between first and last sample.
+  [[nodiscard]] double net_displacement() const noexcept;
+  /// Stats over the recorded instantaneous speeds.
+  [[nodiscard]] stats::RunningStats speed_stats() const noexcept;
+  /// Mean speed implied by distance/elapsed (0 for < 2 samples).
+  [[nodiscard]] double mean_path_speed() const noexcept;
+
+  /// Writes `t,x,y,speed` CSV rows (with header).
+  void write_csv(std::ostream& out) const;
+
+  void clear() noexcept { samples_.clear(); }
+
+ private:
+  std::vector<TraceSample> samples_;
+};
+
+}  // namespace mgrid::mobility

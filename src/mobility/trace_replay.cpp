@@ -1,0 +1,113 @@
+#include "mobility/trace_replay.h"
+
+#include <cmath>
+#include <istream>
+#include <stdexcept>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace mgrid::mobility {
+
+std::vector<TraceSample> read_trace_csv(std::istream& in) {
+  std::vector<TraceSample> samples;
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    if (first) {
+      first = false;
+      if (trimmed == "t,x,y,speed") continue;  // header
+    }
+    const std::vector<std::string> fields = util::split_trimmed(trimmed, ',');
+    if (fields.size() != 4) {
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": expected 4 fields");
+    }
+    const auto t = util::parse_double(fields[0]);
+    const auto x = util::parse_double(fields[1]);
+    const auto y = util::parse_double(fields[2]);
+    const auto speed = util::parse_double(fields[3]);
+    if (!t || !x || !y || !speed) {
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": non-numeric field");
+    }
+    if (!samples.empty() && *t < samples.back().t) {
+      throw std::invalid_argument("trace CSV line " + std::to_string(line_no) +
+                                  ": time went backwards");
+    }
+    samples.push_back(TraceSample{*t, {*x, *y}, *speed});
+  }
+  return samples;
+}
+
+TraceReplayModel::TraceReplayModel(std::vector<TraceSample> samples, bool loop)
+    : samples_(std::move(samples)), loop_(loop) {
+  if (samples_.empty()) {
+    throw std::invalid_argument("TraceReplayModel: empty trace");
+  }
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].t < samples_[i - 1].t) {
+      throw std::invalid_argument("TraceReplayModel: unsorted trace");
+    }
+  }
+}
+
+Duration TraceReplayModel::trace_duration() const noexcept {
+  return samples_.back().t - samples_.front().t;
+}
+
+bool TraceReplayModel::finished() const noexcept {
+  return !loop_ && elapsed_ >= trace_duration();
+}
+
+void TraceReplayModel::refresh_cursor() noexcept {
+  const SimTime now = samples_.front().t + elapsed_;
+  while (cursor_ + 1 < samples_.size() && samples_[cursor_ + 1].t <= now) {
+    ++cursor_;
+  }
+}
+
+void TraceReplayModel::step(Duration dt, util::RngStream& /*rng*/) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("TraceReplayModel::step: dt <= 0");
+  }
+  elapsed_ += dt;
+  const Duration total = trace_duration();
+  if (loop_ && total > 0.0 && elapsed_ >= total) {
+    elapsed_ = std::fmod(elapsed_, total);
+    cursor_ = 0;
+  }
+  refresh_cursor();
+}
+
+geo::Vec2 TraceReplayModel::position() const noexcept {
+  const SimTime now = samples_.front().t + elapsed_;
+  if (cursor_ + 1 >= samples_.size()) return samples_.back().position;
+  const TraceSample& a = samples_[cursor_];
+  const TraceSample& b = samples_[cursor_ + 1];
+  const Duration span = b.t - a.t;
+  if (span <= 0.0 || now <= a.t) return a.position;
+  if (now >= b.t) return b.position;
+  return geo::lerp(a.position, b.position, (now - a.t) / span);
+}
+
+geo::Vec2 TraceReplayModel::velocity() const noexcept {
+  const SimTime now = samples_.front().t + elapsed_;
+  if (cursor_ + 1 >= samples_.size()) return {};
+  const TraceSample& a = samples_[cursor_];
+  const TraceSample& b = samples_[cursor_ + 1];
+  const Duration span = b.t - a.t;
+  if (span <= 0.0 || now >= b.t) return {};
+  return (b.position - a.position) / span;
+}
+
+MobilityPattern TraceReplayModel::pattern() const noexcept {
+  return velocity().norm() > 1e-9 ? MobilityPattern::kLinear
+                                  : MobilityPattern::kStop;
+}
+
+}  // namespace mgrid::mobility

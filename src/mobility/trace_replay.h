@@ -1,0 +1,52 @@
+// Trace replay: drive a mobile node from a recorded trajectory.
+//
+// Closes the loop with TraceRecorder: a trajectory captured from a live
+// model (or converted from an external data set) can be replayed as a
+// MobilityModel, giving reproducible regression workloads and a migration
+// path to real traces — the paper's experiments are synthetic, but the ADF
+// itself is trace-agnostic.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "mobility/mobility_model.h"
+#include "mobility/trace.h"
+
+namespace mgrid::mobility {
+
+/// Parses a `t,x,y,speed` CSV (as written by TraceRecorder::write_csv).
+/// Throws std::invalid_argument on malformed input or unsorted times.
+[[nodiscard]] std::vector<TraceSample> read_trace_csv(std::istream& in);
+
+class TraceReplayModel final : public MobilityModel {
+ public:
+  /// Replays `samples` (time-sorted, >= 1 sample). With `loop` true the
+  /// trace restarts after its last sample (time re-based); otherwise the
+  /// node parks at the final position.
+  explicit TraceReplayModel(std::vector<TraceSample> samples,
+                            bool loop = false);
+
+  void step(Duration dt, util::RngStream& rng) override;
+  [[nodiscard]] geo::Vec2 position() const noexcept override;
+  [[nodiscard]] geo::Vec2 velocity() const noexcept override;
+  /// kStop while parked between/after samples; kLinear while interpolating
+  /// a moving segment.
+  [[nodiscard]] MobilityPattern pattern() const noexcept override;
+
+  /// Local replay clock (seconds since the first sample).
+  [[nodiscard]] Duration elapsed() const noexcept { return elapsed_; }
+  [[nodiscard]] bool finished() const noexcept;
+  [[nodiscard]] Duration trace_duration() const noexcept;
+
+ private:
+  /// Index of the segment containing the current elapsed time.
+  void refresh_cursor() noexcept;
+
+  std::vector<TraceSample> samples_;
+  bool loop_;
+  Duration elapsed_ = 0.0;
+  std::size_t cursor_ = 0;  // samples_[cursor_] <= now < samples_[cursor_+1]
+};
+
+}  // namespace mgrid::mobility

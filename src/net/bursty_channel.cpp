@@ -1,0 +1,50 @@
+#include "net/bursty_channel.h"
+
+#include <stdexcept>
+
+namespace mgrid::net {
+
+GilbertElliottChannel::GilbertElliottChannel(Params params) : params_(params) {
+  auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!in_unit(params.p_enter_bad) || !in_unit(params.loss_good) ||
+      !in_unit(params.loss_bad)) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: probabilities must be in [0, 1]");
+  }
+  if (!(params.p_exit_bad > 0.0) || params.p_exit_bad > 1.0) {
+    throw std::invalid_argument(
+        "GilbertElliottChannel: p_exit_bad must be in (0, 1]");
+  }
+}
+
+bool GilbertElliottChannel::deliver(MnId link, util::RngStream& rng) {
+  bool& bad = bad_state_[link];
+  if (bad) {
+    if (rng.chance(params_.p_exit_bad)) bad = false;
+  } else {
+    if (rng.chance(params_.p_enter_bad)) {
+      bad = true;
+      ++transitions_to_bad_;
+    }
+  }
+  const double loss = bad ? params_.loss_bad : params_.loss_good;
+  return !rng.chance(loss);
+}
+
+bool GilbertElliottChannel::in_bad_state(MnId link) const noexcept {
+  auto it = bad_state_.find(link);
+  return it != bad_state_.end() && it->second;
+}
+
+double GilbertElliottChannel::stationary_bad_probability() const noexcept {
+  const double total = params_.p_enter_bad + params_.p_exit_bad;
+  if (total == 0.0) return 0.0;
+  return params_.p_enter_bad / total;
+}
+
+double GilbertElliottChannel::average_loss_rate() const noexcept {
+  const double p_bad = stationary_bad_probability();
+  return p_bad * params_.loss_bad + (1.0 - p_bad) * params_.loss_good;
+}
+
+}  // namespace mgrid::net

@@ -1,0 +1,59 @@
+// Gilbert-Elliott bursty wireless channel (extension; paper §1 motivates
+// the mobile grid's "frequent disconnectivity" constraint).
+//
+// Each MN's uplink is a two-state Markov chain: a Good state with low loss
+// and a Bad state (deep fade / doorway / elevator) with high loss. The
+// chain advances once per sample, so the mean outage length is
+// 1 / p_exit_bad samples. Uniform loss with the same *average* rate spreads
+// the damage thinly; bursty loss produces multi-second blackouts — exactly
+// what a location estimator must bridge.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mgrid::net {
+
+class GilbertElliottChannel {
+ public:
+  struct Params {
+    /// P(Good -> Bad) per sample, in [0, 1]. 0 disables the bad state.
+    double p_enter_bad = 0.0;
+    /// P(Bad -> Good) per sample, in (0, 1].
+    double p_exit_bad = 0.25;
+    /// Loss probability while Good, in [0, 1].
+    double loss_good = 0.0;
+    /// Loss probability while Bad, in [0, 1].
+    double loss_bad = 1.0;
+  };
+
+  /// Validates parameters (throws std::invalid_argument).
+  explicit GilbertElliottChannel(Params params);
+
+  /// Advances `link`'s channel state one sample and draws delivery.
+  [[nodiscard]] bool deliver(MnId link, util::RngStream& rng);
+
+  /// Whether the link is currently in the Bad state (links start Good).
+  [[nodiscard]] bool in_bad_state(MnId link) const noexcept;
+
+  /// Long-run fraction of time a link spends Bad:
+  /// p_enter / (p_enter + p_exit).
+  [[nodiscard]] double stationary_bad_probability() const noexcept;
+  /// Long-run average loss rate.
+  [[nodiscard]] double average_loss_rate() const noexcept;
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t transitions_to_bad() const noexcept {
+    return transitions_to_bad_;
+  }
+
+ private:
+  Params params_;
+  std::unordered_map<MnId, bool> bad_state_;
+  std::uint64_t transitions_to_bad_ = 0;
+};
+
+}  // namespace mgrid::net

@@ -1,0 +1,30 @@
+#include "net/channel.h"
+
+#include <stdexcept>
+
+namespace mgrid::net {
+
+ChannelModel::ChannelModel(ChannelParams params) : params_(params) {
+  if (params.loss_probability < 0.0 || params.loss_probability > 1.0) {
+    throw std::invalid_argument("ChannelModel: loss_probability not in [0,1]");
+  }
+  if (params.base_latency < 0.0) {
+    throw std::invalid_argument("ChannelModel: negative base_latency");
+  }
+  if (params.jitter < 0.0) {
+    throw std::invalid_argument("ChannelModel: negative jitter");
+  }
+}
+
+bool ChannelModel::deliver(util::RngStream& rng) const {
+  if (params_.loss_probability == 0.0) return true;
+  return !rng.chance(params_.loss_probability);
+}
+
+Duration ChannelModel::latency(util::RngStream& rng) const {
+  Duration latency = params_.base_latency;
+  if (params_.jitter > 0.0) latency += rng.uniform(0.0, params_.jitter);
+  return latency;
+}
+
+}  // namespace mgrid::net

@@ -1,0 +1,48 @@
+// Wireless channel model: loss and latency.
+//
+// The paper's simulation assumes lossless, immediate LU delivery; the
+// defaults reproduce that. The loss/latency knobs are used by the
+// failure-injection tests and the robustness ablation (what happens to the
+// broker's location error when LUs are dropped in flight).
+#pragma once
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mgrid::net {
+
+struct ChannelParams {
+  /// Probability an uplink message is lost, in [0, 1].
+  double loss_probability = 0.0;
+  /// Fixed one-way latency, seconds (>= 0).
+  Duration base_latency = 0.0;
+  /// Uniform extra latency in [0, jitter] seconds (>= 0).
+  Duration jitter = 0.0;
+};
+
+class ChannelModel {
+ public:
+  /// Validates parameters (throws std::invalid_argument).
+  explicit ChannelModel(ChannelParams params);
+
+  /// Perfect channel (paper default).
+  ChannelModel() : ChannelModel(ChannelParams{}) {}
+
+  /// Draws whether a message survives the air interface.
+  [[nodiscard]] bool deliver(util::RngStream& rng) const;
+  /// Draws the one-way latency for a delivered message.
+  [[nodiscard]] Duration latency(util::RngStream& rng) const;
+
+  [[nodiscard]] const ChannelParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] bool perfect() const noexcept {
+    return params_.loss_probability == 0.0 && params_.base_latency == 0.0 &&
+           params_.jitter == 0.0;
+  }
+
+ private:
+  ChannelParams params_;
+};
+
+}  // namespace mgrid::net

@@ -1,0 +1,43 @@
+#include "net/energy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mgrid::net {
+
+EnergyModel::EnergyModel(EnergyParams params) : params_(params) {
+  if (params.tx_base_j < 0.0 || params.tx_per_byte_j < 0.0 ||
+      params.rx_base_j < 0.0 || params.rx_per_byte_j < 0.0) {
+    throw std::invalid_argument("EnergyModel: costs must be >= 0");
+  }
+}
+
+double default_battery_capacity_j(mobility::DeviceType device) noexcept {
+  switch (device) {
+    case mobility::DeviceType::kLaptop:
+      return 20.0;  // generous communication budget
+    case mobility::DeviceType::kPda:
+      return 5.0;
+    case mobility::DeviceType::kCellPhone:
+      return 2.0;
+  }
+  return 2.0;
+}
+
+Battery::Battery(double capacity_j)
+    : capacity_(capacity_j), remaining_(capacity_j) {
+  if (!(capacity_j > 0.0)) {
+    throw std::invalid_argument("Battery: capacity must be > 0");
+  }
+}
+
+bool Battery::drain(double joules) {
+  if (joules < 0.0) {
+    throw std::invalid_argument("Battery::drain: negative draw");
+  }
+  if (remaining_ <= 0.0) return false;
+  remaining_ = std::max(0.0, remaining_ - joules);
+  return true;
+}
+
+}  // namespace mgrid::net

@@ -1,0 +1,78 @@
+// Radio energy model and device battery (extension; paper §1 motivates the
+// mobile grid's "low battery capacity" constraint).
+//
+// Costs follow the classic first-order radio model: a fixed per-message
+// electronics cost plus a per-byte amplifier cost for transmission, and a
+// smaller per-byte cost for reception. Device classes (laptop / PDA / cell
+// phone) differ in battery capacity, not radio cost — a laptop simply lasts
+// longer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "mobility/mobility_model.h"
+
+namespace mgrid::net {
+
+struct EnergyParams {
+  /// Fixed cost of powering the radio for one transmission, joules.
+  double tx_base_j = 50e-6;
+  /// Per-byte transmission cost, joules.
+  double tx_per_byte_j = 1e-6;
+  /// Fixed cost of receiving one message, joules.
+  double rx_base_j = 25e-6;
+  /// Per-byte reception cost, joules.
+  double rx_per_byte_j = 0.5e-6;
+};
+
+class EnergyModel {
+ public:
+  /// Validates (all costs must be >= 0).
+  explicit EnergyModel(EnergyParams params = {});
+
+  [[nodiscard]] double tx_cost_j(std::size_t wire_bytes) const noexcept {
+    return params_.tx_base_j +
+           params_.tx_per_byte_j * static_cast<double>(wire_bytes);
+  }
+  [[nodiscard]] double rx_cost_j(std::size_t wire_bytes) const noexcept {
+    return params_.rx_base_j +
+           params_.rx_per_byte_j * static_cast<double>(wire_bytes);
+  }
+  [[nodiscard]] const EnergyParams& params() const noexcept { return params_; }
+
+ private:
+  EnergyParams params_;
+};
+
+/// Battery capacity by device class, joules (order-of-magnitude values:
+/// a phone's communication budget is far smaller than a laptop's).
+[[nodiscard]] double default_battery_capacity_j(
+    mobility::DeviceType device) noexcept;
+
+class Battery {
+ public:
+  /// `capacity_j` must be > 0.
+  explicit Battery(double capacity_j);
+
+  /// Draws `joules` from the battery; clamps at 0. Returns false once the
+  /// battery is exhausted (the draw that empties it still succeeds).
+  bool drain(double joules);
+
+  [[nodiscard]] double capacity_j() const noexcept { return capacity_; }
+  [[nodiscard]] double remaining_j() const noexcept { return remaining_; }
+  [[nodiscard]] double consumed_j() const noexcept {
+    return capacity_ - remaining_;
+  }
+  [[nodiscard]] double remaining_fraction() const noexcept {
+    return remaining_ / capacity_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return remaining_ <= 0.0; }
+
+ private:
+  double capacity_;
+  double remaining_;
+};
+
+}  // namespace mgrid::net

@@ -1,0 +1,80 @@
+#include "net/gateway.h"
+
+#include <stdexcept>
+
+namespace mgrid::net {
+
+std::string_view to_string(GatewayKind kind) noexcept {
+  switch (kind) {
+    case GatewayKind::kAccessPoint:
+      return "access_point";
+    case GatewayKind::kBaseStation:
+      return "base_station";
+  }
+  return "unknown";
+}
+
+GatewayNetwork::GatewayNetwork(const geo::CampusMap& campus)
+    : campus_(campus) {
+  if (campus.region_count() == 0) {
+    throw std::invalid_argument("GatewayNetwork: campus has no regions");
+  }
+  for (const geo::Region& region : campus.regions()) {
+    WirelessGateway gw;
+    gw.id = GatewayId{static_cast<GatewayId::value_type>(gateways_.size())};
+    gw.kind = region.is_building() ? GatewayKind::kAccessPoint
+                                   : GatewayKind::kBaseStation;
+    gw.name = (gw.kind == GatewayKind::kAccessPoint ? "ap." : "bs.") +
+              region.name();
+    gw.coverage = region.id();
+    by_region_.emplace(region.id(), gw.id);
+    gateways_.push_back(std::move(gw));
+  }
+}
+
+const WirelessGateway& GatewayNetwork::gateway(GatewayId id) const {
+  if (!id.valid() || id.value() >= gateways_.size()) {
+    throw std::out_of_range("GatewayNetwork::gateway: bad id");
+  }
+  return gateways_[id.value()];
+}
+
+GatewayId GatewayNetwork::gateway_for_region(RegionId region) const {
+  auto it = by_region_.find(region);
+  if (it == by_region_.end()) {
+    throw std::out_of_range("GatewayNetwork::gateway_for_region: unknown");
+  }
+  return it->second;
+}
+
+GatewayId GatewayNetwork::serving_gateway(geo::Vec2 p) const {
+  const std::optional<RegionId> region = campus_.locate(p);
+  return gateway_for_region(region ? *region : campus_.nearest_region(p));
+}
+
+GatewayNetwork::AssociationResult GatewayNetwork::update_association(
+    MnId mn, geo::Vec2 p) {
+  const GatewayId serving = serving_gateway(p);
+  auto [it, inserted] = associations_.try_emplace(mn, serving);
+  if (inserted) return {serving, false};
+  if (it->second == serving) return {serving, false};
+  it->second = serving;
+  ++handovers_;
+  return {serving, true};
+}
+
+std::optional<GatewayId> GatewayNetwork::association(MnId mn) const {
+  auto it = associations_.find(mn);
+  if (it == associations_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t GatewayNetwork::load(GatewayId gw) const {
+  std::size_t count = 0;
+  for (const auto& [mn, assigned] : associations_) {
+    if (assigned == gw) ++count;
+  }
+  return count;
+}
+
+}  // namespace mgrid::net

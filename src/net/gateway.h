@@ -1,0 +1,78 @@
+// Wireless gateways: the base stations (roads) and access points
+// (buildings) that relay MN traffic into the wired grid (paper Fig. 3).
+//
+// GatewayNetwork owns one gateway per campus region, associates each MN with
+// the gateway covering its position (nearest-region fallback for open
+// ground) and counts handovers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/campus.h"
+#include "util/types.h"
+
+namespace mgrid::net {
+
+enum class GatewayKind {
+  kAccessPoint,  ///< wireless LAN inside a building
+  kBaseStation,  ///< cellular coverage of roads/gates
+};
+
+[[nodiscard]] std::string_view to_string(GatewayKind kind) noexcept;
+
+struct WirelessGateway {
+  GatewayId id;
+  std::string name;
+  GatewayKind kind = GatewayKind::kBaseStation;
+  RegionId coverage;  ///< region this gateway serves
+};
+
+class GatewayNetwork {
+ public:
+  /// Builds one gateway per region of `campus` (APs for buildings, base
+  /// stations for roads and gates). The campus must outlive the network.
+  explicit GatewayNetwork(const geo::CampusMap& campus);
+
+  [[nodiscard]] std::size_t gateway_count() const noexcept {
+    return gateways_.size();
+  }
+  [[nodiscard]] const WirelessGateway& gateway(GatewayId id) const;
+  [[nodiscard]] const std::vector<WirelessGateway>& gateways() const noexcept {
+    return gateways_;
+  }
+  /// Gateway serving the given region.
+  [[nodiscard]] GatewayId gateway_for_region(RegionId region) const;
+
+  /// Gateway that would serve a node at `p` (region containment, else
+  /// nearest region).
+  [[nodiscard]] GatewayId serving_gateway(geo::Vec2 p) const;
+
+  /// Records the MN's current position; re-associates if it moved into
+  /// another gateway's coverage. Returns the serving gateway and whether a
+  /// handover happened.
+  struct AssociationResult {
+    GatewayId gateway;
+    bool handover = false;
+  };
+  AssociationResult update_association(MnId mn, geo::Vec2 p);
+
+  /// Current association of an MN (nullopt before its first update).
+  [[nodiscard]] std::optional<GatewayId> association(MnId mn) const;
+  /// Number of MNs currently associated with `gw`.
+  [[nodiscard]] std::size_t load(GatewayId gw) const;
+  [[nodiscard]] std::uint64_t handover_count() const noexcept {
+    return handovers_;
+  }
+
+ private:
+  const geo::CampusMap& campus_;
+  std::vector<WirelessGateway> gateways_;
+  std::unordered_map<RegionId, GatewayId> by_region_;
+  std::unordered_map<MnId, GatewayId> associations_;
+  std::uint64_t handovers_ = 0;
+};
+
+}  // namespace mgrid::net

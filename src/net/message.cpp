@@ -1,0 +1,21 @@
+#include "net/message.h"
+
+namespace mgrid::net {
+
+std::string_view to_string(MessageKind kind) noexcept {
+  switch (kind) {
+    case MessageKind::kLocationUpdate:
+      return "location_update";
+    case MessageKind::kKeepAlive:
+      return "keep_alive";
+    case MessageKind::kJobAssign:
+      return "job_assign";
+    case MessageKind::kJobResult:
+      return "job_result";
+    case MessageKind::kDthUpdate:
+      return "dth_update";
+  }
+  return "unknown";
+}
+
+}  // namespace mgrid::net

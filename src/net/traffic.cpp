@@ -1,0 +1,50 @@
+#include "net/traffic.h"
+
+namespace mgrid::net {
+
+TrafficAccountant::TrafficAccountant(Duration bucket_width)
+    : uplink_series_(bucket_width) {}
+
+void TrafficAccountant::record(SimTime t, GatewayId gateway,
+                               Direction direction, const Message& message) {
+  record_bytes(t, gateway, direction, message.wire_bytes());
+}
+
+void TrafficAccountant::record_bytes(SimTime t, GatewayId gateway,
+                                     Direction direction,
+                                     std::size_t wire_bytes) {
+  if (direction == Direction::kUplink) {
+    uplink_.add(wire_bytes);
+    per_gateway_up_[gateway].add(wire_bytes);
+    uplink_series_.add_count(t);
+  } else {
+    downlink_.add(wire_bytes);
+    per_gateway_down_[gateway].add(wire_bytes);
+  }
+}
+
+void TrafficAccountant::record_suppressed(SimTime /*t*/) noexcept {
+  ++suppressed_;
+}
+
+const TrafficCounters& TrafficAccountant::total(
+    Direction direction) const noexcept {
+  return direction == Direction::kUplink ? uplink_ : downlink_;
+}
+
+TrafficCounters TrafficAccountant::gateway_total(GatewayId gateway,
+                                                 Direction direction) const {
+  const auto& map = direction == Direction::kUplink ? per_gateway_up_
+                                                    : per_gateway_down_;
+  auto it = map.find(gateway);
+  return it == map.end() ? TrafficCounters{} : it->second;
+}
+
+double TrafficAccountant::transmission_rate() const noexcept {
+  const std::uint64_t sent = uplink_.messages;
+  const std::uint64_t attempted = sent + suppressed_;
+  if (attempted == 0) return 1.0;
+  return static_cast<double>(sent) / static_cast<double>(attempted);
+}
+
+}  // namespace mgrid::net

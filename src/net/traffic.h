@@ -1,0 +1,67 @@
+// Traffic accounting.
+//
+// Counts messages and bytes globally, per gateway and per second; the
+// Fig. 4/5/6 benches read their series from here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/message.h"
+#include "stats/time_series.h"
+#include "util/types.h"
+
+namespace mgrid::net {
+
+enum class Direction { kUplink, kDownlink };
+
+struct TrafficCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  void add(std::size_t wire_bytes) noexcept {
+    ++messages;
+    bytes += wire_bytes;
+  }
+};
+
+class TrafficAccountant {
+ public:
+  /// `bucket_width` of the per-second series (default: 1 s like the paper).
+  explicit TrafficAccountant(Duration bucket_width = 1.0);
+
+  /// Records one message crossing a gateway at time t.
+  void record(SimTime t, GatewayId gateway, Direction direction,
+              const Message& message);
+  /// Records a raw byte count (used when only sizes are known).
+  void record_bytes(SimTime t, GatewayId gateway, Direction direction,
+                    std::size_t wire_bytes);
+  /// Counts a message that was suppressed (filtered) — not added to byte
+  /// totals, tracked for reduction reporting.
+  void record_suppressed(SimTime t) noexcept;
+
+  [[nodiscard]] const TrafficCounters& total(Direction direction) const noexcept;
+  [[nodiscard]] TrafficCounters gateway_total(GatewayId gateway,
+                                              Direction direction) const;
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_;
+  }
+
+  /// Per-bucket uplink message counts (the Fig. 4 series).
+  [[nodiscard]] const stats::TimeSeries& uplink_series() const noexcept {
+    return uplink_series_;
+  }
+  /// Fraction of would-be messages actually sent (sent/(sent+suppressed));
+  /// 1.0 when nothing was ever suppressed or sent.
+  [[nodiscard]] double transmission_rate() const noexcept;
+
+ private:
+  stats::TimeSeries uplink_series_;
+  TrafficCounters uplink_;
+  TrafficCounters downlink_;
+  std::unordered_map<GatewayId, TrafficCounters> per_gateway_up_;
+  std::unordered_map<GatewayId, TrafficCounters> per_gateway_down_;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace mgrid::net

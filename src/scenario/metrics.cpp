@@ -1,0 +1,94 @@
+#include "scenario/metrics.h"
+
+#include <cmath>
+
+namespace mgrid::scenario {
+
+TrafficMetrics::TrafficMetrics(Duration bucket_width)
+    : transmitted_series_(bucket_width) {}
+
+void TrafficMetrics::record(SimTime t, bool transmitted,
+                            geo::RegionKind kind) {
+  ++attempted_;
+  KindCounters& counters = by_kind_[kind];
+  ++counters.attempted;
+  if (transmitted) {
+    ++transmitted_;
+    ++counters.transmitted;
+    transmitted_series_.add_count(t);
+  }
+}
+
+void TrafficMetrics::merge(const TrafficMetrics& other) {
+  transmitted_series_.merge(other.transmitted_series_);
+  transmitted_ += other.transmitted_;
+  attempted_ += other.attempted_;
+  for (const auto& [kind, counters] : other.by_kind_) {
+    KindCounters& mine = by_kind_[kind];
+    mine.attempted += counters.attempted;
+    mine.transmitted += counters.transmitted;
+  }
+}
+
+double TrafficMetrics::transmission_rate() const noexcept {
+  if (attempted_ == 0) return 1.0;
+  return static_cast<double>(transmitted_) / static_cast<double>(attempted_);
+}
+
+double TrafficMetrics::transmission_rate(geo::RegionKind kind) const noexcept {
+  auto it = by_kind_.find(kind);
+  if (it == by_kind_.end() || it->second.attempted == 0) return 1.0;
+  return static_cast<double>(it->second.transmitted) /
+         static_cast<double>(it->second.attempted);
+}
+
+std::uint64_t TrafficMetrics::transmitted_in(
+    geo::RegionKind kind) const noexcept {
+  auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0 : it->second.transmitted;
+}
+
+std::uint64_t TrafficMetrics::attempted_in(
+    geo::RegionKind kind) const noexcept {
+  auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0 : it->second.attempted;
+}
+
+ErrorMetrics::ErrorMetrics(Duration bucket_width)
+    : bucket_width_(bucket_width), squared_series_(bucket_width) {}
+
+void ErrorMetrics::record(SimTime t, geo::Vec2 real, geo::Vec2 view,
+                          geo::RegionKind kind) {
+  const double error = geo::distance(real, view);
+  overall_.add_error(error);
+  squared_series_.add(t, error * error);
+  by_kind_[kind].add_error(error);
+  auto it = kind_series_.find(kind);
+  if (it == kind_series_.end()) {
+    it = kind_series_.emplace(kind, stats::TimeSeries(bucket_width_)).first;
+  }
+  it->second.add(t, error * error);
+}
+
+double ErrorMetrics::rmse(geo::RegionKind kind) const noexcept {
+  auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? 0.0 : it->second.rmse();
+}
+
+std::vector<double> ErrorMetrics::to_rmse(const stats::TimeSeries& squared) {
+  std::vector<double> out = squared.means();
+  for (double& v : out) v = std::sqrt(v);
+  return out;
+}
+
+std::vector<double> ErrorMetrics::rmse_series() const {
+  return to_rmse(squared_series_);
+}
+
+std::vector<double> ErrorMetrics::rmse_series(geo::RegionKind kind) const {
+  auto it = kind_series_.find(kind);
+  if (it == kind_series_.end()) return {};
+  return to_rmse(it->second);
+}
+
+}  // namespace mgrid::scenario

@@ -1,0 +1,99 @@
+// Metric collectors for the paper's figures.
+//
+//  * TrafficMetrics — per-second LU counts (Fig. 4), cumulative totals
+//    (Fig. 5) and per-region-kind transmission rates (Fig. 6).
+//  * ErrorMetrics — per-second location RMSE (Fig. 7) and per-region-kind
+//    RMSE (Figs. 8/9).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "geo/region.h"
+#include "stats/rmse.h"
+#include "stats/time_series.h"
+#include "util/types.h"
+
+namespace mgrid::scenario {
+
+class TrafficMetrics {
+ public:
+  explicit TrafficMetrics(Duration bucket_width = 1.0);
+
+  /// Records one sampled LU: whether it was transmitted, and the region
+  /// kind the MN was in.
+  void record(SimTime t, bool transmitted, geo::RegionKind kind);
+
+  /// Merges another collector (sharded-ADF aggregation). Bucket widths
+  /// must match.
+  void merge(const TrafficMetrics& other);
+
+  [[nodiscard]] const stats::TimeSeries& transmitted_series() const noexcept {
+    return transmitted_series_;
+  }
+  [[nodiscard]] std::uint64_t total_transmitted() const noexcept {
+    return transmitted_;
+  }
+  [[nodiscard]] std::uint64_t total_attempted() const noexcept {
+    return attempted_;
+  }
+  [[nodiscard]] double mean_per_bucket() const noexcept {
+    return transmitted_series_.mean_bucket_sum();
+  }
+  /// Fraction transmitted overall (1.0 when nothing recorded).
+  [[nodiscard]] double transmission_rate() const noexcept;
+  /// Fraction transmitted for one region kind (1.0 when none recorded).
+  [[nodiscard]] double transmission_rate(geo::RegionKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t transmitted_in(geo::RegionKind kind)
+      const noexcept;
+  [[nodiscard]] std::uint64_t attempted_in(geo::RegionKind kind)
+      const noexcept;
+
+ private:
+  struct KindCounters {
+    std::uint64_t attempted = 0;
+    std::uint64_t transmitted = 0;
+  };
+
+  stats::TimeSeries transmitted_series_;
+  std::uint64_t transmitted_ = 0;
+  std::uint64_t attempted_ = 0;
+  std::map<geo::RegionKind, KindCounters> by_kind_;
+};
+
+class ErrorMetrics {
+ public:
+  explicit ErrorMetrics(Duration bucket_width = 1.0);
+
+  /// Records one (true position, broker view) pair at time t, attributed to
+  /// the region kind of the true position.
+  void record(SimTime t, geo::Vec2 real, geo::Vec2 view, geo::RegionKind kind);
+
+  /// Overall RMSE across the whole run.
+  [[nodiscard]] double overall_rmse() const noexcept {
+    return overall_.rmse();
+  }
+  [[nodiscard]] double overall_mae() const noexcept { return overall_.mae(); }
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return overall_.count();
+  }
+  /// RMSE restricted to one region kind.
+  [[nodiscard]] double rmse(geo::RegionKind kind) const noexcept;
+
+  /// Per-bucket RMSE series (Fig. 7's y-axis): sqrt(mean squared error of
+  /// the bucket).
+  [[nodiscard]] std::vector<double> rmse_series() const;
+  /// Per-bucket RMSE restricted to a region kind (Figs. 8/9).
+  [[nodiscard]] std::vector<double> rmse_series(geo::RegionKind kind) const;
+
+ private:
+  static std::vector<double> to_rmse(const stats::TimeSeries& squared);
+
+  Duration bucket_width_;
+  stats::RmseAccumulator overall_;
+  stats::TimeSeries squared_series_;
+  std::map<geo::RegionKind, stats::RmseAccumulator> by_kind_;
+  std::map<geo::RegionKind, stats::TimeSeries> kind_series_;
+};
+
+}  // namespace mgrid::scenario

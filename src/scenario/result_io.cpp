@@ -1,0 +1,122 @@
+#include "scenario/result_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace mgrid::scenario {
+
+std::string to_json(const ExperimentOptions& options,
+                    const ExperimentResult& result, bool include_series) {
+  util::JsonWriter json;
+  json.begin_object();
+
+  json.key("options").begin_object();
+  json.field("duration", options.duration);
+  json.field("sample_period", options.sample_period);
+  json.field("motion_dt", options.motion_dt);
+  json.field("seed", static_cast<std::uint64_t>(options.seed));
+  json.field("filter", to_string(options.filter));
+  json.field("dth_factor", options.dth_factor);
+  json.field("estimator",
+             options.estimator.empty() ? "none" : options.estimator);
+  json.field("estimator_alpha", options.estimator_alpha);
+  json.field("map_match", options.map_match);
+  json.field("forecast_horizon", options.forecast_horizon);
+  json.field("scoring", options.scoring == ScoringMode::kLogical
+                            ? "logical"
+                            : "realtime");
+  json.field("device_side_filtering", options.device_side_filtering);
+  json.field("keepalive_interval", options.keepalive_interval);
+  json.field("max_silence", options.max_silence);
+  json.field("time_filter_interval", options.time_filter_interval);
+  json.field("prediction_threshold", options.prediction_threshold);
+  json.field("campus_blocks",
+             static_cast<std::uint64_t>(options.campus_blocks));
+  json.field("loss_probability", options.channel.loss_probability);
+  json.field("burst_p_enter_bad", options.burst.p_enter_bad);
+  json.field("clustering_alpha", options.adf.clustering.alpha);
+  json.end_object();
+
+  json.key("traffic").begin_object();
+  json.field("total_transmitted",
+             static_cast<std::uint64_t>(result.total_transmitted));
+  json.field("total_attempted",
+             static_cast<std::uint64_t>(result.total_attempted));
+  json.field("transmission_rate", result.transmission_rate);
+  json.field("road_transmission_rate", result.road_transmission_rate);
+  json.field("building_transmission_rate",
+             result.building_transmission_rate);
+  json.field("mean_lu_per_bucket", result.mean_lu_per_bucket);
+  json.field("lus_lost_on_air",
+             static_cast<std::uint64_t>(result.lus_lost_on_air));
+  json.end_object();
+
+  json.key("error").begin_object();
+  json.field("rmse", result.rmse_overall);
+  json.field("rmse_road", result.rmse_road);
+  json.field("rmse_building", result.rmse_building);
+  json.field("mae", result.mae_overall);
+  json.end_object();
+
+  json.key("adf").begin_object();
+  json.field("final_cluster_count",
+             static_cast<std::uint64_t>(result.final_cluster_count));
+  json.field("cluster_rebuilds",
+             static_cast<std::uint64_t>(result.cluster_rebuilds));
+  json.end_object();
+
+  json.key("energy").begin_object();
+  json.field("lus_transmitted",
+             static_cast<std::uint64_t>(result.energy.lus_transmitted));
+  json.field("lus_suppressed_on_device",
+             static_cast<std::uint64_t>(
+                 result.energy.lus_suppressed_on_device));
+  json.field("dth_downlink_messages",
+             static_cast<std::uint64_t>(result.dth_downlink_messages));
+  json.field("keepalives_sent",
+             static_cast<std::uint64_t>(result.keepalives_sent));
+  json.field("mean_energy_j", result.energy.mean_energy_j);
+  json.field("mean_energy_cellphone_j",
+             result.energy.mean_energy_cellphone_j);
+  json.field("projected_cellphone_lifetime_h",
+             result.energy.projected_cellphone_lifetime_h);
+  json.end_object();
+
+  json.key("run").begin_object();
+  json.field("node_count", static_cast<std::uint64_t>(result.node_count));
+  json.field("handovers", static_cast<std::uint64_t>(result.handovers));
+  json.field("updates_received",
+             static_cast<std::uint64_t>(result.broker_stats.updates_received));
+  json.field("estimates_made",
+             static_cast<std::uint64_t>(result.broker_stats.estimates_made));
+  json.field("federation_cycles",
+             static_cast<std::uint64_t>(result.federation_stats.cycles));
+  json.field("interactions_sent",
+             static_cast<std::uint64_t>(
+                 result.federation_stats.interactions_sent));
+  json.end_object();
+
+  if (include_series) {
+    json.key("series").begin_object();
+    json.field_array("lu_per_bucket", result.lu_per_bucket);
+    json.field_array("lu_cumulative", result.lu_cumulative);
+    json.field_array("rmse", result.rmse_per_bucket);
+    json.field_array("rmse_road", result.rmse_per_bucket_road);
+    json.field_array("rmse_building", result.rmse_per_bucket_building);
+    json.end_object();
+  }
+
+  json.end_object();
+  return json.str();
+}
+
+void save_json(const std::string& path, const ExperimentOptions& options,
+               const ExperimentResult& result, bool include_series) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_json: cannot write " + path);
+  out << to_json(options, result, include_series) << '\n';
+}
+
+}  // namespace mgrid::scenario

@@ -1,0 +1,24 @@
+// Experiment result serialisation.
+//
+// Exports an ExperimentResult (optionally with the options that produced
+// it) as a single JSON document — the hand-off format for external
+// plotting/analysis pipelines.
+#pragma once
+
+#include <string>
+
+#include "scenario/experiment.h"
+
+namespace mgrid::scenario {
+
+/// Serialises options + result to JSON. `include_series` controls whether
+/// the per-bucket series (potentially thousands of numbers) are embedded.
+[[nodiscard]] std::string to_json(const ExperimentOptions& options,
+                                  const ExperimentResult& result,
+                                  bool include_series = true);
+
+/// Writes to_json() to a file; throws std::runtime_error when unwritable.
+void save_json(const std::string& path, const ExperimentOptions& options,
+               const ExperimentResult& result, bool include_series = true);
+
+}  // namespace mgrid::scenario

@@ -1,0 +1,197 @@
+#include "scenario/workload.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "mobility/linear_model.h"
+#include "mobility/random_model.h"
+#include "mobility/stop_model.h"
+
+namespace mgrid::scenario {
+
+namespace {
+
+std::string node_name(const geo::Region& region, std::string_view role,
+                      std::size_t index) {
+  return region.name() + "." + std::string(role) + std::to_string(index);
+}
+
+}  // namespace
+
+Workload::Workload(const geo::CampusMap& campus, const WorkloadParams& params,
+                   const util::RngRegistry& rng)
+    : campus_(campus), params_(params) {
+  if (!params.road_human_speed.valid() || !params.road_vehicle_speed.valid() ||
+      !params.building_rms_speed.valid() ||
+      !params.building_lms_speed.valid() || !params.lms_dwell.valid()) {
+    throw std::invalid_argument("WorkloadParams: invalid range");
+  }
+
+  util::RngStream placement = rng.stream("workload.placement");
+  auto next_id = [this] {
+    return MnId{static_cast<MnId::value_type>(nodes_.size())};
+  };
+
+  auto add_node = [&](mobility::MnSpec spec,
+                      std::unique_ptr<mobility::MobilityModel> model) {
+    nodes_.emplace_back(std::move(spec), std::move(model),
+                        rng.stream("workload.node", nodes_.size()));
+  };
+
+  // --- Roads: human + vehicle LMS traffic ---------------------------------
+  for (RegionId road_id : campus.roads()) {
+    const geo::Region& road = campus.region(road_id);
+    for (std::size_t i = 0; i < params.road_humans_per_road; ++i) {
+      mobility::MnSpec spec;
+      spec.id = next_id();
+      spec.name = node_name(road, "h", i);
+      spec.type = mobility::MnType::kHuman;
+      spec.device = (i % 2 == 0) ? mobility::DeviceType::kCellPhone
+                                 : mobility::DeviceType::kPda;
+      spec.home_region = road_id;
+      spec.assigned_pattern = mobility::MobilityPattern::kLinear;
+      spec.assigned_speed = params.road_human_speed;
+      const geo::Vec2 start = road.sample(placement);
+      mobility::LinearMovementModel::Params lm;
+      lm.speed = params.road_human_speed;
+      lm.dwell = params.lms_dwell;
+      lm.speed_resample_interval = params.lms_speed_resample;
+      util::RngStream init = rng.stream("workload.init", nodes_.size());
+      add_node(std::move(spec),
+               std::make_unique<mobility::LinearMovementModel>(
+                   start, lm,
+                   std::make_unique<mobility::GraphPathProvider>(
+                       campus.graph(), /*allow_entrances=*/true),
+                   init));
+    }
+    for (std::size_t i = 0; i < params.road_vehicles_per_road; ++i) {
+      mobility::MnSpec spec;
+      spec.id = next_id();
+      spec.name = node_name(road, "v", i);
+      spec.type = mobility::MnType::kVehicle;
+      spec.device = mobility::DeviceType::kLaptop;
+      spec.home_region = road_id;
+      spec.assigned_pattern = mobility::MobilityPattern::kLinear;
+      spec.assigned_speed = params.road_vehicle_speed;
+      const geo::Vec2 start = road.sample(placement);
+      mobility::LinearMovementModel::Params lm;
+      lm.speed = params.road_vehicle_speed;
+      lm.dwell = params.lms_dwell;
+      lm.speed_resample_interval = params.lms_speed_resample;
+      util::RngStream init = rng.stream("workload.init", nodes_.size());
+      add_node(std::move(spec),
+               std::make_unique<mobility::LinearMovementModel>(
+                   start, lm,
+                   std::make_unique<mobility::GraphPathProvider>(
+                       campus.graph(), /*allow_entrances=*/false),
+                   init));
+    }
+  }
+
+  // --- Buildings: SS + RMS + LMS humans -----------------------------------
+  for (RegionId building_id : campus.buildings()) {
+    const geo::Region& building = campus.region(building_id);
+    const geo::Rect* rect = building.rect();
+    if (rect == nullptr) {
+      throw std::logic_error("Workload: building without a rectangle");
+    }
+    // Keep indoor movers a little off the walls.
+    const geo::Rect interior = rect->inflated(-2.0);
+
+    for (std::size_t i = 0; i < params.building_ss_per_building; ++i) {
+      mobility::MnSpec spec;
+      spec.id = next_id();
+      spec.name = node_name(building, "ss", i);
+      spec.type = mobility::MnType::kHuman;
+      spec.device = mobility::DeviceType::kLaptop;
+      spec.home_region = building_id;
+      spec.assigned_pattern = mobility::MobilityPattern::kStop;
+      spec.assigned_speed = {0.0, 0.0};
+      add_node(std::move(spec), std::make_unique<mobility::StopModel>(
+                                    interior.sample(placement)));
+    }
+    for (std::size_t i = 0; i < params.building_rms_per_building; ++i) {
+      mobility::MnSpec spec;
+      spec.id = next_id();
+      spec.name = node_name(building, "rms", i);
+      spec.type = mobility::MnType::kHuman;
+      spec.device = mobility::DeviceType::kPda;
+      spec.home_region = building_id;
+      spec.assigned_pattern = mobility::MobilityPattern::kRandom;
+      spec.assigned_speed = params.building_rms_speed;
+      mobility::RandomMovementModel::Params rm;
+      rm.speed = params.building_rms_speed;
+      util::RngStream init = rng.stream("workload.init", nodes_.size());
+      add_node(std::move(spec),
+               std::make_unique<mobility::RandomMovementModel>(
+                   interior.sample(placement), interior, rm, init));
+    }
+    for (std::size_t i = 0; i < params.building_lms_per_building; ++i) {
+      mobility::MnSpec spec;
+      spec.id = next_id();
+      spec.name = node_name(building, "lms", i);
+      spec.type = mobility::MnType::kHuman;
+      spec.device = mobility::DeviceType::kCellPhone;
+      spec.home_region = building_id;
+      spec.assigned_pattern = mobility::MobilityPattern::kLinear;
+      spec.assigned_speed = params.building_lms_speed;
+      mobility::LinearMovementModel::Params lm;
+      lm.speed = params.building_lms_speed;
+      lm.dwell = params.lms_dwell;
+      lm.speed_resample_interval = params.lms_speed_resample;
+      util::RngStream init = rng.stream("workload.init", nodes_.size());
+      add_node(std::move(spec),
+               std::make_unique<mobility::LinearMovementModel>(
+                   interior.sample(placement), lm,
+                   std::make_unique<mobility::RectPathProvider>(interior),
+                   init));
+    }
+  }
+}
+
+const mobility::MobileNode& Workload::node(MnId id) const {
+  if (!id.valid() || id.value() >= nodes_.size()) {
+    throw std::out_of_range("Workload::node: bad id");
+  }
+  return nodes_[id.value()];
+}
+
+mobility::MobileNode& Workload::node(MnId id) {
+  if (!id.valid() || id.value() >= nodes_.size()) {
+    throw std::out_of_range("Workload::node: bad id");
+  }
+  return nodes_[id.value()];
+}
+
+void Workload::step_all(Duration dt) {
+  for (mobility::MobileNode& node : nodes_) node.step(dt);
+}
+
+stats::Table Workload::specification_table() const {
+  stats::Table table({"Region", "#Regions", "MP", "MN type", "#MN",
+                      "Velocity range (m/s)"});
+  auto range_str = [](const mobility::SpeedRange& r) {
+    return stats::format_double(r.lo, 1) + " ~ " +
+           stats::format_double(r.hi, 1);
+  };
+  const std::size_t roads = campus_.roads().size();
+  const std::size_t buildings = campus_.buildings().size();
+  table.add_row({"Road", std::to_string(roads), "LMS", "Human",
+                 std::to_string(roads * params_.road_humans_per_road),
+                 range_str(params_.road_human_speed)});
+  table.add_row({"Road", std::to_string(roads), "LMS", "Vehicle",
+                 std::to_string(roads * params_.road_vehicles_per_road),
+                 range_str(params_.road_vehicle_speed)});
+  table.add_row({"Building", std::to_string(buildings), "SS", "Human",
+                 std::to_string(buildings * params_.building_ss_per_building),
+                 "0.0 ~ 0.0"});
+  table.add_row({"Building", std::to_string(buildings), "RMS", "Human",
+                 std::to_string(buildings * params_.building_rms_per_building),
+                 range_str(params_.building_rms_speed)});
+  table.add_row({"Building", std::to_string(buildings), "LMS", "Human",
+                 std::to_string(buildings * params_.building_lms_per_building),
+                 range_str(params_.building_lms_speed)});
+  return table;
+}
+
+}  // namespace mgrid::scenario

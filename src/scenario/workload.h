@@ -1,0 +1,81 @@
+// Table-1 workload construction.
+//
+// The paper's experiment population: on each of the 5 roads, 5 human LMS
+// nodes (1-4 m/s) and 5 vehicle LMS nodes (4-10 m/s); in each of the 6
+// buildings, 5 SS (0 m/s), 5 RMS (0-1 m/s) and 5 LMS (up to 1.5 m/s) human
+// nodes — 140 MNs total. Counts and speed ranges are parameters so the
+// ablation benches can scale the population.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/campus.h"
+#include "mobility/mobile_node.h"
+#include "stats/csv.h"
+#include "util/rng.h"
+
+namespace mgrid::scenario {
+
+struct WorkloadParams {
+  // Per-road counts (Table 1, region "Road").
+  std::size_t road_humans_per_road = 5;
+  std::size_t road_vehicles_per_road = 5;
+  // Per-building counts (Table 1, region "Building").
+  std::size_t building_ss_per_building = 5;
+  std::size_t building_rms_per_building = 5;
+  std::size_t building_lms_per_building = 5;
+
+  // Velocity ranges (Table 1, column VR).
+  mobility::SpeedRange road_human_speed{1.0, 4.0};
+  mobility::SpeedRange road_vehicle_speed{4.0, 10.0};
+  mobility::SpeedRange building_rms_speed{0.0, 1.0};
+  mobility::SpeedRange building_lms_speed{0.5, 1.5};
+
+  /// Dwell range at LMS destinations, seconds (adds natural SS episodes).
+  mobility::SpeedRange lms_dwell{0.0, 0.0};
+  /// LMS nodes redraw their speed from their Table-1 range every this many
+  /// seconds (0 = one speed per journey leg). The paper assigns velocity
+  /// *ranges* per class, implying continuous variation within the band.
+  Duration lms_speed_resample = 0.0;
+};
+
+class Workload {
+ public:
+  /// Builds the population on `campus` using streams from `rng`. The campus
+  /// must outlive the workload.
+  Workload(const geo::CampusMap& campus, const WorkloadParams& params,
+           const util::RngRegistry& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::vector<mobility::MobileNode>& nodes() noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<mobility::MobileNode>& nodes()
+      const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const mobility::MobileNode& node(MnId id) const;
+  [[nodiscard]] mobility::MobileNode& node(MnId id);
+
+  /// Advances every node by dt.
+  void step_all(Duration dt);
+
+  [[nodiscard]] const geo::CampusMap& campus() const noexcept {
+    return campus_;
+  }
+  [[nodiscard]] const WorkloadParams& params() const noexcept {
+    return params_;
+  }
+
+  /// The realised Table 1 (region kind, mobility pattern, node type, count,
+  /// configured velocity range) as a printable table.
+  [[nodiscard]] stats::Table specification_table() const;
+
+ private:
+  const geo::CampusMap& campus_;
+  WorkloadParams params_;
+  std::vector<mobility::MobileNode> nodes_;
+};
+
+}  // namespace mgrid::scenario

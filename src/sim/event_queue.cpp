@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace mgrid::sim {
+
+EventId EventQueue::schedule(SimTime time, Action action, int priority) {
+  if (!action) {
+    throw std::invalid_argument("EventQueue::schedule: null action");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, priority, next_sequence_++, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return actions_.erase(id) != 0; }
+
+void EventQueue::skim() const {
+  while (!heap_.empty() &&
+         actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+EventQueue::PoppedEvent EventQueue::pop() {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.id);
+  PoppedEvent out{top.time, top.id, std::move(it->second)};
+  actions_.erase(it);
+  return out;
+}
+
+void EventQueue::clear() {
+  actions_.clear();
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace mgrid::sim

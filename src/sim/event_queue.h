@@ -1,0 +1,75 @@
+// Discrete-event priority queue with stable ordering and cancellation.
+//
+// Events fire in (time, priority, insertion sequence) order, so two events at
+// the same time are always processed in the order they were scheduled —
+// determinism the reproduction experiments depend on. Cancellation is lazy
+// (O(1) cancel, skipped at pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mgrid::sim {
+
+/// Handle to a scheduled event (usable to cancel it).
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at `time` with a tie-breaking `priority` (lower runs
+  /// first among equal times). Returns a cancellation handle.
+  EventId schedule(SimTime time, Action action, int priority = 0);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return actions_.empty(); }
+  /// Number of live (non-cancelled) pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return actions_.size(); }
+  /// Time of the earliest live event. Throws std::logic_error when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  struct PoppedEvent {
+    SimTime time;
+    EventId id;
+    Action action;
+  };
+  /// Pops the earliest live event. Throws std::logic_error when empty.
+  PoppedEvent pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    int priority;
+    std::uint64_t sequence;
+    EventId id;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Removes cancelled entries from the heap top.
+  void skim() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, EntryGreater> heap_;
+  std::unordered_map<EventId, Action> actions_;
+  std::uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace mgrid::sim

@@ -1,0 +1,223 @@
+#include "sim/federation.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace mgrid::sim {
+
+FederateId Federation::join(std::shared_ptr<Federate> federate) {
+  if (!federate) throw std::invalid_argument("Federation::join: null");
+  if (federate->joined()) {
+    throw std::logic_error("Federation::join: federate '" + federate->name() +
+                           "' already joined a federation");
+  }
+  if (running_) {
+    throw std::logic_error("Federation::join: federation is running");
+  }
+  const FederateId id{static_cast<FederateId::value_type>(federates_.size())};
+  federate->id_ = id;
+  federate->federation_ = this;
+  federates_.push_back(FederateSlot{federate, {}, 0, {}});
+  federate->on_join();
+  return id;
+}
+
+const Federate& Federation::federate(FederateId id) const {
+  if (!id.valid() || id.value() >= federates_.size()) {
+    throw std::out_of_range("Federation::federate: bad id");
+  }
+  return *federates_[id.value()].federate;
+}
+
+SimTime Federation::lbts() const noexcept {
+  Duration min_lookahead = 0.0;
+  bool first = true;
+  for (const FederateSlot& slot : federates_) {
+    const Duration la = slot.federate->lookahead();
+    if (first || la < min_lookahead) {
+      min_lookahead = la;
+      first = false;
+    }
+  }
+  return current_grant_ + min_lookahead;
+}
+
+void Federation::submit(Federate& sender, std::string topic, SimTime timestamp,
+                        std::shared_ptr<const InteractionPayload> payload) {
+  // Time regulation: a federate at grant t may not send below t + lookahead.
+  const SimTime floor = current_grant_ + sender.lookahead();
+  if (timestamp < floor) {
+    throw std::logic_error(
+        "Federate '" + sender.name() + "' violated lookahead: timestamp " +
+        std::to_string(timestamp) + " < " + std::to_string(floor));
+  }
+  Interaction interaction;
+  interaction.topic = std::move(topic);
+  interaction.timestamp = timestamp;
+  interaction.sender = sender.id();
+  interaction.payload = std::move(payload);
+  {
+    std::lock_guard lock(staged_mutex_);
+    interaction.sequence = federates_[sender.id().value()].send_sequence++;
+    staged_.push_back(std::move(interaction));
+    ++stats_.interactions_sent;
+  }
+}
+
+void Federation::subscribe(Federate& subscriber, std::string topic) {
+  if (running_) {
+    throw std::logic_error("Federation::subscribe: federation is running");
+  }
+  auto& subs = subscriptions_[topic];
+  const FederateId id = subscriber.id();
+  if (std::find(subs.begin(), subs.end(), id) == subs.end()) {
+    subs.push_back(id);
+    federates_[id.value()].topics.push_back(std::move(topic));
+  }
+}
+
+void Federation::merge_staged() {
+  std::lock_guard lock(staged_mutex_);
+  if (staged_.empty()) return;
+  pending_.insert(pending_.end(), std::make_move_iterator(staged_.begin()),
+                  std::make_move_iterator(staged_.end()));
+  staged_.clear();
+  std::sort(pending_.begin(), pending_.end(), InteractionOrder{});
+  stats_.max_pending = std::max(stats_.max_pending, pending_.size());
+}
+
+void Federation::prepare_inboxes(SimTime grant) {
+  // pending_ is sorted; find the prefix due at this grant.
+  auto due_end = std::find_if(
+      pending_.begin(), pending_.end(),
+      [grant](const Interaction& i) { return i.timestamp > grant; });
+  for (auto it = pending_.begin(); it != due_end; ++it) {
+    auto subs = subscriptions_.find(it->topic);
+    if (subs == subscriptions_.end()) continue;
+    for (FederateId id : subs->second) {
+      federates_[id.value()].inbox.push_back(*it);
+    }
+  }
+  pending_.erase(pending_.begin(), due_end);
+}
+
+void Federation::run_cycle_for(FederateSlot& slot, SimTime grant) {
+  for (const Interaction& interaction : slot.inbox) {
+    slot.federate->receive(interaction);
+  }
+  stats_.interactions_delivered += slot.inbox.size();
+  slot.inbox.clear();
+  slot.federate->on_time_grant(grant);
+}
+
+void Federation::run(SimTime t0, SimTime end, Duration step,
+                     ExecutionMode mode) {
+  if (!(step > 0.0)) {
+    throw std::invalid_argument("Federation::run: step must be > 0");
+  }
+  if (end < t0) throw std::invalid_argument("Federation::run: end < t0");
+  const double cycles_exact = (end - t0) / step;
+  const auto cycles = static_cast<std::uint64_t>(std::llround(cycles_exact));
+  if (std::abs(cycles_exact - static_cast<double>(cycles)) > 1e-6) {
+    throw std::invalid_argument(
+        "Federation::run: (end - t0) must be an integer multiple of step");
+  }
+  running_ = true;
+  current_grant_ = t0;
+  for (FederateSlot& slot : federates_) slot.federate->on_start(t0);
+  merge_staged();
+
+  if (mode == ExecutionMode::kSequential) {
+    run_sequential(t0, cycles, step);
+  } else {
+    run_threaded(t0, cycles, step);
+  }
+
+  for (FederateSlot& slot : federates_) slot.federate->on_stop(current_grant_);
+  running_ = false;
+  stats_.cycles += cycles;
+}
+
+void Federation::run_sequential(SimTime t0, std::uint64_t cycles,
+                                Duration step) {
+  for (std::uint64_t k = 1; k <= cycles; ++k) {
+    const SimTime grant = t0 + static_cast<double>(k) * step;
+    prepare_inboxes(grant);
+    current_grant_ = grant;
+    for (FederateSlot& slot : federates_) run_cycle_for(slot, grant);
+    merge_staged();
+  }
+}
+
+void Federation::run_threaded(SimTime t0, std::uint64_t cycles,
+                              Duration step) {
+  if (federates_.empty()) return;
+  const std::size_t n = federates_.size();
+  // Two barrier phases per cycle: (a) after the coordinator prepared
+  // inboxes, workers deliver+tick; (b) after all workers finished, the
+  // coordinator merges staged sends and advances the clock.
+  std::barrier sync(static_cast<std::ptrdiff_t>(n) + 1);
+  std::atomic<SimTime> grant_time{t0};
+  std::atomic<bool> done{false};
+  // A federate callback throwing in a worker thread must reach the caller,
+  // not std::terminate: the first exception is captured, the run winds
+  // down cooperatively, and the coordinator rethrows after joining.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
+  // stats_.interactions_delivered is coordinator-only in this mode; workers
+  // accumulate their own counts and the coordinator folds them in at the end.
+  std::vector<std::uint64_t> delivered(n, 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers.emplace_back([this, i, &sync, &grant_time, &done, &delivered,
+                          &failed, &first_exception, &exception_mutex] {
+      while (true) {
+        sync.arrive_and_wait();  // wait for inboxes
+        if (done.load(std::memory_order_acquire)) return;
+        if (!failed.load(std::memory_order_acquire)) {
+          try {
+            FederateSlot& slot = federates_[i];
+            const SimTime grant = grant_time.load(std::memory_order_acquire);
+            for (const Interaction& interaction : slot.inbox) {
+              slot.federate->receive(interaction);
+            }
+            delivered[i] += slot.inbox.size();
+            slot.inbox.clear();
+            slot.federate->on_time_grant(grant);
+          } catch (...) {
+            std::lock_guard lock(exception_mutex);
+            if (!first_exception) first_exception = std::current_exception();
+            failed.store(true, std::memory_order_release);
+          }
+        }
+        sync.arrive_and_wait();  // cycle complete
+      }
+    });
+  }
+
+  for (std::uint64_t k = 1; k <= cycles; ++k) {
+    const SimTime grant = t0 + static_cast<double>(k) * step;
+    prepare_inboxes(grant);
+    current_grant_ = grant;
+    grant_time.store(grant, std::memory_order_release);
+    sync.arrive_and_wait();  // release workers
+    sync.arrive_and_wait();  // wait for workers
+    merge_staged();
+    if (failed.load(std::memory_order_acquire)) break;
+  }
+  done.store(true, std::memory_order_release);
+  sync.arrive_and_wait();  // let workers observe `done` and exit
+  for (std::thread& t : workers) t.join();
+  for (std::uint64_t d : delivered) stats_.interactions_delivered += d;
+  if (first_exception) std::rethrow_exception(first_exception);
+}
+
+}  // namespace mgrid::sim

@@ -1,0 +1,53 @@
+// HLA-lite interactions.
+//
+// The paper runs its mobile grid on an HLA 1.3 federation; interactions are
+// HLA's timestamped publish/subscribe messages. Ours carry a topic string, a
+// timestamp, the sending federate and a polymorphic payload. Delivery order
+// is total and deterministic: (timestamp, sender, per-sender sequence).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/types.h"
+
+namespace mgrid::sim {
+
+/// Base class for interaction payloads. Concrete payloads are plain structs
+/// deriving from this; receivers recover them with Interaction::payload_as.
+struct InteractionPayload {
+  virtual ~InteractionPayload() = default;
+};
+
+struct Interaction {
+  std::string topic;
+  SimTime timestamp = 0.0;
+  FederateId sender;
+  /// Per-sender sequence number (assigned by the federation at send time).
+  std::uint64_t sequence = 0;
+  std::shared_ptr<const InteractionPayload> payload;
+
+  /// Typed payload access; nullptr when the payload is of another type.
+  template <typename T>
+  [[nodiscard]] const T* payload_as() const noexcept {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+/// Total delivery order: (timestamp, sender, sequence). Strict weak order.
+struct InteractionOrder {
+  bool operator()(const Interaction& a, const Interaction& b) const noexcept {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    if (a.sender != b.sender) return a.sender < b.sender;
+    return a.sequence < b.sequence;
+  }
+};
+
+/// Convenience for building payloads.
+template <typename T, typename... Args>
+std::shared_ptr<const InteractionPayload> make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace mgrid::sim

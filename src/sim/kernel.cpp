@@ -1,0 +1,93 @@
+#include "sim/kernel.h"
+
+#include <stdexcept>
+
+namespace mgrid::sim {
+
+EventId SimulationKernel::schedule_at(SimTime time, EventQueue::Action action,
+                                      int priority) {
+  if (time < now_) {
+    throw std::invalid_argument(
+        "SimulationKernel::schedule_at: time is in the past");
+  }
+  return queue_.schedule(time, std::move(action), priority);
+}
+
+EventId SimulationKernel::schedule_in(Duration delay,
+                                      EventQueue::Action action,
+                                      int priority) {
+  if (delay < 0.0) {
+    throw std::invalid_argument(
+        "SimulationKernel::schedule_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(action), priority);
+}
+
+std::uint64_t SimulationKernel::schedule_periodic(SimTime first_time,
+                                                  Duration period,
+                                                  PeriodicAction action,
+                                                  int priority) {
+  if (!(period > 0.0)) {
+    throw std::invalid_argument(
+        "SimulationKernel::schedule_periodic: period must be > 0");
+  }
+  if (!action) {
+    throw std::invalid_argument(
+        "SimulationKernel::schedule_periodic: null action");
+  }
+  const std::uint64_t handle = next_periodic_++;
+  PeriodicTask task{period, std::move(action), priority, 0};
+  task.pending_event = schedule_at(
+      first_time, [this, handle, first_time] { fire_periodic(handle, first_time); },
+      priority);
+  periodic_.emplace(handle, std::move(task));
+  return handle;
+}
+
+void SimulationKernel::fire_periodic(std::uint64_t handle, SimTime t) {
+  auto it = periodic_.find(handle);
+  if (it == periodic_.end()) return;  // cancelled between pop and fire
+  // Reschedule before invoking so the action can cancel its own task.
+  const SimTime next = t + it->second.period;
+  it->second.pending_event = queue_.schedule(
+      next, [this, handle, next] { fire_periodic(handle, next); },
+      it->second.priority);
+  // Copy the callable handle out: the action may cancel (erase) the task.
+  PeriodicAction action = it->second.action;
+  action(t);
+}
+
+bool SimulationKernel::cancel_periodic(std::uint64_t handle) {
+  auto it = periodic_.find(handle);
+  if (it == periodic_.end()) return false;
+  queue_.cancel(it->second.pending_event);
+  periodic_.erase(it);
+  return true;
+}
+
+void SimulationKernel::run_until(SimTime end) {
+  if (end < now_) {
+    throw std::invalid_argument("SimulationKernel::run_until: end < now");
+  }
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.next_time() <= end) {
+    step();
+  }
+  if (!stop_requested_ && now_ < end) now_ = end;
+}
+
+void SimulationKernel::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) step();
+}
+
+bool SimulationKernel::step() {
+  if (queue_.empty()) return false;
+  EventQueue::PoppedEvent event = queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+}  // namespace mgrid::sim

@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel.
+//
+// Drives an EventQueue with a simulation clock: actions scheduled at absolute
+// or relative times, periodic tasks, run-until semantics. Used directly by
+// the network layer (delayed message delivery) and examples; the federation
+// layer builds its time-stepped protocol on the same clock discipline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace mgrid::sim {
+
+class SimulationKernel {
+ public:
+  explicit SimulationKernel(SimTime start_time = 0.0) noexcept
+      : now_(start_time) {}
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+  /// Schedules at an absolute time; throws std::invalid_argument for times
+  /// in the past (scheduling exactly `now` is allowed and runs this step).
+  EventId schedule_at(SimTime time, EventQueue::Action action,
+                      int priority = 0);
+  /// Schedules `delay` seconds from now; delay must be >= 0.
+  EventId schedule_in(Duration delay, EventQueue::Action action,
+                      int priority = 0);
+
+  /// Schedules `action(t)` every `period` starting at `first_time`;
+  /// reschedules itself until cancelled. Returns a handle usable with
+  /// cancel_periodic(). period must be > 0.
+  using PeriodicAction = std::function<void(SimTime)>;
+  std::uint64_t schedule_periodic(SimTime first_time, Duration period,
+                                  PeriodicAction action, int priority = 0);
+  /// Stops a periodic task; returns false if it was not running.
+  bool cancel_periodic(std::uint64_t handle);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or the clock would pass `end`.
+  /// Leaves the clock at min(end, last-event time) — precisely: at `end`.
+  void run_until(SimTime end);
+  /// Runs to queue exhaustion.
+  void run();
+  /// Executes the single earliest event; returns false if none pending.
+  bool step();
+  /// Stops an in-progress run after the current event returns.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  struct PeriodicTask {
+    Duration period;
+    PeriodicAction action;
+    int priority;
+    EventId pending_event;
+  };
+
+  void fire_periodic(std::uint64_t handle, SimTime t);
+
+  EventQueue queue_;
+  SimTime now_;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+  std::uint64_t next_periodic_ = 1;
+  std::unordered_map<std::uint64_t, PeriodicTask> periodic_;
+};
+
+}  // namespace mgrid::sim

@@ -1,0 +1,177 @@
+#include "sim/object_registry.h"
+
+#include <stdexcept>
+
+namespace mgrid::sim {
+
+std::string object_topic(std::string_view object_class) {
+  return std::string(kObjectTopicPrefix) + std::string(object_class);
+}
+
+// ---------------------------------------------------------------------------
+// ObjectView
+// ---------------------------------------------------------------------------
+
+void ObjectView::apply(const Interaction& interaction) {
+  const auto* event = interaction.payload_as<ObjectEvent>();
+  if (event == nullptr) return;
+  switch (event->kind) {
+    case ObjectEvent::Kind::kDiscover: {
+      Instance& instance = instances_[event->instance];
+      instance.id = event->instance;
+      instance.object_class = event->object_class;
+      instance.name = event->instance_name;
+      instance.owner = interaction.sender;
+      instance.last_update = interaction.timestamp;
+      instance.removed = false;
+      for (const auto& [name, value] : event->attributes) {
+        instance.attributes[name] = value;
+      }
+      break;
+    }
+    case ObjectEvent::Kind::kReflect: {
+      auto it = instances_.find(event->instance);
+      if (it == instances_.end() || it->second.removed) return;  // unknown
+      for (const auto& [name, value] : event->attributes) {
+        it->second.attributes[name] = value;
+      }
+      it->second.last_update = interaction.timestamp;
+      break;
+    }
+    case ObjectEvent::Kind::kRemove: {
+      auto it = instances_.find(event->instance);
+      if (it != instances_.end()) it->second.removed = true;
+      break;
+    }
+  }
+}
+
+std::size_t ObjectView::live_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [id, instance] : instances_) {
+    if (!instance.removed) ++count;
+  }
+  return count;
+}
+
+const ObjectView::Instance* ObjectView::find(
+    ObjectInstanceId id) const noexcept {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+const ObjectView::Instance* ObjectView::find_by_name(
+    std::string_view name) const noexcept {
+  for (const auto& [id, instance] : instances_) {
+    if (!instance.removed && instance.name == name) return &instance;
+  }
+  return nullptr;
+}
+
+std::vector<const ObjectView::Instance*> ObjectView::instances_of(
+    std::string_view object_class) const {
+  std::vector<const Instance*> out;
+  for (const auto& [id, instance] : instances_) {
+    if (!instance.removed && instance.object_class == object_class) {
+      out.push_back(&instance);
+    }
+  }
+  return out;
+}
+
+std::optional<double> ObjectView::attribute_double(
+    ObjectInstanceId id, std::string_view name) const {
+  const Instance* instance = find(id);
+  if (instance == nullptr) return std::nullopt;
+  auto it = instance->attributes.find(name);
+  if (it == instance->attributes.end()) return std::nullopt;
+  if (const double* value = std::get_if<double>(&it->second)) return *value;
+  return std::nullopt;
+}
+
+std::optional<geo::Vec2> ObjectView::attribute_vec2(
+    ObjectInstanceId id, std::string_view name) const {
+  const Instance* instance = find(id);
+  if (instance == nullptr) return std::nullopt;
+  auto it = instance->attributes.find(name);
+  if (it == instance->attributes.end()) return std::nullopt;
+  if (const geo::Vec2* value = std::get_if<geo::Vec2>(&it->second)) {
+    return *value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ObjectView::attribute_string(
+    ObjectInstanceId id, std::string_view name) const {
+  const Instance* instance = find(id);
+  if (instance == nullptr) return std::nullopt;
+  auto it = instance->attributes.find(name);
+  if (it == instance->attributes.end()) return std::nullopt;
+  if (const std::string* value = std::get_if<std::string>(&it->second)) {
+    return *value;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// ObjectPublisher
+// ---------------------------------------------------------------------------
+
+ObjectPublisher::ObjectPublisher(FederateId self, SendFn send)
+    : self_(self), send_(std::move(send)) {
+  if (!self.valid()) {
+    throw std::invalid_argument("ObjectPublisher: invalid federate id");
+  }
+  if (!send_) throw std::invalid_argument("ObjectPublisher: null send");
+}
+
+ObjectInstanceId ObjectPublisher::register_object(std::string object_class,
+                                                  std::string instance_name,
+                                                  SimTime timestamp) {
+  if (object_class.empty()) {
+    throw std::invalid_argument("ObjectPublisher: empty object class");
+  }
+  // Federation-unique id: high bits = owning federate, low bits = counter.
+  const ObjectInstanceId id =
+      (static_cast<ObjectInstanceId>(self_.value()) << 20) | next_local_++;
+  auto event = std::make_shared<ObjectEvent>();
+  event->kind = ObjectEvent::Kind::kDiscover;
+  event->instance = id;
+  event->object_class = object_class;
+  event->instance_name = std::move(instance_name);
+  classes_.emplace(id, object_class);
+  send_(object_topic(object_class), timestamp, std::move(event));
+  return id;
+}
+
+void ObjectPublisher::update_attributes(
+    ObjectInstanceId instance,
+    std::vector<std::pair<std::string, AttributeValue>> attributes,
+    SimTime timestamp) {
+  auto it = classes_.find(instance);
+  if (it == classes_.end()) {
+    throw std::out_of_range("ObjectPublisher: unknown instance");
+  }
+  auto event = std::make_shared<ObjectEvent>();
+  event->kind = ObjectEvent::Kind::kReflect;
+  event->instance = instance;
+  event->object_class = it->second;
+  event->attributes = std::move(attributes);
+  send_(object_topic(it->second), timestamp, std::move(event));
+}
+
+void ObjectPublisher::remove_object(ObjectInstanceId instance,
+                                    SimTime timestamp) {
+  auto it = classes_.find(instance);
+  if (it == classes_.end()) {
+    throw std::out_of_range("ObjectPublisher: unknown instance");
+  }
+  auto event = std::make_shared<ObjectEvent>();
+  event->kind = ObjectEvent::Kind::kRemove;
+  event->instance = instance;
+  event->object_class = it->second;
+  send_(object_topic(it->second), timestamp, std::move(event));
+  classes_.erase(it);
+}
+
+}  // namespace mgrid::sim

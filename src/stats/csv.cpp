@@ -1,0 +1,95 @@
+#include "stats/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mgrid::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table: header must not be empty");
+  }
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width " +
+                                std::to_string(row.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void Table::write_csv(std::ostream& out) const {
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << csv_escape(row[i]);
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+void Table::write_pretty(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  std::size_t rule_width = 0;
+  for (std::size_t w : widths) rule_width += w + 2;
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) write_row(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table: cannot write " + path);
+  write_csv(out);
+}
+
+}  // namespace mgrid::stats

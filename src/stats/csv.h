@@ -1,0 +1,51 @@
+// CSV / console table writer.
+//
+// Bench binaries print each figure both as an aligned console table (for a
+// human) and optionally as CSV (for re-plotting). Quoting follows RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgrid::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return header_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// RFC-4180 CSV (fields containing comma/quote/newline are quoted).
+  void write_csv(std::ostream& out) const;
+  /// Space-padded console rendering.
+  void write_pretty(std::ostream& out) const;
+  /// Writes CSV to a file; throws std::runtime_error if unwritable.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes one CSV field per RFC 4180 if needed.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Formats a double with fixed precision (helper shared by benches).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+}  // namespace mgrid::stats

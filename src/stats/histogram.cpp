@@ -1,0 +1,72 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mgrid::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+  if (bucket_count == 0) {
+    throw std::invalid_argument("Histogram: requires bucket_count > 0");
+  }
+  counts_.assign(bucket_count, 0);
+  bucket_width_ = (hi - lo) / static_cast<double>(bucket_count);
+}
+
+void Histogram::add(double sample) noexcept {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (sample >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bucket = static_cast<std::size_t>((sample - lo_) / bucket_width_);
+  bucket = std::min(bucket, counts_.size() - 1);  // guard FP edge at hi
+  ++counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  if (bucket >= counts_.size()) {
+    throw std::out_of_range("Histogram::bucket_lo");
+  }
+  return lo_ + static_cast<double>(bucket) * bucket_width_;
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + bucket_width_;
+}
+
+double Histogram::cdf_at(std::size_t bucket) const {
+  if (bucket >= counts_.size()) throw std::out_of_range("Histogram::cdf_at");
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i <= bucket; ++i) cumulative += counts_[i];
+  return static_cast<double>(cumulative) / static_cast<double>(in_range);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(),
+                                                   counts_.end());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[i] * std::max<std::size_t>(max_width, 1) / peak;
+    out << '[' << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ != 0) out << "underflow " << underflow_ << '\n';
+  if (overflow_ != 0) out << "overflow " << overflow_ << '\n';
+  return out.str();
+}
+
+}  // namespace mgrid::stats

@@ -1,0 +1,46 @@
+// Fixed-range histogram with overflow/underflow tracking.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mgrid::stats {
+
+class Histogram {
+ public:
+  /// Buckets span [lo, hi) uniformly. Requires lo < hi and bucket_count > 0.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void add(double sample) noexcept;
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const {
+    return counts_.at(bucket);
+  }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of bucket i.
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of in-range samples at or below the upper edge of bucket i.
+  [[nodiscard]] double cdf_at(std::size_t bucket) const;
+
+  /// Multi-line ASCII rendering (for example programs).
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mgrid::stats

@@ -1,0 +1,42 @@
+#include "stats/rmse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mgrid::stats {
+
+void RmseAccumulator::add_error(double error) noexcept {
+  const double magnitude = std::abs(error);
+  ++count_;
+  sum_squared_ += magnitude * magnitude;
+  sum_abs_ += magnitude;
+  max_error_ = std::max(max_error_, magnitude);
+}
+
+void RmseAccumulator::add_point(double real_x, double real_y, double est_x,
+                                double est_y) noexcept {
+  const double dx = real_x - est_x;
+  const double dy = real_y - est_y;
+  add_error(std::sqrt(dx * dx + dy * dy));
+}
+
+void RmseAccumulator::merge(const RmseAccumulator& other) noexcept {
+  count_ += other.count_;
+  sum_squared_ += other.sum_squared_;
+  sum_abs_ += other.sum_abs_;
+  max_error_ = std::max(max_error_, other.max_error_);
+}
+
+void RmseAccumulator::reset() noexcept { *this = RmseAccumulator{}; }
+
+double RmseAccumulator::rmse() const noexcept {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(sum_squared_ / static_cast<double>(count_));
+}
+
+double RmseAccumulator::mae() const noexcept {
+  if (count_ == 0) return 0.0;
+  return sum_abs_ / static_cast<double>(count_);
+}
+
+}  // namespace mgrid::stats

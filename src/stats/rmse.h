@@ -1,0 +1,37 @@
+// Root-mean-square-error accumulation (paper §4.2, Ghilani & Wolf).
+//
+// The paper scores location accuracy as RMSE = sqrt(sum((RL - EL)^2) / n)
+// where RL is the real location, EL the broker's (estimated or stale) view,
+// and n the number of MN samples.
+#pragma once
+
+#include <cstddef>
+
+namespace mgrid::stats {
+
+class RmseAccumulator {
+ public:
+  /// Adds one scalar error term (already a distance).
+  void add_error(double error) noexcept;
+  /// Adds the error between a real and an estimated 2D point.
+  void add_point(double real_x, double real_y, double est_x,
+                 double est_y) noexcept;
+  void merge(const RmseAccumulator& other) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// sqrt(mean squared error); 0 when empty.
+  [[nodiscard]] double rmse() const noexcept;
+  /// mean absolute error; 0 when empty.
+  [[nodiscard]] double mae() const noexcept;
+  /// Largest single error seen.
+  [[nodiscard]] double max_error() const noexcept { return max_error_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_squared_ = 0.0;
+  double sum_abs_ = 0.0;
+  double max_error_ = 0.0;
+};
+
+}  // namespace mgrid::stats

@@ -1,0 +1,64 @@
+// Streaming moment statistics (Welford's algorithm).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace mgrid::stats {
+
+/// Numerically stable running mean / variance / min / max over a stream of
+/// samples. O(1) memory; merging two accumulators is supported so per-thread
+/// partial statistics can be combined.
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+  /// Combines another accumulator into this one (parallel-merge formula).
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mean of samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample (Bessel-corrected) variance; 0 with fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean() * count_; }
+  /// +inf / -inf when empty (so min/max of an empty merge behaves).
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the mean
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially-weighted moving average (used for adaptive monitoring of
+/// velocity in the classifier).
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha);
+
+  void add(double sample) noexcept;
+  void reset() noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return !initialized_; }
+  /// Current smoothed value; 0 when empty.
+  [[nodiscard]] double value() const noexcept {
+    return initialized_ ? value_ : 0.0;
+  }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace mgrid::stats

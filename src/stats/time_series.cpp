@@ -1,0 +1,103 @@
+#include "stats/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::stats {
+
+TimeSeries::TimeSeries(Duration bucket_width, SimTime t0)
+    : width_(bucket_width), t0_(t0) {
+  if (!(bucket_width > 0.0)) {
+    throw std::invalid_argument("TimeSeries: bucket_width must be > 0");
+  }
+}
+
+void TimeSeries::add(SimTime t, double value) {
+  double offset = (t - t0_) / width_;
+  std::size_t index =
+      offset <= 0.0 ? 0 : static_cast<std::size_t>(std::floor(offset));
+  if (index >= buckets_.size()) {
+    const std::size_t old_size = buckets_.size();
+    buckets_.resize(index + 1);
+    for (std::size_t i = old_size; i < buckets_.size(); ++i) {
+      buckets_[i].start = t0_ + static_cast<double>(i) * width_;
+    }
+  }
+  buckets_[index].stats.add(value);
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  if (other.width_ != width_ || other.t0_ != t0_) {
+    throw std::invalid_argument("TimeSeries::merge: mismatched geometry");
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    const std::size_t old_size = buckets_.size();
+    buckets_.resize(other.buckets_.size());
+    for (std::size_t i = old_size; i < buckets_.size(); ++i) {
+      buckets_[i].start = t0_ + static_cast<double>(i) * width_;
+    }
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i].stats.merge(other.buckets_[i].stats);
+  }
+}
+
+std::vector<double> TimeSeries::sums() const {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (const SeriesBucket& b : buckets_) out.push_back(b.stats.sum());
+  return out;
+}
+
+std::vector<double> TimeSeries::means() const {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (const SeriesBucket& b : buckets_) out.push_back(b.stats.mean());
+  return out;
+}
+
+std::vector<double> TimeSeries::cumulative_sums() const {
+  std::vector<double> out = sums();
+  double running = 0.0;
+  for (double& v : out) {
+    running += v;
+    v = running;
+  }
+  return out;
+}
+
+double TimeSeries::total_sum() const noexcept {
+  double total = 0.0;
+  for (const SeriesBucket& b : buckets_) total += b.stats.sum();
+  return total;
+}
+
+std::size_t TimeSeries::total_count() const noexcept {
+  std::size_t total = 0;
+  for (const SeriesBucket& b : buckets_) total += b.stats.count();
+  return total;
+}
+
+double TimeSeries::mean_bucket_sum() const noexcept {
+  if (buckets_.empty()) return 0.0;
+  return total_sum() / static_cast<double>(buckets_.size());
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p out of [0, 100]");
+  }
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+}  // namespace mgrid::stats

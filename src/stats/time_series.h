@@ -1,0 +1,76 @@
+// Time-bucketed series collection.
+//
+// Every figure in the paper is a per-second series over the 1800 s run; the
+// collectors bucket samples by simulation time and expose mean / sum / count
+// per bucket plus whole-series summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/running_stats.h"
+#include "util/types.h"
+
+namespace mgrid::stats {
+
+/// One bucket of a TimeSeries.
+struct SeriesBucket {
+  SimTime start = 0.0;  ///< inclusive bucket start time
+  RunningStats stats;   ///< samples that fell into this bucket
+};
+
+/// A series of fixed-width time buckets starting at t0. Adding a sample for a
+/// time beyond the current end extends the series (empty buckets are kept so
+/// the x-axis stays regular).
+class TimeSeries {
+ public:
+  /// `bucket_width` must be > 0.
+  explicit TimeSeries(Duration bucket_width, SimTime t0 = 0.0);
+
+  /// Records `value` at simulation time `t`. Times before t0 are clamped to
+  /// the first bucket.
+  void add(SimTime t, double value);
+
+  /// Merges another series bucketwise. Throws std::invalid_argument unless
+  /// bucket width and origin match.
+  void merge(const TimeSeries& other);
+
+  /// Adds `value` to a pure-count series (equivalent to add(t, value) where
+  /// consumers read sum()).
+  void add_count(SimTime t, double value = 1.0) { add(t, value); }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] Duration bucket_width() const noexcept { return width_; }
+  [[nodiscard]] const SeriesBucket& bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+  [[nodiscard]] const std::vector<SeriesBucket>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Per-bucket sums (counts for counter series) / means, in time order.
+  [[nodiscard]] std::vector<double> sums() const;
+  [[nodiscard]] std::vector<double> means() const;
+  /// Cumulative per-bucket sums.
+  [[nodiscard]] std::vector<double> cumulative_sums() const;
+
+  /// Whole-series totals.
+  [[nodiscard]] double total_sum() const noexcept;
+  [[nodiscard]] std::size_t total_count() const noexcept;
+  /// Mean of per-bucket sums — e.g. "average LUs per second".
+  [[nodiscard]] double mean_bucket_sum() const noexcept;
+
+ private:
+  Duration width_;
+  SimTime t0_;
+  std::vector<SeriesBucket> buckets_;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0,100]).
+/// Throws std::invalid_argument on an empty set or out-of-range p.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace mgrid::stats

@@ -1,0 +1,161 @@
+#include "util/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mgrid::util {
+
+namespace {
+
+void parse_line(std::string_view line, Config& config) {
+  // Strip comments first so `key = value  # note` works.
+  if (std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+    line = line.substr(0, hash);
+  }
+  line = trim(line);
+  if (line.empty()) return;
+  std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos) {
+    throw ConfigError("config line missing '=': " + std::string(line));
+  }
+  std::string key{trim(line.substr(0, eq))};
+  std::string value{trim(line.substr(eq + 1))};
+  if (key.empty()) {
+    throw ConfigError("config line with empty key: " + std::string(line));
+  }
+  config.set(std::move(key), std::move(value));
+}
+
+}  // namespace
+
+Config Config::from_text(std::string_view text) {
+  Config config;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = (nl == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, nl - start);
+    parse_line(line, config);
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return config;
+}
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config config;
+  for (const std::string& arg : args) parse_line(arg, config);
+  return config;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  values_.insert_or_assign(std::move(key), std::move(value));
+}
+
+bool Config::contains(std::string_view key) const noexcept {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> Config::get(std::string_view key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string_view fallback) const {
+  auto value = get(key);
+  return value ? *value : std::string(fallback);
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  auto parsed = parse_double(*value);
+  if (!parsed) {
+    throw ConfigError("config key '" + std::string(key) +
+                      "' is not a double: " + *value);
+  }
+  return *parsed;
+}
+
+std::int64_t Config::get_int(std::string_view key,
+                             std::int64_t fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  auto parsed = parse_int(*value);
+  if (!parsed) {
+    throw ConfigError("config key '" + std::string(key) +
+                      "' is not an integer: " + *value);
+  }
+  return *parsed;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  auto parsed = parse_bool(*value);
+  if (!parsed) {
+    throw ConfigError("config key '" + std::string(key) +
+                      "' is not a bool: " + *value);
+  }
+  return *parsed;
+}
+
+double Config::require_double(std::string_view key) const {
+  if (!contains(key)) {
+    throw ConfigError("missing required config key: " + std::string(key));
+  }
+  return get_double(key, 0.0);
+}
+
+std::int64_t Config::require_int(std::string_view key) const {
+  if (!contains(key)) {
+    throw ConfigError("missing required config key: " + std::string(key));
+  }
+  return get_int(key, 0);
+}
+
+std::string Config::require_string(std::string_view key) const {
+  auto value = get(key);
+  if (!value) {
+    throw ConfigError("missing required config key: " + std::string(key));
+  }
+  return *value;
+}
+
+std::vector<double> Config::get_double_list(
+    std::string_view key, const std::vector<double>& fallback) const {
+  auto value = get(key);
+  if (!value) return fallback;
+  std::vector<double> out;
+  for (const std::string& field : split_trimmed(*value, ',')) {
+    if (field.empty()) continue;
+    auto parsed = parse_double(field);
+    if (!parsed) {
+      throw ConfigError("config key '" + std::string(key) +
+                        "' has a non-numeric element: " + field);
+    }
+    out.push_back(*parsed);
+  }
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [key, value] : other.values()) {
+    values_.insert_or_assign(key, value);
+  }
+}
+
+}  // namespace mgrid::util

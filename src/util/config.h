@@ -1,0 +1,77 @@
+// Key/value experiment configuration.
+//
+// Examples and benches accept `key=value` pairs (command line or file) so an
+// experiment can be re-run with different DTH factors, seeds or durations
+// without recompiling. Keys are case-sensitive; `#` starts a comment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgrid::util {
+
+/// Thrown when a requested key is missing or fails to parse as the requested
+/// type.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses newline-separated `key = value` text. Blank lines and `#`
+  /// comments are ignored. Later duplicates override earlier ones.
+  /// Throws ConfigError on a malformed (no '=') non-empty line.
+  static Config from_text(std::string_view text);
+
+  /// Parses `key=value` tokens (e.g. argv tail). A token without '=' is an
+  /// error.
+  static Config from_args(const std::vector<std::string>& args);
+
+  /// Loads from a file. Throws ConfigError if unreadable.
+  static Config from_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed access with a default when the key is absent; throws ConfigError
+  /// when present but unparsable (a typo should never be silently ignored).
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Typed access for required keys; throws ConfigError when absent.
+  [[nodiscard]] double require_double(std::string_view key) const;
+  [[nodiscard]] std::int64_t require_int(std::string_view key) const;
+  [[nodiscard]] std::string require_string(std::string_view key) const;
+
+  /// Comma-separated list of doubles, e.g. "0.75,1.0,1.25".
+  [[nodiscard]] std::vector<double> get_double_list(
+      std::string_view key, const std::vector<double>& fallback) const;
+
+  /// Merges `other` over this config (other wins on conflicts).
+  void merge(const Config& other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& values()
+      const noexcept {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace mgrid::util

@@ -1,0 +1,185 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mgrid::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) {
+    // Top-level single value.
+    return;
+  }
+  if (stack_.back() == Scope::kObject && !key_pending_) {
+    throw std::logic_error("JsonWriter: value inside object without a key");
+  }
+  if (stack_.back() == Scope::kArray) {
+    if (!first_in_scope_.back()) out_ += ',';
+    first_in_scope_.back() = false;
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty() || stack_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: duplicate key call");
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no Infinity/NaN
+  } else {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.10g", number);
+    out_ += buffer;
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  before_value();
+  out_ += std::to_string(number);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  before_value();
+  out_ += boolean ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field_array(std::string_view name,
+                                    const std::vector<double>& values) {
+  key(name);
+  begin_array();
+  for (double v : values) value(v);
+  return end_array();
+}
+
+std::string JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw std::logic_error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+}  // namespace mgrid::util

@@ -1,0 +1,67 @@
+// Minimal JSON writer (no dependencies).
+//
+// Emits RFC 8259 JSON with proper string escaping and non-finite-number
+// handling. Writer-only by design: the repository exports results for
+// external plotting/analysis, it never ingests JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgrid::util {
+
+/// Escapes a string for inclusion inside JSON quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Streaming writer with explicit begin/end nesting. Misuse (ending the
+/// wrong scope, keys in arrays, ...) throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Sets the key for the next value (only valid inside an object).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool boolean);
+  JsonWriter& null();
+
+  /// Convenience: key + value.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// Key + array of doubles in one call.
+  JsonWriter& field_array(std::string_view name,
+                          const std::vector<double>& values);
+
+  /// The finished document. Throws std::logic_error when scopes are still
+  /// open or nothing was written.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace mgrid::util

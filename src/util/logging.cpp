@@ -1,0 +1,74 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+#include "util/string_util.h"
+
+namespace mgrid::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  const std::string lowered = to_lower(trim(text));
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) noexcept {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const noexcept {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+bool Logger::enabled(LogLevel level) const noexcept {
+  return level != LogLevel::kOff && level >= this->level();
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  std::lock_guard lock(mutex_);
+  if (level == LogLevel::kOff || level < level_) return;
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::cerr << '[' << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace mgrid::util

@@ -1,0 +1,38 @@
+// Small string helpers used by the config parser and CSV writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgrid::util {
+
+/// Removes leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on `sep`, keeping empty fields. "a,,b" -> {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on `sep` and trims each field.
+[[nodiscard]] std::vector<std::string> split_trimmed(std::string_view s,
+                                                     char sep);
+
+/// ASCII lower-casing.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Strict full-string parses. Return nullopt on any trailing garbage.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s) noexcept;
+[[nodiscard]] std::optional<std::int64_t> parse_int(
+    std::string_view s) noexcept;
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view s);
+
+/// Joins items with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+}  // namespace mgrid::util

@@ -1,0 +1,81 @@
+// Strongly-typed identifiers and time types shared by every subsystem.
+//
+// The mobile grid manipulates several id spaces (mobile nodes, regions,
+// clusters, gateways, federates). Mixing them up is a classic source of silent
+// bugs, so each space gets its own tag type; ids are only comparable within a
+// space.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mgrid {
+
+/// Simulation time in seconds. All kernels, filters and estimators use this.
+using SimTime = double;
+
+/// Duration in seconds.
+using Duration = double;
+
+namespace detail {
+
+/// A typed integral id. `Tag` makes each instantiation a distinct type.
+template <typename Tag>
+class TypedId {
+ public:
+  using value_type = std::uint32_t;
+
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr TypedId() noexcept = default;
+  constexpr explicit TypedId(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalidValue;
+  }
+
+  static constexpr TypedId invalid() noexcept { return TypedId{}; }
+
+  friend constexpr auto operator<=>(TypedId, TypedId) noexcept = default;
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+}  // namespace detail
+
+struct MnTag {};
+struct RegionTag {};
+struct ClusterTag {};
+struct GatewayTag {};
+struct FederateTag {};
+struct JobTag {};
+
+/// Identifier of a mobile node (MN).
+using MnId = detail::TypedId<MnTag>;
+/// Identifier of a campus region (road, building or gate).
+using RegionId = detail::TypedId<RegionTag>;
+/// Identifier of an ADF velocity/direction cluster.
+using ClusterId = detail::TypedId<ClusterTag>;
+/// Identifier of a wireless gateway (AP or base station).
+using GatewayId = detail::TypedId<GatewayTag>;
+/// Identifier of a federate in the HLA-lite federation.
+using FederateId = detail::TypedId<FederateTag>;
+/// Identifier of a grid job submitted to the broker.
+using JobId = detail::TypedId<JobTag>;
+
+}  // namespace mgrid
+
+namespace std {
+template <typename Tag>
+struct hash<mgrid::detail::TypedId<Tag>> {
+  size_t operator()(mgrid::detail::TypedId<Tag> id) const noexcept {
+    return std::hash<typename mgrid::detail::TypedId<Tag>::value_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,78 @@
+// Battery-aware scheduling tests: LUs piggyback the device's remaining
+// battery; the scheduler penalises or excludes drained candidates.
+#include <gtest/gtest.h>
+
+#include "broker/grid_broker.h"
+#include "broker/scheduler.h"
+
+namespace mgrid::broker {
+namespace {
+
+TEST(BrokerBattery, TracksLastReportedFraction) {
+  GridBroker broker;
+  EXPECT_EQ(broker.battery_fraction(MnId{1}), 1.0);  // unknown -> full
+  broker.on_location_update(MnId{1}, 0.0, {0, 0}, {}, 0.4);
+  EXPECT_EQ(broker.battery_fraction(MnId{1}), 0.4);
+  broker.on_location_update(MnId{1}, 1.0, {0, 0}, {}, 0.35);
+  EXPECT_EQ(broker.battery_fraction(MnId{1}), 0.35);
+}
+
+TEST(BatteryScheduler, ParamsValidation) {
+  GridBroker broker;
+  SchedulerParams bad;
+  bad.battery_weight = -1.0;
+  EXPECT_THROW(JobScheduler(broker, bad), std::invalid_argument);
+  bad = {};
+  bad.min_battery = 1.5;
+  EXPECT_THROW(JobScheduler(broker, bad), std::invalid_argument);
+}
+
+TEST(BatteryScheduler, PenaltyShiftsRanking) {
+  GridBroker broker;
+  // Node 1 is nearer but nearly drained; node 2 is farther with a full
+  // battery.
+  broker.on_location_update(MnId{1}, 0.0, {5, 0}, {}, 0.05);
+  broker.on_location_update(MnId{2}, 0.0, {20, 0}, {}, 1.0);
+  SchedulerParams params;
+  params.staleness_weight = 0.0;
+  params.battery_weight = 0.0;
+  {
+    JobScheduler distance_only(broker, params);
+    EXPECT_EQ(distance_only.rank_candidates({0, 0}, 0.0, 1)[0], MnId{1});
+  }
+  params.battery_weight = 50.0;  // 0.95 drained -> +47.5 m penalty
+  {
+    JobScheduler battery_aware(broker, params);
+    EXPECT_EQ(battery_aware.rank_candidates({0, 0}, 0.0, 1)[0], MnId{2});
+  }
+}
+
+TEST(BatteryScheduler, MinBatteryExcludesDrainedNodes) {
+  GridBroker broker;
+  broker.on_location_update(MnId{1}, 0.0, {0, 0}, {}, 0.02);
+  broker.on_location_update(MnId{2}, 0.0, {100, 0}, {}, 0.9);
+  SchedulerParams params;
+  params.min_battery = 0.1;
+  JobScheduler scheduler(broker, params);
+  const auto ranked = scheduler.rank_candidates({0, 0}, 0.0, 10);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0], MnId{2});
+}
+
+TEST(BatteryScheduler, JobStaysPendingWhenAllCandidatesDrained) {
+  GridBroker broker;
+  broker.on_location_update(MnId{1}, 0.0, {0, 0}, {}, 0.01);
+  SchedulerParams params;
+  params.min_battery = 0.2;
+  JobScheduler scheduler(broker, params);
+  JobSpec spec;
+  spec.id = JobId{1};
+  EXPECT_EQ(scheduler.submit(spec, 0.0), JobState::kPending);
+  // The node recharges (reports a healthy battery); rescheduling assigns.
+  broker.on_location_update(MnId{1}, 5.0, {0, 0}, {}, 0.8);
+  scheduler.reschedule_pending(5.0);
+  EXPECT_EQ(scheduler.status(JobId{1})->state, JobState::kRunning);
+}
+
+}  // namespace
+}  // namespace mgrid::broker

@@ -1,0 +1,83 @@
+#include "broker/location_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mgrid::broker {
+namespace {
+
+TEST(LocationDb, Validation) {
+  EXPECT_THROW(LocationDb(0), std::invalid_argument);
+  LocationDb db;
+  EXPECT_THROW(db.record_update(MnId::invalid(), 0.0, {0, 0}, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(LocationDb, UnknownNodeLookups) {
+  LocationDb db;
+  EXPECT_FALSE(db.knows(MnId{1}));
+  EXPECT_FALSE(db.lookup(MnId{1}).has_value());
+  EXPECT_TRUE(std::isinf(db.staleness(MnId{1}, 100.0)));
+  EXPECT_TRUE(db.history(MnId{1}).empty());
+  EXPECT_TRUE(db.known_nodes().empty());
+}
+
+TEST(LocationDb, RecordUpdateSetsReportedAndView) {
+  LocationDb db;
+  db.record_update(MnId{1}, 5.0, {1, 2}, {0.5, 0.0});
+  ASSERT_TRUE(db.knows(MnId{1}));
+  const auto record = db.lookup(MnId{1});
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->last_reported.position, (geo::Vec2{1, 2}));
+  EXPECT_EQ(record->last_reported.velocity, (geo::Vec2{0.5, 0.0}));
+  EXPECT_EQ(record->current_view.position, (geo::Vec2{1, 2}));
+  EXPECT_FALSE(record->current_view.estimated);
+  EXPECT_EQ(db.staleness(MnId{1}, 8.0), 3.0);
+}
+
+TEST(LocationDb, EstimateUpdatesViewNotReported) {
+  LocationDb db;
+  db.record_update(MnId{1}, 5.0, {1, 2}, {});
+  db.record_estimate(MnId{1}, 6.0, {1.5, 2.5});
+  const auto record = db.lookup(MnId{1});
+  EXPECT_EQ(record->last_reported.position, (geo::Vec2{1, 2}));
+  EXPECT_EQ(record->current_view.position, (geo::Vec2{1.5, 2.5}));
+  EXPECT_TRUE(record->current_view.estimated);
+  // Staleness keys off the last *received* fix.
+  EXPECT_EQ(db.staleness(MnId{1}, 10.0), 5.0);
+}
+
+TEST(LocationDb, EstimateForUnknownNodeThrows) {
+  LocationDb db;
+  EXPECT_THROW(db.record_estimate(MnId{9}, 1.0, {0, 0}), std::logic_error);
+}
+
+TEST(LocationDb, HistoryInterleavesAndIsBounded) {
+  LocationDb db(/*history_limit=*/3);
+  db.record_update(MnId{1}, 1.0, {1, 0}, {});
+  db.record_estimate(MnId{1}, 2.0, {2, 0});
+  db.record_update(MnId{1}, 3.0, {3, 0}, {});
+  db.record_estimate(MnId{1}, 4.0, {4, 0});
+  const auto& history = db.history(MnId{1});
+  ASSERT_EQ(history.size(), 3u);  // bounded
+  EXPECT_EQ(history.front().t, 2.0);
+  EXPECT_TRUE(history.front().estimated);
+  EXPECT_EQ(history.back().t, 4.0);
+}
+
+TEST(LocationDb, KnownNodesSorted) {
+  LocationDb db;
+  db.record_update(MnId{7}, 0.0, {}, {});
+  db.record_update(MnId{2}, 0.0, {}, {});
+  db.record_update(MnId{5}, 0.0, {}, {});
+  const auto nodes = db.known_nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], MnId{2});
+  EXPECT_EQ(nodes[1], MnId{5});
+  EXPECT_EQ(nodes[2], MnId{7});
+  EXPECT_EQ(db.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mgrid::broker

@@ -1,0 +1,168 @@
+#include "broker/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "estimation/estimator.h"
+
+namespace mgrid::broker {
+namespace {
+
+class SchedulerTest : public testing::Test {
+ protected:
+  void seed_nodes(SimTime t) {
+    broker_.on_location_update(MnId{1}, t, {0, 0}, {});
+    broker_.on_location_update(MnId{2}, t, {50, 0}, {});
+    broker_.on_location_update(MnId{3}, t, {100, 0}, {});
+  }
+
+  GridBroker broker_;
+};
+
+TEST_F(SchedulerTest, Validation) {
+  SchedulerParams bad;
+  bad.staleness_weight = -1.0;
+  EXPECT_THROW(JobScheduler(broker_, bad), std::invalid_argument);
+
+  JobScheduler scheduler(broker_);
+  JobSpec spec;
+  EXPECT_THROW((void)scheduler.submit(spec, 0.0), std::invalid_argument);
+  spec.id = JobId{1};
+  spec.replicas = 0;
+  EXPECT_THROW((void)scheduler.submit(spec, 0.0), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, RanksByDistanceWhenEquallyFresh) {
+  seed_nodes(0.0);
+  JobScheduler scheduler(broker_);
+  const auto ranked = scheduler.rank_candidates({10, 0}, 0.0, 3);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], MnId{1});
+  EXPECT_EQ(ranked[1], MnId{2});
+  EXPECT_EQ(ranked[2], MnId{3});
+}
+
+TEST_F(SchedulerTest, StalenessPenalisesOldViews) {
+  broker_.on_location_update(MnId{1}, 0.0, {0, 0}, {});   // stale
+  broker_.on_location_update(MnId{2}, 20.0, {30, 0}, {});  // fresh but farther
+  SchedulerParams params;
+  params.staleness_weight = 2.0;
+  JobScheduler scheduler(broker_, params);
+  // At t=20: node1 score = 0 + 2*20 = 40; node2 score = 30 + 0 = 30.
+  const auto ranked = scheduler.rank_candidates({0, 0}, 20.0, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], MnId{2});
+}
+
+TEST_F(SchedulerTest, MaxStalenessCutsCandidates) {
+  broker_.on_location_update(MnId{1}, 0.0, {0, 0}, {});
+  broker_.on_location_update(MnId{2}, 95.0, {1, 0}, {});
+  SchedulerParams params;
+  params.max_staleness = 10.0;
+  JobScheduler scheduler(broker_, params);
+  const auto ranked = scheduler.rank_candidates({0, 0}, 100.0, 10);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0], MnId{2});
+}
+
+TEST_F(SchedulerTest, SubmitAssignsRequestedReplicas) {
+  seed_nodes(0.0);
+  JobScheduler scheduler(broker_);
+  JobSpec spec;
+  spec.id = JobId{1};
+  spec.site = {0, 0};
+  spec.replicas = 2;
+  EXPECT_EQ(scheduler.submit(spec, 0.0), JobState::kRunning);
+  const auto status = scheduler.status(JobId{1});
+  ASSERT_TRUE(status.has_value());
+  ASSERT_EQ(status->assignees.size(), 2u);
+  EXPECT_EQ(status->assignees[0], MnId{1});
+  EXPECT_EQ(status->assignees[1], MnId{2});
+  EXPECT_EQ(scheduler.running_count(), 1u);
+}
+
+TEST_F(SchedulerTest, DuplicateJobIdRejected) {
+  seed_nodes(0.0);
+  JobScheduler scheduler(broker_);
+  JobSpec spec;
+  spec.id = JobId{1};
+  scheduler.submit(spec, 0.0);
+  EXPECT_THROW((void)scheduler.submit(spec, 0.0), std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, InsufficientCandidatesLeavesJobPending) {
+  JobScheduler scheduler(broker_);  // broker knows nobody yet
+  JobSpec spec;
+  spec.id = JobId{1};
+  spec.replicas = 2;
+  EXPECT_EQ(scheduler.submit(spec, 0.0), JobState::kPending);
+  EXPECT_EQ(scheduler.pending_count(), 1u);
+  // Nodes appear; rescheduling assigns.
+  seed_nodes(1.0);
+  scheduler.reschedule_pending(1.0);
+  EXPECT_EQ(scheduler.pending_count(), 0u);
+  EXPECT_EQ(scheduler.status(JobId{1})->state, JobState::kRunning);
+}
+
+TEST_F(SchedulerTest, CompletionRequiresAllReplicas) {
+  seed_nodes(0.0);
+  JobScheduler scheduler(broker_);
+  JobSpec spec;
+  spec.id = JobId{1};
+  spec.replicas = 2;
+  scheduler.submit(spec, 0.0);
+  scheduler.report_completion(JobId{1}, MnId{1}, 5.0, true);
+  EXPECT_EQ(scheduler.status(JobId{1})->state, JobState::kRunning);
+  scheduler.report_completion(JobId{1}, MnId{2}, 6.0, true);
+  const auto status = scheduler.status(JobId{1});
+  EXPECT_EQ(status->state, JobState::kCompleted);
+  EXPECT_EQ(status->completed_at, 6.0);
+}
+
+TEST_F(SchedulerTest, FailureFailsTheJob) {
+  seed_nodes(0.0);
+  JobScheduler scheduler(broker_);
+  JobSpec spec;
+  spec.id = JobId{1};
+  scheduler.submit(spec, 0.0);
+  scheduler.report_completion(JobId{1}, MnId{1}, 2.0, false);
+  EXPECT_EQ(scheduler.status(JobId{1})->state, JobState::kFailed);
+  EXPECT_EQ(scheduler.running_count(), 0u);
+}
+
+TEST_F(SchedulerTest, CompletionValidation) {
+  seed_nodes(0.0);
+  JobScheduler scheduler(broker_);
+  JobSpec spec;
+  spec.id = JobId{1};
+  scheduler.submit(spec, 0.0);
+  EXPECT_THROW(scheduler.report_completion(JobId{9}, MnId{1}, 0.0, true),
+               std::invalid_argument);
+  EXPECT_THROW(scheduler.report_completion(JobId{1}, MnId{99}, 0.0, true),
+               std::invalid_argument);
+  scheduler.report_completion(JobId{1}, MnId{1}, 0.0, true);
+  EXPECT_THROW(scheduler.report_completion(JobId{1}, MnId{1}, 0.0, true),
+               std::logic_error);  // already completed
+}
+
+TEST_F(SchedulerTest, UnknownJobStatusIsEmpty) {
+  JobScheduler scheduler(broker_);
+  EXPECT_FALSE(scheduler.status(JobId{5}).has_value());
+}
+
+TEST_F(SchedulerTest, EstimatedViewsImproveSelection) {
+  // With LE the broker's view of a mover tracks it; the scheduler should
+  // pick the node that is *actually* closer by the estimated position.
+  GridBroker le_broker(estimation::make_estimator("dead_reckoning"));
+  le_broker.on_location_update(MnId{1}, 0.0, {0, 0}, {5, 0});   // moving east
+  le_broker.on_location_update(MnId{2}, 0.0, {30, 0}, {0, 0});  // parked
+  le_broker.on_tick(10.0);  // node1 now estimated at (50, 0)
+  SchedulerParams params;
+  params.staleness_weight = 0.0;
+  JobScheduler scheduler(le_broker, params);
+  const auto ranked = scheduler.rank_candidates({50, 0}, 10.0, 1);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0], MnId{1});
+}
+
+}  // namespace
+}  // namespace mgrid::broker

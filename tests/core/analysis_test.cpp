@@ -1,0 +1,94 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance_filter.h"
+
+namespace mgrid::core {
+namespace {
+
+TEST(Analysis, Validation) {
+  EXPECT_THROW((void)predicted_transmission_rate(1.0, 1.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)predicted_transmission_rate(-1.0, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)predicted_transmission_rate(1.0, -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)predicted_transmission_rate_uniform({2.0, 1.0}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)adf_dth(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)stale_view_error_bound(-1.0, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Analysis, StaircaseValues) {
+  // per-tick displacement 2 m.
+  EXPECT_EQ(predicted_transmission_rate(2.0, 0.0, 1.0), 1.0);   // k = 1
+  EXPECT_EQ(predicted_transmission_rate(2.0, 1.9, 1.0), 1.0);   // k = 1
+  EXPECT_EQ(predicted_transmission_rate(2.0, 2.0, 1.0), 0.5);   // k = 2
+  EXPECT_EQ(predicted_transmission_rate(2.0, 3.9, 1.0), 0.5);   // k = 2
+  EXPECT_EQ(predicted_transmission_rate(2.0, 4.0, 1.0), 1.0 / 3.0);
+  EXPECT_EQ(predicted_transmission_rate(0.0, 1.0, 1.0), 0.0);
+}
+
+TEST(Analysis, PeriodScaling) {
+  // The rate is per *sample*: shrinking the period shrinks the per-tick
+  // displacement, so the same DTH takes more ticks to exceed.
+  EXPECT_EQ(predicted_transmission_rate(2.0, 2.0, 0.5), 1.0 / 3.0);  // 1 m/tick
+  EXPECT_EQ(predicted_transmission_rate(2.0, 2.0, 2.0), 1.0);       // 4 m/tick
+}
+
+TEST(Analysis, AdfDthFormula) {
+  EXPECT_EQ(adf_dth(1.25, 2.0, 1.0), 2.5);
+  EXPECT_EQ(adf_dth(0.75, 4.0, 0.5), 1.5);
+}
+
+TEST(Analysis, ErrorBound) {
+  EXPECT_EQ(stale_view_error_bound(2.5, 2.0, 1.0), 4.5);
+  EXPECT_EQ(stale_view_error_bound(0.0, 0.0, 1.0), 0.0);
+}
+
+TEST(Analysis, UniformExpectationBracketsPointRates) {
+  const mobility::SpeedRange range{1.0, 4.0};
+  const double expected =
+      predicted_transmission_rate_uniform(range, 2.5, 1.0);
+  const double slowest = predicted_transmission_rate(1.0, 2.5, 1.0);
+  const double fastest = predicted_transmission_rate(4.0, 2.5, 1.0);
+  EXPECT_GE(expected, slowest);
+  EXPECT_LE(expected, fastest);
+  // Degenerate range equals the point prediction.
+  EXPECT_EQ(predicted_transmission_rate_uniform({2.0, 2.0}, 2.0, 1.0),
+            predicted_transmission_rate(2.0, 2.0, 1.0));
+}
+
+// The validation that matters: the simulated DistanceFilter converges to
+// the closed form for constant-speed straight movers.
+class StaircaseValidation
+    : public testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(StaircaseValidation, SimulationMatchesClosedForm) {
+  const auto [speed, dth] = GetParam();
+  const Duration period = 1.0;
+  DistanceFilter filter;
+  geo::Vec2 p{0, 0};
+  // Warm up (first transmission is unconditional) then measure.
+  (void)filter.apply(MnId{1}, p, dth);
+  const int kTicks = 3000;
+  int transmitted = 0;
+  for (int i = 0; i < kTicks; ++i) {
+    p.x += speed * period;
+    if (filter.apply(MnId{1}, p, dth).transmit) ++transmitted;
+  }
+  const double simulated = static_cast<double>(transmitted) / kTicks;
+  const double predicted = predicted_transmission_rate(speed, dth, period);
+  EXPECT_NEAR(simulated, predicted, 0.002)
+      << "speed=" << speed << " dth=" << dth;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeedDthGrid, StaircaseValidation,
+    testing::Combine(testing::Values(0.5, 1.0, 2.5, 7.0),
+                     testing::Values(0.3, 1.0, 2.49, 5.0, 10.0)));
+
+}  // namespace
+}  // namespace mgrid::core

@@ -1,0 +1,175 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/rng.h"
+
+namespace mgrid::core {
+namespace {
+
+using mobility::MobilityPattern;
+
+TEST(Classifier, ParamValidation) {
+  ClassifierParams bad;
+  bad.window = 1;
+  EXPECT_THROW(MobilityClassifier{bad}, std::invalid_argument);
+  bad = {};
+  bad.walk_velocity = 0.0;
+  EXPECT_THROW(MobilityClassifier{bad}, std::invalid_argument);
+  bad = {};
+  bad.stop_epsilon = 5.0;  // >= walk_velocity
+  EXPECT_THROW(MobilityClassifier{bad}, std::invalid_argument);
+  bad = {};
+  bad.heading_change_threshold = 0.0;
+  EXPECT_THROW(MobilityClassifier{bad}, std::invalid_argument);
+}
+
+TEST(Classifier, ObserveValidation) {
+  MobilityClassifier classifier;
+  EXPECT_THROW(classifier.observe(MnId::invalid(), 0.0, {0, 0}),
+               std::invalid_argument);
+  classifier.observe(MnId{1}, 1.0, {0, 0});
+  EXPECT_THROW(classifier.observe(MnId{1}, 0.5, {0, 0}),
+               std::invalid_argument);
+  // Duplicate timestamps are ignored, not an error.
+  EXPECT_NO_THROW(classifier.observe(MnId{1}, 1.0, {5, 5}));
+  EXPECT_EQ(classifier.features(MnId{1}).samples, 1u);
+}
+
+TEST(Classifier, UnknownNodeIsStop) {
+  const MobilityClassifier classifier;
+  EXPECT_EQ(classifier.classify(MnId{42}), MobilityPattern::kStop);
+  EXPECT_EQ(classifier.features(MnId{42}).samples, 0u);
+}
+
+TEST(Classifier, StationaryNodeIsStop) {
+  MobilityClassifier classifier;
+  const MnId mn{1};
+  for (int t = 0; t < 10; ++t) classifier.observe(mn, t, {5.0, 5.0});
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kStop);
+  EXPECT_EQ(classifier.features(mn).mean_speed, 0.0);
+}
+
+TEST(Classifier, ConstantWalkIsLinear) {
+  MobilityClassifier classifier;
+  const MnId mn{2};
+  for (int t = 0; t < 10; ++t) {
+    classifier.observe(mn, t, {1.2 * t, 0.0});  // 1.2 m/s straight walk
+  }
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kLinear);
+  EXPECT_NEAR(classifier.features(mn).mean_speed, 1.2, 1e-9);
+}
+
+TEST(Classifier, FastMoverIsLinearRegardlessOfHeadingNoise) {
+  // Fig. 2: V > V_walk -> running or vehicle -> LMS, even when the road
+  // curves.
+  MobilityClassifier classifier;
+  const MnId mn{3};
+  geo::Vec2 p{0, 0};
+  util::RngStream rng(1);
+  double heading = 0.0;
+  for (int t = 0; t < 10; ++t) {
+    classifier.observe(mn, t, p);
+    heading += rng.uniform(-0.5, 0.5);  // wiggly but fast
+    p += geo::from_polar(heading, 7.0);
+  }
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kLinear);
+}
+
+TEST(Classifier, ErraticWalkerIsRandom) {
+  MobilityClassifier classifier;
+  const MnId mn{4};
+  geo::Vec2 p{50, 50};
+  util::RngStream rng(2);
+  for (int t = 0; t < 12; ++t) {
+    classifier.observe(mn, t, p);
+    // Direction redrawn every second: classic RMS.
+    p += geo::from_polar(rng.uniform(-std::numbers::pi, std::numbers::pi),
+                         0.8);
+  }
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kRandom);
+}
+
+TEST(Classifier, SpeedBurstsMakeWalkerRandom) {
+  // Constant heading but strongly varying speed -> "V changes frequently".
+  MobilityClassifier classifier;
+  const MnId mn{5};
+  double x = 0.0;
+  for (int t = 0; t < 12; ++t) {
+    classifier.observe(mn, t, {x, 0.0});
+    x += (t % 2 == 0) ? 1.8 : 0.2;  // mean 1.0, CV ~0.8
+  }
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kRandom);
+}
+
+TEST(Classifier, OneTurnAtAnIntersectionStaysLinear) {
+  // Paper: a walker that turns once at a crossroads is still LMS.
+  MobilityClassifier classifier;
+  const MnId mn{6};
+  geo::Vec2 p{0, 0};
+  for (int t = 0; t < 12; ++t) {
+    classifier.observe(mn, t, p);
+    p += (t < 6) ? geo::Vec2{1.2, 0.0} : geo::Vec2{0.0, 1.2};
+  }
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kLinear);
+}
+
+TEST(Classifier, SlidingWindowAdaptsToPatternChange) {
+  ClassifierParams params;
+  params.window = 6;
+  MobilityClassifier classifier(params);
+  const MnId mn{7};
+  double t = 0.0;
+  // Walk linearly...
+  geo::Vec2 p{0, 0};
+  for (int i = 0; i < 10; ++i, t += 1.0) {
+    classifier.observe(mn, t, p);
+    p.x += 1.0;
+  }
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kLinear);
+  // ...then sit still long enough to flush the window.
+  for (int i = 0; i < 8; ++i, t += 1.0) classifier.observe(mn, t, p);
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kStop);
+}
+
+TEST(Classifier, ForgetDropsHistory) {
+  MobilityClassifier classifier;
+  const MnId mn{8};
+  classifier.observe(mn, 0.0, {0, 0});
+  classifier.observe(mn, 1.0, {1, 0});
+  EXPECT_EQ(classifier.tracked_count(), 1u);
+  classifier.forget(mn);
+  EXPECT_EQ(classifier.tracked_count(), 0u);
+  EXPECT_EQ(classifier.classify(mn), MobilityPattern::kStop);
+}
+
+TEST(Classifier, FeaturesExposeHeading) {
+  MobilityClassifier classifier;
+  const MnId mn{9};
+  for (int t = 0; t < 5; ++t) {
+    classifier.observe(mn, t, {0.0, 2.0 * t});  // moving along +y
+  }
+  EXPECT_NEAR(classifier.features(mn).heading, std::numbers::pi / 2, 1e-9);
+}
+
+// Parameterized: classification is scale-invariant across sampling periods.
+class PeriodSweep : public testing::TestWithParam<double> {};
+
+TEST_P(PeriodSweep, LinearWalkerStaysLinear) {
+  const double period = GetParam();
+  MobilityClassifier classifier;
+  const MnId mn{10};
+  for (int i = 0; i < 10; ++i) {
+    const double t = i * period;
+    classifier.observe(mn, t, {1.0 * t, 0.0});  // 1 m/s regardless of period
+  }
+  EXPECT_EQ(classifier.classify(mn), mobility::MobilityPattern::kLinear);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweep,
+                         testing::Values(0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace mgrid::core

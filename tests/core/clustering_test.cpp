@@ -1,0 +1,193 @@
+#include "core/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace mgrid::core {
+namespace {
+
+MotionFeatures features_of(double speed, double heading = 0.0) {
+  MotionFeatures f;
+  f.mean_speed = speed;
+  f.heading = heading;
+  f.samples = 8;
+  return f;
+}
+
+TEST(Clustering, ParamValidation) {
+  ClusteringParams bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(SequentialClusterer{bad}, std::invalid_argument);
+  bad = {};
+  bad.direction_weight = -1.0;
+  EXPECT_THROW(SequentialClusterer{bad}, std::invalid_argument);
+}
+
+TEST(Clustering, SimilarNodesShareACluster) {
+  SequentialClusterer clusterer;
+  const ClusterId a = clusterer.assign(MnId{1}, features_of(1.0));
+  const ClusterId b = clusterer.assign(MnId{2}, features_of(1.2));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(clusterer.cluster_count(), 1u);
+  EXPECT_EQ(clusterer.cluster(a).size, 2u);
+  EXPECT_NEAR(clusterer.cluster(a).mean_speed(), 1.1, 1e-12);
+}
+
+TEST(Clustering, DissimilarSpeedsCreateNewClusters) {
+  SequentialClusterer clusterer;  // alpha = 0.8
+  clusterer.assign(MnId{1}, features_of(1.0));
+  const ClusterId fast = clusterer.assign(MnId{2}, features_of(7.0));
+  EXPECT_EQ(clusterer.cluster_count(), 2u);
+  EXPECT_NEAR(clusterer.cluster(fast).mean_speed(), 7.0, 1e-12);
+}
+
+TEST(Clustering, AlphaBoundIsInclusive) {
+  ClusteringParams params;
+  params.alpha = 1.0;
+  params.direction_weight = 0.0;  // pure speed distance
+  SequentialClusterer clusterer(params);
+  clusterer.assign(MnId{1}, features_of(2.0));
+  // Distance exactly 1.0 == alpha -> joins.
+  const ClusterId joined = clusterer.assign(MnId{2}, features_of(3.0));
+  EXPECT_EQ(clusterer.cluster_count(), 1u);
+  EXPECT_NEAR(clusterer.cluster(joined).mean_speed(), 2.5, 1e-12);
+  // Distance from the (updated) centroid 2.5 beyond alpha -> new cluster.
+  clusterer.assign(MnId{3}, features_of(4.0));
+  EXPECT_EQ(clusterer.cluster_count(), 2u);
+}
+
+TEST(Clustering, DirectionSeparatesEqualSpeeds) {
+  ClusteringParams params;
+  params.alpha = 0.5;
+  params.direction_weight = 1.0;
+  SequentialClusterer clusterer(params);
+  clusterer.assign(MnId{1}, features_of(1.0, 0.0));           // east
+  clusterer.assign(MnId{2}, features_of(1.0, 3.14159));       // west
+  EXPECT_EQ(clusterer.cluster_count(), 2u);
+}
+
+TEST(Clustering, ZeroDirectionWeightIgnoresHeading) {
+  ClusteringParams params;
+  params.alpha = 0.5;
+  params.direction_weight = 0.0;
+  SequentialClusterer clusterer(params);
+  clusterer.assign(MnId{1}, features_of(1.0, 0.0));
+  clusterer.assign(MnId{2}, features_of(1.0, 3.14159));
+  EXPECT_EQ(clusterer.cluster_count(), 1u);
+}
+
+TEST(Clustering, ReassignMovesNodeBetweenClusters) {
+  SequentialClusterer clusterer;
+  clusterer.assign(MnId{1}, features_of(1.0));
+  clusterer.assign(MnId{2}, features_of(7.0));
+  EXPECT_EQ(clusterer.cluster_count(), 2u);
+  // Node 1 speeds up: it must migrate to the fast cluster, and the cluster
+  // it vacates (now empty) retires.
+  const ClusterId now = clusterer.assign(MnId{1}, features_of(7.2));
+  EXPECT_EQ(clusterer.cluster_count(), 1u);
+  EXPECT_EQ(now, *clusterer.cluster_of(MnId{2}));
+  EXPECT_EQ(clusterer.cluster(now).size, 2u);
+}
+
+TEST(Clustering, EmptyClustersAreRetired) {
+  SequentialClusterer clusterer;
+  const ClusterId only = clusterer.assign(MnId{1}, features_of(1.0));
+  clusterer.assign(MnId{2}, features_of(7.0));
+  // Node 1 migrates away; its old cluster dies.
+  clusterer.assign(MnId{1}, features_of(7.0));
+  EXPECT_EQ(clusterer.cluster_count(), 1u);
+  EXPECT_THROW((void)clusterer.cluster(only), std::out_of_range);
+}
+
+TEST(Clustering, RemoveRetiresNodeAndCluster) {
+  SequentialClusterer clusterer;
+  clusterer.assign(MnId{1}, features_of(1.0));
+  EXPECT_TRUE(clusterer.remove(MnId{1}));
+  EXPECT_FALSE(clusterer.remove(MnId{1}));
+  EXPECT_EQ(clusterer.cluster_count(), 0u);
+  EXPECT_EQ(clusterer.member_count(), 0u);
+  EXPECT_FALSE(clusterer.cluster_of(MnId{1}).has_value());
+}
+
+TEST(Clustering, CentroidTracksMembershipChanges) {
+  ClusteringParams params;
+  params.alpha = 2.0;
+  params.direction_weight = 0.0;
+  SequentialClusterer clusterer(params);
+  const ClusterId c = clusterer.assign(MnId{1}, features_of(1.0));
+  clusterer.assign(MnId{2}, features_of(2.0));
+  clusterer.assign(MnId{3}, features_of(3.0));
+  EXPECT_NEAR(clusterer.cluster(c).mean_speed(), 2.0, 1e-12);
+  clusterer.remove(MnId{3});
+  EXPECT_NEAR(clusterer.cluster(c).mean_speed(), 1.5, 1e-12);
+}
+
+TEST(Clustering, MaxClustersForcesNearestAssignment) {
+  ClusteringParams params;
+  params.alpha = 0.1;
+  params.max_clusters = 2;
+  params.direction_weight = 0.0;
+  SequentialClusterer clusterer(params);
+  clusterer.assign(MnId{1}, features_of(1.0));
+  clusterer.assign(MnId{2}, features_of(5.0));
+  // Far from both, but the cap forces it into the nearest (5.0).
+  const ClusterId forced = clusterer.assign(MnId{3}, features_of(9.0));
+  EXPECT_EQ(clusterer.cluster_count(), 2u);
+  EXPECT_EQ(forced, *clusterer.cluster_of(MnId{2}));
+}
+
+TEST(Clustering, RebuildIsDeterministicAndMerges) {
+  ClusteringParams params;
+  params.alpha = 1.0;
+  params.direction_weight = 0.0;
+  SequentialClusterer clusterer(params);
+  // Insertion order 1.0, 3.0, 2.0 leaves two clusters whose centroids can
+  // drift close together after reassignments.
+  clusterer.assign(MnId{1}, features_of(1.0));
+  clusterer.assign(MnId{2}, features_of(3.0));
+  clusterer.assign(MnId{3}, features_of(2.0));
+  clusterer.rebuild();
+  // Rebuild in MnId order: 1.0 seeds c0; 2.0 joins (d=1<=alpha, centroid
+  // 1.5); 3.0 is d=1.5 away -> new cluster... then the merge pass runs.
+  const std::size_t after_first = clusterer.cluster_count();
+  // A second rebuild from identical features must be a fixed point.
+  clusterer.rebuild();
+  EXPECT_EQ(clusterer.cluster_count(), after_first);
+  EXPECT_EQ(clusterer.member_count(), 3u);
+}
+
+TEST(Clustering, RebuildRejectsNegativeMergeFraction) {
+  SequentialClusterer clusterer;
+  EXPECT_THROW(clusterer.rebuild(-0.5), std::invalid_argument);
+}
+
+TEST(Clustering, ClustersListedInIdOrder) {
+  SequentialClusterer clusterer;
+  clusterer.assign(MnId{1}, features_of(1.0));
+  clusterer.assign(MnId{2}, features_of(5.0));
+  clusterer.assign(MnId{3}, features_of(9.0));
+  const auto clusters = clusterer.clusters();
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_LT(clusters[0].id, clusters[1].id);
+  EXPECT_LT(clusters[1].id, clusters[2].id);
+  EXPECT_EQ(clusterer.clusters_created(), 3u);
+}
+
+TEST(Clustering, InvalidMnRejected) {
+  SequentialClusterer clusterer;
+  EXPECT_THROW((void)clusterer.assign(MnId::invalid(), features_of(1.0)),
+               std::invalid_argument);
+}
+
+TEST(ClusterFeature, DistanceIsEuclideanInEmbeddedSpace) {
+  const ClusterFeature a = ClusterFeature::from_motion(features_of(1.0, 0.0),
+                                                       /*w=*/2.0);
+  const ClusterFeature b = ClusterFeature::from_motion(features_of(1.0, 0.0),
+                                                       2.0);
+  EXPECT_EQ(a.distance_to(b), 0.0);
+  const ClusterFeature c = ClusterFeature::from_motion(features_of(4.0, 0.0),
+                                                       2.0);
+  EXPECT_NEAR(a.distance_to(c), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mgrid::core

@@ -1,0 +1,100 @@
+#include "core/device_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adf.h"
+
+namespace mgrid::core {
+namespace {
+
+TEST(DeviceSideFilter, RejectsNegativeDth) {
+  DeviceSideFilter filter;
+  EXPECT_THROW(filter.set_dth(-1.0), std::invalid_argument);
+}
+
+TEST(DeviceSideFilter, FirstSampleAlwaysTransmits) {
+  DeviceSideFilter filter;
+  filter.set_dth(100.0);
+  EXPECT_TRUE(filter.should_transmit({5, 5}));
+  EXPECT_EQ(filter.transmitted(), 1u);
+}
+
+TEST(DeviceSideFilter, ZeroDthTransmitsEveryMovement) {
+  DeviceSideFilter filter;  // dth defaults to 0
+  EXPECT_TRUE(filter.should_transmit({0, 0}));
+  EXPECT_TRUE(filter.should_transmit({0.01, 0}));
+  EXPECT_FALSE(filter.should_transmit({0.01, 0}));  // no movement at all
+}
+
+TEST(DeviceSideFilter, SuppressesWithinDth) {
+  DeviceSideFilter filter;
+  filter.set_dth(3.0);
+  EXPECT_TRUE(filter.should_transmit({0, 0}));
+  EXPECT_FALSE(filter.should_transmit({2, 0}));
+  EXPECT_FALSE(filter.should_transmit({3, 0}));  // boundary: not exceeded
+  EXPECT_TRUE(filter.should_transmit({3.5, 0}));
+  EXPECT_EQ(filter.transmitted(), 2u);
+  EXPECT_EQ(filter.suppressed(), 2u);
+}
+
+TEST(DeviceSideFilter, AnchorMovesOnlyOnTransmit) {
+  DeviceSideFilter filter;
+  filter.set_dth(2.5);
+  EXPECT_TRUE(filter.should_transmit({0, 0}));
+  // Creep in 1 m steps: displacement accumulates from the anchor.
+  EXPECT_FALSE(filter.should_transmit({1, 0}));
+  EXPECT_FALSE(filter.should_transmit({2, 0}));
+  EXPECT_TRUE(filter.should_transmit({3, 0}));  // 3 > 2.5 from anchor (0,0)
+}
+
+TEST(DeviceSideFilter, DthUpdatesAreCounted) {
+  DeviceSideFilter filter;
+  filter.set_dth(1.0);
+  filter.set_dth(2.0);
+  EXPECT_EQ(filter.dth_updates_received(), 2u);
+  EXPECT_EQ(filter.dth(), 2.0);
+}
+
+TEST(DeviceSideFilter, MirrorsInfrastructureFilterDecisions) {
+  // Property: with the same DTH stream, the device-side filter makes the
+  // same transmit/suppress decisions as the infrastructure DistanceFilter.
+  DeviceSideFilter device;
+  DistanceFilter infrastructure;
+  const double dth = 2.0;
+  device.set_dth(dth);
+  geo::Vec2 p{0, 0};
+  for (int i = 0; i < 100; ++i) {
+    p.x += 0.7;
+    p.y += (i % 3 == 0) ? 0.9 : -0.2;
+    EXPECT_EQ(device.should_transmit(p),
+              infrastructure.apply(MnId{1}, p, dth).transmit)
+        << "step " << i;
+  }
+}
+
+TEST(AdfUpdateDth, ComputesDthWithoutFiltering) {
+  AdaptiveDistanceFilter adf;
+  const MnId mn{1};
+  FilterDecision decision;
+  for (int t = 0; t < 10; ++t) {
+    decision = adf.update_dth(mn, t, {2.0 * t, 0.0});
+    EXPECT_TRUE(decision.transmit);  // update_dth never suppresses
+  }
+  EXPECT_NEAR(decision.dth, 2.0, 0.3);
+  // The internal distance filter was never engaged.
+  EXPECT_EQ(adf.transmitted(), 0u);
+  EXPECT_EQ(adf.filtered(), 0u);
+}
+
+TEST(AdfUpdateDth, ProcessStillFiltersAfterRefactor) {
+  AdaptiveDistanceFilter adf;
+  const MnId mn{2};
+  int transmitted = 0;
+  for (int t = 0; t < 30; ++t) {
+    if (adf.process(mn, t, {10, 10}).transmit) ++transmitted;
+  }
+  EXPECT_EQ(transmitted, 1);
+}
+
+}  // namespace
+}  // namespace mgrid::core

@@ -1,0 +1,207 @@
+#include "core/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adf.h"
+#include "estimation/estimator.h"
+
+namespace mgrid::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TimeFilter
+// ---------------------------------------------------------------------------
+
+TEST(TimeFilter, Validation) {
+  EXPECT_THROW(TimeFilter(0.0), std::invalid_argument);
+  TimeFilter filter(5.0);
+  EXPECT_THROW((void)filter.process(MnId::invalid(), 0.0, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(TimeFilter, TransmitsAtFixedCadence) {
+  TimeFilter filter(5.0);
+  int transmitted = 0;
+  for (int t = 0; t < 20; ++t) {
+    if (filter.process(MnId{1}, t, {1.0 * t, 0}).transmit) ++transmitted;
+  }
+  // t = 0, 5, 10, 15.
+  EXPECT_EQ(transmitted, 4);
+  EXPECT_EQ(filter.transmitted(), 4u);
+  EXPECT_EQ(filter.filtered(), 16u);
+}
+
+TEST(TimeFilter, IgnoresMovementEntirely) {
+  TimeFilter filter(10.0);
+  filter.process(MnId{1}, 0.0, {0, 0});
+  // A 1 km jump within the interval is still suppressed — the strawman's
+  // weakness.
+  EXPECT_FALSE(filter.process(MnId{1}, 1.0, {1000, 0}).transmit);
+}
+
+TEST(TimeFilter, PerNodeClocks) {
+  TimeFilter filter(10.0);
+  EXPECT_TRUE(filter.process(MnId{1}, 0.0, {0, 0}).transmit);
+  EXPECT_TRUE(filter.process(MnId{2}, 5.0, {0, 0}).transmit);
+  EXPECT_FALSE(filter.process(MnId{1}, 9.0, {0, 0}).transmit);
+  EXPECT_TRUE(filter.process(MnId{1}, 10.0, {0, 0}).transmit);
+  EXPECT_FALSE(filter.process(MnId{2}, 14.0, {0, 0}).transmit);
+  EXPECT_TRUE(filter.process(MnId{2}, 15.0, {0, 0}).transmit);
+}
+
+TEST(TimeFilter, ForcedTransmitResetsTheClock) {
+  TimeFilter filter(10.0);
+  filter.process(MnId{1}, 0.0, {0, 0});
+  filter.note_forced_transmit(MnId{1}, 8.0, {0, 0});
+  EXPECT_FALSE(filter.process(MnId{1}, 12.0, {0, 0}).transmit);  // 8+10 > 12
+  EXPECT_TRUE(filter.process(MnId{1}, 18.0, {0, 0}).transmit);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedSilenceFilter
+// ---------------------------------------------------------------------------
+
+TEST(BoundedSilence, Validation) {
+  EXPECT_THROW(BoundedSilenceFilter(nullptr, 5.0), std::invalid_argument);
+  EXPECT_THROW(
+      BoundedSilenceFilter(std::make_unique<AdaptiveDistanceFilter>(), 0.0),
+      std::invalid_argument);
+}
+
+TEST(BoundedSilence, NameIncludesInner) {
+  BoundedSilenceFilter filter(std::make_unique<AdaptiveDistanceFilter>(),
+                              30.0);
+  EXPECT_EQ(filter.name(), "bounded_silence(adf)");
+}
+
+TEST(BoundedSilence, ForcesStationaryNodeThroughPeriodically) {
+  // A parked node under the plain ADF transmits once; under the bounded
+  // wrapper it reports every max_silence seconds.
+  BoundedSilenceFilter filter(std::make_unique<AdaptiveDistanceFilter>(),
+                              10.0);
+  int transmitted = 0;
+  for (int t = 0; t < 35; ++t) {
+    if (filter.process(MnId{1}, t, {5, 5}).transmit) ++transmitted;
+  }
+  // t=0 (first), then forced at 10, 20, 30.
+  EXPECT_EQ(transmitted, 4);
+  EXPECT_EQ(filter.forced(), 3u);
+}
+
+TEST(BoundedSilence, DoesNotInterfereWithActiveNodes) {
+  // A fast mover transmits often enough that the bound never fires.
+  BoundedSilenceFilter bounded(std::make_unique<AdaptiveDistanceFilter>(),
+                               30.0);
+  AdaptiveDistanceFilter plain;
+  int bounded_tx = 0;
+  int plain_tx = 0;
+  for (int t = 0; t < 100; ++t) {
+    const geo::Vec2 p{7.0 * t, 0.0};
+    bounded_tx += bounded.process(MnId{1}, t, p).transmit ? 1 : 0;
+    plain_tx += plain.process(MnId{1}, t, p).transmit ? 1 : 0;
+  }
+  EXPECT_EQ(bounded_tx, plain_tx);
+  EXPECT_EQ(bounded.forced(), 0u);
+}
+
+TEST(BoundedSilence, GuaranteesStalenessBound) {
+  // Property: the gap between consecutive transmissions never exceeds
+  // max_silence (at 1 Hz sampling).
+  BoundedSilenceFilter filter(std::make_unique<AdaptiveDistanceFilter>(),
+                              15.0);
+  double last_tx = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    // A creeping node that the ADF would silence for long stretches.
+    const geo::Vec2 p{0.01 * t, 0.0};
+    if (filter.process(MnId{1}, t, p).transmit) {
+      EXPECT_LE(t - last_tx, 15.0);
+      last_tx = t;
+    }
+  }
+  EXPECT_GT(filter.forced(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PredictionFilter
+// ---------------------------------------------------------------------------
+
+PredictionFilter make_prediction_filter(double threshold) {
+  return PredictionFilter(
+      [] { return estimation::make_estimator("dead_reckoning"); }, threshold);
+}
+
+TEST(PredictionFilter, Validation) {
+  EXPECT_THROW(PredictionFilter(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_prediction_filter(0.0), std::invalid_argument);
+  PredictionFilter filter = make_prediction_filter(1.0);
+  EXPECT_THROW((void)filter.process(MnId::invalid(), 0.0, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(PredictionFilter, SilentWhilePredictionHolds) {
+  // Constant-velocity motion: after two fixes the dead-reckoning predictor
+  // is exact, so NOTHING more is ever transmitted.
+  PredictionFilter filter = make_prediction_filter(2.0);
+  int transmitted = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (filter.process(MnId{1}, t, {3.0 * t, 0.0}).transmit) ++transmitted;
+  }
+  EXPECT_EQ(transmitted, 2);  // introduction + one velocity fix
+}
+
+TEST(PredictionFilter, TransmitsOnManeuver) {
+  PredictionFilter filter = make_prediction_filter(2.0);
+  geo::Vec2 p{0, 0};
+  int t = 0;
+  for (; t < 20; ++t) {
+    filter.process(MnId{1}, t, p);
+    p.x += 3.0;
+  }
+  const std::uint64_t before = filter.transmitted();
+  // Sharp turn: the prediction diverges within a tick.
+  for (int i = 0; i < 3; ++i, ++t) {
+    p.y += 3.0;
+    filter.process(MnId{1}, t, p);
+  }
+  EXPECT_GT(filter.transmitted(), before);
+}
+
+TEST(PredictionFilter, SharedPredictionBoundsError) {
+  // The protocol's invariant: at every sample, the broker-side prediction
+  // (== shared_prediction) is within threshold of the true position.
+  const double threshold = 2.5;
+  PredictionFilter filter = make_prediction_filter(threshold);
+  util::RngStream rng(3);
+  geo::Vec2 p{0, 0};
+  double heading = 0.0;
+  for (int t = 0; t < 300; ++t) {
+    filter.process(MnId{1}, t, p);
+    // After processing, the shared prediction is either corrected (just
+    // observed) or was already within threshold.
+    const auto predicted = filter.shared_prediction(MnId{1}, t);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_LE(geo::distance(*predicted, p), threshold + 1e-9) << t;
+    heading += rng.uniform(-0.4, 0.4);
+    p += geo::from_polar(heading, rng.uniform(0.0, 2.0));
+  }
+}
+
+TEST(PredictionFilter, TighterThresholdTransmitsMore) {
+  std::uint64_t previous = 0;
+  for (double threshold : {8.0, 4.0, 2.0, 1.0}) {
+    PredictionFilter filter = make_prediction_filter(threshold);
+    util::RngStream rng(5);
+    geo::Vec2 p{0, 0};
+    double heading = 0.0;
+    for (int t = 0; t < 200; ++t) {
+      filter.process(MnId{1}, t, p);
+      heading += rng.uniform(-0.3, 0.3);
+      p += geo::from_polar(heading, 1.5);
+    }
+    EXPECT_GE(filter.transmitted(), previous) << threshold;
+    previous = filter.transmitted();
+  }
+}
+
+}  // namespace
+}  // namespace mgrid::core

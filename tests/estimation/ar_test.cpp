@@ -1,0 +1,150 @@
+#include "estimation/ar_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace mgrid::estimation {
+namespace {
+
+TEST(Autocovariance, KnownSmallSeries) {
+  // series = {1, 2, 3}, mean = 2: r0 = (1+0+1)/3, r1 = ((-1)(0)+(0)(1))/3...
+  // r1 = ((2-2)(1-2) + (3-2)(2-2)) / 3 = 0.
+  const std::vector<double> r = autocovariance({1.0, 2.0, 3.0}, 2);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_NEAR(r[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r[1], 0.0, 1e-12);
+  EXPECT_NEAR(r[2], -1.0 / 3.0, 1e-12);
+}
+
+TEST(Autocovariance, EmptySeries) {
+  EXPECT_TRUE(autocovariance({}, 3).empty());
+}
+
+TEST(LevinsonDurbin, RecoversAr1Coefficient) {
+  // Generate AR(1): x_t = 0.7 x_{t-1} + e_t.
+  util::RngStream rng(42);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    x = 0.7 * x + rng.normal(0.0, 1.0);
+    series.push_back(x);
+  }
+  const std::vector<double> coeffs =
+      levinson_durbin(autocovariance(series, 1));
+  ASSERT_EQ(coeffs.size(), 1u);
+  EXPECT_NEAR(coeffs[0], 0.7, 0.03);
+}
+
+TEST(LevinsonDurbin, RecoversAr2Coefficients) {
+  util::RngStream rng(43);
+  std::vector<double> series{0.0, 0.0};
+  for (int i = 0; i < 40000; ++i) {
+    const double next = 0.5 * series[series.size() - 1] -
+                        0.3 * series[series.size() - 2] +
+                        rng.normal(0.0, 1.0);
+    series.push_back(next);
+  }
+  const std::vector<double> coeffs =
+      levinson_durbin(autocovariance(series, 2));
+  ASSERT_EQ(coeffs.size(), 2u);
+  EXPECT_NEAR(coeffs[0], 0.5, 0.03);
+  EXPECT_NEAR(coeffs[1], -0.3, 0.03);
+}
+
+TEST(LevinsonDurbin, DegenerateConstantSeriesGivesEmpty) {
+  const std::vector<double> r = autocovariance({2.0, 2.0, 2.0, 2.0}, 2);
+  EXPECT_TRUE(levinson_durbin(r).empty());  // r0 == 0 after mean removal
+}
+
+TEST(ArEstimator, Validation) {
+  ArParams bad;
+  bad.order = 0;
+  EXPECT_THROW(ArEstimator{bad}, std::invalid_argument);
+  bad = {};
+  bad.window = bad.order;  // too small
+  EXPECT_THROW(ArEstimator{bad}, std::invalid_argument);
+  bad = {};
+  bad.nominal_period = 0.0;
+  EXPECT_THROW(ArEstimator{bad}, std::invalid_argument);
+}
+
+TEST(ArEstimator, FallsBackToDeadReckoningBeforeModelReady) {
+  ArEstimator estimator;
+  estimator.observe(0.0, {0, 0}, geo::Vec2{1.0, 0.0});
+  EXPECT_FALSE(estimator.model_ready());
+  const geo::Vec2 predicted = estimator.estimate(2.0);
+  EXPECT_NEAR(predicted.x, 2.0, 1e-9);  // hint-based dead reckoning
+}
+
+TEST(ArEstimator, WindowFillTracksObservations) {
+  ArEstimator estimator;
+  estimator.observe(0.0, {0, 0});
+  EXPECT_EQ(estimator.window_fill(), 0u);  // first fix has no velocity yet
+  estimator.observe(1.0, {1, 0});
+  EXPECT_EQ(estimator.window_fill(), 1u);
+  estimator.observe(2.0, {2, 0});
+  EXPECT_EQ(estimator.window_fill(), 2u);
+}
+
+TEST(ArEstimator, WindowIsBounded) {
+  ArParams params;
+  params.order = 2;
+  params.window = 8;
+  ArEstimator estimator(params);
+  for (int t = 0; t <= 50; ++t) {
+    estimator.observe(t, {static_cast<double>(t), 0.0});
+  }
+  EXPECT_EQ(estimator.window_fill(), 8u);
+}
+
+TEST(ArEstimator, PredictsConstantVelocityTrack) {
+  ArEstimator estimator;
+  for (int t = 0; t <= 30; ++t) {
+    estimator.observe(t, {2.0 * t, 1.0 * t});
+  }
+  ASSERT_TRUE(estimator.model_ready());
+  const geo::Vec2 predicted = estimator.estimate(35.0);
+  EXPECT_NEAR(predicted.x, 70.0, 1.0);
+  EXPECT_NEAR(predicted.y, 35.0, 0.5);
+}
+
+TEST(ArEstimator, PredictsOscillatingVelocityBetterThanDeadReckoning) {
+  // Velocity alternates [+2, 0, +2, 0, ...]; AR can learn the oscillation,
+  // dead reckoning always projects the very last velocity.
+  ArParams params;
+  params.order = 2;
+  params.window = 32;
+  ArEstimator ar(params);
+  geo::Vec2 p{0, 0};
+  double t = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    ar.observe(t, p);
+    p.x += (i % 2 == 0) ? 2.0 : 0.0;
+    t += 1.0;
+  }
+  // Next increment (i=32, even) is +2, then 0, then +2, then 0: truth after
+  // 4 s is p.x + 4 (mean velocity 1 m/s).
+  const geo::Vec2 predicted = ar.estimate(t + 3.0);
+  const double truth_x = p.x + 4.0;
+  EXPECT_NEAR(predicted.x, truth_x, 2.0);
+}
+
+TEST(ArEstimator, ResetForgetsEverything) {
+  ArEstimator estimator;
+  for (int t = 0; t <= 10; ++t) estimator.observe(t, {1.0 * t, 0});
+  estimator.reset();
+  EXPECT_EQ(estimator.window_fill(), 0u);
+  EXPECT_EQ(estimator.estimate(20.0), (geo::Vec2{0, 0}));
+}
+
+TEST(ArEstimator, TimeReversalThrows) {
+  ArEstimator estimator;
+  estimator.observe(5.0, {0, 0});
+  EXPECT_THROW(estimator.observe(4.0, {1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mgrid::estimation

@@ -1,0 +1,174 @@
+#include "estimation/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "estimation/basic_estimators.h"
+#include "estimation/brown_estimator.h"
+#include "geo/vec2.h"
+
+namespace mgrid::estimation {
+namespace {
+
+TEST(Factory, ProducesAllRegisteredEstimators) {
+  for (const char* name : {"last_known", "dead_reckoning", "brown_polar",
+                           "brown_cartesian", "ses", "ar"}) {
+    const auto estimator = make_estimator(name);
+    ASSERT_NE(estimator, nullptr) << name;
+    EXPECT_EQ(estimator->name(), name);
+  }
+  EXPECT_THROW((void)make_estimator("kalman"), std::invalid_argument);
+}
+
+TEST(LastKnown, ReturnsLastObservation) {
+  LastKnownEstimator estimator;
+  EXPECT_EQ(estimator.estimate(10.0), (geo::Vec2{0, 0}));
+  estimator.observe(1.0, {3, 4});
+  estimator.observe(2.0, {5, 6});
+  EXPECT_EQ(estimator.estimate(100.0), (geo::Vec2{5, 6}));
+  estimator.reset();
+  EXPECT_EQ(estimator.estimate(100.0), (geo::Vec2{0, 0}));
+}
+
+TEST(DeadReckoning, ExtrapolatesWithDerivedVelocity) {
+  DeadReckoningEstimator estimator;
+  estimator.observe(0.0, {0, 0});
+  estimator.observe(1.0, {2, 0});  // v = (2, 0)
+  const geo::Vec2 predicted = estimator.estimate(3.0);
+  EXPECT_NEAR(predicted.x, 6.0, 1e-9);
+  EXPECT_NEAR(predicted.y, 0.0, 1e-9);
+}
+
+TEST(DeadReckoning, PrefersVelocityHint) {
+  DeadReckoningEstimator estimator;
+  estimator.observe(0.0, {0, 0}, geo::Vec2{0, 5});
+  const geo::Vec2 predicted = estimator.estimate(2.0);
+  EXPECT_NEAR(predicted.y, 10.0, 1e-9);
+}
+
+TEST(DeadReckoning, EstimateAtObservationTimeIsExact) {
+  DeadReckoningEstimator estimator;
+  estimator.observe(5.0, {1, 1}, geo::Vec2{9, 9});
+  EXPECT_EQ(estimator.estimate(5.0), (geo::Vec2{1, 1}));
+  EXPECT_EQ(estimator.estimate(4.0), (geo::Vec2{1, 1}));  // never behind
+}
+
+TEST(BrownPolar, ValidatesParams) {
+  BrownParams bad;
+  bad.alpha = 1.0;
+  EXPECT_THROW(BrownPolarEstimator{bad}, std::invalid_argument);
+  bad.alpha = 0.4;
+  bad.nominal_period = 0.0;
+  EXPECT_THROW(BrownPolarEstimator{bad}, std::invalid_argument);
+}
+
+TEST(BrownPolar, ConvergesOnConstantVelocityTrack) {
+  BrownPolarEstimator estimator;
+  // Heading 45 degrees, speed sqrt(2) m/s.
+  for (int t = 0; t <= 20; ++t) {
+    estimator.observe(t, {static_cast<double>(t), static_cast<double>(t)});
+  }
+  const geo::Vec2 predicted = estimator.estimate(25.0);
+  EXPECT_NEAR(predicted.x, 25.0, 0.5);
+  EXPECT_NEAR(predicted.y, 25.0, 0.5);
+  EXPECT_NEAR(estimator.speed_forecast(0.0), std::sqrt(2.0), 0.05);
+}
+
+TEST(BrownPolar, TimeReversalThrows) {
+  BrownPolarEstimator estimator;
+  estimator.observe(1.0, {0, 0});
+  EXPECT_THROW(estimator.observe(0.5, {1, 1}), std::invalid_argument);
+}
+
+TEST(BrownPolar, StationaryNodePredictsStationary) {
+  BrownPolarEstimator estimator;
+  for (int t = 0; t <= 10; ++t) estimator.observe(t, {5, 5});
+  const geo::Vec2 predicted = estimator.estimate(20.0);
+  EXPECT_NEAR(predicted.x, 5.0, 1e-6);
+  EXPECT_NEAR(predicted.y, 5.0, 1e-6);
+}
+
+TEST(BrownPolar, HandlesHeadingWrapAcrossPi) {
+  // A track heading just below +pi that drifts across the seam must not
+  // produce a wild forecast.
+  BrownPolarEstimator estimator;
+  const double speed = 1.0;
+  geo::Vec2 position{0, 0};
+  double heading = std::numbers::pi - 0.05;
+  for (int t = 0; t <= 30; ++t) {
+    estimator.observe(t, position);
+    heading += 0.01;  // slowly cross the seam
+    position += geo::from_polar(heading, speed);
+  }
+  const geo::Vec2 predicted = estimator.estimate(32.0);
+  const geo::Vec2 actual = position + geo::from_polar(heading, 2.0 * speed);
+  EXPECT_LT(geo::distance(predicted, actual), 1.5);
+}
+
+TEST(BrownPolar, SeedsFromVelocityHint) {
+  BrownPolarEstimator estimator;
+  estimator.observe(0.0, {0, 0}, geo::Vec2{2.0, 0.0});
+  // With only one observation, the hint drives the forecast.
+  const geo::Vec2 predicted = estimator.estimate(1.0);
+  EXPECT_NEAR(predicted.x, 2.0, 0.2);
+}
+
+TEST(BrownCartesian, ConvergesOnConstantVelocityTrack) {
+  BrownCartesianEstimator estimator;
+  for (int t = 0; t <= 20; ++t) {
+    estimator.observe(t, {2.0 * t, -1.0 * t});
+  }
+  const geo::Vec2 predicted = estimator.estimate(24.0);
+  EXPECT_NEAR(predicted.x, 48.0, 0.5);
+  EXPECT_NEAR(predicted.y, -24.0, 0.5);
+}
+
+TEST(Ses, FlatVelocityForecast) {
+  SesEstimator estimator;
+  for (int t = 0; t <= 10; ++t) estimator.observe(t, {3.0 * t, 0.0});
+  const geo::Vec2 predicted = estimator.estimate(12.0);
+  EXPECT_NEAR(predicted.x, 36.0, 0.5);
+}
+
+TEST(AllEstimators, CloneIsIndependent) {
+  for (const char* name : {"last_known", "dead_reckoning", "brown_polar",
+                           "brown_cartesian", "ses", "ar"}) {
+    auto original = make_estimator(name);
+    original->observe(0.0, {1, 1});
+    original->observe(1.0, {2, 2});
+    auto copy = original->clone();
+    // Diverge the original; the clone must keep its own state.
+    original->observe(2.0, {100, 100});
+    const geo::Vec2 copy_estimate = copy->estimate(2.0);
+    EXPECT_LT(geo::distance(copy_estimate, {3, 3}), 3.0) << name;
+  }
+}
+
+// Parameterized accuracy harness: on a constant-velocity track with a 5 s
+// observation gap, every forecasting estimator must beat last_known.
+class ForecastingBeatsLastKnown : public testing::TestWithParam<const char*> {
+};
+
+TEST_P(ForecastingBeatsLastKnown, OnStraightTrack) {
+  auto estimator = make_estimator(GetParam());
+  LastKnownEstimator last_known;
+  const geo::Vec2 velocity{1.5, 0.5};
+  for (int t = 0; t <= 30; ++t) {
+    const geo::Vec2 p = velocity * static_cast<double>(t);
+    estimator->observe(t, p);
+    last_known.observe(t, p);
+  }
+  const geo::Vec2 truth = velocity * 35.0;
+  const double err = geo::distance(estimator->estimate(35.0), truth);
+  const double baseline = geo::distance(last_known.estimate(35.0), truth);
+  EXPECT_LT(err, baseline * 0.5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimators, ForecastingBeatsLastKnown,
+                         testing::Values("dead_reckoning", "brown_polar",
+                                         "brown_cartesian", "ses", "ar"));
+
+}  // namespace
+}  // namespace mgrid::estimation

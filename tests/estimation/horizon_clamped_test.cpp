@@ -1,0 +1,67 @@
+#include "estimation/horizon_clamped.h"
+
+#include <gtest/gtest.h>
+
+#include "estimation/basic_estimators.h"
+#include "estimation/estimator.h"
+
+namespace mgrid::estimation {
+namespace {
+
+TEST(HorizonClamped, Validation) {
+  EXPECT_THROW(HorizonClampedEstimator(nullptr, 3.0), std::invalid_argument);
+  EXPECT_THROW(
+      HorizonClampedEstimator(make_estimator("dead_reckoning"), 0.0),
+      std::invalid_argument);
+}
+
+TEST(HorizonClamped, NameIncludesInner) {
+  HorizonClampedEstimator estimator(make_estimator("brown_polar"), 3.0);
+  EXPECT_EQ(estimator.name(), "horizon(brown_polar)");
+  EXPECT_EQ(estimator.horizon(), 3.0);
+}
+
+TEST(HorizonClamped, ForwardsWithinHorizon) {
+  HorizonClampedEstimator clamped(make_estimator("dead_reckoning"), 5.0);
+  DeadReckoningEstimator raw;
+  clamped.observe(0.0, {0, 0}, geo::Vec2{2, 0});
+  raw.observe(0.0, {0, 0}, geo::Vec2{2, 0});
+  EXPECT_EQ(clamped.estimate(3.0), raw.estimate(3.0));
+  EXPECT_EQ(clamped.estimate(5.0), raw.estimate(5.0));
+}
+
+TEST(HorizonClamped, FreezesBeyondHorizon) {
+  HorizonClampedEstimator clamped(make_estimator("dead_reckoning"), 5.0);
+  clamped.observe(10.0, {0, 0}, geo::Vec2{2, 0});
+  const geo::Vec2 at_horizon = clamped.estimate(15.0);
+  EXPECT_NEAR(at_horizon.x, 10.0, 1e-9);
+  // 100 s later: still the horizon forecast, not a 180 m overshoot.
+  EXPECT_EQ(clamped.estimate(110.0), at_horizon);
+}
+
+TEST(HorizonClamped, HorizonResetsWithEachObservation) {
+  HorizonClampedEstimator clamped(make_estimator("dead_reckoning"), 2.0);
+  clamped.observe(0.0, {0, 0}, geo::Vec2{1, 0});
+  clamped.observe(10.0, {10, 0}, geo::Vec2{1, 0});
+  // Horizon now anchored at t = 10.
+  EXPECT_NEAR(clamped.estimate(11.0).x, 11.0, 1e-9);
+  EXPECT_NEAR(clamped.estimate(50.0).x, 12.0, 1e-9);  // clamped at t = 12
+}
+
+TEST(HorizonClamped, CloneKeepsAnchor) {
+  HorizonClampedEstimator clamped(make_estimator("dead_reckoning"), 2.0);
+  clamped.observe(5.0, {0, 0}, geo::Vec2{3, 0});
+  auto copy = clamped.clone();
+  EXPECT_EQ(copy->estimate(100.0), clamped.estimate(100.0));
+  EXPECT_NEAR(copy->estimate(100.0).x, 6.0, 1e-9);
+}
+
+TEST(HorizonClamped, ResetClearsAnchor) {
+  HorizonClampedEstimator clamped(make_estimator("last_known"), 2.0);
+  clamped.observe(0.0, {4, 4});
+  clamped.reset();
+  EXPECT_EQ(clamped.estimate(1.0), (geo::Vec2{0, 0}));
+}
+
+}  // namespace
+}  // namespace mgrid::estimation

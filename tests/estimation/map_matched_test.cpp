@@ -1,0 +1,120 @@
+#include "estimation/map_matched.h"
+
+#include <gtest/gtest.h>
+
+#include "estimation/basic_estimators.h"
+#include "estimation/estimator.h"
+
+namespace mgrid::estimation {
+namespace {
+
+class MapMatchedTest : public testing::Test {
+ protected:
+  std::unique_ptr<MapMatchedEstimator> make(
+      const char* inner = "dead_reckoning", MapMatchParams params = {}) {
+    return std::make_unique<MapMatchedEstimator>(make_estimator(inner),
+                                                 campus_, params);
+  }
+
+  geo::CampusMap campus_ = geo::CampusMap::default_campus();
+};
+
+TEST_F(MapMatchedTest, Validation) {
+  EXPECT_THROW(MapMatchedEstimator(nullptr, campus_), std::invalid_argument);
+  MapMatchParams bad;
+  bad.snap_radius = 0.0;
+  EXPECT_THROW(
+      MapMatchedEstimator(make_estimator("last_known"), campus_, bad),
+      std::invalid_argument);
+}
+
+TEST_F(MapMatchedTest, NameIncludesInner) {
+  EXPECT_EQ(make("brown_polar")->name(), "map_matched(brown_polar)");
+}
+
+TEST_F(MapMatchedTest, SnapsRoadBoundForecastOntoRoad) {
+  // A vehicle driving north along R2 (x = 300); dead reckoning with a small
+  // sideways velocity error drifts the forecast off the centreline.
+  auto estimator = make();
+  estimator->observe(0.0, {300.0, 50.0}, geo::Vec2{1.0, 8.0});
+  EXPECT_TRUE(estimator->snapping());
+  const geo::Vec2 raw_drift = geo::Vec2{300.0, 50.0} + geo::Vec2{1.0, 8.0} * 3.0;
+  const geo::Vec2 snapped = estimator->estimate(3.0);
+  // The snapped estimate sits on the R2 centreline (x == 300) at roughly
+  // the same northing.
+  EXPECT_NEAR(snapped.x, 300.0, 1e-9);
+  EXPECT_NEAR(snapped.y, raw_drift.y, 1.0);
+}
+
+TEST_F(MapMatchedTest, DoesNotSnapIndoorNodes) {
+  auto estimator = make();
+  const geo::Vec2 desk =
+      campus_.find_region("B1")->representative_point();
+  estimator->observe(0.0, desk, geo::Vec2{0.2, 0.0});
+  EXPECT_FALSE(estimator->snapping());
+  const geo::Vec2 predicted = estimator->estimate(5.0);
+  // Raw dead reckoning, no projection to any road.
+  EXPECT_NEAR(predicted.x, desk.x + 1.0, 1e-9);
+  EXPECT_NEAR(predicted.y, desk.y, 1e-9);
+}
+
+TEST_F(MapMatchedTest, RespectsSnapRadius) {
+  MapMatchParams params;
+  params.snap_radius = 5.0;
+  auto estimator = make("dead_reckoning", params);
+  // On-road fix, but a forecast that flies 60 m off every road is left
+  // alone (beyond the radius the match would be a guess).
+  estimator->observe(0.0, {300.0, 100.0}, geo::Vec2{60.0, 0.0});
+  const geo::Vec2 predicted = estimator->estimate(1.0);
+  EXPECT_NEAR(predicted.x, 360.0, 1e-9);  // unsnapped
+}
+
+TEST_F(MapMatchedTest, SnapStateFollowsLatestFix) {
+  auto estimator = make();
+  estimator->observe(0.0, {300.0, 100.0});  // on R2
+  EXPECT_TRUE(estimator->snapping());
+  estimator->observe(1.0,
+                     campus_.find_region("B2")->representative_point());
+  EXPECT_FALSE(estimator->snapping());
+}
+
+TEST_F(MapMatchedTest, CloneKeepsCampusAndState) {
+  auto estimator = make();
+  estimator->observe(0.0, {300.0, 100.0}, geo::Vec2{0.0, 5.0});
+  auto copy = estimator->clone();
+  EXPECT_EQ(copy->name(), estimator->name());
+  const geo::Vec2 a = estimator->estimate(2.0);
+  const geo::Vec2 b = copy->estimate(2.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MapMatchedTest, ResetClearsSnapState) {
+  auto estimator = make();
+  estimator->observe(0.0, {300.0, 100.0});
+  estimator->reset();
+  EXPECT_FALSE(estimator->snapping());
+  EXPECT_EQ(estimator->estimate(1.0), (geo::Vec2{0, 0}));
+}
+
+TEST_F(MapMatchedTest, ImprovesTurningVehicleForecast) {
+  // A vehicle drives east on R1 and turns north onto R3 at (450, 220).
+  // Linear extrapolation overshoots past the intersection; the map-matched
+  // estimate stays on the network.
+  auto raw = make_estimator("dead_reckoning");
+  auto matched = make();
+  geo::Vec2 p{430.0, 220.0};
+  // Approach the intersection eastbound, reporting every second.
+  for (int t = 0; t <= 4; ++t) {
+    raw->observe(t, p);
+    matched->observe(t, p);
+    p.x += 5.0;  // at t=4 we are at (450, 220), the corner
+  }
+  // Unreported: the vehicle turned north. True position 3 s later:
+  const geo::Vec2 truth{450.0, 220.0 + 15.0};
+  const double raw_err = geo::distance(raw->estimate(7.0), truth);
+  const double matched_err = geo::distance(matched->estimate(7.0), truth);
+  EXPECT_LT(matched_err, raw_err);
+}
+
+}  // namespace
+}  // namespace mgrid::estimation

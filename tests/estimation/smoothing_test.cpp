@@ -1,0 +1,111 @@
+#include "estimation/smoothing.h"
+
+#include <gtest/gtest.h>
+
+namespace mgrid::estimation {
+namespace {
+
+TEST(Ses, Validation) {
+  EXPECT_THROW(SingleExponentialSmoother(0.0), std::invalid_argument);
+  EXPECT_THROW(SingleExponentialSmoother(1.1), std::invalid_argument);
+  EXPECT_NO_THROW(SingleExponentialSmoother(1.0));
+}
+
+TEST(Ses, FirstSampleInitialisesLevel) {
+  SingleExponentialSmoother s(0.5);
+  EXPECT_FALSE(s.ready());
+  s.add(10.0);
+  EXPECT_TRUE(s.ready());
+  EXPECT_EQ(s.level(), 10.0);
+}
+
+TEST(Ses, RecursionMatchesDefinition) {
+  SingleExponentialSmoother s(0.3);
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_NEAR(s.level(), 0.3 * 20.0 + 0.7 * 10.0, 1e-12);
+}
+
+TEST(Ses, ForecastIsFlat) {
+  SingleExponentialSmoother s(0.5);
+  s.add(4.0);
+  s.add(8.0);
+  EXPECT_EQ(s.forecast(1.0), s.level());
+  EXPECT_EQ(s.forecast(10.0), s.level());
+}
+
+TEST(Ses, ResetClears) {
+  SingleExponentialSmoother s(0.5);
+  s.add(5.0);
+  s.reset();
+  EXPECT_FALSE(s.ready());
+  EXPECT_EQ(s.level(), 0.0);
+}
+
+TEST(Brown, Validation) {
+  EXPECT_THROW(BrownDoubleSmoother(0.0), std::invalid_argument);
+  EXPECT_THROW(BrownDoubleSmoother(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(BrownDoubleSmoother(0.999));
+}
+
+TEST(Brown, FirstSampleGivesZeroTrend) {
+  BrownDoubleSmoother s(0.4);
+  s.add(7.0);
+  EXPECT_EQ(s.level(), 7.0);
+  EXPECT_EQ(s.trend(), 0.0);
+  EXPECT_EQ(s.forecast(5.0), 7.0);
+}
+
+TEST(Brown, ConstantSeriesHasZeroTrend) {
+  BrownDoubleSmoother s(0.4);
+  for (int i = 0; i < 50; ++i) s.add(3.0);
+  EXPECT_NEAR(s.level(), 3.0, 1e-9);
+  EXPECT_NEAR(s.trend(), 0.0, 1e-9);
+}
+
+TEST(Brown, LearnsLinearTrendExactlyInTheLimit) {
+  // For x_t = a + b*t, Brown's DES converges to level = current value and
+  // trend = b.
+  BrownDoubleSmoother s(0.5);
+  for (int t = 0; t < 200; ++t) s.add(2.0 + 3.0 * t);
+  EXPECT_NEAR(s.trend(), 3.0, 1e-6);
+  EXPECT_NEAR(s.level(), 2.0 + 3.0 * 199, 1e-4);
+  // m-step forecast extrapolates the trend.
+  EXPECT_NEAR(s.forecast(4.0), 2.0 + 3.0 * 203, 1e-4);
+}
+
+TEST(Brown, MatchesHandComputedRecursion) {
+  const double a = 0.4;
+  BrownDoubleSmoother s(a);
+  s.add(10.0);  // s1 = s2 = 10
+  s.add(20.0);
+  // s1 = 0.4*20 + 0.6*10 = 14; s2 = 0.4*14 + 0.6*10 = 11.6
+  // level = 2*14 - 11.6 = 16.4; trend = (0.4/0.6)*(14-11.6) = 1.6
+  EXPECT_NEAR(s.level(), 16.4, 1e-12);
+  EXPECT_NEAR(s.trend(), 1.6, 1e-12);
+  EXPECT_NEAR(s.forecast(2.0), 16.4 + 3.2, 1e-12);
+}
+
+TEST(Brown, ResetClears) {
+  BrownDoubleSmoother s(0.4);
+  s.add(10.0);
+  s.reset();
+  EXPECT_FALSE(s.ready());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.level(), 0.0);
+}
+
+// Parameterized: trend recovery holds across the alpha range.
+class BrownAlphaSweep : public testing::TestWithParam<double> {};
+
+TEST_P(BrownAlphaSweep, RecoversLinearTrend) {
+  BrownDoubleSmoother s(GetParam());
+  for (int t = 0; t < 500; ++t) s.add(1.0 + 0.5 * t);
+  EXPECT_NEAR(s.trend(), 0.5, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, BrownAlphaSweep,
+                         testing::Values(0.1, 0.2, 0.4, 0.6, 0.8, 0.95));
+
+}  // namespace
+}  // namespace mgrid::estimation

@@ -1,0 +1,68 @@
+#include "geo/ascii_map.h"
+
+#include <gtest/gtest.h>
+
+namespace mgrid::geo {
+namespace {
+
+TEST(AsciiMap, Validation) {
+  const CampusMap campus = CampusMap::default_campus();
+  EXPECT_THROW(AsciiMapRenderer(campus, 5), std::invalid_argument);
+}
+
+TEST(AsciiMap, DimensionsFollowAspectRatio) {
+  const CampusMap campus = CampusMap::default_campus();
+  AsciiMapRenderer renderer(campus, 100);
+  EXPECT_EQ(renderer.columns(), 100u);
+  EXPECT_GE(renderer.rows(), 8u);
+  EXPECT_LT(renderer.rows(), 100u);
+  const std::string map = renderer.render();
+  // rows lines of columns characters.
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = map.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, renderer.rows());
+}
+
+TEST(AsciiMap, DrawsRoadsBuildingsAndNames) {
+  const CampusMap campus = CampusMap::default_campus();
+  AsciiMapRenderer renderer(campus, 120);
+  const std::string map = renderer.render();
+  EXPECT_NE(map.find('.'), std::string::npos);   // roads
+  EXPECT_NE(map.find('#'), std::string::npos);   // building outlines
+  EXPECT_NE(map.find('G'), std::string::npos);   // gates
+  for (const char* name : {"B1", "B2", "B3", "B4", "B5", "B6"}) {
+    EXPECT_NE(map.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(AsciiMap, MarkersAppearAtTheirRegion) {
+  const CampusMap campus = CampusMap::default_campus();
+  AsciiMapRenderer renderer(campus, 120);
+  const Vec2 library = campus.find_region("B4")->representative_point();
+  const std::string with = renderer.render({{library, '@'}});
+  EXPECT_NE(with.find('@'), std::string::npos);
+  const std::string without = renderer.render();
+  EXPECT_EQ(without.find('@'), std::string::npos);
+}
+
+TEST(AsciiMap, OffCanvasMarkersAreDropped) {
+  const CampusMap campus = CampusMap::default_campus();
+  AsciiMapRenderer renderer(campus, 60);
+  const std::string map = renderer.render({{{-9999.0, -9999.0}, '@'}});
+  EXPECT_EQ(map.find('@'), std::string::npos);
+}
+
+TEST(AsciiMap, WorksOnGeneratedCampus) {
+  const CampusMap campus = CampusMap::grid_campus(2, 2);
+  AsciiMapRenderer renderer(campus, 80);
+  const std::string map = renderer.render();
+  EXPECT_NE(map.find("B0_0"), std::string::npos);
+  EXPECT_NE(map.find("B1_1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgrid::geo

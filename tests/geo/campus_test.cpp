@@ -1,0 +1,129 @@
+#include "geo/campus.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mgrid::geo {
+namespace {
+
+class CampusTest : public testing::Test {
+ protected:
+  CampusMap campus_ = CampusMap::default_campus();
+};
+
+TEST_F(CampusTest, HasElevenAccessRegionsPlusGates) {
+  // Paper Fig. 1: 5 roads + 6 buildings = 11 mobile-grid access regions.
+  EXPECT_EQ(campus_.roads().size(), 5u);
+  EXPECT_EQ(campus_.buildings().size(), 6u);
+  EXPECT_EQ(campus_.regions_of_kind(RegionKind::kGate).size(), 2u);
+  EXPECT_EQ(campus_.region_count(), 13u);
+}
+
+TEST_F(CampusTest, RegionNamesMatchThePaper) {
+  for (const char* name : {"R1", "R2", "R3", "R4", "R5", "B1", "B2", "B3",
+                           "B4", "B5", "B6", "GateA", "GateB"}) {
+    EXPECT_NE(campus_.find_region(name), nullptr) << name;
+  }
+  EXPECT_EQ(campus_.find_region("B7"), nullptr);
+}
+
+TEST_F(CampusTest, RoutingGraphIsConnected) {
+  EXPECT_TRUE(campus_.graph().is_connected());
+  EXPECT_GE(campus_.graph().node_count(), 13u);
+}
+
+TEST_F(CampusTest, EveryBuildingHasAnEntrance) {
+  for (RegionId building : campus_.buildings()) {
+    const NodeIndex entrance = campus_.entrance_of(building);
+    ASSERT_NE(entrance, kInvalidNode)
+        << campus_.region(building).name();
+    // The entrance sits on the building's boundary (inside by containment).
+    EXPECT_TRUE(campus_.region(building).contains(
+        campus_.graph().node(entrance).position));
+  }
+}
+
+TEST_F(CampusTest, RoadsDoNotHaveEntranceNodes) {
+  for (RegionId road : campus_.roads()) {
+    EXPECT_EQ(campus_.entrance_of(road), kInvalidNode);
+  }
+}
+
+TEST_F(CampusTest, LocatePrefersBuildingsOverRoads) {
+  // B4's entrance lies on the building edge near road R5; the building must
+  // win the containment tie.
+  const NodeIndex entrance =
+      campus_.entrance_of(campus_.find_region("B4")->id());
+  ASSERT_NE(entrance, kInvalidNode);
+  const auto located =
+      campus_.locate(campus_.graph().node(entrance).position);
+  ASSERT_TRUE(located.has_value());
+  EXPECT_EQ(campus_.region(*located).name(), "B4");
+}
+
+TEST_F(CampusTest, LocateSampledRegionPointsFindsThatRegionKind) {
+  util::RngStream rng(3);
+  for (const Region& region : campus_.regions()) {
+    for (int i = 0; i < 50; ++i) {
+      const Vec2 p = region.sample(rng);
+      const auto located = campus_.locate(p);
+      ASSERT_TRUE(located.has_value()) << region.name();
+      // A road sample can land inside an overlapping building/gate footprint
+      // (entrances touch); a building sample must locate as that building.
+      if (region.is_building()) {
+        EXPECT_EQ(*located, region.id());
+      }
+    }
+  }
+}
+
+TEST_F(CampusTest, OpenGroundLocatesToNothingButNearestWorks) {
+  const Vec2 open{200.0, 150.0};  // lawn between R1 and the buildings
+  EXPECT_FALSE(campus_.locate(open).has_value());
+  const RegionId nearest = campus_.nearest_region(open);
+  EXPECT_TRUE(nearest.valid());
+}
+
+TEST_F(CampusTest, ShortestPathGateBToLibraryUsesR2Corridor) {
+  // Tom's first leg: gate B -> library (B4) passes the central
+  // intersection (paper scenario step 1: "through gate B and R2").
+  const WaypointGraph& g = campus_.graph();
+  const NodeIndex gate_b = g.find_by_name("gateB");
+  const NodeIndex library = campus_.entrance_of(campus_.find_region("B4")->id());
+  ASSERT_NE(gate_b, kInvalidNode);
+  ASSERT_NE(library, kInvalidNode);
+  const auto path = g.shortest_path(gate_b, library);
+  ASSERT_GE(path.size(), 3u);
+  bool passes_central = false;
+  for (NodeIndex n : path) {
+    if (g.node(n).name == "R2xR1xR5") passes_central = true;
+  }
+  EXPECT_TRUE(passes_central);
+}
+
+TEST_F(CampusTest, BoundsEncloseEveryRegion) {
+  const Rect bounds = campus_.bounds();
+  util::RngStream rng(4);
+  for (const Region& region : campus_.regions()) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(bounds.contains(region.sample(rng)));
+    }
+  }
+}
+
+TEST_F(CampusTest, RegionLookupValidation) {
+  EXPECT_THROW((void)campus_.region(RegionId{99}), std::out_of_range);
+  EXPECT_THROW((void)campus_.region(RegionId::invalid()), std::out_of_range);
+}
+
+TEST(CampusBuilder, RejectsOutOfOrderRegionIds) {
+  CampusMap campus;
+  EXPECT_THROW(campus.add_region(Region(RegionId{5}, "X",
+                                        RegionKind::kBuilding,
+                                        Rect({0, 0}, {1, 1}))),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mgrid::geo

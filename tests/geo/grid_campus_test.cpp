@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "geo/campus.h"
+#include "util/rng.h"
+
+namespace mgrid::geo {
+namespace {
+
+TEST(GridCampus, Validation) {
+  EXPECT_THROW((void)CampusMap::grid_campus(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)CampusMap::grid_campus(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)CampusMap::grid_campus(2, 2, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)CampusMap::grid_campus(2, 2, 100.0, 100.0),
+               std::invalid_argument);  // road as wide as a block
+}
+
+TEST(GridCampus, RegionCountsScaleWithBlocks) {
+  const CampusMap campus = CampusMap::grid_campus(3, 2);
+  // (3+1) vertical + (2+1) horizontal roads, 3*2 buildings, 2 gates.
+  EXPECT_EQ(campus.roads().size(), 7u);
+  EXPECT_EQ(campus.buildings().size(), 6u);
+  EXPECT_EQ(campus.regions_of_kind(RegionKind::kGate).size(), 2u);
+}
+
+TEST(GridCampus, GraphIsConnected) {
+  for (std::size_t n : {1u, 2u, 4u}) {
+    const CampusMap campus = CampusMap::grid_campus(n, n);
+    EXPECT_TRUE(campus.graph().is_connected()) << n << "x" << n;
+  }
+}
+
+TEST(GridCampus, EveryBuildingHasAReachableEntrance) {
+  const CampusMap campus = CampusMap::grid_campus(3, 3);
+  const WaypointGraph& g = campus.graph();
+  const NodeIndex gate = g.find_by_name("X0_0");
+  ASSERT_NE(gate, kInvalidNode);
+  for (RegionId building : campus.buildings()) {
+    const NodeIndex door = campus.entrance_of(building);
+    ASSERT_NE(door, kInvalidNode) << campus.region(building).name();
+    EXPECT_FALSE(g.shortest_path(gate, door).empty());
+    EXPECT_TRUE(campus.region(building).contains(g.node(door).position));
+  }
+}
+
+TEST(GridCampus, BuildingsDoNotOverlapRoads) {
+  const CampusMap campus = CampusMap::grid_campus(2, 2);
+  util::RngStream rng(1);
+  for (RegionId building_id : campus.buildings()) {
+    const Region& building = campus.region(building_id);
+    for (int i = 0; i < 100; ++i) {
+      const Vec2 p = building.rect()->inflated(-0.5).sample(rng);
+      for (RegionId road_id : campus.roads()) {
+        EXPECT_FALSE(campus.region(road_id).contains(p))
+            << building.name() << " overlaps " << campus.region(road_id).name();
+      }
+    }
+  }
+}
+
+TEST(GridCampus, LocateResolvesEveryRegionSample) {
+  const CampusMap campus = CampusMap::grid_campus(2, 3);
+  util::RngStream rng(2);
+  for (const Region& region : campus.regions()) {
+    for (int i = 0; i < 30; ++i) {
+      const Vec2 p = region.sample(rng);
+      EXPECT_TRUE(campus.locate(p).has_value()) << region.name();
+    }
+  }
+}
+
+TEST(GridCampus, GatesSitOnTheSouthEdge) {
+  const CampusMap campus = CampusMap::grid_campus(3, 3, 100.0);
+  const Region* a = campus.find_region("GateA");
+  const Region* b = campus.find_region("GateB");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NEAR(a->representative_point().y, 0.0, 1e-9);
+  EXPECT_NEAR(b->representative_point().y, 0.0, 1e-9);
+  EXPECT_NEAR(b->representative_point().x, 300.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mgrid::geo

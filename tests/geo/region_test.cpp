@@ -1,0 +1,95 @@
+#include "geo/region.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mgrid::geo {
+namespace {
+
+Region make_building() {
+  return Region(RegionId{0}, "B1", RegionKind::kBuilding,
+                Rect({0, 0}, {40, 30}));
+}
+
+Region make_road() {
+  return Region(RegionId{1}, "R1", RegionKind::kRoad,
+                Polyline({{0, 0}, {100, 0}}), 10.0);
+}
+
+TEST(Region, KindStrings) {
+  EXPECT_EQ(to_string(RegionKind::kRoad), "road");
+  EXPECT_EQ(to_string(RegionKind::kBuilding), "building");
+  EXPECT_EQ(to_string(RegionKind::kGate), "gate");
+}
+
+TEST(Region, RoadNeedsPolylineConstructor) {
+  EXPECT_THROW(Region(RegionId{0}, "R", RegionKind::kRoad,
+                      Rect({0, 0}, {1, 1})),
+               std::invalid_argument);
+  EXPECT_THROW(Region(RegionId{0}, "B", RegionKind::kBuilding,
+                      Polyline({{0, 0}, {1, 0}}), 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(Region(RegionId{0}, "R", RegionKind::kRoad,
+                      Polyline({{0, 0}, {1, 0}}), 0.0),
+               std::invalid_argument);
+}
+
+TEST(Region, BuildingContainment) {
+  const Region b = make_building();
+  EXPECT_TRUE(b.is_building());
+  EXPECT_FALSE(b.is_road());
+  EXPECT_TRUE(b.contains({20, 15}));
+  EXPECT_FALSE(b.contains({41, 15}));
+  EXPECT_EQ(b.distance_to({20, 15}), 0.0);
+  EXPECT_EQ(b.distance_to({43, 34}), 5.0);
+}
+
+TEST(Region, RoadContainmentIsCorridor) {
+  const Region r = make_road();
+  EXPECT_TRUE(r.is_road());
+  EXPECT_TRUE(r.contains({50, 0}));
+  EXPECT_TRUE(r.contains({50, 4.9}));
+  EXPECT_TRUE(r.contains({50, 5.0}));   // half-width boundary
+  EXPECT_FALSE(r.contains({50, 5.1}));
+  EXPECT_NEAR(r.distance_to({50, 8.0}), 3.0, 1e-12);
+  EXPECT_EQ(r.road_width(), 10.0);
+}
+
+TEST(Region, RepresentativePointIsInside) {
+  const Region b = make_building();
+  const Region r = make_road();
+  EXPECT_TRUE(b.contains(b.representative_point()));
+  EXPECT_TRUE(r.contains(r.representative_point()));
+  EXPECT_EQ(r.representative_point(), (Vec2{50, 0}));
+}
+
+TEST(Region, SampleStaysInsideBuilding) {
+  const Region b = make_building();
+  util::RngStream rng(5);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(b.contains(b.sample(rng)));
+  }
+}
+
+TEST(Region, SampleStaysInsideRoadCorridor) {
+  const Region r = make_road();
+  util::RngStream rng(6);
+  for (int i = 0; i < 300; ++i) {
+    const Vec2 p = r.sample(rng);
+    EXPECT_TRUE(r.contains(p)) << "(" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(Region, ShapeAccessors) {
+  const Region b = make_building();
+  const Region r = make_road();
+  EXPECT_NE(b.rect(), nullptr);
+  EXPECT_EQ(b.centreline(), nullptr);
+  EXPECT_EQ(r.rect(), nullptr);
+  EXPECT_NE(r.centreline(), nullptr);
+  EXPECT_EQ(r.centreline()->length(), 100.0);
+}
+
+}  // namespace
+}  // namespace mgrid::geo

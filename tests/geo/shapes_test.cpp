@@ -1,0 +1,117 @@
+#include "geo/shapes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mgrid::geo {
+namespace {
+
+TEST(Rect, RejectsInvertedBounds) {
+  EXPECT_THROW(Rect({1, 0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(Rect({0, 1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(Rect, ContainsIncludesBoundary) {
+  const Rect r({0, 0}, {10, 5});
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 5}));
+  EXPECT_TRUE(r.contains({5, 2.5}));
+  EXPECT_FALSE(r.contains({10.01, 2}));
+  EXPECT_FALSE(r.contains({5, -0.01}));
+}
+
+TEST(Rect, GeometryAccessors) {
+  const Rect r({2, 4}, {6, 10});
+  EXPECT_EQ(r.center(), (Vec2{4, 7}));
+  EXPECT_EQ(r.width(), 4.0);
+  EXPECT_EQ(r.height(), 6.0);
+  EXPECT_EQ(r.area(), 24.0);
+}
+
+TEST(Rect, ClampProjectsOutsidePoints) {
+  const Rect r({0, 0}, {10, 10});
+  EXPECT_EQ(r.clamp({-5, 5}), (Vec2{0, 5}));
+  EXPECT_EQ(r.clamp({15, 20}), (Vec2{10, 10}));
+  EXPECT_EQ(r.clamp({3, 4}), (Vec2{3, 4}));  // inside unchanged
+}
+
+TEST(Rect, DistanceToIsZeroInside) {
+  const Rect r({0, 0}, {10, 10});
+  EXPECT_EQ(r.distance_to({5, 5}), 0.0);
+  EXPECT_EQ(r.distance_to({13, 14}), 5.0);  // corner distance 3-4-5
+}
+
+TEST(Rect, InflateAndDeflate) {
+  const Rect r({0, 0}, {10, 10});
+  const Rect grown = r.inflated(2.0);
+  EXPECT_EQ(grown.min(), (Vec2{-2, -2}));
+  EXPECT_EQ(grown.max(), (Vec2{12, 12}));
+  const Rect shrunk = r.inflated(-3.0);
+  EXPECT_EQ(shrunk.min(), (Vec2{3, 3}));
+  EXPECT_THROW((void)r.inflated(-6.0), std::invalid_argument);
+}
+
+TEST(Rect, SampleStaysInside) {
+  const Rect r({-5, 3}, {2, 9});
+  util::RngStream rng(1);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(r.contains(r.sample(rng)));
+  }
+}
+
+TEST(Segment, LengthAndPointAt) {
+  const Segment s({0, 0}, {6, 8});
+  EXPECT_EQ(s.length(), 10.0);
+  EXPECT_EQ(s.point_at(0.0), (Vec2{0, 0}));
+  EXPECT_EQ(s.point_at(1.0), (Vec2{6, 8}));
+  EXPECT_EQ(s.point_at(0.5), (Vec2{3, 4}));
+  EXPECT_EQ(s.point_at(2.0), (Vec2{6, 8}));  // clamped
+}
+
+TEST(Segment, ClosestPoint) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_EQ(s.closest_point({5, 3}), (Vec2{5, 0}));
+  EXPECT_EQ(s.closest_point({-4, 2}), (Vec2{0, 0}));   // clamped to a
+  EXPECT_EQ(s.closest_point({14, -2}), (Vec2{10, 0}));  // clamped to b
+  EXPECT_EQ(s.distance_to({5, 3}), 3.0);
+}
+
+TEST(Segment, DegenerateSegmentActsAsPoint) {
+  const Segment s({2, 2}, {2, 2});
+  EXPECT_EQ(s.closest_point({5, 6}), (Vec2{2, 2}));
+  EXPECT_EQ(s.length(), 0.0);
+}
+
+TEST(Polyline, RejectsTooFewPoints) {
+  EXPECT_THROW(Polyline({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Polyline(std::vector<Vec2>{}), std::invalid_argument);
+}
+
+TEST(Polyline, LengthSumsSegments) {
+  const Polyline line({{0, 0}, {3, 4}, {3, 10}});
+  EXPECT_EQ(line.length(), 11.0);
+  EXPECT_EQ(line.segment_count(), 2u);
+  EXPECT_EQ(line.segment(0).length(), 5.0);
+  EXPECT_THROW((void)line.segment(2), std::out_of_range);
+}
+
+TEST(Polyline, PointAtLengthWalksTheChain) {
+  const Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_EQ(line.point_at_length(-1.0), (Vec2{0, 0}));
+  EXPECT_EQ(line.point_at_length(0.0), (Vec2{0, 0}));
+  EXPECT_EQ(line.point_at_length(5.0), (Vec2{5, 0}));
+  EXPECT_EQ(line.point_at_length(10.0), (Vec2{10, 0}));
+  EXPECT_EQ(line.point_at_length(15.0), (Vec2{10, 5}));
+  EXPECT_EQ(line.point_at_length(99.0), (Vec2{10, 10}));
+}
+
+TEST(Polyline, ClosestPointConsidersAllSegments) {
+  const Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_EQ(line.closest_point({5, 2}), (Vec2{5, 0}));
+  EXPECT_EQ(line.closest_point({12, 5}), (Vec2{10, 5}));
+  EXPECT_EQ(line.distance_to({12, 5}), 2.0);
+}
+
+}  // namespace
+}  // namespace mgrid::geo

@@ -1,0 +1,115 @@
+#include "geo/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mgrid::geo {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  Vec2 c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_EQ(a.dot({1.0, 0.0}), 3.0);
+  EXPECT_EQ(a.cross({1.0, 0.0}), -4.0);
+  EXPECT_EQ(a.norm_squared(), 25.0);
+  EXPECT_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{0.0, 0.0}));
+  const Vec2 n = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+}
+
+TEST(Vec2, HeadingQuadrants) {
+  EXPECT_NEAR((Vec2{1.0, 0.0}).heading(), 0.0, 1e-12);
+  EXPECT_NEAR((Vec2{0.0, 1.0}).heading(), kPi / 2, 1e-12);
+  EXPECT_NEAR((Vec2{-1.0, 0.0}).heading(), kPi, 1e-12);
+  EXPECT_NEAR((Vec2{0.0, -1.0}).heading(), -kPi / 2, 1e-12);
+  EXPECT_EQ((Vec2{0.0, 0.0}).heading(), 0.0);
+}
+
+TEST(Vec2, DistanceAndLerp) {
+  EXPECT_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_EQ(distance_squared({0, 0}, {3, 4}), 25.0);
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.5), (Vec2{5, 10}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 0.0), (Vec2{0, 0}));
+  EXPECT_EQ(lerp({0, 0}, {10, 20}, 1.0), (Vec2{10, 20}));
+}
+
+TEST(Vec2, FromPolarRoundTrips) {
+  const Vec2 v = from_polar(kPi / 4, 2.0);
+  EXPECT_NEAR(v.norm(), 2.0, 1e-12);
+  EXPECT_NEAR(v.heading(), kPi / 4, 1e-12);
+}
+
+TEST(Angles, WrapIntoHalfOpenInterval) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(3 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_angle(2 * kPi + 0.1), 0.1, 1e-12);
+  EXPECT_NEAR(wrap_angle(-0.1), -0.1, 1e-12);
+}
+
+TEST(Angles, DiffIsSmallestRotation) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  // Crossing the +/-pi seam: from just below pi to just above -pi is a
+  // small positive rotation.
+  EXPECT_NEAR(angle_diff(-kPi + 0.05, kPi - 0.05), 0.1, 1e-12);
+  EXPECT_NEAR(angle_diff(kPi - 0.05, -kPi + 0.05), -0.1, 1e-12);
+}
+
+TEST(Angles, UnwrapKeepsContinuity) {
+  // A heading series circling past +pi should unwrap monotonically.
+  const double reference = kPi - 0.1;
+  const double next = unwrap_toward(-kPi + 0.1, reference);
+  EXPECT_NEAR(next, kPi + 0.1, 1e-12);  // continues past pi, no jump
+}
+
+// Property sweep: wrap/unwrap invariants over many angles.
+class AngleSweep : public testing::TestWithParam<double> {};
+
+TEST_P(AngleSweep, WrapIsIdempotentAndEquivalent) {
+  const double a = GetParam();
+  const double w = wrap_angle(a);
+  EXPECT_GT(w, -kPi - 1e-12);
+  EXPECT_LE(w, kPi + 1e-12);
+  EXPECT_NEAR(wrap_angle(w), w, 1e-12);
+  // Same direction vector.
+  EXPECT_NEAR(std::cos(a), std::cos(w), 1e-9);
+  EXPECT_NEAR(std::sin(a), std::sin(w), 1e-9);
+}
+
+TEST_P(AngleSweep, UnwrapDiffersByMultipleOfTwoPi) {
+  const double a = GetParam();
+  const double unwrapped = unwrap_toward(a, 100.0);
+  const double k = (unwrapped - a) / (2 * kPi);
+  EXPECT_NEAR(k, std::round(k), 1e-9);
+  EXPECT_LE(std::abs(unwrapped - 100.0), kPi + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyAngles, AngleSweep,
+                         testing::Values(-17.3, -6.4, -kPi, -1.0, -0.001, 0.0,
+                                         0.001, 1.0, kPi, 4.5, 6.4, 17.3,
+                                         100.0));
+
+}  // namespace
+}  // namespace mgrid::geo

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geo/campus.h"
+#include "mobility/linear_model.h"
+#include "mobility/random_model.h"
+#include "mobility/stop_model.h"
+#include "stats/running_stats.h"
+#include "util/rng.h"
+
+namespace mgrid::mobility {
+namespace {
+
+TEST(StopModel, NeverMovesWithoutJitter) {
+  StopModel model({3.0, 4.0});
+  util::RngStream rng(1);
+  for (int i = 0; i < 100; ++i) model.step(0.1, rng);
+  EXPECT_EQ(model.position(), (geo::Vec2{3.0, 4.0}));
+  EXPECT_EQ(model.speed(), 0.0);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kStop);
+}
+
+TEST(StopModel, JitterStaysNearAnchor) {
+  StopModel model({10.0, 10.0}, /*jitter_stddev=*/0.1);
+  util::RngStream rng(2);
+  for (int i = 0; i < 500; ++i) {
+    model.step(0.1, rng);
+    EXPECT_LT(geo::distance(model.position(), {10.0, 10.0}), 1.0);
+  }
+}
+
+TEST(StopModel, Validation) {
+  EXPECT_THROW(StopModel({0, 0}, -0.1), std::invalid_argument);
+  StopModel model({0, 0});
+  util::RngStream rng(1);
+  EXPECT_THROW(model.step(0.0, rng), std::invalid_argument);
+}
+
+TEST(RandomMovementModel, StaysInsideBounds) {
+  const geo::Rect bounds({0, 0}, {20, 10});
+  util::RngStream rng(3);
+  RandomMovementModel model({10, 5}, bounds, {}, rng);
+  for (int i = 0; i < 5000; ++i) {
+    model.step(0.1, rng);
+    EXPECT_TRUE(bounds.contains(model.position()))
+        << model.position().x << ", " << model.position().y;
+  }
+  EXPECT_EQ(model.pattern(), MobilityPattern::kRandom);
+}
+
+TEST(RandomMovementModel, SpeedStaysInRange) {
+  const geo::Rect bounds({0, 0}, {100, 100});
+  RandomMovementModel::Params params;
+  params.speed = {0.2, 0.9};
+  util::RngStream rng(4);
+  RandomMovementModel model({50, 50}, bounds, params, rng);
+  for (int i = 0; i < 1000; ++i) {
+    model.step(0.1, rng);
+    EXPECT_GE(model.speed(), 0.2 - 1e-9);
+    EXPECT_LE(model.speed(), 0.9 + 1e-9);
+  }
+}
+
+TEST(RandomMovementModel, NetDisplacementBelowPathLength) {
+  // The property Fig. 6 relies on: with frequent direction changes, net
+  // 1-second displacement is well below speed * 1 s.
+  const geo::Rect bounds({0, 0}, {200, 200});
+  RandomMovementModel::Params params;
+  params.speed = {1.0, 1.0};  // constant speed, direction-only randomness
+  params.mean_heading_interval = 0.3;
+  util::RngStream rng(5);
+  RandomMovementModel model({100, 100}, bounds, params, rng);
+  double total_net = 0.0;
+  const int kSeconds = 200;
+  for (int s = 0; s < kSeconds; ++s) {
+    const geo::Vec2 before = model.position();
+    for (int i = 0; i < 10; ++i) model.step(0.1, rng);
+    total_net += geo::distance(before, model.position());
+  }
+  const double mean_net = total_net / kSeconds;
+  EXPECT_LT(mean_net, 0.8);   // clearly below the 1.0 m path length
+  EXPECT_GT(mean_net, 0.05);  // but it does move
+}
+
+TEST(RandomMovementModel, Validation) {
+  const geo::Rect bounds({0, 0}, {10, 10});
+  util::RngStream rng(6);
+  RandomMovementModel::Params bad_speed;
+  bad_speed.speed = {2.0, 1.0};
+  EXPECT_THROW(RandomMovementModel({5, 5}, bounds, bad_speed, rng),
+               std::invalid_argument);
+  RandomMovementModel::Params bad_interval;
+  bad_interval.mean_heading_interval = 0.0;
+  EXPECT_THROW(RandomMovementModel({5, 5}, bounds, bad_interval, rng),
+               std::invalid_argument);
+  EXPECT_THROW(RandomMovementModel({50, 50}, bounds, {}, rng),
+               std::invalid_argument);  // start outside bounds
+}
+
+TEST(LinearMovementModel, WalksStraightToTarget) {
+  util::RngStream rng(7);
+  LinearMovementModel::Params params;
+  params.speed = {2.0, 2.0};
+  auto provider =
+      std::make_unique<LoopPathProvider>(std::vector<geo::Vec2>{
+          {10.0, 0.0}, {0.0, 0.0}});
+  LinearMovementModel model({0, 0}, params, std::move(provider), rng);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kLinear);
+  // After 2 s at 2 m/s the mover should be 4 m along +x.
+  for (int i = 0; i < 20; ++i) model.step(0.1, rng);
+  EXPECT_NEAR(model.position().x, 4.0, 1e-9);
+  EXPECT_NEAR(model.position().y, 0.0, 1e-9);
+  EXPECT_NEAR(model.speed(), 2.0, 1e-9);
+  EXPECT_NEAR(model.heading(), 0.0, 1e-9);
+}
+
+TEST(LinearMovementModel, TraversesMultiSegmentPathInOneStep) {
+  util::RngStream rng(8);
+  LinearMovementModel::Params params;
+  params.speed = {10.0, 10.0};
+  auto provider = std::make_unique<LoopPathProvider>(
+      std::vector<geo::Vec2>{{3.0, 0.0}, {3.0, 4.0}, {0.0, 0.0}});
+  LinearMovementModel model({0, 0}, params, std::move(provider), rng);
+  // One 0.5 s step covers 5 m: 3 m along +x then 2 m up the second leg.
+  model.step(0.5, rng);
+  EXPECT_NEAR(model.position().x, 3.0, 1e-9);
+  EXPECT_NEAR(model.position().y, 2.0, 1e-9);
+}
+
+TEST(LinearMovementModel, DwellReportsStopPattern) {
+  util::RngStream rng(9);
+  LinearMovementModel::Params params;
+  params.speed = {1.0, 1.0};
+  params.dwell = {5.0, 5.0};
+  auto provider = std::make_unique<LoopPathProvider>(
+      std::vector<geo::Vec2>{{1.0, 0.0}, {0.0, 0.0}});
+  LinearMovementModel model({0, 0}, params, std::move(provider), rng);
+  // Walk 1 m (1 s), then dwell for 5 s.
+  for (int i = 0; i < 15; ++i) model.step(0.1, rng);
+  EXPECT_TRUE(model.dwelling());
+  EXPECT_EQ(model.pattern(), MobilityPattern::kStop);
+  EXPECT_EQ(model.speed(), 0.0);
+  // Dwell expires; movement resumes.
+  for (int i = 0; i < 50; ++i) model.step(0.1, rng);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kLinear);
+}
+
+TEST(LinearMovementModel, SpeedStaysWithinConfiguredRange) {
+  util::RngStream rng(10);
+  LinearMovementModel::Params params;
+  params.speed = {1.0, 4.0};
+  auto provider = std::make_unique<RectPathProvider>(
+      geo::Rect({0, 0}, {100, 100}));
+  LinearMovementModel model({50, 50}, params, std::move(provider), rng);
+  for (int i = 0; i < 2000; ++i) {
+    model.step(0.1, rng);
+    if (model.speed() > 0.0) {
+      EXPECT_GE(model.speed(), 1.0 - 1e-9);
+      EXPECT_LE(model.speed(), 4.0 + 1e-9);
+    }
+  }
+}
+
+TEST(LinearMovementModel, SpeedResamplingVariesWithinRange) {
+  util::RngStream rng(21);
+  LinearMovementModel::Params params;
+  params.speed = {1.0, 4.0};
+  params.speed_resample_interval = 1.0;
+  auto provider = std::make_unique<LoopPathProvider>(
+      std::vector<geo::Vec2>{{10000.0, 0.0}, {0.0, 0.0}});
+  LinearMovementModel model({0, 0}, params, std::move(provider), rng);
+  stats::RunningStats speeds;
+  for (int s = 0; s < 200; ++s) {
+    for (int i = 0; i < 10; ++i) model.step(0.1, rng);
+    speeds.add(model.speed());
+    EXPECT_GE(model.speed(), 1.0 - 1e-9);
+    EXPECT_LE(model.speed(), 4.0 + 1e-9);
+  }
+  // The speed genuinely varies (one draw per leg would be constant on this
+  // single long leg).
+  EXPECT_GT(speeds.stddev(), 0.3);
+  EXPECT_NEAR(speeds.mean(), 2.5, 0.3);
+}
+
+TEST(LinearMovementModel, Validation) {
+  util::RngStream rng(11);
+  LinearMovementModel::Params zero_speed;
+  zero_speed.speed = {0.0, 0.0};
+  EXPECT_THROW(LinearMovementModel({0, 0}, zero_speed,
+                                   std::make_unique<RectPathProvider>(
+                                       geo::Rect({0, 0}, {1, 1})),
+                                   rng),
+               std::invalid_argument);
+  LinearMovementModel::Params ok;
+  EXPECT_THROW(LinearMovementModel({0, 0}, ok, nullptr, rng),
+               std::invalid_argument);
+}
+
+TEST(GraphPathProvider, RoutesAlongGraphEdges) {
+  const geo::CampusMap campus = geo::CampusMap::default_campus();
+  util::RngStream rng(12);
+  GraphPathProvider provider(campus.graph(), /*allow_entrances=*/true);
+  const geo::Vec2 start = campus.graph().node(0).position;
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<geo::Vec2> path = provider.next_path(start, rng);
+    ASSERT_FALSE(path.empty());
+  }
+}
+
+TEST(GraphPathProvider, VehiclePathsAvoidEntrances) {
+  const geo::CampusMap campus = geo::CampusMap::default_campus();
+  util::RngStream rng(13);
+  GraphPathProvider provider(campus.graph(), /*allow_entrances=*/false);
+  // Collect many destinations; none may equal an entrance position.
+  std::vector<geo::Vec2> entrance_positions;
+  for (geo::NodeIndex i = 0; i < campus.graph().node_count(); ++i) {
+    if (campus.graph().node(i).kind == geo::NodeKind::kEntrance) {
+      entrance_positions.push_back(campus.graph().node(i).position);
+    }
+  }
+  const geo::Vec2 start = campus.graph().node(2).position;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<geo::Vec2> path = provider.next_path(start, rng);
+    ASSERT_FALSE(path.empty());
+    const geo::Vec2 destination = path.back();
+    for (const geo::Vec2& entrance : entrance_positions) {
+      EXPECT_GT(geo::distance(destination, entrance), 1e-9);
+    }
+  }
+}
+
+TEST(RectPathProvider, TargetsInsideRectAndBeyondMinLeg) {
+  const geo::Rect rect({0, 0}, {50, 50});
+  RectPathProvider provider(rect, /*min_leg=*/5.0);
+  util::RngStream rng(14);
+  int long_enough = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto path = provider.next_path({25, 25}, rng);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_TRUE(rect.contains(path[0]));
+    if (geo::distance({25, 25}, path[0]) >= 5.0) ++long_enough;
+  }
+  EXPECT_GT(long_enough, 90);  // redraws make short legs rare
+}
+
+TEST(LoopPathProvider, CyclesThroughCircuit) {
+  LoopPathProvider provider({{1, 0}, {2, 0}, {3, 0}});
+  util::RngStream rng(15);
+  EXPECT_EQ(provider.next_path({0, 0}, rng)[0], (geo::Vec2{1, 0}));
+  EXPECT_EQ(provider.next_path({0, 0}, rng)[0], (geo::Vec2{2, 0}));
+  EXPECT_EQ(provider.next_path({0, 0}, rng)[0], (geo::Vec2{3, 0}));
+  EXPECT_EQ(provider.next_path({0, 0}, rng)[0], (geo::Vec2{1, 0}));
+  EXPECT_THROW(LoopPathProvider({{1, 1}}), std::invalid_argument);
+}
+
+TEST(PatternNames, ToString) {
+  EXPECT_EQ(to_string(MobilityPattern::kStop), "SS");
+  EXPECT_EQ(to_string(MobilityPattern::kRandom), "RMS");
+  EXPECT_EQ(to_string(MobilityPattern::kLinear), "LMS");
+  EXPECT_EQ(to_string(MnType::kHuman), "human");
+  EXPECT_EQ(to_string(MnType::kVehicle), "vehicle");
+  EXPECT_EQ(to_string(DeviceType::kPda), "PDA");
+}
+
+}  // namespace
+}  // namespace mgrid::mobility

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "mobility/mobile_node.h"
+#include "mobility/stop_model.h"
+#include "mobility/linear_model.h"
+#include "mobility/path_provider.h"
+#include "mobility/trace.h"
+#include "util/rng.h"
+
+namespace mgrid::mobility {
+namespace {
+
+MobileNode make_walker(MnId id, double speed) {
+  MnSpec spec;
+  spec.id = id;
+  spec.name = "walker";
+  LinearMovementModel::Params params;
+  params.speed = {speed, speed};
+  util::RngStream init(7);
+  auto model = std::make_unique<LinearMovementModel>(
+      geo::Vec2{0, 0}, params,
+      std::make_unique<LoopPathProvider>(
+          std::vector<geo::Vec2>{{100.0, 0.0}, {0.0, 0.0}}),
+      init);
+  return MobileNode(std::move(spec), std::move(model), util::RngStream(1));
+}
+
+TEST(MobileNode, Validation) {
+  MnSpec spec;
+  spec.id = MnId{0};
+  EXPECT_THROW(MobileNode(spec, nullptr, util::RngStream(1)),
+               std::invalid_argument);
+  MnSpec invalid;
+  EXPECT_THROW(MobileNode(invalid, std::make_unique<StopModel>(geo::Vec2{}),
+                          util::RngStream(1)),
+               std::invalid_argument);
+}
+
+TEST(MobileNode, OdometerTracksTravel) {
+  MobileNode node = make_walker(MnId{1}, 2.0);
+  for (int i = 0; i < 10; ++i) node.step(0.1);
+  EXPECT_NEAR(node.odometer(), 2.0, 1e-9);
+  EXPECT_NEAR(node.position().x, 2.0, 1e-9);
+  EXPECT_EQ(node.ground_truth_pattern(), MobilityPattern::kLinear);
+}
+
+TEST(MobileNode, SpecIsPreserved) {
+  MobileNode node = make_walker(MnId{5}, 1.0);
+  EXPECT_EQ(node.id(), MnId{5});
+  EXPECT_EQ(node.spec().name, "walker");
+}
+
+TEST(TraceRecorder, RejectsTimeReversal) {
+  TraceRecorder trace;
+  trace.record(1.0, {0, 0}, 0.0);
+  EXPECT_THROW(trace.record(0.5, {1, 0}, 0.0), std::invalid_argument);
+}
+
+TEST(TraceRecorder, DistanceAndDisplacement) {
+  TraceRecorder trace;
+  trace.record(0.0, {0, 0}, 1.0);
+  trace.record(1.0, {3, 4}, 1.0);  // 5 m
+  trace.record(2.0, {0, 0}, 1.0);  // back: 5 m more
+  EXPECT_EQ(trace.total_distance(), 10.0);
+  EXPECT_EQ(trace.net_displacement(), 0.0);
+  EXPECT_NEAR(trace.mean_path_speed(), 5.0, 1e-12);
+  EXPECT_EQ(trace.size(), 3u);
+}
+
+TEST(TraceRecorder, EmptyAndSingleSampleAreSafe) {
+  TraceRecorder trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.total_distance(), 0.0);
+  EXPECT_EQ(trace.mean_path_speed(), 0.0);
+  trace.record(0.0, {1, 1}, 0.5);
+  EXPECT_EQ(trace.net_displacement(), 0.0);
+  EXPECT_EQ(trace.mean_path_speed(), 0.0);
+}
+
+TEST(TraceRecorder, SpeedStats) {
+  TraceRecorder trace;
+  trace.record(0.0, {0, 0}, 1.0);
+  trace.record(1.0, {1, 0}, 3.0);
+  const auto stats = trace.speed_stats();
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_EQ(stats.mean(), 2.0);
+}
+
+TEST(TraceRecorder, CsvRoundTrip) {
+  TraceRecorder trace;
+  trace.record(0.5, {1.25, -2.0}, 0.75);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(), "t,x,y,speed\n0.5,1.25,-2,0.75\n");
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  TraceRecorder trace;
+  trace.record(0.0, {0, 0}, 0.0);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceRecorder, RecordingAWalkerMatchesKinematics) {
+  MobileNode node = make_walker(MnId{2}, 1.5);
+  TraceRecorder trace;
+  trace.record(0.0, node.position(), node.speed());
+  for (int s = 1; s <= 20; ++s) {
+    for (int i = 0; i < 10; ++i) node.step(0.1);
+    trace.record(static_cast<double>(s), node.position(), node.speed());
+  }
+  // Straight-line walk: path speed == configured speed.
+  EXPECT_NEAR(trace.mean_path_speed(), 1.5, 1e-6);
+  EXPECT_NEAR(trace.total_distance(), node.odometer(), 1e-6);
+}
+
+}  // namespace
+}  // namespace mgrid::mobility

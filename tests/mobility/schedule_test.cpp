@@ -1,0 +1,140 @@
+#include "mobility/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mgrid::mobility {
+namespace {
+
+SchedulePlan simple_plan() {
+  SchedulePlan plan;
+  plan.phases.push_back(
+      MoveToPhase{{{10.0, 0.0}}, SpeedRange{2.0, 2.0}, "walk"});
+  plan.phases.push_back(StayPhase{3.0, "rest"});
+  plan.phases.push_back(WanderPhase{2.0, geo::Rect({8.0, -2.0}, {12.0, 2.0}),
+                                    SpeedRange{0.5, 0.5}, 1.0, "mill about"});
+  return plan;
+}
+
+TEST(ScheduledMobility, RejectsBadPlans) {
+  util::RngStream rng(1);
+  EXPECT_THROW(ScheduledMobilityModel({0, 0}, SchedulePlan{}, rng),
+               std::invalid_argument);
+  SchedulePlan no_waypoints;
+  no_waypoints.phases.push_back(MoveToPhase{{}, SpeedRange{1, 1}, ""});
+  EXPECT_THROW(ScheduledMobilityModel({0, 0}, no_waypoints, rng),
+               std::invalid_argument);
+  SchedulePlan bad_speed;
+  bad_speed.phases.push_back(
+      MoveToPhase{{{1.0, 0.0}}, SpeedRange{0.0, 0.0}, ""});
+  EXPECT_THROW(ScheduledMobilityModel({0, 0}, bad_speed, rng),
+               std::invalid_argument);
+}
+
+TEST(ScheduledMobility, ExecutesPhasesInOrder) {
+  util::RngStream rng(2);
+  ScheduledMobilityModel model({0, 0}, simple_plan(), rng);
+
+  // Phase 0: MoveTo (10, 0) at 2 m/s -> 5 s.
+  EXPECT_EQ(model.phase_index(), 0u);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kLinear);
+  EXPECT_EQ(model.phase_label(), "walk");
+  // 51 steps: floating-point accumulation can leave the mover a hair short
+  // of the waypoint after exactly 5.0 s.
+  for (int i = 0; i < 51; ++i) model.step(0.1, rng);
+  EXPECT_NEAR(model.position().x, 10.0, 1e-6);
+
+  // Phase 1: Stay for 3 s.
+  EXPECT_EQ(model.phase_index(), 1u);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kStop);
+  EXPECT_EQ(model.phase_label(), "rest");
+  const geo::Vec2 rest_position = model.position();
+  for (int i = 0; i < 30; ++i) model.step(0.1, rng);
+  EXPECT_EQ(model.position(), rest_position);
+
+  // Phase 2: Wander for 2 s inside the cafe rect.
+  EXPECT_EQ(model.phase_index(), 2u);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kRandom);
+  const geo::Rect cafe({8.0, -2.0}, {12.0, 2.0});
+  for (int i = 0; i < 20; ++i) {
+    model.step(0.1, rng);
+    EXPECT_TRUE(cafe.contains(model.position()));
+  }
+
+  // Plan exhausted.
+  EXPECT_TRUE(model.finished());
+  EXPECT_EQ(model.pattern(), MobilityPattern::kStop);
+  const geo::Vec2 final_position = model.position();
+  model.step(1.0, rng);
+  EXPECT_EQ(model.position(), final_position);
+}
+
+TEST(ScheduledMobility, RepeatLoopsBackToFirstPhase) {
+  SchedulePlan plan;
+  plan.phases.push_back(MoveToPhase{{{1.0, 0.0}}, SpeedRange{1.0, 1.0}, "a"});
+  plan.phases.push_back(MoveToPhase{{{0.0, 0.0}}, SpeedRange{1.0, 1.0}, "b"});
+  plan.repeat = true;
+  util::RngStream rng(3);
+  ScheduledMobilityModel model({0, 0}, plan, rng);
+  for (int i = 0; i < 100; ++i) model.step(0.1, rng);
+  EXPECT_FALSE(model.finished());  // still cycling after 10 s
+}
+
+TEST(ScheduledMobility, VelocityReflectsMovement) {
+  SchedulePlan plan;
+  plan.phases.push_back(
+      MoveToPhase{{{100.0, 0.0}}, SpeedRange{3.0, 3.0}, ""});
+  util::RngStream rng(4);
+  ScheduledMobilityModel model({0, 0}, plan, rng);
+  model.step(0.5, rng);
+  EXPECT_NEAR(model.velocity().x, 3.0, 1e-9);
+  EXPECT_NEAR(model.velocity().y, 0.0, 1e-9);
+  EXPECT_NEAR(model.speed(), 3.0, 1e-9);
+}
+
+TEST(TomsDay, HasElevenPhases) {
+  TomsDayInputs inputs;
+  inputs.bus_stop = {210, 0};
+  inputs.to_library = {{300, 0}, {300, 220}, {300, 270}, {280, 270}};
+  inputs.library_seat = {240, 270};
+  inputs.to_lecture = {{300, 270}, {300, 360}, {320, 360}};
+  inputs.lecture_seat = {360, 360};
+  inputs.back_to_library = {{300, 360}, {300, 270}, {280, 270}};
+  inputs.cafe_area = geo::Rect({210, 250}, {230, 270});
+  inputs.to_lab = {{300, 270}, {300, 220}, {450, 220}, {450, 270}, {480, 270}};
+  inputs.lab_hallway = {{500, 270}, {500, 250}, {540, 250}};
+  inputs.lab_area = geo::Rect({490, 245}, {550, 295});
+  inputs.to_bus = {{450, 220}, {120, 220}, {120, 0}};
+  const SchedulePlan plan = make_toms_day(inputs);
+  EXPECT_EQ(plan.phases.size(), 11u);
+  EXPECT_FALSE(plan.repeat);
+  // Phase kinds follow the paper: move, stay, move, stay, move, stay,
+  // wander, move, move, wander, move.
+  const std::vector<int> expected_kinds{0, 1, 0, 1, 0, 1, 2, 0, 0, 2, 0};
+  for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+    EXPECT_EQ(plan.phases[i].index(), static_cast<std::size_t>(
+        expected_kinds[i])) << "phase " << i;
+  }
+  EXPECT_THROW((void)make_toms_day(inputs, 0.0), std::invalid_argument);
+}
+
+TEST(TomsDay, TimeScaleCompressesStays) {
+  TomsDayInputs inputs;
+  inputs.to_library = {{1, 0}};
+  inputs.to_lecture = {{2, 0}};
+  inputs.back_to_library = {{1, 0}};
+  inputs.cafe_area = geo::Rect({0, 0}, {2, 2});
+  inputs.to_lab = {{3, 0}};
+  inputs.lab_hallway = {{4, 0}};
+  inputs.lab_area = geo::Rect({3, 0}, {5, 2});
+  inputs.to_bus = {{0, 0}};
+  const SchedulePlan plan = make_toms_day(inputs, 1.0 / 3600.0);
+  const auto& study = std::get<StayPhase>(plan.phases[1]);
+  EXPECT_NEAR(study.duration, 1.0, 1e-9);  // 1 h -> 1 s
+  const auto& lecture = std::get<StayPhase>(plan.phases[3]);
+  EXPECT_NEAR(lecture.duration, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mgrid::mobility

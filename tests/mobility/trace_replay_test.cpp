@@ -1,0 +1,120 @@
+#include "mobility/trace_replay.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace mgrid::mobility {
+namespace {
+
+std::vector<TraceSample> straight_trace() {
+  // 2 m/s along +x for 10 s, then parked for 5 s.
+  return {
+      {0.0, {0, 0}, 2.0}, {5.0, {10, 0}, 2.0}, {10.0, {20, 0}, 2.0},
+      {15.0, {20, 0}, 0.0},
+  };
+}
+
+TEST(TraceReplay, Validation) {
+  EXPECT_THROW(TraceReplayModel({}), std::invalid_argument);
+  EXPECT_THROW(TraceReplayModel({{1.0, {0, 0}, 0.0}, {0.5, {1, 1}, 0.0}}),
+               std::invalid_argument);
+  TraceReplayModel model(straight_trace());
+  util::RngStream rng(1);
+  EXPECT_THROW(model.step(0.0, rng), std::invalid_argument);
+}
+
+TEST(TraceReplay, InterpolatesBetweenSamples) {
+  TraceReplayModel model(straight_trace());
+  util::RngStream rng(1);
+  EXPECT_EQ(model.position(), (geo::Vec2{0, 0}));
+  for (int i = 0; i < 25; ++i) model.step(0.1, rng);  // t = 2.5
+  EXPECT_NEAR(model.position().x, 5.0, 1e-9);
+  EXPECT_NEAR(model.velocity().x, 2.0, 1e-9);
+  EXPECT_EQ(model.pattern(), MobilityPattern::kLinear);
+}
+
+TEST(TraceReplay, ParksAtTraceEnd) {
+  TraceReplayModel model(straight_trace());
+  util::RngStream rng(1);
+  for (int i = 0; i < 300; ++i) model.step(0.1, rng);  // t = 30 > 15
+  EXPECT_TRUE(model.finished());
+  EXPECT_EQ(model.position(), (geo::Vec2{20, 0}));
+  EXPECT_EQ(model.velocity(), (geo::Vec2{0, 0}));
+  EXPECT_EQ(model.pattern(), MobilityPattern::kStop);
+}
+
+TEST(TraceReplay, ParkedSegmentIsStop) {
+  TraceReplayModel model(straight_trace());
+  util::RngStream rng(1);
+  for (int i = 0; i < 120; ++i) model.step(0.1, rng);  // t = 12, parked leg
+  EXPECT_EQ(model.pattern(), MobilityPattern::kStop);
+  EXPECT_EQ(model.position(), (geo::Vec2{20, 0}));
+  EXPECT_FALSE(model.finished());
+}
+
+TEST(TraceReplay, LoopRestartsTheTrace) {
+  TraceReplayModel model(straight_trace(), /*loop=*/true);
+  util::RngStream rng(1);
+  for (int i = 0; i < 175; ++i) model.step(0.1, rng);  // t = 17.5 -> 2.5
+  EXPECT_FALSE(model.finished());
+  EXPECT_NEAR(model.elapsed(), 2.5, 1e-9);
+  EXPECT_NEAR(model.position().x, 5.0, 1e-9);
+}
+
+TEST(TraceReplay, NonZeroBaseTimeIsRebased) {
+  TraceReplayModel model({{100.0, {0, 0}, 1.0}, {110.0, {10, 0}, 1.0}});
+  util::RngStream rng(1);
+  for (int i = 0; i < 50; ++i) model.step(0.1, rng);  // elapsed 5
+  EXPECT_NEAR(model.position().x, 5.0, 1e-9);
+}
+
+TEST(TraceCsv, RoundTripsThroughRecorder) {
+  TraceRecorder recorder;
+  for (const TraceSample& s : straight_trace()) {
+    recorder.record(s.t, s.position, s.speed);
+  }
+  std::ostringstream out;
+  recorder.write_csv(out);
+  std::istringstream in(out.str());
+  const std::vector<TraceSample> parsed = read_trace_csv(in);
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed[1].t, 5.0);
+  EXPECT_EQ(parsed[1].position, (geo::Vec2{10, 0}));
+  EXPECT_EQ(parsed[1].speed, 2.0);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  std::istringstream missing_field("t,x,y,speed\n1,2,3\n");
+  EXPECT_THROW((void)read_trace_csv(missing_field), std::invalid_argument);
+  std::istringstream garbage("t,x,y,speed\n1,2,x,0\n");
+  EXPECT_THROW((void)read_trace_csv(garbage), std::invalid_argument);
+  std::istringstream backwards("t,x,y,speed\n5,0,0,0\n1,0,0,0\n");
+  EXPECT_THROW((void)read_trace_csv(backwards), std::invalid_argument);
+}
+
+TEST(TraceCsv, EmptyAndHeaderOnlyInputsYieldEmpty) {
+  std::istringstream empty("");
+  EXPECT_TRUE(read_trace_csv(empty).empty());
+  std::istringstream header_only("t,x,y,speed\n");
+  EXPECT_TRUE(read_trace_csv(header_only).empty());
+}
+
+TEST(TraceReplay, ReplayedTraceMatchesOriginalRecording) {
+  // Record a replay of a trace and compare positions at sample times.
+  TraceReplayModel model(straight_trace());
+  util::RngStream rng(1);
+  TraceRecorder re_recorded;
+  re_recorded.record(0.0, model.position(), model.speed());
+  for (int s = 1; s <= 15; ++s) {
+    for (int i = 0; i < 10; ++i) model.step(0.1, rng);
+    re_recorded.record(s, model.position(), model.speed());
+  }
+  EXPECT_NEAR(re_recorded.total_distance(), 20.0, 1e-6);
+  EXPECT_NEAR(re_recorded.samples()[5].position.x, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mgrid::mobility

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "net/bursty_channel.h"
+#include "net/energy.h"
+#include "util/rng.h"
+
+namespace mgrid::net {
+namespace {
+
+TEST(EnergyModel, Validation) {
+  EnergyParams bad;
+  bad.tx_base_j = -1.0;
+  EXPECT_THROW(EnergyModel{bad}, std::invalid_argument);
+  bad = {};
+  bad.rx_per_byte_j = -1.0;
+  EXPECT_THROW(EnergyModel{bad}, std::invalid_argument);
+}
+
+TEST(EnergyModel, CostsScaleWithBytes) {
+  EnergyParams params;
+  params.tx_base_j = 10.0;
+  params.tx_per_byte_j = 2.0;
+  params.rx_base_j = 5.0;
+  params.rx_per_byte_j = 1.0;
+  const EnergyModel model(params);
+  EXPECT_EQ(model.tx_cost_j(0), 10.0);
+  EXPECT_EQ(model.tx_cost_j(3), 16.0);
+  EXPECT_EQ(model.rx_cost_j(4), 9.0);
+  // Transmitting always costs more than receiving the same bytes.
+  EXPECT_GT(EnergyModel{}.tx_cost_j(84), EnergyModel{}.rx_cost_j(84));
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(Battery(0.0), std::invalid_argument);
+  Battery battery(1.0);
+  EXPECT_THROW(battery.drain(-0.1), std::invalid_argument);
+}
+
+TEST(Battery, DrainsAndClamps) {
+  Battery battery(1.0);
+  EXPECT_EQ(battery.remaining_j(), 1.0);
+  EXPECT_TRUE(battery.drain(0.4));
+  EXPECT_NEAR(battery.remaining_j(), 0.6, 1e-12);
+  EXPECT_NEAR(battery.consumed_j(), 0.4, 1e-12);
+  EXPECT_NEAR(battery.remaining_fraction(), 0.6, 1e-12);
+  EXPECT_TRUE(battery.drain(2.0));  // the emptying draw succeeds
+  EXPECT_EQ(battery.remaining_j(), 0.0);
+  EXPECT_TRUE(battery.empty());
+  EXPECT_FALSE(battery.drain(0.1));  // dead battery refuses
+}
+
+TEST(Battery, DeviceClassCapacitiesAreOrdered) {
+  EXPECT_GT(default_battery_capacity_j(mobility::DeviceType::kLaptop),
+            default_battery_capacity_j(mobility::DeviceType::kPda));
+  EXPECT_GT(default_battery_capacity_j(mobility::DeviceType::kPda),
+            default_battery_capacity_j(mobility::DeviceType::kCellPhone));
+}
+
+TEST(GilbertElliott, Validation) {
+  GilbertElliottChannel::Params bad;
+  bad.p_enter_bad = 1.5;
+  EXPECT_THROW(GilbertElliottChannel{bad}, std::invalid_argument);
+  bad = {};
+  bad.p_exit_bad = 0.0;
+  EXPECT_THROW(GilbertElliottChannel{bad}, std::invalid_argument);
+  bad = {};
+  bad.loss_bad = -0.1;
+  EXPECT_THROW(GilbertElliottChannel{bad}, std::invalid_argument);
+}
+
+TEST(GilbertElliott, DisabledChannelNeverLoses) {
+  GilbertElliottChannel channel({});  // p_enter_bad = 0, loss_good = 0
+  util::RngStream rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(channel.deliver(MnId{1}, rng));
+  }
+  EXPECT_FALSE(channel.in_bad_state(MnId{1}));
+  EXPECT_EQ(channel.transitions_to_bad(), 0u);
+}
+
+TEST(GilbertElliott, StationaryBadFractionMatchesTheory) {
+  GilbertElliottChannel::Params params;
+  params.p_enter_bad = 0.05;
+  params.p_exit_bad = 0.2;
+  GilbertElliottChannel channel(params);
+  EXPECT_NEAR(channel.stationary_bad_probability(), 0.2, 1e-12);
+  EXPECT_NEAR(channel.average_loss_rate(), 0.2, 1e-12);  // loss_bad = 1
+
+  util::RngStream rng(7);
+  int bad_samples = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    (void)channel.deliver(MnId{1}, rng);
+    bad_samples += channel.in_bad_state(MnId{1}) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(bad_samples) / n, 0.2, 0.02);
+}
+
+TEST(GilbertElliott, LossesComeInBursts) {
+  GilbertElliottChannel::Params params;
+  params.p_enter_bad = 0.02;
+  params.p_exit_bad = 0.2;  // mean burst length 5 samples
+  GilbertElliottChannel channel(params);
+  util::RngStream rng(11);
+  // Measure mean run length of consecutive losses.
+  int bursts = 0;
+  int lost = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 100000; ++i) {
+    const bool delivered = channel.deliver(MnId{1}, rng);
+    if (!delivered) {
+      ++lost;
+      if (!in_burst) {
+        ++bursts;
+        in_burst = true;
+      }
+    } else {
+      in_burst = false;
+    }
+  }
+  ASSERT_GT(bursts, 0);
+  const double mean_burst =
+      static_cast<double>(lost) / static_cast<double>(bursts);
+  EXPECT_NEAR(mean_burst, 5.0, 0.8);
+}
+
+TEST(GilbertElliott, LinksHaveIndependentState) {
+  GilbertElliottChannel::Params params;
+  params.p_enter_bad = 0.5;
+  params.p_exit_bad = 0.5;
+  GilbertElliottChannel channel(params);
+  util::RngStream rng(13);
+  // Drive link 1 until it goes bad; link 2 must be untouched.
+  for (int i = 0; i < 100 && !channel.in_bad_state(MnId{1}); ++i) {
+    (void)channel.deliver(MnId{1}, rng);
+  }
+  EXPECT_TRUE(channel.in_bad_state(MnId{1}));
+  EXPECT_FALSE(channel.in_bad_state(MnId{2}));
+}
+
+}  // namespace
+}  // namespace mgrid::net

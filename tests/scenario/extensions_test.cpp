@@ -1,0 +1,187 @@
+// Integration tests of the device-side-filtering / energy and bursty-channel
+// extensions through the full experiment pipeline.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+
+namespace mgrid::scenario {
+namespace {
+
+ExperimentOptions short_adf() {
+  ExperimentOptions options;
+  options.duration = 120.0;
+  options.filter = FilterKind::kAdf;
+  options.seed = 42;
+  return options;
+}
+
+TEST(DeviceSideExperiment, RequiresAdf) {
+  ExperimentOptions options = short_adf();
+  options.filter = FilterKind::kIdeal;
+  options.device_side_filtering = true;
+  EXPECT_THROW((void)run_experiment(options), std::invalid_argument);
+}
+
+TEST(DeviceSideExperiment, SuppressesOnTheDeviceAndPushesDths) {
+  ExperimentOptions options = short_adf();
+  options.device_side_filtering = true;
+  const ExperimentResult result = run_experiment(options);
+  EXPECT_GT(result.energy.lus_suppressed_on_device, 0u);
+  EXPECT_GT(result.dth_downlink_messages, 0u);
+  EXPECT_GT(result.energy.dth_updates_received, 0u);
+  // The downlink control stream is far cheaper than the suppressed uplink.
+  EXPECT_LT(result.dth_downlink_messages,
+            result.energy.lus_suppressed_on_device);
+}
+
+TEST(DeviceSideExperiment, SavesDeviceEnergyAtSimilarError) {
+  ExperimentOptions infra = short_adf();
+  ExperimentOptions device = short_adf();
+  device.device_side_filtering = true;
+  const ExperimentResult a = run_experiment(infra);
+  const ExperimentResult b = run_experiment(device);
+  EXPECT_LT(b.energy.mean_energy_j, a.energy.mean_energy_j * 0.9);
+  EXPECT_GT(b.energy.projected_cellphone_lifetime_h,
+            a.energy.projected_cellphone_lifetime_h);
+  // Error stays in the same ballpark (same DTHs, just applied earlier).
+  EXPECT_LT(b.rmse_overall, a.rmse_overall * 1.3);
+}
+
+TEST(DeviceSideExperiment, EnergyReportIsPopulatedInBothModes) {
+  const ExperimentResult infra = run_experiment(short_adf());
+  EXPECT_GT(infra.energy.lus_transmitted, 0u);
+  EXPECT_EQ(infra.energy.lus_suppressed_on_device, 0u);
+  EXPECT_GT(infra.energy.mean_energy_j, 0.0);
+  EXPECT_GT(infra.energy.mean_energy_laptop_j, 0.0);
+  EXPECT_GT(infra.energy.projected_cellphone_lifetime_h, 0.0);
+}
+
+TEST(DeviceSideExperiment, DeterministicForFixedSeed) {
+  ExperimentOptions options = short_adf();
+  options.device_side_filtering = true;
+  const ExperimentResult a = run_experiment(options);
+  const ExperimentResult b = run_experiment(options);
+  EXPECT_EQ(a.energy.lus_transmitted, b.energy.lus_transmitted);
+  EXPECT_EQ(a.dth_downlink_messages, b.dth_downlink_messages);
+  EXPECT_EQ(a.rmse_overall, b.rmse_overall);
+}
+
+TEST(BurstyExperiment, BurstsLoseLusAndRaiseError) {
+  ExperimentOptions clean = short_adf();
+  clean.filter = FilterKind::kIdeal;
+  ExperimentOptions bursty = clean;
+  bursty.burst.p_enter_bad = 0.02;
+  bursty.burst.p_exit_bad = 0.2;
+  const ExperimentResult clean_result = run_experiment(clean);
+  const ExperimentResult bursty_result = run_experiment(bursty);
+  EXPECT_GT(bursty_result.lus_lost_on_air, 0u);
+  EXPECT_GT(bursty_result.rmse_overall, clean_result.rmse_overall);
+}
+
+TEST(BurstyExperiment, BurstsHurtMoreThanUniformLossAtSameRate) {
+  ExperimentOptions uniform = short_adf();
+  uniform.filter = FilterKind::kIdeal;
+  uniform.duration = 300.0;
+  uniform.channel.loss_probability = 0.0909;  // == stationary bursty rate
+  ExperimentOptions bursty = uniform;
+  bursty.channel.loss_probability = 0.0;
+  bursty.burst.p_enter_bad = 0.02;
+  bursty.burst.p_exit_bad = 0.2;  // bad fraction 0.0909, loss_bad = 1
+  const ExperimentResult u = run_experiment(uniform);
+  const ExperimentResult b = run_experiment(bursty);
+  // Same average loss within tolerance...
+  const double u_rate = static_cast<double>(u.lus_lost_on_air) /
+                        static_cast<double>(u.lus_lost_on_air +
+                                            u.total_attempted);
+  const double b_rate = static_cast<double>(b.lus_lost_on_air) /
+                        static_cast<double>(b.lus_lost_on_air +
+                                            b.total_attempted);
+  EXPECT_NEAR(u_rate, b_rate, 0.03);
+  // ...but bursts produce clearly worse location error.
+  EXPECT_GT(b.rmse_overall, u.rmse_overall * 1.15);
+}
+
+TEST(BurstyExperiment, UnclampedForecastsBlowUpOverLongOutages) {
+  // The negative result that motivates horizon clamping: across ~10 s
+  // outages an unclamped linear forecast is WORSE than the stale fix.
+  ExperimentOptions bursty = short_adf();
+  bursty.duration = 300.0;
+  bursty.burst.p_enter_bad = 0.02;
+  bursty.burst.p_exit_bad = 0.1;  // long outages (~10 s)
+  ExperimentOptions unclamped = bursty;
+  unclamped.estimator = "brown_polar";
+  const ExperimentResult no_le = run_experiment(bursty);
+  const ExperimentResult blown = run_experiment(unclamped);
+  EXPECT_GT(blown.rmse_overall, no_le.rmse_overall);
+}
+
+TEST(BurstyExperiment, HorizonClampedEstimationBridgesOutages) {
+  ExperimentOptions bursty = short_adf();
+  bursty.duration = 300.0;
+  bursty.burst.p_enter_bad = 0.02;
+  bursty.burst.p_exit_bad = 0.1;
+  ExperimentOptions clamped = bursty;
+  clamped.estimator = "brown_polar";
+  clamped.forecast_horizon = 3.0;
+  const ExperimentResult no_le = run_experiment(bursty);
+  const ExperimentResult le = run_experiment(clamped);
+  // Short gaps benefit from the forecast; long gaps freeze instead of
+  // blowing up — net win over the stale fix.
+  EXPECT_LT(le.rmse_overall, no_le.rmse_overall);
+}
+
+TEST(ProtocolExperiment, TimeFilterWorksEndToEnd) {
+  ExperimentOptions options = short_adf();
+  options.filter = FilterKind::kTimeFilter;
+  options.time_filter_interval = 4.0;
+  const ExperimentResult result = run_experiment(options);
+  // ~1 in 4 samples transmitted.
+  EXPECT_NEAR(result.transmission_rate, 0.25, 0.02);
+}
+
+TEST(ProtocolExperiment, BoundedSilenceCapsStaleness) {
+  ExperimentOptions options = short_adf();
+  options.dth_factor = 1.25;
+  options.max_silence = 10.0;
+  const ExperimentResult bounded = run_experiment(options);
+  options.max_silence = 0.0;
+  const ExperimentResult plain = run_experiment(options);
+  // The forced refreshes add traffic (parked nodes now report periodically).
+  EXPECT_GT(bounded.total_transmitted, plain.total_transmitted);
+}
+
+TEST(ProtocolExperiment, PredictionProtocolDominatesWithMatchedBroker) {
+  ExperimentOptions adf = short_adf();
+  adf.duration = 300.0;
+  adf.estimator = "brown_polar";
+  const ExperimentResult adf_result = run_experiment(adf);
+
+  ExperimentOptions prediction = short_adf();
+  prediction.duration = 300.0;
+  prediction.filter = FilterKind::kPrediction;
+  prediction.prediction_threshold = 2.0;
+  prediction.estimator = "dead_reckoning";  // lockstep with the device
+  const ExperimentResult prediction_result = run_experiment(prediction);
+
+  // Less traffic AND less error than ADF + Brown LE.
+  EXPECT_LT(prediction_result.total_transmitted,
+            adf_result.total_transmitted);
+  EXPECT_LT(prediction_result.rmse_overall, adf_result.rmse_overall);
+}
+
+TEST(ProtocolExperiment, PredictionProtocolNeedsTheMatchedBroker) {
+  ExperimentOptions prediction = short_adf();
+  prediction.duration = 300.0;
+  prediction.filter = FilterKind::kPrediction;
+  prediction.prediction_threshold = 2.0;
+  ExperimentOptions matched = prediction;
+  matched.estimator = "dead_reckoning";
+  const ExperimentResult stale = run_experiment(prediction);  // no LE
+  const ExperimentResult lockstep = run_experiment(matched);
+  // Without the shared predictor the broker's view is catastrophically
+  // stale — the protocol's correctness depends on the broker half.
+  EXPECT_GT(stale.rmse_overall, 5.0 * lockstep.rmse_overall);
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

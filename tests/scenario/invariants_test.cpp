@@ -1,0 +1,100 @@
+// Cross-policy experiment invariants: properties that must hold for EVERY
+// filtering policy and configuration the runner supports.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+
+namespace mgrid::scenario {
+namespace {
+
+class PolicyInvariants : public testing::TestWithParam<FilterKind> {};
+
+TEST_P(PolicyInvariants, AccountingCloses) {
+  ExperimentOptions options;
+  options.duration = 60.0;
+  options.filter = GetParam();
+  const ExperimentResult result = run_experiment(options);
+
+  // Every sampled LU that reached the ADF was either transmitted or
+  // filtered — and with a perfect channel, every published sample arrives.
+  EXPECT_EQ(result.total_attempted,
+            result.total_transmitted +
+                (result.total_attempted - result.total_transmitted));
+  EXPECT_GT(result.total_attempted, 0u);
+  EXPECT_GT(result.total_transmitted, 0u);
+  EXPECT_LE(result.total_transmitted, result.total_attempted);
+  EXPECT_EQ(result.lus_lost_on_air, 0u);
+
+  // Rates are well-formed.
+  EXPECT_GT(result.transmission_rate, 0.0);
+  EXPECT_LE(result.transmission_rate, 1.0);
+  EXPECT_LE(result.road_transmission_rate, 1.0);
+  EXPECT_LE(result.building_transmission_rate, 1.0);
+
+  // Errors are finite and non-negative; MAE <= RMSE (Jensen).
+  EXPECT_GE(result.rmse_overall, 0.0);
+  EXPECT_LT(result.rmse_overall, 1000.0);
+  EXPECT_LE(result.mae_overall, result.rmse_overall + 1e-9);
+
+  // Series lengths are consistent.
+  EXPECT_EQ(result.lu_per_bucket.size(), result.lu_cumulative.size());
+  if (!result.lu_cumulative.empty()) {
+    EXPECT_NEAR(result.lu_cumulative.back(),
+                static_cast<double>(result.total_transmitted), 1e-6);
+  }
+
+  // Energy is spent on every radioed sample (infra mode: all of them);
+  // the final batch is still in flight to the ADF when the run ends.
+  EXPECT_GT(result.energy.mean_energy_j, 0.0);
+  EXPECT_GE(result.energy.lus_transmitted, result.total_attempted);
+  EXPECT_LE(result.energy.lus_transmitted,
+            result.total_attempted + result.node_count);
+}
+
+TEST_P(PolicyInvariants, BrokerOnlyKnowsWhatWasTransmitted) {
+  ExperimentOptions options;
+  options.duration = 60.0;
+  options.filter = GetParam();
+  const ExperimentResult result = run_experiment(options);
+  // The broker receives exactly the transmitted LUs (perfect channel),
+  // minus the tail still in flight when the run ends.
+  EXPECT_LE(result.broker_stats.updates_received, result.total_transmitted);
+  EXPECT_GE(result.broker_stats.updates_received,
+            result.total_transmitted * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         testing::Values(FilterKind::kIdeal, FilterKind::kAdf,
+                                         FilterKind::kGeneralDf,
+                                         FilterKind::kTimeFilter,
+                                         FilterKind::kPrediction));
+
+TEST(FilterKindNames, AllKindsHaveNames) {
+  EXPECT_EQ(to_string(FilterKind::kIdeal), "ideal");
+  EXPECT_EQ(to_string(FilterKind::kAdf), "adf");
+  EXPECT_EQ(to_string(FilterKind::kGeneralDf), "general_df");
+  EXPECT_EQ(to_string(FilterKind::kTimeFilter), "time_filter");
+  EXPECT_EQ(to_string(FilterKind::kPrediction), "prediction");
+}
+
+// Sweep: the Fig. 4 monotonicity property across a wide factor range.
+class FactorSweep : public testing::TestWithParam<double> {};
+
+TEST_P(FactorSweep, MoreAggressiveDthNeverIncreasesTraffic) {
+  const double factor = GetParam();
+  ExperimentOptions a;
+  a.duration = 60.0;
+  a.filter = FilterKind::kAdf;
+  a.dth_factor = factor;
+  ExperimentOptions b = a;
+  b.dth_factor = factor + 0.5;
+  const ExperimentResult small = run_experiment(a);
+  const ExperimentResult large = run_experiment(b);
+  EXPECT_GE(small.total_transmitted, large.total_transmitted) << factor;
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, FactorSweep,
+                         testing::Values(0.5, 1.0, 1.5, 2.0, 3.0));
+
+}  // namespace
+}  // namespace mgrid::scenario

@@ -1,0 +1,111 @@
+// End-to-end grid-job workload tests: Poisson arrivals at the broker,
+// location-aware dispatch, device-side computation, results (and timeouts)
+// back through the federation.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+#include "scenario/federates.h"
+
+namespace mgrid::scenario {
+namespace {
+
+ExperimentOptions job_options() {
+  ExperimentOptions options;
+  options.duration = 240.0;
+  options.filter = FilterKind::kAdf;
+  options.estimator = "brown_polar";
+  options.jobs.rate = 0.5;
+  options.jobs.timeout = 90.0;
+  return options;
+}
+
+TEST(JobWorkload, DisabledByDefault) {
+  ExperimentOptions options;
+  options.duration = 30.0;
+  const ExperimentResult result = run_experiment(options);
+  EXPECT_EQ(result.jobs.submitted, 0u);
+  EXPECT_EQ(result.jobs.completed, 0u);
+}
+
+TEST(JobWorkload, Validation) {
+  ExperimentOptions options = job_options();
+  options.jobs.rate = -1.0;
+  EXPECT_THROW((void)run_experiment(options), std::invalid_argument);
+  options = job_options();
+  options.jobs.timeout = 0.0;
+  EXPECT_THROW((void)run_experiment(options), std::invalid_argument);
+  options = job_options();
+  options.jobs.replicas = 0;
+  EXPECT_THROW((void)run_experiment(options), std::invalid_argument);
+  // Job workload without a campus (direct federate construction).
+  JobWorkloadConfig no_campus;
+  no_campus.rate = 1.0;
+  EXPECT_THROW(BrokerFederate(nullptr, 1.0, ScoringMode::kRealTime,
+                              no_campus, nullptr, util::RngStream(1)),
+               std::invalid_argument);
+}
+
+TEST(JobWorkload, JobsFlowEndToEnd) {
+  const ExperimentResult result = run_experiment(job_options());
+  EXPECT_GT(result.jobs.submitted, 60u);   // ~0.5/s over 240 s
+  EXPECT_LT(result.jobs.submitted, 200u);
+  EXPECT_GT(result.jobs.completed, result.jobs.submitted / 2);
+  // Accounting closes: every job is completed, timed out, pending, running
+  // or tracked-but-undispatched at the end.
+  EXPECT_LE(result.jobs.completed + result.jobs.timed_out +
+                result.jobs.still_pending + result.jobs.still_running,
+            result.jobs.submitted);
+  EXPECT_GT(result.jobs.mean_completion_time, 1.0);
+  EXPECT_LT(result.jobs.mean_completion_time, 90.0);
+  EXPECT_GT(result.jobs.mean_dispatch_distance, 0.0);
+}
+
+TEST(JobWorkload, DeterministicForFixedSeed) {
+  const ExperimentResult a = run_experiment(job_options());
+  const ExperimentResult b = run_experiment(job_options());
+  EXPECT_EQ(a.jobs.submitted, b.jobs.submitted);
+  EXPECT_EQ(a.jobs.completed, b.jobs.completed);
+  EXPECT_DOUBLE_EQ(a.jobs.mean_completion_time, b.jobs.mean_completion_time);
+}
+
+TEST(JobWorkload, ImpossibleTimeoutFailsJobs) {
+  ExperimentOptions options = job_options();
+  // Minimum work is 5 units; even a laptop (2 units/s) needs > 2 s, and
+  // the pipeline adds 2 cycles — a 1 s deadline can never be met.
+  options.jobs.timeout = 1.0;
+  const ExperimentResult result = run_experiment(options);
+  EXPECT_EQ(result.jobs.completed, 0u);
+  EXPECT_GT(result.jobs.timed_out, 0u);
+}
+
+TEST(JobWorkload, ReplicasRecruitMultipleWorkers) {
+  ExperimentOptions options = job_options();
+  options.jobs.replicas = 3;
+  options.jobs.rate = 0.2;
+  const ExperimentResult result = run_experiment(options);
+  EXPECT_GT(result.jobs.completed, 0u);
+  // Three assignments per job: dispatch-distance samples outnumber jobs.
+  EXPECT_GT(result.jobs.mean_dispatch_distance, 0.0);
+}
+
+TEST(JobWorkload, HigherRateSubmitsMoreJobs) {
+  ExperimentOptions slow = job_options();
+  slow.jobs.rate = 0.1;
+  ExperimentOptions fast = job_options();
+  fast.jobs.rate = 1.0;
+  const ExperimentResult a = run_experiment(slow);
+  const ExperimentResult b = run_experiment(fast);
+  EXPECT_GT(b.jobs.submitted, 3 * a.jobs.submitted);
+}
+
+TEST(JobWorkload, LossyUplinkCausesTimeouts) {
+  ExperimentOptions clean = job_options();
+  ExperimentOptions lossy = job_options();
+  lossy.channel.loss_probability = 0.6;  // many results die on the air
+  const ExperimentResult a = run_experiment(clean);
+  const ExperimentResult b = run_experiment(lossy);
+  EXPECT_GT(b.jobs.timed_out, a.jobs.timed_out);
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

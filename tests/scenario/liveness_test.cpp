@@ -1,0 +1,74 @@
+// Liveness / keepalive protocol tests: with device-side filtering a silent
+// node is ambiguous (parked vs dead); keepalive beacons disambiguate.
+#include <gtest/gtest.h>
+
+#include "broker/grid_broker.h"
+#include "scenario/experiment.h"
+
+namespace mgrid::scenario {
+namespace {
+
+TEST(BrokerLiveness, ContactStalenessTracksBothKinds) {
+  broker::GridBroker broker;
+  EXPECT_TRUE(std::isinf(broker.contact_staleness(MnId{1}, 10.0)));
+  broker.on_location_update(MnId{1}, 2.0, {0, 0}, {});
+  EXPECT_EQ(broker.contact_staleness(MnId{1}, 10.0), 8.0);
+  broker.on_keepalive(MnId{1}, 7.0);
+  EXPECT_EQ(broker.contact_staleness(MnId{1}, 10.0), 3.0);
+  EXPECT_EQ(broker.stats().keepalives_received, 1u);
+}
+
+TEST(BrokerLiveness, SilentNodesAreListed) {
+  broker::GridBroker broker;
+  broker.on_location_update(MnId{1}, 0.0, {0, 0}, {});
+  broker.on_location_update(MnId{2}, 0.0, {0, 0}, {});
+  broker.on_keepalive(MnId{2}, 90.0);
+  const std::vector<MnId> silent = broker.silent_nodes(100.0, 30.0);
+  ASSERT_EQ(silent.size(), 1u);
+  EXPECT_EQ(silent[0], MnId{1});
+  EXPECT_TRUE(broker.silent_nodes(100.0, 200.0).empty());
+}
+
+ExperimentOptions device_side_options() {
+  ExperimentOptions options;
+  options.duration = 120.0;
+  options.filter = FilterKind::kAdf;
+  options.device_side_filtering = true;
+  options.dth_factor = 1.25;
+  return options;
+}
+
+TEST(KeepaliveExperiment, DisabledByDefault) {
+  const ExperimentResult result = run_experiment(device_side_options());
+  EXPECT_EQ(result.keepalives_sent, 0u);
+  EXPECT_EQ(result.keepalives_received, 0u);
+}
+
+TEST(KeepaliveExperiment, SilentNodesBeaconAtConfiguredInterval) {
+  ExperimentOptions options = device_side_options();
+  options.keepalive_interval = 10.0;
+  const ExperimentResult result = run_experiment(options);
+  EXPECT_GT(result.keepalives_sent, 0u);
+  // Beacons from the final cycles are still in flight when the run ends.
+  EXPECT_LE(result.keepalives_received, result.keepalives_sent);
+  EXPECT_GE(result.keepalives_received, result.keepalives_sent * 9 / 10);
+  // 30 SS nodes beaconing every ~10 s over 120 s: at least ~300 beacons,
+  // but far fewer than one per suppressed LU.
+  EXPECT_GT(result.keepalives_sent, 250u);
+  EXPECT_LT(result.keepalives_sent, result.energy.lus_suppressed_on_device);
+}
+
+TEST(KeepaliveExperiment, KeepalivesDoNotPerturbFilteringOrError) {
+  ExperimentOptions without = device_side_options();
+  ExperimentOptions with = device_side_options();
+  with.keepalive_interval = 10.0;
+  const ExperimentResult a = run_experiment(without);
+  const ExperimentResult b = run_experiment(with);
+  EXPECT_EQ(a.energy.lus_transmitted, b.energy.lus_transmitted);
+  EXPECT_DOUBLE_EQ(a.rmse_overall, b.rmse_overall);
+  // Beacons cost a little energy.
+  EXPECT_GE(b.energy.mean_energy_j, a.energy.mean_energy_j);
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

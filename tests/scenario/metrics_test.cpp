@@ -1,0 +1,98 @@
+#include "scenario/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mgrid::scenario {
+namespace {
+
+TEST(TrafficMetrics, CountsTransmittedAndAttempted) {
+  TrafficMetrics metrics;
+  metrics.record(0.5, true, geo::RegionKind::kRoad);
+  metrics.record(0.6, false, geo::RegionKind::kRoad);
+  metrics.record(0.7, true, geo::RegionKind::kBuilding);
+  EXPECT_EQ(metrics.total_transmitted(), 2u);
+  EXPECT_EQ(metrics.total_attempted(), 3u);
+  EXPECT_NEAR(metrics.transmission_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TrafficMetrics, SplitsByRegionKind) {
+  TrafficMetrics metrics;
+  metrics.record(0.0, true, geo::RegionKind::kRoad);
+  metrics.record(0.0, true, geo::RegionKind::kRoad);
+  metrics.record(0.0, false, geo::RegionKind::kRoad);
+  metrics.record(0.0, false, geo::RegionKind::kBuilding);
+  EXPECT_NEAR(metrics.transmission_rate(geo::RegionKind::kRoad), 2.0 / 3.0,
+              1e-12);
+  EXPECT_EQ(metrics.transmission_rate(geo::RegionKind::kBuilding), 0.0);
+  EXPECT_EQ(metrics.transmission_rate(geo::RegionKind::kGate), 1.0);  // none
+  EXPECT_EQ(metrics.transmitted_in(geo::RegionKind::kRoad), 2u);
+  EXPECT_EQ(metrics.attempted_in(geo::RegionKind::kBuilding), 1u);
+}
+
+TEST(TrafficMetrics, SeriesBucketsTransmissionsOnly) {
+  TrafficMetrics metrics(1.0);
+  metrics.record(0.2, true, geo::RegionKind::kRoad);
+  metrics.record(0.3, false, geo::RegionKind::kRoad);
+  metrics.record(2.1, true, geo::RegionKind::kRoad);
+  const auto sums = metrics.transmitted_series().sums();
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_EQ(sums[0], 1.0);
+  EXPECT_EQ(sums[1], 0.0);
+  EXPECT_EQ(sums[2], 1.0);
+  EXPECT_NEAR(metrics.mean_per_bucket(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TrafficMetrics, EmptyRatesDefaultToOne) {
+  const TrafficMetrics metrics;
+  EXPECT_EQ(metrics.transmission_rate(), 1.0);
+}
+
+TEST(ErrorMetrics, OverallRmseMatchesHandComputation) {
+  ErrorMetrics metrics;
+  metrics.record(0.0, {0, 0}, {3, 4}, geo::RegionKind::kRoad);     // 5 m
+  metrics.record(0.5, {0, 0}, {0, 1}, geo::RegionKind::kBuilding);  // 1 m
+  EXPECT_NEAR(metrics.overall_rmse(), std::sqrt((25.0 + 1.0) / 2.0), 1e-12);
+  EXPECT_NEAR(metrics.overall_mae(), 3.0, 1e-12);
+  EXPECT_EQ(metrics.sample_count(), 2u);
+}
+
+TEST(ErrorMetrics, SplitsByRegionKind) {
+  ErrorMetrics metrics;
+  metrics.record(0.0, {0, 0}, {6, 8}, geo::RegionKind::kRoad);      // 10 m
+  metrics.record(0.0, {0, 0}, {0, 2}, geo::RegionKind::kBuilding);  // 2 m
+  EXPECT_NEAR(metrics.rmse(geo::RegionKind::kRoad), 10.0, 1e-12);
+  EXPECT_NEAR(metrics.rmse(geo::RegionKind::kBuilding), 2.0, 1e-12);
+  EXPECT_EQ(metrics.rmse(geo::RegionKind::kGate), 0.0);
+}
+
+TEST(ErrorMetrics, SeriesIsPerBucketRmse) {
+  ErrorMetrics metrics(1.0);
+  metrics.record(0.1, {0, 0}, {3, 0}, geo::RegionKind::kRoad);  // 3 m
+  metrics.record(0.9, {0, 0}, {4, 0}, geo::RegionKind::kRoad);  // 4 m
+  metrics.record(1.5, {0, 0}, {6, 0}, geo::RegionKind::kRoad);  // 6 m
+  const auto series = metrics.rmse_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_NEAR(series[0], std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+  EXPECT_NEAR(series[1], 6.0, 1e-12);
+}
+
+TEST(ErrorMetrics, KindSeriesOnlyContainsThatKind) {
+  ErrorMetrics metrics(1.0);
+  metrics.record(0.0, {0, 0}, {2, 0}, geo::RegionKind::kRoad);
+  metrics.record(0.0, {0, 0}, {9, 0}, geo::RegionKind::kBuilding);
+  const auto road = metrics.rmse_series(geo::RegionKind::kRoad);
+  ASSERT_EQ(road.size(), 1u);
+  EXPECT_NEAR(road[0], 2.0, 1e-12);
+  EXPECT_TRUE(metrics.rmse_series(geo::RegionKind::kGate).empty());
+}
+
+TEST(ErrorMetrics, PerfectViewScoresZero) {
+  ErrorMetrics metrics;
+  metrics.record(1.0, {5, 5}, {5, 5}, geo::RegionKind::kBuilding);
+  EXPECT_EQ(metrics.overall_rmse(), 0.0);
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

@@ -1,0 +1,82 @@
+#include "scenario/result_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mgrid::scenario {
+namespace {
+
+TEST(ResultIo, JsonContainsEverySection) {
+  ExperimentOptions options;
+  options.duration = 30.0;
+  options.filter = FilterKind::kAdf;
+  options.estimator = "brown_polar";
+  const ExperimentResult result = run_experiment(options);
+  const std::string json = to_json(options, result);
+
+  for (const char* needle :
+       {"\"options\":", "\"traffic\":", "\"error\":", "\"adf\":",
+        "\"energy\":", "\"run\":", "\"series\":", "\"filter\":\"adf\"",
+        "\"estimator\":\"brown_polar\"", "\"total_transmitted\":",
+        "\"rmse\":", "\"lu_per_bucket\":["}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ResultIo, SeriesCanBeOmitted) {
+  ExperimentOptions options;
+  options.duration = 10.0;
+  const ExperimentResult result = run_experiment(options);
+  const std::string json = to_json(options, result, /*include_series=*/false);
+  EXPECT_EQ(json.find("\"series\""), std::string::npos);
+}
+
+TEST(ResultIo, JsonIsStructurallyBalanced) {
+  ExperimentOptions options;
+  options.duration = 10.0;
+  const ExperimentResult result = run_experiment(options);
+  const std::string json = to_json(options, result);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ResultIo, SaveJsonRoundTrips) {
+  ExperimentOptions options;
+  options.duration = 10.0;
+  const ExperimentResult result = run_experiment(options);
+  const std::string path = testing::TempDir() + "/mg_result.json";
+  save_json(path, options, result, /*include_series=*/false);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), to_json(options, result, false) + "\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(save_json("/nonexistent/x.json", options, result),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

@@ -1,0 +1,154 @@
+#include "scenario/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mgrid::scenario {
+namespace {
+
+class WorkloadTest : public testing::Test {
+ protected:
+  geo::CampusMap campus_ = geo::CampusMap::default_campus();
+  util::RngRegistry rng_{42};
+};
+
+TEST_F(WorkloadTest, BuildsPaperPopulationOf140) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  // 5 roads x (5 + 5) + 6 buildings x (5 + 5 + 5) = 50 + 90 = 140.
+  EXPECT_EQ(workload.size(), 140u);
+}
+
+TEST_F(WorkloadTest, CountsByTypeAndPattern) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  std::map<mobility::MnType, int> by_type;
+  std::map<mobility::MobilityPattern, int> by_pattern;
+  for (const auto& node : workload.nodes()) {
+    ++by_type[node.spec().type];
+    ++by_pattern[node.spec().assigned_pattern];
+  }
+  EXPECT_EQ(by_type[mobility::MnType::kVehicle], 25);
+  EXPECT_EQ(by_type[mobility::MnType::kHuman], 115);
+  EXPECT_EQ(by_pattern[mobility::MobilityPattern::kStop], 30);
+  EXPECT_EQ(by_pattern[mobility::MobilityPattern::kRandom], 30);
+  EXPECT_EQ(by_pattern[mobility::MobilityPattern::kLinear], 80);
+}
+
+TEST_F(WorkloadTest, NodeIdsAreDenseAndOrdered) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    EXPECT_EQ(workload.nodes()[i].id().value(), i);
+  }
+  EXPECT_EQ(workload.node(MnId{0}).id(), MnId{0});
+  EXPECT_THROW((void)workload.node(MnId{999}), std::out_of_range);
+}
+
+TEST_F(WorkloadTest, NodesStartInTheirHomeRegion) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  for (const auto& node : workload.nodes()) {
+    const geo::Region& home = campus_.region(node.spec().home_region);
+    EXPECT_TRUE(home.contains(node.position()))
+        << node.spec().name << " not inside " << home.name();
+  }
+}
+
+TEST_F(WorkloadTest, StationaryNodesStayPut) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  std::vector<geo::Vec2> before;
+  for (const auto& node : workload.nodes()) before.push_back(node.position());
+  for (int i = 0; i < 50; ++i) workload.step_all(0.1);
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const auto& node = workload.nodes()[i];
+    if (node.spec().assigned_pattern == mobility::MobilityPattern::kStop) {
+      EXPECT_EQ(node.position(), before[i]) << node.spec().name;
+    }
+  }
+}
+
+TEST_F(WorkloadTest, BuildingNodesRemainInsideTheirBuilding) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  for (int s = 0; s < 300; ++s) {
+    workload.step_all(0.1);
+  }
+  for (const auto& node : workload.nodes()) {
+    const geo::Region& home = campus_.region(node.spec().home_region);
+    if (home.is_building()) {
+      EXPECT_TRUE(home.contains(node.position()))
+          << node.spec().name << " escaped " << home.name();
+    }
+  }
+}
+
+TEST_F(WorkloadTest, RealizedSpeedsRespectTable1Ranges) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  for (int s = 0; s < 100; ++s) {
+    workload.step_all(0.1);
+    for (const auto& node : workload.nodes()) {
+      const auto& range = node.spec().assigned_speed;
+      if (node.spec().assigned_pattern ==
+          mobility::MobilityPattern::kStop) {
+        EXPECT_EQ(node.speed(), 0.0);
+      } else if (node.speed() > 0.0) {
+        // Moving nodes stay within the configured band (dwell = 0 speed).
+        EXPECT_LE(node.speed(), range.hi + 1e-6) << node.spec().name;
+      }
+    }
+  }
+}
+
+TEST_F(WorkloadTest, SameSeedSameWorkload) {
+  Workload a(campus_, WorkloadParams{}, util::RngRegistry{7});
+  Workload b(campus_, WorkloadParams{}, util::RngRegistry{7});
+  for (int s = 0; s < 100; ++s) {
+    a.step_all(0.1);
+    b.step_all(0.1);
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].position(), b.nodes()[i].position()) << i;
+  }
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDifferentTrajectories) {
+  Workload a(campus_, WorkloadParams{}, util::RngRegistry{7});
+  Workload b(campus_, WorkloadParams{}, util::RngRegistry{8});
+  for (int s = 0; s < 50; ++s) {
+    a.step_all(0.1);
+    b.step_all(0.1);
+  }
+  int different = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.nodes()[i].position() == b.nodes()[i].position())) ++different;
+  }
+  EXPECT_GT(different, 50);
+}
+
+TEST_F(WorkloadTest, ScaledPopulation) {
+  WorkloadParams params;
+  params.road_humans_per_road = 2;
+  params.road_vehicles_per_road = 1;
+  params.building_ss_per_building = 1;
+  params.building_rms_per_building = 1;
+  params.building_lms_per_building = 0;
+  Workload workload(campus_, params, rng_);
+  EXPECT_EQ(workload.size(), 5u * 3u + 6u * 2u);
+}
+
+TEST_F(WorkloadTest, SpecificationTableMatchesTable1Shape) {
+  Workload workload(campus_, WorkloadParams{}, rng_);
+  const stats::Table table = workload.specification_table();
+  EXPECT_EQ(table.row_count(), 5u);  // 2 road rows + 3 building rows
+  EXPECT_EQ(table.row(0)[3], "Human");
+  EXPECT_EQ(table.row(1)[3], "Vehicle");
+  EXPECT_EQ(table.row(1)[4], "25");
+  EXPECT_EQ(table.row(2)[2], "SS");
+  EXPECT_EQ(table.row(4)[4], "30");
+}
+
+TEST_F(WorkloadTest, RejectsInvalidRanges) {
+  WorkloadParams params;
+  params.road_human_speed = {4.0, 1.0};
+  EXPECT_THROW(Workload(campus_, params, rng_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

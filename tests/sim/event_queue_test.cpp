@@ -1,0 +1,105 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgrid::sim {
+namespace {
+
+TEST(EventQueue, EmptyBehaviour) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, RejectsNullAction) {
+  EventQueue q;
+  EXPECT_THROW((void)q.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesPreserveInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(5.0, [&] { order.push_back(2); }, /*priority=*/2);
+  q.schedule(5.0, [&] { order.push_back(0); }, /*priority=*/0);
+  q.schedule(5.0, [&] { order.push_back(1); }, /*priority=*/1);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));  // double cancel
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledEventIsSkippedAtPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.schedule(7.5, [] {});
+  const auto popped = q.pop();
+  EXPECT_EQ(popped.time, 7.5);
+  EXPECT_EQ(popped.id, id);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+}  // namespace
+}  // namespace mgrid::sim

@@ -1,0 +1,122 @@
+#include "sim/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgrid::sim {
+namespace {
+
+TEST(Kernel, ClockStartsAtConstructionTime) {
+  SimulationKernel kernel(10.0);
+  EXPECT_EQ(kernel.now(), 10.0);
+  EXPECT_EQ(kernel.events_executed(), 0u);
+}
+
+TEST(Kernel, RejectsSchedulingInThePast) {
+  SimulationKernel kernel(10.0);
+  EXPECT_THROW((void)kernel.schedule_at(9.9, [] {}), std::invalid_argument);
+  EXPECT_THROW((void)kernel.schedule_in(-1.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW((void)kernel.schedule_at(10.0, [] {}));  // now is allowed
+}
+
+TEST(Kernel, RunAdvancesClockToEventTimes) {
+  SimulationKernel kernel;
+  std::vector<double> times;
+  kernel.schedule_at(1.0, [&] { times.push_back(kernel.now()); });
+  kernel.schedule_at(2.5, [&] { times.push_back(kernel.now()); });
+  kernel.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+  EXPECT_EQ(kernel.events_executed(), 2u);
+}
+
+TEST(Kernel, RunUntilLeavesClockAtEnd) {
+  SimulationKernel kernel;
+  kernel.schedule_at(1.0, [] {});
+  kernel.schedule_at(50.0, [] {});
+  kernel.run_until(10.0);
+  EXPECT_EQ(kernel.now(), 10.0);
+  EXPECT_EQ(kernel.pending_events(), 1u);  // the 50.0 event survives
+  EXPECT_THROW(kernel.run_until(5.0), std::invalid_argument);
+}
+
+TEST(Kernel, EventsCanScheduleMoreEvents) {
+  SimulationKernel kernel;
+  int fired = 0;
+  kernel.schedule_at(1.0, [&] {
+    ++fired;
+    kernel.schedule_in(1.0, [&] { ++fired; });
+  });
+  kernel.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(kernel.now(), 2.0);
+}
+
+TEST(Kernel, StepExecutesExactlyOneEvent) {
+  SimulationKernel kernel;
+  int fired = 0;
+  kernel.schedule_at(1.0, [&] { ++fired; });
+  kernel.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(kernel.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(kernel.step());
+  EXPECT_FALSE(kernel.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, PeriodicFiresAtFixedCadence) {
+  SimulationKernel kernel;
+  std::vector<double> fire_times;
+  kernel.schedule_periodic(1.0, 2.0,
+                           [&](SimTime t) { fire_times.push_back(t); });
+  kernel.run_until(7.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 3.0, 5.0, 7.0}));
+}
+
+TEST(Kernel, PeriodicValidation) {
+  SimulationKernel kernel;
+  EXPECT_THROW((void)kernel.schedule_periodic(0.0, 0.0, [](SimTime) {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)kernel.schedule_periodic(0.0, 1.0, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Kernel, CancelPeriodicStopsFutureFirings) {
+  SimulationKernel kernel;
+  int fired = 0;
+  const auto handle =
+      kernel.schedule_periodic(1.0, 1.0, [&](SimTime) { ++fired; });
+  kernel.run_until(3.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(kernel.cancel_periodic(handle));
+  EXPECT_FALSE(kernel.cancel_periodic(handle));
+  kernel.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Kernel, PeriodicCanCancelItselfFromInsideTheAction) {
+  SimulationKernel kernel;
+  int fired = 0;
+  std::uint64_t handle = 0;
+  handle = kernel.schedule_periodic(1.0, 1.0, [&](SimTime) {
+    if (++fired == 2) kernel.cancel_periodic(handle);
+  });
+  kernel.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, RequestStopHaltsRun) {
+  SimulationKernel kernel;
+  int fired = 0;
+  kernel.schedule_at(1.0, [&] {
+    ++fired;
+    kernel.request_stop();
+  });
+  kernel.schedule_at(2.0, [&] { ++fired; });
+  kernel.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(kernel.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace mgrid::sim

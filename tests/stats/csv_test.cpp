@@ -1,0 +1,80 @@
+#include "stats/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mgrid::stats {
+namespace {
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only_one"}), std::invalid_argument);
+}
+
+TEST(Table, WritesCsv) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"with,comma", "2"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "name,value\nx,1\n\"with,comma\",2\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"a", "b"});
+  table.add_row_numeric({1.234567, 2.0}, 2);
+  EXPECT_EQ(table.row(0)[0], "1.23");
+  EXPECT_EQ(table.row(0)[1], "2.00");
+}
+
+TEST(Table, PrettyOutputAlignsColumns) {
+  Table table({"short", "x"});
+  table.add_row({"longer_cell", "1"});
+  std::ostringstream out;
+  table.write_pretty(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("short"), std::string::npos);
+  EXPECT_NE(text.find("longer_cell"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, SaveCsvWritesFile) {
+  Table table({"k"});
+  table.add_row({"v"});
+  const std::string path = testing::TempDir() + "/mg_table_test.csv";
+  table.save_csv(path);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvThrowsOnBadPath) {
+  Table table({"k"});
+  EXPECT_THROW(table.save_csv("/nonexistent_dir/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mgrid::stats

@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace mgrid::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsSamples) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);  // [0, 2)
+  EXPECT_EQ(h.count(1), 1u);  // [2, 4)
+  EXPECT_EQ(h.count(4), 1u);  // [8, 10)
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, TracksUnderAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_EQ(h.bucket_hi(0), 12.5);
+  EXPECT_EQ(h.bucket_lo(3), 17.5);
+  EXPECT_THROW((void)h.bucket_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h(0.0, 4.0, 4);
+  for (double x : {0.5, 1.5, 1.6, 2.5, 3.5}) h.add(x);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    const double c = h.cdf_at(i);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cdf_at(3), 1.0, 1e-12);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgrid::stats

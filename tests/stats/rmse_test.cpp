@@ -1,0 +1,77 @@
+#include "stats/rmse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mgrid::stats {
+namespace {
+
+TEST(Rmse, EmptyIsZero) {
+  const RmseAccumulator acc;
+  EXPECT_EQ(acc.rmse(), 0.0);
+  EXPECT_EQ(acc.mae(), 0.0);
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+TEST(Rmse, KnownValues) {
+  RmseAccumulator acc;
+  acc.add_error(3.0);
+  acc.add_error(4.0);
+  // RMSE = sqrt((9 + 16) / 2) = sqrt(12.5)
+  EXPECT_NEAR(acc.rmse(), std::sqrt(12.5), 1e-12);
+  EXPECT_NEAR(acc.mae(), 3.5, 1e-12);
+  EXPECT_EQ(acc.max_error(), 4.0);
+}
+
+TEST(Rmse, NegativeErrorsUseMagnitude) {
+  RmseAccumulator acc;
+  acc.add_error(-5.0);
+  EXPECT_EQ(acc.rmse(), 5.0);
+  EXPECT_EQ(acc.mae(), 5.0);
+}
+
+TEST(Rmse, AddPointComputesEuclideanError) {
+  RmseAccumulator acc;
+  acc.add_point(0.0, 0.0, 3.0, 4.0);  // distance 5
+  EXPECT_NEAR(acc.rmse(), 5.0, 1e-12);
+}
+
+TEST(Rmse, PerfectEstimateGivesZero) {
+  RmseAccumulator acc;
+  acc.add_point(1.5, -2.5, 1.5, -2.5);
+  EXPECT_EQ(acc.rmse(), 0.0);
+}
+
+TEST(Rmse, MergeCombinesAccumulators) {
+  RmseAccumulator a;
+  RmseAccumulator b;
+  a.add_error(3.0);
+  b.add_error(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.rmse(), std::sqrt(12.5), 1e-12);
+  EXPECT_EQ(a.max_error(), 4.0);
+}
+
+TEST(Rmse, ResetClears) {
+  RmseAccumulator acc;
+  acc.add_error(9.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.rmse(), 0.0);
+  EXPECT_EQ(acc.max_error(), 0.0);
+}
+
+TEST(Rmse, MatchesPaperFormula) {
+  // RMSE = SQRT(sum((RL - EL)^2) / n) with n = 4 nodes.
+  RmseAccumulator acc;
+  acc.add_point(0, 0, 1, 0);
+  acc.add_point(0, 0, 0, 2);
+  acc.add_point(5, 5, 5, 5);
+  acc.add_point(1, 1, 4, 5);  // distance 5
+  EXPECT_NEAR(acc.rmse(), std::sqrt((1.0 + 4.0 + 0.0 + 25.0) / 4.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace mgrid::stats

@@ -1,0 +1,150 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mgrid::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> samples{1.0, 2.0, 4.0, 8.0, 16.0, -3.0};
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  const double n = static_cast<double>(samples.size());
+  const double mean =
+      std::accumulate(samples.begin(), samples.end(), 0.0) / n;
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var / n, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), var / (n - 1), 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.sum(), mean * n, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  util::RngStream rng(42);
+  RunningStats bulk;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    bulk.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  RunningStats merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count(), bulk.count());
+  EXPECT_NEAR(merged.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), bulk.variance(), 1e-9);
+  EXPECT_EQ(merged.min(), bulk.min());
+  EXPECT_EQ(merged.max(), bulk.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  const double mean_before = s.mean();
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.mean(), mean_before);
+
+  RunningStats other;
+  other.merge(s);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_EQ(other.mean(), mean_before);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2));
+  EXPECT_NEAR(s.mean(), offset + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+// Parameterized sweep: merge equals bulk for many split ratios.
+class MergeSweep : public testing::TestWithParam<int> {};
+
+TEST_P(MergeSweep, SplitPointDoesNotMatter) {
+  const int split = GetParam();
+  util::RngStream rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.uniform(-5.0, 5.0));
+  RunningStats bulk;
+  for (double x : samples) bulk.add(x);
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 200; ++i) (i < split ? a : b).add(samples[i]);
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), bulk.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), bulk.variance(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, MergeSweep,
+                         testing::Values(0, 1, 50, 100, 150, 199, 200));
+
+TEST(Ewma, FirstSampleInitialises) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.add(10.0);
+  EXPECT_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma ewma(0.3);
+  ewma.add(0.0);
+  for (int i = 0; i < 100; ++i) ewma.add(5.0);
+  EXPECT_NEAR(ewma.value(), 5.0, 1e-6);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma ewma(1.0);
+  ewma.add(1.0);
+  ewma.add(9.0);
+  EXPECT_EQ(ewma.value(), 9.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+  EXPECT_THROW(Ewma(-0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mgrid::stats

@@ -1,0 +1,96 @@
+#include "stats/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace mgrid::stats {
+namespace {
+
+TEST(TimeSeries, RejectsNonPositiveBucketWidth) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(-1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, BucketsByTime) {
+  TimeSeries series(1.0);
+  series.add(0.1, 1.0);
+  series.add(0.9, 2.0);
+  series.add(1.5, 3.0);
+  series.add(3.2, 4.0);
+  ASSERT_EQ(series.bucket_count(), 4u);
+  const auto sums = series.sums();
+  EXPECT_EQ(sums[0], 3.0);
+  EXPECT_EQ(sums[1], 3.0);
+  EXPECT_EQ(sums[2], 0.0);  // empty bucket is kept
+  EXPECT_EQ(sums[3], 4.0);
+}
+
+TEST(TimeSeries, BucketStartsAreRegular) {
+  TimeSeries series(2.0, 10.0);
+  series.add(15.0, 1.0);
+  ASSERT_EQ(series.bucket_count(), 3u);
+  EXPECT_EQ(series.bucket(0).start, 10.0);
+  EXPECT_EQ(series.bucket(1).start, 12.0);
+  EXPECT_EQ(series.bucket(2).start, 14.0);
+}
+
+TEST(TimeSeries, TimesBeforeT0ClampToFirstBucket) {
+  TimeSeries series(1.0, 5.0);
+  series.add(3.0, 7.0);
+  ASSERT_EQ(series.bucket_count(), 1u);
+  EXPECT_EQ(series.sums()[0], 7.0);
+}
+
+TEST(TimeSeries, CumulativeSums) {
+  TimeSeries series(1.0);
+  series.add_count(0.5);
+  series.add_count(1.5);
+  series.add_count(1.7);
+  series.add_count(2.5);
+  const auto cumulative = series.cumulative_sums();
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_EQ(cumulative[0], 1.0);
+  EXPECT_EQ(cumulative[1], 3.0);
+  EXPECT_EQ(cumulative[2], 4.0);
+}
+
+TEST(TimeSeries, MeansPerBucket) {
+  TimeSeries series(1.0);
+  series.add(0.2, 2.0);
+  series.add(0.8, 4.0);
+  EXPECT_EQ(series.means()[0], 3.0);
+}
+
+TEST(TimeSeries, Totals) {
+  TimeSeries series(1.0);
+  series.add(0.0, 1.0);
+  series.add(4.5, 2.0);
+  EXPECT_EQ(series.total_sum(), 3.0);
+  EXPECT_EQ(series.total_count(), 2u);
+  EXPECT_NEAR(series.mean_bucket_sum(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(Percentile, ThrowsOnBadInput) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Percentile, KnownQuantiles) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_EQ(percentile(data, 100.0), 5.0);
+  EXPECT_EQ(percentile(data, 50.0), 3.0);
+  EXPECT_EQ(percentile(data, 25.0), 2.0);
+  EXPECT_NEAR(percentile(data, 10.0), 1.4, 1e-12);
+}
+
+TEST(Percentile, SingleSample) {
+  EXPECT_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, UnsortedInputIsHandled) {
+  EXPECT_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+}  // namespace
+}  // namespace mgrid::stats

@@ -1,0 +1,124 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mgrid::util {
+namespace {
+
+TEST(Config, ParsesSimpleText) {
+  const Config config = Config::from_text("a = 1\nb = hello\n");
+  EXPECT_EQ(config.size(), 2u);
+  EXPECT_EQ(config.get_int("a", 0), 1);
+  EXPECT_EQ(config.get_string("b", ""), "hello");
+}
+
+TEST(Config, IgnoresCommentsAndBlankLines) {
+  const Config config = Config::from_text(
+      "# full comment\n\n  \nkey = value  # trailing comment\n");
+  EXPECT_EQ(config.size(), 1u);
+  EXPECT_EQ(config.get_string("key", ""), "value");
+}
+
+TEST(Config, LaterDuplicateWins) {
+  const Config config = Config::from_text("x = 1\nx = 2\n");
+  EXPECT_EQ(config.get_int("x", 0), 2);
+}
+
+TEST(Config, ThrowsOnLineWithoutEquals) {
+  EXPECT_THROW((void)Config::from_text("no_equals_here\n"), ConfigError);
+}
+
+TEST(Config, ThrowsOnEmptyKey) {
+  EXPECT_THROW((void)Config::from_text("= value\n"), ConfigError);
+}
+
+TEST(Config, FromArgsParsesTokens) {
+  const Config config =
+      Config::from_args({"duration=120", "dth_factor=0.75"});
+  EXPECT_EQ(config.get_double("duration", 0.0), 120.0);
+  EXPECT_EQ(config.get_double("dth_factor", 0.0), 0.75);
+}
+
+TEST(Config, TypedGettersReturnFallbackWhenAbsent) {
+  const Config config;
+  EXPECT_EQ(config.get_double("missing", 3.5), 3.5);
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_EQ(config.get_bool("missing", true), true);
+  EXPECT_EQ(config.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Config, TypedGettersThrowOnUnparsableValue) {
+  const Config config = Config::from_text("x = not_a_number\n");
+  EXPECT_THROW((void)config.get_double("x", 0.0), ConfigError);
+  EXPECT_THROW((void)config.get_int("x", 0), ConfigError);
+  EXPECT_THROW((void)config.get_bool("x", false), ConfigError);
+}
+
+TEST(Config, BoolAcceptsManySpellings) {
+  const Config config = Config::from_text(
+      "a = true\nb = FALSE\nc = 1\nd = off\ne = Yes\n");
+  EXPECT_TRUE(config.get_bool("a", false));
+  EXPECT_FALSE(config.get_bool("b", true));
+  EXPECT_TRUE(config.get_bool("c", false));
+  EXPECT_FALSE(config.get_bool("d", true));
+  EXPECT_TRUE(config.get_bool("e", false));
+}
+
+TEST(Config, RequireThrowsWhenMissing) {
+  const Config config;
+  EXPECT_THROW((void)config.require_double("x"), ConfigError);
+  EXPECT_THROW((void)config.require_int("x"), ConfigError);
+  EXPECT_THROW((void)config.require_string("x"), ConfigError);
+}
+
+TEST(Config, RequireReturnsWhenPresent) {
+  const Config config = Config::from_text("x = 2.5\ny = 4\nz = hi\n");
+  EXPECT_EQ(config.require_double("x"), 2.5);
+  EXPECT_EQ(config.require_int("y"), 4);
+  EXPECT_EQ(config.require_string("z"), "hi");
+}
+
+TEST(Config, DoubleListParsesAndValidates) {
+  const Config config = Config::from_text("f = 0.75, 1.0, 1.25\nbad = 1,x\n");
+  const std::vector<double> values =
+      config.get_double_list("f", {});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], 0.75);
+  EXPECT_EQ(values[2], 1.25);
+  EXPECT_THROW((void)config.get_double_list("bad", {}), ConfigError);
+  const std::vector<double> fallback = config.get_double_list("none", {9.0});
+  ASSERT_EQ(fallback.size(), 1u);
+  EXPECT_EQ(fallback[0], 9.0);
+}
+
+TEST(Config, MergeOverridesExistingKeys) {
+  Config base = Config::from_text("a = 1\nb = 2\n");
+  const Config overlay = Config::from_text("b = 3\nc = 4\n");
+  base.merge(overlay);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+TEST(Config, FromFileRoundTrips) {
+  const std::string path = testing::TempDir() + "/mg_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "duration = 1800\nestimator = brown_polar\n";
+  }
+  const Config config = Config::from_file(path);
+  EXPECT_EQ(config.get_double("duration", 0.0), 1800.0);
+  EXPECT_EQ(config.get_string("estimator", ""), "brown_polar");
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileThrowsWhenUnreadable) {
+  EXPECT_THROW((void)Config::from_file("/nonexistent/path/x.cfg"),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace mgrid::util

@@ -1,0 +1,106 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mgrid::util {
+namespace {
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, SimpleObject) {
+  JsonWriter json;
+  json.begin_object()
+      .field("name", "adf")
+      .field("factor", 1.25)
+      .field("count", std::int64_t{42})
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"adf","factor":1.25,"count":42,"ok":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("series").begin_array().value(1.0).value(2.5).end_array();
+  json.key("inner").begin_object().field("x", 0.5).end_object();
+  json.key("nothing").null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"series":[1,2.5],"inner":{"x":0.5},"nothing":null})");
+}
+
+TEST(JsonWriter, FieldArrayHelper) {
+  JsonWriter json;
+  json.begin_object().field_array("v", {1.0, 2.0, 3.0}).end_object();
+  EXPECT_EQ(json.str(), R"({"v":[1,2,3]})");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.begin_array()
+      .value(std::nan(""))
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  JsonWriter json;
+  json.value(3.5);
+  EXPECT_EQ(json.str(), "3.5");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("x"), std::logic_error);  // key in array
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);  // wrong scope end
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW((void)json.str(), std::logic_error);  // incomplete
+  }
+  {
+    JsonWriter json;
+    json.begin_object().end_object();
+    EXPECT_THROW(json.begin_object(), std::logic_error);  // already done
+  }
+  {
+    JsonWriter json;
+    json.begin_object().key("x");
+    EXPECT_THROW(json.key("y"), std::logic_error);  // double key
+    EXPECT_THROW(json.end_object(), std::logic_error);  // key dangling
+    json.value(1.0);
+    EXPECT_NO_THROW(json.end_object());
+  }
+}
+
+TEST(JsonWriter, EscapedKeysAndValues) {
+  JsonWriter json;
+  json.begin_object().field("we\"ird", "va\nlue").end_object();
+  EXPECT_EQ(json.str(), R"({"we\"ird":"va\nlue"})");
+}
+
+}  // namespace
+}  // namespace mgrid::util

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mgrid::util {
+namespace {
+
+class LoggingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view message) {
+          captured_.emplace_back(level, std::string(message));
+        });
+    Logger::instance().set_level(LogLevel::kInfo);
+  }
+
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, MessagesBelowLevelAreDropped) {
+  log_debug("dropped");
+  log_info("kept");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LoggingTest, ConcatenatesArguments) {
+  log_warn("value=", 42, " name=", "adf");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "value=42 name=adf");
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log_error("should not appear");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, EnabledReflectsLevel) {
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST(LogLevelNames, RoundTrip) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "trace");
+  EXPECT_EQ(to_string(LogLevel::kError), "error");
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level(" warn "), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace mgrid::util

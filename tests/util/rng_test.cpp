@@ -1,0 +1,181 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mgrid::util {
+namespace {
+
+TEST(RngStream, UniformStaysInRange) {
+  RngStream rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngStream, UniformDegenerateRangeReturnsLo) {
+  RngStream rng(1);
+  EXPECT_EQ(rng.uniform(3.0, 3.0), 3.0);
+}
+
+TEST(RngStream, UniformRejectsInvertedRange) {
+  RngStream rng(1);
+  EXPECT_THROW((void)rng.uniform(5.0, 2.0), std::invalid_argument);
+}
+
+TEST(RngStream, Uniform01StaysInUnitInterval) {
+  RngStream rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngStream, UniformIntCoversInclusiveRange) {
+  RngStream rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngStream, UniformIntRejectsInvertedRange) {
+  RngStream rng(3);
+  EXPECT_THROW((void)rng.uniform_int(6, 1), std::invalid_argument);
+}
+
+TEST(RngStream, NormalZeroStddevIsDeterministic) {
+  RngStream rng(3);
+  EXPECT_EQ(rng.normal(4.5, 0.0), 4.5);
+}
+
+TEST(RngStream, NormalRejectsNegativeStddev) {
+  RngStream rng(3);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(RngStream, NormalHasApproximatelyRightMoments) {
+  RngStream rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngStream, ExponentialMeanMatchesRate) {
+  RngStream rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngStream, ChanceRespectsExtremes) {
+  RngStream rng(5);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(RngStream, ChanceFrequencyApproximatesProbability) {
+  RngStream rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngStream, IndexThrowsOnEmpty) {
+  RngStream rng(19);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(RngStream, PickReturnsElementOfContainer) {
+  RngStream rng(23);
+  const std::vector<int> items{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(items);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(RngStream, ShufflePreservesElements) {
+  RngStream rng(29);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(RngStream, SameSeedSameSequence) {
+  RngStream a(99);
+  RngStream b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngRegistry, SameNameYieldsIdenticalStream) {
+  RngRegistry registry(123);
+  RngStream a = registry.stream("mobility");
+  RngStream b = registry.stream("mobility");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngRegistry, DifferentNamesYieldIndependentStreams) {
+  RngRegistry registry(123);
+  RngStream a = registry.stream("mobility");
+  RngStream b = registry.stream("channel");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngRegistry, IndexedStreamsDiffer) {
+  RngRegistry registry(7);
+  RngStream a = registry.stream("node", 0);
+  RngStream b = registry.stream("node", 1);
+  EXPECT_NE(a.uniform01(), b.uniform01());
+}
+
+TEST(RngRegistry, DifferentRootSeedsDiffer) {
+  RngRegistry r1(1);
+  RngRegistry r2(2);
+  EXPECT_NE(r1.stream("x").uniform01(), r2.stream("x").uniform01());
+}
+
+TEST(SeedHashing, Fnv1aIsStable) {
+  // Golden values: changing the hash silently would break every recorded
+  // experiment seed.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a64("mobility"), fnv1a64("mobilitz"));
+}
+
+TEST(SeedHashing, SplitmixChangesValue) {
+  EXPECT_NE(splitmix64(0), 0u);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+}  // namespace
+}  // namespace mgrid::util

@@ -1,0 +1,86 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mgrid::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(Split, SingleFieldWhenNoSeparator) {
+  const auto fields = split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(SplitTrimmed, TrimsEachField) {
+  const auto fields = split_trimmed(" a , b ,c ", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ToLower, LowersAsciiOnly) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("mobilegrid", "mobile"));
+  EXPECT_FALSE(starts_with("mobile", "mobilegrid"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ParseDouble, AcceptsValidRejectsGarbage) {
+  EXPECT_EQ(parse_double("2.5"), 2.5);
+  EXPECT_EQ(parse_double(" -3 "), -3.0);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_FALSE(parse_double("2.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(ParseInt, AcceptsValidRejectsGarbage) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12abc").has_value());
+}
+
+TEST(ParseBool, RecognisedSpellings) {
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("ON"), true);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_EQ(parse_bool("No"), false);
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace mgrid::util
