@@ -10,6 +10,7 @@
 //
 // Usage: campus_watch [duration=90] [interval=30] [dth_factor=1.25]
 //                     [estimator=brown_polar] [columns=110]
+//                     [--metrics-out=m.prom] [--trace-out=t.json]
 #include <iostream>
 
 #include "mobilegrid/mobilegrid.h"
@@ -26,6 +27,20 @@ int main(int argc, char** argv) {
       config.get_string("estimator", "brown_polar");
   const auto columns =
       static_cast<std::size_t>(config.get_int("columns", 110));
+  const std::string metrics_out = config.get_string("metrics_out", "");
+  const std::string trace_out = config.get_string("trace_out", "");
+
+  // The watch drives its own loop (no federation), so install the loop
+  // variable as the sim clock for log lines and trace events.
+  double sim_now = 0.0;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::set_enabled(true);
+    util::Logger::instance().set_clock([&sim_now] { return sim_now; });
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::global().set_enabled(true);
+    obs::TraceRecorder::global().set_clock([&sim_now] { return sim_now; });
+  }
 
   const geo::CampusMap campus = geo::CampusMap::default_campus();
   const util::RngRegistry rng(
@@ -45,6 +60,8 @@ int main(int argc, char** argv) {
   std::uint64_t window_tx = 0;
   std::uint64_t window_samples = 0;
   for (double t = 1.0; t <= duration; t += 1.0) {
+    sim_now = t;
+    auto frame_span = obs::TraceRecorder::global().span("tick", "watch");
     for (int i = 0; i < 10; ++i) workload.step_all(0.1);
     std::vector<MnId> reported_now;
     for (const auto& node : workload.nodes()) {
@@ -87,5 +104,19 @@ int main(int argc, char** argv) {
       window_samples = 0;
     }
   }
+
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out,
+                            obs::MetricsRegistry::global().snapshot());
+    std::cout << "\nmetrics snapshot written to " << metrics_out << '\n';
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::global().set_clock(nullptr);
+    obs::write_text_file(trace_out,
+                         obs::TraceRecorder::global().to_chrome_json());
+    std::cout << "trace written to " << trace_out
+              << " (load in ui.perfetto.dev)\n";
+  }
+  util::Logger::instance().set_clock(nullptr);
   return 0;
 }

@@ -16,6 +16,11 @@
 //   campus_blocks [0 = paper campus] threaded [false]
 //   alpha [0.8 clustering bound] recluster [30]
 //   csv [path to dump the per-second LU + RMSE series]
+//
+// Telemetry (flag spellings also accepted, e.g. --metrics-out=m.prom):
+//   metrics_out [path: registry snapshot; .json/.csv/else Prometheus text]
+//   trace_out   [path: Chrome/Perfetto trace_event JSON]
+//   log_level   [warn|trace|debug|info|error|off]
 #include <iostream>
 
 #include "mobilegrid/mobilegrid.h"
@@ -72,6 +77,21 @@ int main(int argc, char** argv) {
   options.adf_shards =
       static_cast<std::size_t>(config.get_int("shards", 1));
   options.jobs.rate = config.get_double("job_rate", 0.0);
+
+  if (config.contains("log_level")) {
+    util::Logger::instance().set_level(
+        util::parse_log_level(config.require_string("log_level")));
+  }
+
+  // Telemetry: either output path switches the whole pipeline on.
+  const std::string metrics_out = config.get_string("metrics_out", "");
+  const std::string trace_out = config.get_string("trace_out", "");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::set_enabled(true);
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::global().set_enabled(true);
+  }
 
   const scenario::ExperimentResult result = scenario::run_experiment(options);
 
@@ -156,6 +176,18 @@ int main(int argc, char** argv) {
     }
     series.save_csv(csv);
     std::cout << "\nper-second series written to " << csv << '\n';
+  }
+
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out,
+                            obs::MetricsRegistry::global().snapshot());
+    std::cout << "\nmetrics snapshot written to " << metrics_out << '\n';
+  }
+  if (!trace_out.empty()) {
+    obs::write_text_file(trace_out,
+                         obs::TraceRecorder::global().to_chrome_json());
+    std::cout << "trace written to " << trace_out
+              << " (load in ui.perfetto.dev)\n";
   }
   return 0;
 }

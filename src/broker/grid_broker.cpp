@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace mgrid::broker {
+
+namespace {
+
+struct BrokerMetrics {
+  obs::Counter updates;
+  obs::Counter estimates;
+  obs::Counter keepalives;
+  obs::Gauge db_size;
+
+  BrokerMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    updates = registry.counter("mgrid_broker_updates_total", {},
+                               "Location updates ingested by the broker");
+    estimates = registry.counter(
+        "mgrid_broker_estimates_total", {},
+        "Positions filled in by the location estimator on ticks");
+    keepalives = registry.counter("mgrid_broker_keepalives_total", {},
+                                  "Liveness beacons received");
+    db_size = registry.gauge("mgrid_broker_db_size", {},
+                             "MNs tracked in the location database");
+  }
+};
+
+BrokerMetrics& broker_metrics() {
+  static BrokerMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 GridBroker::GridBroker(
     std::unique_ptr<estimation::LocationEstimator> estimator_prototype,
@@ -18,6 +49,7 @@ void GridBroker::on_location_update(MnId mn, SimTime t, geo::Vec2 position,
   last_contact_time_[mn] = t;
   battery_[mn] = battery_fraction;
   ++stats_.updates_received;
+  broker_metrics().updates.inc();
   if (prototype_ != nullptr) {
     auto it = estimators_.find(mn);
     if (it == estimators_.end()) {
@@ -28,6 +60,8 @@ void GridBroker::on_location_update(MnId mn, SimTime t, geo::Vec2 position,
 }
 
 void GridBroker::on_tick(SimTime t) {
+  // Refreshing the DB-size gauge once per tick keeps it off the per-LU path.
+  broker_metrics().db_size.set(static_cast<double>(db_.size()));
   if (prototype_ == nullptr) return;  // view stays at the last fix
   for (auto& [mn, estimator] : estimators_) {
     auto last = last_update_time_.find(mn);
@@ -36,6 +70,7 @@ void GridBroker::on_tick(SimTime t) {
     }
     db_.record_estimate(mn, t, estimator->estimate(t));
     ++stats_.estimates_made;
+    broker_metrics().estimates.inc();
   }
 }
 
@@ -47,6 +82,7 @@ double GridBroker::battery_fraction(MnId mn) const {
 void GridBroker::on_keepalive(MnId mn, SimTime t) {
   last_contact_time_[mn] = t;
   ++stats_.keepalives_received;
+  broker_metrics().keepalives.inc();
 }
 
 Duration GridBroker::contact_staleness(MnId mn, SimTime now) const {

@@ -2,7 +2,58 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace mgrid::core {
+
+namespace {
+
+constexpr std::size_t kPatternCount = 3;  // stop, random, linear
+
+/// ADF telemetry shared by every filter instance. The 3x3 transition matrix
+/// is pre-registered so the hot path never takes the registry lock.
+struct AdfMetrics {
+  obs::Counter transmitted;
+  obs::Counter filtered;
+  obs::Counter rebuilds;
+  obs::Gauge clusters;
+  obs::HistogramMetric dth_meters;
+  obs::Counter transitions[kPatternCount][kPatternCount];
+
+  AdfMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    transmitted = registry.counter("mgrid_adf_transmitted_total", {},
+                                   "Location updates passed by the ADF");
+    filtered = registry.counter("mgrid_adf_filtered_total", {},
+                                "Location updates suppressed by the ADF");
+    rebuilds = registry.counter("mgrid_adf_rebuilds_total", {},
+                                "Periodic cluster reconstructions");
+    clusters = registry.gauge("mgrid_adf_clusters", {},
+                              "Clusters after the last DTH computation");
+    dth_meters =
+        registry.histogram("mgrid_adf_dth_meters", 0.0, 50.0, 50, {},
+                           "Distance threshold handed to the filter, meters");
+    for (std::size_t from = 0; from < kPatternCount; ++from) {
+      for (std::size_t to = 0; to < kPatternCount; ++to) {
+        const auto from_name = mobility::to_string(
+            static_cast<mobility::MobilityPattern>(from));
+        const auto to_name =
+            mobility::to_string(static_cast<mobility::MobilityPattern>(to));
+        transitions[from][to] = registry.counter(
+            "mgrid_adf_transitions_total",
+            {{"from", std::string(from_name)}, {"to", std::string(to_name)}},
+            "Mobility-pattern transitions observed by the classifier");
+      }
+    }
+  }
+};
+
+AdfMetrics& adf_metrics() {
+  static AdfMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 AdaptiveDistanceFilter::AdaptiveDistanceFilter(AdfParams params)
     : params_(params),
@@ -35,6 +86,10 @@ FilterDecision AdaptiveDistanceFilter::process(MnId mn, SimTime t,
       filter_.apply(mn, position, decision.dth);
   decision.transmit = df.transmit;
   decision.moved = df.moved;
+  if (obs::enabled()) {
+    (decision.transmit ? adf_metrics().transmitted : adf_metrics().filtered)
+        .inc();
+  }
   return decision;
 }
 
@@ -52,6 +107,7 @@ FilterDecision AdaptiveDistanceFilter::update_dth(MnId mn, SimTime t,
       clusterer_.rebuild();
       last_rebuild_ = t;
       ++rebuilds_;
+      adf_metrics().rebuilds.inc();
     }
   }
 
@@ -71,6 +127,21 @@ FilterDecision AdaptiveDistanceFilter::update_dth(MnId mn, SimTime t,
   }
   current_dth_[mn] = decision.dth;
   decision.transmit = true;
+  if (obs::enabled()) {
+    AdfMetrics& metrics = adf_metrics();
+    metrics.dth_meters.observe(decision.dth);
+    metrics.clusters.set(static_cast<double>(clusterer_.cluster_count()));
+    // State-transition accounting (per-MN last pattern is only maintained
+    // while telemetry is on; the first enabled sample seeds it silently).
+    const auto slot = static_cast<std::size_t>(mn.value());
+    if (slot >= last_pattern_.size()) last_pattern_.resize(slot + 1, 0xFF);
+    const std::uint8_t previous = last_pattern_[slot];
+    const auto current = static_cast<std::uint8_t>(decision.pattern);
+    if (previous != 0xFF && previous != current) {
+      metrics.transitions[previous][current].inc();
+    }
+    last_pattern_[slot] = current;
+  }
   return decision;
 }
 

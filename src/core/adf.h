@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/classifier.h"
 #include "core/clustering.h"
@@ -85,6 +86,12 @@ class AdaptiveDistanceFilter final : public LocationUpdateFilter {
   SequentialClusterer clusterer_;
   DistanceFilter filter_;
   std::unordered_map<MnId, double> current_dth_;
+  /// Last classified pattern per MN, maintained only while telemetry is
+  /// enabled (feeds mgrid_adf_transitions_total).
+  /// Last classified pattern per MN (telemetry transition matrix), indexed
+  /// by MnId value; 0xFF = not yet seen. MnIds are dense in practice, so a
+  /// flat vector beats a hash map on the per-sample hot path.
+  std::vector<std::uint8_t> last_pattern_;
   SimTime last_rebuild_ = 0.0;
   bool rebuild_clock_started_ = false;
   std::uint64_t rebuilds_ = 0;

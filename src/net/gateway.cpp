@@ -2,7 +2,31 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace mgrid::net {
+
+namespace {
+
+struct GatewayMetrics {
+  obs::Counter handovers;
+  obs::Gauge associations;
+
+  GatewayMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    handovers = registry.counter("mgrid_net_handovers_total", {},
+                                 "MN re-associations between gateways");
+    associations = registry.gauge("mgrid_net_associations", {},
+                                  "MNs currently associated with a gateway");
+  }
+};
+
+GatewayMetrics& gateway_metrics() {
+  static GatewayMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::string_view to_string(GatewayKind kind) noexcept {
   switch (kind) {
@@ -56,10 +80,15 @@ GatewayNetwork::AssociationResult GatewayNetwork::update_association(
     MnId mn, geo::Vec2 p) {
   const GatewayId serving = serving_gateway(p);
   auto [it, inserted] = associations_.try_emplace(mn, serving);
-  if (inserted) return {serving, false};
+  if (inserted) {
+    gateway_metrics().associations.set(
+        static_cast<double>(associations_.size()));
+    return {serving, false};
+  }
   if (it->second == serving) return {serving, false};
   it->second = serving;
   ++handovers_;
+  gateway_metrics().handovers.inc();
   return {serving, true};
 }
 

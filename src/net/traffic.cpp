@@ -1,6 +1,46 @@
 #include "net/traffic.h"
 
+#include "obs/metrics.h"
+
 namespace mgrid::net {
+
+namespace {
+
+/// Process-wide net telemetry; every accountant instance mirrors into these
+/// shared registry cells so exporters see one consistent total.
+struct NetMetrics {
+  obs::Counter uplink_messages;
+  obs::Counter uplink_bytes;
+  obs::Counter downlink_messages;
+  obs::Counter downlink_bytes;
+  obs::Counter suppressed;
+
+  NetMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    uplink_messages =
+        registry.counter("mgrid_net_messages_total", {{"direction", "uplink"}},
+                         "Messages crossing the wireless gateways");
+    uplink_bytes =
+        registry.counter("mgrid_net_bytes_total", {{"direction", "uplink"}},
+                         "Wire bytes crossing the wireless gateways");
+    downlink_messages = registry.counter(
+        "mgrid_net_messages_total", {{"direction", "downlink"}},
+        "Messages crossing the wireless gateways");
+    downlink_bytes =
+        registry.counter("mgrid_net_bytes_total", {{"direction", "downlink"}},
+                         "Wire bytes crossing the wireless gateways");
+    suppressed = registry.counter(
+        "mgrid_lu_suppressed_total", {},
+        "Location updates suppressed by the distance filter");
+  }
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 TrafficAccountant::TrafficAccountant(Duration bucket_width)
     : uplink_series_(bucket_width) {}
@@ -17,14 +57,19 @@ void TrafficAccountant::record_bytes(SimTime t, GatewayId gateway,
     uplink_.add(wire_bytes);
     per_gateway_up_[gateway].add(wire_bytes);
     uplink_series_.add_count(t);
+    net_metrics().uplink_messages.inc();
+    net_metrics().uplink_bytes.inc(wire_bytes);
   } else {
     downlink_.add(wire_bytes);
     per_gateway_down_[gateway].add(wire_bytes);
+    net_metrics().downlink_messages.inc();
+    net_metrics().downlink_bytes.inc(wire_bytes);
   }
 }
 
 void TrafficAccountant::record_suppressed(SimTime /*t*/) noexcept {
   ++suppressed_;
+  net_metrics().suppressed.inc();
 }
 
 const TrafficCounters& TrafficAccountant::total(

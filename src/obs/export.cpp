@@ -1,0 +1,214 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace mgrid::obs {
+
+namespace {
+
+/// Prometheus sample value: integers render without a decimal point so
+/// counter lines stay exact; everything else gets shortest-ish %g.
+std::string format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` or "" when no labels; `extra` appends one more pair
+/// (used for the histogram `le` label).
+std::string label_block(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label(value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_family;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.name != last_family) {
+      last_family = sample.name;
+      if (!sample.help.empty()) {
+        out << "# HELP " << sample.name << ' ' << sample.help << '\n';
+      }
+      out << "# TYPE " << sample.name << ' ' << kind_name(sample.kind)
+          << '\n';
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out << sample.name << label_block(sample.labels) << ' '
+            << format_value(sample.value) << '\n';
+        break;
+      case MetricKind::kHistogram: {
+        for (std::size_t i = 0; i < sample.bucket_edges.size(); ++i) {
+          out << sample.name << "_bucket"
+              << label_block(sample.labels,
+                             "le=\"" + format_value(sample.bucket_edges[i]) +
+                                 "\"")
+              << ' ' << sample.bucket_counts[i] << '\n';
+        }
+        out << sample.name << "_bucket"
+            << label_block(sample.labels, "le=\"+Inf\"") << ' '
+            << sample.count << '\n';
+        out << sample.name << "_sum" << label_block(sample.labels) << ' '
+            << format_value(sample.sum) << '\n';
+        out << sample.name << "_count" << label_block(sample.labels) << ' '
+            << sample.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("metrics").begin_array();
+  for (const MetricSample& sample : snapshot.samples) {
+    json.begin_object();
+    json.field("name", sample.name);
+    json.field("type", kind_name(sample.kind));
+    if (!sample.labels.empty()) {
+      json.key("labels").begin_object();
+      for (const auto& [key, value] : sample.labels) {
+        json.field(key, value);
+      }
+      json.end_object();
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      json.field("count", sample.count);
+      json.field("sum", sample.sum);
+      json.field("min", sample.min);
+      json.field("max", sample.max);
+      json.field("mean", sample.mean);
+      json.key("buckets").begin_array();
+      for (std::size_t i = 0; i < sample.bucket_edges.size(); ++i) {
+        json.begin_object();
+        json.field("le", sample.bucket_edges[i]);
+        json.field("count", sample.bucket_counts[i]);
+        json.end_object();
+      }
+      json.end_array();
+    } else {
+      json.field("value", sample.value);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+stats::Table to_csv_table(const MetricsSnapshot& snapshot) {
+  stats::Table table(
+      {"name", "labels", "type", "value", "count", "sum", "min", "max"});
+  for (const MetricSample& sample : snapshot.samples) {
+    std::string labels;
+    for (const auto& [key, value] : sample.labels) {
+      if (!labels.empty()) labels += ';';
+      labels += key + "=" + value;
+    }
+    if (sample.kind == MetricKind::kHistogram) {
+      table.add_row({sample.name, labels, kind_name(sample.kind),
+                     format_value(sample.mean),
+                     std::to_string(sample.count), format_value(sample.sum),
+                     format_value(sample.min), format_value(sample.max)});
+    } else {
+      table.add_row({sample.name, labels, kind_name(sample.kind),
+                     format_value(sample.value), "", "", "", ""});
+    }
+  }
+  return table;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("obs::write_text_file: cannot open " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("obs::write_text_file: write failed for " +
+                             path);
+  }
+}
+
+void write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot) {
+  const auto dot = path.find_last_of('.');
+  const std::string extension =
+      dot == std::string::npos ? "" : path.substr(dot);
+  if (extension == ".json") {
+    write_text_file(path, to_json(snapshot));
+  } else if (extension == ".csv") {
+    to_csv_table(snapshot).save_csv(path);
+  } else {
+    write_text_file(path, to_prometheus(snapshot));
+  }
+}
+
+}  // namespace mgrid::obs

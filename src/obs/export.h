@@ -1,0 +1,36 @@
+// Snapshot exporters for the telemetry registry.
+//
+//   * to_prometheus — Prometheus text exposition format 0.0.4 (# HELP /
+//     # TYPE headers, cumulative `_bucket{le=...}` histogram series,
+//     `_sum` / `_count`), scrape-parseable by promtool and verified by a
+//     parser in the test suite.
+//   * to_json       — one self-describing document via util::JsonWriter.
+//   * to_csv_table  — flat stats::Table (one row per sample) for spreadsheet
+//     workflows; reuses stats/csv's RFC-4180 writer.
+//
+// write_metrics_file() picks the format from the file extension (.json /
+// .csv / anything else = Prometheus text) — the examples' --metrics-out flag
+// funnels through it.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "stats/csv.h"
+
+namespace mgrid::obs {
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+[[nodiscard]] stats::Table to_csv_table(const MetricsSnapshot& snapshot);
+
+/// Serialises `snapshot` in the format implied by `path`'s extension and
+/// writes it. Throws std::runtime_error when the file cannot be written.
+void write_metrics_file(const std::string& path,
+                        const MetricsSnapshot& snapshot);
+
+/// Writes `content` to `path` (shared by the trace/metrics dump helpers).
+/// Throws std::runtime_error when the file cannot be written.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace mgrid::obs

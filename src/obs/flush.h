@@ -1,0 +1,58 @@
+// Periodic snapshot flusher driven by the simulation clock.
+//
+// Attaches to a SimulationKernel via schedule_periodic() and hands a fresh
+// registry snapshot (stamped with the sim time of the flush) to a callback —
+// typically obs::write_metrics_file, or an in-memory time-series appender.
+// Header-only so obs does not need to link against sim.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "sim/kernel.h"
+
+namespace mgrid::obs {
+
+class PeriodicFlusher {
+ public:
+  using FlushFn = std::function<void(SimTime, const MetricsSnapshot&)>;
+
+  /// Flushes `registry` through `flush` every `period` sim seconds starting
+  /// at `first_time` (kernel-relative; period must be > 0). The kernel and
+  /// registry must outlive the flusher.
+  PeriodicFlusher(sim::SimulationKernel& kernel, MetricsRegistry& registry,
+                  SimTime first_time, Duration period, FlushFn flush)
+      : kernel_(kernel), registry_(registry), flush_(std::move(flush)) {
+    handle_ = kernel_.schedule_periodic(
+        first_time, period, [this](SimTime t) { fire(t); });
+  }
+
+  ~PeriodicFlusher() { stop(); }
+  PeriodicFlusher(const PeriodicFlusher&) = delete;
+  PeriodicFlusher& operator=(const PeriodicFlusher&) = delete;
+
+  /// Cancels the periodic task (idempotent).
+  void stop() {
+    if (handle_ != 0) {
+      kernel_.cancel_periodic(handle_);
+      handle_ = 0;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t flush_count() const noexcept { return fired_; }
+
+ private:
+  void fire(SimTime t) {
+    ++fired_;
+    if (flush_) flush_(t, registry_.snapshot());
+  }
+
+  sim::SimulationKernel& kernel_;
+  MetricsRegistry& registry_;
+  FlushFn flush_;
+  std::uint64_t handle_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace mgrid::obs

@@ -1,0 +1,204 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace mgrid::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+thread_local ShardSlot t_shard_slot;
+
+void assign_thread_slot(ShardSlot& slot) noexcept {
+  static std::atomic<std::size_t> next{0};
+  const std::size_t n = next.fetch_add(1, std::memory_order_relaxed);
+  slot.index = n % kShards;
+  slot.exclusive = n < kShards;
+}
+
+HistogramCell::HistogramCell(double lo_edge, double hi_edge,
+                             std::size_t bucket_count)
+    : lo(lo_edge), hi(hi_edge), buckets(bucket_count) {
+  shards.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards.push_back(std::make_unique<HistogramShard>(lo, hi, buckets));
+  }
+}
+
+void HistogramCell::observe(double sample) noexcept {
+  HistogramShard& shard = *shards[thread_shard()];
+  std::lock_guard lock(shard.mutex);
+  shard.stats.add(sample);
+  shard.histogram.add(sample);
+}
+
+stats::RunningStats HistogramCell::merged_stats() const {
+  stats::RunningStats merged;
+  for (const auto& shard : shards) {
+    std::lock_guard lock(shard->mutex);
+    merged.merge(shard->stats);
+  }
+  return merged;
+}
+
+stats::Histogram HistogramCell::merged_histogram() const {
+  stats::Histogram merged(lo, hi, buckets);
+  for (const auto& shard : shards) {
+    std::lock_guard lock(shard->mutex);
+    merged.merge(shard->histogram);
+  }
+  return merged;
+}
+
+void HistogramCell::reset() {
+  for (auto& shard : shards) {
+    std::lock_guard lock(shard->mutex);
+    shard->stats.reset();
+    shard->histogram = stats::Histogram(lo, hi, buckets);
+  }
+}
+
+}  // namespace detail
+
+const MetricSample* MetricsSnapshot::find(std::string_view name,
+                                          const Labels& labels) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return &sample;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsRegistry::key_of(std::string_view name,
+                                    const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter MetricsRegistry::counter(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard lock(mutex_);
+  const std::string key = key_of(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry{std::string(name), std::move(labels), MetricKind::kCounter,
+                std::string(help)};
+    entry.counter = &counters_.emplace_back();
+    it = entries_.emplace(key, std::move(entry)).first;
+  }
+  return Counter(it->second.counter);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, Labels labels,
+                             std::string_view help) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard lock(mutex_);
+  const std::string key = key_of(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry{std::string(name), std::move(labels), MetricKind::kGauge,
+                std::string(help)};
+    entry.gauge = &gauges_.emplace_back();
+    it = entries_.emplace(key, std::move(entry)).first;
+  }
+  return Gauge(it->second.gauge);
+}
+
+HistogramMetric MetricsRegistry::histogram(std::string_view name, double lo,
+                                           double hi, std::size_t buckets,
+                                           Labels labels,
+                                           std::string_view help) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard lock(mutex_);
+  const std::string key = key_of(name, labels);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry{std::string(name), std::move(labels), MetricKind::kHistogram,
+                std::string(help)};
+    entry.histogram = &histograms_.emplace_back(lo, hi, buckets);
+    it = entries_.emplace(key, std::move(entry)).first;
+  }
+  return HistogramMetric(it->second.histogram);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot out;
+  out.samples.reserve(entries_.size());
+  // entries_ is keyed by name + sorted labels, so iteration order is already
+  // the deterministic export order.
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.labels = entry.labels;
+    sample.kind = entry.kind;
+    sample.help = entry.help;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(entry.counter->value());
+        break;
+      case MetricKind::kGauge:
+        sample.value = entry.gauge->value.load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        const stats::Histogram merged = entry.histogram->merged_histogram();
+        const stats::RunningStats moments = entry.histogram->merged_stats();
+        sample.bucket_edges.reserve(merged.bucket_count());
+        sample.bucket_counts.reserve(merged.bucket_count());
+        // Prometheus cumulative buckets: a sample below the histogram range
+        // is <= every finite edge, so underflow counts into all of them.
+        std::uint64_t cumulative = merged.underflow();
+        for (std::size_t i = 0; i < merged.bucket_count(); ++i) {
+          cumulative += merged.count(i);
+          sample.bucket_edges.push_back(merged.bucket_hi(i));
+          sample.bucket_counts.push_back(cumulative);
+        }
+        sample.count = moments.count();
+        sample.sum = moments.sum();
+        sample.min = moments.empty() ? 0.0 : moments.min();
+        sample.max = moments.empty() ? 0.0 : moments.max();
+        sample.mean = moments.mean();
+        sample.value = sample.mean;
+        break;
+      }
+    }
+    out.samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& cell : counters_) cell.reset();
+  for (auto& cell : gauges_) cell.set(0.0);
+  for (auto& cell : histograms_) cell.reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace mgrid::obs

@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <stdexcept>
+#include <thread>
+
+#include "util/json.h"
+
+namespace mgrid::obs {
+
+namespace {
+
+/// Small dense id for the calling thread (Chrome's tid field).
+std::uint32_t thread_tid() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRecorder: capacity must be > 0");
+  }
+  ring_.reserve(capacity);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_clock(std::function<double()> clock) {
+  std::lock_guard lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::push(TraceEvent event) {
+  event.tid = thread_tid();
+  std::lock_guard lock(mutex_);
+  event.sim_time = clock_ ? clock_() : 0.0;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    next_ = ring_.size() % capacity_;
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'i';
+  event.wall_us = now_us();
+  push(std::move(event));
+}
+
+void TraceRecorder::begin(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'B';
+  event.wall_us = now_us();
+  push(std::move(event));
+}
+
+void TraceRecorder::end(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'E';
+  event.wall_us = now_us();
+  push(std::move(event));
+}
+
+void TraceRecorder::complete(std::string_view name, std::string_view category,
+                             std::uint64_t wall_start_us,
+                             std::uint64_t duration_us) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = 'X';
+  event.wall_us = wall_start_us;
+  event.duration_us = duration_us;
+  push(std::move(event));
+}
+
+TraceRecorder::Span::Span(TraceRecorder& recorder, std::string_view name,
+                          std::string_view category)
+    : recorder_(recorder.enabled() ? &recorder : nullptr) {
+  if (recorder_ == nullptr) return;
+  name_ = std::string(name);
+  category_ = std::string(category);
+  start_us_ = recorder_->now_us();
+}
+
+TraceRecorder::Span::~Span() {
+  if (recorder_ == nullptr) return;
+  recorder_->complete(name_, category_, start_us_,
+                      recorder_->now_us() - start_us_);
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+    return out;
+  }
+  // Full ring: the oldest surviving event sits at next_.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return recorded_ - ring_.size();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  const std::uint64_t dropped_events = dropped();
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& event : snapshot) {
+    json.begin_object();
+    json.field("name", event.name);
+    json.field("cat", event.category);
+    json.field("ph", std::string_view(&event.phase, 1));
+    json.field("ts", static_cast<std::uint64_t>(event.wall_us));
+    if (event.phase == 'X') {
+      json.field("dur", static_cast<std::uint64_t>(event.duration_us));
+    }
+    if (event.phase == 'i') {
+      json.field("s", "g");  // global-scope instant
+    }
+    json.field("pid", static_cast<std::uint64_t>(1));
+    json.field("tid", static_cast<std::uint64_t>(event.tid));
+    json.key("args").begin_object();
+    json.field("sim_time", event.sim_time);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ms");
+  if (dropped_events > 0) {
+    json.field("mgrid_dropped_events", dropped_events);
+  }
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace mgrid::obs

@@ -1,0 +1,123 @@
+// Sim-time-aware tracing: begin/end spans and instant events captured into a
+// bounded ring buffer and exported as Chrome/Perfetto `trace_event` JSON
+// (load the file in https://ui.perfetto.dev or chrome://tracing).
+//
+// Every event is stamped with BOTH clocks:
+//   * wall time — microseconds of std::chrono::steady_clock since the
+//     recorder was constructed (the trace viewer's timeline), and
+//   * sim time  — whatever clock was installed with set_clock() (surfaced as
+//     an event argument), so a slow wall-clock span can be correlated with
+//     the simulation second it happened in.
+//
+// Recording is gated on the recorder's own enable flag (default off; a
+// single relaxed atomic load when disabled) and is thread-safe: the threaded
+// federation executor traces from worker threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mgrid::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// Chrome trace phase: 'B' begin, 'E' end, 'X' complete, 'i' instant.
+  char phase = 'i';
+  /// Microseconds since recorder construction (steady clock).
+  std::uint64_t wall_us = 0;
+  /// Duration for 'X' (complete) events, microseconds.
+  std::uint64_t duration_us = 0;
+  /// Simulation time at capture (NaN-free: 0 when no clock installed).
+  double sim_time = 0.0;
+  /// Small integer id of the recording thread.
+  std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// `capacity`: ring-buffer slots (> 0). When full, the oldest events are
+  /// overwritten and counted as dropped.
+  explicit TraceRecorder(std::size_t capacity = 1 << 14);
+
+  /// The process-global recorder the built-in instrumentation uses.
+  static TraceRecorder& global();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Installs the simulation-time stamp source (e.g. a SimulationKernel's
+  /// now(), or a Federation's current grant). Pass nullptr to clear. The
+  /// callable must stay valid until replaced.
+  void set_clock(std::function<double()> clock);
+
+  /// Drops all recorded events (capacity and clock are kept).
+  void clear();
+
+  void instant(std::string_view name, std::string_view category);
+  void begin(std::string_view name, std::string_view category);
+  void end(std::string_view name, std::string_view category);
+  /// One 'X' event covering [wall_start_us, wall_start_us + duration_us].
+  void complete(std::string_view name, std::string_view category,
+                std::uint64_t wall_start_us, std::uint64_t duration_us);
+
+  /// RAII span: records one complete ('X') event covering its lifetime.
+  /// Does nothing (and takes no timestamps) while the recorder is disabled.
+  class Span {
+   public:
+    Span(TraceRecorder& recorder, std::string_view name,
+         std::string_view category);
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    TraceRecorder* recorder_;
+    std::string name_;
+    std::string category_;
+    std::uint64_t start_us_ = 0;
+  };
+
+  [[nodiscard]] Span span(std::string_view name, std::string_view category) {
+    return Span(*this, name, category);
+  }
+
+  /// Current wall timestamp, microseconds since construction.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Events in capture order, oldest first (wraparound resolved).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array form). Each event carries
+  /// args.sim_time; dropped-event metadata is attached when relevant.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  void push(TraceEvent event);
+
+  std::atomic<bool> enabled_{false};
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::function<double()> clock_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;        // ring slot the next event lands in
+  std::uint64_t recorded_ = 0;  // lifetime total
+};
+
+}  // namespace mgrid::obs

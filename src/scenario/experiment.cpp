@@ -189,6 +189,16 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
   result.federation_stats = federation.stats();
   result.handovers = gateways.handover_count();
   result.lus_lost_on_air = mobility->lus_lost();
+  for (const auto& filter : filters) {
+    const net::TrafficAccountant& accountant = filter->accountant();
+    result.uplink_messages += accountant.total(net::Direction::kUplink).messages;
+    result.uplink_bytes += accountant.total(net::Direction::kUplink).bytes;
+    result.downlink_messages +=
+        accountant.total(net::Direction::kDownlink).messages;
+    result.downlink_bytes += accountant.total(net::Direction::kDownlink).bytes;
+    result.lus_suppressed += accountant.suppressed();
+  }
+  result.lus_suppressed += mobility->accountant().suppressed();
   result.energy = mobility->energy_report(options.duration);
   for (const auto& filter : filters) {
     result.dth_downlink_messages += filter->dth_updates_published();

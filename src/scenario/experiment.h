@@ -135,6 +135,16 @@ struct ExperimentResult {
   sim::FederationStats federation_stats;
   std::uint64_t handovers = 0;
   std::uint64_t lus_lost_on_air = 0;
+  /// Gateway-crossing traffic from the TrafficAccountant (the same totals
+  /// the metrics registry exports as mgrid_net_messages_total /
+  /// mgrid_net_bytes_total / mgrid_lu_suppressed_total).
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t downlink_messages = 0;
+  std::uint64_t downlink_bytes = 0;
+  /// LUs suppressed before reaching the broker — server-side filter
+  /// decisions plus device-side suppression, never both for one LU.
+  std::uint64_t lus_suppressed = 0;
   /// ADF internals (0 for baselines).
   std::size_t final_cluster_count = 0;
   std::uint64_t cluster_rebuilds = 0;

@@ -160,6 +160,9 @@ void MobilityFederate::publish_samples(SimTime t) {
     net::Battery& battery = batteries_[node.id().value()];
     if (config_.device_side &&
         !device_filters_[node.id().value()].should_transmit(position)) {
+      // Device-side suppression is still a suppressed LU in the global
+      // accounting (the beacon below is control traffic, not the LU).
+      accountant_.record_suppressed(t);
       // Liveness beacon: a long-silent (but alive) node announces itself.
       if (config_.keepalive_interval > 0.0 && !battery.empty() &&
           t - last_transmission_[node.id().value()] >=
@@ -271,6 +274,7 @@ FilterFederate::FilterFederate(
       filter_(std::move(filter)),
       campus_(campus),
       traffic_(bucket_width),
+      accountant_(bucket_width),
       device_side_(device_side),
       dth_hysteresis_(dth_hysteresis),
       shard_index_(shard_index),
@@ -305,6 +309,8 @@ void FilterFederate::receive(const sim::Interaction& interaction) {
         beacon->mn.value() % shard_count_ != shard_index_) {
       return;
     }
+    accountant_.record(beacon->sent_at, GatewayId{}, net::Direction::kUplink,
+                       *beacon);
     send(std::string(net::kTopicFilteredUpdate), granted_time(),
          interaction.payload);
     return;
@@ -317,6 +323,9 @@ void FilterFederate::receive(const sim::Interaction& interaction) {
       lu->via_gateway.value() % shard_count_ != shard_index_) {
     return;
   }
+  // The LU survived the air and crossed its gateway into the ADF tier.
+  accountant_.record(lu->sampled_at, lu->via_gateway, net::Direction::kUplink,
+                     *lu);
 
   core::FilterDecision decision;
   if (device_side_) {
@@ -330,8 +339,11 @@ void FilterFederate::receive(const sim::Interaction& interaction) {
         dth_hysteresis_ * std::max(last, 1e-9);
     if (last < 0.0 || std::abs(decision.dth - last) > tolerance) {
       it->second = decision.dth;
+      const net::DthUpdate push(lu->mn, decision.dth);
+      accountant_.record(granted_time(), lu->via_gateway,
+                         net::Direction::kDownlink, push);
       send(std::string(net::kTopicDthUpdate), granted_time(),
-           sim::make_payload<net::DthUpdate>(lu->mn, decision.dth));
+           sim::make_payload<net::DthUpdate>(push));
       ++dth_updates_published_;
     }
   } else {
@@ -344,6 +356,7 @@ void FilterFederate::receive(const sim::Interaction& interaction) {
           .region(region ? *region : campus_.nearest_region(lu->position))
           .kind();
   traffic_.record(lu->sampled_at, decision.transmit, kind);
+  if (!decision.transmit) accountant_.record_suppressed(lu->sampled_at);
 
   if (decision.transmit) {
     // Forward the LU to the broker, timestamped at the current grant (the

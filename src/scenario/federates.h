@@ -160,6 +160,12 @@ class MobilityFederate final : public sim::Federate {
     return jobs_computed_;
   }
 
+  /// Device-side suppression accounting (mirrors into the metrics registry;
+  /// only record_suppressed is ever hit from this federate).
+  [[nodiscard]] const net::TrafficAccountant& accountant() const noexcept {
+    return accountant_;
+  }
+
  private:
   struct ActiveJob {
     JobId job;
@@ -179,6 +185,7 @@ class MobilityFederate final : public sim::Federate {
   std::unique_ptr<net::GilbertElliottChannel> bursty_;
   util::RngStream channel_rng_;
   net::EnergyModel energy_;
+  net::TrafficAccountant accountant_;
   std::vector<net::Battery> batteries_;           // by MnId
   std::vector<core::DeviceSideFilter> device_filters_;  // by MnId
   std::vector<SimTime> last_transmission_;        // by MnId
@@ -218,6 +225,14 @@ class FilterFederate final : public sim::Federate {
   [[nodiscard]] const TrafficMetrics& traffic() const noexcept {
     return traffic_;
   }
+  /// Gateway-crossing traffic seen by this shard: every LU/beacon that
+  /// survived the air is recorded uplink here (post shard-dedup, so shards
+  /// never double-count), DTH pushes downlink, and server-side filter
+  /// decisions feed the suppressed count. All totals mirror into the
+  /// process-global metrics registry.
+  [[nodiscard]] const net::TrafficAccountant& accountant() const noexcept {
+    return accountant_;
+  }
   [[nodiscard]] const core::LocationUpdateFilter& filter() const noexcept {
     return *filter_;
   }
@@ -230,6 +245,7 @@ class FilterFederate final : public sim::Federate {
   core::AdaptiveDistanceFilter* adf_ = nullptr;  // set in device-side mode
   const geo::CampusMap& campus_;
   TrafficMetrics traffic_;
+  net::TrafficAccountant accountant_;
   bool device_side_;
   double dth_hysteresis_;
   std::size_t shard_index_;

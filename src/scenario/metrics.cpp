@@ -2,7 +2,49 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace mgrid::scenario {
+
+namespace {
+
+constexpr std::size_t kKindCount = 3;  // road, building, gate
+
+/// Scenario collectors mirror into the shared registry so run_experiment's
+/// figures and the exporters read the same totals (single source of truth).
+struct ScenarioMetrics {
+  obs::Counter attempted[kKindCount];
+  obs::Counter transmitted[kKindCount];
+  obs::HistogramMetric error_meters;
+  obs::Gauge rmse_meters;
+
+  ScenarioMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    for (std::size_t k = 0; k < kKindCount; ++k) {
+      const std::string region(
+          geo::to_string(static_cast<geo::RegionKind>(k)));
+      attempted[k] =
+          registry.counter("mgrid_lu_attempted_total", {{"region", region}},
+                           "Location updates sampled before filtering");
+      transmitted[k] =
+          registry.counter("mgrid_lu_transmitted_total", {{"region", region}},
+                           "Location updates that passed the filter");
+    }
+    error_meters = registry.histogram(
+        "mgrid_broker_error_meters", 0.0, 50.0, 50, {},
+        "Distance between true position and broker view, meters");
+    rmse_meters = registry.gauge(
+        "mgrid_broker_rmse_meters", {},
+        "Running RMSE of the broker's view against ground truth, meters");
+  }
+};
+
+ScenarioMetrics& scenario_metrics() {
+  static ScenarioMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 TrafficMetrics::TrafficMetrics(Duration bucket_width)
     : transmitted_series_(bucket_width) {}
@@ -16,6 +58,11 @@ void TrafficMetrics::record(SimTime t, bool transmitted,
     ++transmitted_;
     ++counters.transmitted;
     transmitted_series_.add_count(t);
+  }
+  if (obs::enabled()) {
+    const auto k = static_cast<std::size_t>(kind);
+    scenario_metrics().attempted[k].inc();
+    if (transmitted) scenario_metrics().transmitted[k].inc();
   }
 }
 
@@ -62,6 +109,15 @@ void ErrorMetrics::record(SimTime t, geo::Vec2 real, geo::Vec2 view,
   const double error = geo::distance(real, view);
   overall_.add_error(error);
   squared_series_.add(t, error * error);
+  if (obs::enabled()) {
+    ScenarioMetrics& metrics = scenario_metrics();
+    metrics.error_meters.observe(error);
+    // The running RMSE moves slowly; refreshing the gauge every 64th sample
+    // keeps the sqrt off the per-sample path.
+    if ((overall_.count() & 0x3F) == 0) {
+      metrics.rmse_meters.set(overall_.rmse());
+    }
+  }
   by_kind_[kind].add_error(error);
   auto it = kind_series_.find(kind);
   if (it == kind_series_.end()) {

@@ -2,13 +2,58 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace mgrid::sim {
+
+namespace {
+
+struct FederationMetrics {
+  obs::Counter sent;
+  obs::Counter delivered;
+  obs::Counter cycles;
+
+  FederationMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    sent = registry.counter("mgrid_federation_interactions_sent_total", {},
+                            "Interactions submitted by federates");
+    delivered =
+        registry.counter("mgrid_federation_interactions_delivered_total", {},
+                         "Interactions delivered to subscriber inboxes");
+    cycles = registry.counter("mgrid_federation_cycles_total", {},
+                              "Completed federation time-grant cycles");
+  }
+};
+
+FederationMetrics& federation_metrics() {
+  static FederationMetrics metrics;
+  return metrics;
+}
+
+/// Installs the federation grant time as the process-wide sim clock for the
+/// logger and tracer for the duration of a run (restored on scope exit,
+/// exception-safe).
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(const SimTime* grant) {
+    util::Logger::instance().set_clock([grant] { return *grant; });
+    obs::TraceRecorder::global().set_clock([grant] { return *grant; });
+  }
+  ~ScopedSimClock() {
+    util::Logger::instance().set_clock(nullptr);
+    obs::TraceRecorder::global().set_clock(nullptr);
+  }
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+};
+
+}  // namespace
 
 FederateId Federation::join(std::shared_ptr<Federate> federate) {
   if (!federate) throw std::invalid_argument("Federation::join: null");
@@ -22,7 +67,12 @@ FederateId Federation::join(std::shared_ptr<Federate> federate) {
   const FederateId id{static_cast<FederateId::value_type>(federates_.size())};
   federate->id_ = id;
   federate->federation_ = this;
-  federates_.push_back(FederateSlot{federate, {}, 0, {}});
+  FederateSlot slot{federate, {}, 0, {}, {}};
+  slot.step_seconds = obs::MetricsRegistry::global().histogram(
+      "mgrid_federation_step_seconds", 0.0, 0.1, 50,
+      {{"federate", federate->name()}},
+      "Wall-clock seconds per federate cycle (deliver + tick)");
+  federates_.push_back(std::move(slot));
   federate->on_join();
   return id;
 }
@@ -67,6 +117,7 @@ void Federation::submit(Federate& sender, std::string topic, SimTime timestamp,
     staged_.push_back(std::move(interaction));
     ++stats_.interactions_sent;
   }
+  federation_metrics().sent.inc();
 }
 
 void Federation::subscribe(Federate& subscriber, std::string topic) {
@@ -106,13 +157,35 @@ void Federation::prepare_inboxes(SimTime grant) {
   pending_.erase(pending_.begin(), due_end);
 }
 
-void Federation::run_cycle_for(FederateSlot& slot, SimTime grant) {
+void Federation::run_cycle_for(FederateSlot& slot, SimTime grant,
+                               std::uint64_t* delivered_out) {
+  // Thread-safe: called concurrently by the threaded executor's workers
+  // (histogram shards + tracer handle their own synchronisation).
+  const bool instrumented = obs::enabled();
+  obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+  const bool tracing = tracer.enabled();
+  const std::uint64_t trace_start = tracing ? tracer.now_us() : 0;
+  const auto start = instrumented ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   for (const Interaction& interaction : slot.inbox) {
     slot.federate->receive(interaction);
   }
-  stats_.interactions_delivered += slot.inbox.size();
+  *delivered_out += slot.inbox.size();
+  if (instrumented) {
+    federation_metrics().delivered.inc(slot.inbox.size());
+  }
   slot.inbox.clear();
   slot.federate->on_time_grant(grant);
+  if (instrumented) {
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    slot.step_seconds.observe(seconds);
+  }
+  if (tracing) {
+    tracer.complete(slot.federate->name(), "federation", trace_start,
+                    tracer.now_us() - trace_start);
+  }
 }
 
 void Federation::run(SimTime t0, SimTime end, Duration step,
@@ -129,6 +202,11 @@ void Federation::run(SimTime t0, SimTime end, Duration step,
   }
   running_ = true;
   current_grant_ = t0;
+  // While the run is in flight, log lines and trace events carry the
+  // federation grant time as their sim timestamp.
+  ScopedSimClock sim_clock(&current_grant_);
+  util::log_debug("federation: run start, ", federates_.size(),
+                  " federates, ", cycles, " cycles of ", step, " s");
   for (FederateSlot& slot : federates_) slot.federate->on_start(t0);
   merge_staged();
 
@@ -139,8 +217,11 @@ void Federation::run(SimTime t0, SimTime end, Duration step,
   }
 
   for (FederateSlot& slot : federates_) slot.federate->on_stop(current_grant_);
+  util::log_debug("federation: run complete, ",
+                  stats_.interactions_delivered, " interactions delivered");
   running_ = false;
   stats_.cycles += cycles;
+  federation_metrics().cycles.inc(cycles);
 }
 
 void Federation::run_sequential(SimTime t0, std::uint64_t cycles,
@@ -149,7 +230,9 @@ void Federation::run_sequential(SimTime t0, std::uint64_t cycles,
     const SimTime grant = t0 + static_cast<double>(k) * step;
     prepare_inboxes(grant);
     current_grant_ = grant;
-    for (FederateSlot& slot : federates_) run_cycle_for(slot, grant);
+    for (FederateSlot& slot : federates_) {
+      run_cycle_for(slot, grant, &stats_.interactions_delivered);
+    }
     merge_staged();
   }
 }
@@ -184,14 +267,9 @@ void Federation::run_threaded(SimTime t0, std::uint64_t cycles,
         if (done.load(std::memory_order_acquire)) return;
         if (!failed.load(std::memory_order_acquire)) {
           try {
-            FederateSlot& slot = federates_[i];
-            const SimTime grant = grant_time.load(std::memory_order_acquire);
-            for (const Interaction& interaction : slot.inbox) {
-              slot.federate->receive(interaction);
-            }
-            delivered[i] += slot.inbox.size();
-            slot.inbox.clear();
-            slot.federate->on_time_grant(grant);
+            run_cycle_for(federates_[i],
+                          grant_time.load(std::memory_order_acquire),
+                          &delivered[i]);
           } catch (...) {
             std::lock_guard lock(exception_mutex);
             if (!first_exception) first_exception = std::current_exception();

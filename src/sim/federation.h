@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/federate.h"
 #include "sim/interaction.h"
 #include "util/types.h"
@@ -79,6 +80,8 @@ class Federation {
     std::vector<std::string> topics;
     std::uint64_t send_sequence = 0;
     std::vector<Interaction> inbox;  // due interactions for this cycle
+    /// Wall-clock seconds per cycle (deliver + tick), labelled by federate.
+    obs::HistogramMetric step_seconds;
   };
 
   /// Called by Federate::send(); thread-safe.
@@ -91,8 +94,11 @@ class Federation {
   void merge_staged();
   /// Fills every subscriber's inbox with interactions due at `grant`.
   void prepare_inboxes(SimTime grant);
-  /// Delivers one federate's inbox and ticks it.
-  void run_cycle_for(FederateSlot& slot, SimTime grant);
+  /// Delivers one federate's inbox and ticks it, accumulating the delivered
+  /// count into *delivered_out (callers own their counter so the threaded
+  /// executor's workers never contend on stats_).
+  void run_cycle_for(FederateSlot& slot, SimTime grant,
+                     std::uint64_t* delivered_out);
 
   void run_sequential(SimTime t0, std::uint64_t cycles, Duration step);
   void run_threaded(SimTime t0, std::uint64_t cycles, Duration step);

@@ -1,8 +1,40 @@
 #include "sim/kernel.h"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mgrid::sim {
+
+namespace {
+
+/// Kernel dispatch telemetry (shared by every kernel instance; handles are
+/// acquired once, recording is the wait-free fast path).
+struct KernelMetrics {
+  obs::Counter events;
+  obs::Gauge queue_depth;
+  obs::HistogramMetric handler_seconds;
+
+  KernelMetrics() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+    events = registry.counter("mgrid_kernel_events_total", {},
+                              "Events executed by the simulation kernel");
+    queue_depth = registry.gauge("mgrid_kernel_queue_depth", {},
+                                 "Pending events after the last dispatch");
+    handler_seconds = registry.histogram(
+        "mgrid_kernel_handler_seconds", 0.0, 1e-3, 50, {},
+        "Wall-clock seconds spent inside one event handler");
+  }
+};
+
+KernelMetrics& kernel_metrics() {
+  static KernelMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 EventId SimulationKernel::schedule_at(SimTime time, EventQueue::Action action,
                                       int priority) {
@@ -86,7 +118,26 @@ bool SimulationKernel::step() {
   EventQueue::PoppedEvent event = queue_.pop();
   now_ = event.time;
   ++executed_;
+  if (!obs::enabled()) {  // disabled telemetry: one relaxed atomic load
+    event.action();
+    return true;
+  }
+  KernelMetrics& metrics = kernel_metrics();
+  obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+  const bool tracing = tracer.enabled();
+  const std::uint64_t trace_start = tracing ? tracer.now_us() : 0;
+  const auto start = std::chrono::steady_clock::now();
   event.action();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  metrics.events.inc();
+  metrics.handler_seconds.observe(seconds);
+  metrics.queue_depth.set(static_cast<double>(queue_.size()));
+  if (tracing) {
+    tracer.complete("event", "kernel", trace_start,
+                    tracer.now_us() - trace_start);
+  }
   return true;
 }
 

@@ -32,6 +32,19 @@ void Histogram::add(double sample) noexcept {
   ++counts_[bucket];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: mismatched layout");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bucket_lo(std::size_t bucket) const {
   if (bucket >= counts_.size()) {
     throw std::out_of_range("Histogram::bucket_lo");

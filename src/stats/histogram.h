@@ -14,6 +14,11 @@ class Histogram {
 
   void add(double sample) noexcept;
 
+  /// Combines another histogram into this one (per-thread partial
+  /// histograms, telemetry shards). Ranges and bucket counts must match;
+  /// throws std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t bucket_count() const noexcept {
     return counts_.size();
   }

@@ -47,7 +47,22 @@ Config Config::from_text(std::string_view text) {
 
 Config Config::from_args(const std::vector<std::string>& args) {
   Config config;
-  for (const std::string& arg : args) parse_line(arg, config);
+  for (const std::string& arg : args) {
+    // Accept flag spellings on the command line only: `--metrics-out=x`
+    // is the key `metrics_out`. Config files keep keys verbatim.
+    std::string_view token = arg;
+    while (!token.empty() && token.front() == '-') token.remove_prefix(1);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      std::string normalized(token);
+      for (std::size_t i = 0; i < eq; ++i) {
+        if (normalized[i] == '-') normalized[i] = '_';
+      }
+      parse_line(normalized, config);
+    } else {
+      parse_line(token, config);
+    }
+  }
   return config;
 }
 

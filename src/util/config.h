@@ -32,7 +32,9 @@ class Config {
   static Config from_text(std::string_view text);
 
   /// Parses `key=value` tokens (e.g. argv tail). A token without '=' is an
-  /// error.
+  /// error. GNU-style spellings are normalised: leading dashes are stripped
+  /// and dashes inside the key become underscores, so `--metrics-out=m.prom`
+  /// sets `metrics_out`.
   static Config from_args(const std::vector<std::string>& args);
 
   /// Loads from a file. Throws ConfigError if unreadable.

@@ -1,5 +1,8 @@
 #include "util/logging.h"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 #include "util/string_util.h"
@@ -35,7 +38,27 @@ LogLevel parse_log_level(std::string_view text) noexcept {
   return LogLevel::kInfo;
 }
 
-Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr) {}
+namespace {
+
+/// Wall-clock timestamp "HH:MM:SS.mmm" (local time).
+std::string wall_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
+}  // namespace
+
+Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr), clock_(nullptr) {}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -61,14 +84,48 @@ void Logger::set_sink(Sink sink) {
   sink_ = std::move(sink);
 }
 
-void Logger::log(LogLevel level, std::string_view message) {
+void Logger::set_clock(std::function<double()> clock) {
   std::lock_guard lock(mutex_);
-  if (level == LogLevel::kOff || level < level_) return;
-  if (sink_) {
-    sink_(level, message);
+  clock_ = std::move(clock);
+}
+
+std::string Logger::format_line(LogLevel level,
+                                std::string_view message) const {
+  std::function<double()> clock;
+  {
+    std::lock_guard lock(mutex_);
+    clock = clock_;
+  }
+  std::string line;
+  line += '[';
+  line += to_string(level);
+  line += ' ';
+  line += wall_timestamp();
+  if (clock) {
+    char sim[32];
+    std::snprintf(sim, sizeof(sim), " sim=%.3f", clock());
+    line += sim;
+  }
+  line += "] ";
+  line += message;
+  return line;
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  // Format (which re-locks to read the clock) before taking the sink lock.
+  if (level == LogLevel::kOff || !enabled(level)) return;
+  Sink sink;
+  {
+    std::lock_guard lock(mutex_);
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, message);
     return;
   }
-  std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  const std::string line = format_line(level, message);
+  std::lock_guard lock(mutex_);
+  std::cerr << line << '\n';
 }
 
 }  // namespace mgrid::util

@@ -32,9 +32,22 @@ class Logger {
   [[nodiscard]] LogLevel level() const noexcept;
   [[nodiscard]] bool enabled(LogLevel level) const noexcept;
 
-  /// Replaces the output sink (tests capture output this way). Pass nullptr
-  /// to restore the default stderr sink.
+  /// Replaces the output sink (tests capture output this way). Custom sinks
+  /// receive the raw, unformatted message; only the default stderr sink
+  /// prints the format_line() prefix. Pass nullptr to restore the default
+  /// stderr sink.
   void set_sink(Sink sink);
+
+  /// Installs a simulation-time source consulted when formatting the default
+  /// sink's prefix (the federation installs its grant time for the duration
+  /// of a run). Pass nullptr to clear; the prefix then omits sim time.
+  void set_clock(std::function<double()> clock);
+
+  /// The default sink's line format:
+  ///   [LEVEL HH:MM:SS.mmm sim=12.500] message     (with a clock installed)
+  ///   [LEVEL HH:MM:SS.mmm] message                (without)
+  [[nodiscard]] std::string format_line(LogLevel level,
+                                        std::string_view message) const;
 
   void log(LogLevel level, std::string_view message);
 
@@ -44,6 +57,7 @@ class Logger {
   mutable std::mutex mutex_;
   LogLevel level_;
   Sink sink_;
+  std::function<double()> clock_;
 };
 
 namespace detail {

@@ -1,0 +1,183 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mgrid::obs {
+namespace {
+
+/// Builds a small registry with one of each metric kind and deterministic
+/// values, used by the golden tests below.
+MetricsSnapshot sample_snapshot() {
+  ScopedEnable on;
+  MetricsRegistry registry;
+  Counter counter = registry.counter("mgrid_test_events_total",
+                                     {{"kind", "unit"}}, "Events seen");
+  Gauge gauge = registry.gauge("mgrid_test_depth", {}, "Queue depth");
+  HistogramMetric histogram = registry.histogram(
+      "mgrid_test_seconds", 0.0, 1.0, 4, {}, "Handler seconds");
+  counter.inc(3);
+  gauge.set(7.0);
+  histogram.observe(0.1);
+  histogram.observe(0.1);
+  histogram.observe(0.9);
+  return registry.snapshot();
+}
+
+TEST(PrometheusExport, GoldenText) {
+  const std::string text = to_prometheus(sample_snapshot());
+  const std::string expected =
+      "# HELP mgrid_test_depth Queue depth\n"
+      "# TYPE mgrid_test_depth gauge\n"
+      "mgrid_test_depth 7\n"
+      "# HELP mgrid_test_events_total Events seen\n"
+      "# TYPE mgrid_test_events_total counter\n"
+      "mgrid_test_events_total{kind=\"unit\"} 3\n"
+      "# HELP mgrid_test_seconds Handler seconds\n"
+      "# TYPE mgrid_test_seconds histogram\n"
+      "mgrid_test_seconds_bucket{le=\"0.25\"} 2\n"
+      "mgrid_test_seconds_bucket{le=\"0.5\"} 2\n"
+      "mgrid_test_seconds_bucket{le=\"0.75\"} 2\n"
+      "mgrid_test_seconds_bucket{le=\"1\"} 3\n"
+      "mgrid_test_seconds_bucket{le=\"+Inf\"} 3\n"
+      "mgrid_test_seconds_sum 1.1\n"
+      "mgrid_test_seconds_count 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+/// Minimal scrape parser: every non-comment line must be
+/// `name{labels}? value`, histogram buckets must be monotonically
+/// non-decreasing, and `_count` must equal the +Inf bucket.
+void expect_scrape_parseable(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::uint64_t last_bucket = 0;
+  std::uint64_t inf_bucket = 0;
+  bool in_histogram = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      ASSERT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << "bad comment: " << line;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        in_histogram = line.find(" histogram") != std::string::npos;
+        last_bucket = 0;
+      }
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << "no value: " << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty());
+    EXPECT_NO_THROW({ (void)std::stod(value); }) << "bad value: " << value;
+    // Metric names start with a letter or underscore.
+    ASSERT_FALSE(series.empty());
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(series[0])) ||
+                series[0] == '_')
+        << "bad name: " << series;
+    // Balanced label braces.
+    const std::size_t open = series.find('{');
+    if (open != std::string::npos) {
+      EXPECT_EQ(series.back(), '}') << "unbalanced labels: " << series;
+    }
+    if (in_histogram && series.find("_bucket{") != std::string::npos) {
+      const std::uint64_t count = std::stoull(value);
+      EXPECT_GE(count, last_bucket) << "non-monotonic bucket: " << line;
+      last_bucket = count;
+      if (series.find("le=\"+Inf\"") != std::string::npos) {
+        inf_bucket = count;
+      }
+    }
+    if (in_histogram && series.find("_count") != std::string::npos) {
+      EXPECT_EQ(std::stoull(value), inf_bucket)
+          << "_count != +Inf bucket: " << line;
+    }
+  }
+}
+
+TEST(PrometheusExport, OutputIsScrapeParseable) {
+  expect_scrape_parseable(to_prometheus(sample_snapshot()));
+}
+
+TEST(PrometheusExport, EscapesLabelValues) {
+  ScopedEnable on;
+  MetricsRegistry registry;
+  registry.counter("esc_total", {{"path", "a\"b\\c\nd"}});
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(JsonExport, GoldenDocument) {
+  const std::string json = to_json(sample_snapshot());
+  EXPECT_EQ(json.find("{\"metrics\":["), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"mgrid_test_events_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"kind\":\"unit\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  // Balanced braces/brackets (the writer is structural, but the golden
+  // guards against hand-edit regressions).
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(CsvExport, OneRowPerSample) {
+  const stats::Table table = to_csv_table(sample_snapshot());
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+TEST(WriteMetricsFile, DispatchesOnExtension) {
+  const MetricsSnapshot snapshot = sample_snapshot();
+  const std::string prom = testing::TempDir() + "metrics_test.prom";
+  const std::string json = testing::TempDir() + "metrics_test.json";
+  const std::string csv = testing::TempDir() + "metrics_test.csv";
+  write_metrics_file(prom, snapshot);
+  write_metrics_file(json, snapshot);
+  write_metrics_file(csv, snapshot);
+  auto read_all = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  EXPECT_NE(read_all(prom).find("# TYPE"), std::string::npos);
+  EXPECT_EQ(read_all(json).find("{\"metrics\":["), 0u);
+  EXPECT_NE(read_all(csv).find("name,labels,type"), std::string::npos);
+  std::remove(prom.c_str());
+  std::remove(json.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(WriteMetricsFile, ThrowsWhenUnwritable) {
+  EXPECT_THROW(
+      write_metrics_file("/nonexistent-dir/metrics.prom", sample_snapshot()),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mgrid::obs

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mgrid::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultRecordsNothing) {
+  TraceRecorder recorder(8);
+  recorder.instant("never", "test");
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceRecorder, CapturesInstantEvents) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(true);
+  recorder.instant("one", "test");
+  recorder.instant("two", "test");
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "one");
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[1].name, "two");
+  EXPECT_LE(events[0].wall_us, events[1].wall_us);
+}
+
+TEST(TraceRecorder, RingWrapsAroundKeepingNewestEvents) {
+  TraceRecorder recorder(4);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    recorder.instant("e" + std::to_string(i), "test");
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest two (e0, e1) were overwritten; order is oldest-first.
+  EXPECT_EQ(events[0].name, "e2");
+  EXPECT_EQ(events[1].name, "e3");
+  EXPECT_EQ(events[2].name, "e4");
+  EXPECT_EQ(events[3].name, "e5");
+}
+
+TEST(TraceRecorder, SimClockStampsEvents) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(true);
+  double now = 12.5;
+  recorder.set_clock([&now] { return now; });
+  recorder.instant("a", "test");
+  now = 99.0;
+  recorder.instant("b", "test");
+  recorder.set_clock(nullptr);
+  recorder.instant("c", "test");
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_DOUBLE_EQ(events[0].sim_time, 12.5);
+  EXPECT_DOUBLE_EQ(events[1].sim_time, 99.0);
+  EXPECT_DOUBLE_EQ(events[2].sim_time, 0.0);
+}
+
+TEST(TraceRecorder, SpanRecordsCompleteEvent) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(true);
+  { auto span = recorder.span("work", "test"); }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+}
+
+TEST(TraceRecorder, BeginEndPairs) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(true);
+  recorder.begin("op", "test");
+  recorder.end("op", "test");
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, 'B');
+  EXPECT_EQ(events[1].phase, 'E');
+}
+
+TEST(TraceRecorder, ClearDropsEventsKeepsCapacity) {
+  TraceRecorder recorder(4);
+  recorder.set_enabled(true);
+  recorder.instant("x", "test");
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  recorder.instant("y", "test");
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(TraceRecorder, ChromeJsonIsWellFormed) {
+  TraceRecorder recorder(4);
+  recorder.set_enabled(true);
+  recorder.set_clock([] { return 3.25; });
+  recorder.instant("tick", "sim");
+  { auto span = recorder.span("step", "sim"); }
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tick\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_time\":3.25"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(TraceRecorder, ChromeJsonReportsDrops) {
+  TraceRecorder recorder(2);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 5; ++i) recorder.instant("e", "test");
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_NE(json.find("mgrid_dropped_events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mgrid::obs

@@ -2,6 +2,7 @@
 // filtering policy and configuration the runner supports.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "scenario/experiment.h"
 
 namespace mgrid::scenario {
@@ -49,6 +50,60 @@ TEST_P(PolicyInvariants, AccountingCloses) {
   EXPECT_GE(result.energy.lus_transmitted, result.total_attempted);
   EXPECT_LE(result.energy.lus_transmitted,
             result.total_attempted + result.node_count);
+
+  // The TrafficAccountant and the scenario TrafficMetrics agree: every LU
+  // the filter tier saw crossed the uplink, and each suppressed decision
+  // was counted exactly once.
+  EXPECT_EQ(result.uplink_messages, result.total_attempted);
+  EXPECT_EQ(result.lus_suppressed,
+            result.total_attempted - result.total_transmitted);
+  EXPECT_GT(result.uplink_bytes, 0u);
+}
+
+TEST(AccountantRegistry, ExperimentTotalsMirrorIntoTheGlobalRegistry) {
+  obs::ScopedEnable telemetry;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const auto counter_at = [&registry](std::string_view name,
+                                      const obs::Labels& labels) {
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    const obs::MetricSample* sample = snapshot.find(name, labels);
+    return sample == nullptr ? 0.0 : sample->value;
+  };
+  const double uplink_before =
+      counter_at("mgrid_net_messages_total", {{"direction", "uplink"}});
+  const double bytes_before =
+      counter_at("mgrid_net_bytes_total", {{"direction", "uplink"}});
+  const double suppressed_before = counter_at("mgrid_lu_suppressed_total", {});
+
+  ExperimentOptions options;
+  options.duration = 30.0;
+  options.filter = FilterKind::kAdf;
+  const ExperimentResult result = run_experiment(options);
+
+  EXPECT_EQ(counter_at("mgrid_net_messages_total", {{"direction", "uplink"}}) -
+                uplink_before,
+            static_cast<double>(result.uplink_messages));
+  EXPECT_EQ(counter_at("mgrid_net_bytes_total", {{"direction", "uplink"}}) -
+                bytes_before,
+            static_cast<double>(result.uplink_bytes));
+  EXPECT_EQ(counter_at("mgrid_lu_suppressed_total", {}) - suppressed_before,
+            static_cast<double>(result.lus_suppressed));
+  EXPECT_GT(result.lus_suppressed, 0u);
+}
+
+TEST(AccountantRegistry, DeviceSideSuppressionIsCountedOnce) {
+  ExperimentOptions options;
+  options.duration = 30.0;
+  options.filter = FilterKind::kAdf;
+  options.device_side_filtering = true;
+  const ExperimentResult result = run_experiment(options);
+  // In device-side mode the node suppresses before keying the radio; the
+  // filter tier forwards everything it still receives, so the suppressed
+  // count is exactly the device-side tally.
+  EXPECT_EQ(result.lus_suppressed, result.energy.lus_suppressed_on_device);
+  EXPECT_GT(result.lus_suppressed, 0u);
+  // DTH pushes ride the downlink and are the only downlink traffic.
+  EXPECT_EQ(result.downlink_messages, result.dth_downlink_messages);
 }
 
 TEST_P(PolicyInvariants, BrokerOnlyKnowsWhatWasTransmitted) {

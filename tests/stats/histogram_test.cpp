@@ -53,6 +53,30 @@ TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
   EXPECT_NEAR(h.cdf_at(3), 1.0, 1e-12);
 }
 
+TEST(Histogram, MergeSumsBucketsAndOverflow) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(5.0);
+  a.add(-1.0);   // underflow
+  b.add(5.0);
+  b.add(99.0);   // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5u);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(2), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedShape) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram range(0.0, 20.0, 5);
+  Histogram buckets(0.0, 10.0, 10);
+  EXPECT_THROW(a.merge(range), std::invalid_argument);
+  EXPECT_THROW(a.merge(buckets), std::invalid_argument);
+}
+
 TEST(Histogram, RenderMentionsCounts) {
   Histogram h(0.0, 2.0, 2);
   h.add(0.5);

@@ -42,6 +42,26 @@ TEST(Config, FromArgsParsesTokens) {
   EXPECT_EQ(config.get_double("dth_factor", 0.0), 0.75);
 }
 
+TEST(Config, FromArgsNormalisesFlagSpellings) {
+  const Config config = Config::from_args(
+      {"--metrics-out=m.prom", "-trace-out=t.json", "--seed=7"});
+  EXPECT_EQ(config.get_string("metrics_out", ""), "m.prom");
+  EXPECT_EQ(config.get_string("trace_out", ""), "t.json");
+  EXPECT_EQ(config.get_int("seed", 0), 7);
+}
+
+TEST(Config, FromArgsKeepsDashesInValues) {
+  const Config config = Config::from_args({"--out-file=my-file-name.csv"});
+  EXPECT_EQ(config.get_string("out_file", ""), "my-file-name.csv");
+}
+
+TEST(Config, FromTextKeepsKeysVerbatim) {
+  // Normalisation is a command-line-only convenience; files are literal.
+  const Config config = Config::from_text("some-key = 1\n");
+  EXPECT_TRUE(config.contains("some-key"));
+  EXPECT_FALSE(config.contains("some_key"));
+}
+
 TEST(Config, TypedGettersReturnFallbackWhenAbsent) {
   const Config config;
   EXPECT_EQ(config.get_double("missing", 3.5), 3.5);

@@ -50,6 +50,16 @@ TEST_F(LoggingTest, EnabledReflectsLevel) {
   EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
 }
 
+TEST_F(LoggingTest, CustomSinksReceiveTheRawMessage) {
+  // The format_line() prefix belongs to the default stderr sink only;
+  // capturing sinks (tests, file writers) get the message untouched.
+  Logger::instance().set_clock([] { return 7.0; });
+  log_info("raw");
+  Logger::instance().set_clock(nullptr);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "raw");
+}
+
 TEST(LogLevelNames, RoundTrip) {
   EXPECT_EQ(to_string(LogLevel::kTrace), "trace");
   EXPECT_EQ(to_string(LogLevel::kError), "error");
@@ -57,6 +67,39 @@ TEST(LogLevelNames, RoundTrip) {
   EXPECT_EQ(parse_log_level(" warn "), LogLevel::kWarn);
   EXPECT_EQ(parse_log_level("none"), LogLevel::kOff);
   EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST(LogLevelNames, ParsesEveryLevelAndWarningAlias) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("WARNING"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("Error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(LoggerFormat, PrefixCarriesLevelWallTimeAndSimTime) {
+  Logger& logger = Logger::instance();
+  logger.set_clock([] { return 12.5; });
+  const std::string line = logger.format_line(LogLevel::kWarn, "message");
+  logger.set_clock(nullptr);
+  // "[warn HH:MM:SS.mmm sim=12.500] message"
+  EXPECT_EQ(line.rfind("[warn ", 0), 0u) << line;
+  EXPECT_NE(line.find(" sim=12.500] message"), std::string::npos) << line;
+  // Wall timestamp: two ':' separators and a '.' before the millis.
+  const std::size_t first_colon = line.find(':');
+  ASSERT_NE(first_colon, std::string::npos);
+  EXPECT_EQ(line[first_colon + 3], ':');
+  EXPECT_EQ(line[first_colon + 6], '.');
+}
+
+TEST(LoggerFormat, PrefixOmitsSimTimeWithoutClock) {
+  Logger& logger = Logger::instance();
+  logger.set_clock(nullptr);
+  const std::string line = logger.format_line(LogLevel::kError, "boom");
+  EXPECT_EQ(line.rfind("[error ", 0), 0u) << line;
+  EXPECT_EQ(line.find("sim="), std::string::npos) << line;
+  EXPECT_NE(line.find("] boom"), std::string::npos) << line;
 }
 
 }  // namespace
