@@ -6,7 +6,12 @@
 // of a disabled handle operation (one relaxed atomic load) — the price every
 // instrumented hot path pays when nothing is listening.
 //
-// Keys: duration [120] reps [3] strict [false]
+// Keys: duration [120] reps [3] strict [false] json_out [path]
+//
+// json_out writes BENCH_obs_overhead.json: a "guarded" section
+// (metrics_overhead_pct, disabled_op_ns — lower is better; the CI
+// regression gate compares them against a checked-in baseline) plus
+// informational wall times.
 //
 // With strict=true the bench exits non-zero when the enabled pipeline costs
 // more than 5% or a disabled handle op more than 8 ns — a couple of cycles
@@ -15,6 +20,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -108,6 +114,29 @@ int main(int argc, char** argv) {
   table.write_pretty(std::cout);
   std::cout << "disabled handle op: " << stats::format_double(op_ns, 3)
             << " ns (relaxed atomic load)\n";
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "obs_overhead");
+    json.field("sim_duration", args.base.duration);
+    json.key("guarded").begin_object();
+    json.field("metrics_overhead_pct", std::max(0.0, metrics_pct));
+    json.field("disabled_op_ns", op_ns);
+    json.end_object();
+    json.key("info").begin_object();
+    json.field("wall_seconds_off", off);
+    json.field("wall_seconds_metrics", metrics_on);
+    json.field("wall_seconds_tracing", tracing_on);
+    json.field("tracing_overhead_pct", std::max(0.0, tracing_pct));
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "wrote " << json_out << '\n';
+  }
 
   if (strict) {
     bool ok = true;

@@ -1,0 +1,130 @@
+// Sweep-engine scaling + determinism guard.
+//
+// Runs a fixed grid (2 filters x 3 DTH factors, 2 replicates = 12 jobs by
+// default) through sweep::run_sweep at increasing worker counts, asserts the
+// "mgrid-sweep-v1" JSON artifact is bit-identical at every thread count, and
+// reports wall time / speedup / parallel efficiency per count.
+//
+// Keys: duration [30] replicates [2] threads [1,2,4,8] quick [false]
+//       json_out [path] min_speedup [0]
+//
+// quick=true shrinks to duration=10, threads=1,2 (the CI smoke
+// configuration). threads are clamped to the job count; counts above
+// hardware concurrency are still run (they just can't speed up further).
+// min_speedup > 0 exits non-zero when the largest thread count achieves
+// less — only meaningful on a machine that actually has the cores.
+//
+// json_out writes BENCH_sweep_scaling.json: a "guarded" section with
+// serial_seconds_per_job (lower is better; the CI regression gate compares
+// it against a checked-in baseline) plus informational speedups.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  util::Config config;
+  mgbench::BenchArgs args = mgbench::parse_args(argc, argv, &config);
+  const bool quick = config.get_bool("quick", false);
+
+  sweep::SweepSpec spec;
+  spec.base = args.base;
+  spec.base.duration = config.get_double("duration", quick ? 10.0 : 30.0);
+  spec.axes.filters = {scenario::FilterKind::kAdf,
+                       scenario::FilterKind::kGeneralDf};
+  spec.axes.dth_factors = args.factors;
+  spec.replicates =
+      static_cast<std::size_t>(config.get_int("replicates", 2));
+  spec.root_seed = args.base.seed;
+
+  std::vector<std::size_t> threads;
+  for (double t : config.get_double_list(
+           "threads", quick ? std::vector<double>{1.0, 2.0}
+                            : std::vector<double>{1.0, 2.0, 4.0, 8.0})) {
+    threads.push_back(static_cast<std::size_t>(t));
+  }
+  const double min_speedup = config.get_double("min_speedup", 0.0);
+
+  std::cout << "=== sweep scaling (" << spec.cell_count() << " cells x "
+            << spec.replicates << " replicates = " << spec.job_count()
+            << " jobs, " << spec.base.duration << " s sim each) ===\n"
+            << "hardware concurrency: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  std::string reference_json;
+  std::vector<double> walls;
+  for (std::size_t count : threads) {
+    sweep::EngineOptions engine;
+    engine.jobs = count;
+    const sweep::SweepOutcome outcome = sweep::run_sweep(spec, engine);
+    walls.push_back(outcome.wall_seconds);
+    const std::string json = sweep::sweep_to_json(spec, outcome);
+    if (reference_json.empty()) {
+      reference_json = json;
+    } else if (json != reference_json) {
+      std::cerr << "FAIL: artifact at jobs=" << count
+                << " differs from jobs=" << threads.front()
+                << " — sweep determinism is broken\n";
+      return EXIT_FAILURE;
+    }
+  }
+  std::cout << "determinism: artifact bit-identical across all thread "
+               "counts\n\n";
+
+  stats::Table table({"threads", "wall (s)", "speedup", "efficiency"});
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const double speedup = walls[i] > 0.0 ? walls[0] / walls[i] : 0.0;
+    table.add_row({std::to_string(threads[i]),
+                   stats::format_double(walls[i], 3),
+                   stats::format_double(speedup, 2) + "x",
+                   stats::format_double(
+                       100.0 * speedup / static_cast<double>(threads[i]), 1) +
+                       " %"});
+  }
+  table.write_pretty(std::cout);
+
+  const double serial_per_job =
+      walls[0] / static_cast<double>(spec.job_count());
+  const double best_speedup =
+      walls.back() > 0.0 ? walls[0] / walls.back() : 0.0;
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "sweep_scaling");
+    json.field("jobs", static_cast<std::uint64_t>(spec.job_count()));
+    json.field("sim_duration", spec.base.duration);
+    json.key("guarded").begin_object();
+    json.field("serial_seconds_per_job", serial_per_job);
+    json.end_object();
+    json.key("info").begin_object();
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      json.field("wall_seconds_jobs" + std::to_string(threads[i]), walls[i]);
+    }
+    json.field("speedup_max_threads", best_speedup);
+    json.field("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "wrote " << json_out << '\n';
+  }
+
+  if (min_speedup > 0.0 && best_speedup < min_speedup) {
+    std::cerr << "FAIL: speedup " << stats::format_double(best_speedup, 2)
+              << "x at " << threads.back() << " threads < required "
+              << stats::format_double(min_speedup, 2) << "x\n";
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

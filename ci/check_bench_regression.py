@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the CI smoke job.
+
+Compares the "guarded" section of a freshly produced BENCH_*.json
+(mgrid-bench-v1, written by bench_obs_overhead json_out= /
+bench_sweep_scaling json_out=) against a checked-in baseline with the same
+name under ci/baselines/. Every guarded value is lower-is-better; the gate
+fails when current > baseline * (1 + threshold).
+
+When no baseline exists the gate passes with a note — drop a blessed
+BENCH_*.json into ci/baselines/ to arm it.
+
+Usage: check_bench_regression.py [--threshold 0.20] [--baseline-dir DIR]
+                                 current.json [current2.json ...]
+
+Stdlib only (json/argparse) — runs on a bare CI python3.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "mgrid-bench-v1":
+        raise ValueError(f"{path}: not an mgrid-bench-v1 document")
+    return doc
+
+
+def check_one(current_path, baseline_dir, threshold):
+    """Returns a list of failure strings (empty = pass)."""
+    current = load(current_path)
+    baseline_path = os.path.join(baseline_dir, os.path.basename(current_path))
+    if not os.path.exists(baseline_path):
+        print(f"  {current_path}: no baseline at {baseline_path} — skipped")
+        return []
+    baseline = load(baseline_path)
+
+    failures = []
+    guarded = current.get("guarded", {})
+    baseline_guarded = baseline.get("guarded", {})
+    for name, value in sorted(guarded.items()):
+        if name not in baseline_guarded:
+            print(f"  {current_path}: {name} has no baseline value — skipped")
+            continue
+        reference = baseline_guarded[name]
+        limit = reference * (1.0 + threshold)
+        status = "ok"
+        if reference > 0 and value > limit:
+            status = "REGRESSED"
+            failures.append(
+                f"{current_path}: {name} = {value:.6g} > "
+                f"{reference:.6g} * {1.0 + threshold:.2f} = {limit:.6g}"
+            )
+        print(
+            f"  {current_path}: {name} = {value:.6g} "
+            f"(baseline {reference:.6g}, limit {limit:.6g}) {status}"
+        )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("currents", nargs="+", help="freshly produced BENCH_*.json files")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative growth (default 0.20 = +20%%)")
+    parser.add_argument("--baseline-dir", default="ci/baselines",
+                        help="directory holding blessed BENCH_*.json files")
+    args = parser.parse_args()
+
+    failures = []
+    for path in args.currents:
+        failures.extend(check_one(path, args.baseline_dir, args.threshold))
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

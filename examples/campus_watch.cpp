@@ -12,6 +12,7 @@
 //                     [estimator=brown_polar] [columns=110]
 //                     [--metrics-out=m.prom] [--trace-out=t.json]
 #include <iostream>
+#include <optional>
 
 #include "mobilegrid/mobilegrid.h"
 
@@ -31,10 +32,15 @@ int main(int argc, char** argv) {
   const std::string trace_out = config.get_string("trace_out", "");
 
   // The watch drives its own loop (no federation), so install the loop
-  // variable as the sim clock for log lines and trace events.
+  // variable as the sim clock for log lines and trace events. Telemetry
+  // records into a watch-local registry (global() stays untouched) — the
+  // same injected-registry path the sweep engine uses.
   double sim_now = 0.0;
+  obs::MetricsRegistry metrics_registry;
+  std::optional<obs::ScopedRegistry> scoped_registry;
   if (!metrics_out.empty() || !trace_out.empty()) {
     obs::set_enabled(true);
+    scoped_registry.emplace(metrics_registry);
     util::Logger::instance().set_clock([&sim_now] { return sim_now; });
   }
   if (!trace_out.empty()) {
@@ -106,8 +112,7 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_out.empty()) {
-    obs::write_metrics_file(metrics_out,
-                            obs::MetricsRegistry::global().snapshot());
+    obs::write_metrics_file(metrics_out, metrics_registry.snapshot());
     std::cout << "\nmetrics snapshot written to " << metrics_out << '\n';
   }
   if (!trace_out.empty()) {

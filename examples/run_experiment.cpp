@@ -83,11 +83,16 @@ int main(int argc, char** argv) {
         util::parse_log_level(config.require_string("log_level")));
   }
 
-  // Telemetry: either output path switches the whole pipeline on.
+  // Telemetry: either output path switches the whole pipeline on. Metrics
+  // record into an experiment-local registry injected through
+  // ExperimentOptions (global() stays untouched) — the same path the sweep
+  // engine uses for isolation.
   const std::string metrics_out = config.get_string("metrics_out", "");
   const std::string trace_out = config.get_string("trace_out", "");
+  obs::MetricsRegistry metrics_registry;
   if (!metrics_out.empty() || !trace_out.empty()) {
     obs::set_enabled(true);
+    options.registry = &metrics_registry;
   }
   if (!trace_out.empty()) {
     obs::TraceRecorder::global().set_enabled(true);
@@ -179,8 +184,7 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_out.empty()) {
-    obs::write_metrics_file(metrics_out,
-                            obs::MetricsRegistry::global().snapshot());
+    obs::write_metrics_file(metrics_out, metrics_registry.snapshot());
     std::cout << "\nmetrics snapshot written to " << metrics_out << '\n';
   }
   if (!trace_out.empty()) {

@@ -1,0 +1,116 @@
+// Parallel deterministic parameter sweep: expands a grid over filter kind,
+// DTH factor, estimator alpha, node scale and duration (x N seed replicates
+// per cell), runs one independent federation per job on a thread pool, and
+// writes sweep.json / cells.csv / jobs.csv. The JSON artifact is
+// bit-identical for any jobs= value — only wall time changes.
+//
+//   run_sweep filters=adf,general_df dth_factors=0.75,1.0,1.25
+//             replicates=3 duration=120 jobs=8 out_dir=/tmp/sweep
+//   run_sweep grid=sweep.cfg baseline=prior/sweep.json fail_threshold=0.2
+//
+// Keys (flag spellings also accepted, e.g. --jobs=8; defaults in brackets):
+//   grid           [path to a config file with the keys below]
+//   filters        [adf]  comma list: adf,general_df,ideal,time_filter,
+//                         prediction
+//   dth_factors    [1.0]  alphas [0.0]  node_scales [1]  durations []
+//   replicates     [1]    seed [42]     duration [120]
+//   estimator [""] sample_period [1] motion_dt [0.1] scoring [realtime]
+//   loss [0] campus_blocks [0] cluster_alpha [0.8] recluster [30]
+//   jobs           [0 = hardware concurrency] worker threads
+//   out_dir        ["" = don't write artifacts]
+//   baseline       [path to a prior sweep.json for an A/B comparison]
+//   fail_threshold [0 = report only] exit 1 when any per-cell mean moved
+//                  more than this fraction vs the baseline
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+int main(int argc, char** argv) {
+  util::Config config =
+      util::Config::from_args(std::vector<std::string>(argv + 1, argv + argc));
+  if (config.contains("grid")) {
+    util::Config file = util::Config::from_file(config.require_string("grid"));
+    file.merge(config);  // command line overrides the file
+    config = std::move(file);
+  }
+
+  const sweep::SweepSpec spec = sweep::spec_from_config(config);
+  sweep::EngineOptions engine;
+  engine.jobs = static_cast<std::size_t>(config.get_int("jobs", 0));
+
+  std::cout << "sweep: " << spec.cell_count() << " cells x "
+            << spec.replicates << " replicates = " << spec.job_count()
+            << " jobs\n";
+  const sweep::SweepOutcome outcome = sweep::run_sweep(spec, engine);
+  std::cout << "ran " << outcome.jobs.size() << " jobs on "
+            << outcome.workers << " worker(s) in "
+            << stats::format_double(outcome.wall_seconds, 2) << " s\n\n";
+
+  stats::Table summary({"cell", "replicates", "total_transmitted",
+                        "transmission_rate", "rmse_overall"});
+  for (const sweep::CellAggregate& aggregate : outcome.aggregates) {
+    const sweep::MetricSummary& transmitted =
+        aggregate.metric("total_transmitted");
+    summary.add_row(
+        {aggregate.cell.label(), std::to_string(aggregate.replicates),
+         stats::format_double(transmitted.mean, 1) + " ± " +
+             stats::format_double(transmitted.ci95, 1),
+         stats::format_double(aggregate.metric("transmission_rate").mean, 4),
+         stats::format_double(aggregate.metric("rmse_overall").mean, 3)});
+  }
+  summary.write_pretty(std::cout);
+
+  const std::string out_dir = config.get_string("out_dir", "");
+  if (!out_dir.empty()) {
+    const sweep::ArtifactPaths paths =
+        sweep::write_artifacts(spec, outcome, out_dir);
+    std::cout << "\nartifacts: " << paths.json << ", " << paths.cells_csv
+              << ", " << paths.jobs_csv << '\n';
+  }
+
+  const std::string baseline_path = config.get_string("baseline", "");
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read baseline: " << baseline_path << '\n';
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const sweep::BaselineComparison comparison = sweep::compare_to_baseline(
+        outcome, util::JsonValue::parse(text.str()));
+
+    const double fail_threshold = config.get_double("fail_threshold", 0.0);
+    std::cout << "\nbaseline comparison vs " << baseline_path << ":\n";
+    stats::Table deltas({"cell", "metric", "baseline", "current", "delta"});
+    for (const sweep::BaselineDelta& delta : comparison.deltas) {
+      if (delta.relative == 0.0) continue;
+      deltas.add_row({delta.cell_label, delta.metric,
+                      stats::format_double(delta.baseline, 4),
+                      stats::format_double(delta.current, 4),
+                      stats::format_double(100.0 * delta.relative, 2) + "%"});
+    }
+    if (deltas.row_count() == 0) {
+      std::cout << "  identical to baseline\n";
+    } else {
+      deltas.write_pretty(std::cout);
+    }
+    for (const std::string& label : comparison.unmatched_cells) {
+      std::cout << "  unmatched cell: " << label << '\n';
+    }
+    if (fail_threshold > 0.0 &&
+        comparison.max_abs_relative > fail_threshold) {
+      std::cerr << "FAIL: max |delta| "
+                << stats::format_double(100.0 * comparison.max_abs_relative, 2)
+                << "% exceeds threshold "
+                << stats::format_double(100.0 * fail_threshold, 2) << "%\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -15,8 +15,7 @@ struct BrokerMetrics {
   obs::Counter keepalives;
   obs::Gauge db_size;
 
-  BrokerMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit BrokerMetrics(obs::MetricsRegistry& registry) {
     updates = registry.counter("mgrid_broker_updates_total", {},
                                "Location updates ingested by the broker");
     estimates = registry.counter(
@@ -30,8 +29,7 @@ struct BrokerMetrics {
 };
 
 BrokerMetrics& broker_metrics() {
-  static BrokerMetrics metrics;
-  return metrics;
+  return obs::instruments<BrokerMetrics>();
 }
 
 }  // namespace
@@ -49,7 +47,7 @@ void GridBroker::on_location_update(MnId mn, SimTime t, geo::Vec2 position,
   last_contact_time_[mn] = t;
   battery_[mn] = battery_fraction;
   ++stats_.updates_received;
-  broker_metrics().updates.inc();
+  if (obs::enabled()) broker_metrics().updates.inc();
   if (prototype_ != nullptr) {
     auto it = estimators_.find(mn);
     if (it == estimators_.end()) {
@@ -61,7 +59,9 @@ void GridBroker::on_location_update(MnId mn, SimTime t, geo::Vec2 position,
 
 void GridBroker::on_tick(SimTime t) {
   // Refreshing the DB-size gauge once per tick keeps it off the per-LU path.
-  broker_metrics().db_size.set(static_cast<double>(db_.size()));
+  if (obs::enabled()) {
+    broker_metrics().db_size.set(static_cast<double>(db_.size()));
+  }
   if (prototype_ == nullptr) return;  // view stays at the last fix
   for (auto& [mn, estimator] : estimators_) {
     auto last = last_update_time_.find(mn);
@@ -70,7 +70,7 @@ void GridBroker::on_tick(SimTime t) {
     }
     db_.record_estimate(mn, t, estimator->estimate(t));
     ++stats_.estimates_made;
-    broker_metrics().estimates.inc();
+    if (obs::enabled()) broker_metrics().estimates.inc();
   }
 }
 
@@ -82,7 +82,7 @@ double GridBroker::battery_fraction(MnId mn) const {
 void GridBroker::on_keepalive(MnId mn, SimTime t) {
   last_contact_time_[mn] = t;
   ++stats_.keepalives_received;
-  broker_metrics().keepalives.inc();
+  if (obs::enabled()) broker_metrics().keepalives.inc();
 }
 
 Duration GridBroker::contact_staleness(MnId mn, SimTime now) const {

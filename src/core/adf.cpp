@@ -20,8 +20,7 @@ struct AdfMetrics {
   obs::HistogramMetric dth_meters;
   obs::Counter transitions[kPatternCount][kPatternCount];
 
-  AdfMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit AdfMetrics(obs::MetricsRegistry& registry) {
     transmitted = registry.counter("mgrid_adf_transmitted_total", {},
                                    "Location updates passed by the ADF");
     filtered = registry.counter("mgrid_adf_filtered_total", {},
@@ -48,10 +47,7 @@ struct AdfMetrics {
   }
 };
 
-AdfMetrics& adf_metrics() {
-  static AdfMetrics metrics;
-  return metrics;
-}
+AdfMetrics& adf_metrics() { return obs::instruments<AdfMetrics>(); }
 
 }  // namespace
 
@@ -107,7 +103,7 @@ FilterDecision AdaptiveDistanceFilter::update_dth(MnId mn, SimTime t,
       clusterer_.rebuild();
       last_rebuild_ = t;
       ++rebuilds_;
-      adf_metrics().rebuilds.inc();
+      if (obs::enabled()) adf_metrics().rebuilds.inc();
     }
   }
 

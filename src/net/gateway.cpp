@@ -12,8 +12,7 @@ struct GatewayMetrics {
   obs::Counter handovers;
   obs::Gauge associations;
 
-  GatewayMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit GatewayMetrics(obs::MetricsRegistry& registry) {
     handovers = registry.counter("mgrid_net_handovers_total", {},
                                  "MN re-associations between gateways");
     associations = registry.gauge("mgrid_net_associations", {},
@@ -22,8 +21,7 @@ struct GatewayMetrics {
 };
 
 GatewayMetrics& gateway_metrics() {
-  static GatewayMetrics metrics;
-  return metrics;
+  return obs::instruments<GatewayMetrics>();
 }
 
 }  // namespace
@@ -81,14 +79,16 @@ GatewayNetwork::AssociationResult GatewayNetwork::update_association(
   const GatewayId serving = serving_gateway(p);
   auto [it, inserted] = associations_.try_emplace(mn, serving);
   if (inserted) {
-    gateway_metrics().associations.set(
-        static_cast<double>(associations_.size()));
+    if (obs::enabled()) {
+      gateway_metrics().associations.set(
+          static_cast<double>(associations_.size()));
+    }
     return {serving, false};
   }
   if (it->second == serving) return {serving, false};
   it->second = serving;
   ++handovers_;
-  gateway_metrics().handovers.inc();
+  if (obs::enabled()) gateway_metrics().handovers.inc();
   return {serving, true};
 }
 

@@ -6,8 +6,8 @@ namespace mgrid::net {
 
 namespace {
 
-/// Process-wide net telemetry; every accountant instance mirrors into these
-/// shared registry cells so exporters see one consistent total.
+/// Net telemetry bundle; every accountant instance mirrors into the current
+/// registry's cells so exporters see one consistent total per experiment.
 struct NetMetrics {
   obs::Counter uplink_messages;
   obs::Counter uplink_bytes;
@@ -15,8 +15,7 @@ struct NetMetrics {
   obs::Counter downlink_bytes;
   obs::Counter suppressed;
 
-  NetMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit NetMetrics(obs::MetricsRegistry& registry) {
     uplink_messages =
         registry.counter("mgrid_net_messages_total", {{"direction", "uplink"}},
                          "Messages crossing the wireless gateways");
@@ -35,10 +34,7 @@ struct NetMetrics {
   }
 };
 
-NetMetrics& net_metrics() {
-  static NetMetrics metrics;
-  return metrics;
-}
+NetMetrics& net_metrics() { return obs::instruments<NetMetrics>(); }
 
 }  // namespace
 
@@ -57,19 +53,23 @@ void TrafficAccountant::record_bytes(SimTime t, GatewayId gateway,
     uplink_.add(wire_bytes);
     per_gateway_up_[gateway].add(wire_bytes);
     uplink_series_.add_count(t);
-    net_metrics().uplink_messages.inc();
-    net_metrics().uplink_bytes.inc(wire_bytes);
+    if (obs::enabled()) {
+      net_metrics().uplink_messages.inc();
+      net_metrics().uplink_bytes.inc(wire_bytes);
+    }
   } else {
     downlink_.add(wire_bytes);
     per_gateway_down_[gateway].add(wire_bytes);
-    net_metrics().downlink_messages.inc();
-    net_metrics().downlink_bytes.inc(wire_bytes);
+    if (obs::enabled()) {
+      net_metrics().downlink_messages.inc();
+      net_metrics().downlink_bytes.inc(wire_bytes);
+    }
   }
 }
 
 void TrafficAccountant::record_suppressed(SimTime /*t*/) noexcept {
   ++suppressed_;
-  net_metrics().suppressed.inc();
+  if (obs::enabled()) net_metrics().suppressed.inc();
 }
 
 const TrafficCounters& TrafficAccountant::total(

@@ -8,6 +8,14 @@ namespace {
 
 std::atomic<bool> g_enabled{false};
 
+/// Per-thread registry override (ScopedRegistry); nullptr = global().
+thread_local MetricsRegistry* t_current_registry = nullptr;
+
+std::uint64_t next_registry_uid() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
@@ -15,6 +23,23 @@ bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) noexcept {
   g_enabled.store(on, std::memory_order_relaxed);
 }
+
+MetricsRegistry& current_registry() noexcept {
+  MetricsRegistry* override_registry = t_current_registry;
+  return override_registry != nullptr ? *override_registry
+                                      : MetricsRegistry::global();
+}
+
+namespace detail {
+
+MetricsRegistry* exchange_current_registry(
+    MetricsRegistry* registry) noexcept {
+  MetricsRegistry* previous = t_current_registry;
+  t_current_registry = registry;
+  return previous;
+}
+
+}  // namespace detail
 
 namespace detail {
 
@@ -78,6 +103,8 @@ const MetricSample* MetricsSnapshot::find(std::string_view name,
   }
   return nullptr;
 }
+
+MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {}
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;

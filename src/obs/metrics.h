@@ -5,6 +5,13 @@
 // acquired here, and the exporters (Prometheus text, CSV, JSON — see
 // obs/export.h) read one consistent snapshot.
 //
+// Registry injection: instrumentation resolves handles against the calling
+// thread's *current* registry — global() by default, or a per-experiment
+// registry installed with ScopedRegistry. The sweep engine runs one
+// federation per worker thread, each under its own scoped registry, so
+// concurrent experiments keep bit-exact isolated counters (see
+// obs::instruments<> below and sweep/engine.h).
+//
 // Concurrency model: handle operations are wait-free for counters (per-thread
 // shard of cache-line-padded atomics, summed at read time) and lock-sharded
 // for histograms (each shard owns a mutex + RunningStats + stats::Histogram,
@@ -24,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -279,12 +287,18 @@ struct MetricsSnapshot {
 /// path. Re-registering the same name+labels returns the existing cell.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  /// The process-global registry all built-in instrumentation records to.
+  /// The process-global registry built-in instrumentation records to unless
+  /// a ScopedRegistry override is installed on the recording thread.
   static MetricsRegistry& global();
+
+  /// Process-unique, never-reused id. The instruments<>() cache keys on
+  /// this, so a registry allocated at a recycled address can never inherit a
+  /// dead registry's handles.
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
 
   Counter counter(std::string_view name, Labels labels = {},
                   std::string_view help = "");
@@ -319,6 +333,7 @@ class MetricsRegistry {
   [[nodiscard]] static std::string key_of(std::string_view name,
                                           const Labels& labels);
 
+  std::uint64_t uid_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_;
   // Deques give cells stable addresses for the lifetime of the registry.
@@ -326,5 +341,53 @@ class MetricsRegistry {
   std::deque<detail::GaugeCell> gauges_;
   std::deque<detail::HistogramCell> histograms_;
 };
+
+/// The registry instrumentation on the calling thread records into:
+/// the innermost live ScopedRegistry, or global() when none is installed.
+[[nodiscard]] MetricsRegistry& current_registry() noexcept;
+
+namespace detail {
+/// Swaps the calling thread's registry override (nullptr = use global()).
+/// Returns the previous override. Prefer ScopedRegistry.
+MetricsRegistry* exchange_current_registry(MetricsRegistry* registry) noexcept;
+}  // namespace detail
+
+/// Installs a registry as the calling thread's telemetry destination for a
+/// scope: every instrumented subsystem (kernel, federation, net, ADF, broker,
+/// scenario collectors) resolves its handles through current_registry(), so
+/// concurrent experiments with distinct scoped registries record disjoint
+/// counters. Restores the previous override on destruction (nest freely).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(MetricsRegistry& registry)
+      : previous_(detail::exchange_current_registry(&registry)) {}
+  ~ScopedRegistry() { detail::exchange_current_registry(previous_); }
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Per-(thread, registry) instrument cache. `Instruments` is a module's
+/// bundle of handles with an `explicit Instruments(MetricsRegistry&)`
+/// constructor; the bundle for the thread's current registry is built on
+/// first use and memoised until a different registry becomes current. The
+/// steady-state cost is one TLS load and a predicted-taken uid compare, so
+/// hot paths may call this per record. Handles never outlive their registry
+/// unless the registry itself is destroyed while still installed — keep the
+/// injected registry alive for the whole scope (ScopedRegistry enforces the
+/// natural nesting).
+template <typename Instruments>
+[[nodiscard]] Instruments& instruments() {
+  thread_local std::uint64_t cached_uid = 0;  // no registry has uid 0
+  thread_local std::optional<Instruments> cached;
+  MetricsRegistry& registry = current_registry();
+  if (cached_uid != registry.uid()) [[unlikely]] {
+    cached.emplace(registry);
+    cached_uid = registry.uid();
+  }
+  return *cached;
+}
 
 }  // namespace mgrid::obs

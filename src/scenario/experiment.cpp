@@ -1,6 +1,7 @@
 #include "scenario/experiment.h"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "core/protocols.h"
@@ -107,6 +108,10 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
   if (!(options.duration > 0.0)) {
     throw std::invalid_argument("ExperimentOptions: duration must be > 0");
   }
+  // Route every instrumented subsystem at the injected registry for the
+  // duration of this experiment (restored on exit, exception-safe).
+  std::optional<obs::ScopedRegistry> scoped_registry;
+  if (options.registry != nullptr) scoped_registry.emplace(*options.registry);
 
   const geo::CampusMap campus =
       options.campus_blocks > 0

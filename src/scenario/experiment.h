@@ -14,6 +14,7 @@
 #include "core/adf.h"
 #include "core/baselines.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
 #include "scenario/federates.h"
 #include "scenario/workload.h"
 #include "sim/federation.h"
@@ -96,6 +97,13 @@ struct ExperimentOptions {
   /// crossing shards is re-learned by the new shard. Must be >= 1.
   std::size_t adf_shards = 1;
   sim::ExecutionMode mode = sim::ExecutionMode::kSequential;
+  /// Telemetry registry this experiment records into. nullptr keeps the
+  /// calling thread's current registry (MetricsRegistry::global() unless a
+  /// ScopedRegistry is already installed). Inject a per-experiment registry
+  /// to run experiments concurrently without corrupting each other's
+  /// counters — the sweep engine does exactly that. The registry must
+  /// outlive the run_experiment() call.
+  obs::MetricsRegistry* registry = nullptr;
   /// Metric bucket width, seconds.
   Duration bucket_width = 1.0;
   /// Error accounting (see ScoringMode). kRealTime (default) scores the

@@ -18,8 +18,7 @@ struct ScenarioMetrics {
   obs::HistogramMetric error_meters;
   obs::Gauge rmse_meters;
 
-  ScenarioMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit ScenarioMetrics(obs::MetricsRegistry& registry) {
     for (std::size_t k = 0; k < kKindCount; ++k) {
       const std::string region(
           geo::to_string(static_cast<geo::RegionKind>(k)));
@@ -40,8 +39,7 @@ struct ScenarioMetrics {
 };
 
 ScenarioMetrics& scenario_metrics() {
-  static ScenarioMetrics metrics;
-  return metrics;
+  return obs::instruments<ScenarioMetrics>();
 }
 
 }  // namespace

@@ -19,8 +19,7 @@ struct FederationMetrics {
   obs::Counter delivered;
   obs::Counter cycles;
 
-  FederationMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit FederationMetrics(obs::MetricsRegistry& registry) {
     sent = registry.counter("mgrid_federation_interactions_sent_total", {},
                             "Interactions submitted by federates");
     delivered =
@@ -32,8 +31,7 @@ struct FederationMetrics {
 };
 
 FederationMetrics& federation_metrics() {
-  static FederationMetrics metrics;
-  return metrics;
+  return obs::instruments<FederationMetrics>();
 }
 
 /// Installs the federation grant time as the process-wide sim clock for the
@@ -68,7 +66,7 @@ FederateId Federation::join(std::shared_ptr<Federate> federate) {
   federate->id_ = id;
   federate->federation_ = this;
   FederateSlot slot{federate, {}, 0, {}, {}};
-  slot.step_seconds = obs::MetricsRegistry::global().histogram(
+  slot.step_seconds = obs::current_registry().histogram(
       "mgrid_federation_step_seconds", 0.0, 0.1, 50,
       {{"federate", federate->name()}},
       "Wall-clock seconds per federate cycle (deliver + tick)");
@@ -117,7 +115,7 @@ void Federation::submit(Federate& sender, std::string topic, SimTime timestamp,
     staged_.push_back(std::move(interaction));
     ++stats_.interactions_sent;
   }
-  federation_metrics().sent.inc();
+  if (obs::enabled()) federation_metrics().sent.inc();
 }
 
 void Federation::subscribe(Federate& subscriber, std::string topic) {
@@ -221,7 +219,7 @@ void Federation::run(SimTime t0, SimTime end, Duration step,
                   stats_.interactions_delivered, " interactions delivered");
   running_ = false;
   stats_.cycles += cycles;
-  federation_metrics().cycles.inc(cycles);
+  if (obs::enabled()) federation_metrics().cycles.inc(cycles);
 }
 
 void Federation::run_sequential(SimTime t0, std::uint64_t cycles,
@@ -257,11 +255,19 @@ void Federation::run_threaded(SimTime t0, std::uint64_t cycles,
   // accumulate their own counts and the coordinator folds them in at the end.
   std::vector<std::uint64_t> delivered(n, 0);
 
+  // Telemetry destination and log sim-clock are thread-scoped; workers
+  // inherit the coordinator's registry (per-experiment when the sweep engine
+  // injected one) and stamp their log lines with this federation's grant.
+  obs::MetricsRegistry& parent_registry = obs::current_registry();
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers.emplace_back([this, i, &sync, &grant_time, &done, &delivered,
-                          &failed, &first_exception, &exception_mutex] {
+                          &failed, &first_exception, &exception_mutex,
+                          &parent_registry] {
+      obs::ScopedRegistry scoped_registry(parent_registry);
+      util::Logger::instance().set_clock(
+          [&grant_time] { return grant_time.load(std::memory_order_acquire); });
       while (true) {
         sync.arrive_and_wait();  // wait for inboxes
         if (done.load(std::memory_order_acquire)) return;

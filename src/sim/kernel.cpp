@@ -17,8 +17,7 @@ struct KernelMetrics {
   obs::Gauge queue_depth;
   obs::HistogramMetric handler_seconds;
 
-  KernelMetrics() {
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  explicit KernelMetrics(obs::MetricsRegistry& registry) {
     events = registry.counter("mgrid_kernel_events_total", {},
                               "Events executed by the simulation kernel");
     queue_depth = registry.gauge("mgrid_kernel_queue_depth", {},
@@ -29,10 +28,7 @@ struct KernelMetrics {
   }
 };
 
-KernelMetrics& kernel_metrics() {
-  static KernelMetrics metrics;
-  return metrics;
-}
+KernelMetrics& kernel_metrics() { return obs::instruments<KernelMetrics>(); }
 
 }  // namespace
 

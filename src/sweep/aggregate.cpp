@@ -1,0 +1,89 @@
+#include "sweep/aggregate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::sweep {
+
+MetricSummary MetricSummary::from(const stats::RunningStats& stats) {
+  MetricSummary summary;
+  summary.mean = stats.mean();
+  summary.stddev = std::sqrt(stats.sample_variance());
+  if (stats.count() >= 2) {
+    summary.ci95 =
+        1.96 * summary.stddev / std::sqrt(static_cast<double>(stats.count()));
+  }
+  return summary;
+}
+
+const std::vector<std::string_view>& aggregate_metric_names() {
+  static const std::vector<std::string_view> kNames = {
+      "total_transmitted", "mean_lu_per_bucket", "transmission_rate",
+      "rmse_overall",      "mae_overall",        "uplink_messages",
+      "uplink_bytes",      "lus_suppressed",     "handovers",
+  };
+  return kNames;
+}
+
+std::vector<double> aggregate_metric_values(
+    const scenario::ExperimentResult& result) {
+  return {
+      static_cast<double>(result.total_transmitted),
+      result.mean_lu_per_bucket,
+      result.transmission_rate,
+      result.rmse_overall,
+      result.mae_overall,
+      static_cast<double>(result.uplink_messages),
+      static_cast<double>(result.uplink_bytes),
+      static_cast<double>(result.lus_suppressed),
+      static_cast<double>(result.handovers),
+  };
+}
+
+const MetricSummary& CellAggregate::metric(std::string_view name) const {
+  const std::vector<std::string_view>& names = aggregate_metric_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return metrics.at(i);
+  }
+  throw std::out_of_range("CellAggregate: unknown metric " +
+                          std::string(name));
+}
+
+std::vector<CellAggregate> aggregate_cells(
+    const std::vector<SweepCell>& cells, const std::vector<SweepJob>& jobs,
+    const std::vector<scenario::ExperimentResult>& results) {
+  if (results.size() != jobs.size()) {
+    throw std::invalid_argument("aggregate_cells: results/jobs size mismatch");
+  }
+  const std::size_t metric_count = aggregate_metric_names().size();
+  std::vector<std::vector<stats::RunningStats>> accumulators(
+      cells.size(), std::vector<stats::RunningStats>(metric_count));
+  std::vector<std::size_t> replicate_counts(cells.size(), 0);
+  // Job order == cell-major order, so accumulation is deterministic.
+  for (std::size_t job = 0; job < jobs.size(); ++job) {
+    const std::size_t cell = jobs[job].cell;
+    if (cell >= cells.size()) {
+      throw std::invalid_argument("aggregate_cells: job cell out of range");
+    }
+    const std::vector<double> values = aggregate_metric_values(results[job]);
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      accumulators[cell][m].add(values[m]);
+    }
+    ++replicate_counts[cell];
+  }
+  std::vector<CellAggregate> aggregates;
+  aggregates.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellAggregate aggregate;
+    aggregate.cell = cells[c];
+    aggregate.replicates = replicate_counts[c];
+    aggregate.metrics.reserve(metric_count);
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      aggregate.metrics.push_back(MetricSummary::from(accumulators[c][m]));
+    }
+    aggregates.push_back(std::move(aggregate));
+  }
+  return aggregates;
+}
+
+}  // namespace mgrid::sweep

@@ -1,0 +1,55 @@
+// Per-cell aggregation of sweep results.
+//
+// Replicate ExperimentResults collapse into one CellAggregate per grid cell:
+// mean / sample stddev / 95% CI per tracked metric, computed with
+// stats::RunningStats in job order so the numbers are identical no matter
+// which threads produced the results.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "stats/running_stats.h"
+#include "sweep/spec.h"
+
+namespace mgrid::sweep {
+
+/// One aggregated metric: replicate mean, Bessel-corrected stddev and the
+/// normal-approximation 95% confidence half-width (1.96 * stddev / sqrt(n);
+/// 0 with fewer than 2 replicates).
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;
+
+  [[nodiscard]] static MetricSummary from(const stats::RunningStats& stats);
+};
+
+/// The metrics aggregated per cell, in artifact column order.
+[[nodiscard]] const std::vector<std::string_view>& aggregate_metric_names();
+
+/// Extracts the aggregate metrics from one result, in
+/// aggregate_metric_names() order.
+[[nodiscard]] std::vector<double> aggregate_metric_values(
+    const scenario::ExperimentResult& result);
+
+struct CellAggregate {
+  SweepCell cell;
+  std::size_t replicates = 0;
+  /// One summary per aggregate_metric_names() entry.
+  std::vector<MetricSummary> metrics;
+
+  /// Summary for a named metric; throws std::out_of_range on unknown names.
+  [[nodiscard]] const MetricSummary& metric(std::string_view name) const;
+};
+
+/// Collapses per-job results (indexed like `jobs`, i.e. cell-major then
+/// replicate) into per-cell aggregates in cell order. Throws
+/// std::invalid_argument when results.size() != jobs.size().
+[[nodiscard]] std::vector<CellAggregate> aggregate_cells(
+    const std::vector<SweepCell>& cells, const std::vector<SweepJob>& jobs,
+    const std::vector<scenario::ExperimentResult>& results);
+
+}  // namespace mgrid::sweep

@@ -1,0 +1,197 @@
+#include "sweep/artifacts.h"
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace mgrid::sweep {
+
+namespace {
+
+void write_cell_coords(util::JsonWriter& json, const SweepCell& cell) {
+  json.field("index", static_cast<std::uint64_t>(cell.index));
+  json.field("label", cell.label());
+  json.field("filter", scenario::to_string(cell.filter));
+  json.field("dth_factor", cell.dth_factor);
+  json.field("alpha", cell.alpha);
+  json.field("node_scale", static_cast<std::uint64_t>(cell.node_scale));
+  json.field("duration", cell.duration);
+}
+
+void save_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+double relative_delta(double baseline, double current) {
+  if (baseline == 0.0) {
+    if (current == 0.0) return 0.0;
+    return current > 0.0 ? std::numeric_limits<double>::infinity()
+                         : -std::numeric_limits<double>::infinity();
+  }
+  return (current - baseline) / std::fabs(baseline);
+}
+
+}  // namespace
+
+std::string sweep_to_json(const SweepSpec& spec, const SweepOutcome& outcome) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "mgrid-sweep-v1");
+  json.field("root_seed", spec.root_seed);
+  json.field("replicates", static_cast<std::uint64_t>(spec.replicates));
+  json.field("cell_count", static_cast<std::uint64_t>(outcome.cells.size()));
+  json.field("job_count", static_cast<std::uint64_t>(outcome.jobs.size()));
+
+  json.key("metrics").begin_array();
+  for (std::string_view name : aggregate_metric_names()) json.value(name);
+  json.end_array();
+
+  json.key("cells").begin_array();
+  for (const CellAggregate& aggregate : outcome.aggregates) {
+    json.begin_object();
+    write_cell_coords(json, aggregate.cell);
+    json.field("replicates", static_cast<std::uint64_t>(aggregate.replicates));
+    json.key("summary").begin_object();
+    const std::vector<std::string_view>& names = aggregate_metric_names();
+    for (std::size_t m = 0; m < names.size(); ++m) {
+      json.key(names[m]).begin_object();
+      json.field("mean", aggregate.metrics[m].mean);
+      json.field("stddev", aggregate.metrics[m].stddev);
+      json.field("ci95", aggregate.metrics[m].ci95);
+      json.end_object();
+    }
+    json.end_object();  // summary
+    json.end_object();  // cell
+  }
+  json.end_array();
+
+  json.key("jobs").begin_array();
+  for (std::size_t i = 0; i < outcome.jobs.size(); ++i) {
+    const SweepJob& job = outcome.jobs[i];
+    json.begin_object();
+    json.field("cell", static_cast<std::uint64_t>(job.cell));
+    json.field("replicate", static_cast<std::uint64_t>(job.replicate));
+    json.field("seed", job.seed);
+    json.field_array("values", aggregate_metric_values(outcome.results[i]));
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.str();
+}
+
+stats::Table cells_table(const SweepOutcome& outcome) {
+  stats::Table table({"cell", "label", "filter", "dth_factor", "alpha",
+                      "node_scale", "duration", "replicates", "metric", "mean",
+                      "stddev", "ci95"});
+  for (const CellAggregate& aggregate : outcome.aggregates) {
+    const SweepCell& cell = aggregate.cell;
+    const std::vector<std::string_view>& names = aggregate_metric_names();
+    for (std::size_t m = 0; m < names.size(); ++m) {
+      table.add_row({std::to_string(cell.index), cell.label(),
+                     std::string(scenario::to_string(cell.filter)),
+                     stats::format_double(cell.dth_factor, 2),
+                     stats::format_double(cell.alpha, 2),
+                     std::to_string(cell.node_scale),
+                     stats::format_double(cell.duration, 1),
+                     std::to_string(aggregate.replicates),
+                     std::string(names[m]),
+                     stats::format_double(aggregate.metrics[m].mean, 6),
+                     stats::format_double(aggregate.metrics[m].stddev, 6),
+                     stats::format_double(aggregate.metrics[m].ci95, 6)});
+    }
+  }
+  return table;
+}
+
+stats::Table jobs_table(const SweepOutcome& outcome) {
+  std::vector<std::string> header = {"job", "cell", "replicate", "seed"};
+  for (std::string_view name : aggregate_metric_names()) {
+    header.emplace_back(name);
+  }
+  stats::Table table(std::move(header));
+  for (std::size_t i = 0; i < outcome.jobs.size(); ++i) {
+    const SweepJob& job = outcome.jobs[i];
+    std::vector<std::string> row = {std::to_string(i), std::to_string(job.cell),
+                                    std::to_string(job.replicate),
+                                    std::to_string(job.seed)};
+    for (double value : aggregate_metric_values(outcome.results[i])) {
+      row.push_back(stats::format_double(value, 6));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+ArtifactPaths write_artifacts(const SweepSpec& spec,
+                              const SweepOutcome& outcome,
+                              const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  ArtifactPaths paths;
+  paths.json = (std::filesystem::path(out_dir) / "sweep.json").string();
+  paths.cells_csv = (std::filesystem::path(out_dir) / "cells.csv").string();
+  paths.jobs_csv = (std::filesystem::path(out_dir) / "jobs.csv").string();
+  save_text(paths.json, sweep_to_json(spec, outcome));
+  cells_table(outcome).save_csv(paths.cells_csv);
+  jobs_table(outcome).save_csv(paths.jobs_csv);
+  return paths;
+}
+
+BaselineComparison compare_to_baseline(const SweepOutcome& outcome,
+                                       const util::JsonValue& baseline) {
+  const util::JsonValue* schema = baseline.find("schema");
+  if (schema == nullptr || schema->as_string() != "mgrid-sweep-v1") {
+    throw util::JsonParseError("baseline is not an mgrid-sweep-v1 document");
+  }
+  // label -> (metric -> mean) from the baseline document.
+  std::map<std::string, std::map<std::string, double>> baseline_cells;
+  for (const util::JsonValue& cell : baseline.at("cells").as_array()) {
+    std::map<std::string, double>& means =
+        baseline_cells[cell.at("label").as_string()];
+    for (const util::JsonValue::Member& member :
+         cell.at("summary").as_object()) {
+      means[member.first] = member.second.at("mean").as_double();
+    }
+  }
+
+  BaselineComparison comparison;
+  const std::vector<std::string_view>& names = aggregate_metric_names();
+  for (const CellAggregate& aggregate : outcome.aggregates) {
+    const std::string label = aggregate.cell.label();
+    auto it = baseline_cells.find(label);
+    if (it == baseline_cells.end()) {
+      comparison.unmatched_cells.push_back(label);
+      continue;
+    }
+    for (std::size_t m = 0; m < names.size(); ++m) {
+      auto metric_it = it->second.find(std::string(names[m]));
+      if (metric_it == it->second.end()) continue;
+      BaselineDelta delta;
+      delta.cell_label = label;
+      delta.metric = std::string(names[m]);
+      delta.baseline = metric_it->second;
+      delta.current = aggregate.metrics[m].mean;
+      delta.relative = relative_delta(delta.baseline, delta.current);
+      if (std::fabs(delta.relative) > comparison.max_abs_relative) {
+        comparison.max_abs_relative = std::fabs(delta.relative);
+      }
+      comparison.deltas.push_back(std::move(delta));
+    }
+    it->second.clear();
+    baseline_cells.erase(it);
+  }
+  for (const auto& [label, means] : baseline_cells) {
+    comparison.unmatched_cells.push_back(label);
+  }
+  return comparison;
+}
+
+}  // namespace mgrid::sweep

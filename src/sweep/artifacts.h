@@ -1,0 +1,71 @@
+// Sweep artifact writers + baseline comparison.
+//
+// A finished sweep serialises to:
+//   sweep.json — the "mgrid-sweep-v1" document: spec echo, per-cell
+//                aggregates and per-job raw metrics. Deliberately excludes
+//                wall-clock and worker count so the bytes are identical for
+//                any --jobs value (the CI determinism gate diffs the file).
+//   cells.csv  — long-format per-cell summaries (cell × metric rows).
+//   jobs.csv   — one row per job with the raw metric values.
+// compare_to_baseline() ingests a prior sweep.json (util::JsonValue) and
+// reports per-cell-metric deltas, matching cells by label.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/csv.h"
+#include "sweep/engine.h"
+#include "util/json.h"
+
+namespace mgrid::sweep {
+
+/// Deterministic "mgrid-sweep-v1" JSON document for the outcome.
+[[nodiscard]] std::string sweep_to_json(const SweepSpec& spec,
+                                        const SweepOutcome& outcome);
+
+/// Long-format per-cell table: one row per (cell, metric).
+[[nodiscard]] stats::Table cells_table(const SweepOutcome& outcome);
+
+/// One row per job with raw metric values.
+[[nodiscard]] stats::Table jobs_table(const SweepOutcome& outcome);
+
+/// Paths produced by write_artifacts.
+struct ArtifactPaths {
+  std::string json;
+  std::string cells_csv;
+  std::string jobs_csv;
+};
+
+/// Writes sweep.json + cells.csv + jobs.csv under `out_dir` (created if
+/// missing). Throws std::runtime_error on I/O failure.
+ArtifactPaths write_artifacts(const SweepSpec& spec,
+                              const SweepOutcome& outcome,
+                              const std::string& out_dir);
+
+/// One baseline comparison row.
+struct BaselineDelta {
+  std::string cell_label;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / |baseline|; 0 when baseline == 0 and
+  /// current == 0, +/-inf when only the baseline is 0.
+  double relative = 0.0;
+};
+
+struct BaselineComparison {
+  std::vector<BaselineDelta> deltas;
+  /// Cells present in exactly one of the two sweeps (matched by label).
+  std::vector<std::string> unmatched_cells;
+  /// Largest |relative| over all deltas (0 when empty).
+  double max_abs_relative = 0.0;
+};
+
+/// Compares per-cell means against a prior sweep.json document (as parsed
+/// by util::JsonValue). Throws util::JsonParseError when `baseline` is not
+/// an mgrid-sweep-v1 document.
+[[nodiscard]] BaselineComparison compare_to_baseline(
+    const SweepOutcome& outcome, const util::JsonValue& baseline);
+
+}  // namespace mgrid::sweep

@@ -1,0 +1,44 @@
+// Parallel deterministic sweep executor.
+//
+// run_sweep() expands a SweepSpec into jobs and executes them on a chunked
+// std::thread pool — one independent federation per job, each with its own
+// injected obs::MetricsRegistry so concurrent experiments never share
+// counters. Jobs carry pre-derived seeds and results are stored by job
+// index, so the outcome is bit-identical for any thread count or schedule;
+// only wall_seconds varies between runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "sweep/aggregate.h"
+#include "sweep/spec.h"
+
+namespace mgrid::sweep {
+
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1). The
+  /// pool never spawns more threads than there are jobs.
+  std::size_t jobs = 0;
+};
+
+struct SweepOutcome {
+  std::vector<SweepCell> cells;
+  std::vector<SweepJob> jobs;
+  /// Per-job results, indexed like `jobs` (cell-major then replicate).
+  std::vector<scenario::ExperimentResult> results;
+  std::vector<CellAggregate> aggregates;
+  /// Worker threads actually used.
+  std::size_t workers = 1;
+  /// Wall-clock, seconds. NOT part of the deterministic artifact contract.
+  double wall_seconds = 0.0;
+};
+
+/// Runs the sweep. A job that throws aborts the sweep: remaining jobs are
+/// drained, workers join, and the first exception (in job order) is
+/// rethrown.
+[[nodiscard]] SweepOutcome run_sweep(const SweepSpec& spec,
+                                     const EngineOptions& engine = {});
+
+}  // namespace mgrid::sweep

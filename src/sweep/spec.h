@@ -1,0 +1,111 @@
+// Parameter-sweep specification.
+//
+// A SweepSpec is a cartesian grid over the experiment knobs the paper's
+// figure families vary — filter kind × DTH factor × estimator α × node
+// scale × duration — with N seed replicates per cell. expand_jobs() turns
+// the grid into a flat job list with fully materialised ExperimentOptions
+// and a deterministic per-job seed (splitmix64-derived from the root seed),
+// so a sweep's results are bit-identical regardless of how many engine
+// threads execute it or in which order the jobs are scheduled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.h"
+#include "util/config.h"
+#include "util/types.h"
+
+namespace mgrid::sweep {
+
+/// The swept axes. Every axis must be non-empty; single-element axes pin the
+/// knob. The grid is the cartesian product in the declaration order below
+/// (filters outermost, durations innermost).
+struct SweepAxes {
+  std::vector<scenario::FilterKind> filters{scenario::FilterKind::kAdf};
+  /// DTH scale ("0.75 av" … — Fig. 4/5 x-axis).
+  std::vector<double> dth_factors{1.0};
+  /// Broker-estimator smoothing α (0 = the estimator's default). Only
+  /// observable when base.estimator is set (Fig. 7 sensitivity).
+  std::vector<double> alphas{0.0};
+  /// Integer multiplier on every Table-1 per-region node count (scalability
+  /// axis: scale 1 = the paper's 140 MNs).
+  std::vector<std::size_t> node_scales{1};
+  /// Simulated durations, seconds. Empty = base.duration only.
+  std::vector<Duration> durations{};
+};
+
+struct SweepSpec {
+  /// Knobs shared by every cell; axis values override the matching fields.
+  /// base.registry must stay nullptr — the engine injects per-job
+  /// registries.
+  scenario::ExperimentOptions base;
+  SweepAxes axes;
+  /// Seed replicates per cell (>= 1).
+  std::size_t replicates = 1;
+  /// Root of the per-job seed derivation tree.
+  std::uint64_t root_seed = 42;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept;
+  [[nodiscard]] std::size_t job_count() const noexcept {
+    return cell_count() * replicates;
+  }
+};
+
+/// One grid cell's coordinates.
+struct SweepCell {
+  std::size_t index = 0;
+  scenario::FilterKind filter = scenario::FilterKind::kAdf;
+  double dth_factor = 1.0;
+  double alpha = 0.0;
+  std::size_t node_scale = 1;
+  Duration duration = 0.0;
+
+  /// Stable human/machine key, e.g. "adf dth=1.00 alpha=0.00 x1 600s".
+  [[nodiscard]] std::string label() const;
+};
+
+/// One executable job: a cell plus a replicate index and its derived seed.
+struct SweepJob {
+  std::size_t cell = 0;
+  std::size_t replicate = 0;
+  std::uint64_t seed = 0;
+  /// base with the cell's coordinates and the derived seed applied.
+  scenario::ExperimentOptions options;
+};
+
+/// Deterministic per-job seed: two splitmix64 whitening rounds over
+/// (root, cell, replicate). Pure function of its arguments — never of
+/// thread count or schedule — and documented in DESIGN.md; changing it
+/// invalidates recorded sweep baselines.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root_seed,
+                                        std::size_t cell,
+                                        std::size_t replicate) noexcept;
+
+/// The grid cells in deterministic (row-major) order.
+/// Throws std::invalid_argument on an empty axis or replicates == 0.
+[[nodiscard]] std::vector<SweepCell> expand_cells(const SweepSpec& spec);
+
+/// The flat job list, cell-major then replicate. Throws like expand_cells.
+[[nodiscard]] std::vector<SweepJob> expand_jobs(const SweepSpec& spec);
+
+/// Parses the sweep grid keys from a Config (the run_sweep example and the
+/// tests share this):
+///   filters        [adf]   comma list: adf,general_df,ideal,time_filter,
+///                          prediction
+///   dth_factors    [1.0]   comma list of doubles
+///   alphas         [0.0]   comma list of doubles
+///   node_scales    [1]     comma list of integers
+///   durations      []      comma list of seconds (empty = base.duration)
+///   replicates     [1]
+///   seed           [42]    root seed
+/// Base-experiment keys (duration, estimator, sample_period, motion_dt,
+/// scoring, campus_blocks, …) are read into spec.base.
+[[nodiscard]] SweepSpec spec_from_config(const util::Config& config);
+
+/// Parses one FilterKind name (the inverse of scenario::to_string).
+/// Throws util::ConfigError on unknown names.
+[[nodiscard]] scenario::FilterKind parse_filter_kind(const std::string& name);
+
+}  // namespace mgrid::sweep

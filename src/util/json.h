@@ -1,13 +1,18 @@
-// Minimal JSON writer (no dependencies).
+// Minimal JSON writer + reader (no dependencies).
 //
-// Emits RFC 8259 JSON with proper string escaping and non-finite-number
-// handling. Writer-only by design: the repository exports results for
-// external plotting/analysis, it never ingests JSON.
+// JsonWriter emits RFC 8259 JSON with proper string escaping and
+// non-finite-number handling. JsonValue::parse() is the matching reader —
+// added for the sweep engine's --baseline A/B comparisons, which ingest a
+// prior run's sweep JSON artifact. It is a strict, small recursive-descent
+// parser for the documents this repository writes, not a general validator.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace mgrid::util {
@@ -62,6 +67,59 @@ class JsonWriter {
   std::vector<bool> first_in_scope_;
   bool key_pending_ = false;
   bool done_ = false;
+};
+
+/// Thrown by JsonValue::parse on malformed input (message carries the byte
+/// offset of the failure).
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable parsed JSON document. Numbers are doubles (the writer never
+/// emits integers outside the exact-double range); object member order is
+/// preserved as written.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw JsonParseError on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<Member>& as_object() const;
+
+  /// Object member by key; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member by key; throws JsonParseError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Convenience: member `key` as a double, or `fallback` when absent.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const noexcept;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
 };
 
 }  // namespace mgrid::util

@@ -56,9 +56,14 @@ std::string wall_timestamp() {
   return buffer;
 }
 
+/// Calling thread's sim-time source. Thread-local (not a locked member) so
+/// concurrent federation runs never race on it and each thread's lines are
+/// stamped with the grant time of the federation *it* is executing.
+thread_local std::function<double()> t_clock;
+
 }  // namespace
 
-Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr), clock_(nullptr) {}
+Logger::Logger() : level_(LogLevel::kWarn), sink_(nullptr) {}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -85,17 +90,12 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::set_clock(std::function<double()> clock) {
-  std::lock_guard lock(mutex_);
-  clock_ = std::move(clock);
+  t_clock = std::move(clock);
 }
 
 std::string Logger::format_line(LogLevel level,
                                 std::string_view message) const {
-  std::function<double()> clock;
-  {
-    std::lock_guard lock(mutex_);
-    clock = clock_;
-  }
+  const std::function<double()>& clock = t_clock;
   std::string line;
   line += '[';
   line += to_string(level);

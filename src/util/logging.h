@@ -41,6 +41,8 @@ class Logger {
   /// Installs a simulation-time source consulted when formatting the default
   /// sink's prefix (the federation installs its grant time for the duration
   /// of a run). Pass nullptr to clear; the prefix then omits sim time.
+  /// The clock is per-thread: when several federations run concurrently
+  /// (sweep engine), each worker's log lines carry its own grant time.
   void set_clock(std::function<double()> clock);
 
   /// The default sink's line format:
@@ -57,7 +59,6 @@ class Logger {
   mutable std::mutex mutex_;
   LogLevel level_;
   Sink sink_;
-  std::function<double()> clock_;
 };
 
 namespace detail {

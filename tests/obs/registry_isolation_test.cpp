@@ -1,0 +1,128 @@
+// Registry-injection isolation: experiments run under injected registries
+// must record disjoint telemetry and leave MetricsRegistry::global()
+// untouched — the invariant the parallel sweep engine is built on.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "scenario/experiment.h"
+
+namespace mgrid {
+namespace {
+
+double global_uplink_messages() {
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  const obs::MetricSample* sample = snapshot.find(
+      "mgrid_net_messages_total", {{"direction", "uplink"}});
+  return sample == nullptr ? 0.0 : sample->value;
+}
+
+scenario::ExperimentOptions short_options(scenario::FilterKind filter,
+                                          std::uint64_t seed) {
+  scenario::ExperimentOptions options;
+  options.duration = 10.0;
+  options.filter = filter;
+  options.seed = seed;
+  return options;
+}
+
+TEST(RegistryIsolation, InjectedRegistriesAreDisjointAndGlobalUntouched) {
+  obs::ScopedEnable telemetry(true);
+  const double global_before = global_uplink_messages();
+
+  obs::MetricsRegistry registry_a;
+  obs::MetricsRegistry registry_b;
+  scenario::ExperimentOptions options_a =
+      short_options(scenario::FilterKind::kAdf, 1);
+  options_a.registry = &registry_a;
+  scenario::ExperimentOptions options_b =
+      short_options(scenario::FilterKind::kIdeal, 2);
+  options_b.duration = 20.0;  // twice the samples: totals must differ
+  options_b.registry = &registry_b;
+
+  const scenario::ExperimentResult result_a =
+      scenario::run_experiment(options_a);
+  const scenario::ExperimentResult result_b =
+      scenario::run_experiment(options_b);
+
+  // Each registry carries exactly its own experiment's uplink totals.
+  const obs::MetricsSnapshot snapshot_a = registry_a.snapshot();
+  const obs::MetricsSnapshot snapshot_b = registry_b.snapshot();
+  const obs::Labels uplink = {{"direction", "uplink"}};
+  const obs::MetricSample* uplink_a =
+      snapshot_a.find("mgrid_net_messages_total", uplink);
+  const obs::MetricSample* uplink_b =
+      snapshot_b.find("mgrid_net_messages_total", uplink);
+  ASSERT_NE(uplink_a, nullptr);
+  ASSERT_NE(uplink_b, nullptr);
+  EXPECT_DOUBLE_EQ(uplink_a->value,
+                   static_cast<double>(result_a.uplink_messages));
+  EXPECT_DOUBLE_EQ(uplink_b->value,
+                   static_cast<double>(result_b.uplink_messages));
+  // The runs differ (twice the duration, twice the samples), so the two
+  // registries genuinely saw different experiments.
+  EXPECT_NE(result_a.uplink_messages, result_b.uplink_messages);
+
+  // Nothing leaked into the process-global registry.
+  EXPECT_DOUBLE_EQ(global_uplink_messages(), global_before);
+}
+
+TEST(RegistryIsolation, NullRegistryKeepsRecordingToCurrent) {
+  obs::ScopedEnable telemetry(true);
+  obs::MetricsRegistry outer;
+  obs::ScopedRegistry scoped(outer);
+
+  scenario::ExperimentOptions options =
+      short_options(scenario::FilterKind::kAdf, 3);
+  const scenario::ExperimentResult result = scenario::run_experiment(options);
+
+  const obs::MetricsSnapshot snapshot = outer.snapshot();
+  const obs::MetricSample* sample = snapshot.find(
+      "mgrid_net_messages_total", {{"direction", "uplink"}});
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->value,
+                   static_cast<double>(result.uplink_messages));
+}
+
+TEST(RegistryIsolation, ScopedRegistryRestoresOnExit) {
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry& before = obs::current_registry();
+  {
+    obs::ScopedRegistry scoped(registry);
+    EXPECT_EQ(&obs::current_registry(), &registry);
+    {
+      obs::MetricsRegistry inner;
+      obs::ScopedRegistry nested(inner);
+      EXPECT_EQ(&obs::current_registry(), &inner);
+    }
+    EXPECT_EQ(&obs::current_registry(), &registry);
+  }
+  EXPECT_EQ(&obs::current_registry(), &before);
+}
+
+TEST(RegistryIsolation, InstrumentCacheFollowsCurrentRegistry) {
+  struct Probe {
+    obs::Counter hits;
+    explicit Probe(obs::MetricsRegistry& registry)
+        : hits(registry.counter("mgrid_test_probe_total")) {}
+  };
+  obs::ScopedEnable telemetry(true);
+  obs::MetricsRegistry registry_a;
+  obs::MetricsRegistry registry_b;
+  {
+    obs::ScopedRegistry scoped(registry_a);
+    obs::instruments<Probe>().hits.inc();
+    obs::instruments<Probe>().hits.inc();
+  }
+  {
+    obs::ScopedRegistry scoped(registry_b);
+    obs::instruments<Probe>().hits.inc();
+  }
+  EXPECT_DOUBLE_EQ(
+      registry_a.snapshot().find("mgrid_test_probe_total")->value, 2.0);
+  EXPECT_DOUBLE_EQ(
+      registry_b.snapshot().find("mgrid_test_probe_total")->value, 1.0);
+}
+
+}  // namespace
+}  // namespace mgrid

@@ -1,0 +1,84 @@
+#include "sweep/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::sweep {
+namespace {
+
+scenario::ExperimentResult result_with(double transmitted, double rmse) {
+  scenario::ExperimentResult result;
+  result.total_transmitted = static_cast<std::uint64_t>(transmitted);
+  result.rmse_overall = rmse;
+  return result;
+}
+
+SweepSpec one_cell_spec(std::size_t replicates) {
+  SweepSpec spec;
+  spec.base.duration = 10.0;
+  spec.replicates = replicates;
+  return spec;
+}
+
+TEST(Aggregate, MetricNamesAndValuesAlign) {
+  const scenario::ExperimentResult result = result_with(100, 2.5);
+  const std::vector<double> values = aggregate_metric_values(result);
+  ASSERT_EQ(values.size(), aggregate_metric_names().size());
+  EXPECT_DOUBLE_EQ(values[0], 100.0);  // total_transmitted leads
+}
+
+TEST(Aggregate, SummaryFromRunningStats) {
+  stats::RunningStats stats;
+  stats.add(10.0);
+  stats.add(14.0);
+  const MetricSummary summary = MetricSummary::from(stats);
+  EXPECT_DOUBLE_EQ(summary.mean, 12.0);
+  // Sample stddev of {10, 14} = sqrt(8); ci95 = 1.96 * stddev / sqrt(2).
+  EXPECT_NEAR(summary.stddev, std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(summary.ci95, 1.96 * std::sqrt(8.0) / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Aggregate, SingleReplicateHasZeroSpread) {
+  stats::RunningStats stats;
+  stats.add(5.0);
+  const MetricSummary summary = MetricSummary::from(stats);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
+}
+
+TEST(Aggregate, CollapsesReplicatesPerCell) {
+  const SweepSpec spec = one_cell_spec(3);
+  const std::vector<SweepCell> cells = expand_cells(spec);
+  const std::vector<SweepJob> jobs = expand_jobs(spec);
+  const std::vector<scenario::ExperimentResult> results = {
+      result_with(90, 2.0), result_with(100, 3.0), result_with(110, 4.0)};
+
+  const std::vector<CellAggregate> aggregates =
+      aggregate_cells(cells, jobs, results);
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_EQ(aggregates[0].replicates, 3u);
+  EXPECT_DOUBLE_EQ(aggregates[0].metric("total_transmitted").mean, 100.0);
+  EXPECT_DOUBLE_EQ(aggregates[0].metric("rmse_overall").mean, 3.0);
+  EXPECT_NEAR(aggregates[0].metric("total_transmitted").stddev, 10.0, 1e-12);
+}
+
+TEST(Aggregate, UnknownMetricNameThrows) {
+  const SweepSpec spec = one_cell_spec(1);
+  const std::vector<CellAggregate> aggregates = aggregate_cells(
+      expand_cells(spec), expand_jobs(spec), {result_with(1, 1.0)});
+  EXPECT_THROW((void)aggregates[0].metric("not_a_metric"),
+               std::out_of_range);
+}
+
+TEST(Aggregate, SizeMismatchThrows) {
+  const SweepSpec spec = one_cell_spec(2);
+  EXPECT_THROW(aggregate_cells(expand_cells(spec), expand_jobs(spec),
+                               {result_with(1, 1.0)}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mgrid::sweep

