@@ -1,27 +1,34 @@
 // Telemetry overhead guard.
 //
 // Runs the Fig. 4 experiment loop with telemetry off, with the metrics
-// registry on, and with metrics + tracing on, and reports the wall-clock
-// overhead of each against the disabled baseline. Also measures the raw cost
-// of a disabled handle operation (one relaxed atomic load) — the price every
-// instrumented hot path pays when nothing is listening.
+// registry on, with metrics + tracing on, and with the per-LU event log
+// capturing (both the always-on sampled flight-recorder configuration and
+// full capture), and reports the wall-clock overhead of each against the
+// disabled baseline. Also measures the raw cost of a disabled handle
+// operation (one relaxed atomic load) — the price every instrumented hot
+// path pays when nothing is listening — and of a disabled eventlog guard.
 //
 // Keys: duration [120] reps [3] strict [false] json_out [path]
 //
 // json_out writes BENCH_obs_overhead.json: a "guarded" section
-// (metrics_overhead_pct, disabled_op_ns — lower is better; the CI
-// regression gate compares them against a checked-in baseline) plus
+// (metrics_overhead_pct, eventlog_overhead_pct for the sampled
+// configuration, eventlog_full_overhead_pct, disabled_op_ns,
+// eventlog_disabled_op_ns — lower is better; the CI regression gate
+// compares them against a checked-in baseline) plus a "limits" section of
+// absolute ceilings the gate enforces even without a baseline, plus
 // informational wall times.
 //
-// With strict=true the bench exits non-zero when the enabled pipeline costs
+// With strict=true the bench exits non-zero when the enabled pipelines cost
 // more than 5% or a disabled handle op more than 8 ns — a couple of cycles
 // even on a slow core, and ≲1% of a microsecond-scale event handler; timing
 // noise makes these assertions advisory by default.
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "bench/common.h"
@@ -43,29 +50,80 @@ struct Mode {
   const char* name;
   bool metrics;
   bool tracing;
+  /// 0 = no event log; otherwise the sampling stride (1 = every MN).
+  std::uint32_t eventlog_sample;
 };
 
-/// Best-of-`reps` per mode, with the modes interleaved inside each rep (and
-/// one untimed warmup first) so page-cache warmup and machine drift hit every
-/// mode equally instead of biasing whichever phase ran first.
-std::vector<double> interleaved_best(int reps,
-                                     const scenario::ExperimentOptions& options,
-                                     const std::vector<Mode>& modes) {
+struct ModeTiming {
+  double best_wall = 0.0;    ///< Fastest rep (informational).
+  double overhead_pct = 0.0; ///< Median of per-rep paired overheads vs off.
+};
+
+/// Times every mode `reps` times (one untimed warmup first). Each timed run
+/// of mode m is immediately preceded by a fresh telemetry-off run, and the
+/// overhead sample is the ratio of that back-to-back pair — adjacent in
+/// time, so slow machine drift (CPU frequency, noisy neighbors) cancels
+/// instead of biasing whichever mode ran later. The reported overhead is
+/// the median across reps, which a single descheduled pair cannot move.
+std::vector<ModeTiming> paired_timings(
+    int reps, const scenario::ExperimentOptions& options,
+    const std::vector<Mode>& modes) {
   (void)run_once(options);  // warmup
-  std::vector<double> best(modes.size(), 0.0);
+  std::vector<std::unique_ptr<obs::EventLog>> logs(modes.size());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    if (modes[m].eventlog_sample == 0) continue;
+    obs::EventLogOptions log_options;
+    log_options.sample_every = modes[m].eventlog_sample;
+    logs[m] = std::make_unique<obs::EventLog>(log_options);
+  }
+  const auto run_mode = [&](std::size_t m) {
+    obs::set_enabled(modes[m].metrics);
+    obs::TraceRecorder::global().set_enabled(modes[m].tracing);
+    obs::MetricsRegistry::global().reset();
+    obs::TraceRecorder::global().clear();
+    scenario::ExperimentOptions run_options = options;
+    if (logs[m] != nullptr) {
+      logs[m]->clear();
+      run_options.event_log = logs[m].get();
+    }
+    return run_once(run_options);
+  };
+
+  std::vector<ModeTiming> out(modes.size());
+  std::vector<std::vector<double>> pct(modes.size());
+  double best_off = 0.0;
   for (int r = 0; r < reps; ++r) {
-    for (std::size_t m = 0; m < modes.size(); ++m) {
-      obs::set_enabled(modes[m].metrics);
-      obs::TraceRecorder::global().set_enabled(modes[m].tracing);
-      obs::MetricsRegistry::global().reset();
-      obs::TraceRecorder::global().clear();
-      const double t = run_once(options);
-      if (r == 0 || t < best[m]) best[m] = t;
+    for (std::size_t m = 1; m < modes.size(); ++m) {
+      // Alternate which member of the pair runs first: clock-frequency
+      // drift within an invocation is monotone, so a fixed off-then-on
+      // order would bias every ratio the same way.
+      const bool off_first = ((r + static_cast<int>(m)) % 2) == 0;
+      double off;
+      double on;
+      if (off_first) {
+        off = run_mode(0);
+        on = run_mode(m);
+      } else {
+        on = run_mode(m);
+        off = run_mode(0);
+      }
+      if (best_off == 0.0 || off < best_off) best_off = off;
+      if (out[m].best_wall == 0.0 || on < out[m].best_wall) {
+        out[m].best_wall = on;
+      }
+      pct[m].push_back(100.0 * (on / off - 1.0));
     }
   }
   obs::set_enabled(false);
   obs::TraceRecorder::global().set_enabled(false);
-  return best;
+
+  out[0].best_wall = best_off;
+  for (std::size_t m = 1; m < modes.size(); ++m) {
+    std::nth_element(pct[m].begin(), pct[m].begin() + pct[m].size() / 2,
+                     pct[m].end());
+    out[m].overhead_pct = pct[m][pct[m].size() / 2];
+  }
+  return out;
 }
 
 /// ns per disabled Counter::inc (the single relaxed atomic load).
@@ -75,6 +133,23 @@ double disabled_op_ns() {
   constexpr std::uint64_t kOps = 50'000'000;
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < kOps; ++i) counter.inc();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return 1e9 * seconds / static_cast<double>(kOps);
+}
+
+/// ns per disabled eventlog guard — the exact pattern every instrumented
+/// pipeline stage compiles to when no log is installed: one relaxed load
+/// plus a never-taken branch.
+double eventlog_disabled_op_ns() {
+  constexpr std::uint64_t kOps = 50'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    if (obs::eventlog_enabled()) [[unlikely]] {
+      obs::evt::threshold(static_cast<double>(i));
+    }
+  }
   const double seconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -93,26 +168,36 @@ int main(int argc, char** argv) {
   std::cout << "=== telemetry overhead (fig4 loop, " << args.base.duration
             << " s sim, best of " << reps << ") ===\n";
 
-  const std::vector<Mode> modes = {{"telemetry off", false, false},
-                                   {"metrics on", true, false},
-                                   {"metrics + tracing", true, true}};
-  const std::vector<double> best = interleaved_best(reps, args.base, modes);
-  const double off = best[0];
-  const double metrics_on = best[1];
-  const double tracing_on = best[2];
+  // The sampled row is the always-on flight-recorder configuration (1-in-16
+  // nodes) whose overhead CI caps absolutely at 5%; full capture is a
+  // debugging setting tracked against the baseline only.
+  constexpr std::uint32_t kSampledStride = 16;
+  const std::vector<Mode> modes = {
+      {"telemetry off", false, false, 0},
+      {"metrics on", true, false, 0},
+      {"metrics + tracing", true, true, 0},
+      {"eventlog sampled 1/16", false, false, kSampledStride},
+      {"eventlog full", false, false, 1}};
+  const std::vector<ModeTiming> timing = paired_timings(reps, args.base, modes);
+  const double off = timing[0].best_wall;
+  const double metrics_pct = timing[1].overhead_pct;
+  const double tracing_pct = timing[2].overhead_pct;
+  const double eventlog_sampled_pct = timing[3].overhead_pct;
+  const double eventlog_full_pct = timing[4].overhead_pct;
   const double op_ns = disabled_op_ns();
-
-  const double metrics_pct = 100.0 * (metrics_on / off - 1.0);
-  const double tracing_pct = 100.0 * (tracing_on / off - 1.0);
+  const double eventlog_op_ns = eventlog_disabled_op_ns();
 
   stats::Table table({"mode", "wall (s)", "overhead"});
   table.add_row({"telemetry off", stats::format_double(off, 3), "baseline"});
-  table.add_row({"metrics on", stats::format_double(metrics_on, 3),
-                 stats::format_double(metrics_pct, 2) + " %"});
-  table.add_row({"metrics + tracing", stats::format_double(tracing_on, 3),
-                 stats::format_double(tracing_pct, 2) + " %"});
+  for (std::size_t m = 1; m < modes.size(); ++m) {
+    table.add_row({modes[m].name, stats::format_double(timing[m].best_wall, 3),
+                   stats::format_double(timing[m].overhead_pct, 2) + " %"});
+  }
   table.write_pretty(std::cout);
   std::cout << "disabled handle op: " << stats::format_double(op_ns, 3)
+            << " ns (relaxed atomic load)\n";
+  std::cout << "disabled eventlog guard: "
+            << stats::format_double(eventlog_op_ns, 3)
             << " ns (relaxed atomic load)\n";
 
   const std::string json_out = config.get_string("json_out", "");
@@ -124,12 +209,25 @@ int main(int argc, char** argv) {
     json.field("sim_duration", args.base.duration);
     json.key("guarded").begin_object();
     json.field("metrics_overhead_pct", std::max(0.0, metrics_pct));
+    json.field("eventlog_overhead_pct", std::max(0.0, eventlog_sampled_pct));
+    json.field("eventlog_full_overhead_pct", std::max(0.0, eventlog_full_pct));
     json.field("disabled_op_ns", op_ns);
+    json.field("eventlog_disabled_op_ns", eventlog_op_ns);
+    json.end_object();
+    // Absolute ceilings enforced by ci/check_bench_regression.py even when
+    // no baseline is checked in. The ceiling applies to the always-on
+    // sampled configuration; full capture is baseline-tracked only.
+    json.key("limits").begin_object();
+    json.field("eventlog_overhead_pct", 5.0);
     json.end_object();
     json.key("info").begin_object();
     json.field("wall_seconds_off", off);
-    json.field("wall_seconds_metrics", metrics_on);
-    json.field("wall_seconds_tracing", tracing_on);
+    json.field("wall_seconds_metrics", timing[1].best_wall);
+    json.field("wall_seconds_tracing", timing[2].best_wall);
+    json.field("wall_seconds_eventlog_sampled", timing[3].best_wall);
+    json.field("wall_seconds_eventlog_full", timing[4].best_wall);
+    json.field("eventlog_sample_stride",
+               static_cast<std::uint64_t>(kSampledStride));
     json.field("tracing_overhead_pct", std::max(0.0, tracing_pct));
     json.end_object();
     json.end_object();
@@ -144,12 +242,22 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: metrics overhead " << metrics_pct << "% > 5%\n";
       ok = false;
     }
+    if (eventlog_sampled_pct > 5.0) {
+      std::cerr << "FAIL: sampled eventlog overhead " << eventlog_sampled_pct
+                << "% > 5%\n";
+      ok = false;
+    }
     if (op_ns > 8.0) {
       std::cerr << "FAIL: disabled op " << op_ns << " ns > 8 ns\n";
       ok = false;
     }
+    if (eventlog_op_ns > 8.0) {
+      std::cerr << "FAIL: disabled eventlog guard " << eventlog_op_ns
+                << " ns > 8 ns\n";
+      ok = false;
+    }
     if (!ok) return EXIT_FAILURE;
-    std::cout << "strict bounds hold (metrics <= 5%, disabled op <= 8 ns)\n";
+    std::cout << "strict bounds hold (pipelines <= 5%, disabled ops <= 8 ns)\n";
   }
   return 0;
 }

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Bench regression gate for the CI smoke job.
 
-Compares the "guarded" section of a freshly produced BENCH_*.json
-(mgrid-bench-v1, written by bench_obs_overhead json_out= /
-bench_sweep_scaling json_out=) against a checked-in baseline with the same
-name under ci/baselines/. Every guarded value is lower-is-better; the gate
-fails when current > baseline * (1 + threshold).
+Two checks per freshly produced BENCH_*.json (mgrid-bench-v1, written by
+bench_obs_overhead json_out= / bench_sweep_scaling json_out=):
 
-When no baseline exists the gate passes with a note — drop a blessed
-BENCH_*.json into ci/baselines/ to arm it.
+1. Absolute limits: when the document carries a "limits" section, every
+   guarded value named there must stay at or below its ceiling. This runs
+   unconditionally — no baseline required — so hard budgets (e.g. the
+   eventlog-enabled overhead must stay under 5%) hold from the first CI run.
+2. Baseline compare: the "guarded" section is compared against a checked-in
+   baseline with the same name under ci/baselines/. Every guarded value is
+   lower-is-better; the gate fails when current > baseline * (1 + threshold).
+   When no baseline exists this part passes with a note — drop a blessed
+   BENCH_*.json into ci/baselines/ to arm it.
 
 Usage: check_bench_regression.py [--threshold 0.20] [--baseline-dir DIR]
                                  current.json [current2.json ...]
@@ -30,16 +34,39 @@ def load(path):
     return doc
 
 
+def check_limits(current_path, current):
+    """Enforces the document's own absolute ceilings; no baseline needed."""
+    failures = []
+    guarded = current.get("guarded", {})
+    for name, ceiling in sorted(current.get("limits", {}).items()):
+        if name not in guarded:
+            print(f"  {current_path}: limit {name} has no guarded value — skipped")
+            continue
+        value = guarded[name]
+        status = "ok"
+        if value > ceiling:
+            status = "OVER LIMIT"
+            failures.append(
+                f"{current_path}: {name} = {value:.6g} > "
+                f"absolute limit {ceiling:.6g}"
+            )
+        print(
+            f"  {current_path}: {name} = {value:.6g} "
+            f"(absolute limit {ceiling:.6g}) {status}"
+        )
+    return failures
+
+
 def check_one(current_path, baseline_dir, threshold):
     """Returns a list of failure strings (empty = pass)."""
     current = load(current_path)
+    failures = check_limits(current_path, current)
     baseline_path = os.path.join(baseline_dir, os.path.basename(current_path))
     if not os.path.exists(baseline_path):
         print(f"  {current_path}: no baseline at {baseline_path} — skipped")
-        return []
+        return failures
     baseline = load(baseline_path)
 
-    failures = []
     guarded = current.get("guarded", {})
     baseline_guarded = baseline.get("guarded", {})
     for name, value in sorted(guarded.items()):

@@ -11,12 +11,31 @@
 // Usage: campus_watch [duration=90] [interval=30] [dth_factor=1.25]
 //                     [estimator=brown_polar] [columns=110]
 //                     [--metrics-out=m.prom] [--trace-out=t.json]
+//                     [--eventlog-out=watch.jsonl] [--eventlog-sample=1]
 #include <iostream>
 #include <optional>
 
 #include "mobilegrid/mobilegrid.h"
 
 using namespace mgrid;
+
+namespace {
+
+char region_code(const geo::CampusMap& campus, geo::Vec2 p) {
+  const std::optional<RegionId> region = campus.locate(p);
+  if (!region) return '?';
+  switch (campus.region(*region).kind()) {
+    case geo::RegionKind::kRoad:
+      return 'R';
+    case geo::RegionKind::kBuilding:
+      return 'B';
+    case geo::RegionKind::kGate:
+      return 'G';
+  }
+  return '?';
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Config config =
@@ -30,11 +49,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(config.get_int("columns", 110));
   const std::string metrics_out = config.get_string("metrics_out", "");
   const std::string trace_out = config.get_string("trace_out", "");
+  const std::string eventlog_out = config.get_string("eventlog_out", "");
 
   // The watch drives its own loop (no federation), so install the loop
   // variable as the sim clock for log lines and trace events. Telemetry
-  // records into a watch-local registry (global() stays untouched) — the
-  // same injected-registry path the sweep engine uses.
+  // records into watch-local sinks (globals stay untouched) — the same
+  // injected-registry/recorder/log path the sweep engine uses.
   double sim_now = 0.0;
   obs::MetricsRegistry metrics_registry;
   std::optional<obs::ScopedRegistry> scoped_registry;
@@ -43,9 +63,21 @@ int main(int argc, char** argv) {
     scoped_registry.emplace(metrics_registry);
     util::Logger::instance().set_clock([&sim_now] { return sim_now; });
   }
+  obs::TraceRecorder tracer;
+  std::optional<obs::ScopedTraceRecorder> scoped_tracer;
   if (!trace_out.empty()) {
-    obs::TraceRecorder::global().set_enabled(true);
-    obs::TraceRecorder::global().set_clock([&sim_now] { return sim_now; });
+    tracer.set_enabled(true);
+    tracer.set_clock([&sim_now] { return sim_now; });
+    scoped_tracer.emplace(tracer);
+  }
+  std::optional<obs::EventLog> event_log;
+  std::optional<obs::ScopedEventLog> scoped_event_log;
+  if (!eventlog_out.empty()) {
+    obs::EventLogOptions log_options;
+    log_options.sample_every = static_cast<std::uint32_t>(
+        config.get_int("eventlog_sample", 1));
+    event_log.emplace(log_options);
+    scoped_event_log.emplace(*event_log);
   }
 
   const geo::CampusMap campus = geo::CampusMap::default_campus();
@@ -59,6 +91,18 @@ int main(int argc, char** argv) {
   broker::GridBroker broker(estimation::make_estimator(estimator));
   geo::AsciiMapRenderer renderer(campus, columns);
 
+  if (event_log) {
+    obs::EventLogRunInfo info;
+    info.duration = duration;
+    info.sample_period = 1.0;
+    info.bucket_width = 1.0;
+    info.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+    info.filter = "adf";
+    info.estimator = estimator;
+    info.scoring = "watch";
+    event_log->set_run_info(info);
+  }
+
   std::cout << "campus watch: " << workload.size() << " MNs, ADF "
             << dth_factor << " av, estimator " << estimator << "\n";
 
@@ -67,12 +111,26 @@ int main(int argc, char** argv) {
   std::uint64_t window_samples = 0;
   for (double t = 1.0; t <= duration; t += 1.0) {
     sim_now = t;
-    auto frame_span = obs::TraceRecorder::global().span("tick", "watch");
+    auto frame_span = obs::current_trace_recorder().span("tick", "watch");
     for (int i = 0; i < 10; ++i) workload.step_all(0.1);
+    const bool eventlog = obs::eventlog_enabled();
     std::vector<MnId> reported_now;
     for (const auto& node : workload.nodes()) {
+      const auto mn = static_cast<std::uint32_t>(node.id().value());
+      if (eventlog) {
+        obs::evt::sample(mn, t, node.position().x, node.position().y,
+                         region_code(campus, node.position()));
+      }
       const core::FilterDecision decision =
           adf.process(node.id(), t, node.position());
+      if (eventlog) {
+        obs::evt::verdict(mn, t, decision.transmit, decision.moved,
+                          decision.dth,
+                          decision.cluster.valid()
+                              ? static_cast<std::int64_t>(
+                                    decision.cluster.value())
+                              : -1);
+      }
       ++window_samples;
       if (decision.transmit) {
         broker.on_location_update(node.id(), t, node.position(),
@@ -81,6 +139,7 @@ int main(int argc, char** argv) {
         ++window_tx;
       }
     }
+    if (eventlog) obs::evt::clear_cursor();
     broker.on_tick(t);
 
     if (t + 1e-9 >= next_frame) {
@@ -116,11 +175,15 @@ int main(int argc, char** argv) {
     std::cout << "\nmetrics snapshot written to " << metrics_out << '\n';
   }
   if (!trace_out.empty()) {
-    obs::TraceRecorder::global().set_clock(nullptr);
-    obs::write_text_file(trace_out,
-                         obs::TraceRecorder::global().to_chrome_json());
+    tracer.set_clock(nullptr);
+    obs::write_text_file(trace_out, tracer.to_chrome_json());
     std::cout << "trace written to " << trace_out
               << " (load in ui.perfetto.dev)\n";
+  }
+  if (event_log) {
+    obs::write_eventlog_file(eventlog_out, *event_log);
+    std::cout << "event log written to " << eventlog_out << " ("
+              << event_log->recorded() << " records)\n";
   }
   util::Logger::instance().set_clock(nullptr);
   return 0;

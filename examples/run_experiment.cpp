@@ -20,8 +20,11 @@
 // Telemetry (flag spellings also accepted, e.g. --metrics-out=m.prom):
 //   metrics_out [path: registry snapshot; .json/.csv/else Prometheus text]
 //   trace_out   [path: Chrome/Perfetto trace_event JSON]
+//   eventlog_out    [path: per-LU decision flight recorder; .csv else JSONL]
+//   eventlog_sample [1 = every MN; N records MNs with id % N == 0]
 //   log_level   [warn|trace|debug|info|error|off]
 #include <iostream>
+#include <optional>
 
 #include "mobilegrid/mobilegrid.h"
 
@@ -94,8 +97,24 @@ int main(int argc, char** argv) {
     obs::set_enabled(true);
     options.registry = &metrics_registry;
   }
+  obs::TraceRecorder tracer;
   if (!trace_out.empty()) {
-    obs::TraceRecorder::global().set_enabled(true);
+    tracer.set_enabled(true);
+    options.tracer = &tracer;
+  }
+
+  // Flight recorder: one LuDecisionRecord per MN per tick, written as
+  // versioned JSONL/CSV for offline analysis with mgrid_analyze.
+  const std::string eventlog_out = config.get_string("eventlog_out", "");
+  std::optional<obs::EventLog> event_log;
+  if (!eventlog_out.empty()) {
+    obs::EventLogOptions log_options;
+    log_options.sample_every = static_cast<std::uint32_t>(
+        config.get_int("eventlog_sample", 1));
+    log_options.capacity = static_cast<std::size_t>(
+        config.get_int("eventlog_capacity", 1 << 20));
+    event_log.emplace(log_options);
+    options.event_log = &*event_log;
   }
 
   const scenario::ExperimentResult result = scenario::run_experiment(options);
@@ -188,10 +207,18 @@ int main(int argc, char** argv) {
     std::cout << "\nmetrics snapshot written to " << metrics_out << '\n';
   }
   if (!trace_out.empty()) {
-    obs::write_text_file(trace_out,
-                         obs::TraceRecorder::global().to_chrome_json());
+    obs::write_text_file(trace_out, tracer.to_chrome_json());
     std::cout << "trace written to " << trace_out
               << " (load in ui.perfetto.dev)\n";
+  }
+  if (event_log) {
+    obs::write_eventlog_file(eventlog_out, *event_log);
+    std::cout << "event log written to " << eventlog_out << " ("
+              << event_log->recorded() << " records";
+    if (event_log->dropped() > 0) {
+      std::cout << ", " << event_log->dropped() << " dropped";
+    }
+    std::cout << ")\n";
   }
   return 0;
 }

@@ -18,10 +18,14 @@
 //   loss [0] campus_blocks [0] cluster_alpha [0.8] recluster [30]
 //   jobs           [0 = hardware concurrency] worker threads
 //   out_dir        ["" = don't write artifacts]
+//   eventlog_dir   ["" = off] write one per-LU event log (JSONL) per job;
+//                  byte-identical for any jobs= value
+//   eventlog_sample [1] sampling stride for the captured logs
 //   baseline       [path to a prior sweep.json for an A/B comparison]
 //   fail_threshold [0 = report only] exit 1 when any per-cell mean moved
 //                  more than this fraction vs the baseline
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +46,12 @@ int main(int argc, char** argv) {
   const sweep::SweepSpec spec = sweep::spec_from_config(config);
   sweep::EngineOptions engine;
   engine.jobs = static_cast<std::size_t>(config.get_int("jobs", 0));
+  const std::string eventlog_dir = config.get_string("eventlog_dir", "");
+  if (!eventlog_dir.empty()) {
+    engine.eventlog = true;
+    engine.eventlog_sample = static_cast<std::uint32_t>(
+        config.get_int("eventlog_sample", 1));
+  }
 
   std::cout << "sweep: " << spec.cell_count() << " cells x "
             << spec.replicates << " replicates = " << spec.job_count()
@@ -64,6 +74,25 @@ int main(int argc, char** argv) {
          stats::format_double(aggregate.metric("rmse_overall").mean, 3)});
   }
   summary.write_pretty(std::cout);
+
+  if (!eventlog_dir.empty()) {
+    std::filesystem::create_directories(eventlog_dir);
+    for (std::size_t i = 0; i < outcome.jobs.size(); ++i) {
+      const sweep::SweepJob& job = outcome.jobs[i];
+      const std::filesystem::path path =
+          std::filesystem::path(eventlog_dir) /
+          ("cell" + std::to_string(job.cell) + "_rep" +
+           std::to_string(job.replicate) + ".jsonl");
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::cerr << "cannot write event log: " << path << '\n';
+        return 1;
+      }
+      out << outcome.eventlogs[i];
+    }
+    std::cout << "\nevent logs: " << outcome.jobs.size() << " files in "
+              << eventlog_dir << '\n';
+  }
 
   const std::string out_dir = config.get_string("out_dir", "");
   if (!out_dir.empty()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 
 namespace mgrid::broker {
@@ -63,15 +64,22 @@ void GridBroker::on_tick(SimTime t) {
     broker_metrics().db_size.set(static_cast<double>(db_.size()));
   }
   if (prototype_ == nullptr) return;  // view stays at the last fix
+  const bool eventlog = obs::eventlog_enabled();
   for (auto& [mn, estimator] : estimators_) {
     auto last = last_update_time_.find(mn);
     if (last != last_update_time_.end() && last->second >= t) {
       continue;  // reported this tick; the view is already fresh
     }
+    // Point the eventlog cursor at this MN's tick record so the estimator
+    // chain (horizon clamp, map matcher) can annotate what it did.
+    if (eventlog) {
+      obs::evt::set_cursor(static_cast<std::uint32_t>(mn.value()), t);
+    }
     db_.record_estimate(mn, t, estimator->estimate(t));
     ++stats_.estimates_made;
     if (obs::enabled()) broker_metrics().estimates.inc();
   }
+  if (eventlog) obs::evt::clear_cursor();
 }
 
 double GridBroker::battery_fraction(MnId mn) const {

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::broker {
 
 const std::deque<LocationFix> LocationDb::kEmptyHistory{};
@@ -30,6 +32,9 @@ void LocationDb::record_update(MnId mn, SimTime t, geo::Vec2 position,
   entry.record.last_reported = fix;
   entry.record.current_view = fix;
   push_history(entry, fix);
+  if (obs::eventlog_enabled()) {
+    obs::evt::broker_received(static_cast<std::uint32_t>(mn.value()), t);
+  }
 }
 
 void LocationDb::record_estimate(MnId mn, SimTime t, geo::Vec2 position) {
@@ -41,6 +46,9 @@ void LocationDb::record_estimate(MnId mn, SimTime t, geo::Vec2 position) {
   const LocationFix fix{t, position, {}, /*estimated=*/true};
   it->second.record.current_view = fix;
   push_history(it->second, fix);
+  if (obs::eventlog_enabled()) {
+    obs::evt::broker_estimated(static_cast<std::uint32_t>(mn.value()), t);
+  }
 }
 
 bool LocationDb::knows(MnId mn) const noexcept {

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 
 namespace mgrid::core {
@@ -123,6 +124,7 @@ FilterDecision AdaptiveDistanceFilter::update_dth(MnId mn, SimTime t,
   }
   current_dth_[mn] = decision.dth;
   decision.transmit = true;
+  if (obs::eventlog_enabled()) obs::evt::threshold(decision.dth);
   if (obs::enabled()) {
     AdfMetrics& metrics = adf_metrics();
     metrics.dth_meters.observe(decision.dth);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/eventlog.h"
 #include "stats/running_stats.h"
 
 namespace mgrid::core {
@@ -87,20 +88,25 @@ MotionFeatures MobilityClassifier::features(MnId mn) const {
 
 mobility::MobilityPattern MobilityClassifier::classify(MnId mn) const {
   const MotionFeatures f = features(mn);
+  mobility::MobilityPattern pattern = mobility::MobilityPattern::kLinear;
   // Fig. 2, line 1: V_mn == 0 -> Stop.
   if (f.samples < 2 || f.mean_speed < params_.stop_epsilon) {
-    return mobility::MobilityPattern::kStop;
+    pattern = mobility::MobilityPattern::kStop;
+  } else if (f.mean_speed > params_.walk_velocity) {
+    // Fig. 2: V_mn > V_walk -> running / vehicle -> Linear.
+    pattern = mobility::MobilityPattern::kLinear;
+  } else if (f.heading_change_stddev > params_.heading_change_threshold ||
+             f.speed_cv() > params_.speed_cv_threshold) {
+    // Walking: frequent velocity or direction change -> Random.
+    pattern = mobility::MobilityPattern::kRandom;
   }
-  // Fig. 2: V_mn > V_walk -> running / vehicle -> Linear.
-  if (f.mean_speed > params_.walk_velocity) {
-    return mobility::MobilityPattern::kLinear;
+  if (obs::eventlog_enabled()) {
+    obs::evt::classified(pattern == mobility::MobilityPattern::kStop  ? 'S'
+                         : pattern == mobility::MobilityPattern::kRandom
+                             ? 'R'
+                             : 'L');
   }
-  // Walking: frequent velocity or direction change -> Random.
-  if (f.heading_change_stddev > params_.heading_change_threshold ||
-      f.speed_cv() > params_.speed_cv_threshold) {
-    return mobility::MobilityPattern::kRandom;
-  }
-  return mobility::MobilityPattern::kLinear;
+  return pattern;
 }
 
 void MobilityClassifier::forget(MnId mn) { windows_.erase(mn); }

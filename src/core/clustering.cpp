@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::core {
 
 SequentialClusterer::SequentialClusterer(ClusteringParams params)
@@ -93,13 +95,19 @@ ClusterId SequentialClusterer::assign(MnId mn,
   ClusterState* nearest = find_nearest(f, &nearest_distance);
   const bool cap_reached =
       params_.max_clusters != 0 && cluster_count() >= params_.max_clusters;
+  ClusterId id;
   if (nearest != nullptr &&
       (nearest_distance <= params_.alpha || cap_reached)) {
     add_member(*nearest, mn, f);
-    return nearest->info.id;
+    id = nearest->info.id;
+  } else {
+    id = create_cluster(f);
+    add_member(*clusters_[id.value()], mn, f);
   }
-  const ClusterId id = create_cluster(f);
-  add_member(*clusters_[id.value()], mn, f);
+  if (obs::eventlog_enabled()) {
+    obs::evt::clustered(static_cast<std::int64_t>(id.value()),
+                        clusters_[id.value()]->info.centroid.speed);
+  }
   return id;
 }
 

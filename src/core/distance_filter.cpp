@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::core {
 
 DistanceFilter::Decision DistanceFilter::apply(MnId mn, geo::Vec2 position,
@@ -15,15 +17,18 @@ DistanceFilter::Decision DistanceFilter::apply(MnId mn, geo::Vec2 position,
   auto [it, inserted] = anchors_.try_emplace(mn, position);
   if (inserted) {
     ++transmitted_;
+    if (obs::eventlog_enabled()) obs::evt::df_outcome(true, 0.0, true);
     return Decision{true, 0.0};
   }
   const double moved = geo::distance(it->second, position);
   if (moved > dth) {
     it->second = position;
     ++transmitted_;
+    if (obs::eventlog_enabled()) obs::evt::df_outcome(true, moved, false);
     return Decision{true, moved};
   }
   ++filtered_;
+  if (obs::eventlog_enabled()) obs::evt::df_outcome(false, moved, false);
   return Decision{false, moved};
 }
 

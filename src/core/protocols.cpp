@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::core {
 
 // ---------------------------------------------------------------------------
@@ -70,6 +72,7 @@ FilterDecision BoundedSilenceFilter::process(MnId mn, SimTime t,
     decision.transmit = true;
     ++forced_;
     ++transmitted_;
+    if (obs::eventlog_enabled()) obs::evt::forced_refresh();
     return decision;
   }
   ++filtered_;

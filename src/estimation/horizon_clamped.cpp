@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::estimation {
 
 HorizonClampedEstimator::HorizonClampedEstimator(
@@ -27,7 +29,9 @@ void HorizonClampedEstimator::observe(SimTime t, geo::Vec2 position,
 
 geo::Vec2 HorizonClampedEstimator::estimate(SimTime t) const {
   if (!has_fix_) return inner_->estimate(t);
-  return inner_->estimate(std::min(t, last_time_ + horizon_));
+  const SimTime clamped = std::min(t, last_time_ + horizon_);
+  if (clamped < t && obs::eventlog_enabled()) obs::evt::estimate_clamped();
+  return inner_->estimate(clamped);
 }
 
 void HorizonClampedEstimator::reset() {

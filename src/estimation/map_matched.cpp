@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::estimation {
 
 MapMatchedEstimator::MapMatchedEstimator(
@@ -49,6 +51,7 @@ geo::Vec2 MapMatchedEstimator::estimate(SimTime t) const {
   const std::optional<geo::Vec2> snapped = nearest_road_point(raw);
   if (!snapped) return raw;
   if (geo::distance(*snapped, raw) > params_.snap_radius) return raw;
+  if (obs::eventlog_enabled()) obs::evt::estimate_snapped();
   return *snapped;
 }
 

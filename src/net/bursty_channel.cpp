@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::net {
 
 GilbertElliottChannel::GilbertElliottChannel(Params params) : params_(params) {
@@ -28,7 +30,9 @@ bool GilbertElliottChannel::deliver(MnId link, util::RngStream& rng) {
     }
   }
   const double loss = bad ? params_.loss_bad : params_.loss_good;
-  return !rng.chance(loss);
+  const bool delivered = !rng.chance(loss);
+  if (obs::eventlog_enabled()) obs::evt::channel_outcome(delivered);
+  return delivered;
 }
 
 bool GilbertElliottChannel::in_bad_state(MnId link) const noexcept {

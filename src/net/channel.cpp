@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::net {
 
 ChannelModel::ChannelModel(ChannelParams params) : params_(params) {
@@ -17,8 +19,10 @@ ChannelModel::ChannelModel(ChannelParams params) : params_(params) {
 }
 
 bool ChannelModel::deliver(util::RngStream& rng) const {
-  if (params_.loss_probability == 0.0) return true;
-  return !rng.chance(params_.loss_probability);
+  const bool delivered =
+      params_.loss_probability == 0.0 || !rng.chance(params_.loss_probability);
+  if (obs::eventlog_enabled()) obs::evt::channel_outcome(delivered);
+  return delivered;
 }
 
 Duration ChannelModel::latency(util::RngStream& rng) const {

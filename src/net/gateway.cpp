@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 
 namespace mgrid::net {
@@ -78,18 +79,23 @@ GatewayNetwork::AssociationResult GatewayNetwork::update_association(
     MnId mn, geo::Vec2 p) {
   const GatewayId serving = serving_gateway(p);
   auto [it, inserted] = associations_.try_emplace(mn, serving);
+  AssociationResult result{serving, false};
   if (inserted) {
     if (obs::enabled()) {
       gateway_metrics().associations.set(
           static_cast<double>(associations_.size()));
     }
-    return {serving, false};
+  } else if (it->second != serving) {
+    it->second = serving;
+    ++handovers_;
+    result.handover = true;
+    if (obs::enabled()) gateway_metrics().handovers.inc();
   }
-  if (it->second == serving) return {serving, false};
-  it->second = serving;
-  ++handovers_;
-  if (obs::enabled()) gateway_metrics().handovers.inc();
-  return {serving, true};
+  if (obs::eventlog_enabled()) {
+    obs::evt::gateway(static_cast<std::int64_t>(serving.value()),
+                      result.handover);
+  }
+  return result;
 }
 
 std::optional<GatewayId> GatewayNetwork::association(MnId mn) const {

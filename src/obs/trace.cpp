@@ -42,6 +42,8 @@ void TraceRecorder::clear() {
   ring_.clear();
   next_ = 0;
   recorded_ = 0;
+  first_dropped_wall_us_ = 0;
+  last_dropped_wall_us_ = 0;
 }
 
 std::uint64_t TraceRecorder::now_us() const {
@@ -59,6 +61,11 @@ void TraceRecorder::push(TraceEvent event) {
     ring_.push_back(std::move(event));
     next_ = ring_.size() % capacity_;
   } else {
+    // Overwriting the oldest event: remember the wall-clock extent of what
+    // the ring has lost so the export can report the gap.
+    const std::uint64_t lost_wall_us = ring_[next_].wall_us;
+    if (recorded_ == ring_.size()) first_dropped_wall_us_ = lost_wall_us;
+    last_dropped_wall_us_ = lost_wall_us;
     ring_[next_] = std::move(event);
     next_ = (next_ + 1) % capacity_;
   }
@@ -148,9 +155,21 @@ std::uint64_t TraceRecorder::dropped() const {
   return recorded_ - ring_.size();
 }
 
+TraceRecorder::DroppedInfo TraceRecorder::dropped_info() const {
+  std::lock_guard lock(mutex_);
+  DroppedInfo info;
+  info.count = recorded_ - ring_.size();
+  if (info.count > 0) {
+    info.first_wall_us = first_dropped_wall_us_;
+    info.last_wall_us = last_dropped_wall_us_;
+  }
+  return info;
+}
+
 std::string TraceRecorder::to_chrome_json() const {
   const std::vector<TraceEvent> snapshot = events();
-  const std::uint64_t dropped_events = dropped();
+  const DroppedInfo dropped_events_info = dropped_info();
+  const std::uint64_t dropped_events = dropped_events_info.count;
 
   util::JsonWriter json;
   json.begin_object();
@@ -178,9 +197,33 @@ std::string TraceRecorder::to_chrome_json() const {
   json.field("displayTimeUnit", "ms");
   if (dropped_events > 0) {
     json.field("mgrid_dropped_events", dropped_events);
+    json.field("mgrid_dropped_first_wall_us",
+               static_cast<std::uint64_t>(dropped_events_info.first_wall_us));
+    json.field("mgrid_dropped_last_wall_us",
+               static_cast<std::uint64_t>(dropped_events_info.last_wall_us));
   }
   json.end_object();
   return json.str();
+}
+
+namespace {
+thread_local TraceRecorder* t_trace_recorder = nullptr;
+}  // namespace
+
+namespace detail {
+
+TraceRecorder* exchange_current_trace_recorder(
+    TraceRecorder* recorder) noexcept {
+  TraceRecorder* previous = t_trace_recorder;
+  t_trace_recorder = recorder;
+  return previous;
+}
+
+}  // namespace detail
+
+TraceRecorder& current_trace_recorder() noexcept {
+  TraceRecorder* recorder = t_trace_recorder;
+  return recorder != nullptr ? *recorder : TraceRecorder::global();
 }
 
 }  // namespace mgrid::obs

@@ -102,6 +102,15 @@ class TraceRecorder {
   /// Events overwritten because the ring was full.
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Wall-clock extent of the overwritten events, for judging how much of
+  /// the timeline the ring lost. Timestamps are 0 while count is 0.
+  struct DroppedInfo {
+    std::uint64_t count = 0;
+    std::uint64_t first_wall_us = 0;  ///< wall_us of the first overwritten event
+    std::uint64_t last_wall_us = 0;   ///< wall_us of the latest overwritten event
+  };
+  [[nodiscard]] DroppedInfo dropped_info() const;
+
   /// Chrome trace_event JSON ("traceEvents" array form). Each event carries
   /// args.sim_time; dropped-event metadata is attached when relevant.
   [[nodiscard]] std::string to_chrome_json() const;
@@ -118,6 +127,36 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;        // ring slot the next event lands in
   std::uint64_t recorded_ = 0;  // lifetime total
+  std::uint64_t first_dropped_wall_us_ = 0;
+  std::uint64_t last_dropped_wall_us_ = 0;
+};
+
+namespace detail {
+/// Swaps the calling thread's trace-recorder override, returning the
+/// previous one (nullptr = fall back to TraceRecorder::global()).
+TraceRecorder* exchange_current_trace_recorder(TraceRecorder* recorder) noexcept;
+}  // namespace detail
+
+/// The recorder the built-in instrumentation should use on this thread:
+/// the innermost ScopedTraceRecorder install, else the process global.
+/// Mirrors obs::current_registry().
+[[nodiscard]] TraceRecorder& current_trace_recorder() noexcept;
+
+/// RAII per-thread recorder install, mirroring obs::ScopedRegistry: while
+/// alive, current_trace_recorder() on this thread returns `recorder`, so
+/// sweep workers keep their spans out of the global ring.
+class ScopedTraceRecorder {
+ public:
+  explicit ScopedTraceRecorder(TraceRecorder& recorder) noexcept
+      : previous_(detail::exchange_current_trace_recorder(&recorder)) {}
+  ~ScopedTraceRecorder() {
+    detail::exchange_current_trace_recorder(previous_);
+  }
+  ScopedTraceRecorder(const ScopedTraceRecorder&) = delete;
+  ScopedTraceRecorder& operator=(const ScopedTraceRecorder&) = delete;
+
+ private:
+  TraceRecorder* previous_;
 };
 
 }  // namespace mgrid::obs

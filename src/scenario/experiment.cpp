@@ -112,6 +112,25 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
   // duration of this experiment (restored on exit, exception-safe).
   std::optional<obs::ScopedRegistry> scoped_registry;
   if (options.registry != nullptr) scoped_registry.emplace(*options.registry);
+  // Same injection discipline for spans and the per-LU flight recorder:
+  // install for this run, restore on exit. Threaded federation workers
+  // re-install the current thread's recorder/log inside each worker.
+  std::optional<obs::ScopedTraceRecorder> scoped_tracer;
+  if (options.tracer != nullptr) scoped_tracer.emplace(*options.tracer);
+  std::optional<obs::ScopedEventLog> scoped_event_log;
+  if (options.event_log != nullptr) {
+    obs::EventLogRunInfo info;
+    info.duration = options.duration;
+    info.sample_period = options.sample_period;
+    info.bucket_width = options.bucket_width;
+    info.seed = options.seed;
+    info.filter = std::string(to_string(options.filter));
+    info.estimator = options.estimator;
+    info.scoring =
+        options.scoring == ScoringMode::kLogical ? "logical" : "realtime";
+    options.event_log->set_run_info(info);
+    scoped_event_log.emplace(*options.event_log);
+  }
 
   const geo::CampusMap campus =
       options.campus_blocks > 0

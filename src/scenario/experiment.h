@@ -14,7 +14,9 @@
 #include "core/adf.h"
 #include "core/baselines.h"
 #include "net/channel.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/federates.h"
 #include "scenario/workload.h"
 #include "sim/federation.h"
@@ -104,6 +106,18 @@ struct ExperimentOptions {
   /// counters — the sweep engine does exactly that. The registry must
   /// outlive the run_experiment() call.
   obs::MetricsRegistry* registry = nullptr;
+  /// Per-LU decision event log (flight recorder). nullptr disables capture
+  /// entirely (the instrumentation costs one relaxed atomic load); non-null
+  /// installs it for this run via obs::ScopedEventLog — threaded federation
+  /// workers inherit it — and stamps the run info header. Must outlive the
+  /// run_experiment() call.
+  obs::EventLog* event_log = nullptr;
+  /// Trace recorder for this run's spans. nullptr keeps the calling
+  /// thread's current recorder (TraceRecorder::global() unless a
+  /// ScopedTraceRecorder is already installed). The sweep engine injects a
+  /// per-job recorder so concurrent jobs never interleave spans into the
+  /// global ring. Must outlive the run_experiment() call.
+  obs::TraceRecorder* tracer = nullptr;
   /// Metric bucket width, seconds.
   Duration bucket_width = 1.0;
   /// Error accounting (see ScoringMode). kRealTime (default) scores the

@@ -4,7 +4,26 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/eventlog.h"
+
 namespace mgrid::scenario {
+
+namespace {
+
+/// Region kind as the eventlog's single-char code.
+char region_code(geo::RegionKind kind) noexcept {
+  switch (kind) {
+    case geo::RegionKind::kRoad:
+      return 'R';
+    case geo::RegionKind::kBuilding:
+      return 'B';
+    case geo::RegionKind::kGate:
+      return 'G';
+  }
+  return '?';
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // MobilityFederate
@@ -137,9 +156,17 @@ bool MobilityFederate::channel_delivers(MnId mn) {
 }
 
 void MobilityFederate::publish_samples(SimTime t) {
+  const bool eventlog = obs::eventlog_enabled();
   for (const mobility::MobileNode& node : workload_.nodes()) {
     const geo::Vec2 position = node.position();
     const geo::Vec2 velocity = node.velocity();
+    const geo::RegionKind kind = kind_at(position);
+    // Open this sample's eventlog record (and point the thread cursor at
+    // it) before the pipeline stages below annotate their outcomes.
+    if (eventlog) {
+      obs::evt::sample(static_cast<std::uint32_t>(node.id().value()), t,
+                       position.x, position.y, region_code(kind));
+    }
     const auto association =
         gateways_.update_association(node.id(), position);
 
@@ -150,7 +177,7 @@ void MobilityFederate::publish_samples(SimTime t) {
       truth->position = position;
       truth->velocity = velocity;
       truth->sampled_at = t;
-      truth->region_kind = kind_at(position);
+      truth->region_kind = kind;
       send(std::string(kTopicTruth), t + config_.truth_delay,
            std::move(truth));
     }
@@ -163,6 +190,14 @@ void MobilityFederate::publish_samples(SimTime t) {
       // Device-side suppression is still a suppressed LU in the global
       // accounting (the beacon below is control traffic, not the LU).
       accountant_.record_suppressed(t);
+      if (eventlog) {
+        obs::evt::device_suppressed(
+            static_cast<std::uint32_t>(node.id().value()), t,
+            device_filters_[node.id().value()].dth());
+        // The keepalive beacon below is control traffic — detach the
+        // cursor so its channel draw does not annotate the LU record.
+        obs::evt::clear_cursor();
+      }
       // Liveness beacon: a long-silent (but alive) node announces itself.
       if (config_.keepalive_interval > 0.0 && !battery.empty() &&
           t - last_transmission_[node.id().value()] >=
@@ -185,6 +220,10 @@ void MobilityFederate::publish_samples(SimTime t) {
     // Transmitting costs battery; an exhausted device goes dark.
     if (battery.empty()) {
       ++lus_dropped_battery_;
+      if (eventlog) {
+        obs::evt::battery_dead(static_cast<std::uint32_t>(node.id().value()),
+                               t);
+      }
       continue;
     }
     auto lu = std::make_shared<net::LocationUpdate>(node.id(), position,
@@ -203,6 +242,9 @@ void MobilityFederate::publish_samples(SimTime t) {
     send(std::string(net::kTopicLocationUpdate), t, std::move(lu));
     ++lus_published_;
   }
+  // Detach the cursor so later channel draws (job results in run_compute)
+  // cannot annotate the last node's record.
+  if (eventlog) obs::evt::clear_cursor();
 }
 
 void MobilityFederate::on_start(SimTime t0) { publish_samples(t0); }
@@ -327,6 +369,13 @@ void FilterFederate::receive(const sim::Interaction& interaction) {
   accountant_.record(lu->sampled_at, lu->via_gateway, net::Direction::kUplink,
                      *lu);
 
+  // Point the eventlog cursor at this LU's record so the classifier /
+  // clusterer / DTH / distance-test stages annotate the right (mn, t).
+  const bool eventlog = obs::eventlog_enabled();
+  if (eventlog) {
+    obs::evt::set_cursor(static_cast<std::uint32_t>(lu->mn.value()),
+                         lu->sampled_at);
+  }
   core::FilterDecision decision;
   if (device_side_) {
     // Pre-filtered on the device: keep classification/clustering alive on
@@ -348,6 +397,18 @@ void FilterFederate::receive(const sim::Interaction& interaction) {
     }
   } else {
     decision = filter_->process(lu->mn, lu->sampled_at, lu->position);
+  }
+  if (eventlog) {
+    // In device-side mode every LU that reached this tier was already let
+    // through by the device, so the verdict is always "sent" — matching
+    // how TrafficMetrics accounts it.
+    obs::evt::verdict(static_cast<std::uint32_t>(lu->mn.value()),
+                      lu->sampled_at, decision.transmit, decision.moved,
+                      decision.dth,
+                      decision.cluster.valid()
+                          ? static_cast<std::int64_t>(decision.cluster.value())
+                          : -1);
+    obs::evt::clear_cursor();
   }
 
   const std::optional<RegionId> region = campus_.locate(lu->position);
@@ -517,6 +578,11 @@ void BrokerFederate::receive(const sim::Interaction& interaction) {
       if (belief) {
         errors_.record(truth->sampled_at, truth->position, *belief,
                        truth->region_kind);
+        if (obs::eventlog_enabled()) {
+          obs::evt::scored(static_cast<std::uint32_t>(truth->mn.value()),
+                           truth->sampled_at, belief->x, belief->y,
+                           geo::distance(truth->position, *belief));
+        }
       }
       return;
     }
@@ -530,10 +596,16 @@ void BrokerFederate::on_time_grant(SimTime t) {
   // timestamp (the snapshot taken at the end of the previous grant) — this
   // charges the broker for filtering AND pipeline latency, exactly what a
   // job scheduler would see.
+  const bool eventlog = obs::eventlog_enabled();
   for (const BufferedTruth& truth : truths_) {
     auto it = view_snapshot_.find(truth.mn);
     if (it == view_snapshot_.end()) continue;  // broker does not know it yet
     errors_.record(truth.sampled_at, truth.position, it->second, truth.kind);
+    if (eventlog) {
+      obs::evt::scored(static_cast<std::uint32_t>(truth.mn.value()),
+                       truth.sampled_at, it->second.x, it->second.y,
+                       geo::distance(truth.position, it->second));
+    }
   }
   truths_.clear();
 

@@ -4,9 +4,11 @@
 #include <barrier>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/eventlog.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -34,21 +36,26 @@ FederationMetrics& federation_metrics() {
   return obs::instruments<FederationMetrics>();
 }
 
-/// Installs the federation grant time as the process-wide sim clock for the
-/// logger and tracer for the duration of a run (restored on scope exit,
-/// exception-safe).
+/// Installs the federation grant time as the sim clock for the logger and
+/// this thread's trace recorder for the duration of a run (restored on
+/// scope exit, exception-safe). The clock is cleared on the same recorder
+/// it was installed on even if the thread's override changes underneath.
 class ScopedSimClock {
  public:
-  explicit ScopedSimClock(const SimTime* grant) {
+  explicit ScopedSimClock(const SimTime* grant)
+      : tracer_(&obs::current_trace_recorder()) {
     util::Logger::instance().set_clock([grant] { return *grant; });
-    obs::TraceRecorder::global().set_clock([grant] { return *grant; });
+    tracer_->set_clock([grant] { return *grant; });
   }
   ~ScopedSimClock() {
     util::Logger::instance().set_clock(nullptr);
-    obs::TraceRecorder::global().set_clock(nullptr);
+    tracer_->set_clock(nullptr);
   }
   ScopedSimClock(const ScopedSimClock&) = delete;
   ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+
+ private:
+  obs::TraceRecorder* tracer_;
 };
 
 }  // namespace
@@ -160,7 +167,7 @@ void Federation::run_cycle_for(FederateSlot& slot, SimTime grant,
   // Thread-safe: called concurrently by the threaded executor's workers
   // (histogram shards + tracer handle their own synchronisation).
   const bool instrumented = obs::enabled();
-  obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+  obs::TraceRecorder& tracer = obs::current_trace_recorder();
   const bool tracing = tracer.enabled();
   const std::uint64_t trace_start = tracing ? tracer.now_us() : 0;
   const auto start = instrumented ? std::chrono::steady_clock::now()
@@ -255,17 +262,25 @@ void Federation::run_threaded(SimTime t0, std::uint64_t cycles,
   // accumulate their own counts and the coordinator folds them in at the end.
   std::vector<std::uint64_t> delivered(n, 0);
 
-  // Telemetry destination and log sim-clock are thread-scoped; workers
-  // inherit the coordinator's registry (per-experiment when the sweep engine
-  // injected one) and stamp their log lines with this federation's grant.
+  // Telemetry destinations and log sim-clock are thread-scoped; workers
+  // inherit the coordinator's registry, trace recorder and event log (all
+  // per-experiment when the sweep engine injected them) and stamp their log
+  // lines with this federation's grant.
   obs::MetricsRegistry& parent_registry = obs::current_registry();
+  obs::TraceRecorder& parent_tracer = obs::current_trace_recorder();
+  obs::EventLog* parent_event_log = obs::current_event_log();
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers.emplace_back([this, i, &sync, &grant_time, &done, &delivered,
                           &failed, &first_exception, &exception_mutex,
-                          &parent_registry] {
+                          &parent_registry, &parent_tracer, parent_event_log] {
       obs::ScopedRegistry scoped_registry(parent_registry);
+      obs::ScopedTraceRecorder scoped_tracer(parent_tracer);
+      std::optional<obs::ScopedEventLog> scoped_event_log;
+      if (parent_event_log != nullptr) {
+        scoped_event_log.emplace(*parent_event_log);
+      }
       util::Logger::instance().set_clock(
           [&grant_time] { return grant_time.load(std::memory_order_acquire); });
       while (true) {

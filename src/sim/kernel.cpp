@@ -119,7 +119,7 @@ bool SimulationKernel::step() {
     return true;
   }
   KernelMetrics& metrics = kernel_metrics();
-  obs::TraceRecorder& tracer = obs::TraceRecorder::global();
+  obs::TraceRecorder& tracer = obs::current_trace_recorder();
   const bool tracing = tracer.enabled();
   const std::uint64_t trace_start = tracing ? tracer.now_us() : 0;
   const auto start = std::chrono::steady_clock::now();

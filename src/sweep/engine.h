@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "scenario/experiment.h"
@@ -21,6 +23,14 @@ struct EngineOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1). The
   /// pool never spawns more threads than there are jobs.
   std::size_t jobs = 0;
+  /// Capture one per-LU event log per job (see obs::EventLog). Each job gets
+  /// its own log injected through ExperimentOptions::event_log, so the
+  /// serialized output is byte-identical for any worker count.
+  bool eventlog = false;
+  /// Sampling stride for captured logs (1 = every MN).
+  std::uint32_t eventlog_sample = 1;
+  /// Per-job record capacity before drops.
+  std::size_t eventlog_capacity = std::size_t{1} << 20;
 };
 
 struct SweepOutcome {
@@ -29,6 +39,9 @@ struct SweepOutcome {
   /// Per-job results, indexed like `jobs` (cell-major then replicate).
   std::vector<scenario::ExperimentResult> results;
   std::vector<CellAggregate> aggregates;
+  /// Per-job serialized event logs (JSONL), indexed like `jobs`. Empty
+  /// unless EngineOptions::eventlog is set.
+  std::vector<std::string> eventlogs;
   /// Worker threads actually used.
   std::size_t workers = 1;
   /// Wall-clock, seconds. NOT part of the deterministic artifact contract.

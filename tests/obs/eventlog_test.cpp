@@ -1,0 +1,213 @@
+#include "obs/eventlog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mgrid::obs {
+namespace {
+
+TEST(EventLog, DisabledByDefault) {
+  EXPECT_FALSE(eventlog_enabled());
+  EXPECT_EQ(current_event_log(), nullptr);
+  // Annotations without an installed log are no-ops, not crashes.
+  evt::sample(1, 1.0, 0.0, 0.0, 'R');
+  evt::classified('S');
+  evt::verdict(1, 1.0, true, 0.0, 0.0, -1);
+}
+
+TEST(EventLog, ScopedInstallEnablesAndRestores) {
+  EventLog log;
+  {
+    ScopedEventLog scoped(log);
+    EXPECT_TRUE(eventlog_enabled());
+    EXPECT_EQ(current_event_log(), &log);
+    EventLog inner;
+    {
+      ScopedEventLog nested(inner);
+      EXPECT_EQ(current_event_log(), &inner);
+    }
+    EXPECT_EQ(current_event_log(), &log);
+  }
+  EXPECT_FALSE(eventlog_enabled());
+  EXPECT_EQ(current_event_log(), nullptr);
+}
+
+TEST(EventLog, RecordsSortedByTimeThenNode) {
+  EventLog log;
+  log.begin(7, 2.0, 1.0, 1.0, 'R');
+  log.begin(3, 1.0, 2.0, 2.0, 'B');
+  log.begin(1, 2.0, 3.0, 3.0, 'G');
+  const std::vector<LuDecisionRecord> records = log.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].mn, 3u);
+  EXPECT_EQ(records[1].mn, 1u);
+  EXPECT_EQ(records[2].mn, 7u);
+  EXPECT_DOUBLE_EQ(records[0].t, 1.0);
+  EXPECT_EQ(records[1].region, 'G');
+}
+
+TEST(EventLog, AmendMissingKeyCreatesOnlyOnRequest) {
+  EventLog log;
+  EXPECT_FALSE(log.amend(5, 1.0, [](LuDecisionRecord& r) { r.dth = 9.0; }));
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_TRUE(log.amend(5, 1.0, [](LuDecisionRecord& r) { r.dth = 9.0; },
+                        /*create=*/true));
+  const std::vector<LuDecisionRecord> records = log.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].dth, 9.0);
+  // begin() on the already-created record fills truth without losing the
+  // earlier amendment (order independence for racing annotations).
+  log.begin(5, 1.0, 4.0, 5.0, 'R');
+  const std::vector<LuDecisionRecord> merged = log.records();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].dth, 9.0);
+  EXPECT_DOUBLE_EQ(merged[0].true_x, 4.0);
+}
+
+TEST(EventLog, SamplingStrideSkipsNodes) {
+  EventLogOptions options;
+  options.sample_every = 2;
+  EventLog log(options);
+  EXPECT_TRUE(log.wants(0));
+  EXPECT_FALSE(log.wants(1));
+  log.begin(0, 1.0, 0.0, 0.0, 'R');
+  log.begin(1, 1.0, 0.0, 0.0, 'R');
+  EXPECT_EQ(log.recorded(), 1u);
+  EXPECT_FALSE(log.amend(1, 1.0, [](LuDecisionRecord&) {}, /*create=*/true));
+}
+
+TEST(EventLog, CapacityBoundCountsDrops) {
+  EventLogOptions options;
+  options.capacity = 2;
+  EventLog log(options);
+  log.begin(1, 1.0, 0.0, 0.0, 'R');
+  log.begin(2, 1.0, 0.0, 0.0, 'R');
+  log.begin(3, 1.0, 0.0, 0.0, 'R');
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  // Re-opening an existing key is not a drop.
+  log.begin(1, 1.0, 0.5, 0.5, 'B');
+  EXPECT_EQ(log.dropped(), 1u);
+  log.clear();
+  EXPECT_EQ(log.recorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, CursorAnnotationsFillTheActiveRecord) {
+  EventLog log;
+  ScopedEventLog scoped(log);
+  evt::sample(4, 10.0, 1.5, 2.5, 'R');
+  evt::gateway(2, true);
+  evt::classified('L');
+  evt::clustered(6, 3.25);
+  evt::threshold(12.5);
+  evt::df_outcome(/*transmit=*/true, /*moved=*/14.0, /*first_report=*/false);
+  evt::channel_outcome(true);
+  const std::vector<LuDecisionRecord> records = log.records();
+  ASSERT_EQ(records.size(), 1u);
+  const LuDecisionRecord& r = records[0];
+  EXPECT_EQ(r.mn, 4u);
+  EXPECT_EQ(r.gateway, 2);
+  EXPECT_TRUE(r.handover);
+  EXPECT_EQ(r.state, 'L');
+  EXPECT_EQ(r.cluster, 6);
+  EXPECT_DOUBLE_EQ(r.cluster_speed, 3.25);
+  EXPECT_DOUBLE_EQ(r.dth, 12.5);
+  EXPECT_EQ(r.decision, LuDecision::kSent);
+  EXPECT_EQ(r.reason, LuReason::kBeyondDth);
+  EXPECT_DOUBLE_EQ(r.moved, 14.0);
+  EXPECT_EQ(r.channel, 'D');
+  // After clear_cursor, deep-stage annotations go nowhere.
+  evt::clear_cursor();
+  evt::threshold(99.0);
+  EXPECT_DOUBLE_EQ(log.records()[0].dth, 12.5);
+}
+
+TEST(EventLog, VerdictKeepsForcedRefreshReason) {
+  EventLog log;
+  ScopedEventLog scoped(log);
+  evt::sample(1, 5.0, 0.0, 0.0, 'R');
+  evt::df_outcome(false, 1.0, false);
+  evt::forced_refresh();
+  evt::verdict(1, 5.0, /*transmit=*/true, /*moved=*/1.0, /*dth=*/8.0,
+               /*cluster=*/0);
+  const LuDecisionRecord r = log.records()[0];
+  EXPECT_EQ(r.decision, LuDecision::kSent);
+  EXPECT_EQ(r.reason, LuReason::kForcedRefresh);
+  EXPECT_DOUBLE_EQ(r.dth, 8.0);
+}
+
+TEST(EventLog, ChannelLossMarksLostOnAir) {
+  EventLog log;
+  ScopedEventLog scoped(log);
+  evt::sample(2, 3.0, 0.0, 0.0, 'B');
+  evt::channel_outcome(false);
+  const LuDecisionRecord r = log.records()[0];
+  EXPECT_EQ(r.channel, 'L');
+  EXPECT_EQ(r.decision, LuDecision::kLostOnAir);
+  EXPECT_EQ(r.reason, LuReason::kChannelLoss);
+}
+
+TEST(EventLog, JsonlHeaderAndRecordsRoundTrip) {
+  EventLog log;
+  EventLogRunInfo info;
+  info.duration = 60.0;
+  info.sample_period = 1.0;
+  info.bucket_width = 1.0;
+  info.seed = 77;
+  info.filter = "adf";
+  info.estimator = "brown_polar";
+  info.scoring = "realtime";
+  log.set_run_info(info);
+  {
+    ScopedEventLog scoped(log);
+    evt::sample(0, 1.0, 10.0, 20.0, 'R');
+    evt::df_outcome(true, 0.0, true);
+    evt::scored(0, 1.0, 10.5, 20.0, 0.5);
+  }
+  const std::string jsonl = log.to_jsonl();
+  const std::size_t newline = jsonl.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const util::JsonValue header = util::JsonValue::parse(jsonl.substr(0, newline));
+  EXPECT_EQ(header.at("schema").as_string(), "mgrid-eventlog-v1");
+  EXPECT_DOUBLE_EQ(header.at("records").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(header.at("dropped").as_double(), 0.0);
+  EXPECT_EQ(header.at("run").at("filter").as_string(), "adf");
+  EXPECT_DOUBLE_EQ(header.at("run").at("seed").as_double(), 77.0);
+
+  const std::string body =
+      jsonl.substr(newline + 1, jsonl.find('\n', newline + 1) - newline - 1);
+  const util::JsonValue record = util::JsonValue::parse(body);
+  EXPECT_DOUBLE_EQ(record.at("t").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(record.at("x").as_double(), 10.0);
+  EXPECT_EQ(record.at("region").as_string(), "road");
+  EXPECT_EQ(record.at("decision").as_string(), "sent");
+  EXPECT_EQ(record.at("reason").as_string(), "first_report");
+  EXPECT_DOUBLE_EQ(record.at("err").as_double(), 0.5);
+}
+
+TEST(EventLog, CsvHasFixedHeader) {
+  EventLog log;
+  log.begin(1, 1.0, 0.0, 0.0, 'R');
+  const std::string csv = log.to_csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "mn,t,x,y,region,gateway,handover,state,cluster,cluster_speed,"
+            "dth,moved,decision,reason,channel,broker_rx,estimated,"
+            "est_clamped,est_snapped,scored,est_x,est_y,error");
+}
+
+TEST(EventLog, RejectsInvalidOptions) {
+  EventLogOptions zero_capacity;
+  zero_capacity.capacity = 0;
+  EXPECT_THROW(EventLog{zero_capacity}, std::invalid_argument);
+  EventLogOptions zero_stride;
+  zero_stride.sample_every = 0;
+  EXPECT_THROW(EventLog{zero_stride}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mgrid::obs
