@@ -1,0 +1,309 @@
+// Serving-layer throughput + scaling guard.
+//
+// Feeds a pre-generated synthetic LU stream through the ingestion pipeline
+// at two configurations — 1 shard / 1 worker and `shards` / `workers`
+// (default 8/8) — with the producers OUT of the timed region (queues are
+// pre-filled while the workers are parked, then resume() releases them), so
+// the measurement is pure decode-free drain throughput: queue pop -> batch
+// -> shard lock -> MnTrack apply -> estimator observe.
+//
+// After ingest it benchmarks the read path single-threaded: point lookups,
+// region queries and k-nearest, reporting p50/p95/p99 from the raw per-op
+// latency samples.
+//
+// Keys: lus [400000; quick 40000] nodes [1000] shards [8] workers [8]
+//       batch [1024] lookups [100000; quick 10000] estimator [brown_polar]
+//       quick [false] json_out [path] min_scaling [0]
+//
+// min_scaling > 0 exits non-zero when scaled LU/s < min_scaling x the
+// 1-shard/1-worker figure — only meaningful with >= 4 hardware threads
+// (the CI gate passes min_scaling=3; a laptop run reports numbers only).
+//
+// json_out writes an mgrid-bench-v1 document: "guarded" ingest/lookup
+// latencies (lower is better, baseline-compared), absolute "limits" on the
+// p99s and absolute "floors" on throughput (higher is better) so the CI
+// gate holds even before a baseline is blessed.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Percentile of a sorted sample vector (nearest-rank).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct IngestRun {
+  double lus_per_second = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Pre-fills the parked pipeline with `stream`, then times resume -> flush.
+IngestRun run_ingest(const std::vector<serve::wire::LuMsg>& stream,
+                     std::size_t shards, std::size_t workers,
+                     std::size_t batch,
+                     const std::string& estimator_name) {
+  serve::DirectoryOptions directory_options;
+  directory_options.shards = shards;
+  serve::ShardedDirectory directory(
+      directory_options,
+      estimator_name.empty() || estimator_name == "none"
+          ? nullptr
+          : estimation::make_estimator(estimator_name, 0.0, 1.0));
+
+  serve::IngestOptions ingest_options;
+  ingest_options.sources = std::max<std::size_t>(workers, shards);
+  ingest_options.workers = workers;
+  ingest_options.batch_size = batch;
+  ingest_options.start_paused = true;
+  serve::IngestPipeline pipeline(directory, ingest_options);
+  for (const serve::wire::LuMsg& lu : stream) pipeline.submit(lu);
+
+  const auto start = Clock::now();
+  pipeline.flush();  // implies resume(); returns once every LU is applied
+  IngestRun run;
+  run.wall_seconds = seconds_since(start);
+  pipeline.stop();
+  run.lus_per_second =
+      run.wall_seconds > 0.0
+          ? static_cast<double>(stream.size()) / run.wall_seconds
+          : 0.0;
+  return run;
+}
+
+struct QueryBench {
+  double qps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  ///< Seconds per op.
+};
+
+template <typename Op>
+QueryBench time_ops(std::size_t count, Op&& op) {
+  std::vector<double> samples;
+  samples.reserve(count);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto op_start = Clock::now();
+    op(i);
+    samples.push_back(seconds_since(op_start));
+  }
+  const double wall = seconds_since(start);
+  std::sort(samples.begin(), samples.end());
+  QueryBench bench;
+  bench.qps = wall > 0.0 ? static_cast<double>(count) / wall : 0.0;
+  bench.p50 = percentile(samples, 0.50);
+  bench.p95 = percentile(samples, 0.95);
+  bench.p99 = percentile(samples, 0.99);
+  return bench;
+}
+
+std::string us(double seconds) {
+  return stats::format_double(1e6 * seconds, 2) + " us";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  (void)mgbench::parse_args(argc, argv, &config);
+  const bool quick = config.get_bool("quick", false);
+  const auto total_lus = static_cast<std::size_t>(
+      config.get_int("lus", quick ? 40000 : 400000));
+  const auto nodes =
+      static_cast<std::uint32_t>(config.get_int("nodes", 1000));
+  const auto shards = static_cast<std::size_t>(config.get_int("shards", 8));
+  const auto workers = static_cast<std::size_t>(config.get_int("workers", 8));
+  const auto batch = static_cast<std::size_t>(config.get_int("batch", 1024));
+  const auto lookups = static_cast<std::size_t>(
+      config.get_int("lookups", quick ? 10000 : 100000));
+  const std::string estimator_name =
+      config.get_string("estimator", "brown_polar");
+  const double min_scaling = config.get_double("min_scaling", 0.0);
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  // Deterministic synthetic stream: `nodes` MNs walking a 1 km square,
+  // one LU per MN per tick, strictly increasing per-MN timestamps.
+  util::RngRegistry rng(
+      static_cast<std::uint64_t>(config.get_int("seed", 42)));
+  std::vector<geo::Vec2> position(nodes);
+  std::vector<geo::Vec2> velocity(nodes);
+  for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+    util::RngStream stream = rng.stream("serve_bench", mn);
+    position[mn] = {stream.uniform(0.0, 1000.0),
+                    stream.uniform(0.0, 1000.0)};
+    const double heading = stream.uniform(0.0, 6.283185307179586);
+    velocity[mn] = {1.5 * std::cos(heading), 1.5 * std::sin(heading)};
+  }
+  std::vector<serve::wire::LuMsg> stream;
+  stream.reserve(total_lus);
+  for (std::size_t i = 0; i < total_lus; ++i) {
+    const std::uint32_t mn = static_cast<std::uint32_t>(i % nodes);
+    const double t = 1.0 + std::floor(static_cast<double>(i) /
+                                      static_cast<double>(nodes));
+    position[mn].x += velocity[mn].x;
+    position[mn].y += velocity[mn].y;
+    serve::wire::LuMsg lu;
+    lu.mn = mn;
+    lu.seq = static_cast<std::uint32_t>(i);
+    lu.t = t;
+    lu.x = position[mn].x;
+    lu.y = position[mn].y;
+    lu.vx = velocity[mn].x;
+    lu.vy = velocity[mn].y;
+    stream.push_back(lu);
+  }
+
+  std::cout << "=== serve throughput (" << total_lus << " LUs over " << nodes
+            << " MNs, estimator "
+            << (estimator_name.empty() ? "(none)" : estimator_name)
+            << ") ===\nhardware concurrency: " << hardware << "\n\n";
+
+  const IngestRun serial = run_ingest(stream, 1, 1, batch, estimator_name);
+  const IngestRun scaled =
+      run_ingest(stream, shards, workers, batch, estimator_name);
+  const double scaling =
+      serial.lus_per_second > 0.0
+          ? scaled.lus_per_second / serial.lus_per_second
+          : 0.0;
+
+  stats::Table ingest_table({"config", "wall (s)", "LU/s", "scaling"});
+  ingest_table.add_row({"1 shard / 1 worker",
+                        stats::format_double(serial.wall_seconds, 3),
+                        stats::format_double(serial.lus_per_second, 0),
+                        "1.00x"});
+  ingest_table.add_row(
+      {std::to_string(shards) + " shards / " + std::to_string(workers) +
+           " workers",
+       stats::format_double(scaled.wall_seconds, 3),
+       stats::format_double(scaled.lus_per_second, 0),
+       stats::format_double(scaling, 2) + "x"});
+  ingest_table.write_pretty(std::cout);
+
+  // Read path: rebuild the scaled directory once, then time the queries.
+  serve::DirectoryOptions directory_options;
+  directory_options.shards = shards;
+  serve::ShardedDirectory directory(directory_options, nullptr);
+  {
+    serve::IngestOptions ingest_options;
+    ingest_options.sources = shards;
+    ingest_options.workers = 1;
+    serve::IngestPipeline pipeline(directory, ingest_options);
+    for (const serve::wire::LuMsg& lu : stream) pipeline.submit(lu);
+    pipeline.flush();
+    pipeline.stop();
+  }
+  const QueryBench lookup = time_ops(lookups, [&](std::size_t i) {
+    (void)directory.lookup(static_cast<std::uint32_t>(i % nodes));
+  });
+  const std::size_t spatial_ops = std::max<std::size_t>(lookups / 100, 100);
+  const QueryBench region = time_ops(spatial_ops, [&](std::size_t i) {
+    (void)directory.query_region(
+        {static_cast<double>(i % 1000), static_cast<double>((i * 7) % 1000)},
+        75.0, 32);
+  });
+  const QueryBench nearest = time_ops(spatial_ops, [&](std::size_t i) {
+    (void)directory.k_nearest(
+        {static_cast<double>((i * 13) % 1000), static_cast<double>(i % 1000)},
+        8);
+  });
+
+  std::cout << '\n';
+  stats::Table query_table({"op", "QPS", "p50", "p95", "p99"});
+  query_table.add_row({"lookup", stats::format_double(lookup.qps, 0),
+                       us(lookup.p50), us(lookup.p95), us(lookup.p99)});
+  query_table.add_row({"query_region(75m)",
+                       stats::format_double(region.qps, 0), us(region.p50),
+                       us(region.p95), us(region.p99)});
+  query_table.add_row({"k_nearest(8)", stats::format_double(nearest.qps, 0),
+                       us(nearest.p50), us(nearest.p95), us(nearest.p99)});
+  query_table.write_pretty(std::cout);
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "serve_throughput");
+    json.field("lus", static_cast<std::uint64_t>(total_lus));
+    json.field("nodes", static_cast<std::uint64_t>(nodes));
+    json.key("guarded").begin_object();
+    json.field("ingest_seconds_per_million_lus",
+               serial.lus_per_second > 0.0
+                   ? 1e6 / serial.lus_per_second
+                   : 0.0);
+    json.field("lookup_p99_seconds", lookup.p99);
+    json.field("region_p99_seconds", region.p99);
+    json.field("nearest_p99_seconds", nearest.p99);
+    json.end_object();
+    // Latency ceilings hold unconditionally; generous vs the measured
+    // sub-microsecond lookups so scheduler noise on shared CI cannot flake.
+    json.key("limits").begin_object();
+    json.field("lookup_p99_seconds", 0.005);
+    json.field("region_p99_seconds", 0.02);
+    json.field("nearest_p99_seconds", 0.02);
+    json.end_object();
+    // Throughput floors (higher is better): ~2 orders of magnitude under
+    // the measured figures.
+    json.key("floors").begin_object();
+    json.field("serial_lus_per_second", 50000.0);
+    json.field("lookup_qps", 100000.0);
+    json.end_object();
+    json.key("info").begin_object();
+    json.field("serial_lus_per_second", serial.lus_per_second);
+    json.field("scaled_lus_per_second", scaled.lus_per_second);
+    json.field("scaling", scaling);
+    json.field("lookup_qps", lookup.qps);
+    json.field("region_qps", region.qps);
+    json.field("nearest_qps", nearest.qps);
+    json.field("shards", static_cast<std::uint64_t>(shards));
+    json.field("workers", static_cast<std::uint64_t>(workers));
+    json.field("hardware_concurrency",
+               static_cast<std::uint64_t>(hardware));
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "\nwrote " << json_out << '\n';
+  }
+
+  if (min_scaling > 0.0) {
+    if (hardware < 4) {
+      std::cout << "\nscaling gate skipped: only " << hardware
+                << " hardware thread(s)\n";
+    } else if (scaling < min_scaling) {
+      std::cerr << "\nFAIL: scaled ingest " << stats::format_double(scaling, 2)
+                << "x < required " << stats::format_double(min_scaling, 2)
+                << "x (serial "
+                << stats::format_double(serial.lus_per_second, 0)
+                << " LU/s, scaled "
+                << stats::format_double(scaled.lus_per_second, 0)
+                << " LU/s)\n";
+      return EXIT_FAILURE;
+    } else {
+      std::cout << "\nscaling gate passed: "
+                << stats::format_double(scaling, 2) << "x >= "
+                << stats::format_double(min_scaling, 2) << "x\n";
+    }
+  }
+  return 0;
+}

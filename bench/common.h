@@ -27,8 +27,8 @@ struct BenchArgs {
 /// helper (individual benches may read them through the returned Config).
 inline BenchArgs parse_args(int argc, char** argv,
                             mgrid::util::Config* out_config = nullptr) {
-  const mgrid::util::Config config = mgrid::util::Config::from_args(
-      std::vector<std::string>(argv + 1, argv + argc));
+  const mgrid::util::Config config =
+      mgrid::util::Config::from_argv(argc, argv);
   BenchArgs args;
   args.base.duration = config.get_double("duration", 1800.0);
   args.base.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));

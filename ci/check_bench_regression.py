@@ -8,6 +8,9 @@ bench_obs_overhead json_out= / bench_sweep_scaling json_out=):
    guarded value named there must stay at or below its ceiling. This runs
    unconditionally — no baseline required — so hard budgets (e.g. the
    eventlog-enabled overhead must stay under 5%) hold from the first CI run.
+   A "floors" section is the higher-is-better mirror: every named value
+   (looked up in "guarded" first, then "info") must stay at or above its
+   minimum — used for throughput floors like the serving layer's LU/s.
 2. Baseline compare: the "guarded" section is compared against a checked-in
    baseline with the same name under ci/baselines/. Every guarded value is
    lower-is-better; the gate fails when current > baseline * (1 + threshold).
@@ -57,10 +60,38 @@ def check_limits(current_path, current):
     return failures
 
 
+def check_floors(current_path, current):
+    """Enforces higher-is-better minimums ("floors"); no baseline needed."""
+    failures = []
+    guarded = current.get("guarded", {})
+    info = current.get("info", {})
+    for name, floor in sorted(current.get("floors", {}).items()):
+        if name in guarded:
+            value = guarded[name]
+        elif name in info:
+            value = info[name]
+        else:
+            print(f"  {current_path}: floor {name} has no measured value — skipped")
+            continue
+        status = "ok"
+        if value < floor:
+            status = "UNDER FLOOR"
+            failures.append(
+                f"{current_path}: {name} = {value:.6g} < "
+                f"absolute floor {floor:.6g}"
+            )
+        print(
+            f"  {current_path}: {name} = {value:.6g} "
+            f"(absolute floor {floor:.6g}) {status}"
+        )
+    return failures
+
+
 def check_one(current_path, baseline_dir, threshold):
     """Returns a list of failure strings (empty = pass)."""
     current = load(current_path)
     failures = check_limits(current_path, current)
+    failures.extend(check_floors(current_path, current))
     baseline_path = os.path.join(baseline_dir, os.path.basename(current_path))
     if not os.path.exists(baseline_path):
         print(f"  {current_path}: no baseline at {baseline_path} — skipped")

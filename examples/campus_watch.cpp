@@ -38,8 +38,7 @@ char region_code(const geo::CampusMap& campus, geo::Vec2 p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config config =
-      util::Config::from_args(std::vector<std::string>(argv + 1, argv + argc));
+  const util::Config config = util::Config::from_argv(argc, argv);
   const double duration = config.get_double("duration", 90.0);
   const double interval = config.get_double("interval", 30.0);
   const double dth_factor = config.get_double("dth_factor", 1.25);

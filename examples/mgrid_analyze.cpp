@@ -203,8 +203,7 @@ bool close_enough(double a, double b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config config =
-      util::Config::from_args(std::vector<std::string>(argv + 1, argv + argc));
+  const util::Config config = util::Config::from_argv(argc, argv);
   const std::string eventlog_path = config.require_string("eventlog");
   const std::string result_path = config.get_string("result", "");
   const std::string summary_out = config.get_string("summary_out", "");

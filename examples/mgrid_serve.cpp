@@ -1,0 +1,340 @@
+// Online serving-layer driver: replays a recorded per-LU event log (or a
+// synthetic open-loop workload) through the mgrid-lu-v1 wire codec, the
+// batched ingestion pipeline and the sharded location directory, then
+// reports throughput and answers a few spatial queries.
+//
+// Replay mode re-creates the recording federation's broker state tick by
+// tick; with `result=` it cross-checks the directory's final per-MN views
+// against the run's JSON report to 1e-9 and exits non-zero on any mismatch.
+//
+//   mgrid_serve eventlog=run.jsonl result=run.json shards=8 workers=4
+//   mgrid_serve mode=synthetic nodes=500 ticks=120 estimator=brown_polar
+//
+// Keys (defaults in brackets; flag spellings like --final-out accepted):
+//   eventlog [path: mgrid-eventlog-v1 JSONL; switches on replay mode]
+//   result   [path: run_experiment JSON report to cross-check against]
+//   final_out [path: deterministic JSON snapshot of the final directory
+//             state — byte-identical for any workers=/sources= value]
+//   shards [8] workers [2] sources [8] batch [256]
+//   cell [50] history [8]
+//   mode [replay when eventlog= is set, else synthetic]
+//   nodes [500] ticks [120] estimator [""] alpha [0]  (synthetic mode)
+//   seed [42] speed [1.5]                             (synthetic mode)
+//   metrics_out [path: registry snapshot; enables per-op latency histograms]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+namespace {
+
+struct Knobs {
+  serve::DirectoryOptions directory;
+  serve::IngestOptions ingest;
+};
+
+Knobs read_knobs(const util::Config& config) {
+  Knobs knobs;
+  knobs.directory.shards =
+      static_cast<std::size_t>(config.get_int("shards", 8));
+  knobs.directory.history_limit =
+      static_cast<std::size_t>(config.get_int("history", 8));
+  knobs.directory.cell_size = config.get_double("cell", 50.0);
+  knobs.ingest.sources = static_cast<std::size_t>(config.get_int("sources", 8));
+  knobs.ingest.workers = static_cast<std::size_t>(config.get_int("workers", 2));
+  knobs.ingest.batch_size =
+      static_cast<std::size_t>(config.get_int("batch", 256));
+  return knobs;
+}
+
+/// Deterministic JSON snapshot of the directory (sorted by MN id), used by
+/// CI to assert that worker/source counts do not change the final state.
+void write_final_state(const std::string& path,
+                       const serve::ShardedDirectory& directory) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "mgrid-serve-final-v1");
+  json.key("entries").begin_array();
+  for (const serve::DirectoryEntry& entry : directory.snapshot()) {
+    json.begin_object();
+    json.field("mn", static_cast<std::uint64_t>(entry.mn));
+    json.field("t", entry.t);
+    json.field("x", entry.position.x);
+    json.field("y", entry.position.y);
+    json.field("estimated", entry.estimated);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::ConfigError("cannot write final state: " + path);
+  out << json.str() << '\n';
+  std::cout << "final state written to " << path << '\n';
+}
+
+/// Compares the directory's final views against the recording run's JSON
+/// report. Returns the number of mismatches (0 = exact to 1e-9).
+std::size_t cross_check(const serve::ShardedDirectory& directory,
+                        const scenario::ExperimentResult& recorded) {
+  constexpr double kTol = 1e-9;
+  const std::vector<serve::DirectoryEntry> entries = directory.snapshot();
+  std::size_t mismatches = 0;
+  double max_deviation = 0.0;
+  if (entries.size() != recorded.final_positions.size()) {
+    std::cerr << "cross-check: directory has " << entries.size()
+              << " MNs, recorded run has " << recorded.final_positions.size()
+              << '\n';
+    ++mismatches;
+  }
+  const std::size_t n =
+      std::min(entries.size(), recorded.final_positions.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const serve::DirectoryEntry& got = entries[i];
+    const scenario::FinalPosition& want = recorded.final_positions[i];
+    if (got.mn != want.mn) {
+      std::cerr << "cross-check: entry " << i << " is MN " << got.mn
+                << ", recorded MN " << want.mn << '\n';
+      ++mismatches;
+      continue;
+    }
+    const double deviation =
+        std::max({std::abs(got.position.x - want.x),
+                  std::abs(got.position.y - want.y), std::abs(got.t - want.t)});
+    max_deviation = std::max(max_deviation, deviation);
+    if (deviation > kTol || got.estimated != want.estimated) {
+      if (++mismatches <= 5) {
+        std::cerr << "cross-check: MN " << got.mn << " deviates by "
+                  << deviation << " m (replay " << got.position.x << ","
+                  << got.position.y << " @ " << got.t << " vs recorded "
+                  << want.x << "," << want.y << " @ " << want.t << ")\n";
+      }
+    }
+  }
+  std::cout << "cross-check: " << n << " MNs compared, max deviation "
+            << max_deviation << " m -> "
+            << (mismatches == 0 ? "EXACT (<= 1e-9)" : "MISMATCH") << '\n';
+  return mismatches;
+}
+
+void print_queries(const serve::ShardedDirectory& directory) {
+  // Centre the probes on the directory's own centroid so they exercise the
+  // region/k-nearest paths on any campus geometry.
+  const std::vector<serve::DirectoryEntry> entries = directory.snapshot();
+  if (entries.empty()) return;
+  geo::Vec2 center{0.0, 0.0};
+  for (const serve::DirectoryEntry& entry : entries) {
+    center.x += entry.position.x;
+    center.y += entry.position.y;
+  }
+  center.x /= static_cast<double>(entries.size());
+  center.y /= static_cast<double>(entries.size());
+
+  const std::vector<serve::Neighbor> in_region =
+      directory.query_region(center, 100.0);
+  const std::vector<serve::Neighbor> nearest = directory.k_nearest(center, 5);
+  std::cout << "queries: " << in_region.size() << " MNs within 100 m of ("
+            << stats::format_double(center.x, 1) << ", "
+            << stats::format_double(center.y, 1) << ")";
+  if (!nearest.empty()) {
+    std::cout << "; nearest: ";
+    for (std::size_t i = 0; i < nearest.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << "MN " << nearest[i].mn << " @ "
+                << stats::format_double(nearest[i].distance, 1) << " m";
+    }
+  }
+  std::cout << '\n';
+}
+
+int run_replay(const util::Config& config) {
+  const std::string eventlog_path = config.require_string("eventlog");
+  const serve::ReplayLog log = serve::load_eventlog(eventlog_path);
+  std::cout << "replaying " << eventlog_path << ": " << log.lus.size()
+            << " delivered LUs / " << log.records << " records, filter "
+            << log.run.filter << ", estimator "
+            << (log.run.estimator.empty() ? "(none)" : log.run.estimator)
+            << ", duration " << log.run.duration << " s\n";
+
+  std::string why;
+  const bool exact = serve::replay_is_exact(log, &why);
+  if (!exact) std::cout << "note: replay is approximate (" << why << ")\n";
+
+  const Knobs knobs = read_knobs(config);
+  serve::ShardedDirectory directory(knobs.directory,
+                                    serve::make_replay_estimator(log.run));
+  serve::ReplayReport report;
+  double wall_seconds = 0.0;
+  {
+    serve::IngestPipeline pipeline(directory, knobs.ingest);
+    const auto start = std::chrono::steady_clock::now();
+    report = serve::replay_eventlog(log, directory, pipeline);
+    wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    pipeline.stop();
+  }
+
+  std::cout << "replayed " << report.ticks << " ticks, "
+            << report.lus_submitted << " LUs, " << report.estimates
+            << " estimates in " << stats::format_double(wall_seconds, 3)
+            << " s ("
+            << stats::format_double(
+                   wall_seconds > 0.0
+                       ? static_cast<double>(report.lus_submitted) /
+                             wall_seconds
+                       : 0.0,
+                   0)
+            << " LU/s) across " << directory.shard_count() << " shard(s), "
+            << knobs.ingest.workers << " worker(s)\n";
+  if (report.lus_dropped_wire > 0) {
+    std::cerr << "ERROR: " << report.lus_dropped_wire
+              << " LUs failed the wire round-trip\n";
+    return 1;
+  }
+  print_queries(directory);
+
+  const std::string final_out = config.get_string("final_out", "");
+  if (!final_out.empty()) write_final_state(final_out, directory);
+
+  const std::string result_path = config.get_string("result", "");
+  if (!result_path.empty()) {
+    if (!exact) {
+      std::cerr << "cross-check requested but the log cannot replay "
+                   "exactly: "
+                << why << '\n';
+      return 1;
+    }
+    const scenario::ExperimentResult recorded =
+        scenario::load_result_json(result_path);
+    if (cross_check(directory, recorded) != 0) return 1;
+  }
+  return 0;
+}
+
+int run_synthetic(const util::Config& config) {
+  const auto nodes = static_cast<std::uint32_t>(config.get_int("nodes", 500));
+  const auto ticks = static_cast<std::size_t>(config.get_int("ticks", 120));
+  const double speed = config.get_double("speed", 1.5);
+  const std::string estimator_name = config.get_string("estimator", "");
+  const double alpha = config.get_double("alpha", 0.0);
+
+  const Knobs knobs = read_knobs(config);
+  std::unique_ptr<estimation::LocationEstimator> prototype;
+  if (!estimator_name.empty() && estimator_name != "none") {
+    prototype = estimation::make_estimator(estimator_name, alpha, 1.0);
+  }
+  serve::ShardedDirectory directory(knobs.directory, std::move(prototype));
+  serve::IngestPipeline pipeline(directory, knobs.ingest);
+
+  // Deterministic per-MN random walk on a 1 km square (no shared RNG so the
+  // workload is independent of submission order).
+  util::RngRegistry rng(static_cast<std::uint64_t>(config.get_int("seed", 42)));
+  std::vector<geo::Vec2> position(nodes);
+  std::vector<geo::Vec2> velocity(nodes);
+  for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+    util::RngStream stream = rng.stream("serve_synthetic", mn);
+    position[mn] = {stream.uniform(0.0, 1000.0), stream.uniform(0.0, 1000.0)};
+    const double heading = stream.uniform(0.0, 6.283185307179586);
+    velocity[mn] = {speed * std::cos(heading), speed * std::sin(heading)};
+  }
+
+  std::uint64_t submitted = 0;
+  std::uint64_t wire_rejected = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t k = 1; k <= ticks; ++k) {
+    const double t = static_cast<double>(k);
+    for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+      position[mn].x += velocity[mn].x;
+      position[mn].y += velocity[mn].y;
+      if (position[mn].x < 0.0 || position[mn].x > 1000.0) {
+        velocity[mn].x = -velocity[mn].x;
+      }
+      if (position[mn].y < 0.0 || position[mn].y > 1000.0) {
+        velocity[mn].y = -velocity[mn].y;
+      }
+      serve::wire::LuMsg lu;
+      lu.mn = mn;
+      lu.seq = static_cast<std::uint32_t>(k);
+      lu.t = t;
+      lu.x = position[mn].x;
+      lu.y = position[mn].y;
+      lu.vx = velocity[mn].x;
+      lu.vy = velocity[mn].y;
+      // Round-trip through the codec so the full serving path is exercised.
+      std::vector<std::uint8_t> frame;
+      serve::wire::encode(frame, lu);
+      const serve::wire::Decoded decoded = serve::wire::decode_frame(frame);
+      if (!decoded.ok() ||
+          !pipeline.submit(std::get<serve::wire::LuMsg>(decoded.msg))) {
+        ++wire_rejected;
+        continue;
+      }
+      ++submitted;
+    }
+    pipeline.flush();
+    directory.advance_estimates(t);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  pipeline.stop();
+  const serve::IngestStats ingest_stats = pipeline.stats();
+
+  std::cout << "synthetic: " << nodes << " MNs x " << ticks << " ticks = "
+            << submitted << " LUs in "
+            << stats::format_double(wall_seconds, 3) << " s ("
+            << stats::format_double(
+                   wall_seconds > 0.0
+                       ? static_cast<double>(submitted) / wall_seconds
+                       : 0.0,
+                   0)
+            << " LU/s), " << ingest_stats.batches << " batches, "
+            << ingest_stats.rejected_stale << " stale, " << wire_rejected
+            << " rejected\n";
+  print_queries(directory);
+
+  const std::string final_out = config.get_string("final_out", "");
+  if (!final_out.empty()) write_final_state(final_out, directory);
+  return ingest_stats.applied == submitted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Config config = util::Config::from_argv(argc, argv);
+
+    const std::string metrics_out = config.get_string("metrics_out", "");
+    if (!metrics_out.empty()) obs::set_enabled(true);
+
+    const std::string mode = config.get_string(
+        "mode", config.contains("eventlog") ? "replay" : "synthetic");
+    int exit_code = 0;
+    if (mode == "replay") {
+      exit_code = run_replay(config);
+    } else if (mode == "synthetic") {
+      exit_code = run_synthetic(config);
+    } else {
+      std::cerr << "unknown mode: " << mode << " (replay|synthetic)\n";
+      return 2;
+    }
+
+    if (!metrics_out.empty()) {
+      obs::write_metrics_file(metrics_out,
+                              obs::MetricsRegistry::global().snapshot());
+      std::cout << "metrics snapshot written to " << metrics_out << '\n';
+    }
+    return exit_code;
+  } catch (const std::exception& error) {
+    std::cerr << "mgrid_serve: " << error.what() << '\n';
+    return 2;
+  }
+}

@@ -42,13 +42,7 @@ scenario::FilterKind parse_filter(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Config config =
-      util::Config::from_args(std::vector<std::string>(argv + 1, argv + argc));
-  if (config.contains("config")) {
-    util::Config file = util::Config::from_file(config.require_string("config"));
-    file.merge(config);  // command line overrides the file
-    config = std::move(file);
-  }
+  const util::Config config = util::Config::from_argv(argc, argv);
 
   scenario::ExperimentOptions options;
   options.duration = config.get_double("duration", 1800.0);

@@ -35,13 +35,7 @@
 using namespace mgrid;
 
 int main(int argc, char** argv) {
-  util::Config config =
-      util::Config::from_args(std::vector<std::string>(argv + 1, argv + argc));
-  if (config.contains("grid")) {
-    util::Config file = util::Config::from_file(config.require_string("grid"));
-    file.merge(config);  // command line overrides the file
-    config = std::move(file);
-  }
+  const util::Config config = util::Config::from_argv(argc, argv, "grid");
 
   const sweep::SweepSpec spec = sweep::spec_from_config(config);
   sweep::EngineOptions engine;

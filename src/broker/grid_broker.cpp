@@ -38,24 +38,17 @@ BrokerMetrics& broker_metrics() {
 GridBroker::GridBroker(
     std::unique_ptr<estimation::LocationEstimator> estimator_prototype,
     std::size_t history_limit)
-    : prototype_(std::move(estimator_prototype)), db_(history_limit) {}
+    : prototype_(std::move(estimator_prototype)),
+      db_(history_limit, prototype_.get()) {}
 
 void GridBroker::on_location_update(MnId mn, SimTime t, geo::Vec2 position,
                                     geo::Vec2 velocity,
                                     double battery_fraction) {
   db_.record_update(mn, t, position, velocity);
-  last_update_time_[mn] = t;
   last_contact_time_[mn] = t;
   battery_[mn] = battery_fraction;
   ++stats_.updates_received;
   if (obs::enabled()) broker_metrics().updates.inc();
-  if (prototype_ != nullptr) {
-    auto it = estimators_.find(mn);
-    if (it == estimators_.end()) {
-      it = estimators_.emplace(mn, prototype_->clone()).first;
-    }
-    it->second->observe(t, position, velocity);
-  }
 }
 
 void GridBroker::on_tick(SimTime t) {
@@ -64,22 +57,11 @@ void GridBroker::on_tick(SimTime t) {
     broker_metrics().db_size.set(static_cast<double>(db_.size()));
   }
   if (prototype_ == nullptr) return;  // view stays at the last fix
-  const bool eventlog = obs::eventlog_enabled();
-  for (auto& [mn, estimator] : estimators_) {
-    auto last = last_update_time_.find(mn);
-    if (last != last_update_time_.end() && last->second >= t) {
-      continue;  // reported this tick; the view is already fresh
-    }
-    // Point the eventlog cursor at this MN's tick record so the estimator
-    // chain (horizon clamp, map matcher) can annotate what it did.
-    if (eventlog) {
-      obs::evt::set_cursor(static_cast<std::uint32_t>(mn.value()), t);
-    }
-    db_.record_estimate(mn, t, estimator->estimate(t));
-    ++stats_.estimates_made;
-    if (obs::enabled()) broker_metrics().estimates.inc();
+  const std::size_t made = db_.advance_estimates(t);
+  stats_.estimates_made += made;
+  if (obs::enabled() && made > 0) {
+    broker_metrics().estimates.inc(made);
   }
-  if (eventlog) obs::evt::clear_cursor();
 }
 
 double GridBroker::battery_fraction(MnId mn) const {
@@ -112,14 +94,7 @@ std::vector<MnId> GridBroker::silent_nodes(SimTime now,
 }
 
 std::optional<geo::Vec2> GridBroker::belief_at(MnId mn, SimTime t) const {
-  const std::optional<LocationRecord> record = db_.lookup(mn);
-  if (!record) return std::nullopt;
-  if (record->last_reported.t >= t || prototype_ == nullptr) {
-    return record->last_reported.position;
-  }
-  auto it = estimators_.find(mn);
-  if (it == estimators_.end()) return record->last_reported.position;
-  return it->second->estimate(t);
+  return db_.belief_at(mn, t);
 }
 
 std::optional<geo::Vec2> GridBroker::position_view(MnId mn) const {

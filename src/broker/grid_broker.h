@@ -79,11 +79,10 @@ class GridBroker {
                                                Duration timeout) const;
 
  private:
+  // Declared before db_: the DB clones the prototype per MN and keeps a
+  // non-owning pointer to it.
   std::unique_ptr<estimation::LocationEstimator> prototype_;
   LocationDb db_;
-  std::unordered_map<MnId, std::unique_ptr<estimation::LocationEstimator>>
-      estimators_;
-  std::unordered_map<MnId, SimTime> last_update_time_;
   std::unordered_map<MnId, SimTime> last_contact_time_;
   std::unordered_map<MnId, double> battery_;
   BrokerStats stats_;

@@ -1,0 +1,63 @@
+#include "broker/location_core.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/eventlog.h"
+
+namespace mgrid::broker {
+
+MnTrack::MnTrack(std::uint32_t mn, std::size_t history_limit,
+                 std::unique_ptr<estimation::LocationEstimator> estimator)
+    : mn_(mn),
+      history_limit_(history_limit),
+      estimator_(std::move(estimator)) {
+  if (history_limit == 0) {
+    throw std::invalid_argument("MnTrack: history_limit must be >= 1");
+  }
+}
+
+void MnTrack::push_history(const LocationFix& fix) {
+  history_.push_back(fix);
+  while (history_.size() > history_limit_) history_.pop_front();
+}
+
+bool MnTrack::apply_update(SimTime t, geo::Vec2 position, geo::Vec2 velocity) {
+  if (has_report_ && t < record_.last_reported.t) return false;
+  const LocationFix fix{t, position, velocity, /*estimated=*/false};
+  record_.last_reported = fix;
+  record_.current_view = fix;
+  has_report_ = true;
+  push_history(fix);
+  if (estimator_ != nullptr) estimator_->observe(t, position, velocity);
+  if (obs::eventlog_enabled()) {
+    obs::evt::broker_received(mn_, t, velocity.x, velocity.y);
+  }
+  return true;
+}
+
+void MnTrack::apply_estimate(SimTime t, geo::Vec2 position) {
+  const LocationFix fix{t, position, {}, /*estimated=*/true};
+  record_.current_view = fix;
+  push_history(fix);
+  if (obs::eventlog_enabled()) obs::evt::broker_estimated(mn_, t);
+}
+
+std::optional<geo::Vec2> MnTrack::advance(SimTime t) {
+  if (estimator_ == nullptr || !has_report_ ||
+      record_.last_reported.t >= t) {
+    return std::nullopt;
+  }
+  const geo::Vec2 estimate = estimator_->estimate(t);
+  apply_estimate(t, estimate);
+  return estimate;
+}
+
+geo::Vec2 MnTrack::belief_at(SimTime t) const {
+  if (estimator_ == nullptr || record_.last_reported.t >= t) {
+    return record_.last_reported.position;
+  }
+  return estimator_->estimate(t);
+}
+
+}  // namespace mgrid::broker

@@ -10,74 +10,97 @@ namespace mgrid::broker {
 
 const std::deque<LocationFix> LocationDb::kEmptyHistory{};
 
-LocationDb::LocationDb(std::size_t history_limit)
-    : history_limit_(history_limit) {
+LocationDb::LocationDb(
+    std::size_t history_limit,
+    const estimation::LocationEstimator* estimator_prototype)
+    : history_limit_(history_limit),
+      estimator_prototype_(estimator_prototype) {
   if (history_limit == 0) {
     throw std::invalid_argument("LocationDb: history_limit must be >= 1");
   }
 }
 
-void LocationDb::push_history(Entry& entry, const LocationFix& fix) {
-  entry.history.push_back(fix);
-  while (entry.history.size() > history_limit_) entry.history.pop_front();
+MnTrack& LocationDb::track_for(MnId mn) {
+  auto it = tracks_.find(mn);
+  if (it == tracks_.end()) {
+    it = tracks_
+             .emplace(mn, MnTrack(static_cast<std::uint32_t>(mn.value()),
+                                  history_limit_,
+                                  estimator_prototype_ != nullptr
+                                      ? estimator_prototype_->clone()
+                                      : nullptr))
+             .first;
+  }
+  return it->second;
 }
 
-void LocationDb::record_update(MnId mn, SimTime t, geo::Vec2 position,
+bool LocationDb::record_update(MnId mn, SimTime t, geo::Vec2 position,
                                geo::Vec2 velocity) {
   if (!mn.valid()) {
     throw std::invalid_argument("LocationDb::record_update: invalid MnId");
   }
-  Entry& entry = records_[mn];
-  const LocationFix fix{t, position, velocity, /*estimated=*/false};
-  entry.record.last_reported = fix;
-  entry.record.current_view = fix;
-  push_history(entry, fix);
-  if (obs::eventlog_enabled()) {
-    obs::evt::broker_received(static_cast<std::uint32_t>(mn.value()), t);
-  }
+  return track_for(mn).apply_update(t, position, velocity);
 }
 
 void LocationDb::record_estimate(MnId mn, SimTime t, geo::Vec2 position) {
-  auto it = records_.find(mn);
-  if (it == records_.end()) {
+  auto it = tracks_.find(mn);
+  if (it == tracks_.end()) {
     throw std::logic_error(
         "LocationDb::record_estimate: MN was never reported");
   }
-  const LocationFix fix{t, position, {}, /*estimated=*/true};
-  it->second.record.current_view = fix;
-  push_history(it->second, fix);
-  if (obs::eventlog_enabled()) {
-    obs::evt::broker_estimated(static_cast<std::uint32_t>(mn.value()), t);
+  it->second.apply_estimate(t, position);
+}
+
+std::size_t LocationDb::advance_estimates(SimTime t) {
+  std::size_t made = 0;
+  const bool eventlog = obs::eventlog_enabled();
+  for (auto& [mn, track] : tracks_) {
+    if (!track.has_estimator() || !track.has_report() ||
+        track.last_reported_time() >= t) {
+      continue;  // reported at (or after) t; the view is already fresh
+    }
+    // Point the eventlog cursor at this MN's tick record so the estimator
+    // chain (horizon clamp, map matcher) can annotate what it did.
+    if (eventlog) obs::evt::set_cursor(track.mn(), t);
+    if (track.advance(t)) ++made;
   }
+  if (eventlog) obs::evt::clear_cursor();
+  return made;
 }
 
 bool LocationDb::knows(MnId mn) const noexcept {
-  return records_.find(mn) != records_.end();
+  return tracks_.find(mn) != tracks_.end();
 }
 
 std::optional<LocationRecord> LocationDb::lookup(MnId mn) const {
-  auto it = records_.find(mn);
-  if (it == records_.end()) return std::nullopt;
-  return it->second.record;
+  auto it = tracks_.find(mn);
+  if (it == tracks_.end()) return std::nullopt;
+  return it->second.record();
+}
+
+std::optional<geo::Vec2> LocationDb::belief_at(MnId mn, SimTime t) const {
+  auto it = tracks_.find(mn);
+  if (it == tracks_.end()) return std::nullopt;
+  return it->second.belief_at(t);
 }
 
 Duration LocationDb::staleness(MnId mn, SimTime now) const {
-  auto it = records_.find(mn);
-  if (it == records_.end()) return std::numeric_limits<double>::infinity();
-  return now - it->second.record.last_reported.t;
+  auto it = tracks_.find(mn);
+  if (it == tracks_.end()) return std::numeric_limits<double>::infinity();
+  return now - it->second.record().last_reported.t;
 }
 
 std::vector<MnId> LocationDb::known_nodes() const {
   std::vector<MnId> out;
-  out.reserve(records_.size());
-  for (const auto& [mn, entry] : records_) out.push_back(mn);
+  out.reserve(tracks_.size());
+  for (const auto& [mn, track] : tracks_) out.push_back(mn);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 const std::deque<LocationFix>& LocationDb::history(MnId mn) const {
-  auto it = records_.find(mn);
-  return it == records_.end() ? kEmptyHistory : it->second.history;
+  auto it = tracks_.find(mn);
+  return it == tracks_.end() ? kEmptyHistory : it->second.history();
 }
 
 }  // namespace mgrid::broker

@@ -1,8 +1,10 @@
 // Location database (paper Fig. 3: the grid broker's location DB).
 //
-// Stores, per MN, the last *reported* fix, the broker's *current view*
-// (reported or estimated), and a bounded history of fixes for diagnostics
-// and estimator warm-starts.
+// A map of MnTrack (see broker/location_core.h) keyed by MnId: per MN the
+// last *reported* fix, the broker's *current view* (reported or estimated),
+// a bounded history of fixes and — when an estimator prototype is attached —
+// the per-MN location estimator clone. The single-MN apply/estimate logic
+// lives in MnTrack so the online serving layer shares it verbatim.
 #pragma once
 
 #include <deque>
@@ -10,66 +12,62 @@
 #include <unordered_map>
 #include <vector>
 
+#include "broker/location_core.h"
 #include "geo/vec2.h"
 #include "util/types.h"
 
 namespace mgrid::broker {
 
-/// One stored fix.
-struct LocationFix {
-  SimTime t = 0.0;
-  geo::Vec2 position;
-  geo::Vec2 velocity;
-  /// True when produced by the location estimator rather than received.
-  bool estimated = false;
-};
-
-/// The broker's knowledge about one MN.
-struct LocationRecord {
-  /// Last fix actually received from the ADF.
-  LocationFix last_reported;
-  /// Broker's current belief (== last_reported, or an estimate).
-  LocationFix current_view;
-};
-
 class LocationDb {
  public:
-  /// `history_limit`: fixes retained per MN (>= 1).
-  explicit LocationDb(std::size_t history_limit = 128);
+  /// `history_limit`: fixes retained per MN (>= 1). `estimator_prototype`
+  /// (not owned; may be nullptr, must outlive the DB) is cloned per MN on
+  /// its first update so advance_estimates()/belief_at() can forecast.
+  explicit LocationDb(
+      std::size_t history_limit = 128,
+      const estimation::LocationEstimator* estimator_prototype = nullptr);
 
-  /// Stores a received LU and makes it the current view.
-  void record_update(MnId mn, SimTime t, geo::Vec2 position,
+  /// Stores a received LU and makes it the current view. Returns false
+  /// (and changes nothing) when `t` precedes the MN's last received fix —
+  /// impossible on the in-order federation channel, but the shared core
+  /// rejects it for the serving layer's sake.
+  bool record_update(MnId mn, SimTime t, geo::Vec2 position,
                      geo::Vec2 velocity);
   /// Stores an estimated position as the current view (the last reported
   /// fix is untouched). Unknown MNs are rejected — the broker cannot
   /// estimate a node it has never heard from.
   void record_estimate(MnId mn, SimTime t, geo::Vec2 position);
 
+  /// Refreshes the view of every known MN whose last received fix is older
+  /// than `t` by recording its estimator forecast (no-op per MN when
+  /// estimation is disabled). Returns the number of estimates recorded.
+  std::size_t advance_estimates(SimTime t);
+
   [[nodiscard]] bool knows(MnId mn) const noexcept;
   /// Record for an MN; nullopt when never reported.
   [[nodiscard]] std::optional<LocationRecord> lookup(MnId mn) const;
+  /// Best belief about the MN's position *at time t* (the received fix when
+  /// fresh or estimation is disabled, otherwise the estimator forecast);
+  /// nullopt when never reported.
+  [[nodiscard]] std::optional<geo::Vec2> belief_at(MnId mn, SimTime t) const;
   /// Staleness of the last *received* fix at time `now` (+inf when never
   /// reported).
   [[nodiscard]] Duration staleness(MnId mn, SimTime now) const;
 
   /// All known MNs, sorted by id (deterministic iteration for callers).
   [[nodiscard]] std::vector<MnId> known_nodes() const;
-  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return tracks_.size(); }
 
   /// Bounded fix history (oldest first), received and estimated fixes
   /// interleaved.
   [[nodiscard]] const std::deque<LocationFix>& history(MnId mn) const;
 
  private:
-  struct Entry {
-    LocationRecord record;
-    std::deque<LocationFix> history;
-  };
-
-  void push_history(Entry& entry, const LocationFix& fix);
+  MnTrack& track_for(MnId mn);
 
   std::size_t history_limit_;
-  std::unordered_map<MnId, Entry> records_;
+  const estimation::LocationEstimator* estimator_prototype_;
+  std::unordered_map<MnId, MnTrack> tracks_;
   static const std::deque<LocationFix> kEmptyHistory;
 };
 

@@ -45,4 +45,13 @@ class LocationEstimator {
 [[nodiscard]] std::unique_ptr<LocationEstimator> make_estimator(
     std::string_view name);
 
+/// Like make_estimator(name), but with `alpha` > 0 the smoothing-based
+/// estimators ("brown_polar", "brown_cartesian", "ses") are built with that
+/// smoothing factor and `nominal_period` (the expected observation spacing)
+/// instead of their defaults. Both the experiment runner and the serving
+/// layer's replay build broker estimators through this one entry point so a
+/// recorded (name, alpha, period) triple reconstructs the identical chain.
+[[nodiscard]] std::unique_ptr<LocationEstimator> make_estimator(
+    std::string_view name, double alpha, double nominal_period);
+
 }  // namespace mgrid::estimation

@@ -23,4 +23,24 @@ std::unique_ptr<LocationEstimator> make_estimator(std::string_view name) {
                               std::string(name) + "'");
 }
 
+std::unique_ptr<LocationEstimator> make_estimator(std::string_view name,
+                                                  double alpha,
+                                                  double nominal_period) {
+  if (alpha > 0.0) {
+    BrownParams params;
+    params.alpha = alpha;
+    params.nominal_period = nominal_period;
+    if (name == "brown_polar") {
+      return std::make_unique<BrownPolarEstimator>(params);
+    }
+    if (name == "brown_cartesian") {
+      return std::make_unique<BrownCartesianEstimator>(params);
+    }
+    if (name == "ses") {
+      return std::make_unique<SesEstimator>(alpha, nominal_period);
+    }
+  }
+  return make_estimator(name);
+}
+
 }  // namespace mgrid::estimation

@@ -217,6 +217,11 @@ std::string EventLog::to_jsonl() const {
         .field("filter", info.filter)
         .field("estimator", info.estimator)
         .field("scoring", info.scoring)
+        .field("estimator_alpha", info.estimator_alpha)
+        .field("forecast_horizon", info.forecast_horizon)
+        .field("map_match", info.map_match)
+        .field("pipeline_depth",
+               static_cast<std::uint64_t>(info.pipeline_depth))
         .end_object()
         .end_object();
     out += header.str();
@@ -244,7 +249,11 @@ std::string EventLog::to_jsonl() const {
     line.field("decision", to_string(r.decision));
     line.field("reason", to_string(r.reason));
     if (r.channel != '-') line.field("channel", channel_name(r.channel));
-    if (r.broker_rx) line.field("broker_rx", true);
+    if (r.broker_rx) {
+      line.field("broker_rx", true);
+      if (r.vx != 0.0) line.field("vx", r.vx);
+      if (r.vy != 0.0) line.field("vy", r.vy);
+    }
     if (r.estimated) line.field("estimated", true);
     if (r.est_clamped) line.field("est_clamped", true);
     if (r.est_snapped) line.field("est_snapped", true);
@@ -265,7 +274,7 @@ std::string EventLog::to_csv() const {
   std::string out =
       "mn,t,x,y,region,gateway,handover,state,cluster,cluster_speed,dth,"
       "moved,decision,reason,channel,broker_rx,estimated,est_clamped,"
-      "est_snapped,scored,est_x,est_y,error\n";
+      "est_snapped,scored,est_x,est_y,error,vx,vy\n";
   for (const LuDecisionRecord& r : sorted) {
     out += std::to_string(r.mn);
     out += ',';
@@ -312,6 +321,10 @@ std::string EventLog::to_csv() const {
     append_double(out, r.est_y);
     out += ',';
     append_double(out, r.error);
+    out += ',';
+    append_double(out, r.vx);
+    out += ',';
+    append_double(out, r.vy);
     out += '\n';
   }
   return out;
@@ -527,8 +540,12 @@ void battery_dead(std::uint32_t mn, double t) {
   });
 }
 
-void broker_received(std::uint32_t mn, double t) {
-  amend_key(mn, t, [&](LuDecisionRecord& r) { r.broker_rx = true; });
+void broker_received(std::uint32_t mn, double t, double vx, double vy) {
+  amend_key(mn, t, [&](LuDecisionRecord& r) {
+    r.broker_rx = true;
+    r.vx = vx;
+    r.vy = vy;
+  });
 }
 
 void broker_estimated(std::uint32_t mn, double t) {

@@ -74,6 +74,8 @@ struct LuDecisionRecord {
   LuReason reason = LuReason::kNone;
   char channel = '-';  ///< 'D' delivered, 'L' lost, '-' no uplink attempt.
   bool broker_rx = false;
+  double vx = 0.0;  ///< Velocity hint the broker fed its estimator.
+  double vy = 0.0;
   bool estimated = false;    ///< Broker coasted an estimate at this tick.
   bool est_clamped = false;  ///< Horizon clamp engaged while estimating.
   bool est_snapped = false;  ///< Map-matcher snapped the estimate to a road.
@@ -102,6 +104,15 @@ struct EventLogRunInfo {
   std::string filter;
   std::string estimator;
   std::string scoring;
+  /// Estimator smoothing factor (0 = factory default for the name).
+  double estimator_alpha = 0.0;
+  /// Estimate horizon clamp in seconds (0 = unclamped).
+  double forecast_horizon = 0.0;
+  bool map_match = false;
+  /// Federation cycles between an MN sampling a position and the broker
+  /// receiving the LU (MN -> ADF -> broker). Replay drivers need it to
+  /// reconstruct broker arrival ticks from sample timestamps.
+  std::uint32_t pipeline_depth = 0;
 };
 
 class EventLog {
@@ -352,7 +363,9 @@ void verdict(std::uint32_t mn, double t, bool transmit, double moved,
              double dth, std::int64_t cluster);
 void device_suppressed(std::uint32_t mn, double t, double dth);
 void battery_dead(std::uint32_t mn, double t);
-void broker_received(std::uint32_t mn, double t);
+/// `vx`/`vy` echo the velocity hint delivered with the LU so a replay can
+/// feed the broker's estimator the exact observation sequence.
+void broker_received(std::uint32_t mn, double t, double vx, double vy);
 void broker_estimated(std::uint32_t mn, double t);
 void scored(std::uint32_t mn, double t, double est_x, double est_y,
             double error);

@@ -75,22 +75,9 @@ std::unique_ptr<core::LocationUpdateFilter> make_filter(
 std::unique_ptr<estimation::LocationEstimator> make_broker_estimator(
     const ExperimentOptions& options, const geo::CampusMap& campus) {
   if (options.estimator.empty()) return nullptr;
-  std::unique_ptr<estimation::LocationEstimator> estimator;
-  if (options.estimator_alpha > 0.0) {
-    estimation::BrownParams params;
-    params.alpha = options.estimator_alpha;
-    params.nominal_period = options.sample_period;
-    if (options.estimator == "brown_polar") {
-      estimator = std::make_unique<estimation::BrownPolarEstimator>(params);
-    } else if (options.estimator == "brown_cartesian") {
-      estimator =
-          std::make_unique<estimation::BrownCartesianEstimator>(params);
-    } else if (options.estimator == "ses") {
-      estimator = std::make_unique<estimation::SesEstimator>(
-          options.estimator_alpha, options.sample_period);
-    }
-  }
-  if (!estimator) estimator = estimation::make_estimator(options.estimator);
+  std::unique_ptr<estimation::LocationEstimator> estimator =
+      estimation::make_estimator(options.estimator, options.estimator_alpha,
+                                 options.sample_period);
   if (options.map_match) {
     estimator = std::make_unique<estimation::MapMatchedEstimator>(
         std::move(estimator), campus);
@@ -128,6 +115,13 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
     info.estimator = options.estimator;
     info.scoring =
         options.scoring == ScoringMode::kLogical ? "logical" : "realtime";
+    info.estimator_alpha = options.estimator_alpha;
+    info.forecast_horizon = options.forecast_horizon;
+    info.map_match = options.map_match;
+    // MN sample -> ADF -> broker: two federation cycles (see
+    // scenario/federates.cpp) — replay drivers rebuild broker arrival
+    // ticks from this.
+    info.pipeline_depth = 2;
     options.event_log->set_run_info(info);
     scoped_event_log.emplace(*options.event_log);
   }
@@ -238,6 +232,15 @@ ExperimentResult run_experiment(const ExperimentOptions& options) {
       result.final_cluster_count += adf->clusterer().cluster_count();
       result.cluster_rebuilds += adf->rebuilds();
     }
+  }
+
+  const broker::LocationDb& db = broker->broker().db();
+  for (MnId mn : db.known_nodes()) {  // sorted -> deterministic order
+    const std::optional<broker::LocationRecord> record = db.lookup(mn);
+    const broker::LocationFix& view = record->current_view;
+    result.final_positions.push_back({static_cast<std::uint32_t>(mn.value()),
+                                      view.t, view.position.x,
+                                      view.position.y, view.estimated});
   }
   return result;
 }

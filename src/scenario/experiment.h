@@ -128,6 +128,18 @@ struct ExperimentOptions {
   ScoringMode scoring = ScoringMode::kRealTime;
 };
 
+/// Broker's final view of one MN when the federation stopped. The serving
+/// layer's eventlog replay reproduces these to verify it drives the shared
+/// estimation core exactly as the federation broker did.
+struct FinalPosition {
+  std::uint32_t mn = 0;
+  /// Time of the view (sample time when reported, tick time when estimated).
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+  bool estimated = false;
+};
+
 struct ExperimentResult {
   // --- traffic (Figs. 4-6) -------------------------------------------------
   /// Transmitted LUs per metric bucket.
@@ -179,6 +191,8 @@ struct ExperimentResult {
   std::uint64_t keepalives_received = 0;
   /// Grid job workload outcome (all zero when disabled).
   JobReport jobs;
+  /// Broker's final per-MN views, sorted by MN id.
+  std::vector<FinalPosition> final_positions;
 };
 
 /// Runs one experiment. Throws on invalid options.

@@ -1,7 +1,9 @@
 #include "scenario/result_io.h"
 
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/json.h"
 
@@ -51,6 +53,15 @@ std::string to_json(const ExperimentOptions& options,
   json.field("mean_lu_per_bucket", result.mean_lu_per_bucket);
   json.field("lus_lost_on_air",
              static_cast<std::uint64_t>(result.lus_lost_on_air));
+  json.field("lus_suppressed",
+             static_cast<std::uint64_t>(result.lus_suppressed));
+  json.field("uplink_messages",
+             static_cast<std::uint64_t>(result.uplink_messages));
+  json.field("uplink_bytes", static_cast<std::uint64_t>(result.uplink_bytes));
+  json.field("downlink_messages",
+             static_cast<std::uint64_t>(result.downlink_messages));
+  json.field("downlink_bytes",
+             static_cast<std::uint64_t>(result.downlink_bytes));
   json.end_object();
 
   json.key("error").begin_object();
@@ -73,6 +84,10 @@ std::string to_json(const ExperimentOptions& options,
   json.field("lus_suppressed_on_device",
              static_cast<std::uint64_t>(
                  result.energy.lus_suppressed_on_device));
+  json.field("dth_updates_received",
+             static_cast<std::uint64_t>(result.energy.dth_updates_received));
+  json.field("lus_dropped_battery",
+             static_cast<std::uint64_t>(result.energy.lus_dropped_battery));
   json.field("dth_downlink_messages",
              static_cast<std::uint64_t>(result.dth_downlink_messages));
   json.field("keepalives_sent",
@@ -80,8 +95,22 @@ std::string to_json(const ExperimentOptions& options,
   json.field("mean_energy_j", result.energy.mean_energy_j);
   json.field("mean_energy_cellphone_j",
              result.energy.mean_energy_cellphone_j);
+  json.field("mean_energy_pda_j", result.energy.mean_energy_pda_j);
+  json.field("mean_energy_laptop_j", result.energy.mean_energy_laptop_j);
   json.field("projected_cellphone_lifetime_h",
              result.energy.projected_cellphone_lifetime_h);
+  json.end_object();
+
+  json.key("jobs").begin_object();
+  json.field("submitted", static_cast<std::uint64_t>(result.jobs.submitted));
+  json.field("completed", static_cast<std::uint64_t>(result.jobs.completed));
+  json.field("timed_out", static_cast<std::uint64_t>(result.jobs.timed_out));
+  json.field("still_pending",
+             static_cast<std::uint64_t>(result.jobs.still_pending));
+  json.field("still_running",
+             static_cast<std::uint64_t>(result.jobs.still_running));
+  json.field("mean_completion_time", result.jobs.mean_completion_time);
+  json.field("mean_dispatch_distance", result.jobs.mean_dispatch_distance);
   json.end_object();
 
   json.key("run").begin_object();
@@ -96,7 +125,21 @@ std::string to_json(const ExperimentOptions& options,
   json.field("interactions_sent",
              static_cast<std::uint64_t>(
                  result.federation_stats.interactions_sent));
+  json.field("keepalives_received",
+             static_cast<std::uint64_t>(result.keepalives_received));
   json.end_object();
+
+  json.key("final_positions").begin_array();
+  for (const FinalPosition& fp : result.final_positions) {
+    json.begin_object();
+    json.field("mn", static_cast<std::uint64_t>(fp.mn));
+    json.field("t", fp.t);
+    json.field("x", fp.x);
+    json.field("y", fp.y);
+    json.field("estimated", fp.estimated);
+    json.end_object();
+  }
+  json.end_array();
 
   if (include_series) {
     json.key("series").begin_object();
@@ -117,6 +160,120 @@ void save_json(const std::string& path, const ExperimentOptions& options,
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_json: cannot write " + path);
   out << to_json(options, result, include_series) << '\n';
+}
+
+namespace {
+
+std::uint64_t read_u64(const util::JsonValue& object, std::string_view key) {
+  return static_cast<std::uint64_t>(object.at(key).as_double());
+}
+
+std::vector<double> read_series(const util::JsonValue& object,
+                                std::string_view key) {
+  std::vector<double> out;
+  for (const util::JsonValue& v : object.at(key).as_array()) {
+    out.push_back(v.as_double());
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult result_from_json(const util::JsonValue& doc) {
+  ExperimentResult result;
+
+  const util::JsonValue& traffic = doc.at("traffic");
+  result.total_transmitted = read_u64(traffic, "total_transmitted");
+  result.total_attempted = read_u64(traffic, "total_attempted");
+  result.transmission_rate = traffic.at("transmission_rate").as_double();
+  result.road_transmission_rate =
+      traffic.at("road_transmission_rate").as_double();
+  result.building_transmission_rate =
+      traffic.at("building_transmission_rate").as_double();
+  result.mean_lu_per_bucket = traffic.at("mean_lu_per_bucket").as_double();
+  result.lus_lost_on_air = read_u64(traffic, "lus_lost_on_air");
+  result.lus_suppressed = read_u64(traffic, "lus_suppressed");
+  result.uplink_messages = read_u64(traffic, "uplink_messages");
+  result.uplink_bytes = read_u64(traffic, "uplink_bytes");
+  result.downlink_messages = read_u64(traffic, "downlink_messages");
+  result.downlink_bytes = read_u64(traffic, "downlink_bytes");
+
+  const util::JsonValue& error = doc.at("error");
+  result.rmse_overall = error.at("rmse").as_double();
+  result.rmse_road = error.at("rmse_road").as_double();
+  result.rmse_building = error.at("rmse_building").as_double();
+  result.mae_overall = error.at("mae").as_double();
+
+  const util::JsonValue& adf = doc.at("adf");
+  result.final_cluster_count =
+      static_cast<std::size_t>(read_u64(adf, "final_cluster_count"));
+  result.cluster_rebuilds = read_u64(adf, "cluster_rebuilds");
+
+  const util::JsonValue& energy = doc.at("energy");
+  result.energy.lus_transmitted = read_u64(energy, "lus_transmitted");
+  result.energy.lus_suppressed_on_device =
+      read_u64(energy, "lus_suppressed_on_device");
+  result.energy.dth_updates_received =
+      read_u64(energy, "dth_updates_received");
+  result.energy.lus_dropped_battery =
+      read_u64(energy, "lus_dropped_battery");
+  result.dth_downlink_messages = read_u64(energy, "dth_downlink_messages");
+  result.keepalives_sent = read_u64(energy, "keepalives_sent");
+  result.energy.mean_energy_j = energy.at("mean_energy_j").as_double();
+  result.energy.mean_energy_cellphone_j =
+      energy.at("mean_energy_cellphone_j").as_double();
+  result.energy.mean_energy_pda_j =
+      energy.at("mean_energy_pda_j").as_double();
+  result.energy.mean_energy_laptop_j =
+      energy.at("mean_energy_laptop_j").as_double();
+  result.energy.projected_cellphone_lifetime_h =
+      energy.at("projected_cellphone_lifetime_h").as_double();
+
+  const util::JsonValue& jobs = doc.at("jobs");
+  result.jobs.submitted = read_u64(jobs, "submitted");
+  result.jobs.completed = read_u64(jobs, "completed");
+  result.jobs.timed_out = read_u64(jobs, "timed_out");
+  result.jobs.still_pending = read_u64(jobs, "still_pending");
+  result.jobs.still_running = read_u64(jobs, "still_running");
+  result.jobs.mean_completion_time =
+      jobs.at("mean_completion_time").as_double();
+  result.jobs.mean_dispatch_distance =
+      jobs.at("mean_dispatch_distance").as_double();
+
+  const util::JsonValue& run = doc.at("run");
+  result.node_count = static_cast<std::size_t>(read_u64(run, "node_count"));
+  result.handovers = read_u64(run, "handovers");
+  result.broker_stats.updates_received = read_u64(run, "updates_received");
+  result.broker_stats.estimates_made = read_u64(run, "estimates_made");
+  result.federation_stats.cycles = read_u64(run, "federation_cycles");
+  result.federation_stats.interactions_sent =
+      read_u64(run, "interactions_sent");
+  result.keepalives_received = read_u64(run, "keepalives_received");
+  result.broker_stats.keepalives_received = result.keepalives_received;
+
+  for (const util::JsonValue& fp : doc.at("final_positions").as_array()) {
+    result.final_positions.push_back(
+        {static_cast<std::uint32_t>(fp.at("mn").as_double()),
+         fp.at("t").as_double(), fp.at("x").as_double(),
+         fp.at("y").as_double(), fp.at("estimated").as_bool()});
+  }
+
+  if (const util::JsonValue* series = doc.find("series")) {
+    result.lu_per_bucket = read_series(*series, "lu_per_bucket");
+    result.lu_cumulative = read_series(*series, "lu_cumulative");
+    result.rmse_per_bucket = read_series(*series, "rmse");
+    result.rmse_per_bucket_road = read_series(*series, "rmse_road");
+    result.rmse_per_bucket_building = read_series(*series, "rmse_building");
+  }
+  return result;
+}
+
+ExperimentResult load_result_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_result_json: cannot read " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return result_from_json(util::JsonValue::parse(text));
 }
 
 }  // namespace mgrid::scenario

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "scenario/experiment.h"
+#include "util/json.h"
 
 namespace mgrid::scenario {
 
@@ -20,5 +21,16 @@ namespace mgrid::scenario {
 /// Writes to_json() to a file; throws std::runtime_error when unwritable.
 void save_json(const std::string& path, const ExperimentOptions& options,
                const ExperimentResult& result, bool include_series = true);
+
+/// Inverse of to_json for the *result* portion: rebuilds an
+/// ExperimentResult from a parsed document produced by to_json. Every
+/// result field the writer emits is read back (the round-trip test in
+/// tests/scenario fails when the two drift apart); the options block is
+/// ignored. Throws util::JsonParseError on missing fields.
+[[nodiscard]] ExperimentResult result_from_json(const util::JsonValue& doc);
+
+/// Parses the file at `path` (as written by save_json) into a result.
+/// Throws std::runtime_error when unreadable.
+[[nodiscard]] ExperimentResult load_result_json(const std::string& path);
 
 }  // namespace mgrid::scenario

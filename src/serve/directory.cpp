@@ -1,0 +1,418 @@
+#include "serve/directory.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace mgrid::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter updates;
+  obs::Counter rejected;
+  obs::Counter lookups;
+  obs::Counter region_queries;
+  obs::Counter nearest_queries;
+  obs::Counter estimates;
+  obs::HistogramMetric update_seconds;
+  obs::HistogramMetric lookup_seconds;
+  obs::HistogramMetric region_seconds;
+  obs::HistogramMetric nearest_seconds;
+
+  explicit ServeMetrics(obs::MetricsRegistry& registry) {
+    updates = registry.counter("mgrid_serve_updates_total", {},
+                               "LUs applied to the serving directory");
+    rejected = registry.counter("mgrid_serve_updates_rejected_total", {},
+                                "LUs rejected (timestamp regression)");
+    lookups = registry.counter("mgrid_serve_lookups_total", {},
+                               "Single-MN lookups served");
+    region_queries = registry.counter("mgrid_serve_region_queries_total", {},
+                                      "Region queries served");
+    nearest_queries = registry.counter(
+        "mgrid_serve_nearest_queries_total", {}, "k-nearest queries served");
+    estimates = registry.counter(
+        "mgrid_serve_estimates_total", {},
+        "Estimator forecasts recorded by advance_estimates");
+    update_seconds =
+        registry.histogram("mgrid_serve_update_seconds", 0.0, 1e-3, 50, {},
+                           "Latency of one directory update");
+    lookup_seconds =
+        registry.histogram("mgrid_serve_lookup_seconds", 0.0, 1e-3, 50, {},
+                           "Latency of one directory lookup");
+    region_seconds =
+        registry.histogram("mgrid_serve_region_seconds", 0.0, 1e-2, 50, {},
+                           "Latency of one region query");
+    nearest_seconds =
+        registry.histogram("mgrid_serve_nearest_seconds", 0.0, 1e-2, 50, {},
+                           "Latency of one k-nearest query");
+  }
+};
+
+ServeMetrics& serve_metrics() { return obs::instruments<ServeMetrics>(); }
+
+/// Latency scope: samples steady_clock only when telemetry is on.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  void record(obs::HistogramMetric& histogram) const {
+    if (!enabled_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram.observe(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+ShardedDirectory::ShardedDirectory(
+    DirectoryOptions options,
+    std::unique_ptr<estimation::LocationEstimator> estimator_prototype)
+    : options_(options), prototype_(std::move(estimator_prototype)) {
+  if (options_.shards == 0) {
+    throw std::invalid_argument("ShardedDirectory: shards must be >= 1");
+  }
+  if (options_.history_limit == 0) {
+    throw std::invalid_argument(
+        "ShardedDirectory: history_limit must be >= 1");
+  }
+  if (!(options_.cell_size > 0.0)) {
+    throw std::invalid_argument("ShardedDirectory: cell_size must be > 0");
+  }
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::int64_t ShardedDirectory::cell_key(geo::Vec2 position) const noexcept {
+  const auto cx =
+      static_cast<std::int32_t>(std::floor(position.x / options_.cell_size));
+  const auto cy =
+      static_cast<std::int32_t>(std::floor(position.y / options_.cell_size));
+  return (static_cast<std::int64_t>(cx) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(cy));
+}
+
+void ShardedDirectory::index_position(Shard& shard, std::uint32_t mn,
+                                      geo::Vec2 position) {
+  const std::int64_t key = cell_key(position);
+  auto it = shard.cell_of.find(mn);
+  if (it != shard.cell_of.end()) {
+    if (it->second == key) return;
+    std::vector<std::uint32_t>& old_cell = shard.cells[it->second];
+    old_cell.erase(std::find(old_cell.begin(), old_cell.end(), mn));
+    if (old_cell.empty()) shard.cells.erase(it->second);
+    it->second = key;
+  } else {
+    shard.cell_of.emplace(mn, key);
+  }
+  shard.cells[key].push_back(mn);
+  if (!shard.has_bounds) {
+    shard.has_bounds = true;
+    shard.min_x = shard.max_x = position.x;
+    shard.min_y = shard.max_y = position.y;
+  } else {
+    shard.min_x = std::min(shard.min_x, position.x);
+    shard.max_x = std::max(shard.max_x, position.x);
+    shard.min_y = std::min(shard.min_y, position.y);
+    shard.max_y = std::max(shard.max_y, position.y);
+  }
+}
+
+bool ShardedDirectory::update(std::uint32_t mn, SimTime t, geo::Vec2 position,
+                              geo::Vec2 velocity) {
+  const bool telemetry = obs::enabled();
+  const LatencyTimer timer(telemetry);
+  bool applied = false;
+  {
+    Shard& shard = shard_for(mn);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.tracks.find(mn);
+    if (it == shard.tracks.end()) {
+      it = shard.tracks
+               .emplace(mn, broker::MnTrack(
+                                mn, options_.history_limit,
+                                prototype_ != nullptr ? prototype_->clone()
+                                                      : nullptr))
+               .first;
+    }
+    applied = it->second.apply_update(t, position, velocity);
+    if (applied) index_position(shard, mn, position);
+  }
+  if (telemetry) {
+    ServeMetrics& metrics = serve_metrics();
+    (applied ? metrics.updates : metrics.rejected).inc();
+    timer.record(metrics.update_seconds);
+  }
+  return applied;
+}
+
+std::size_t ShardedDirectory::apply_batch(const std::vector<LuApply>& batch) {
+  // Bucket indices by destination shard, then take each shard lock once.
+  std::vector<std::vector<std::size_t>> buckets(shards_.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    buckets[batch[i].mn % shards_.size()].push_back(i);
+  }
+  std::size_t applied = 0;
+  for (std::size_t s = 0; s < buckets.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t i : buckets[s]) {
+      const LuApply& lu = batch[i];
+      auto it = shard.tracks.find(lu.mn);
+      if (it == shard.tracks.end()) {
+        it = shard.tracks
+                 .emplace(lu.mn,
+                          broker::MnTrack(lu.mn, options_.history_limit,
+                                          prototype_ != nullptr
+                                              ? prototype_->clone()
+                                              : nullptr))
+                 .first;
+      }
+      if (it->second.apply_update(lu.t, lu.position, lu.velocity)) {
+        index_position(shard, lu.mn, lu.position);
+        ++applied;
+      }
+    }
+  }
+  if (obs::enabled()) {
+    ServeMetrics& metrics = serve_metrics();
+    if (applied > 0) metrics.updates.inc(applied);
+    if (applied < batch.size()) metrics.rejected.inc(batch.size() - applied);
+  }
+  return applied;
+}
+
+std::optional<DirectoryEntry> ShardedDirectory::lookup(
+    std::uint32_t mn) const {
+  const bool telemetry = obs::enabled();
+  const LatencyTimer timer(telemetry);
+  std::optional<DirectoryEntry> entry;
+  {
+    Shard& shard = shard_for(mn);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.tracks.find(mn);
+    if (it != shard.tracks.end()) {
+      const broker::LocationFix& view = it->second.record().current_view;
+      entry = DirectoryEntry{mn, view.t, view.position, view.estimated};
+    }
+  }
+  if (telemetry) {
+    ServeMetrics& metrics = serve_metrics();
+    metrics.lookups.inc();
+    timer.record(metrics.lookup_seconds);
+  }
+  return entry;
+}
+
+std::optional<geo::Vec2> ShardedDirectory::belief_at(std::uint32_t mn,
+                                                     SimTime t) const {
+  Shard& shard = shard_for(mn);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.tracks.find(mn);
+  if (it == shard.tracks.end()) return std::nullopt;
+  return it->second.belief_at(t);
+}
+
+std::size_t ShardedDirectory::advance_estimates(SimTime t) {
+  std::size_t made = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto& [mn, track] : shard->tracks) {
+      const std::optional<geo::Vec2> estimate = track.advance(t);
+      if (estimate) {
+        index_position(*shard, mn, *estimate);
+        ++made;
+      }
+    }
+  }
+  if (made > 0 && obs::enabled()) serve_metrics().estimates.inc(made);
+  return made;
+}
+
+void ShardedDirectory::scan_cell(const Shard& shard, std::int64_t key,
+                                 geo::Vec2 center, double radius_sq,
+                                 std::vector<Neighbor>& out) const {
+  auto cell = shard.cells.find(key);
+  if (cell == shard.cells.end()) return;
+  for (std::uint32_t mn : cell->second) {
+    const geo::Vec2 position =
+        shard.tracks.at(mn).record().current_view.position;
+    const geo::Vec2 d = position - center;
+    const double dist_sq = d.x * d.x + d.y * d.y;
+    if (dist_sq <= radius_sq) {
+      out.push_back({mn, std::sqrt(dist_sq), position});
+    }
+  }
+}
+
+std::vector<Neighbor> ShardedDirectory::query_region(
+    geo::Vec2 center, double radius, std::size_t max_results) const {
+  const bool telemetry = obs::enabled();
+  const LatencyTimer timer(telemetry);
+  std::vector<Neighbor> hits;
+  if (radius >= 0.0) {
+    const double cell = options_.cell_size;
+    const auto lo_x = static_cast<std::int64_t>(
+        std::floor((center.x - radius) / cell));
+    const auto hi_x = static_cast<std::int64_t>(
+        std::floor((center.x + radius) / cell));
+    const auto lo_y = static_cast<std::int64_t>(
+        std::floor((center.y - radius) / cell));
+    const auto hi_y = static_cast<std::int64_t>(
+        std::floor((center.y + radius) / cell));
+    const double radius_sq = radius * radius;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      const auto range_cells = static_cast<std::uint64_t>(hi_x - lo_x + 1) *
+                               static_cast<std::uint64_t>(hi_y - lo_y + 1);
+      if (range_cells > shard->cells.size()) {
+        // Fewer occupied cells than cells in range: walk the index instead.
+        for (const auto& [key, mns] : shard->cells) {
+          const auto cx = static_cast<std::int32_t>(key >> 32);
+          const auto cy = static_cast<std::int32_t>(
+              static_cast<std::uint32_t>(key & 0xFFFFFFFF));
+          if (cx < lo_x || cx > hi_x || cy < lo_y || cy > hi_y) continue;
+          scan_cell(*shard, key, center, radius_sq, hits);
+        }
+      } else {
+        for (std::int64_t cx = lo_x; cx <= hi_x; ++cx) {
+          for (std::int64_t cy = lo_y; cy <= hi_y; ++cy) {
+            const std::int64_t key =
+                (cx << 32) |
+                static_cast<std::int64_t>(
+                    static_cast<std::uint32_t>(static_cast<std::int32_t>(cy)));
+            scan_cell(*shard, key, center, radius_sq, hits);
+          }
+        }
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.mn < b.mn;
+  });
+  if (max_results > 0 && hits.size() > max_results) {
+    hits.resize(max_results);
+  }
+  if (telemetry) {
+    ServeMetrics& metrics = serve_metrics();
+    metrics.region_queries.inc();
+    timer.record(metrics.region_seconds);
+  }
+  return hits;
+}
+
+std::vector<Neighbor> ShardedDirectory::k_nearest(geo::Vec2 center,
+                                                  std::size_t k) const {
+  const bool telemetry = obs::enabled();
+  const LatencyTimer timer(telemetry);
+  std::vector<Neighbor> merged;
+  if (k > 0) {
+    const double cell = options_.cell_size;
+    const auto center_cx =
+        static_cast<std::int64_t>(std::floor(center.x / cell));
+    const auto center_cy =
+        static_cast<std::int64_t>(std::floor(center.y / cell));
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      if (!shard->has_bounds) continue;
+      // Rings of cells at Chebyshev distance d from the centre cell. Every
+      // point in ring d is at least (d-1)*cell away, so once we hold k hits
+      // within that bound the shard is exhausted. The grown bounding box
+      // caps the expansion for under-filled shards.
+      const std::int64_t box_lo_x =
+          static_cast<std::int64_t>(std::floor(shard->min_x / cell));
+      const std::int64_t box_hi_x =
+          static_cast<std::int64_t>(std::floor(shard->max_x / cell));
+      const std::int64_t box_lo_y =
+          static_cast<std::int64_t>(std::floor(shard->min_y / cell));
+      const std::int64_t box_hi_y =
+          static_cast<std::int64_t>(std::floor(shard->max_y / cell));
+      const std::int64_t max_ring = std::max(
+          std::max(std::abs(center_cx - box_lo_x),
+                   std::abs(center_cx - box_hi_x)),
+          std::max(std::abs(center_cy - box_lo_y),
+                   std::abs(center_cy - box_hi_y)));
+      std::vector<Neighbor> shard_hits;
+      const double unlimited = std::numeric_limits<double>::infinity();
+      for (std::int64_t ring = 0; ring <= max_ring; ++ring) {
+        const double kth =
+            shard_hits.size() >= k ? shard_hits[k - 1].distance : unlimited;
+        if (static_cast<double>(ring - 1) * cell > kth) break;
+        for (std::int64_t cx = center_cx - ring; cx <= center_cx + ring;
+             ++cx) {
+          for (std::int64_t cy = center_cy - ring; cy <= center_cy + ring;
+               ++cy) {
+            if (std::max(std::abs(cx - center_cx), std::abs(cy - center_cy)) !=
+                ring) {
+              continue;  // interior cells were scanned by smaller rings
+            }
+            const std::int64_t key =
+                (cx << 32) |
+                static_cast<std::int64_t>(
+                    static_cast<std::uint32_t>(static_cast<std::int32_t>(cy)));
+            scan_cell(*shard, key, center, unlimited, shard_hits);
+          }
+        }
+        std::sort(shard_hits.begin(), shard_hits.end(),
+                  [](const Neighbor& a, const Neighbor& b) {
+                    return a.distance != b.distance ? a.distance < b.distance
+                                                    : a.mn < b.mn;
+                  });
+        if (shard_hits.size() > k) shard_hits.resize(k);
+      }
+      merged.insert(merged.end(), shard_hits.begin(), shard_hits.end());
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance != b.distance ? a.distance < b.distance
+                                                : a.mn < b.mn;
+              });
+    if (merged.size() > k) merged.resize(k);
+  }
+  if (telemetry) {
+    ServeMetrics& metrics = serve_metrics();
+    metrics.nearest_queries.inc();
+    timer.record(metrics.nearest_seconds);
+  }
+  return merged;
+}
+
+std::vector<DirectoryEntry> ShardedDirectory::snapshot() const {
+  std::vector<DirectoryEntry> out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [mn, track] : shard->tracks) {
+      const broker::LocationFix& view = track.record().current_view;
+      out.push_back({mn, view.t, view.position, view.estimated});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DirectoryEntry& a, const DirectoryEntry& b) {
+              return a.mn < b.mn;
+            });
+  return out;
+}
+
+std::size_t ShardedDirectory::size() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->tracks.size();
+  }
+  return total;
+}
+
+}  // namespace mgrid::serve

@@ -1,0 +1,148 @@
+// Sharded online location directory — the serving-layer face of the grid
+// broker's location DB.
+//
+// MN tracks are partitioned across N lock-striped shards (mn % shards);
+// each shard owns its tracks (broker::MnTrack — the exact single-MN
+// apply/estimate core the federation broker uses), a region index (uniform
+// grid of cells over current-view positions) and a monotonically-grown
+// bounding box used to terminate k-nearest ring expansion. All public
+// operations are safe to call concurrently from any thread; an operation
+// locks exactly the shards it touches, so updates and lookups for MNs on
+// different shards never contend.
+//
+// Per-op latency histograms and op counters are recorded through the
+// calling thread's obs::MetricsRegistry (see obs/metrics.h) when telemetry
+// is enabled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/location_core.h"
+#include "estimation/estimator.h"
+#include "geo/vec2.h"
+#include "util/types.h"
+
+namespace mgrid::serve {
+
+struct DirectoryOptions {
+  /// Lock stripes (>= 1). Tracks live on shard mn % shards.
+  std::size_t shards = 8;
+  /// Fixes retained per MN (>= 1). The serving layer keeps a short history;
+  /// the federation default (128) is tuned for offline diagnostics.
+  std::size_t history_limit = 8;
+  /// Region-index cell edge, metres (> 0).
+  double cell_size = 50.0;
+};
+
+/// One MN's current view, copied out under the shard lock.
+struct DirectoryEntry {
+  std::uint32_t mn = 0;
+  SimTime t = 0.0;
+  geo::Vec2 position;
+  /// True when the view is an estimator forecast rather than a received LU.
+  bool estimated = false;
+};
+
+/// One spatial-query hit.
+struct Neighbor {
+  std::uint32_t mn = 0;
+  double distance = 0.0;
+  geo::Vec2 position;
+};
+
+class ShardedDirectory {
+ public:
+  /// `estimator_prototype` (may be nullptr: estimation disabled) is cloned
+  /// per MN on first update, exactly like broker::LocationDb.
+  explicit ShardedDirectory(
+      DirectoryOptions options,
+      std::unique_ptr<estimation::LocationEstimator> estimator_prototype =
+          nullptr);
+
+  /// Applies one LU. Returns false when the update is rejected (timestamp
+  /// regression for the MN — see broker::MnTrack::apply_update).
+  bool update(std::uint32_t mn, SimTime t, geo::Vec2 position,
+              geo::Vec2 velocity);
+
+  /// One LU of a batch apply.
+  struct LuApply {
+    std::uint32_t mn = 0;
+    SimTime t = 0.0;
+    geo::Vec2 position;
+    geo::Vec2 velocity;
+  };
+
+  /// Applies a batch, grouped by destination shard so each touched shard is
+  /// locked once (the ingestion pipeline's fast path). Per-MN submission
+  /// order within the batch is preserved. Returns the number applied
+  /// (rejected = batch size - applied).
+  std::size_t apply_batch(const std::vector<LuApply>& batch);
+
+  /// Current view of one MN (received fix or last recorded estimate).
+  [[nodiscard]] std::optional<DirectoryEntry> lookup(std::uint32_t mn) const;
+
+  /// Best belief about the MN's position *at time t* (estimator forecast
+  /// when the last received fix is older than t; the fix otherwise).
+  [[nodiscard]] std::optional<geo::Vec2> belief_at(std::uint32_t mn,
+                                                   SimTime t) const;
+
+  /// Refreshes every stale track's view with its estimator forecast at `t`
+  /// (mirrors broker::LocationDb::advance_estimates) and moves the tracks
+  /// in the region index. Returns the number of estimates recorded.
+  std::size_t advance_estimates(SimTime t);
+
+  /// All MNs whose current-view position lies within `radius` of `center`,
+  /// sorted by (distance, mn). `max_results` 0 = unlimited.
+  [[nodiscard]] std::vector<Neighbor> query_region(
+      geo::Vec2 center, double radius, std::size_t max_results = 0) const;
+
+  /// The k MNs nearest to `center` by current-view position, sorted by
+  /// (distance, mn).
+  [[nodiscard]] std::vector<Neighbor> k_nearest(geo::Vec2 center,
+                                                std::size_t k) const;
+
+  /// Every track's current view, sorted by MN id — the serving layer's
+  /// analogue of the federation's final-position report.
+  [[nodiscard]] std::vector<DirectoryEntry> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint32_t, broker::MnTrack> tracks;
+    /// Region index: cell key -> MNs whose current view lies in the cell.
+    std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells;
+    /// Current cell of each indexed MN.
+    std::unordered_map<std::uint32_t, std::int64_t> cell_of;
+    /// Monotonically grown bounds of every position ever indexed; used only
+    /// to stop k-nearest ring expansion, so over-approximation is safe.
+    bool has_bounds = false;
+    double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint32_t mn) const noexcept {
+    return *shards_[mn % shards_.size()];
+  }
+  [[nodiscard]] std::int64_t cell_key(geo::Vec2 position) const noexcept;
+  /// Moves `mn` to the cell of `position` (caller holds the shard lock).
+  void index_position(Shard& shard, std::uint32_t mn, geo::Vec2 position);
+  /// Collects in-radius hits from one cell (caller holds the shard lock).
+  void scan_cell(const Shard& shard, std::int64_t key, geo::Vec2 center,
+                 double radius_sq, std::vector<Neighbor>& out) const;
+
+  DirectoryOptions options_;
+  std::unique_ptr<estimation::LocationEstimator> prototype_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mgrid::serve

@@ -1,0 +1,151 @@
+#include "serve/ingest.h"
+
+#include <stdexcept>
+
+namespace mgrid::serve {
+
+IngestPipeline::IngestPipeline(ShardedDirectory& directory,
+                               IngestOptions options)
+    : directory_(directory), options_(options) {
+  if (options_.sources == 0) {
+    throw std::invalid_argument("IngestPipeline: sources must be >= 1");
+  }
+  if (options_.workers == 0) {
+    throw std::invalid_argument("IngestPipeline: workers must be >= 1");
+  }
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("IngestPipeline: batch_size must be >= 1");
+  }
+  paused_ = options_.start_paused;
+  queues_.reserve(options_.sources);
+  for (std::size_t i = 0; i < options_.sources; ++i) {
+    queues_.push_back(std::make_unique<SourceQueue>());
+  }
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+IngestPipeline::~IngestPipeline() { stop(); }
+
+bool IngestPipeline::submit(const wire::LuMsg& msg) {
+  if (!accepting_.load(std::memory_order_acquire)) return false;
+  SourceQueue& queue = *queues_[msg.mn % queues_.size()];
+  bool was_empty = false;
+  {
+    const std::lock_guard<std::mutex> lock(queue.mutex);
+    if (options_.queue_capacity > 0 &&
+        queue.lus.size() >= options_.queue_capacity) {
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    was_empty = queue.lus.empty();
+    queue.lus.push_back(msg);
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (was_empty) {
+    // The owning worker may be parked on an empty queue; the lock pairs
+    // with its predicate check so the wakeup cannot be lost.
+    const std::lock_guard<std::mutex> lock(control_mutex_);
+    work_cv_.notify_all();
+  }
+  return true;
+}
+
+void IngestPipeline::resume() {
+  const std::lock_guard<std::mutex> lock(control_mutex_);
+  if (!paused_) return;
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void IngestPipeline::flush() {
+  resume();
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void IngestPipeline::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(control_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    accepting_.store(false, std::memory_order_release);
+    stopping_ = true;
+    paused_ = false;
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+bool IngestPipeline::own_work(std::size_t worker_id) {
+  for (std::size_t q = worker_id; q < queues_.size();
+       q += options_.workers) {
+    const std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+    if (!queues_[q]->lus.empty()) return true;
+  }
+  return false;
+}
+
+void IngestPipeline::worker_main(std::size_t worker_id) {
+  std::vector<ShardedDirectory::LuApply> batch;
+  batch.reserve(options_.batch_size);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      work_cv_.wait(lock, [this, worker_id] {
+        return stopping_ || (!paused_ && own_work(worker_id));
+      });
+    }
+    bool drained_any = false;
+    for (std::size_t q = worker_id; q < queues_.size();
+         q += options_.workers) {
+      SourceQueue& queue = *queues_[q];
+      batch.clear();
+      {
+        const std::lock_guard<std::mutex> lock(queue.mutex);
+        const std::size_t take =
+            std::min(options_.batch_size, queue.lus.size());
+        for (std::size_t i = 0; i < take; ++i) {
+          const wire::LuMsg& msg = queue.lus[i];
+          batch.push_back({msg.mn, msg.t, {msg.x, msg.y}, {msg.vx, msg.vy}});
+        }
+        queue.lus.erase(queue.lus.begin(),
+                        queue.lus.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      if (batch.empty()) continue;
+      drained_any = true;
+      const std::size_t applied = directory_.apply_batch(batch);
+      applied_.fetch_add(applied, std::memory_order_relaxed);
+      rejected_stale_.fetch_add(batch.size() - applied,
+                                std::memory_order_relaxed);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(batch.size(), std::memory_order_acq_rel) ==
+          batch.size()) {
+        const std::lock_guard<std::mutex> lock(control_mutex_);
+        idle_cv_.notify_all();
+      }
+    }
+    if (!drained_any) {
+      const std::lock_guard<std::mutex> lock(control_mutex_);
+      if (stopping_) return;
+    }
+  }
+}
+
+IngestStats IngestPipeline::stats() const {
+  IngestStats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  out.applied = applied_.load(std::memory_order_relaxed);
+  out.rejected_stale = rejected_stale_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace mgrid::serve

@@ -1,0 +1,116 @@
+// Batched LU ingestion pipeline for the serving layer.
+//
+// Producers submit decoded wire::LuMsg frames; each LU is routed to one of
+// `sources` MPSC queues by mn % sources, and each queue is owned by exactly
+// one worker (source % workers), so per-MN arrival order is preserved for
+// ANY worker count — replaying a log with 1 worker or 8 reaches the same
+// directory state. Workers drain their queues in batches, group each batch
+// by destination shard and apply it under one shard lock per group, which
+// amortises locking at high rates.
+//
+// flush() is the barrier the replay driver uses between simulated ticks:
+// it returns once every LU submitted before the call has been applied.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/directory.h"
+#include "serve/wire.h"
+
+namespace mgrid::serve {
+
+struct IngestOptions {
+  /// MPSC queue count (>= 1). LUs route to queue mn % sources.
+  std::size_t sources = 8;
+  /// Worker threads (>= 1). Queue q is owned by worker q % workers.
+  std::size_t workers = 1;
+  /// Max LUs a worker takes from one queue per drain.
+  std::size_t batch_size = 256;
+  /// Per-queue capacity; submits beyond it are rejected (0 = unbounded).
+  std::size_t queue_capacity = 0;
+  /// Start with workers parked: producers can pre-fill the queues, then
+  /// resume() releases the workers. Lets benchmarks time pure drain
+  /// throughput without the producer in the loop.
+  bool start_paused = false;
+};
+
+struct IngestStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_full = 0;   ///< Submits refused by a full queue.
+  std::uint64_t applied = 0;         ///< LUs applied to the directory.
+  std::uint64_t rejected_stale = 0;  ///< LUs the track refused (regression).
+  std::uint64_t batches = 0;         ///< Non-empty drains.
+};
+
+class IngestPipeline {
+ public:
+  /// `directory` must outlive the pipeline. Workers start immediately
+  /// (parked when options.start_paused).
+  IngestPipeline(ShardedDirectory& directory, IngestOptions options);
+  /// Stops and joins the workers; queued LUs are still drained first.
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Enqueues one LU. Returns false (and counts rejected_full) when the
+  /// source queue is at capacity. Thread-safe.
+  bool submit(const wire::LuMsg& msg);
+
+  /// Releases workers parked by start_paused (no-op otherwise).
+  void resume();
+
+  /// Blocks until everything submitted before the call has been applied.
+  /// Implies resume().
+  void flush();
+
+  /// Drains outstanding work and joins the workers. Idempotent; submit()
+  /// after stop() returns false.
+  void stop();
+
+  [[nodiscard]] IngestStats stats() const;
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  struct SourceQueue {
+    std::mutex mutex;
+    std::deque<wire::LuMsg> lus;
+  };
+
+  void worker_main(std::size_t worker_id);
+  /// True when any queue owned by `worker_id` holds LUs.
+  [[nodiscard]] bool own_work(std::size_t worker_id);
+
+  ShardedDirectory& directory_;
+  IngestOptions options_;
+  std::vector<std::unique_ptr<SourceQueue>> queues_;
+
+  mutable std::mutex control_mutex_;
+  std::condition_variable work_cv_;  ///< Signals workers: work or stop.
+  std::condition_variable idle_cv_;  ///< Signals flush(): pending drained.
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool stopped_ = false;
+
+  std::atomic<bool> accepting_{true};
+  /// LUs accepted but not yet applied (flush barrier condition).
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> rejected_stale_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mgrid::serve

@@ -1,0 +1,292 @@
+#include "serve/wire.h"
+
+#include <bit>
+
+namespace mgrid::serve::wire {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] |
+                                    (static_cast<std::uint16_t>(in[at + 1])
+                                     << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+double get_f64(std::span<const std::uint8_t> in, std::size_t at) {
+  return std::bit_cast<double>(get_u64(in, at));
+}
+
+std::size_t begin_frame(std::vector<std::uint8_t>& out, MsgType type) {
+  const std::size_t start = out.size();
+  put_u16(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload_size(type)));
+  return start;
+}
+
+}  // namespace
+
+std::string_view to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMoreData:
+      return "need_more_data";
+    case DecodeStatus::kBadMagic:
+      return "bad_magic";
+    case DecodeStatus::kBadVersion:
+      return "bad_version";
+    case DecodeStatus::kBadType:
+      return "bad_type";
+    case DecodeStatus::kBadLength:
+      return "bad_length";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kLu:
+      return "lu";
+    case MsgType::kAck:
+      return "ack";
+    case MsgType::kLookup:
+      return "lookup";
+    case MsgType::kLookupReply:
+      return "lookup_reply";
+    case MsgType::kRegionQuery:
+      return "region_query";
+    case MsgType::kNearestQuery:
+      return "nearest_query";
+  }
+  return "unknown";
+}
+
+std::size_t payload_size(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kLu:
+      return 56;
+    case MsgType::kAck:
+      return 16;
+    case MsgType::kLookup:
+      return 16;
+    case MsgType::kLookupReply:
+      return 32;
+    case MsgType::kRegionQuery:
+      return 32;
+    case MsgType::kNearestQuery:
+      return 24;
+  }
+  return 0;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const LuMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kLu);
+  put_u32(out, msg.mn);
+  put_u32(out, msg.seq);
+  put_f64(out, msg.t);
+  put_f64(out, msg.x);
+  put_f64(out, msg.y);
+  put_f64(out, msg.vx);
+  put_f64(out, msg.vy);
+  put_f64(out, msg.battery);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const AckMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kAck);
+  put_u32(out, msg.mn);
+  out.push_back(static_cast<std::uint8_t>(msg.status));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  put_f64(out, msg.t);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const LookupMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kLookup);
+  put_u32(out, msg.mn);
+  put_u32(out, 0);
+  put_f64(out, msg.t);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const LookupReplyMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kLookupReply);
+  put_u32(out, msg.mn);
+  out.push_back(msg.found ? 1 : 0);
+  out.push_back(msg.estimated ? 1 : 0);
+  out.push_back(0);
+  out.push_back(0);
+  put_f64(out, msg.t);
+  put_f64(out, msg.x);
+  put_f64(out, msg.y);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const RegionQueryMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kRegionQuery);
+  put_f64(out, msg.x);
+  put_f64(out, msg.y);
+  put_f64(out, msg.radius);
+  put_u32(out, msg.max_results);
+  put_u32(out, 0);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out,
+                   const NearestQueryMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kNearestQuery);
+  put_f64(out, msg.x);
+  put_f64(out, msg.y);
+  put_u32(out, msg.k);
+  put_u32(out, 0);
+  return out.size() - start;
+}
+
+Decoded decode_frame(std::span<const std::uint8_t> buffer) {
+  Decoded result;
+  if (buffer.size() < kHeaderBytes) {
+    // Validate whatever prefix of the header we do have, so garbage is
+    // rejected immediately instead of stalling a reader forever.
+    if (!buffer.empty() && buffer[0] != (kMagic & 0xFF)) {
+      result.status = DecodeStatus::kBadMagic;
+      return result;
+    }
+    if (buffer.size() >= 2 && get_u16(buffer, 0) != kMagic) {
+      result.status = DecodeStatus::kBadMagic;
+      return result;
+    }
+    if (buffer.size() >= 3 && buffer[2] != kVersion) {
+      result.status = DecodeStatus::kBadVersion;
+      return result;
+    }
+    result.status = DecodeStatus::kNeedMoreData;
+    return result;
+  }
+  if (get_u16(buffer, 0) != kMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (buffer[2] != kVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  const auto type = static_cast<MsgType>(buffer[3]);
+  const std::size_t expected = payload_size(type);
+  if (expected == 0) {
+    result.status = DecodeStatus::kBadType;
+    return result;
+  }
+  if (get_u32(buffer, 4) != expected) {
+    result.status = DecodeStatus::kBadLength;
+    return result;
+  }
+  if (buffer.size() < kHeaderBytes + expected) {
+    result.status = DecodeStatus::kNeedMoreData;
+    return result;
+  }
+  const std::size_t p = kHeaderBytes;
+  switch (type) {
+    case MsgType::kLu: {
+      LuMsg msg;
+      msg.mn = get_u32(buffer, p);
+      msg.seq = get_u32(buffer, p + 4);
+      msg.t = get_f64(buffer, p + 8);
+      msg.x = get_f64(buffer, p + 16);
+      msg.y = get_f64(buffer, p + 24);
+      msg.vx = get_f64(buffer, p + 32);
+      msg.vy = get_f64(buffer, p + 40);
+      msg.battery = get_f64(buffer, p + 48);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kAck: {
+      AckMsg msg;
+      msg.mn = get_u32(buffer, p);
+      msg.status = static_cast<AckStatus>(buffer[p + 4]);
+      msg.t = get_f64(buffer, p + 8);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kLookup: {
+      LookupMsg msg;
+      msg.mn = get_u32(buffer, p);
+      msg.t = get_f64(buffer, p + 8);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kLookupReply: {
+      LookupReplyMsg msg;
+      msg.mn = get_u32(buffer, p);
+      msg.found = buffer[p + 4] != 0;
+      msg.estimated = buffer[p + 5] != 0;
+      msg.t = get_f64(buffer, p + 8);
+      msg.x = get_f64(buffer, p + 16);
+      msg.y = get_f64(buffer, p + 24);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kRegionQuery: {
+      RegionQueryMsg msg;
+      msg.x = get_f64(buffer, p);
+      msg.y = get_f64(buffer, p + 8);
+      msg.radius = get_f64(buffer, p + 16);
+      msg.max_results = get_u32(buffer, p + 24);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kNearestQuery: {
+      NearestQueryMsg msg;
+      msg.x = get_f64(buffer, p);
+      msg.y = get_f64(buffer, p + 8);
+      msg.k = get_u32(buffer, p + 16);
+      result.msg = msg;
+      break;
+    }
+  }
+  result.status = DecodeStatus::kOk;
+  result.consumed = kHeaderBytes + expected;
+  return result;
+}
+
+}  // namespace mgrid::serve::wire

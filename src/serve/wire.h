@@ -1,0 +1,149 @@
+// mgrid-lu-v1: the serving layer's versioned binary wire protocol.
+//
+// Every frame is an 8-byte header followed by a fixed-size payload whose
+// length is determined by the message type:
+//
+//   offset  size  field
+//   0       2     magic   0x4D47 ("MG", little-endian u16)
+//   2       1     version (1)
+//   3       1     type    (MsgType)
+//   4       4     payload_len (little-endian u32; must match the type)
+//
+// Payloads (all integers little-endian, doubles as IEEE-754 bit patterns):
+//
+//   kLu (1), 56 bytes:          mn u32, seq u32, t f64, x f64, y f64,
+//                               vx f64, vy f64, battery f64
+//   kAck (2), 16 bytes:         mn u32, status u8, pad u8[3], t f64
+//   kLookup (3), 16 bytes:      mn u32, pad u32, t f64
+//   kLookupReply (4), 32 bytes: mn u32, found u8, estimated u8, pad u16,
+//                               t f64, x f64, y f64
+//   kRegionQuery (5), 32 bytes: x f64, y f64, radius f64, max_results u32,
+//                               pad u32
+//   kNearestQuery (6), 24 bytes: x f64, y f64, k u32, pad u32
+//
+// decode_frame() never throws on hostile bytes: it returns a typed status
+// (bad magic / version / type / length, or "need more data" for a prefix of
+// a valid frame) so a network reader can resynchronise or disconnect.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace mgrid::serve::wire {
+
+inline constexpr std::uint16_t kMagic = 0x4D47;  // "MG"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 8;
+
+enum class MsgType : std::uint8_t {
+  kLu = 1,
+  kAck = 2,
+  kLookup = 3,
+  kLookupReply = 4,
+  kRegionQuery = 5,
+  kNearestQuery = 6,
+};
+
+enum class AckStatus : std::uint8_t {
+  kOk = 0,
+  kRejected = 1,  ///< LU refused (e.g. timestamp regression).
+  kOverload = 2,  ///< Ingestion queue full; sender should back off.
+};
+
+/// A location update on the wire. `seq` is a per-source sequence number the
+/// receiver echoes in acks (0 when unused).
+struct LuMsg {
+  std::uint32_t mn = 0;
+  std::uint32_t seq = 0;
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+  double vx = 0.0;
+  double vy = 0.0;
+  double battery = 1.0;
+};
+
+struct AckMsg {
+  std::uint32_t mn = 0;
+  AckStatus status = AckStatus::kOk;
+  double t = 0.0;
+};
+
+struct LookupMsg {
+  std::uint32_t mn = 0;
+  /// Query time the caller wants the belief evaluated at.
+  double t = 0.0;
+};
+
+struct LookupReplyMsg {
+  std::uint32_t mn = 0;
+  bool found = false;
+  bool estimated = false;
+  double t = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct RegionQueryMsg {
+  double x = 0.0;
+  double y = 0.0;
+  double radius = 0.0;
+  std::uint32_t max_results = 0;  ///< 0 = unlimited.
+};
+
+struct NearestQueryMsg {
+  double x = 0.0;
+  double y = 0.0;
+  std::uint32_t k = 0;
+};
+
+using Message = std::variant<std::monostate, LuMsg, AckMsg, LookupMsg,
+                             LookupReplyMsg, RegionQueryMsg, NearestQueryMsg>;
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  /// The buffer is a proper prefix of a valid frame — read more bytes.
+  kNeedMoreData,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  /// payload_len does not match the fixed size for the type.
+  kBadLength,
+};
+
+[[nodiscard]] std::string_view to_string(DecodeStatus status) noexcept;
+[[nodiscard]] std::string_view to_string(MsgType type) noexcept;
+
+struct Decoded {
+  DecodeStatus status = DecodeStatus::kNeedMoreData;
+  /// Bytes consumed from the buffer (header + payload) when status == kOk;
+  /// 0 otherwise.
+  std::size_t consumed = 0;
+  Message msg;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == DecodeStatus::kOk;
+  }
+};
+
+/// Fixed payload size for a message type; 0 for an unknown type byte.
+[[nodiscard]] std::size_t payload_size(MsgType type) noexcept;
+
+/// Appends one encoded frame to `out`. Returns the frame size in bytes.
+std::size_t encode(std::vector<std::uint8_t>& out, const LuMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const AckMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const LookupMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const LookupReplyMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const RegionQueryMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const NearestQueryMsg& msg);
+
+/// Decodes the frame at the start of `buffer`. Never throws; malformed
+/// bytes yield a non-kOk status with consumed == 0 so the caller decides
+/// whether to resync or drop the connection.
+[[nodiscard]] Decoded decode_frame(std::span<const std::uint8_t> buffer);
+
+}  // namespace mgrid::serve::wire

@@ -66,6 +66,20 @@ Config Config::from_args(const std::vector<std::string>& args) {
   return config;
 }
 
+Config Config::from_argv(int argc, const char* const* argv,
+                         std::string_view file_key) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  Config config = from_args(args);
+  if (!file_key.empty() && config.contains(file_key)) {
+    Config file = from_file(config.require_string(file_key));
+    file.merge(config);  // command line overrides the file
+    config = std::move(file);
+  }
+  return config;
+}
+
 Config Config::from_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw ConfigError("cannot open config file: " + path);

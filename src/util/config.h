@@ -40,6 +40,15 @@ class Config {
   /// Loads from a file. Throws ConfigError if unreadable.
   static Config from_file(const std::string& path);
 
+  /// The one entry point every binary should use: parses argv[1..argc)
+  /// with from_args' dash normalisation, and when `file_key` names a config
+  /// file (e.g. `config=run.cfg`) loads it and merges the command line over
+  /// it — so flags beat the file everywhere, identically. Pass a different
+  /// `file_key` when the binary already uses one (run_sweep's `grid=`);
+  /// empty disables file loading.
+  static Config from_argv(int argc, const char* const* argv,
+                          std::string_view file_key = "config");
+
   void set(std::string key, std::string value);
 
   [[nodiscard]] bool contains(std::string_view key) const noexcept;

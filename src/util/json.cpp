@@ -193,6 +193,11 @@ std::string JsonWriter::str() const {
 
 class JsonParser {
  public:
+  /// Nesting ceiling for objects/arrays. Recursive-descent parsing uses one
+  /// native stack frame per level, so hostile inputs like 100k '[' would
+  /// otherwise overflow the stack instead of throwing JsonParseError.
+  static constexpr std::size_t kMaxDepth = 128;
+
   explicit JsonParser(std::string_view text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -267,7 +272,23 @@ class JsonParser {
     }
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(JsonParser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxDepth) +
+                     " levels");
+      }
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    JsonParser& parser_;
+  };
+
   JsonValue parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     JsonValue value;
     value.kind_ = JsonValue::Kind::kObject;
@@ -291,6 +312,7 @@ class JsonParser {
   }
 
   JsonValue parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     JsonValue value;
     value.kind_ = JsonValue::Kind::kArray;
@@ -417,6 +439,7 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 JsonValue JsonValue::parse(std::string_view text) {

@@ -197,7 +197,7 @@ TEST(EventLog, CsvHasFixedHeader) {
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
             "mn,t,x,y,region,gateway,handover,state,cluster,cluster_speed,"
             "dth,moved,decision,reason,channel,broker_rx,estimated,"
-            "est_clamped,est_snapped,scored,est_x,est_y,error");
+            "est_clamped,est_snapped,scored,est_x,est_y,error,vx,vy");
 }
 
 TEST(EventLog, RejectsInvalidOptions) {

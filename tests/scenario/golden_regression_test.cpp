@@ -1,0 +1,70 @@
+// Frozen end-to-end goldens for the reference experiment configurations.
+//
+// These values were captured before broker/location_db was refactored onto
+// the shared MnTrack core (broker/location_core) and must stay bit-for-bit:
+// the refactor — and any future change to the update/estimate path — is
+// required to be behaviour-preserving for the federation. Counts use exact
+// equality; doubles use 1e-9 (the platform baseline carries no FMA
+// contraction, so Debug and Release agree to the last bit in practice).
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.h"
+
+namespace mgrid::scenario {
+namespace {
+
+TEST(GoldenRegression, BrownPolarLossyRunMatchesPreRefactorCapture) {
+  ExperimentOptions options;
+  options.duration = 30.0;
+  options.estimator = "brown_polar";
+  options.channel.loss_probability = 0.05;
+  const ExperimentResult result = run_experiment(options);
+
+  EXPECT_EQ(result.node_count, 140u);
+  EXPECT_EQ(result.total_transmitted, 2218u);
+  EXPECT_EQ(result.total_attempted, 3977u);
+  EXPECT_EQ(result.broker_stats.updates_received, 2143u);
+  EXPECT_EQ(result.broker_stats.estimates_made, 4053u);
+  EXPECT_EQ(result.handovers, 35u);
+  EXPECT_EQ(result.lus_lost_on_air, 234u);
+  EXPECT_EQ(result.federation_stats.cycles, 30u);
+  EXPECT_EQ(result.federation_stats.interactions_sent, 10664u);
+
+  EXPECT_NEAR(result.rmse_overall, 5.239130653291411, 1e-9);
+  EXPECT_NEAR(result.rmse_road, 8.627097122164146, 1e-9);
+  EXPECT_NEAR(result.rmse_building, 1.318908267625954, 1e-9);
+  EXPECT_NEAR(result.mae_overall, 1.9503696316783028, 1e-9);
+
+  // The serving-layer cross-check depends on these being populated.
+  EXPECT_EQ(result.final_positions.size(), result.node_count);
+  for (std::size_t i = 1; i < result.final_positions.size(); ++i) {
+    EXPECT_LT(result.final_positions[i - 1].mn, result.final_positions[i].mn);
+  }
+}
+
+TEST(GoldenRegression, NoEstimatorRunMatchesPreRefactorCapture) {
+  ExperimentOptions options;
+  options.duration = 30.0;
+  const ExperimentResult result = run_experiment(options);
+
+  EXPECT_EQ(result.total_transmitted, 2278u);
+  EXPECT_EQ(result.total_attempted, 4200u);
+  EXPECT_EQ(result.broker_stats.updates_received, 2208u);
+  EXPECT_EQ(result.broker_stats.estimates_made, 0u);
+  EXPECT_EQ(result.handovers, 35u);
+  EXPECT_EQ(result.lus_lost_on_air, 0u);
+  EXPECT_EQ(result.federation_stats.interactions_sent, 10958u);
+
+  EXPECT_NEAR(result.rmse_overall, 7.033473987311891, 1e-9);
+  EXPECT_NEAR(result.rmse_road, 11.6519210239125, 1e-9);
+  EXPECT_NEAR(result.rmse_building, 1.5234892994029934, 1e-9);
+  EXPECT_NEAR(result.mae_overall, 4.281225103838852, 1e-9);
+
+  // Without an estimator every final view is a received fix.
+  for (const FinalPosition& fp : result.final_positions) {
+    EXPECT_FALSE(fp.estimated);
+  }
+}
+
+}  // namespace
+}  // namespace mgrid::scenario

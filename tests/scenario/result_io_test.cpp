@@ -78,5 +78,115 @@ TEST(ResultIo, SaveJsonRoundTrips) {
                std::runtime_error);
 }
 
+// Exhaustive writer <-> reader round-trip. Every serialised field carries a
+// distinct sentinel, so a field that to_json() writes but result_from_json()
+// forgets to read falls back to its default on the second serialisation and
+// the string comparison fails, naming the drifted document.
+TEST(ResultIo, ExhaustiveRoundTripCatchesUnreadFields) {
+  ExperimentResult result;
+  double sentinel = 100.5;
+  auto next = [&sentinel] { return sentinel += 1.0; };
+  std::uint64_t count = 1000;
+  auto next_count = [&count] { return count += 1; };
+
+  result.total_transmitted = next_count();
+  result.total_attempted = next_count();
+  result.transmission_rate = next();
+  result.road_transmission_rate = next();
+  result.building_transmission_rate = next();
+  result.mean_lu_per_bucket = next();
+  result.lus_lost_on_air = next_count();
+  result.lus_suppressed = next_count();
+  result.uplink_messages = next_count();
+  result.uplink_bytes = next_count();
+  result.downlink_messages = next_count();
+  result.downlink_bytes = next_count();
+
+  result.rmse_overall = next();
+  result.rmse_road = next();
+  result.rmse_building = next();
+  result.mae_overall = next();
+
+  result.final_cluster_count = static_cast<std::size_t>(next_count());
+  result.cluster_rebuilds = next_count();
+
+  result.energy.lus_transmitted = next_count();
+  result.energy.lus_suppressed_on_device = next_count();
+  result.energy.dth_updates_received = next_count();
+  result.energy.lus_dropped_battery = next_count();
+  result.dth_downlink_messages = next_count();
+  result.keepalives_sent = next_count();
+  result.energy.mean_energy_j = next();
+  result.energy.mean_energy_cellphone_j = next();
+  result.energy.mean_energy_pda_j = next();
+  result.energy.mean_energy_laptop_j = next();
+  result.energy.projected_cellphone_lifetime_h = next();
+
+  result.jobs.submitted = next_count();
+  result.jobs.completed = next_count();
+  result.jobs.timed_out = next_count();
+  result.jobs.still_pending = next_count();
+  result.jobs.still_running = next_count();
+  result.jobs.mean_completion_time = next();
+  result.jobs.mean_dispatch_distance = next();
+
+  result.node_count = static_cast<std::size_t>(next_count());
+  result.handovers = next_count();
+  result.broker_stats.updates_received = next_count();
+  result.broker_stats.estimates_made = next_count();
+  result.federation_stats.cycles = next_count();
+  result.federation_stats.interactions_sent = next_count();
+  result.keepalives_received = next_count();
+  result.broker_stats.keepalives_received = result.keepalives_received;
+
+  result.final_positions.push_back({3, next(), next(), next(), true});
+  result.final_positions.push_back({9, next(), next(), next(), false});
+
+  result.lu_per_bucket = {next(), next(), next()};
+  result.lu_cumulative = {next(), next()};
+  result.rmse_per_bucket = {next()};
+  result.rmse_per_bucket_road = {next(), next()};
+  result.rmse_per_bucket_building = {next()};
+
+  const ExperimentOptions options;
+  const std::string first = to_json(options, result);
+  const ExperimentResult reread =
+      result_from_json(util::JsonValue::parse(first));
+  const std::string second = to_json(options, reread);
+  EXPECT_EQ(first, second);
+
+  // Spot-check a few typed fields survived with exact values.
+  EXPECT_EQ(reread.total_transmitted, result.total_transmitted);
+  EXPECT_EQ(reread.rmse_overall, result.rmse_overall);
+  EXPECT_EQ(reread.energy.mean_energy_pda_j, result.energy.mean_energy_pda_j);
+  EXPECT_EQ(reread.jobs.mean_dispatch_distance,
+            result.jobs.mean_dispatch_distance);
+  ASSERT_EQ(reread.final_positions.size(), 2u);
+  EXPECT_EQ(reread.final_positions[1].mn, 9u);
+  EXPECT_FALSE(reread.final_positions[1].estimated);
+  EXPECT_EQ(reread.lu_per_bucket, result.lu_per_bucket);
+}
+
+TEST(ResultIo, LoadResultJsonRoundTripsThroughDisk) {
+  ExperimentResult result;
+  result.total_transmitted = 77;
+  result.rmse_overall = 1.25;
+  result.final_positions.push_back({5, 30.0, 1.5, -2.5, true});
+  const ExperimentOptions options;
+  const std::string path = testing::TempDir() + "/mg_result_io_roundtrip.json";
+  save_json(path, options, result);
+  const ExperimentResult loaded = load_result_json(path);
+  EXPECT_EQ(loaded.total_transmitted, 77u);
+  EXPECT_EQ(loaded.rmse_overall, 1.25);
+  ASSERT_EQ(loaded.final_positions.size(), 1u);
+  EXPECT_EQ(loaded.final_positions[0].mn, 5u);
+  EXPECT_EQ(loaded.final_positions[0].y, -2.5);
+  EXPECT_TRUE(loaded.final_positions[0].estimated);
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)load_result_json("/nonexistent/result.json"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace mgrid::scenario

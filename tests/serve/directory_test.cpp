@@ -1,0 +1,248 @@
+#include "serve/directory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "estimation/estimator.h"
+#include "geo/vec2.h"
+
+namespace mgrid::serve {
+namespace {
+
+DirectoryOptions small_options(std::size_t shards = 4) {
+  DirectoryOptions options;
+  options.shards = shards;
+  options.history_limit = 4;
+  options.cell_size = 25.0;
+  return options;
+}
+
+TEST(ShardedDirectory, ValidatesOptions) {
+  EXPECT_THROW(ShardedDirectory(DirectoryOptions{0, 4, 25.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedDirectory(DirectoryOptions{4, 0, 25.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedDirectory(DirectoryOptions{4, 4, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(ShardedDirectory, UpdateLookupRoundTrip) {
+  ShardedDirectory directory(small_options());
+  EXPECT_FALSE(directory.lookup(7).has_value());
+
+  EXPECT_TRUE(directory.update(7, 1.0, {10.0, 20.0}, {1.0, 0.0}));
+  const std::optional<DirectoryEntry> entry = directory.lookup(7);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->mn, 7u);
+  EXPECT_EQ(entry->t, 1.0);
+  EXPECT_EQ(entry->position.x, 10.0);
+  EXPECT_EQ(entry->position.y, 20.0);
+  EXPECT_FALSE(entry->estimated);
+  EXPECT_EQ(directory.size(), 1u);
+}
+
+TEST(ShardedDirectory, RejectsTimestampRegression) {
+  ShardedDirectory directory(small_options());
+  EXPECT_TRUE(directory.update(3, 5.0, {1.0, 1.0}, {0.0, 0.0}));
+  EXPECT_FALSE(directory.update(3, 4.0, {2.0, 2.0}, {0.0, 0.0}));
+  EXPECT_EQ(directory.lookup(3)->position.x, 1.0);
+}
+
+TEST(ShardedDirectory, ApplyBatchMatchesIndividualUpdates) {
+  ShardedDirectory one_by_one(small_options());
+  ShardedDirectory batched(small_options());
+  std::vector<ShardedDirectory::LuApply> batch;
+  for (std::uint32_t mn = 0; mn < 40; ++mn) {
+    const geo::Vec2 p{static_cast<double>(mn), static_cast<double>(2 * mn)};
+    ASSERT_TRUE(one_by_one.update(mn, 1.0, p, {0.5, 0.5}));
+    batch.push_back({mn, 1.0, p, {0.5, 0.5}});
+  }
+  EXPECT_EQ(batched.apply_batch(batch), 40u);
+  for (std::uint32_t mn = 0; mn < 40; ++mn) {
+    const auto a = one_by_one.lookup(mn);
+    const auto b = batched.lookup(mn);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->position.x, b->position.x);
+    EXPECT_EQ(a->position.y, b->position.y);
+  }
+  // A stale LU inside a batch is skipped, not applied.
+  EXPECT_EQ(batched.apply_batch({{5, 0.5, {99.0, 99.0}, {0.0, 0.0}}}), 0u);
+  EXPECT_EQ(batched.lookup(5)->position.x, 5.0);
+}
+
+TEST(ShardedDirectory, EstimatesAdvanceStaleTracks) {
+  ShardedDirectory directory(small_options(),
+                             estimation::make_estimator("dead_reckoning"));
+  ASSERT_TRUE(directory.update(1, 1.0, {0.0, 0.0}, {2.0, 0.0}));
+  // Dead reckoning extrapolates along the reported velocity.
+  EXPECT_EQ(directory.advance_estimates(3.0), 1u);
+  const std::optional<DirectoryEntry> entry = directory.lookup(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->estimated);
+  EXPECT_NEAR(entry->position.x, 4.0, 1e-12);
+  EXPECT_EQ(entry->t, 3.0);
+
+  // belief_at answers without mutating.
+  const std::optional<geo::Vec2> belief = directory.belief_at(1, 5.0);
+  ASSERT_TRUE(belief.has_value());
+  EXPECT_NEAR(belief->x, 8.0, 1e-12);
+  EXPECT_TRUE(directory.lookup(1)->t == 3.0);
+
+  // A fresh track (reported at or after t) is not advanced; the stale MN 1
+  // still is, so exactly one estimate is recorded.
+  ASSERT_TRUE(directory.update(2, 10.0, {5.0, 5.0}, {1.0, 1.0}));
+  EXPECT_EQ(directory.advance_estimates(10.0), 1u);
+  EXPECT_FALSE(directory.lookup(2)->estimated);
+}
+
+TEST(ShardedDirectory, RegionQueryMatchesBruteForce) {
+  ShardedDirectory directory(small_options(3));
+  std::vector<geo::Vec2> positions;
+  // Deterministic scatter over a 300x300 field crossing many cells.
+  for (std::uint32_t mn = 0; mn < 200; ++mn) {
+    const geo::Vec2 p{std::fmod(static_cast<double>(mn) * 37.5, 300.0),
+                      std::fmod(static_cast<double>(mn) * 91.25, 300.0)};
+    positions.push_back(p);
+    ASSERT_TRUE(directory.update(mn, 1.0, p, {0.0, 0.0}));
+  }
+  const geo::Vec2 center{150.0, 150.0};
+  const double radius = 80.0;
+  const std::vector<Neighbor> hits = directory.query_region(center, radius);
+
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t mn = 0; mn < 200; ++mn) {
+    if (geo::distance(positions[mn], center) <= radius) {
+      expected.push_back(mn);
+    }
+  }
+  ASSERT_EQ(hits.size(), expected.size());
+  // Sorted by (distance, mn) and within radius.
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].distance, radius);
+    if (i > 0) {
+      EXPECT_TRUE(hits[i - 1].distance < hits[i].distance ||
+                  (hits[i - 1].distance == hits[i].distance &&
+                   hits[i - 1].mn < hits[i].mn));
+    }
+  }
+  std::vector<std::uint32_t> got;
+  for (const Neighbor& hit : hits) got.push_back(hit.mn);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+
+  // max_results truncates after sorting.
+  const std::vector<Neighbor> top3 = directory.query_region(center, radius, 3);
+  ASSERT_EQ(top3.size(), std::min<std::size_t>(3, hits.size()));
+  for (std::size_t i = 0; i < top3.size(); ++i) {
+    EXPECT_EQ(top3[i].mn, hits[i].mn);
+  }
+}
+
+TEST(ShardedDirectory, KNearestMatchesBruteForce) {
+  ShardedDirectory directory(small_options(5));
+  std::vector<geo::Vec2> positions;
+  for (std::uint32_t mn = 0; mn < 150; ++mn) {
+    const geo::Vec2 p{std::fmod(static_cast<double>(mn) * 53.0, 400.0),
+                      std::fmod(static_cast<double>(mn) * 17.0, 400.0)};
+    positions.push_back(p);
+    ASSERT_TRUE(directory.update(mn, 1.0, p, {0.0, 0.0}));
+  }
+  for (const geo::Vec2 center :
+       {geo::Vec2{200.0, 200.0}, geo::Vec2{0.0, 0.0}, geo::Vec2{399.0, 1.0},
+        geo::Vec2{-500.0, 1000.0}}) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{150},
+                                std::size_t{500}}) {
+      const std::vector<Neighbor> got = directory.k_nearest(center, k);
+      std::vector<Neighbor> expected;
+      for (std::uint32_t mn = 0; mn < 150; ++mn) {
+        expected.push_back({mn, geo::distance(positions[mn], center),
+                            positions[mn]});
+      }
+      std::sort(expected.begin(), expected.end(),
+                [](const Neighbor& a, const Neighbor& b) {
+                  return a.distance != b.distance ? a.distance < b.distance
+                                                  : a.mn < b.mn;
+                });
+      expected.resize(std::min(k, expected.size()));
+      ASSERT_EQ(got.size(), expected.size())
+          << "center (" << center.x << "," << center.y << ") k " << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].mn, expected[i].mn) << "rank " << i;
+        EXPECT_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+  EXPECT_TRUE(directory.k_nearest({0.0, 0.0}, 0).empty());
+}
+
+TEST(ShardedDirectory, RegionIndexFollowsMovement) {
+  ShardedDirectory directory(small_options());
+  ASSERT_TRUE(directory.update(9, 1.0, {10.0, 10.0}, {0.0, 0.0}));
+  ASSERT_TRUE(directory.update(9, 2.0, {210.0, 210.0}, {0.0, 0.0}));
+  EXPECT_TRUE(directory.query_region({10.0, 10.0}, 30.0).empty());
+  const std::vector<Neighbor> hits = directory.query_region({210.0, 210.0}, 5.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].mn, 9u);
+}
+
+TEST(ShardedDirectory, SnapshotSortedByMn) {
+  ShardedDirectory directory(small_options(3));
+  for (const std::uint32_t mn : {17u, 3u, 250u, 8u, 101u}) {
+    ASSERT_TRUE(directory.update(mn, 1.0,
+                                 {static_cast<double>(mn), 0.0}, {0.0, 0.0}));
+  }
+  const std::vector<DirectoryEntry> entries = directory.snapshot();
+  ASSERT_EQ(entries.size(), 5u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].mn, entries[i].mn);
+  }
+}
+
+TEST(ShardedDirectory, ConcurrentUpdatesAndQueriesAreSafe) {
+  // Writers hammer disjoint MN ranges while readers run lookups and spatial
+  // queries; run under TSan in the sanitizer matrix for the real assertion.
+  ShardedDirectory directory(small_options(8));
+  constexpr std::uint32_t kPerThread = 200;
+  constexpr int kWriters = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&directory, w] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        const std::uint32_t mn =
+            static_cast<std::uint32_t>(w) * kPerThread + i;
+        for (double t = 1.0; t <= 3.0; t += 1.0) {
+          directory.update(mn, t,
+                           {static_cast<double>(mn % 100) + t,
+                            static_cast<double>(mn % 50)},
+                           {1.0, 0.0});
+        }
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&directory] {
+      for (int pass = 0; pass < 50; ++pass) {
+        (void)directory.lookup(static_cast<std::uint32_t>(pass * 13 % 800));
+        (void)directory.query_region({50.0, 25.0}, 40.0, 16);
+        (void)directory.k_nearest({50.0, 25.0}, 5);
+        (void)directory.size();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(directory.size(), kWriters * kPerThread);
+  const std::vector<DirectoryEntry> entries = directory.snapshot();
+  for (const DirectoryEntry& entry : entries) {
+    EXPECT_EQ(entry.t, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace mgrid::serve

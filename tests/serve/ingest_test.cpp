@@ -1,0 +1,205 @@
+#include "serve/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/directory.h"
+#include "serve/wire.h"
+
+namespace mgrid::serve {
+namespace {
+
+DirectoryOptions directory_options(std::size_t shards = 4) {
+  DirectoryOptions options;
+  options.shards = shards;
+  options.history_limit = 4;
+  return options;
+}
+
+wire::LuMsg lu(std::uint32_t mn, double t, double x, double y) {
+  wire::LuMsg msg;
+  msg.mn = mn;
+  msg.t = t;
+  msg.x = x;
+  msg.y = y;
+  return msg;
+}
+
+/// One LU per MN per tick for `ticks` ticks; per-MN timestamps ascend.
+std::vector<wire::LuMsg> make_stream(std::uint32_t nodes, int ticks) {
+  std::vector<wire::LuMsg> stream;
+  for (int k = 1; k <= ticks; ++k) {
+    for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+      stream.push_back(lu(mn, static_cast<double>(k),
+                          static_cast<double>(mn) + static_cast<double>(k),
+                          static_cast<double>(mn)));
+    }
+  }
+  return stream;
+}
+
+TEST(IngestPipeline, ValidatesOptions) {
+  ShardedDirectory directory(directory_options());
+  IngestOptions zero_sources;
+  zero_sources.sources = 0;
+  EXPECT_THROW(IngestPipeline(directory, zero_sources),
+               std::invalid_argument);
+  IngestOptions zero_workers;
+  zero_workers.workers = 0;
+  EXPECT_THROW(IngestPipeline(directory, zero_workers),
+               std::invalid_argument);
+  IngestOptions zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(IngestPipeline(directory, zero_batch), std::invalid_argument);
+}
+
+TEST(IngestPipeline, FlushIsABarrier) {
+  ShardedDirectory directory(directory_options());
+  IngestOptions options;
+  options.workers = 2;
+  IngestPipeline pipeline(directory, options);
+  const std::vector<wire::LuMsg> stream = make_stream(50, 3);
+  for (const wire::LuMsg& msg : stream) {
+    ASSERT_TRUE(pipeline.submit(msg));
+  }
+  pipeline.flush();
+  // After the barrier every accepted LU is visible in the directory.
+  const IngestStats stats = pipeline.stats();
+  EXPECT_EQ(stats.accepted, stream.size());
+  EXPECT_EQ(stats.applied, stream.size());
+  EXPECT_EQ(stats.rejected_stale, 0u);
+  EXPECT_EQ(directory.size(), 50u);
+  for (std::uint32_t mn = 0; mn < 50; ++mn) {
+    const auto entry = directory.lookup(mn);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->t, 3.0);
+    EXPECT_EQ(entry->position.x, static_cast<double>(mn) + 3.0);
+  }
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, FinalStateIndependentOfWorkerAndSourceCount) {
+  const std::vector<wire::LuMsg> stream = make_stream(120, 5);
+  std::vector<std::vector<DirectoryEntry>> snapshots;
+  for (const auto [sources, workers] :
+       {std::pair<std::size_t, std::size_t>{1, 1}, {8, 1}, {8, 4}, {3, 7}}) {
+    ShardedDirectory directory(directory_options());
+    IngestOptions options;
+    options.sources = sources;
+    options.workers = workers;
+    options.batch_size = 16;
+    IngestPipeline pipeline(directory, options);
+    for (const wire::LuMsg& msg : stream) ASSERT_TRUE(pipeline.submit(msg));
+    pipeline.stop();  // stop() drains everything queued first
+    EXPECT_EQ(pipeline.stats().applied, stream.size());
+    snapshots.push_back(directory.snapshot());
+  }
+  for (std::size_t i = 1; i < snapshots.size(); ++i) {
+    ASSERT_EQ(snapshots[i].size(), snapshots[0].size());
+    for (std::size_t j = 0; j < snapshots[i].size(); ++j) {
+      EXPECT_EQ(snapshots[i][j].mn, snapshots[0][j].mn);
+      EXPECT_EQ(snapshots[i][j].t, snapshots[0][j].t);
+      EXPECT_EQ(snapshots[i][j].position.x, snapshots[0][j].position.x);
+      EXPECT_EQ(snapshots[i][j].position.y, snapshots[0][j].position.y);
+    }
+  }
+}
+
+TEST(IngestPipeline, StaleLusAreCountedNotApplied) {
+  ShardedDirectory directory(directory_options());
+  IngestPipeline pipeline(directory, IngestOptions{});
+  ASSERT_TRUE(pipeline.submit(lu(1, 5.0, 10.0, 0.0)));
+  ASSERT_TRUE(pipeline.submit(lu(1, 4.0, 99.0, 0.0)));  // regression
+  ASSERT_TRUE(pipeline.submit(lu(1, 6.0, 12.0, 0.0)));
+  pipeline.flush();
+  const IngestStats stats = pipeline.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.rejected_stale, 1u);
+  EXPECT_EQ(directory.lookup(1)->position.x, 12.0);
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, BoundedQueueRejectsWhenFull) {
+  ShardedDirectory directory(directory_options());
+  IngestOptions options;
+  options.sources = 1;
+  options.workers = 1;
+  options.queue_capacity = 4;
+  options.start_paused = true;  // workers parked: the queue must fill
+  IngestPipeline pipeline(directory, options);
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pipeline.submit(lu(0, static_cast<double>(i + 1), 0.0, 0.0))) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4u);
+  const IngestStats stats = pipeline.stats();
+  EXPECT_EQ(stats.rejected_full, 6u);
+  pipeline.flush();
+  EXPECT_EQ(pipeline.stats().applied, 4u);
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, StartPausedDefersWorkUntilResume) {
+  ShardedDirectory directory(directory_options());
+  IngestOptions options;
+  options.start_paused = true;
+  IngestPipeline pipeline(directory, options);
+  for (const wire::LuMsg& msg : make_stream(20, 2)) {
+    ASSERT_TRUE(pipeline.submit(msg));
+  }
+  // Parked workers must not have touched the directory yet. (No sleep: a
+  // racing worker would trip the TSan run, and the applied counter is the
+  // observable contract.)
+  EXPECT_EQ(pipeline.stats().applied, 0u);
+  EXPECT_EQ(directory.size(), 0u);
+  pipeline.resume();
+  pipeline.flush();
+  EXPECT_EQ(pipeline.stats().applied, 40u);
+  EXPECT_EQ(directory.size(), 20u);
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, SubmitAfterStopIsRejected) {
+  ShardedDirectory directory(directory_options());
+  IngestPipeline pipeline(directory, IngestOptions{});
+  ASSERT_TRUE(pipeline.submit(lu(0, 1.0, 0.0, 0.0)));
+  pipeline.stop();
+  EXPECT_FALSE(pipeline.submit(lu(0, 2.0, 0.0, 0.0)));
+  EXPECT_EQ(pipeline.stats().applied, 1u);
+  pipeline.stop();  // idempotent
+}
+
+TEST(IngestPipeline, ConcurrentProducersAllLand) {
+  ShardedDirectory directory(directory_options(8));
+  IngestOptions options;
+  options.sources = 8;
+  options.workers = 3;
+  IngestPipeline pipeline(directory, options);
+  constexpr int kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pipeline, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        const std::uint32_t mn =
+            static_cast<std::uint32_t>(p) * kPerProducer + i;
+        EXPECT_TRUE(pipeline.submit(lu(mn, 1.0, static_cast<double>(mn), 0.0)));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  pipeline.flush();
+  EXPECT_EQ(pipeline.stats().applied, kProducers * kPerProducer);
+  EXPECT_EQ(directory.size(), kProducers * kPerProducer);
+  pipeline.stop();
+}
+
+}  // namespace
+}  // namespace mgrid::serve

@@ -1,0 +1,180 @@
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <variant>
+#include <vector>
+
+namespace mgrid::serve::wire {
+namespace {
+
+TEST(Wire, LuRoundTripsExactly) {
+  LuMsg lu;
+  lu.mn = 0xDEADBEEF;
+  lu.seq = 42;
+  lu.t = 1234.5678901234;
+  lu.x = -17.25;
+  lu.y = 1e-300;
+  lu.vx = std::numeric_limits<double>::denorm_min();
+  lu.vy = -0.0;
+  lu.battery = 0.875;
+
+  std::vector<std::uint8_t> buffer;
+  const std::size_t frame_size = encode(buffer, lu);
+  EXPECT_EQ(frame_size, kHeaderBytes + payload_size(MsgType::kLu));
+  EXPECT_EQ(buffer.size(), frame_size);
+
+  const Decoded decoded = decode_frame(buffer);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.consumed, frame_size);
+  const LuMsg& got = std::get<LuMsg>(decoded.msg);
+  EXPECT_EQ(got.mn, lu.mn);
+  EXPECT_EQ(got.seq, lu.seq);
+  // Doubles travel as IEEE-754 bit patterns: bit-exact, including -0.0.
+  EXPECT_EQ(got.t, lu.t);
+  EXPECT_EQ(got.x, lu.x);
+  EXPECT_EQ(got.y, lu.y);
+  EXPECT_EQ(got.vx, lu.vx);
+  EXPECT_EQ(got.vy, lu.vy);
+  EXPECT_TRUE(std::signbit(got.vy));
+  EXPECT_EQ(got.battery, lu.battery);
+}
+
+TEST(Wire, EveryMessageTypeRoundTrips) {
+  std::vector<std::uint8_t> buffer;
+
+  AckMsg ack{7, AckStatus::kOverload, 9.5};
+  encode(buffer, ack);
+  LookupMsg lookup{11, 30.0};
+  encode(buffer, lookup);
+  LookupReplyMsg reply;
+  reply.mn = 11;
+  reply.found = true;
+  reply.estimated = true;
+  reply.t = 30.0;
+  reply.x = 3.5;
+  reply.y = -4.5;
+  encode(buffer, reply);
+  RegionQueryMsg region{100.0, 200.0, 75.0, 32};
+  encode(buffer, region);
+  NearestQueryMsg nearest{10.0, 20.0, 8};
+  encode(buffer, nearest);
+
+  std::span<const std::uint8_t> cursor(buffer);
+
+  Decoded d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<AckMsg>(d.msg).mn, 7u);
+  EXPECT_EQ(std::get<AckMsg>(d.msg).status, AckStatus::kOverload);
+  EXPECT_EQ(std::get<AckMsg>(d.msg).t, 9.5);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<LookupMsg>(d.msg).mn, 11u);
+  EXPECT_EQ(std::get<LookupMsg>(d.msg).t, 30.0);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::get<LookupReplyMsg>(d.msg).found);
+  EXPECT_TRUE(std::get<LookupReplyMsg>(d.msg).estimated);
+  EXPECT_EQ(std::get<LookupReplyMsg>(d.msg).x, 3.5);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<RegionQueryMsg>(d.msg).radius, 75.0);
+  EXPECT_EQ(std::get<RegionQueryMsg>(d.msg).max_results, 32u);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<NearestQueryMsg>(d.msg).k, 8u);
+  cursor = cursor.subspan(d.consumed);
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(Wire, PartialFramesAskForMoreData) {
+  std::vector<std::uint8_t> buffer;
+  encode(buffer, LuMsg{});
+  // Every proper prefix — header fragments and payload fragments alike —
+  // reports kNeedMoreData with nothing consumed.
+  for (std::size_t n = 0; n < buffer.size(); ++n) {
+    const Decoded decoded =
+        decode_frame(std::span<const std::uint8_t>(buffer.data(), n));
+    EXPECT_EQ(decoded.status, DecodeStatus::kNeedMoreData) << "prefix " << n;
+    EXPECT_EQ(decoded.consumed, 0u);
+  }
+}
+
+TEST(Wire, RejectsBadMagicVersionTypeAndLength) {
+  std::vector<std::uint8_t> good;
+  encode(good, LuMsg{});
+
+  std::vector<std::uint8_t> bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadMagic);
+  // Bad magic is detectable from the very first byte.
+  EXPECT_EQ(decode_frame(std::span<const std::uint8_t>(bad.data(), 1)).status,
+            DecodeStatus::kBadMagic);
+
+  bad = good;
+  bad[2] = 99;  // version
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadVersion);
+
+  bad = good;
+  bad[3] = 0;  // type: 0 is not assigned
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadType);
+  bad[3] = 200;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadType);
+
+  bad = good;
+  bad[4] = static_cast<std::uint8_t>(bad[4] + 1);  // payload_len mismatch
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadLength);
+
+  // A huge declared length must be rejected, not waited for.
+  bad = good;
+  bad[4] = 0xFF;
+  bad[5] = 0xFF;
+  bad[6] = 0xFF;
+  bad[7] = 0x7F;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadLength);
+}
+
+TEST(Wire, HostileRandomBytesNeverCrash) {
+  // Deterministic xorshift noise: decode must always return a status.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::uint8_t>(state);
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> noise(static_cast<std::size_t>(trial % 97));
+    for (std::uint8_t& byte : noise) byte = next();
+    const Decoded decoded = decode_frame(noise);
+    if (decoded.ok()) {
+      EXPECT_LE(decoded.consumed, noise.size());
+    } else {
+      EXPECT_EQ(decoded.consumed, 0u);
+    }
+  }
+}
+
+TEST(Wire, PayloadSizesMatchSpec) {
+  EXPECT_EQ(payload_size(MsgType::kLu), 56u);
+  EXPECT_EQ(payload_size(MsgType::kAck), 16u);
+  EXPECT_EQ(payload_size(MsgType::kLookup), 16u);
+  EXPECT_EQ(payload_size(MsgType::kLookupReply), 32u);
+  EXPECT_EQ(payload_size(MsgType::kRegionQuery), 32u);
+  EXPECT_EQ(payload_size(MsgType::kNearestQuery), 24u);
+  EXPECT_EQ(payload_size(static_cast<MsgType>(0)), 0u);
+}
+
+}  // namespace
+}  // namespace mgrid::serve::wire

@@ -140,5 +140,50 @@ TEST(Config, FromFileThrowsWhenUnreadable) {
                ConfigError);
 }
 
+TEST(Config, FromArgvNormalisesDashSpellings) {
+  // The shared entry point every driver binary uses: key=value and
+  // --key=value spell the same setting, dashes fold to underscores.
+  const char* argv[] = {"prog", "duration=30", "--metrics-out=m.prom",
+                        "--dth_factor=1.25"};
+  const Config config = Config::from_argv(4, argv);
+  EXPECT_EQ(config.get_double("duration", 0.0), 30.0);
+  EXPECT_EQ(config.get_string("metrics_out", ""), "m.prom");
+  EXPECT_EQ(config.get_double("dth_factor", 0.0), 1.25);
+  EXPECT_FALSE(config.contains("prog"));
+}
+
+TEST(Config, FromArgvLoadsConfigFileWithCliPrecedence) {
+  const std::string path = testing::TempDir() + "/mg_from_argv_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "duration = 1800\nestimator = brown_polar\n";
+  }
+  const std::string file_arg = "config=" + path;
+  const char* argv[] = {"prog", file_arg.c_str(), "duration=60"};
+  const Config config = Config::from_argv(3, argv);
+  // CLI wins over the file; untouched file keys shine through.
+  EXPECT_EQ(config.get_double("duration", 0.0), 60.0);
+  EXPECT_EQ(config.get_string("estimator", ""), "brown_polar");
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromArgvCustomAndDisabledFileKey) {
+  const std::string path = testing::TempDir() + "/mg_from_argv_grid.cfg";
+  {
+    std::ofstream out(path);
+    out << "filters = adf\n";
+  }
+  const std::string grid_arg = "grid=" + path;
+  const char* argv[] = {"prog", grid_arg.c_str()};
+  const Config sweep_style = Config::from_argv(2, argv, "grid");
+  EXPECT_EQ(sweep_style.get_string("filters", ""), "adf");
+
+  // Empty file_key disables file loading: the path stays an opaque string.
+  const Config raw = Config::from_argv(2, argv, "");
+  EXPECT_EQ(raw.get_string("grid", ""), path);
+  EXPECT_FALSE(raw.contains("filters"));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mgrid::util

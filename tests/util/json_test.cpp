@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 namespace mgrid::util {
 namespace {
@@ -156,6 +157,86 @@ TEST(JsonValue, AccessorKindMismatchThrows) {
   EXPECT_THROW((void)doc.as_string(), JsonParseError);
   EXPECT_THROW((void)doc.as_object(), JsonParseError);
   EXPECT_THROW((void)doc.at("x"), JsonParseError);
+}
+
+// --- hostile inputs --------------------------------------------------------
+// The parser is fed artifacts from disk (sweep baselines, eventlogs, bench
+// JSON), so arbitrary bytes must produce JsonParseError, never a crash.
+
+TEST(JsonValueHostile, DeepNestingThrowsInsteadOfOverflowingStack) {
+  // One native stack frame per nesting level: without the depth ceiling a
+  // few hundred thousand brackets segfault the process.
+  const std::string deep_array(200000, '[');
+  EXPECT_THROW(JsonValue::parse(deep_array), JsonParseError);
+
+  std::string deep_object;
+  for (int i = 0; i < 100000; ++i) deep_object += "{\"k\":";
+  EXPECT_THROW(JsonValue::parse(deep_object), JsonParseError);
+
+  std::string alternating;
+  for (int i = 0; i < 100000; ++i) alternating += "[{\"k\":";
+  EXPECT_THROW(JsonValue::parse(alternating), JsonParseError);
+}
+
+TEST(JsonValueHostile, NestingJustUnderTheCeilingParses) {
+  // 127 arrays + the scalar stays under the 128-level ceiling.
+  std::string doc(127, '[');
+  doc += "1";
+  doc.append(127, ']');
+  const JsonValue parsed = JsonValue::parse(doc);
+  EXPECT_EQ(parsed.as_array().size(), 1u);
+
+  std::string over(129, '[');
+  over += "1";
+  over.append(129, ']');
+  EXPECT_THROW(JsonValue::parse(over), JsonParseError);
+}
+
+TEST(JsonValueHostile, OverlongNumbersAreFiniteOrInfNeverCrash) {
+  // 10k digits: strtod clamps to HUGE_VAL, which we accept as +inf.
+  const std::string huge(10000, '9');
+  const JsonValue big = JsonValue::parse(huge);
+  EXPECT_TRUE(std::isinf(big.as_double()) || big.as_double() > 0.0);
+
+  const JsonValue neg = JsonValue::parse("-" + huge);
+  EXPECT_TRUE(std::isinf(neg.as_double()) || neg.as_double() < 0.0);
+
+  // Huge exponent overflows to inf; tiny exponent underflows to 0.
+  EXPECT_TRUE(std::isinf(JsonValue::parse("1e999999").as_double()));
+  EXPECT_EQ(JsonValue::parse("1e-999999").as_double(), 0.0);
+
+  // A long fraction stays finite and close.
+  std::string fraction = "0." + std::string(5000, '3');
+  EXPECT_NEAR(JsonValue::parse(fraction).as_double(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(JsonValueHostile, TruncatedDocumentsThrow) {
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"half escape\\"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"\\u00"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"key\""), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"key\":"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,2"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("12e"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("12."), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-"), JsonParseError);
+  EXPECT_THROW(JsonValue::parse("tru"), JsonParseError);
+}
+
+TEST(JsonValueHostile, ControlAndHighBytesInsideStringsSurvive) {
+  // Raw high bytes (e.g. UTF-8 from mobility traces) pass through verbatim.
+  const std::string text = std::string("\"caf") + "\xC3\xA9" + "\"";
+  EXPECT_EQ(JsonValue::parse(text).as_string(), "caf\xC3\xA9");
+}
+
+TEST(JsonValueHostile, DuplicateKeysKeepFirstMatchStable) {
+  // Insertion-ordered member list: find()/at() return the FIRST match, so a
+  // hostile document cannot shadow an already-validated field.
+  const JsonValue doc = JsonValue::parse(R"({"a": 1, "b": 2, "a": 3})");
+  EXPECT_EQ(doc.as_object().size(), 3u);
+  EXPECT_EQ(doc.at("a").as_double(), 1.0);
+  EXPECT_EQ(doc.find("a")->as_double(), 1.0);
+  EXPECT_EQ(doc.at("b").as_double(), 2.0);
 }
 
 TEST(JsonValue, RoundTripsWriterOutputExactly) {
