@@ -12,8 +12,14 @@
 //                     [estimator=brown_polar] [columns=110]
 //                     [--metrics-out=m.prom] [--trace-out=t.json]
 //                     [--eventlog-out=watch.jsonl] [--eventlog-sample=1]
+//                     [--admin-port=0: HTTP admin plane over the
+//                      watch-local registry; /quitz ends the watch early]
+//                     [--pace-ms=0: wall sleep per simulated second]
+#include <atomic>
+#include <chrono>
 #include <iostream>
 #include <optional>
+#include <thread>
 
 #include "mobilegrid/mobilegrid.h"
 
@@ -49,6 +55,8 @@ int main(int argc, char** argv) {
   const std::string metrics_out = config.get_string("metrics_out", "");
   const std::string trace_out = config.get_string("trace_out", "");
   const std::string eventlog_out = config.get_string("eventlog_out", "");
+  const bool admin_enabled = config.contains("admin_port");
+  const auto pace_ms = config.get_int("pace_ms", 0);
 
   // The watch drives its own loop (no federation), so install the loop
   // variable as the sim clock for log lines and trace events. Telemetry
@@ -57,10 +65,36 @@ int main(int argc, char** argv) {
   double sim_now = 0.0;
   obs::MetricsRegistry metrics_registry;
   std::optional<obs::ScopedRegistry> scoped_registry;
-  if (!metrics_out.empty() || !trace_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty() || admin_enabled) {
     obs::set_enabled(true);
     scoped_registry.emplace(metrics_registry);
     util::Logger::instance().set_clock([&sim_now] { return sim_now; });
+  }
+
+  // The admin plane scrapes the watch-local registry from its own threads
+  // (registry handles are thread-safe); progress for /statusz crosses via
+  // atomics, and /quitz ends the watch at the next simulated second.
+  std::atomic<bool> quit{false};
+  std::atomic<double> sim_progress{0.0};
+  std::unique_ptr<serve::AdminServer> admin;
+  if (admin_enabled) {
+    serve::AdminOptions admin_options;
+    admin_options.http.port =
+        static_cast<std::uint16_t>(config.get_int("admin_port", 0));
+    admin_options.build_info = "campus_watch";
+    serve::AdminHooks hooks;
+    hooks.registry = &metrics_registry;
+    hooks.on_quit = [&quit] { quit.store(true, std::memory_order_release); };
+    hooks.extra_status = [&](util::JsonWriter& json) {
+      json.field("mode", "campus_watch");
+      json.field("sim_now", sim_progress.load(std::memory_order_relaxed));
+      json.field("duration", duration);
+    };
+    admin = std::make_unique<serve::AdminServer>(std::move(admin_options),
+                                                 std::move(hooks));
+    admin->start();
+    std::cout << "admin server listening on 127.0.0.1:" << admin->port()
+              << std::endl;
   }
   obs::TraceRecorder tracer;
   std::optional<obs::ScopedTraceRecorder> scoped_tracer;
@@ -108,8 +142,13 @@ int main(int argc, char** argv) {
   double next_frame = interval;
   std::uint64_t window_tx = 0;
   std::uint64_t window_samples = 0;
-  for (double t = 1.0; t <= duration; t += 1.0) {
+  for (double t = 1.0;
+       t <= duration && !quit.load(std::memory_order_acquire); t += 1.0) {
     sim_now = t;
+    sim_progress.store(t, std::memory_order_relaxed);
+    if (pace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+    }
     auto frame_span = obs::current_trace_recorder().span("tick", "watch");
     for (int i = 0; i < 10; ++i) workload.step_all(0.1);
     const bool eventlog = obs::eventlog_enabled();

@@ -18,16 +18,25 @@
 //   shards [8] workers [2] sources [8] batch [256]
 //   cell [50] history [8]
 //   mode [replay when eventlog= is set, else synthetic]
-//   nodes [500] ticks [120] estimator [""] alpha [0]  (synthetic mode)
-//   seed [42] speed [1.5]                             (synthetic mode)
+//   nodes [500] ticks [120] estimator [""] alpha [0]  (synthetic mode;
+//             ticks=0 runs until /quitz or SIGINT/SIGTERM)
+//   seed [42] speed [1.5] pace_ms [0: sleep per tick]  (synthetic mode)
 //   metrics_out [path: registry snapshot; enables per-op latency histograms]
+//   admin_port [presence starts the HTTP admin plane on 127.0.0.1; 0 =
+//             ephemeral — the bound port is printed as
+//             "admin server listening on 127.0.0.1:PORT". Serves /metrics,
+//             /healthz, /readyz, /statusz, /varz and /quitz, and enables
+//             telemetry + the SLO monitor.]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mobilegrid/mobilegrid.h"
@@ -35,6 +44,38 @@
 using namespace mgrid;
 
 namespace {
+
+/// Set by /quitz and by SIGINT/SIGTERM; synthetic mode's tick loop polls it.
+std::atomic<bool> g_quit{false};
+
+void request_quit(int) { g_quit.store(true, std::memory_order_release); }
+
+/// Starts the admin plane when `admin_port` is configured (nullptr
+/// otherwise). The returned server holds pointers into `directory`,
+/// `pipeline` and `slo` — destroy it before them.
+std::unique_ptr<serve::AdminServer> start_admin(
+    const util::Config& config, serve::ShardedDirectory& directory,
+    serve::IngestPipeline& pipeline, obs::SloMonitor& slo,
+    std::function<void(util::JsonWriter&)> extra_status) {
+  if (!config.contains("admin_port")) return nullptr;
+  serve::AdminOptions options;
+  options.http.port =
+      static_cast<std::uint16_t>(config.get_int("admin_port", 0));
+  options.build_info = "mgrid_serve";
+  serve::AdminHooks hooks;
+  hooks.registry = &obs::MetricsRegistry::global();
+  hooks.directory = &directory;
+  hooks.pipeline = &pipeline;
+  hooks.slo = &slo;
+  hooks.on_quit = [] { g_quit.store(true, std::memory_order_release); };
+  hooks.extra_status = std::move(extra_status);
+  auto server =
+      std::make_unique<serve::AdminServer>(std::move(options), std::move(hooks));
+  server->start();
+  std::cout << "admin server listening on 127.0.0.1:" << server->port()
+            << std::endl;
+  return server;
+}
 
 struct Knobs {
   serve::DirectoryOptions directory;
@@ -167,13 +208,35 @@ int run_replay(const util::Config& config) {
   const bool exact = serve::replay_is_exact(log, &why);
   if (!exact) std::cout << "note: replay is approximate (" << why << ")\n";
 
-  const Knobs knobs = read_knobs(config);
+  Knobs knobs = read_knobs(config);
   serve::ShardedDirectory directory(knobs.directory,
                                     serve::make_replay_estimator(log.run));
   serve::ReplayReport report;
   double wall_seconds = 0.0;
   {
+    // Replay is wall-clock driven for the SLO monitor: the backpressure hook
+    // both feeds the update-latency SLI and rolls the epoch ring (advance()
+    // is thread-safe and clamps non-monotonic times).
+    obs::SloMonitor slo;
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (config.contains("admin_port")) {
+      slo.bind_registry(obs::MetricsRegistry::global());
+      knobs.ingest.backpressure_hook = [&slo, wall_start](std::size_t,
+                                                          double seconds) {
+        slo.observe_update(seconds);
+        slo.advance(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count());
+      };
+    }
     serve::IngestPipeline pipeline(directory, knobs.ingest);
+    const std::unique_ptr<serve::AdminServer> admin = start_admin(
+        config, directory, pipeline, slo,
+        [&](util::JsonWriter& json) {
+          json.field("mode", "replay");
+          json.field("eventlog", eventlog_path);
+          json.field("log_lus", static_cast<std::uint64_t>(log.lus.size()));
+        });
     const auto start = std::chrono::steady_clock::now();
     report = serve::replay_eventlog(log, directory, pipeline);
     wall_seconds = std::chrono::duration<double>(
@@ -225,14 +288,38 @@ int run_synthetic(const util::Config& config) {
   const double speed = config.get_double("speed", 1.5);
   const std::string estimator_name = config.get_string("estimator", "");
   const double alpha = config.get_double("alpha", 0.0);
+  const auto pace_ms = config.get_int("pace_ms", 0);
+  const bool admin_enabled = config.contains("admin_port");
 
-  const Knobs knobs = read_knobs(config);
+  Knobs knobs = read_knobs(config);
   std::unique_ptr<estimation::LocationEstimator> prototype;
   if (!estimator_name.empty() && estimator_name != "none") {
     prototype = estimation::make_estimator(estimator_name, alpha, 1.0);
   }
   serve::ShardedDirectory directory(knobs.directory, std::move(prototype));
+
+  // Synthetic mode drives the SLO monitor on the sim clock (one epoch per
+  // tick by default): update latencies arrive per batch via the pipeline's
+  // backpressure hook, lookup latencies from timed probes each tick, and
+  // staleness from the directory's per-MN freshness summary.
+  obs::SloMonitor slo;
+  if (admin_enabled) {
+    slo.bind_registry(obs::MetricsRegistry::global());
+    knobs.ingest.backpressure_hook = [&slo](std::size_t, double seconds) {
+      slo.observe_update(seconds);
+    };
+  }
   serve::IngestPipeline pipeline(directory, knobs.ingest);
+
+  std::atomic<std::uint64_t> ticks_done{0};
+  const std::unique_ptr<serve::AdminServer> admin = start_admin(
+      config, directory, pipeline, slo, [&](util::JsonWriter& json) {
+        json.field("mode", "synthetic");
+        json.field("nodes", static_cast<std::uint64_t>(nodes));
+        json.field("ticks_configured", static_cast<std::uint64_t>(ticks));
+        json.field("ticks_done",
+                   ticks_done.load(std::memory_order_relaxed));
+      });
 
   // Deterministic per-MN random walk on a 1 km square (no shared RNG so the
   // workload is independent of submission order).
@@ -249,7 +336,10 @@ int run_synthetic(const util::Config& config) {
   std::uint64_t submitted = 0;
   std::uint64_t wire_rejected = 0;
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t k = 1; k <= ticks; ++k) {
+  // ticks == 0 runs until /quitz or a signal requests shutdown.
+  for (std::size_t k = 1;
+       (ticks == 0 || k <= ticks) && !g_quit.load(std::memory_order_acquire);
+       ++k) {
     const double t = static_cast<double>(k);
     for (std::uint32_t mn = 0; mn < nodes; ++mn) {
       position[mn].x += velocity[mn].x;
@@ -281,6 +371,30 @@ int run_synthetic(const util::Config& config) {
     }
     pipeline.flush();
     directory.advance_estimates(t);
+    ticks_done.store(k, std::memory_order_relaxed);
+    if (admin != nullptr) {
+      // Timed lookup probes feed the read-path SLI; the staleness SLI gets
+      // the tail of the directory's per-MN freshness distribution.
+      for (std::uint32_t probe = 0; probe < 8; ++probe) {
+        const std::uint32_t mn =
+            static_cast<std::uint32_t>(k * 17 + probe * 131) % nodes;
+        const auto probe_start = std::chrono::steady_clock::now();
+        (void)directory.lookup(mn);
+        slo.observe_lookup(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - probe_start)
+                               .count());
+      }
+      const serve::ShardedDirectory::StalenessSummary staleness =
+          directory.staleness_summary(t);
+      if (staleness.tracked > 0) {
+        slo.observe_staleness(staleness.p99_seconds);
+        slo.observe_staleness(staleness.max_seconds);
+      }
+      slo.advance(t);
+    }
+    if (pace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+    }
   }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -288,7 +402,8 @@ int run_synthetic(const util::Config& config) {
   pipeline.stop();
   const serve::IngestStats ingest_stats = pipeline.stats();
 
-  std::cout << "synthetic: " << nodes << " MNs x " << ticks << " ticks = "
+  std::cout << "synthetic: " << nodes << " MNs x "
+            << ticks_done.load(std::memory_order_relaxed) << " ticks = "
             << submitted << " LUs in "
             << stats::format_double(wall_seconds, 3) << " s ("
             << stats::format_double(
@@ -314,6 +429,11 @@ int main(int argc, char** argv) {
 
     const std::string metrics_out = config.get_string("metrics_out", "");
     if (!metrics_out.empty()) obs::set_enabled(true);
+    if (config.contains("admin_port")) {
+      obs::set_enabled(true);
+      std::signal(SIGINT, request_quit);
+      std::signal(SIGTERM, request_quit);
+    }
 
     const std::string mode = config.get_string(
         "mode", config.contains("eventlog") ? "replay" : "synthetic");

@@ -48,28 +48,6 @@ std::string escape_label(const std::string& value) {
   return out;
 }
 
-/// `{k1="v1",k2="v2"}` or "" when no labels; `extra` appends one more pair
-/// (used for the histogram `le` label).
-std::string label_block(const Labels& labels, const std::string& extra = {}) {
-  if (labels.empty() && extra.empty()) return {};
-  std::string out = "{";
-  bool first = true;
-  for (const auto& [key, value] : labels) {
-    if (!first) out += ',';
-    first = false;
-    out += key;
-    out += "=\"";
-    out += escape_label(value);
-    out += '"';
-  }
-  if (!extra.empty()) {
-    if (!first) out += ',';
-    out += extra;
-  }
-  out += '}';
-  return out;
-}
-
 const char* kind_name(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -82,40 +60,97 @@ const char* kind_name(MetricKind kind) {
   return "untyped";
 }
 
+/// Maps `text` onto the allowed character set, '_' for everything else and
+/// a '_' prefix when the first character is a digit.
+std::string sanitize_name(std::string_view text, bool allow_colon) {
+  std::string out;
+  out.reserve(text.size() + 1);
+  for (char c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' ||
+                    (allow_colon && c == ':');
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/// `{k1="v1",k2="v2"}` with sanitised keys, or "" when no labels; `extra`
+/// appends one more pre-formatted pair (the histogram `le` label).
+std::string exposition_labels(const Labels& labels,
+                              const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_label_key(key);
+    out += "=\"";
+    out += escape_label(value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
+
+std::string prometheus_metric_name(std::string_view name, MetricKind kind) {
+  std::string out = sanitize_name(name, /*allow_colon=*/true);
+  if (kind == MetricKind::kCounter && !ends_with(out, "_total")) {
+    out += "_total";
+  }
+  return out;
+}
+
+std::string prometheus_label_key(std::string_view key) {
+  return sanitize_name(key, /*allow_colon=*/false);
+}
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   std::string last_family;
   for (const MetricSample& sample : snapshot.samples) {
-    if (sample.name != last_family) {
-      last_family = sample.name;
+    const std::string name = prometheus_metric_name(sample.name, sample.kind);
+    if (name != last_family) {
+      last_family = name;
       if (!sample.help.empty()) {
-        out << "# HELP " << sample.name << ' ' << sample.help << '\n';
+        out << "# HELP " << name << ' ' << sample.help << '\n';
       }
-      out << "# TYPE " << sample.name << ' ' << kind_name(sample.kind)
-          << '\n';
+      out << "# TYPE " << name << ' ' << kind_name(sample.kind) << '\n';
     }
     switch (sample.kind) {
       case MetricKind::kCounter:
       case MetricKind::kGauge:
-        out << sample.name << label_block(sample.labels) << ' '
+        out << name << exposition_labels(sample.labels) << ' '
             << format_value(sample.value) << '\n';
         break;
       case MetricKind::kHistogram: {
         for (std::size_t i = 0; i < sample.bucket_edges.size(); ++i) {
-          out << sample.name << "_bucket"
-              << label_block(sample.labels,
-                             "le=\"" + format_value(sample.bucket_edges[i]) +
-                                 "\"")
+          out << name << "_bucket"
+              << exposition_labels(
+                     sample.labels,
+                     "le=\"" + format_value(sample.bucket_edges[i]) + "\"")
               << ' ' << sample.bucket_counts[i] << '\n';
         }
-        out << sample.name << "_bucket"
-            << label_block(sample.labels, "le=\"+Inf\"") << ' '
+        out << name << "_bucket"
+            << exposition_labels(sample.labels, "le=\"+Inf\"") << ' '
             << sample.count << '\n';
-        out << sample.name << "_sum" << label_block(sample.labels) << ' '
+        out << name << "_sum" << exposition_labels(sample.labels) << ' '
             << format_value(sample.sum) << '\n';
-        out << sample.name << "_count" << label_block(sample.labels) << ' '
+        out << name << "_count" << exposition_labels(sample.labels) << ' '
             << sample.count << '\n';
         break;
       }

@@ -14,11 +14,23 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "stats/csv.h"
 
 namespace mgrid::obs {
+
+/// The exposition name of a metric: characters outside [a-zA-Z0-9_:] map to
+/// '_', a leading digit gets a '_' prefix, and counters gain a `_total`
+/// suffix when the registered name lacks one (the Prometheus convention;
+/// names already ending `_total` pass through unchanged).
+[[nodiscard]] std::string prometheus_metric_name(std::string_view name,
+                                                 MetricKind kind);
+
+/// Label-key sanitisation: characters outside [a-zA-Z0-9_] map to '_', a
+/// leading digit gets a '_' prefix.
+[[nodiscard]] std::string prometheus_label_key(std::string_view key);
 
 [[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);

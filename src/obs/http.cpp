@@ -1,0 +1,463 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace mgrid::obs::http {
+
+namespace {
+
+constexpr std::string_view kHeaderTerminator = "\r\n\r\n";
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+void set_io_timeout(int fd, double seconds) {
+  if (!(seconds > 0.0)) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// send() the whole buffer; false on error/timeout. MSG_NOSIGNAL so a peer
+/// that hangs up mid-response cannot SIGPIPE the process.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Parses the request head (everything before the blank line). Returns
+/// false on a malformed request line or header.
+bool parse_head(std::string_view head, Request& request) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) return false;
+  const std::size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) return false;
+  request.method = std::string(request_line.substr(0, method_end));
+  request.target = std::string(
+      request_line.substr(method_end + 1, target_end - method_end - 1));
+  request.version = std::string(trim(request_line.substr(target_end + 1)));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/' ||
+      request.version.rfind("HTTP/", 0) != 0) {
+    return false;
+  }
+  const std::size_t question = request.target.find('?');
+  request.path = request.target.substr(0, question);
+  request.query = question == std::string::npos
+                      ? std::string{}
+                      : request.target.substr(question + 1);
+
+  std::size_t cursor = line_end == std::string_view::npos
+                           ? head.size()
+                           : line_end + 2;
+  while (cursor < head.size()) {
+    std::size_t next = head.find("\r\n", cursor);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(cursor, next - cursor);
+    cursor = next + 2;
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return false;
+    request.headers.emplace_back(lower(trim(line.substr(0, colon))),
+                                 std::string(trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* Request::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Response Response::text(int status, std::string body) {
+  Response response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+Response Response::json(int status, std::string body) {
+  Response response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+Response Response::not_found() { return text(404, "not found\n"); }
+
+const char* status_reason(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+Server::Server(ServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  if (options_.worker_threads == 0) {
+    throw std::invalid_argument("http::Server: worker_threads must be >= 1");
+  }
+  if (options_.max_queued_connections == 0) {
+    throw std::invalid_argument(
+        "http::Server: max_queued_connections must be >= 1");
+  }
+  if (!handler_) {
+    throw std::invalid_argument("http::Server: handler must be set");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire) || stopped_) {
+    throw std::runtime_error("http::Server: already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("http::Server: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http::Server: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http::Server: bind/listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port) + ": " + reason);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_main(); });
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Server::stop() {
+  if (stopped_ || !running_.load(std::memory_order_acquire)) {
+    stopped_ = true;
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept(): shutdown() makes the blocking accept return with an
+  // error on Linux; close() alone is not guaranteed to wake it.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  running_.store(false, std::memory_order_release);
+  stopped_ = true;
+}
+
+bool Server::running() const noexcept {
+  return running_.load(std::memory_order_acquire);
+}
+
+std::uint16_t Server::port() const noexcept { return bound_port_; }
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.served = served_.load(std::memory_order_relaxed);
+  out.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  out.io_errors = io_errors_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Server::accept_main() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EBADF/EINVAL after shutdown(): orderly stop. Anything else while
+      // not stopping is transient (EMFILE, ECONNABORTED) — back off briefly
+      // so fd exhaustion cannot turn this loop into a busy spin.
+      if (stopping_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    set_io_timeout(fd, options_.io_timeout_seconds);
+    bool enqueued = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.size() < options_.max_queued_connections) {
+        pending_.push_back(fd);
+        enqueued = true;
+        work_cv_.notify_one();
+      }
+    }
+    if (!enqueued) {
+      rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+      write_response(fd, Response::text(503, "busy\n"), false);
+      ::close(fd);
+    }
+  }
+}
+
+void Server::worker_main() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return !pending_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else {
+        return;  // stopping and the queue is drained
+      }
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string head;
+  head.reserve(512);
+  char buffer[2048];
+  std::size_t body_bytes_seen = 0;
+  std::size_t terminator = std::string::npos;
+  while (terminator == std::string::npos) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;  // timeout or peer reset before a full head arrived
+    }
+    const std::size_t scan_from =
+        head.size() >= 3 ? head.size() - 3 : std::size_t{0};
+    head.append(buffer, static_cast<std::size_t>(n));
+    terminator = head.find(kHeaderTerminator, scan_from);
+    // Bound the head whether it trickles in or lands in one read: reject
+    // both an unterminated head that outgrew the limit and a complete head
+    // larger than it.
+    const std::size_t head_bytes =
+        terminator == std::string::npos ? head.size() : terminator;
+    if (head_bytes > options_.max_request_bytes) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      write_response(fd, Response::text(431, "request head too large\n"),
+                     false);
+      return;
+    }
+  }
+  body_bytes_seen = head.size() - (terminator + kHeaderTerminator.size());
+
+  Request request;
+  if (!parse_head(std::string_view(head).substr(0, terminator), request)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    write_response(fd, Response::text(400, "malformed request\n"), false);
+    return;
+  }
+  // The admin plane is read-only: any request body is refused outright
+  // rather than read and ignored.
+  const std::string* content_length = request.header("content-length");
+  if (body_bytes_seen > 0 ||
+      (content_length != nullptr && *content_length != "0")) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    write_response(fd, Response::text(413, "request bodies not accepted\n"),
+                   false);
+    return;
+  }
+
+  const bool head_only = request.method == "HEAD";
+  if (head_only) request.method = "GET";
+  write_response(fd, handler_(request), head_only);
+}
+
+void Server::write_response(int fd, const Response& response,
+                            bool head_only) {
+  std::string head;
+  head.reserve(128);
+  head += "HTTP/1.1 ";
+  head += std::to_string(response.status);
+  head += ' ';
+  head += status_reason(response.status);
+  head += "\r\nContent-Type: ";
+  head += response.content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(response.body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  bool ok = send_all(fd, head);
+  if (ok && !head_only) ok = send_all(fd, response.body);
+  if (ok) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ClientResponse http_get(const std::string& host, std::uint16_t port,
+                        const std::string& target, double timeout_seconds) {
+  ClientResponse out;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    out.error = std::string("socket: ") + std::strerror(errno);
+    return out;
+  }
+  set_io_timeout(fd, timeout_seconds);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    out.error = "bad host address " + host;
+    return out;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    out.error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return out;
+  }
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    out.error = "send failed";
+    ::close(fd);
+    return out;
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      out.error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return out;
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find(kHeaderTerminator);
+  if (head_end == std::string::npos ||
+      raw.rfind("HTTP/", 0) != 0) {
+    out.error = "malformed response";
+    return out;
+  }
+  const std::size_t status_at = raw.find(' ');
+  if (status_at == std::string::npos || status_at + 4 > head_end) {
+    out.error = "malformed status line";
+    return out;
+  }
+  out.status = std::atoi(raw.c_str() + status_at + 1);
+  const std::string head_lower = lower(raw.substr(0, head_end));
+  const std::size_t ct = head_lower.find("content-type:");
+  if (ct != std::string::npos) {
+    std::size_t line_end = head_lower.find("\r\n", ct);
+    if (line_end == std::string::npos) line_end = head_end;
+    out.content_type = std::string(
+        trim(std::string_view(raw).substr(ct + 13, line_end - ct - 13)));
+  }
+  out.body = raw.substr(head_end + kHeaderTerminator.size());
+  out.ok = out.status != 0;
+  return out;
+}
+
+}  // namespace mgrid::obs::http

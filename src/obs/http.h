@@ -1,0 +1,159 @@
+// Minimal embedded HTTP/1.1 server for live observability endpoints.
+//
+// Dependency-free (POSIX sockets only): one accept thread feeds a bounded
+// connection queue drained by a small fixed pool of worker threads. Each
+// connection serves exactly one request (`Connection: close` semantics — a
+// scrape is one round trip, keep-alive buys nothing but lifecycle bugs) and
+// is bounded in every dimension: header bytes (431 beyond
+// max_request_bytes), body (413 — the admin plane is read-only), wall time
+// (SO_RCVTIMEO/SO_SNDTIMEO) and queued connections (excess accepts get an
+// immediate 503 and close, so a scrape storm cannot pile up file
+// descriptors).
+//
+// stop() is graceful and idempotent: the listener is shut down to unblock
+// accept(), already-queued connections are still served, and every thread
+// is joined before stop() returns — no leaked threads or sockets under
+// ASan/TSan, which the CI presets assert.
+//
+// The server itself is route-agnostic; the registered Handler maps requests
+// to responses (see serve/admin.h for the mgrid admin surface). http_get()
+// is the matching minimal blocking client used by the test suites and the
+// scrape-under-load bench.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mgrid::obs::http {
+
+/// One parsed request. Header names are lower-cased; values are trimmed.
+struct Request {
+  std::string method;   ///< "GET", "POST", ... (upper-case as received).
+  std::string target;   ///< Raw request target, e.g. "/statusz?verbose=1".
+  std::string path;     ///< Target up to '?', e.g. "/statusz".
+  std::string query;    ///< After '?', "" when absent.
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0".
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header with this (lower-case) name, nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  [[nodiscard]] static Response text(int status, std::string body);
+  [[nodiscard]] static Response json(int status, std::string body);
+  [[nodiscard]] static Response not_found();
+};
+
+/// Standard reason phrase for a status code ("OK", "Not Found", ...).
+[[nodiscard]] const char* status_reason(int status) noexcept;
+
+struct ServerOptions {
+  /// Loopback by default: the admin plane is an operator surface, not a
+  /// public API. Set "0.0.0.0" explicitly to expose it.
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via Server::port().
+  std::uint16_t port = 0;
+  /// Worker threads serving queued connections (>= 1).
+  std::size_t worker_threads = 2;
+  /// Accepted-but-unserved connection bound; excess gets 503 + close.
+  std::size_t max_queued_connections = 64;
+  /// Request head (request line + headers) byte bound; 431 beyond.
+  std::size_t max_request_bytes = 16 * 1024;
+  /// Per-connection socket read/write timeout.
+  double io_timeout_seconds = 5.0;
+};
+
+/// Monotonic server counters (snapshot copy).
+struct ServerStats {
+  std::uint64_t accepted = 0;       ///< Connections accepted.
+  std::uint64_t served = 0;         ///< Responses written (any status).
+  std::uint64_t rejected_busy = 0;  ///< 503s from a full connection queue.
+  std::uint64_t bad_requests = 0;   ///< 400/413/431 protocol rejections.
+  std::uint64_t io_errors = 0;      ///< Timeouts / resets mid-request.
+};
+
+using Handler = std::function<Response(const Request&)>;
+
+class Server {
+ public:
+  /// The handler runs on worker threads and must be thread-safe. It is
+  /// invoked for every well-formed request regardless of method.
+  Server(ServerOptions options, Handler handler);
+  ~Server();  ///< Implies stop().
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept/worker threads. Throws
+  /// std::runtime_error on socket/bind failure or when already started.
+  void start();
+
+  /// Graceful shutdown: stops accepting, serves what is already queued,
+  /// joins every thread. Idempotent; a stopped server cannot be restarted.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept;
+  /// Bound port (resolves port 0 after start()); 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  void accept_main();
+  void worker_main();
+  void serve_connection(int fd);
+  void write_response(int fd, const Response& response, bool head_only);
+
+  ServerOptions options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+  std::atomic<std::uint64_t> io_errors_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+};
+
+/// Minimal blocking GET client (tests, benches, smoke scripts). Returns
+/// ok=false with `error` set on connect/timeout/protocol failure; headers
+/// beyond the status line are parsed but only Content-Type is retained.
+struct ClientResponse {
+  bool ok = false;
+  int status = 0;
+  std::string content_type;
+  std::string body;
+  std::string error;
+};
+
+[[nodiscard]] ClientResponse http_get(const std::string& host,
+                                      std::uint16_t port,
+                                      const std::string& target,
+                                      double timeout_seconds = 5.0);
+
+}  // namespace mgrid::obs::http

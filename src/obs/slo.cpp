@@ -1,0 +1,260 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mgrid::obs {
+
+namespace {
+
+/// Quantile from one merged fixed-range histogram: nearest-rank over the
+/// cumulative bucket counts with linear interpolation inside the winning
+/// bucket. Underflow counts as <= lo; overflow answers with the tracked
+/// window maximum (the histogram cannot resolve beyond its range).
+double histogram_quantile(const stats::Histogram& histogram, double q,
+                          double window_max) {
+  const std::size_t total = histogram.total();
+  if (total == 0) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::size_t cumulative = histogram.underflow();
+  if (rank <= cumulative) return histogram.bucket_lo(0);
+  for (std::size_t b = 0; b < histogram.bucket_count(); ++b) {
+    const std::size_t in_bucket = histogram.count(b);
+    if (rank <= cumulative + in_bucket) {
+      const double fraction =
+          in_bucket == 0
+              ? 1.0
+              : static_cast<double>(rank - cumulative) /
+                    static_cast<double>(in_bucket);
+      return histogram.bucket_lo(b) +
+             fraction * (histogram.bucket_hi(b) - histogram.bucket_lo(b));
+    }
+    cumulative += in_bucket;
+  }
+  return window_max;
+}
+
+}  // namespace
+
+const char* slo_state_name(SloState state) noexcept {
+  switch (state) {
+    case SloState::kOk:
+      return "ok";
+    case SloState::kWarn:
+      return "warn";
+    case SloState::kPage:
+      return "page";
+  }
+  return "unknown";
+}
+
+double SloWindowStats::burn_rate(
+    const SloObjective& objective) const noexcept {
+  const double budget = 1.0 - objective.target_fraction;
+  if (count == 0 || !(budget > 0.0)) return 0.0;
+  return bad_fraction() / budget;
+}
+
+void SloMonitor::Sli::observe(double sample) {
+  Epoch& epoch = ring[head];
+  ++epoch.count;
+  if (sample > objective.threshold) ++epoch.bad;
+  epoch.max = std::max(epoch.max, sample);
+  epoch.histogram.add(sample);
+}
+
+void SloMonitor::Sli::roll_to(std::int64_t epoch_index) {
+  if (epoch_index - ring[head].index >=
+      static_cast<std::int64_t>(ring.size())) {
+    // The whole ring is older than the window: reset wholesale instead of
+    // rotating once per skipped epoch (a wall-clock caller that slept for
+    // hours would otherwise spin here).
+    for (Epoch& slot : ring) {
+      slot.index = -1;
+      slot.count = 0;
+      slot.bad = 0;
+      slot.max = 0.0;
+      slot.histogram = stats::Histogram(0.0, range_hi, buckets);
+    }
+    head = 0;
+    ring[head].index = epoch_index;
+    return;
+  }
+  while (ring[head].index < epoch_index) {
+    const std::int64_t next = ring[head].index + 1;
+    head = (head + 1) % ring.size();
+    Epoch& slot = ring[head];
+    slot.index = next;
+    slot.count = 0;
+    slot.bad = 0;
+    slot.max = 0.0;
+    slot.histogram = stats::Histogram(0.0, range_hi, buckets);
+  }
+}
+
+SloWindowStats SloMonitor::Sli::window(std::size_t epochs) const {
+  SloWindowStats out;
+  stats::Histogram merged(0.0, range_hi, buckets);
+  const std::size_t take = std::min(epochs, ring.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const Epoch& epoch = ring[(head + ring.size() - i) % ring.size()];
+    if (epoch.index < 0) continue;
+    out.count += epoch.count;
+    out.bad += epoch.bad;
+    out.max = std::max(out.max, epoch.max);
+    merged.merge(epoch.histogram);
+  }
+  // Clamp to the tracked maximum: when every sample lands in one coarse
+  // bucket, mid-bucket interpolation must not report a quantile above the
+  // largest sample actually seen.
+  out.p50 = std::min(histogram_quantile(merged, 0.50, out.max), out.max);
+  out.p95 = std::min(histogram_quantile(merged, 0.95, out.max), out.max);
+  out.p99 = std::min(histogram_quantile(merged, 0.99, out.max), out.max);
+  return out;
+}
+
+SloMonitor::SloMonitor(SloOptions options) : options_(options) {
+  if (!(options_.epoch_seconds > 0.0)) {
+    throw std::invalid_argument("SloMonitor: epoch_seconds must be > 0");
+  }
+  if (options_.window_epochs == 0 || options_.short_epochs == 0 ||
+      options_.short_epochs > options_.window_epochs) {
+    throw std::invalid_argument(
+        "SloMonitor: need 1 <= short_epochs <= window_epochs");
+  }
+  if (!(options_.latency_range_seconds > 0.0) ||
+      !(options_.staleness_range_seconds > 0.0) ||
+      options_.latency_buckets == 0 || options_.staleness_buckets == 0) {
+    throw std::invalid_argument("SloMonitor: histogram shape must be > 0");
+  }
+  auto make_sli = [this](std::string name, SloObjective objective, double hi,
+                         std::size_t buckets) {
+    Sli sli;
+    sli.name = std::move(name);
+    sli.objective = objective;
+    sli.range_hi = hi;
+    sli.buckets = buckets;
+    sli.ring.reserve(options_.window_epochs);
+    for (std::size_t i = 0; i < options_.window_epochs; ++i) {
+      sli.ring.emplace_back(hi, buckets);
+    }
+    sli.ring[0].index = 0;
+    return sli;
+  };
+  slis_.push_back(make_sli("lookup_latency", options_.lookup,
+                           options_.latency_range_seconds,
+                           options_.latency_buckets));
+  slis_.push_back(make_sli("update_latency", options_.update,
+                           options_.latency_range_seconds,
+                           options_.latency_buckets));
+  slis_.push_back(make_sli("staleness", options_.staleness,
+                           options_.staleness_range_seconds,
+                           options_.staleness_buckets));
+}
+
+void SloMonitor::bind_registry(MetricsRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_.clear();
+  for (const Sli& sli : slis_) {
+    SliGauges gauges;
+    gauges.state = registry.gauge(
+        "mgrid_slo_state", {{"sli", sli.name}},
+        "SLO state: 0 = ok, 1 = warn, 2 = page");
+    gauges.burn_short = registry.gauge(
+        "mgrid_slo_burn_rate", {{"sli", sli.name}, {"window", "short"}},
+        "Error-budget burn rate (1.0 = spending exactly the budget)");
+    gauges.burn_long = registry.gauge(
+        "mgrid_slo_burn_rate", {{"sli", sli.name}, {"window", "long"}},
+        "Error-budget burn rate (1.0 = spending exactly the budget)");
+    gauges.p50 = registry.gauge("mgrid_slo_p50", {{"sli", sli.name}},
+                                "Long-window p50 of the SLI");
+    gauges.p99 = registry.gauge("mgrid_slo_p99", {{"sli", sli.name}},
+                                "Long-window p99 of the SLI");
+    gauges.max = registry.gauge("mgrid_slo_max", {{"sli", sli.name}},
+                                "Long-window maximum of the SLI");
+    gauges_.push_back(gauges);
+  }
+  bound_ = true;
+  refresh_gauges_locked(report_locked());
+}
+
+void SloMonitor::observe_lookup(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slis_[0].observe(seconds);
+}
+
+void SloMonitor::observe_update(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slis_[1].observe(seconds);
+}
+
+void SloMonitor::observe_staleness(double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slis_[2].observe(seconds);
+}
+
+void SloMonitor::roll_locked(double now) {
+  const auto epoch = static_cast<std::int64_t>(
+      std::floor(now / options_.epoch_seconds));
+  if (epoch <= current_epoch_) return;  // clamp: time never runs backwards
+  epochs_seen_ += static_cast<std::size_t>(
+      std::min<std::int64_t>(epoch - current_epoch_,
+                             static_cast<std::int64_t>(options_.window_epochs)));
+  epochs_seen_ = std::min(epochs_seen_, options_.window_epochs);
+  current_epoch_ = epoch;
+  for (Sli& sli : slis_) sli.roll_to(epoch);
+}
+
+void SloMonitor::advance(double now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  now_ = std::max(now_, now);
+  roll_locked(now);
+  if (bound_) refresh_gauges_locked(report_locked());
+}
+
+SloReport SloMonitor::report_locked() const {
+  SloReport out;
+  out.now = now_;
+  out.epoch_seconds = options_.epoch_seconds;
+  out.epochs_filled = epochs_seen_;
+  for (const Sli& sli : slis_) {
+    SloSliReport entry;
+    entry.name = sli.name;
+    entry.objective = sli.objective;
+    entry.short_window = sli.window(options_.short_epochs);
+    entry.long_window = sli.window(options_.window_epochs);
+    const double burn_short = entry.short_window.burn_rate(sli.objective);
+    const double burn_long = entry.long_window.burn_rate(sli.objective);
+    if (burn_short >= options_.page_burn && burn_long >= options_.page_burn) {
+      entry.state = SloState::kPage;
+    } else if (burn_short >= options_.warn_burn &&
+               burn_long >= options_.warn_burn) {
+      entry.state = SloState::kWarn;
+    }
+    out.overall = std::max(out.overall, entry.state);
+    out.slis.push_back(std::move(entry));
+  }
+  return out;
+}
+
+SloReport SloMonitor::report() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return report_locked();
+}
+
+void SloMonitor::refresh_gauges_locked(const SloReport& report) {
+  for (std::size_t i = 0; i < report.slis.size() && i < gauges_.size(); ++i) {
+    const SloSliReport& sli = report.slis[i];
+    SliGauges& gauges = gauges_[i];
+    gauges.state.set(static_cast<double>(static_cast<int>(sli.state)));
+    gauges.burn_short.set(sli.short_window.burn_rate(sli.objective));
+    gauges.burn_long.set(sli.long_window.burn_rate(sli.objective));
+    gauges.p50.set(sli.long_window.p50);
+    gauges.p99.set(sli.long_window.p99);
+    gauges.max.set(sli.long_window.max);
+  }
+}
+
+}  // namespace mgrid::obs

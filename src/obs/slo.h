@@ -1,0 +1,184 @@
+// Rolling-window SLO monitor for the serving layer.
+//
+// Tracks three service-level indicators over a ring of aligned epochs:
+//
+//   lookup_latency  — seconds per directory lookup (read path)
+//   update_latency  — enqueue-to-apply seconds through the ingest pipeline
+//                     (write path; fed per batch with the batch maximum)
+//   staleness       — sim-seconds since the last *applied* LU per MN
+//                     (the freshness face of the paper's update/accuracy
+//                     trade-off: an aggressive distance filter suppresses
+//                     LUs, so staleness is exactly what ADF spends to save
+//                     traffic)
+//
+// Each epoch owns a fixed-range histogram + bad-sample counter per SLI;
+// advance(now) rolls the ring to the epoch containing `now` (epochs are
+// aligned to multiples of epoch_seconds, so two monitors fed the same
+// samples and clock agree exactly). Aggregation is over two windows — the
+// short window (burn detection) and the full ring (budget context) — in the
+// style of multi-window burn-rate alerting: an SLI pages only when BOTH
+// windows burn error budget faster than page_burn, warns when both exceed
+// warn_burn, so a single bad epoch cannot page and a slow leak cannot hide.
+//
+// burn rate = bad_fraction / (1 - objective.target_fraction): 1.0 means
+// "consuming exactly the error budget", 10x means the budget for the whole
+// window is gone in a tenth of it.
+//
+// bind_registry() mirrors the current report into gauges
+// (mgrid_slo_burn_rate{sli,window}, mgrid_slo_state{sli}, quantile gauges)
+// every advance(), so /metrics scrapes and the admin /statusz see the same
+// state.
+//
+// Thread-safety: every method takes an internal lock. Feed coarse events
+// (per batch, per probe, per scan) rather than per-LU hot-path samples.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "stats/histogram.h"
+
+namespace mgrid::obs {
+
+enum class SloState { kOk = 0, kWarn = 1, kPage = 2 };
+
+[[nodiscard]] const char* slo_state_name(SloState state) noexcept;
+
+/// One SLI's objective: at least `target_fraction` of samples must be at or
+/// under `threshold` (same unit as the samples — seconds here).
+struct SloObjective {
+  double threshold = 0.0;
+  double target_fraction = 0.99;
+};
+
+struct SloOptions {
+  /// Epoch alignment grid (> 0). Sim-driven callers pass sim seconds;
+  /// wall-driven callers pass wall seconds — the monitor is clock-agnostic.
+  double epoch_seconds = 1.0;
+  /// Ring size == the long window (>= short_epochs, >= 1).
+  std::size_t window_epochs = 60;
+  /// Short burn-detection window (>= 1).
+  std::size_t short_epochs = 5;
+  /// Burn-rate thresholds: state is kWarn/kPage only when BOTH windows
+  /// burn at or above the level.
+  double warn_burn = 1.0;
+  double page_burn = 6.0;
+
+  SloObjective lookup{1e-3, 0.99};     ///< 99% of lookups under 1 ms.
+  SloObjective update{5e-2, 0.99};     ///< 99% of batches applied in 50 ms.
+  SloObjective staleness{10.0, 0.99};  ///< 99% of MNs fresher than 10 s.
+
+  /// Histogram ranges (quantiles interpolate inside these buckets).
+  double latency_range_seconds = 0.1;
+  std::size_t latency_buckets = 100;
+  double staleness_range_seconds = 120.0;
+  std::size_t staleness_buckets = 120;
+};
+
+/// Aggregate over one window of epochs.
+struct SloWindowStats {
+  std::uint64_t count = 0;
+  std::uint64_t bad = 0;  ///< Samples over the objective threshold.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double bad_fraction() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(bad) / static_cast<double>(count);
+  }
+  /// Error-budget burn rate vs an objective (0 when the window is empty).
+  [[nodiscard]] double burn_rate(const SloObjective& objective) const noexcept;
+};
+
+struct SloSliReport {
+  std::string name;
+  SloObjective objective;
+  SloWindowStats short_window;
+  SloWindowStats long_window;
+  SloState state = SloState::kOk;
+};
+
+struct SloReport {
+  double now = 0.0;           ///< Clock of the last advance().
+  double epoch_seconds = 0.0;
+  std::size_t epochs_filled = 0;  ///< Ring occupancy (<= window_epochs).
+  std::vector<SloSliReport> slis;  ///< lookup_latency, update_latency, staleness.
+  SloState overall = SloState::kOk;  ///< Worst per-SLI state.
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloOptions options = {});
+
+  /// Mirrors the report into gauges in `registry` on every advance().
+  void bind_registry(MetricsRegistry& registry);
+
+  void observe_lookup(double seconds);
+  void observe_update(double seconds);
+  void observe_staleness(double seconds);
+
+  /// Rolls the epoch ring to the epoch containing `now` (monotonic;
+  /// earlier times are clamped to the current epoch) and refreshes bound
+  /// gauges. Call once per tick / scrape interval.
+  void advance(double now);
+
+  [[nodiscard]] SloReport report() const;
+  [[nodiscard]] const SloOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Epoch {
+    std::int64_t index = -1;  ///< floor(now / epoch_seconds); -1 = empty.
+    std::uint64_t count = 0;
+    std::uint64_t bad = 0;
+    double max = 0.0;
+    stats::Histogram histogram;
+
+    Epoch(double hi, std::size_t buckets) : histogram(0.0, hi, buckets) {}
+  };
+
+  struct Sli {
+    std::string name;
+    SloObjective objective;
+    /// Histogram shape shared by every epoch (merge requires an exact
+    /// range match, so the shape is stored once rather than re-derived).
+    double range_hi = 1.0;
+    std::size_t buckets = 1;
+    std::vector<Epoch> ring;
+    std::size_t head = 0;  ///< Ring slot of the current epoch.
+
+    void observe(double sample);
+    void roll_to(std::int64_t epoch_index);
+    [[nodiscard]] SloWindowStats window(std::size_t epochs) const;
+  };
+
+  struct SliGauges {
+    Gauge state;
+    Gauge burn_short;
+    Gauge burn_long;
+    Gauge p50;
+    Gauge p99;
+    Gauge max;
+  };
+
+  void roll_locked(double now);
+  [[nodiscard]] SloReport report_locked() const;
+  void refresh_gauges_locked(const SloReport& report);
+
+  SloOptions options_;
+  mutable std::mutex mutex_;
+  std::int64_t current_epoch_ = 0;
+  double now_ = 0.0;
+  std::size_t epochs_seen_ = 1;  ///< Distinct epochs entered (ring fill).
+  std::vector<Sli> slis_;        ///< [0]=lookup, [1]=update, [2]=staleness.
+  std::vector<SliGauges> gauges_;
+  bool bound_ = false;
+};
+
+}  // namespace mgrid::obs

@@ -1,0 +1,239 @@
+#include "serve/admin.h"
+
+#include <utility>
+
+#include "obs/export.h"
+
+namespace mgrid::serve {
+
+namespace {
+
+/// `name{k="v",...}` for /varz lines (labels are registry-sorted already).
+std::string varz_series_name(const obs::MetricSample& sample) {
+  if (sample.labels.empty()) return sample.name;
+  std::string out = sample.name;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : sample.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += util::json_escape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void write_window(util::JsonWriter& json, const char* name,
+                  const obs::SloWindowStats& window,
+                  const obs::SloObjective& objective) {
+  json.key(name).begin_object();
+  json.field("count", window.count);
+  json.field("bad", window.bad);
+  json.field("bad_fraction", window.bad_fraction());
+  json.field("burn_rate", window.burn_rate(objective));
+  json.field("p50", window.p50);
+  json.field("p95", window.p95);
+  json.field("p99", window.p99);
+  json.field("max", window.max);
+  json.end_object();
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminOptions options, AdminHooks hooks)
+    : options_(std::move(options)),
+      hooks_(std::move(hooks)),
+      server_(options_.http, [this](const obs::http::Request& request) {
+        return handle(request);
+      }) {
+  if (hooks_.registry == nullptr) {
+    hooks_.registry = &obs::current_registry();
+  }
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::start() {
+  started_ = std::chrono::steady_clock::now();
+  server_.start();
+}
+
+void AdminServer::stop() { server_.stop(); }
+
+std::uint16_t AdminServer::port() const noexcept { return server_.port(); }
+
+bool AdminServer::running() const noexcept { return server_.running(); }
+
+obs::http::ServerStats AdminServer::http_stats() const {
+  return server_.stats();
+}
+
+obs::http::Response AdminServer::handle(const obs::http::Request& request) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    return obs::http::Response::text(405, "method not allowed\n");
+  }
+  if (request.path == "/metrics") return metrics();
+  if (request.path == "/healthz") {
+    return obs::http::Response::text(200, "ok\n");
+  }
+  if (request.path == "/readyz") return readyz();
+  if (request.path == "/statusz") return statusz();
+  if (request.path == "/varz") return varz();
+  if (request.path == "/quitz") {
+    quit_requests_.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_.on_quit) hooks_.on_quit();
+    return obs::http::Response::text(200, "shutting down\n");
+  }
+  if (request.path == "/") {
+    return obs::http::Response::text(
+        200,
+        "mgrid admin\n"
+        "  /metrics /healthz /readyz /statusz /varz /quitz\n");
+  }
+  return obs::http::Response::not_found();
+}
+
+obs::http::Response AdminServer::metrics() const {
+  return obs::http::Response::text(
+      200, obs::to_prometheus(hooks_.registry->snapshot()));
+}
+
+obs::http::Response AdminServer::varz() const {
+  const obs::MetricsSnapshot snapshot = hooks_.registry->snapshot();
+  std::string body;
+  for (const obs::MetricSample& sample : snapshot.samples) {
+    body += varz_series_name(sample);
+    body += ' ';
+    if (sample.kind == obs::MetricKind::kHistogram) {
+      body += "count=" + std::to_string(sample.count);
+      body += " sum=" + std::to_string(sample.sum);
+      body += " mean=" + std::to_string(sample.mean);
+      body += " max=" + std::to_string(sample.max);
+    } else {
+      body += std::to_string(sample.value);
+    }
+    body += '\n';
+  }
+  return obs::http::Response::text(200, body);
+}
+
+bool AdminServer::is_ready(std::string* reason) const {
+  if (hooks_.pipeline != nullptr) {
+    const std::uint64_t pending = hooks_.pipeline->pending();
+    if (pending > options_.ready_max_pending) {
+      if (reason != nullptr) {
+        *reason = "ingest backlog: " + std::to_string(pending) +
+                  " pending > " + std::to_string(options_.ready_max_pending);
+      }
+      return false;
+    }
+  }
+  if (hooks_.ready && !hooks_.ready(reason)) {
+    if (reason != nullptr && reason->empty()) *reason = "driver not ready";
+    return false;
+  }
+  return true;
+}
+
+obs::http::Response AdminServer::readyz() const {
+  std::string reason;
+  if (is_ready(&reason)) return obs::http::Response::text(200, "ready\n");
+  return obs::http::Response::text(503, "not ready: " + reason + "\n");
+}
+
+obs::http::Response AdminServer::statusz() const {
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "mgrid-statusz-v1");
+  json.field("build", options_.build_info);
+  json.field("uptime_seconds",
+             std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           started_)
+                 .count());
+  std::string not_ready_reason;
+  const bool ready = is_ready(&not_ready_reason);
+  json.field("ready", ready);
+  if (!ready) json.field("not_ready_reason", not_ready_reason);
+  json.field("quit_requests",
+             quit_requests_.load(std::memory_order_relaxed));
+
+  const obs::http::ServerStats http = server_.stats();
+  json.key("http").begin_object();
+  json.field("accepted", http.accepted);
+  json.field("served", http.served);
+  json.field("rejected_busy", http.rejected_busy);
+  json.field("bad_requests", http.bad_requests);
+  json.field("io_errors", http.io_errors);
+  json.end_object();
+
+  if (hooks_.directory != nullptr) {
+    json.key("directory").begin_object();
+    json.field("size", static_cast<std::uint64_t>(hooks_.directory->size()));
+    json.field("shards",
+               static_cast<std::uint64_t>(hooks_.directory->shard_count()));
+    json.key("shard_sizes").begin_array();
+    for (const std::size_t size : hooks_.directory->shard_sizes()) {
+      json.value(static_cast<std::uint64_t>(size));
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  if (hooks_.pipeline != nullptr) {
+    const IngestStats stats = hooks_.pipeline->stats();
+    json.key("ingest").begin_object();
+    json.field("accepted", stats.accepted);
+    json.field("applied", stats.applied);
+    json.field("rejected_full", stats.rejected_full);
+    json.field("rejected_stale", stats.rejected_stale);
+    json.field("batches", stats.batches);
+    json.field("pending", hooks_.pipeline->pending());
+    json.field("workers",
+               static_cast<std::uint64_t>(hooks_.pipeline->worker_count()));
+    json.key("queue_depths").begin_array();
+    for (const std::size_t depth : hooks_.pipeline->queue_depths()) {
+      json.value(static_cast<std::uint64_t>(depth));
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  if (hooks_.slo != nullptr) {
+    const obs::SloReport report = hooks_.slo->report();
+    json.key("slo").begin_object();
+    json.field("now", report.now);
+    json.field("epoch_seconds", report.epoch_seconds);
+    json.field("epochs_filled",
+               static_cast<std::uint64_t>(report.epochs_filled));
+    json.field("overall", obs::slo_state_name(report.overall));
+    json.key("slis").begin_array();
+    for (const obs::SloSliReport& sli : report.slis) {
+      json.begin_object();
+      json.field("name", sli.name);
+      json.field("state", obs::slo_state_name(sli.state));
+      json.key("objective").begin_object();
+      json.field("threshold", sli.objective.threshold);
+      json.field("target_fraction", sli.objective.target_fraction);
+      json.end_object();
+      write_window(json, "short_window", sli.short_window, sli.objective);
+      write_window(json, "long_window", sli.long_window, sli.objective);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+
+  if (hooks_.extra_status) {
+    json.key("driver").begin_object();
+    hooks_.extra_status(json);
+    json.end_object();
+  }
+
+  json.end_object();
+  return obs::http::Response::json(200, json.str());
+}
+
+}  // namespace mgrid::serve

@@ -1,0 +1,100 @@
+// Admin/observability surface for the serving layer.
+//
+// Binds an obs::http::Server to the operational state of a running broker
+// service and exposes the scrape endpoints a production location service
+// needs:
+//
+//   GET /metrics  Prometheus text exposition of the bound MetricsRegistry
+//   GET /healthz  liveness: 200 "ok" while the process serves requests
+//   GET /readyz   readiness: 200 once ingest is caught up (pipeline
+//                 backlog at or under ready_max_pending and the driver's
+//                 ready predicate, when set, agrees); 503 with the reason
+//                 otherwise
+//   GET /statusz  JSON snapshot (mgrid-statusz-v1): build info, uptime,
+//                 directory shard occupancy, ingest/backpressure counters
+//                 and per-source queue depths, SLO report, plus any
+//                 driver-provided progress fields
+//   GET /varz     raw counter dump, one `name{labels} value` per line
+//   GET /quitz    requests driver shutdown (fires the on_quit hook; the
+//                 driver loop exits and stops the server — /quitz never
+//                 blocks on the shutdown itself)
+//
+// Every hook is optional: a driver with no pipeline simply loses the
+// ingest block and readiness falls back to the ready predicate (or always
+// ready). handle() is exposed directly so tests can exercise routing
+// without sockets.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/http.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "serve/directory.h"
+#include "serve/ingest.h"
+#include "util/json.h"
+
+namespace mgrid::serve {
+
+struct AdminOptions {
+  obs::http::ServerOptions http;
+  /// Readiness: the pipeline is "caught up" while pending() <= this.
+  std::uint64_t ready_max_pending = 1024;
+  /// Free-form build/version string surfaced in /statusz.
+  std::string build_info = "mgrid";
+};
+
+struct AdminHooks {
+  /// Registry scraped by /metrics and /varz; nullptr = the registry that
+  /// is current on the constructing thread.
+  obs::MetricsRegistry* registry = nullptr;
+  ShardedDirectory* directory = nullptr;    ///< Optional.
+  IngestPipeline* pipeline = nullptr;       ///< Optional.
+  obs::SloMonitor* slo = nullptr;           ///< Optional.
+  /// Extra readiness predicate; fill `*reason` when returning false.
+  std::function<bool(std::string* reason)> ready;
+  /// Appends driver-specific fields inside /statusz's "driver" object.
+  std::function<void(util::JsonWriter&)> extra_status;
+  /// Fired by /quitz (e.g. set an atomic the driver loop polls).
+  std::function<void()> on_quit;
+};
+
+class AdminServer {
+ public:
+  AdminServer(AdminOptions options, AdminHooks hooks);
+  ~AdminServer();  ///< Implies stop().
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds and starts serving. Throws std::runtime_error on bind failure.
+  void start();
+  /// Graceful shutdown (idempotent).
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] bool running() const noexcept;
+  [[nodiscard]] obs::http::ServerStats http_stats() const;
+
+  /// Route one request (the HTTP server's handler; public for tests).
+  [[nodiscard]] obs::http::Response handle(const obs::http::Request& request);
+
+ private:
+  [[nodiscard]] obs::http::Response metrics() const;
+  [[nodiscard]] obs::http::Response varz() const;
+  [[nodiscard]] obs::http::Response readyz() const;
+  [[nodiscard]] obs::http::Response statusz() const;
+  [[nodiscard]] bool is_ready(std::string* reason) const;
+
+  AdminOptions options_;
+  AdminHooks hooks_;
+  obs::http::Server server_;
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<std::uint64_t> quit_requests_{0};
+};
+
+}  // namespace mgrid::serve

@@ -415,4 +415,48 @@ std::size_t ShardedDirectory::size() const {
   return total;
 }
 
+std::vector<std::size_t> ShardedDirectory::shard_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    sizes.push_back(shard->tracks.size());
+  }
+  return sizes;
+}
+
+ShardedDirectory::StalenessSummary ShardedDirectory::staleness_summary(
+    SimTime now) const {
+  // One pass per shard under its lock collecting ages; the aggregation
+  // (sum / p99 / max) happens lock-free afterwards. O(n) but called at
+  // scrape/tick rate, not per operation.
+  std::vector<double> ages;
+  ages.reserve(64);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [mn, track] : shard->tracks) {
+      if (!track.has_report()) continue;
+      ages.push_back(std::max(0.0, now - track.last_reported_time()));
+    }
+  }
+  StalenessSummary summary;
+  summary.tracked = ages.size();
+  if (ages.empty()) return summary;
+  double sum = 0.0;
+  for (double age : ages) {
+    sum += age;
+    summary.max_seconds = std::max(summary.max_seconds, age);
+  }
+  summary.mean_seconds = sum / static_cast<double>(ages.size());
+  const std::size_t rank = std::min(
+      ages.size() - 1,
+      static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(ages.size())) - 1));
+  std::nth_element(ages.begin(),
+                   ages.begin() + static_cast<std::ptrdiff_t>(rank),
+                   ages.end());
+  summary.p99_seconds = ages[rank];
+  return summary;
+}
+
 }  // namespace mgrid::serve

@@ -116,6 +116,21 @@ class ShardedDirectory {
     return shards_.size();
   }
 
+  /// Track count per shard (occupancy view for the admin /statusz).
+  [[nodiscard]] std::vector<std::size_t> shard_sizes() const;
+
+  /// Location-staleness aggregate: sim-time since the last *received* LU
+  /// per tracked MN, evaluated at `now`. This is the freshness SLI the SLO
+  /// monitor tracks — estimator forecasts do not reset it, only applied
+  /// LUs do. Negative ages (now earlier than a fix) clamp to 0.
+  struct StalenessSummary {
+    std::size_t tracked = 0;    ///< MNs with at least one received fix.
+    double mean_seconds = 0.0;
+    double p99_seconds = 0.0;   ///< Nearest-rank p99 across MNs.
+    double max_seconds = 0.0;
+  };
+  [[nodiscard]] StalenessSummary staleness_summary(SimTime now) const;
+
  private:
   struct Shard {
     mutable std::mutex mutex;

@@ -1,12 +1,54 @@
 #include "serve/ingest.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace mgrid::serve {
 
+/// Registry handles for the pipeline's backpressure telemetry, resolved
+/// once against the constructing thread's current registry. Depth gauges
+/// are per source so a scrape shows which queues are hot.
+struct IngestPipeline::Telemetry {
+  obs::Counter accepted;
+  obs::Counter rejected_full;
+  obs::Counter rejected_stale;
+  obs::HistogramMetric enqueue_to_apply_seconds;
+  obs::HistogramMetric batch_size;
+  std::vector<obs::Gauge> queue_depth;  ///< One per source.
+
+  Telemetry(obs::MetricsRegistry& registry, std::size_t sources,
+            std::size_t max_batch) {
+    accepted = registry.counter("mgrid_ingest_accepted_total", {},
+                                "LUs accepted into the ingest queues");
+    rejected_full =
+        registry.counter("mgrid_ingest_rejected_total",
+                         {{"reason", "full"}},
+                         "LUs rejected by the ingest pipeline");
+    rejected_stale =
+        registry.counter("mgrid_ingest_rejected_total",
+                         {{"reason", "stale"}},
+                         "LUs rejected by the ingest pipeline");
+    enqueue_to_apply_seconds = registry.histogram(
+        "mgrid_ingest_enqueue_to_apply_seconds", 0.0, 0.1, 100, {},
+        "Latency from submit() to directory apply");
+    batch_size = registry.histogram(
+        "mgrid_ingest_batch_size", 0.0,
+        static_cast<double>(max_batch) + 1.0,
+        std::min<std::size_t>(max_batch + 1, 64), {},
+        "LUs drained per worker batch");
+    queue_depth.reserve(sources);
+    for (std::size_t s = 0; s < sources; ++s) {
+      queue_depth.push_back(registry.gauge(
+          "mgrid_ingest_queue_depth", {{"source", std::to_string(s)}},
+          "Instantaneous depth of one ingest source queue"));
+    }
+  }
+};
+
 IngestPipeline::IngestPipeline(ShardedDirectory& directory,
                                IngestOptions options)
-    : directory_(directory), options_(options) {
+    : directory_(directory), options_(std::move(options)) {
   if (options_.sources == 0) {
     throw std::invalid_argument("IngestPipeline: sources must be >= 1");
   }
@@ -21,6 +63,9 @@ IngestPipeline::IngestPipeline(ShardedDirectory& directory,
   for (std::size_t i = 0; i < options_.sources; ++i) {
     queues_.push_back(std::make_unique<SourceQueue>());
   }
+  home_registry_ = &obs::current_registry();
+  telemetry_ = std::make_shared<Telemetry>(*home_registry_, options_.sources,
+                                           options_.batch_size);
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -31,20 +76,32 @@ IngestPipeline::~IngestPipeline() { stop(); }
 
 bool IngestPipeline::submit(const wire::LuMsg& msg) {
   if (!accepting_.load(std::memory_order_acquire)) return false;
-  SourceQueue& queue = *queues_[msg.mn % queues_.size()];
+  const bool telemetry = obs::enabled();
+  const std::size_t source = msg.mn % queues_.size();
+  SourceQueue& queue = *queues_[source];
   bool was_empty = false;
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(queue.mutex);
     if (options_.queue_capacity > 0 &&
         queue.lus.size() >= options_.queue_capacity) {
       rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry) telemetry_->rejected_full.inc();
       return false;
     }
     was_empty = queue.lus.empty();
-    queue.lus.push_back(msg);
+    QueuedLu item;
+    item.msg = msg;
+    if (telemetry) item.enqueued = std::chrono::steady_clock::now();
+    queue.lus.push_back(item);
+    depth = queue.lus.size();
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
   pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (telemetry) {
+    telemetry_->accepted.inc();
+    telemetry_->queue_depth[source].set(static_cast<double>(depth));
+  }
   if (was_empty) {
     // The owning worker may be parked on an empty queue; the lock pairs
     // with its predicate check so the wakeup cannot be lost.
@@ -92,9 +149,24 @@ bool IngestPipeline::own_work(std::size_t worker_id) {
   return false;
 }
 
+std::vector<std::size_t> IngestPipeline::queue_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(queues_.size());
+  for (const std::unique_ptr<SourceQueue>& queue : queues_) {
+    const std::lock_guard<std::mutex> lock(queue->mutex);
+    depths.push_back(queue->lus.size());
+  }
+  return depths;
+}
+
 void IngestPipeline::worker_main(std::size_t worker_id) {
+  // Workers record through the owner's registry (directory apply metrics,
+  // pipeline histograms), not whatever the global happens to be.
+  const obs::ScopedRegistry scoped_registry(*home_registry_);
   std::vector<ShardedDirectory::LuApply> batch;
+  std::vector<std::chrono::steady_clock::time_point> enqueue_times;
   batch.reserve(options_.batch_size);
+  enqueue_times.reserve(options_.batch_size);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(control_mutex_);
@@ -107,16 +179,23 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
          q += options_.workers) {
       SourceQueue& queue = *queues_[q];
       batch.clear();
+      enqueue_times.clear();
+      std::size_t remaining_depth = 0;
       {
         const std::lock_guard<std::mutex> lock(queue.mutex);
         const std::size_t take =
             std::min(options_.batch_size, queue.lus.size());
         for (std::size_t i = 0; i < take; ++i) {
-          const wire::LuMsg& msg = queue.lus[i];
-          batch.push_back({msg.mn, msg.t, {msg.x, msg.y}, {msg.vx, msg.vy}});
+          const QueuedLu& item = queue.lus[i];
+          batch.push_back({item.msg.mn,
+                           item.msg.t,
+                           {item.msg.x, item.msg.y},
+                           {item.msg.vx, item.msg.vy}});
+          enqueue_times.push_back(item.enqueued);
         }
         queue.lus.erase(queue.lus.begin(),
                         queue.lus.begin() + static_cast<std::ptrdiff_t>(take));
+        remaining_depth = queue.lus.size();
       }
       if (batch.empty()) continue;
       drained_any = true;
@@ -125,6 +204,31 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
       rejected_stale_.fetch_add(batch.size() - applied,
                                 std::memory_order_relaxed);
       batches_.fetch_add(1, std::memory_order_relaxed);
+
+      double max_latency = 0.0;
+      bool have_latency = false;
+      if (obs::enabled()) {
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto& enqueued : enqueue_times) {
+          if (enqueued == std::chrono::steady_clock::time_point{}) continue;
+          const double seconds =
+              std::chrono::duration<double>(now - enqueued).count();
+          telemetry_->enqueue_to_apply_seconds.observe(seconds);
+          max_latency = std::max(max_latency, seconds);
+          have_latency = true;
+        }
+        telemetry_->batch_size.observe(static_cast<double>(batch.size()));
+        telemetry_->queue_depth[q].set(
+            static_cast<double>(remaining_depth));
+        if (applied < batch.size()) {
+          telemetry_->rejected_stale.inc(
+              static_cast<std::uint64_t>(batch.size() - applied));
+        }
+      }
+      if (options_.backpressure_hook && have_latency) {
+        options_.backpressure_hook(batch.size(), max_latency);
+      }
+
       if (pending_.fetch_sub(batch.size(), std::memory_order_acq_rel) ==
           batch.size()) {
         const std::lock_guard<std::mutex> lock(control_mutex_);

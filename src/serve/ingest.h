@@ -10,17 +10,29 @@
 //
 // flush() is the barrier the replay driver uses between simulated ticks:
 // it returns once every LU submitted before the call has been applied.
+//
+// Backpressure telemetry (recorded into the registry that is current on the
+// constructing thread; worker threads inherit it): per-source queue-depth
+// gauges (mgrid_ingest_queue_depth{source=...}), an enqueue-to-apply
+// latency histogram, a batch-size histogram and accept/reject counters
+// (mgrid_ingest_rejected_total{reason="full"|"stale"}). The bounded-queue
+// mode (queue_capacity > 0) turns overload into counted rejects instead of
+// unbounded memory growth. All of it is gated on obs::enabled(): the
+// disabled cost per submit is one relaxed atomic load.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/directory.h"
 #include "serve/wire.h"
 
@@ -39,6 +51,12 @@ struct IngestOptions {
   /// resume() releases the workers. Lets benchmarks time pure drain
   /// throughput without the producer in the loop.
   bool start_paused = false;
+  /// Called by workers after each applied batch with (batch size, max
+  /// enqueue-to-apply seconds in the batch). Latencies are only measured
+  /// while obs::enabled(); the hook then feeds e.g. an obs::SloMonitor's
+  /// update-latency SLI at batch rate rather than per LU. Must be
+  /// thread-safe. Empty = disabled.
+  std::function<void(std::size_t, double)> backpressure_hook;
 };
 
 struct IngestStats {
@@ -79,12 +97,28 @@ class IngestPipeline {
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
   }
+  /// LUs accepted but not yet applied (the flush barrier's condition and
+  /// the admin plane's readiness signal).
+  [[nodiscard]] std::uint64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+  /// Instantaneous per-source queue depths (one short lock per queue).
+  [[nodiscard]] std::vector<std::size_t> queue_depths() const;
 
  private:
-  struct SourceQueue {
-    std::mutex mutex;
-    std::deque<wire::LuMsg> lus;
+  /// One queued LU; `enqueued` is stamped only while telemetry is enabled
+  /// (epoch time_point otherwise) so the disabled path never reads a clock.
+  struct QueuedLu {
+    wire::LuMsg msg;
+    std::chrono::steady_clock::time_point enqueued{};
   };
+
+  struct SourceQueue {
+    mutable std::mutex mutex;
+    std::deque<QueuedLu> lus;
+  };
+
+  struct Telemetry;  // registry handles, resolved once at construction
 
   void worker_main(std::size_t worker_id);
   /// True when any queue owned by `worker_id` holds LUs.
@@ -93,6 +127,11 @@ class IngestPipeline {
   ShardedDirectory& directory_;
   IngestOptions options_;
   std::vector<std::unique_ptr<SourceQueue>> queues_;
+  /// The constructing thread's current registry: telemetry handles resolve
+  /// against it and worker threads install it as their scoped registry, so
+  /// pipeline metrics land with the owner's experiment, not the global.
+  obs::MetricsRegistry* home_registry_ = nullptr;
+  std::shared_ptr<Telemetry> telemetry_;
 
   mutable std::mutex control_mutex_;
   std::condition_variable work_cv_;  ///< Signals workers: work or stop.

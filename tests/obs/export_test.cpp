@@ -118,6 +118,64 @@ TEST(PrometheusExport, EscapesLabelValues) {
       << text;
 }
 
+TEST(PrometheusNames, SanitisesInvalidCharacters) {
+  EXPECT_EQ(prometheus_metric_name("clean_name", MetricKind::kGauge),
+            "clean_name");
+  EXPECT_EQ(prometheus_metric_name("dotted.name-with/slash",
+                                   MetricKind::kGauge),
+            "dotted_name_with_slash");
+  EXPECT_EQ(prometheus_metric_name("recording:rule", MetricKind::kGauge),
+            "recording:rule");  // colons are legal in metric names
+  EXPECT_EQ(prometheus_metric_name("9starts_with_digit", MetricKind::kGauge),
+            "_9starts_with_digit");
+  EXPECT_EQ(prometheus_metric_name("", MetricKind::kGauge), "_");
+}
+
+TEST(PrometheusNames, CountersGainTheTotalSuffix) {
+  EXPECT_EQ(prometheus_metric_name("requests", MetricKind::kCounter),
+            "requests_total");
+  // Already-normalised names are left alone (no _total_total).
+  EXPECT_EQ(prometheus_metric_name("requests_total", MetricKind::kCounter),
+            "requests_total");
+  // Only counters are renamed.
+  EXPECT_EQ(prometheus_metric_name("requests", MetricKind::kGauge),
+            "requests");
+  EXPECT_EQ(prometheus_metric_name("requests", MetricKind::kHistogram),
+            "requests");
+  // Sanitisation happens before the suffix check, so a dirty-but-equivalent
+  // suffix is still recognised.
+  EXPECT_EQ(prometheus_metric_name("requests.total", MetricKind::kCounter),
+            "requests_total");
+}
+
+TEST(PrometheusNames, LabelKeysDisallowColons) {
+  EXPECT_EQ(prometheus_label_key("shard"), "shard");
+  EXPECT_EQ(prometheus_label_key("shard.id"), "shard_id");
+  EXPECT_EQ(prometheus_label_key("a:b"), "a_b");
+  EXPECT_EQ(prometheus_label_key("0id"), "_0id");
+}
+
+TEST(PrometheusExport, DirtyRegistryStillProducesParseableOutput) {
+  // Names/labels straight from config keys or file paths: every series must
+  // come out scrape-parseable with normalised names.
+  ScopedEnable on;
+  MetricsRegistry registry;
+  registry.counter("ingest.lus", {{"source.file", "a.jsonl"}}).inc(5);
+  registry.gauge("7queue-depth", {{"shard:id", "3"}}).set(2.0);
+  registry.histogram("apply.latency-seconds", 0.0, 1.0, 4).observe(0.3);
+  const std::string text = to_prometheus(registry.snapshot());
+  expect_scrape_parseable(text);
+  EXPECT_NE(text.find("ingest_lus_total{source_file=\"a.jsonl\"} 5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("_7queue_depth{shard_id=\"3\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("apply_latency_seconds_bucket"), std::string::npos);
+  // TYPE comments use the normalised family name.
+  EXPECT_NE(text.find("# TYPE ingest_lus_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE apply_latency_seconds histogram"),
+            std::string::npos);
+}
+
 TEST(JsonExport, GoldenDocument) {
   const std::string json = to_json(sample_snapshot());
   EXPECT_EQ(json.find("{\"metrics\":["), 0u) << json;

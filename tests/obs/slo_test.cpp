@@ -1,0 +1,217 @@
+// obs::SloMonitor — rolling-window SLIs, multi-window burn-rate states and
+// the gauge mirror. Epochs are driven explicitly through advance(), so every
+// test is deterministic.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace mgrid::obs {
+namespace {
+
+/// Small deterministic monitor: 1 s epochs, 10-epoch long window, 2-epoch
+/// short window, staleness objective "99% under 10 s".
+SloOptions small_options() {
+  SloOptions options;
+  options.epoch_seconds = 1.0;
+  options.window_epochs = 10;
+  options.short_epochs = 2;
+  return options;
+}
+
+/// Copies the named SLI out of the report (reports are often temporaries).
+SloSliReport sli(const SloReport& report, std::string_view name) {
+  for (const SloSliReport& entry : report.slis) {
+    if (entry.name == name) return entry;
+  }
+  ADD_FAILURE() << "missing SLI " << name;
+  return {};
+}
+
+TEST(SloMonitor, RejectsInvalidOptions) {
+  SloOptions bad = small_options();
+  bad.epoch_seconds = 0.0;
+  EXPECT_THROW(SloMonitor{bad}, std::invalid_argument);
+
+  bad = small_options();
+  bad.short_epochs = bad.window_epochs + 1;
+  EXPECT_THROW(SloMonitor{bad}, std::invalid_argument);
+
+  bad = small_options();
+  bad.latency_buckets = 0;
+  EXPECT_THROW(SloMonitor{bad}, std::invalid_argument);
+}
+
+TEST(SloMonitor, ComputesQuantilesWithinBucketResolution) {
+  // Staleness buckets are 1 s wide over [0, 120): samples 1..100 land one
+  // per bucket, so the quantiles are exact to within one bucket.
+  SloMonitor monitor(small_options());
+  for (int i = 1; i <= 100; ++i) {
+    monitor.observe_staleness(static_cast<double>(i));
+  }
+  const SloSliReport& staleness = sli(monitor.report(), "staleness");
+  EXPECT_EQ(staleness.long_window.count, 100u);
+  EXPECT_NEAR(staleness.long_window.p50, 50.0, 1.5);
+  EXPECT_NEAR(staleness.long_window.p95, 95.0, 1.5);
+  EXPECT_NEAR(staleness.long_window.p99, 99.0, 1.5);
+  EXPECT_DOUBLE_EQ(staleness.long_window.max, 100.0);
+}
+
+TEST(SloMonitor, QuantilesNeverExceedTheTrackedMaximum) {
+  // Every sample in one coarse bucket: mid-bucket interpolation would report
+  // ~0.5 ms for sub-microsecond lookups without the clamp.
+  SloMonitor monitor(small_options());
+  for (int i = 0; i < 1000; ++i) monitor.observe_lookup(4e-7);
+  const SloSliReport& lookup = sli(monitor.report(), "lookup_latency");
+  EXPECT_DOUBLE_EQ(lookup.long_window.max, 4e-7);
+  EXPECT_LE(lookup.long_window.p50, 4e-7);
+  EXPECT_LE(lookup.long_window.p99, 4e-7);
+}
+
+TEST(SloMonitor, BurnRateIsBadFractionOverBudget) {
+  // Objective: 99% under 10 s → 1% error budget. 10 bad out of 100 burns
+  // the budget at 10x.
+  SloMonitor monitor(small_options());
+  for (int i = 0; i < 90; ++i) monitor.observe_staleness(1.0);
+  for (int i = 0; i < 10; ++i) monitor.observe_staleness(50.0);
+  const SloSliReport& staleness = sli(monitor.report(), "staleness");
+  EXPECT_EQ(staleness.long_window.bad, 10u);
+  EXPECT_DOUBLE_EQ(staleness.long_window.bad_fraction(), 0.1);
+  EXPECT_NEAR(staleness.long_window.burn_rate(staleness.objective), 10.0,
+              1e-9);
+}
+
+TEST(SloMonitor, StateLaddersOkWarnPage) {
+  // Default thresholds: warn at 1x, page at 6x. Bad fractions of 0%, 2%
+  // and 10% against a 1% budget give burns of 0, 2 and 10.
+  const struct {
+    int bad_per_100;
+    SloState expected;
+  } cases[] = {{0, SloState::kOk}, {2, SloState::kWarn},
+               {10, SloState::kPage}};
+  for (const auto& test_case : cases) {
+    SloMonitor monitor(small_options());
+    for (int i = 0; i < 100 - test_case.bad_per_100; ++i) {
+      monitor.observe_staleness(1.0);
+    }
+    for (int i = 0; i < test_case.bad_per_100; ++i) {
+      monitor.observe_staleness(50.0);
+    }
+    const SloReport report = monitor.report();
+    EXPECT_EQ(sli(report, "staleness").state, test_case.expected)
+        << test_case.bad_per_100 << " bad samples";
+    EXPECT_EQ(report.overall, test_case.expected);
+  }
+}
+
+TEST(SloMonitor, PageRequiresBothWindowsBurning) {
+  // A burst of bad samples in epoch 0, then clean epochs: once the short
+  // window has rolled past the burst, the long window still burns >= 6x but
+  // the short window is clean — no page, no warn.
+  SloMonitor monitor(small_options());
+  for (int i = 0; i < 10; ++i) monitor.observe_staleness(50.0);
+
+  const SloReport during = monitor.report();
+  EXPECT_EQ(sli(during, "staleness").state, SloState::kPage);
+
+  monitor.advance(4.0);  // short window is now epochs {3, 4}
+  for (int i = 0; i < 10; ++i) monitor.observe_staleness(1.0);
+  const SloReport after = monitor.report();
+  const SloSliReport& staleness = sli(after, "staleness");
+  EXPECT_GE(staleness.long_window.burn_rate(staleness.objective), 6.0);
+  EXPECT_DOUBLE_EQ(
+      staleness.short_window.burn_rate(staleness.objective), 0.0);
+  EXPECT_EQ(staleness.state, SloState::kOk);
+}
+
+TEST(SloMonitor, OldEpochsRollOffTheLongWindow) {
+  SloMonitor monitor(small_options());
+  for (int i = 0; i < 5; ++i) monitor.observe_lookup(1e-4);
+  EXPECT_EQ(sli(monitor.report(), "lookup_latency").long_window.count, 5u);
+
+  // Advance past the whole 10-epoch ring: the samples are gone.
+  monitor.advance(15.0);
+  const SloSliReport& lookup = sli(monitor.report(), "lookup_latency");
+  EXPECT_EQ(lookup.long_window.count, 0u);
+  EXPECT_DOUBLE_EQ(lookup.long_window.max, 0.0);
+}
+
+TEST(SloMonitor, HugeClockJumpResetsTheRingWithoutSpinning) {
+  // A wall-clock caller that slept for "hours": the roll must not rotate
+  // once per skipped epoch.
+  SloMonitor monitor(small_options());
+  monitor.observe_update(1.0);
+  monitor.advance(1e9);
+  const SloReport report = monitor.report();
+  EXPECT_DOUBLE_EQ(report.now, 1e9);
+  EXPECT_EQ(sli(report, "update_latency").long_window.count, 0u);
+  EXPECT_LE(report.epochs_filled, small_options().window_epochs);
+
+  // The monitor still accepts samples in the new epoch.
+  monitor.observe_update(2.0);
+  EXPECT_EQ(sli(monitor.report(), "update_latency").long_window.count, 1u);
+}
+
+TEST(SloMonitor, ClampsBackwardsTime) {
+  SloMonitor monitor(small_options());
+  monitor.advance(5.0);
+  monitor.observe_lookup(1e-4);
+  monitor.advance(2.0);  // earlier than the current epoch: ignored
+  const SloReport report = monitor.report();
+  EXPECT_DOUBLE_EQ(report.now, 5.0);
+  EXPECT_EQ(sli(report, "lookup_latency").long_window.count, 1u);
+}
+
+TEST(SloMonitor, EpochsFilledSaturatesAtTheWindow) {
+  SloMonitor monitor(small_options());
+  EXPECT_EQ(monitor.report().epochs_filled, 1u);
+  monitor.advance(3.0);
+  EXPECT_EQ(monitor.report().epochs_filled, 4u);
+  monitor.advance(100.0);
+  EXPECT_EQ(monitor.report().epochs_filled,
+            small_options().window_epochs);
+}
+
+TEST(SloMonitor, BindRegistryMirrorsReportIntoGauges) {
+  ScopedEnable on;
+  MetricsRegistry registry;
+  SloMonitor monitor(small_options());
+  monitor.bind_registry(registry);
+
+  for (int i = 0; i < 90; ++i) monitor.observe_staleness(1.0);
+  for (int i = 0; i < 10; ++i) monitor.observe_staleness(50.0);
+  monitor.advance(0.5);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricSample* state =
+      snapshot.find("mgrid_slo_state", {{"sli", "staleness"}});
+  ASSERT_NE(state, nullptr);
+  EXPECT_DOUBLE_EQ(state->value,
+                   static_cast<double>(static_cast<int>(SloState::kPage)));
+
+  const MetricSample* burn = snapshot.find(
+      "mgrid_slo_burn_rate", {{"sli", "staleness"}, {"window", "long"}});
+  ASSERT_NE(burn, nullptr);
+  EXPECT_NEAR(burn->value, 10.0, 1e-9);
+
+  const MetricSample* max_gauge =
+      snapshot.find("mgrid_slo_max", {{"sli", "staleness"}});
+  ASSERT_NE(max_gauge, nullptr);
+  EXPECT_DOUBLE_EQ(max_gauge->value, 50.0);
+
+  // Gauges exist for every SLI.
+  EXPECT_NE(snapshot.find("mgrid_slo_state", {{"sli", "lookup_latency"}}),
+            nullptr);
+  EXPECT_NE(snapshot.find("mgrid_slo_state", {{"sli", "update_latency"}}),
+            nullptr);
+}
+
+TEST(SloMonitor, StateNamesAreStable) {
+  EXPECT_STREQ(slo_state_name(SloState::kOk), "ok");
+  EXPECT_STREQ(slo_state_name(SloState::kWarn), "warn");
+  EXPECT_STREQ(slo_state_name(SloState::kPage), "page");
+}
+
+}  // namespace
+}  // namespace mgrid::obs

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/directory.h"
 #include "serve/wire.h"
 
@@ -198,6 +200,135 @@ TEST(IngestPipeline, ConcurrentProducersAllLand) {
   pipeline.flush();
   EXPECT_EQ(pipeline.stats().applied, kProducers * kPerProducer);
   EXPECT_EQ(directory.size(), kProducers * kPerProducer);
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, ReportsQueueDepthsAndPending) {
+  ShardedDirectory directory(directory_options());
+  IngestOptions options;
+  options.sources = 4;
+  options.start_paused = true;
+  IngestPipeline pipeline(directory, options);
+
+  // mn % sources routes: mn 0 and 4 → queue 0, mn 1 → queue 1.
+  ASSERT_TRUE(pipeline.submit(lu(0, 1.0, 0.0, 0.0)));
+  ASSERT_TRUE(pipeline.submit(lu(4, 1.0, 0.0, 0.0)));
+  ASSERT_TRUE(pipeline.submit(lu(1, 1.0, 0.0, 0.0)));
+  const std::vector<std::size_t> depths = pipeline.queue_depths();
+  ASSERT_EQ(depths.size(), 4u);
+  EXPECT_EQ(depths[0], 2u);
+  EXPECT_EQ(depths[1], 1u);
+  EXPECT_EQ(depths[2], 0u);
+  EXPECT_EQ(pipeline.pending(), 3u);
+
+  pipeline.flush();
+  EXPECT_EQ(pipeline.pending(), 0u);
+  for (const std::size_t depth : pipeline.queue_depths()) {
+    EXPECT_EQ(depth, 0u);
+  }
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, BackpressureTelemetryLandsInTheOwnersRegistry) {
+  obs::ScopedEnable on;
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry scoped(registry);
+
+  ShardedDirectory directory(directory_options());
+  IngestOptions options;
+  options.sources = 2;
+  options.queue_capacity = 8;
+  options.start_paused = true;
+  IngestPipeline pipeline(directory, options);
+
+  // Fill queue 0 to capacity, then overflow it twice.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pipeline.submit(lu(0, static_cast<double>(i + 1), 0.0, 0.0)));
+  }
+  EXPECT_FALSE(pipeline.submit(lu(0, 99.0, 0.0, 0.0)));
+  EXPECT_FALSE(pipeline.submit(lu(0, 99.5, 0.0, 0.0)));
+  // One stale LU on queue 1 (timestamp regression for mn 1).
+  ASSERT_TRUE(pipeline.submit(lu(1, 5.0, 0.0, 0.0)));
+  ASSERT_TRUE(pipeline.submit(lu(1, 4.0, 0.0, 0.0)));
+  pipeline.flush();
+
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const obs::MetricSample* accepted =
+      snapshot.find("mgrid_ingest_accepted_total");
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_DOUBLE_EQ(accepted->value, 10.0);
+
+  const obs::MetricSample* full = snapshot.find(
+      "mgrid_ingest_rejected_total", {{"reason", "full"}});
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(full->value, 2.0);
+  const obs::MetricSample* stale = snapshot.find(
+      "mgrid_ingest_rejected_total", {{"reason", "stale"}});
+  ASSERT_NE(stale, nullptr);
+  EXPECT_DOUBLE_EQ(stale->value, 1.0);
+
+  const obs::MetricSample* latency =
+      snapshot.find("mgrid_ingest_enqueue_to_apply_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 10u);
+  EXPECT_GE(latency->min, 0.0);
+
+  const obs::MetricSample* batch =
+      snapshot.find("mgrid_ingest_batch_size");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_GE(batch->count, 1u);
+  EXPECT_GE(batch->max, 1.0);
+
+  // One depth gauge per source; drained back to 0 after the flush.
+  for (const char* source : {"0", "1"}) {
+    const obs::MetricSample* depth = snapshot.find(
+        "mgrid_ingest_queue_depth", {{"source", source}});
+    ASSERT_NE(depth, nullptr) << "missing gauge for source " << source;
+    EXPECT_DOUBLE_EQ(depth->value, 0.0);
+  }
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, BackpressureHookSeesEveryBatch) {
+  obs::ScopedEnable on;  // latency stamping is gated on obs::enabled()
+  ShardedDirectory directory(directory_options());
+  IngestOptions options;
+  options.batch_size = 16;
+  std::atomic<std::uint64_t> hook_lus{0};
+  std::atomic<std::uint64_t> hook_calls{0};
+  std::atomic<bool> negative_latency{false};
+  options.backpressure_hook = [&](std::size_t batch, double seconds) {
+    hook_calls.fetch_add(1);
+    hook_lus.fetch_add(batch);
+    if (seconds < 0.0) negative_latency.store(true);
+  };
+  IngestPipeline pipeline(directory, options);
+  const std::vector<wire::LuMsg> stream = make_stream(40, 2);
+  for (const wire::LuMsg& msg : stream) ASSERT_TRUE(pipeline.submit(msg));
+  pipeline.flush();
+
+  EXPECT_EQ(hook_lus.load(), stream.size());
+  EXPECT_GE(hook_calls.load(), stream.size() / options.batch_size);
+  EXPECT_FALSE(negative_latency.load());
+  pipeline.stop();
+}
+
+TEST(IngestPipeline, DisabledTelemetryRecordsNothing) {
+  ASSERT_FALSE(obs::enabled());  // default off
+  obs::MetricsRegistry registry;
+  obs::ScopedRegistry scoped(registry);
+  ShardedDirectory directory(directory_options());
+  IngestPipeline pipeline(directory, IngestOptions{});
+  for (const wire::LuMsg& msg : make_stream(10, 2)) {
+    ASSERT_TRUE(pipeline.submit(msg));
+  }
+  pipeline.flush();
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.find("mgrid_ingest_accepted_total")->value, 0.0);
+  EXPECT_EQ(snapshot.find("mgrid_ingest_enqueue_to_apply_seconds")->count,
+            0u);
+  // The lock-free stats still work with telemetry off.
+  EXPECT_EQ(pipeline.stats().applied, 20u);
   pipeline.stop();
 }
 
