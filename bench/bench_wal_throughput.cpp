@@ -1,0 +1,227 @@
+// WAL append/replay throughput guard.
+//
+// Measures the durability tax in isolation: a pre-generated synthetic LU
+// stream is appended to a fresh mgrid-wal-v1 file under each fsync policy
+// (never / every_tick / every_record is skipped by default — it measures
+// the disk, not the code), then the file is read back and the read-side
+// decode throughput is reported. Tick barriers are interleaved exactly as
+// the serving driver would emit them (one per `nodes` LUs).
+//
+// The CI gate holds on the never-fsync append rate and the replay rate:
+// both are pure CPU (CRC + memcpy + decode) and stable across machines,
+// unlike fsync latency which is storage hardware.
+//
+// Keys: lus [200000; quick 20000] nodes [1000] dir [std::tmp subdir]
+//       every_record [false: also time FsyncPolicy::kEveryRecord]
+//       json_out [path] quick [false]
+//
+// json_out writes an mgrid-bench-v1 document with absolute "floors" on
+// wal_append_lus_per_second and wal_replay_lus_per_second (higher is
+// better) plus "info" rates for every timed arm.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct WalRun {
+  double lus_per_second = 0.0;
+  double wall_seconds = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Appends the whole stream (with a tick barrier every `nodes` LUs) to a
+/// fresh WAL at `path` under `policy`.
+WalRun run_append(const std::vector<serve::wire::LuMsg>& stream,
+                  std::uint32_t nodes, const std::string& path,
+                  serve::FsyncPolicy policy) {
+  std::filesystem::remove(path);
+  serve::WalWriter writer(path, policy);
+  const auto start = Clock::now();
+  std::uint64_t tick = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    writer.append(stream[i]);
+    if ((i + 1) % nodes == 0) {
+      ++tick;
+      writer.append_tick(static_cast<double>(tick), tick);
+    }
+  }
+  writer.sync();
+  WalRun run;
+  run.wall_seconds = seconds_since(start);
+  run.bytes = writer.bytes_appended();
+  if (writer.failed()) {
+    throw std::runtime_error("WAL append failed: " + path);
+  }
+  run.lus_per_second =
+      run.wall_seconds > 0.0
+          ? static_cast<double>(stream.size()) / run.wall_seconds
+          : 0.0;
+  return run;
+}
+
+/// Reads the WAL back and counts decoded LU records.
+WalRun run_replay(const std::string& path, std::size_t expected_lus) {
+  const auto start = Clock::now();
+  const serve::WalReadResult result = serve::read_wal(path);
+  WalRun run;
+  run.wall_seconds = seconds_since(start);
+  run.bytes = result.consistent_bytes;
+  std::size_t lus = 0;
+  for (const serve::wire::Message& msg : result.records) {
+    if (std::holds_alternative<serve::wire::LuMsg>(msg)) ++lus;
+  }
+  if (result.status != serve::WalReadStatus::kEnd || lus != expected_lus) {
+    throw std::runtime_error("WAL replay incomplete: " + path + " (" +
+                             serve::to_string(result.status) + ", " +
+                             std::to_string(lus) + " LUs)");
+  }
+  run.lus_per_second =
+      run.wall_seconds > 0.0
+          ? static_cast<double>(lus) / run.wall_seconds
+          : 0.0;
+  return run;
+}
+
+std::string mb_per_s(const WalRun& run) {
+  return stats::format_double(run.wall_seconds > 0.0
+                                  ? static_cast<double>(run.bytes) / 1e6 /
+                                        run.wall_seconds
+                                  : 0.0,
+                              1) +
+         " MB/s";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  (void)mgbench::parse_args(argc, argv, &config);
+  const bool quick = config.get_bool("quick", false);
+  const auto total_lus = static_cast<std::size_t>(
+      config.get_int("lus", quick ? 20000 : 200000));
+  const auto nodes =
+      static_cast<std::uint32_t>(config.get_int("nodes", 1000));
+  const bool every_record = config.get_bool("every_record", false);
+  const std::string dir = config.get_string(
+      "dir",
+      (std::filesystem::temp_directory_path() / "mgrid_bench_wal").string());
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/bench-wal.log";
+
+  // Same deterministic walk as the serving bench so the byte mix is
+  // representative (moving positions, distinct per-MN velocities).
+  util::RngRegistry rng(
+      static_cast<std::uint64_t>(config.get_int("seed", 42)));
+  std::vector<geo::Vec2> position(nodes);
+  std::vector<geo::Vec2> velocity(nodes);
+  for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+    util::RngStream stream = rng.stream("wal_bench", mn);
+    position[mn] = {stream.uniform(0.0, 1000.0),
+                    stream.uniform(0.0, 1000.0)};
+    const double heading = stream.uniform(0.0, 6.283185307179586);
+    velocity[mn] = {1.5 * std::cos(heading), 1.5 * std::sin(heading)};
+  }
+  std::vector<serve::wire::LuMsg> stream;
+  stream.reserve(total_lus);
+  for (std::size_t i = 0; i < total_lus; ++i) {
+    const std::uint32_t mn = static_cast<std::uint32_t>(i % nodes);
+    position[mn].x += velocity[mn].x;
+    position[mn].y += velocity[mn].y;
+    serve::wire::LuMsg lu;
+    lu.mn = mn;
+    lu.seq = static_cast<std::uint32_t>(i);
+    lu.t = 1.0 + std::floor(static_cast<double>(i) /
+                            static_cast<double>(nodes));
+    lu.x = position[mn].x;
+    lu.y = position[mn].y;
+    lu.vx = velocity[mn].x;
+    lu.vy = velocity[mn].y;
+    stream.push_back(lu);
+  }
+
+  std::cout << "=== WAL throughput (" << total_lus << " LUs over " << nodes
+            << " MNs, tick barrier every " << nodes << " LUs) ===\n"
+            << "wal: " << path << "\n\n";
+
+  const WalRun append_never =
+      run_append(stream, nodes, path, serve::FsyncPolicy::kNever);
+  const WalRun replay = run_replay(path, total_lus);
+  const WalRun append_tick =
+      run_append(stream, nodes, path, serve::FsyncPolicy::kEveryTick);
+
+  stats::Table table({"arm", "wall (s)", "LU/s", "bytes"});
+  table.add_row({"append fsync=never",
+                 stats::format_double(append_never.wall_seconds, 3),
+                 stats::format_double(append_never.lus_per_second, 0),
+                 mb_per_s(append_never)});
+  table.add_row({"append fsync=every_tick",
+                 stats::format_double(append_tick.wall_seconds, 3),
+                 stats::format_double(append_tick.lus_per_second, 0),
+                 mb_per_s(append_tick)});
+  WalRun append_record;
+  if (every_record) {
+    append_record =
+        run_append(stream, nodes, path, serve::FsyncPolicy::kEveryRecord);
+    table.add_row({"append fsync=every_record",
+                   stats::format_double(append_record.wall_seconds, 3),
+                   stats::format_double(append_record.lus_per_second, 0),
+                   mb_per_s(append_record)});
+  }
+  table.add_row({"replay (read + decode)",
+                 stats::format_double(replay.wall_seconds, 3),
+                 stats::format_double(replay.lus_per_second, 0),
+                 mb_per_s(replay)});
+  table.write_pretty(std::cout);
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "wal_throughput");
+    json.field("lus", static_cast<std::uint64_t>(total_lus));
+    json.field("nodes", static_cast<std::uint64_t>(nodes));
+    // Floors (higher is better): both arms are pure CPU and measure well
+    // over 1M LU/s locally; the floors sit ~2 orders of magnitude under
+    // that so shared-CI scheduler noise cannot flake the gate.
+    json.key("floors").begin_object();
+    json.field("wal_append_lus_per_second", 25000.0);
+    json.field("wal_replay_lus_per_second", 25000.0);
+    json.end_object();
+    json.key("info").begin_object();
+    json.field("wal_append_lus_per_second", append_never.lus_per_second);
+    json.field("wal_append_every_tick_lus_per_second",
+               append_tick.lus_per_second);
+    if (every_record) {
+      json.field("wal_append_every_record_lus_per_second",
+                 append_record.lus_per_second);
+    }
+    json.field("wal_replay_lus_per_second", replay.lus_per_second);
+    json.field("wal_bytes", append_never.bytes);
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "\nwrote " << json_out << '\n';
+  }
+
+  std::filesystem::remove(path);
+  return 0;
+}

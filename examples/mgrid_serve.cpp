@@ -27,14 +27,33 @@
 //             "admin server listening on 127.0.0.1:PORT". Serves /metrics,
 //             /healthz, /readyz, /statusz, /varz and /quitz, and enables
 //             telemetry + the SLO monitor.]
+//
+// Durability (synthetic mode):
+//   wal_dir  [directory for the write-ahead log + snapshots; enables both]
+//   fsync    [never|every_tick|every_record; default every_tick]
+//   snapshot_every [ticks between directory snapshots; 0 = WAL only]
+//   recover  [1: rebuild state from wal_dir (newest valid snapshot + WAL
+//             tail to the last complete tick), fast-forward the synthetic
+//             workload to the recovered tick and continue. /readyz serves
+//             503 "recovering" until the rebuild completes.]
+//   recover_pause_ms [artificial delay before recovery starts, so an
+//             external prober can observe the 503 -> 200 transition]
+//
+// Overload admission control (synthetic mode):
+//   queue_cap [per-source ingest queue capacity; 0 = unbounded]
+//   shed_watermark [fraction of queue_cap at which low-information LUs
+//             (displacement below shed_min_disp) are shed; 0 = disabled]
+//   shed_min_disp [metres; default 5]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -51,24 +70,19 @@ std::atomic<bool> g_quit{false};
 void request_quit(int) { g_quit.store(true, std::memory_order_release); }
 
 /// Starts the admin plane when `admin_port` is configured (nullptr
-/// otherwise). The returned server holds pointers into `directory`,
-/// `pipeline` and `slo` — destroy it before them.
-std::unique_ptr<serve::AdminServer> start_admin(
-    const util::Config& config, serve::ShardedDirectory& directory,
-    serve::IngestPipeline& pipeline, obs::SloMonitor& slo,
-    std::function<void(util::JsonWriter&)> extra_status) {
+/// otherwise). The hooks' state pointers must outlive the server (or be
+/// swapped out with rebind() before they die).
+std::unique_ptr<serve::AdminServer> start_admin(const util::Config& config,
+                                                serve::AdminHooks hooks) {
   if (!config.contains("admin_port")) return nullptr;
   serve::AdminOptions options;
   options.http.port =
       static_cast<std::uint16_t>(config.get_int("admin_port", 0));
   options.build_info = "mgrid_serve";
-  serve::AdminHooks hooks;
   hooks.registry = &obs::MetricsRegistry::global();
-  hooks.directory = &directory;
-  hooks.pipeline = &pipeline;
-  hooks.slo = &slo;
-  hooks.on_quit = [] { g_quit.store(true, std::memory_order_release); };
-  hooks.extra_status = std::move(extra_status);
+  if (!hooks.on_quit) {
+    hooks.on_quit = [] { g_quit.store(true, std::memory_order_release); };
+  }
   auto server =
       std::make_unique<serve::AdminServer>(std::move(options), std::move(hooks));
   server->start();
@@ -93,7 +107,20 @@ Knobs read_knobs(const util::Config& config) {
   knobs.ingest.workers = static_cast<std::size_t>(config.get_int("workers", 2));
   knobs.ingest.batch_size =
       static_cast<std::size_t>(config.get_int("batch", 256));
+  knobs.ingest.queue_capacity =
+      static_cast<std::size_t>(config.get_int("queue_cap", 0));
+  knobs.ingest.shed_watermark = config.get_double("shed_watermark", 0.0);
+  knobs.ingest.shed_min_displacement = config.get_double("shed_min_disp", 5.0);
   return knobs;
+}
+
+serve::FsyncPolicy read_fsync_policy(const util::Config& config) {
+  const std::string name = config.get_string("fsync", "every_tick");
+  if (name == "never") return serve::FsyncPolicy::kNever;
+  if (name == "every_tick") return serve::FsyncPolicy::kEveryTick;
+  if (name == "every_record") return serve::FsyncPolicy::kEveryRecord;
+  throw util::ConfigError("fsync must be never|every_tick|every_record, got " +
+                          name);
 }
 
 /// Deterministic JSON snapshot of the directory (sorted by MN id), used by
@@ -230,13 +257,17 @@ int run_replay(const util::Config& config) {
       };
     }
     serve::IngestPipeline pipeline(directory, knobs.ingest);
-    const std::unique_ptr<serve::AdminServer> admin = start_admin(
-        config, directory, pipeline, slo,
-        [&](util::JsonWriter& json) {
-          json.field("mode", "replay");
-          json.field("eventlog", eventlog_path);
-          json.field("log_lus", static_cast<std::uint64_t>(log.lus.size()));
-        });
+    serve::AdminHooks admin_hooks;
+    admin_hooks.directory = &directory;
+    admin_hooks.pipeline = &pipeline;
+    admin_hooks.slo = &slo;
+    admin_hooks.extra_status = [&](util::JsonWriter& json) {
+      json.field("mode", "replay");
+      json.field("eventlog", eventlog_path);
+      json.field("log_lus", static_cast<std::uint64_t>(log.lus.size()));
+    };
+    const std::unique_ptr<serve::AdminServer> admin =
+        start_admin(config, std::move(admin_hooks));
     const auto start = std::chrono::steady_clock::now();
     report = serve::replay_eventlog(log, directory, pipeline);
     wall_seconds = std::chrono::duration<double>(
@@ -291,12 +322,26 @@ int run_synthetic(const util::Config& config) {
   const auto pace_ms = config.get_int("pace_ms", 0);
   const bool admin_enabled = config.contains("admin_port");
 
-  Knobs knobs = read_knobs(config);
-  std::unique_ptr<estimation::LocationEstimator> prototype;
-  if (!estimator_name.empty() && estimator_name != "none") {
-    prototype = estimation::make_estimator(estimator_name, alpha, 1.0);
+  // Durability knobs. wal_dir= turns on the write-ahead log; recover=1
+  // rebuilds state from it before serving.
+  const std::string wal_dir = config.get_string("wal_dir", "");
+  const auto snapshot_every =
+      static_cast<std::size_t>(config.get_int("snapshot_every", 0));
+  const bool recover = config.get_int("recover", 0) != 0;
+  const auto recover_pause_ms = config.get_int("recover_pause_ms", 0);
+  if (wal_dir.empty() && (recover || snapshot_every > 0)) {
+    throw util::ConfigError("recover=/snapshot_every= require wal_dir=");
   }
-  serve::ShardedDirectory directory(knobs.directory, std::move(prototype));
+
+  Knobs knobs = read_knobs(config);
+  const auto make_directory = [&]() {
+    std::unique_ptr<estimation::LocationEstimator> prototype;
+    if (!estimator_name.empty() && estimator_name != "none") {
+      prototype = estimation::make_estimator(estimator_name, alpha, 1.0);
+    }
+    return std::make_unique<serve::ShardedDirectory>(knobs.directory,
+                                                     std::move(prototype));
+  };
 
   // Synthetic mode drives the SLO monitor on the sim clock (one epoch per
   // tick by default): update latencies arrive per batch via the pipeline's
@@ -309,17 +354,83 @@ int run_synthetic(const util::Config& config) {
       slo.observe_update(seconds);
     };
   }
-  serve::IngestPipeline pipeline(directory, knobs.ingest);
 
+  // When recovering, the admin plane comes up FIRST with no state hooks and
+  // a 503 "recovering" readiness, so an external prober sees the recovery
+  // window; rebind() attaches the rebuilt state once it is ready.
+  std::atomic<bool> recovering{recover};
   std::atomic<std::uint64_t> ticks_done{0};
-  const std::unique_ptr<serve::AdminServer> admin = start_admin(
-      config, directory, pipeline, slo, [&](util::JsonWriter& json) {
-        json.field("mode", "synthetic");
-        json.field("nodes", static_cast<std::uint64_t>(nodes));
-        json.field("ticks_configured", static_cast<std::uint64_t>(ticks));
-        json.field("ticks_done",
-                   ticks_done.load(std::memory_order_relaxed));
-      });
+  std::atomic<double> sim_now{0.0};
+  serve::AdminHooks admin_hooks;
+  admin_hooks.slo = &slo;
+  admin_hooks.ready = [&recovering](std::string* reason) {
+    if (recovering.load(std::memory_order_acquire)) {
+      if (reason != nullptr) *reason = "recovering from WAL";
+      return false;
+    }
+    return true;
+  };
+  admin_hooks.sim_now = [&sim_now] {
+    return sim_now.load(std::memory_order_relaxed);
+  };
+  admin_hooks.extra_status = [&](util::JsonWriter& json) {
+    json.field("mode", "synthetic");
+    json.field("nodes", static_cast<std::uint64_t>(nodes));
+    json.field("ticks_configured", static_cast<std::uint64_t>(ticks));
+    json.field("ticks_done", ticks_done.load(std::memory_order_relaxed));
+    json.field("recovering", recovering.load(std::memory_order_acquire));
+  };
+  const std::unique_ptr<serve::AdminServer> admin =
+      start_admin(config, admin_hooks);
+
+  // Crash recovery: newest valid snapshot + WAL tail, then truncate the WAL
+  // to the consistent cut so appending resumes without torn or partial-tick
+  // records.
+  std::unique_ptr<serve::ShardedDirectory> directory_owner;
+  std::uint64_t resume_tick = 0;
+  std::uint64_t wal_base_records = 0;
+  if (recover) {
+    if (recover_pause_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(recover_pause_ms));
+    }
+    serve::RecoverOptions recover_options;
+    recover_options.wal_dir = wal_dir;
+    serve::RecoverReport report;
+    directory_owner =
+        serve::recover_directory(recover_options, make_directory, report);
+    if (report.wal_found) {
+      serve::truncate_wal(wal_dir + "/" + recover_options.wal_file,
+                          report.consistent_bytes);
+    }
+    resume_tick = report.has_barrier ? report.last_tick : 0;
+    wal_base_records = report.consistent_records;
+    std::cout << "recovery: " << (report.wal_found ? "WAL found" : "no WAL")
+              << ", snapshot "
+              << (report.snapshot_loaded ? report.snapshot_path : "(none)")
+              << " (" << report.snapshots_rejected << " rejected), "
+              << report.wal_records_skipped << " records covered, "
+              << report.lus_applied << " LUs replayed, "
+              << report.ticks_replayed << " ticks replayed, "
+              << report.trailing_lus_dropped << " trailing LUs dropped (tail "
+              << serve::to_string(report.tail_status) << "), resuming at tick "
+              << resume_tick << '\n';
+  } else {
+    directory_owner = make_directory();
+  }
+  serve::ShardedDirectory& directory = *directory_owner;
+
+  std::unique_ptr<serve::WalWriter> wal;
+  if (!wal_dir.empty()) {
+    std::filesystem::create_directories(wal_dir);
+    wal = std::make_unique<serve::WalWriter>(wal_dir + "/wal.log",
+                                             read_fsync_policy(config));
+    knobs.ingest.wal = wal.get();
+  }
+  serve::IngestPipeline pipeline(directory, knobs.ingest);
+  if (admin != nullptr) {
+    admin->rebind(&directory, &pipeline, wal.get());
+  }
+  recovering.store(false, std::memory_order_release);
 
   // Deterministic per-MN random walk on a 1 km square (no shared RNG so the
   // workload is independent of submission order).
@@ -332,12 +443,29 @@ int run_synthetic(const util::Config& config) {
     const double heading = stream.uniform(0.0, 6.283185307179586);
     velocity[mn] = {speed * std::cos(heading), speed * std::sin(heading)};
   }
+  // The walk is a pure function of (seed, tick): fast-forward it to the
+  // recovered tick so the resumed run emits exactly the LUs the killed
+  // process would have from tick resume_tick + 1 on.
+  for (std::uint64_t k = 1; k <= resume_tick; ++k) {
+    for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+      position[mn].x += velocity[mn].x;
+      position[mn].y += velocity[mn].y;
+      if (position[mn].x < 0.0 || position[mn].x > 1000.0) {
+        velocity[mn].x = -velocity[mn].x;
+      }
+      if (position[mn].y < 0.0 || position[mn].y > 1000.0) {
+        velocity[mn].y = -velocity[mn].y;
+      }
+    }
+  }
+  sim_now.store(static_cast<double>(resume_tick), std::memory_order_relaxed);
+  ticks_done.store(resume_tick, std::memory_order_relaxed);
 
   std::uint64_t submitted = 0;
   std::uint64_t wire_rejected = 0;
   const auto start = std::chrono::steady_clock::now();
   // ticks == 0 runs until /quitz or a signal requests shutdown.
-  for (std::size_t k = 1;
+  for (std::size_t k = static_cast<std::size_t>(resume_tick) + 1;
        (ticks == 0 || k <= ticks) && !g_quit.load(std::memory_order_acquire);
        ++k) {
     const double t = static_cast<double>(k);
@@ -370,7 +498,21 @@ int run_synthetic(const util::Config& config) {
       ++submitted;
     }
     pipeline.flush();
+    // Tick barrier: every accepted LU of tick k is already in the WAL (the
+    // pipeline appends under the queue lock before flush() returns), so the
+    // tick record marks a consistent cut; a crash after it recovers forward.
+    if (wal != nullptr) wal->append_tick(t, k);
     directory.advance_estimates(t);
+    if (wal != nullptr && snapshot_every > 0 && k % snapshot_every == 0) {
+      const std::uint64_t covered =
+          wal_base_records + wal->records_appended();
+      if (serve::write_snapshot(directory, wal_dir, covered, t)) {
+        std::cout << "snapshot snap-" << covered << " @ tick " << k << '\n';
+      } else {
+        std::cerr << "warning: snapshot at tick " << k << " failed\n";
+      }
+    }
+    sim_now.store(t, std::memory_order_relaxed);
     ticks_done.store(k, std::memory_order_relaxed);
     if (admin != nullptr) {
       // Timed lookup probes feed the read-path SLI; the staleness SLI gets

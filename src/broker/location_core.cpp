@@ -60,4 +60,69 @@ geo::Vec2 MnTrack::belief_at(SimTime t) const {
   return estimator_->estimate(t);
 }
 
+namespace {
+
+void save_fix(std::vector<double>& out, const LocationFix& fix) {
+  out.push_back(fix.t);
+  out.push_back(fix.position.x);
+  out.push_back(fix.position.y);
+  out.push_back(fix.velocity.x);
+  out.push_back(fix.velocity.y);
+  out.push_back(fix.estimated ? 1.0 : 0.0);
+}
+
+bool load_fix(const double*& it, const double* end, LocationFix& fix) {
+  if (end - it < 6) return false;
+  fix.t = *it++;
+  fix.position.x = *it++;
+  fix.position.y = *it++;
+  fix.velocity.x = *it++;
+  fix.velocity.y = *it++;
+  fix.estimated = *it++ != 0.0;
+  return true;
+}
+
+}  // namespace
+
+bool MnTrack::save_state(std::vector<double>& out) const {
+  out.push_back(has_report_ ? 1.0 : 0.0);
+  save_fix(out, record_.last_reported);
+  save_fix(out, record_.current_view);
+  out.push_back(static_cast<double>(history_.size()));
+  for (const LocationFix& fix : history_) save_fix(out, fix);
+  out.push_back(estimator_ != nullptr ? 1.0 : 0.0);
+  if (estimator_ != nullptr) return estimator_->save_state(out);
+  return true;
+}
+
+bool MnTrack::load_state(const double*& it, const double* end) {
+  if (it == end) return false;
+  has_report_ = *it++ != 0.0;
+  if (!load_fix(it, end, record_.last_reported) ||
+      !load_fix(it, end, record_.current_view)) {
+    return false;
+  }
+  if (it == end) return false;
+  const double raw_count = *it++;
+  if (!(raw_count >= 0.0) ||
+      raw_count > static_cast<double>(history_limit_)) {
+    return false;
+  }
+  const auto count = static_cast<std::size_t>(raw_count);
+  if (static_cast<double>(count) != raw_count) return false;
+  history_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    LocationFix fix;
+    if (!load_fix(it, end, fix)) return false;
+    history_.push_back(fix);
+  }
+  if (it == end) return false;
+  const bool saved_with_estimator = *it++ != 0.0;
+  // The estimator flag must match this track's configuration, or the
+  // snapshot was written for a differently-configured deployment.
+  if (saved_with_estimator != (estimator_ != nullptr)) return false;
+  if (estimator_ != nullptr) return estimator_->load_state(it, end);
+  return true;
+}
+
 }  // namespace mgrid::broker

@@ -14,6 +14,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "estimation/estimator.h"
 #include "geo/vec2.h"
@@ -88,6 +89,18 @@ class MnTrack {
     return estimator_.get();
   }
   [[nodiscard]] std::uint32_t mn() const noexcept { return mn_; }
+
+  /// Serializes the full track state (flags, fixes, history, estimator
+  /// internals) as doubles for snapshotting. Configuration (mn, history
+  /// limit, estimator choice) is NOT captured — load_state() requires a
+  /// track constructed with identical configuration. Returns false when an
+  /// estimator is attached but does not support state capture.
+  [[nodiscard]] bool save_state(std::vector<double>& out) const;
+
+  /// Restores state written by save_state() into an identically-configured
+  /// track. Validates counts against this track's limits; returns false
+  /// (state unspecified) on malformed input.
+  [[nodiscard]] bool load_state(const double*& it, const double* end);
 
  private:
   void push_history(const LocationFix& fix);

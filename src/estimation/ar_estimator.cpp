@@ -144,4 +144,46 @@ void ArEstimator::reset() {
   last_velocity_ = {};
 }
 
+bool ArEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(vx_window_.size()));
+  for (double x : vx_window_) out.push_back(x);
+  out.push_back(static_cast<double>(vy_window_.size()));
+  for (double y : vy_window_) out.push_back(y);
+  out.push_back(has_fix_ ? 1.0 : 0.0);
+  out.push_back(last_time_);
+  out.push_back(last_position_.x);
+  out.push_back(last_position_.y);
+  out.push_back(last_velocity_.x);
+  out.push_back(last_velocity_.y);
+  return true;
+}
+
+bool ArEstimator::load_state(const double*& it, const double* end) {
+  const auto read_window = [&](std::deque<double>& window) {
+    if (it == end) return false;
+    const double raw_count = *it++;
+    // Hostile-input guard: the count must be an exact small integer no
+    // larger than the configured window, or the snapshot is corrupt.
+    if (!(raw_count >= 0.0) ||
+        raw_count > static_cast<double>(params_.window) ||
+        raw_count != std::floor(raw_count)) {
+      return false;
+    }
+    const auto count = static_cast<std::size_t>(raw_count);
+    if (static_cast<std::size_t>(end - it) < count) return false;
+    window.clear();
+    for (std::size_t i = 0; i < count; ++i) window.push_back(*it++);
+    return true;
+  };
+  if (!read_window(vx_window_) || !read_window(vy_window_)) return false;
+  if (end - it < 6) return false;
+  has_fix_ = *it++ != 0.0;
+  last_time_ = *it++;
+  last_position_.x = *it++;
+  last_position_.y = *it++;
+  last_velocity_.x = *it++;
+  last_velocity_.y = *it++;
+  return true;
+}
+
 }  // namespace mgrid::estimation

@@ -49,6 +49,9 @@ class ArEstimator final : public LocationEstimator {
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
     return std::make_unique<ArEstimator>(*this);
   }
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
   /// Number of velocity samples currently in the window.
   [[nodiscard]] std::size_t window_fill() const noexcept {

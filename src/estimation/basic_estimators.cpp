@@ -13,6 +13,19 @@ geo::Vec2 LastKnownEstimator::estimate(SimTime /*t*/) const {
 
 void LastKnownEstimator::reset() { last_position_ = {}; }
 
+bool LastKnownEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(last_position_.x);
+  out.push_back(last_position_.y);
+  return true;
+}
+
+bool LastKnownEstimator::load_state(const double*& it, const double* end) {
+  if (end - it < 2) return false;
+  last_position_.x = *it++;
+  last_position_.y = *it++;
+  return true;
+}
+
 void DeadReckoningEstimator::observe(SimTime t, geo::Vec2 position,
                                      std::optional<geo::Vec2> velocity_hint) {
   if (velocity_hint) {
@@ -37,6 +50,27 @@ void DeadReckoningEstimator::reset() {
   last_time_ = 0.0;
   last_position_ = {};
   last_velocity_ = {};
+}
+
+bool DeadReckoningEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(has_fix_ ? 1.0 : 0.0);
+  out.push_back(last_time_);
+  out.push_back(last_position_.x);
+  out.push_back(last_position_.y);
+  out.push_back(last_velocity_.x);
+  out.push_back(last_velocity_.y);
+  return true;
+}
+
+bool DeadReckoningEstimator::load_state(const double*& it, const double* end) {
+  if (end - it < 6) return false;
+  has_fix_ = *it++ != 0.0;
+  last_time_ = *it++;
+  last_position_.x = *it++;
+  last_position_.y = *it++;
+  last_velocity_.x = *it++;
+  last_velocity_.y = *it++;
+  return true;
 }
 
 }  // namespace mgrid::estimation

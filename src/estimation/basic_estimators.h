@@ -22,6 +22,9 @@ class LastKnownEstimator final : public LocationEstimator {
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
     return std::make_unique<LastKnownEstimator>(*this);
   }
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
  private:
   geo::Vec2 last_position_{};
@@ -39,6 +42,9 @@ class DeadReckoningEstimator final : public LocationEstimator {
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
     return std::make_unique<DeadReckoningEstimator>(*this);
   }
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
  private:
   bool has_fix_ = false;

@@ -93,6 +93,30 @@ void BrownPolarEstimator::reset() {
   last_unwrapped_heading_ = 0.0;
 }
 
+bool BrownPolarEstimator::save_state(std::vector<double>& out) const {
+  speed_.save_state(out);
+  heading_.save_state(out);
+  out.push_back(has_fix_ ? 1.0 : 0.0);
+  out.push_back(last_time_);
+  out.push_back(last_position_.x);
+  out.push_back(last_position_.y);
+  out.push_back(last_unwrapped_heading_);
+  return true;
+}
+
+bool BrownPolarEstimator::load_state(const double*& it, const double* end) {
+  if (!speed_.load_state(it, end) || !heading_.load_state(it, end)) {
+    return false;
+  }
+  if (end - it < 5) return false;
+  has_fix_ = *it++ != 0.0;
+  last_time_ = *it++;
+  last_position_.x = *it++;
+  last_position_.y = *it++;
+  last_unwrapped_heading_ = *it++;
+  return true;
+}
+
 BrownCartesianEstimator::BrownCartesianEstimator(BrownParams params)
     : params_(params), vx_(params.alpha), vy_(params.alpha) {
   validate(params);
@@ -142,6 +166,26 @@ void BrownCartesianEstimator::reset() {
   last_position_ = {};
 }
 
+bool BrownCartesianEstimator::save_state(std::vector<double>& out) const {
+  vx_.save_state(out);
+  vy_.save_state(out);
+  out.push_back(has_fix_ ? 1.0 : 0.0);
+  out.push_back(last_time_);
+  out.push_back(last_position_.x);
+  out.push_back(last_position_.y);
+  return true;
+}
+
+bool BrownCartesianEstimator::load_state(const double*& it, const double* end) {
+  if (!vx_.load_state(it, end) || !vy_.load_state(it, end)) return false;
+  if (end - it < 4) return false;
+  has_fix_ = *it++ != 0.0;
+  last_time_ = *it++;
+  last_position_.x = *it++;
+  last_position_.y = *it++;
+  return true;
+}
+
 SesEstimator::SesEstimator(double alpha, Duration nominal_period)
     : nominal_period_(nominal_period), vx_(alpha), vy_(alpha) {
   if (!(nominal_period > 0.0)) {
@@ -187,6 +231,26 @@ void SesEstimator::reset() {
   has_fix_ = false;
   last_time_ = 0.0;
   last_position_ = {};
+}
+
+bool SesEstimator::save_state(std::vector<double>& out) const {
+  vx_.save_state(out);
+  vy_.save_state(out);
+  out.push_back(has_fix_ ? 1.0 : 0.0);
+  out.push_back(last_time_);
+  out.push_back(last_position_.x);
+  out.push_back(last_position_.y);
+  return true;
+}
+
+bool SesEstimator::load_state(const double*& it, const double* end) {
+  if (!vx_.load_state(it, end) || !vy_.load_state(it, end)) return false;
+  if (end - it < 4) return false;
+  has_fix_ = *it++ != 0.0;
+  last_time_ = *it++;
+  last_position_.x = *it++;
+  last_position_.y = *it++;
+  return true;
 }
 
 }  // namespace mgrid::estimation

@@ -40,6 +40,10 @@ class BrownPolarEstimator final : public LocationEstimator {
     return std::make_unique<BrownPolarEstimator>(*this);
   }
 
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
+
   /// Smoothed speed forecast m steps ahead, clamped at >= 0.
   [[nodiscard]] double speed_forecast(double m) const noexcept;
   /// Smoothed (unwrapped) heading forecast m steps ahead.
@@ -69,6 +73,9 @@ class BrownCartesianEstimator final : public LocationEstimator {
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
     return std::make_unique<BrownCartesianEstimator>(*this);
   }
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
  private:
   BrownParams params_;
@@ -96,6 +103,9 @@ class SesEstimator final : public LocationEstimator {
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
     return std::make_unique<SesEstimator>(*this);
   }
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
  private:
   Duration nominal_period_;

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "geo/vec2.h"
 #include "util/types.h"
@@ -37,6 +38,29 @@ class LocationEstimator {
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
   [[nodiscard]] virtual std::unique_ptr<LocationEstimator> clone() const = 0;
+
+  /// Appends the estimator's mutable numeric state to `out` (booleans and
+  /// counters as exact small integers in doubles) so a snapshot can later
+  /// restore an identically-configured estimator to a bit-identical state.
+  /// Configuration (alpha, order, horizon, ...) is NOT captured: load_state
+  /// requires an estimator built from the same configuration, which is what
+  /// the serving layer's snapshot/recovery path guarantees (the estimator
+  /// chain is reconstructed from the recorded name/alpha/period). Returns
+  /// false when the estimator cannot capture its state; the snapshot writer
+  /// then refuses to snapshot rather than persist a lossy image.
+  [[nodiscard]] virtual bool save_state(std::vector<double>& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores state written by save_state() on an identically-configured
+  /// estimator, advancing `it` past the consumed words. Returns false on
+  /// malformed/short input (the estimator state is then unspecified).
+  [[nodiscard]] virtual bool load_state(const double*& it, const double* end) {
+    (void)it;
+    (void)end;
+    return false;
+  }
 };
 
 /// Factory: "last_known" | "dead_reckoning" | "brown_polar" |

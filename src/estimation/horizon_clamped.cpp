@@ -48,4 +48,18 @@ std::unique_ptr<LocationEstimator> HorizonClampedEstimator::clone() const {
   return copy;
 }
 
+bool HorizonClampedEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(has_fix_ ? 1.0 : 0.0);
+  out.push_back(last_time_);
+  return inner_->save_state(out);
+}
+
+bool HorizonClampedEstimator::load_state(const double*& it,
+                                         const double* end) {
+  if (end - it < 2) return false;
+  has_fix_ = *it++ != 0.0;
+  last_time_ = *it++;
+  return inner_->load_state(it, end);
+}
+
 }  // namespace mgrid::estimation

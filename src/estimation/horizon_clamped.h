@@ -32,6 +32,9 @@ class HorizonClampedEstimator final : public LocationEstimator {
     return name_;
   }
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override;
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
   [[nodiscard]] Duration horizon() const noexcept { return horizon_; }
 

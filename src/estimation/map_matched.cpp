@@ -67,4 +67,15 @@ std::unique_ptr<LocationEstimator> MapMatchedEstimator::clone() const {
   return copy;
 }
 
+bool MapMatchedEstimator::save_state(std::vector<double>& out) const {
+  out.push_back(last_fix_on_road_ ? 1.0 : 0.0);
+  return inner_->save_state(out);
+}
+
+bool MapMatchedEstimator::load_state(const double*& it, const double* end) {
+  if (it == end) return false;
+  last_fix_on_road_ = *it++ != 0.0;
+  return inner_->load_state(it, end);
+}
+
 }  // namespace mgrid::estimation

@@ -37,6 +37,9 @@ class MapMatchedEstimator final : public LocationEstimator {
     return name_;
   }
   [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override;
+  [[nodiscard]] bool save_state(std::vector<double>& out) const override;
+  [[nodiscard]] bool load_state(const double*& it,
+                                const double* end) override;
 
   /// Whether the last observation put the node on a road (and estimates are
   /// therefore being snapped).

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace mgrid::estimation {
 
@@ -26,6 +27,18 @@ class SingleExponentialSmoother {
   /// SES forecasts are flat: forecast(m) == level() for all m.
   [[nodiscard]] double forecast(double /*m*/) const noexcept { return s_; }
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// State capture for snapshot/recovery (alpha is configuration, not state).
+  void save_state(std::vector<double>& out) const {
+    out.push_back(s_);
+    out.push_back(static_cast<double>(count_));
+  }
+  [[nodiscard]] bool load_state(const double*& it, const double* end) {
+    if (end - it < 2) return false;
+    s_ = *it++;
+    count_ = static_cast<std::size_t>(*it++);
+    return true;
+  }
 
  private:
   double alpha_;
@@ -50,6 +63,20 @@ class BrownDoubleSmoother {
   /// m-step-ahead forecast: level + trend * m.
   [[nodiscard]] double forecast(double m) const noexcept;
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// State capture for snapshot/recovery (alpha is configuration, not state).
+  void save_state(std::vector<double>& out) const {
+    out.push_back(s1_);
+    out.push_back(s2_);
+    out.push_back(static_cast<double>(count_));
+  }
+  [[nodiscard]] bool load_state(const double*& it, const double* end) {
+    if (end - it < 3) return false;
+    s1_ = *it++;
+    s2_ = *it++;
+    count_ = static_cast<std::size_t>(*it++);
+    return true;
+  }
 
  private:
   double alpha_;

@@ -63,6 +63,14 @@ void AdminServer::start() {
 
 void AdminServer::stop() { server_.stop(); }
 
+void AdminServer::rebind(ShardedDirectory* directory, IngestPipeline* pipeline,
+                         WalWriter* wal) {
+  const std::lock_guard<std::mutex> lock(rebind_mutex_);
+  hooks_.directory = directory;
+  hooks_.pipeline = pipeline;
+  hooks_.wal = wal;
+}
+
 std::uint16_t AdminServer::port() const noexcept { return server_.port(); }
 
 bool AdminServer::running() const noexcept { return server_.running(); }
@@ -121,8 +129,13 @@ obs::http::Response AdminServer::varz() const {
 }
 
 bool AdminServer::is_ready(std::string* reason) const {
-  if (hooks_.pipeline != nullptr) {
-    const std::uint64_t pending = hooks_.pipeline->pending();
+  IngestPipeline* pipeline = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(rebind_mutex_);
+    pipeline = hooks_.pipeline;
+  }
+  if (pipeline != nullptr) {
+    const std::uint64_t pending = pipeline->pending();
     if (pending > options_.ready_max_pending) {
       if (reason != nullptr) {
         *reason = "ingest backlog: " + std::to_string(pending) +
@@ -145,6 +158,15 @@ obs::http::Response AdminServer::readyz() const {
 }
 
 obs::http::Response AdminServer::statusz() const {
+  ShardedDirectory* directory = nullptr;
+  IngestPipeline* pipeline = nullptr;
+  WalWriter* wal = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(rebind_mutex_);
+    directory = hooks_.directory;
+    pipeline = hooks_.pipeline;
+    wal = hooks_.wal;
+  }
   util::JsonWriter json;
   json.begin_object();
   json.field("schema", "mgrid-statusz-v1");
@@ -169,32 +191,54 @@ obs::http::Response AdminServer::statusz() const {
   json.field("io_errors", http.io_errors);
   json.end_object();
 
-  if (hooks_.directory != nullptr) {
+  if (directory != nullptr) {
     json.key("directory").begin_object();
-    json.field("size", static_cast<std::uint64_t>(hooks_.directory->size()));
+    json.field("size", static_cast<std::uint64_t>(directory->size()));
     json.field("shards",
-               static_cast<std::uint64_t>(hooks_.directory->shard_count()));
+               static_cast<std::uint64_t>(directory->shard_count()));
+    json.field("degraded", directory->degraded());
     json.key("shard_sizes").begin_array();
-    for (const std::size_t size : hooks_.directory->shard_sizes()) {
+    for (const std::size_t size : directory->shard_sizes()) {
       json.value(static_cast<std::uint64_t>(size));
     }
     json.end_array();
+    if (hooks_.sim_now) {
+      const ShardedDirectory::StalenessSummary staleness =
+          directory->staleness_summary(hooks_.sim_now());
+      json.key("staleness").begin_object();
+      json.field("tracked", static_cast<std::uint64_t>(staleness.tracked));
+      json.field("mean_seconds", staleness.mean_seconds);
+      json.field("p99_seconds", staleness.p99_seconds);
+      json.field("max_seconds", staleness.max_seconds);
+      json.end_object();
+    }
     json.end_object();
   }
 
-  if (hooks_.pipeline != nullptr) {
-    const IngestStats stats = hooks_.pipeline->stats();
+  if (wal != nullptr) {
+    json.key("wal").begin_object();
+    json.field("path", wal->path());
+    json.field("fsync", to_string(wal->policy()));
+    json.field("records_appended", wal->records_appended());
+    json.field("bytes_appended", wal->bytes_appended());
+    json.field("failed", wal->failed());
+    json.end_object();
+  }
+
+  if (pipeline != nullptr) {
+    const IngestStats stats = pipeline->stats();
     json.key("ingest").begin_object();
     json.field("accepted", stats.accepted);
     json.field("applied", stats.applied);
     json.field("rejected_full", stats.rejected_full);
     json.field("rejected_stale", stats.rejected_stale);
+    json.field("shed_low_info", stats.shed_low_info);
     json.field("batches", stats.batches);
-    json.field("pending", hooks_.pipeline->pending());
+    json.field("pending", pipeline->pending());
     json.field("workers",
-               static_cast<std::uint64_t>(hooks_.pipeline->worker_count()));
+               static_cast<std::uint64_t>(pipeline->worker_count()));
     json.key("queue_depths").begin_array();
-    for (const std::size_t depth : hooks_.pipeline->queue_depths()) {
+    for (const std::size_t depth : pipeline->queue_depths()) {
       json.value(static_cast<std::uint64_t>(depth));
     }
     json.end_array();

@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "obs/http.h"
@@ -36,6 +37,7 @@
 #include "obs/slo.h"
 #include "serve/directory.h"
 #include "serve/ingest.h"
+#include "serve/wal.h"
 #include "util/json.h"
 
 namespace mgrid::serve {
@@ -55,6 +57,9 @@ struct AdminHooks {
   ShardedDirectory* directory = nullptr;    ///< Optional.
   IngestPipeline* pipeline = nullptr;       ///< Optional.
   obs::SloMonitor* slo = nullptr;           ///< Optional.
+  WalWriter* wal = nullptr;                 ///< Optional: /statusz wal block.
+  /// Current sim-time, for the /statusz staleness block (with directory).
+  std::function<double()> sim_now;
   /// Extra readiness predicate; fill `*reason` when returning false.
   std::function<bool(std::string* reason)> ready;
   /// Appends driver-specific fields inside /statusz's "driver" object.
@@ -76,6 +81,13 @@ class AdminServer {
   /// Graceful shutdown (idempotent).
   void stop();
 
+  /// Swaps the optional state hooks while serving — a recovering driver
+  /// starts the admin plane first (so /readyz can report 503 "recovering")
+  /// and attaches the rebuilt directory, pipeline and WAL once recovery
+  /// completes. Thread-safe with respect to handle().
+  void rebind(ShardedDirectory* directory, IngestPipeline* pipeline,
+              WalWriter* wal);
+
   [[nodiscard]] std::uint16_t port() const noexcept;
   [[nodiscard]] bool running() const noexcept;
   [[nodiscard]] obs::http::ServerStats http_stats() const;
@@ -92,6 +104,9 @@ class AdminServer {
 
   AdminOptions options_;
   AdminHooks hooks_;
+  /// Guards the rebindable hook pointers (directory/pipeline/wal) against
+  /// concurrent handle() calls.
+  mutable std::mutex rebind_mutex_;
   obs::http::Server server_;
   std::chrono::steady_clock::time_point started_;
   std::atomic<std::uint64_t> quit_requests_{0};

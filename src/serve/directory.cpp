@@ -20,6 +20,8 @@ struct ServeMetrics {
   obs::Counter region_queries;
   obs::Counter nearest_queries;
   obs::Counter estimates;
+  obs::Counter degraded_lookups;
+  obs::Gauge degraded;
   obs::HistogramMetric update_seconds;
   obs::HistogramMetric lookup_seconds;
   obs::HistogramMetric region_seconds;
@@ -39,6 +41,12 @@ struct ServeMetrics {
     estimates = registry.counter(
         "mgrid_serve_estimates_total", {},
         "Estimator forecasts recorded by advance_estimates");
+    degraded_lookups = registry.counter(
+        "mgrid_serve_degraded_lookups_total", {},
+        "Bounded lookups answered while the directory was degraded");
+    degraded = registry.gauge(
+        "mgrid_serve_degraded", {},
+        "1 while the directory is in degraded (stale-read) mode");
     update_seconds =
         registry.histogram("mgrid_serve_update_seconds", 0.0, 1e-3, 50, {},
                            "Latency of one directory update");
@@ -423,6 +431,71 @@ std::vector<std::size_t> ShardedDirectory::shard_sizes() const {
     sizes.push_back(shard->tracks.size());
   }
   return sizes;
+}
+
+void ShardedDirectory::set_degraded(bool degraded) noexcept {
+  const bool was = degraded_.exchange(degraded, std::memory_order_relaxed);
+  if (was != degraded && obs::enabled()) {
+    serve_metrics().degraded.set(degraded ? 1.0 : 0.0);
+  }
+}
+
+bool ShardedDirectory::degraded() const noexcept {
+  return degraded_.load(std::memory_order_relaxed);
+}
+
+std::optional<ShardedDirectory::BoundedBelief> ShardedDirectory::lookup_bounded(
+    std::uint32_t mn, SimTime now, double max_staleness) const {
+  std::optional<BoundedBelief> belief;
+  {
+    Shard& shard = shard_for(mn);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.tracks.find(mn);
+    if (it != shard.tracks.end()) {
+      const broker::LocationFix& view = it->second.record().current_view;
+      BoundedBelief b;
+      b.entry = DirectoryEntry{mn, view.t, view.position, view.estimated};
+      b.age_seconds = std::max(0.0, now - view.t);
+      b.degraded = degraded();
+      b.within_bound = b.age_seconds <= max_staleness;
+      belief = b;
+    }
+  }
+  if (belief && belief->degraded && obs::enabled()) {
+    serve_metrics().degraded_lookups.inc();
+  }
+  return belief;
+}
+
+void ShardedDirectory::for_each_track(
+    const std::function<void(const broker::MnTrack&)>& fn) const {
+  std::vector<const broker::MnTrack*> sorted;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    sorted.clear();
+    sorted.reserve(shard->tracks.size());
+    for (const auto& [mn, track] : shard->tracks) sorted.push_back(&track);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const broker::MnTrack* a, const broker::MnTrack* b) {
+                return a->mn() < b->mn();
+              });
+    for (const broker::MnTrack* track : sorted) fn(*track);
+  }
+}
+
+bool ShardedDirectory::restore_track(std::uint32_t mn, const double*& it,
+                                     const double* end) {
+  Shard& shard = shard_for(mn);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.tracks.count(mn) != 0) return false;
+  broker::MnTrack track(mn, options_.history_limit,
+                        prototype_ != nullptr ? prototype_->clone() : nullptr);
+  if (!track.load_state(it, end)) return false;
+  const bool indexable = track.has_report();
+  const geo::Vec2 position = track.record().current_view.position;
+  shard.tracks.emplace(mn, std::move(track));
+  if (indexable) index_position(shard, mn, position);
+  return true;
 }
 
 ShardedDirectory::StalenessSummary ShardedDirectory::staleness_summary(

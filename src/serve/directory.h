@@ -15,7 +15,9 @@
 // is enabled.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -131,6 +133,43 @@ class ShardedDirectory {
   };
   [[nodiscard]] StalenessSummary staleness_summary(SimTime now) const;
 
+  // --- Degraded read mode (overload / recovery) ---------------------------
+
+  /// Flips the directory into (or out of) degraded mode. Set by the ingest
+  /// pipeline when admission control starts shedding, and by recovery while
+  /// the directory is being rebuilt. Reads keep working; callers that use
+  /// lookup_bounded() learn the belief may be stale.
+  void set_degraded(bool degraded) noexcept;
+  [[nodiscard]] bool degraded() const noexcept;
+
+  /// A lookup that reports *how stale* the answer is instead of pretending
+  /// freshness. `within_bound` is false when the current view is older than
+  /// `max_staleness` seconds at `now` — the caller decides whether a
+  /// stale-but-bounded belief is still useful.
+  struct BoundedBelief {
+    DirectoryEntry entry;
+    double age_seconds = 0.0;
+    bool degraded = false;     ///< directory was degraded at lookup time
+    bool within_bound = true;  ///< age_seconds <= max_staleness
+  };
+  [[nodiscard]] std::optional<BoundedBelief> lookup_bounded(
+      std::uint32_t mn, SimTime now, double max_staleness) const;
+
+  // --- Snapshot support (serve/snapshot.h) --------------------------------
+
+  /// Visits every track shard by shard, sorted by MN id within each shard,
+  /// under the shard lock. The callback must not call back into the
+  /// directory (it would self-deadlock on the shard mutex).
+  void for_each_track(
+      const std::function<void(const broker::MnTrack&)>& fn) const;
+
+  /// Re-creates one track from snapshot state: constructs it with this
+  /// directory's configuration (history limit, estimator prototype clone),
+  /// loads the serialized words and indexes the restored current view.
+  /// Returns false (track not inserted) on malformed state or when the MN
+  /// already exists.
+  bool restore_track(std::uint32_t mn, const double*& it, const double* end);
+
  private:
   struct Shard {
     mutable std::mutex mutex;
@@ -158,6 +197,7 @@ class ShardedDirectory {
   DirectoryOptions options_;
   std::unique_ptr<estimation::LocationEstimator> prototype_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace mgrid::serve

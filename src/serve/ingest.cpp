@@ -1,6 +1,7 @@
 #include "serve/ingest.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -13,6 +14,8 @@ struct IngestPipeline::Telemetry {
   obs::Counter accepted;
   obs::Counter rejected_full;
   obs::Counter rejected_stale;
+  obs::Counter shed_low_info;
+  obs::Counter shed_queue_full;
   obs::HistogramMetric enqueue_to_apply_seconds;
   obs::HistogramMetric batch_size;
   std::vector<obs::Gauge> queue_depth;  ///< One per source.
@@ -29,6 +32,12 @@ struct IngestPipeline::Telemetry {
         registry.counter("mgrid_ingest_rejected_total",
                          {{"reason", "stale"}},
                          "LUs rejected by the ingest pipeline");
+    shed_low_info = registry.counter(
+        "mgrid_ingest_shed_total", {{"reason", "low_info"}},
+        "LUs shed by overload admission control");
+    shed_queue_full = registry.counter(
+        "mgrid_ingest_shed_total", {{"reason", "queue_full"}},
+        "LUs shed by overload admission control");
     enqueue_to_apply_seconds = registry.histogram(
         "mgrid_ingest_enqueue_to_apply_seconds", 0.0, 0.1, 100, {},
         "Latency from submit() to directory apply");
@@ -58,6 +67,18 @@ IngestPipeline::IngestPipeline(ShardedDirectory& directory,
   if (options_.batch_size == 0) {
     throw std::invalid_argument("IngestPipeline: batch_size must be >= 1");
   }
+  if (options_.shed_watermark < 0.0 || options_.shed_watermark > 1.0) {
+    throw std::invalid_argument(
+        "IngestPipeline: shed_watermark must be in [0, 1]");
+  }
+  if (options_.shed_watermark > 0.0 && options_.queue_capacity > 0) {
+    shed_threshold_ = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options_.shed_watermark *
+                                    static_cast<double>(
+                                        options_.queue_capacity)));
+  } else {
+    shed_threshold_ = std::numeric_limits<std::size_t>::max();
+  }
   paused_ = options_.start_paused;
   queues_.reserve(options_.sources);
   for (std::size_t i = 0; i < options_.sources; ++i) {
@@ -86,14 +107,42 @@ bool IngestPipeline::submit(const wire::LuMsg& msg) {
     if (options_.queue_capacity > 0 &&
         queue.lus.size() >= options_.queue_capacity) {
       rejected_full_.fetch_add(1, std::memory_order_relaxed);
-      if (telemetry) telemetry_->rejected_full.inc();
+      if (telemetry) {
+        telemetry_->rejected_full.inc();
+        telemetry_->shed_queue_full.inc();
+      }
+      if (!shed_active_.exchange(true, std::memory_order_relaxed)) {
+        directory_.set_degraded(true);
+      }
       return false;
+    }
+    if (queue.lus.size() >= shed_threshold_) {
+      // Overload: shed lowest-information LUs first. An MN that barely
+      // moved since its last accepted fix costs the estimator little to
+      // lose — the same displacement signal the ADF filters on.
+      const auto last = queue.last_position.find(msg.mn);
+      if (last != queue.last_position.end()) {
+        const geo::Vec2 displacement =
+            geo::Vec2{msg.x, msg.y} - last->second;
+        if (displacement.norm() < options_.shed_min_displacement) {
+          shed_low_info_.fetch_add(1, std::memory_order_relaxed);
+          if (telemetry) telemetry_->shed_low_info.inc();
+          if (!shed_active_.exchange(true, std::memory_order_relaxed)) {
+            directory_.set_degraded(true);
+          }
+          return false;
+        }
+      }
     }
     was_empty = queue.lus.empty();
     QueuedLu item;
     item.msg = msg;
     if (telemetry) item.enqueued = std::chrono::steady_clock::now();
     queue.lus.push_back(item);
+    queue.last_position[msg.mn] = geo::Vec2{msg.x, msg.y};
+    // WAL write inside the queue lock: the log's per-MN record order is the
+    // queue's, so serial replay reproduces exactly what the workers apply.
+    if (options_.wal != nullptr) options_.wal->append(msg);
     depth = queue.lus.size();
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -231,6 +280,11 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
 
       if (pending_.fetch_sub(batch.size(), std::memory_order_acq_rel) ==
           batch.size()) {
+        // Fully drained: the overload that triggered shedding has passed,
+        // so lift degraded mode.
+        if (shed_active_.exchange(false, std::memory_order_relaxed)) {
+          directory_.set_degraded(false);
+        }
         const std::lock_guard<std::mutex> lock(control_mutex_);
         idle_cv_.notify_all();
       }
@@ -249,6 +303,7 @@ IngestStats IngestPipeline::stats() const {
   out.applied = applied_.load(std::memory_order_relaxed);
   out.rejected_stale = rejected_stale_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
+  out.shed_low_info = shed_low_info_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -30,10 +30,12 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "serve/directory.h"
+#include "serve/wal.h"
 #include "serve/wire.h"
 
 namespace mgrid::serve {
@@ -57,6 +59,21 @@ struct IngestOptions {
   /// update-latency SLI at batch rate rather than per LU. Must be
   /// thread-safe. Empty = disabled.
   std::function<void(std::size_t, double)> backpressure_hook;
+  /// Admission control: when a source queue's depth reaches this fraction
+  /// of queue_capacity, LUs that carry little information — the MN moved
+  /// less than shed_min_displacement since its last accepted fix — are shed
+  /// instead of enqueued. The ADF already suppressed sub-threshold motion
+  /// at the sender; under overload the receiver raises the bar the same
+  /// way, dropping the lowest-information traffic first. 0 (or
+  /// queue_capacity == 0) disables shedding.
+  double shed_watermark = 0.0;
+  /// Displacement (m) below which an LU is sheddable at the watermark.
+  double shed_min_displacement = 5.0;
+  /// Write-ahead log: when set, every *accepted* LU is appended under the
+  /// source-queue lock — WAL order equals queue order per MN, so serial
+  /// replay reproduces the directory exactly. Shed and rejected LUs never
+  /// reach the WAL. Must outlive the pipeline.
+  WalWriter* wal = nullptr;
 };
 
 struct IngestStats {
@@ -65,6 +82,7 @@ struct IngestStats {
   std::uint64_t applied = 0;         ///< LUs applied to the directory.
   std::uint64_t rejected_stale = 0;  ///< LUs the track refused (regression).
   std::uint64_t batches = 0;         ///< Non-empty drains.
+  std::uint64_t shed_low_info = 0;   ///< LUs shed by admission control.
 };
 
 class IngestPipeline {
@@ -116,6 +134,9 @@ class IngestPipeline {
   struct SourceQueue {
     mutable std::mutex mutex;
     std::deque<QueuedLu> lus;
+    /// Last accepted position per MN on this source — the displacement
+    /// baseline for admission control (guarded by `mutex`).
+    std::unordered_map<std::uint32_t, geo::Vec2> last_position;
   };
 
   struct Telemetry;  // registry handles, resolved once at construction
@@ -140,6 +161,10 @@ class IngestPipeline {
   bool stopping_ = false;
   bool stopped_ = false;
 
+  /// Queue depth at which admission control starts shedding (SIZE_MAX when
+  /// shedding is disabled).
+  std::size_t shed_threshold_ = 0;
+
   std::atomic<bool> accepting_{true};
   /// LUs accepted but not yet applied (flush barrier condition).
   std::atomic<std::uint64_t> pending_{0};
@@ -148,6 +173,10 @@ class IngestPipeline {
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<std::uint64_t> rejected_stale_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> shed_low_info_{0};
+  /// True while overload shedding has the directory flagged degraded;
+  /// cleared when the pipeline fully drains.
+  std::atomic<bool> shed_active_{false};
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,81 @@
+// Crash recovery for the serving plane: newest valid snapshot + WAL tail.
+//
+// recover_directory() rebuilds a ShardedDirectory to the exact state the
+// crashed process had at its last completed tick barrier:
+//
+//   1. Read the WAL, stopping at the first damaged record (torn tail).
+//   2. Try snapshots newest-first; a snapshot that fails its CRC, claims
+//      more WAL records than exist, or restores fewer tracks than it
+//      carries is rejected and the next-older one is tried (each attempt
+//      starts from a fresh directory, so a half-applied reject cannot
+//      leak state).
+//   3. Replay WAL records after the snapshot's covered count, serially:
+//      LUs via ShardedDirectory::update, tick barriers via
+//      advance_estimates — the same order the live pipeline guaranteed
+//      per MN, so the result is bit-identical for any worker count.
+//   4. Stop at the last complete tick record (the consistent cut); LUs
+//      after it belong to an unfinished tick and are dropped. The report
+//      carries the cut's byte offset so the caller can truncate the WAL
+//      before appending (resume never duplicates or resurrects records).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/directory.h"
+#include "serve/wal.h"
+
+namespace mgrid::serve {
+
+struct RecoverOptions {
+  /// Directory holding the WAL file and "snap-<n>" snapshot files.
+  std::string wal_dir;
+  /// WAL file name inside wal_dir.
+  std::string wal_file = "wal.log";
+  /// Replay only to the last complete tick barrier (the consistent cut).
+  /// false replays every clean LU — useful for forensics, not for resume.
+  bool to_tick_boundary = true;
+};
+
+struct RecoverReport {
+  /// False when the WAL file does not exist (fresh start, empty directory).
+  bool wal_found = false;
+  bool snapshot_loaded = false;
+  std::string snapshot_path;
+  std::size_t snapshots_rejected = 0;
+
+  std::uint64_t wal_records_total = 0;    ///< clean records in the file
+  std::uint64_t wal_records_skipped = 0;  ///< covered by the snapshot
+  std::uint64_t lus_applied = 0;
+  std::uint64_t lus_rejected = 0;
+  std::uint64_t ticks_replayed = 0;
+  std::uint64_t trailing_lus_dropped = 0;  ///< after the last tick barrier
+
+  /// Last completed tick barrier (valid when has_barrier).
+  bool has_barrier = false;
+  double last_tick_t = 0.0;
+  std::uint64_t last_tick = 0;
+
+  /// Consistent cut: records and bytes the recovered state corresponds to.
+  /// Truncate the WAL to consistent_bytes before reopening it for append.
+  std::uint64_t consistent_records = 0;
+  std::uint64_t consistent_bytes = 0;
+  WalReadStatus tail_status = WalReadStatus::kEnd;
+};
+
+/// Rebuilds a directory from `options.wal_dir`. `make_directory` must
+/// produce an empty directory configured exactly like the crashed
+/// process's (same options and estimator prototype); it may be called more
+/// than once when snapshots are rejected. Returns the recovered directory
+/// (empty on a fresh start) and fills `report`. Throws std::runtime_error
+/// only when the WAL file exists but cannot be opened or has a foreign
+/// header — damaged *content* is handled, a foreign *file* is a config
+/// error.
+std::unique_ptr<ShardedDirectory> recover_directory(
+    const RecoverOptions& options,
+    const std::function<std::unique_ptr<ShardedDirectory>()>& make_directory,
+    RecoverReport& report);
+
+}  // namespace mgrid::serve

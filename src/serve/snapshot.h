@@ -1,0 +1,69 @@
+// Directory snapshots (mgrid-snap-v1).
+//
+// A snapshot is a point-in-time serialization of every MnTrack in a
+// ShardedDirectory — fixes, bounded history and estimator internals, all as
+// raw IEEE-754 bit patterns — taken at a tick barrier so it corresponds to
+// an exact WAL position. Recovery loads the newest valid snapshot and
+// replays only the WAL records after `wal_records`, bounding restart time
+// regardless of WAL length.
+//
+// File layout (little-endian):
+//   magic   "MGSN" (4 bytes)
+//   version u8 = 1, pad u8[3]
+//   wal_records u64   — WAL records covered by this snapshot
+//   snap_time f64     — sim-time of the covering tick barrier
+//   track_count u32
+//   per track: mn u32, word_count u32, f64[word_count] (MnTrack state)
+//   crc u32           — crc32c over everything before it
+//
+// Snapshots are written atomically (tmp file + rename) and named
+// "snap-<wal_records>" so the newest is discoverable by scanning the WAL
+// directory. A damaged snapshot fails its CRC and recovery falls back to
+// the next-older one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/directory.h"
+
+namespace mgrid::serve {
+
+inline constexpr std::uint8_t kSnapshotMagic[4] = {'M', 'G', 'S', 'N'};
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+
+/// Serializes `directory` to `<dir>/snap-<wal_records>` via tmp + rename.
+/// Must be called at a tick barrier (no concurrent apply_batch /
+/// advance_estimates), with `wal_records` = the WAL writer's record count
+/// at that barrier. Returns false on I/O failure or when any track refuses
+/// state capture (estimator without save_state support).
+bool write_snapshot(const ShardedDirectory& directory, const std::string& dir,
+                    std::uint64_t wal_records, double snap_time);
+
+/// A parsed snapshot, not yet applied to a directory.
+struct SnapshotData {
+  std::uint64_t wal_records = 0;
+  double snap_time = 0.0;
+  struct Track {
+    std::uint32_t mn = 0;
+    std::vector<double> words;
+  };
+  std::vector<Track> tracks;
+};
+
+/// Loads and validates one snapshot file. Returns false (out unspecified)
+/// on any damage: short file, foreign magic, unsupported version, CRC
+/// mismatch or inconsistent counts. Never throws on damaged content.
+[[nodiscard]] bool load_snapshot(const std::string& path, SnapshotData& out);
+
+/// Applies a parsed snapshot to an *empty* directory. Returns the number of
+/// tracks restored; tracks whose state fails validation are skipped (the
+/// caller should treat restored < tracks.size() as a damaged snapshot).
+std::size_t apply_snapshot(ShardedDirectory& directory,
+                           const SnapshotData& snapshot);
+
+/// Paths of "snap-<n>" files in `dir`, newest (largest n) first.
+[[nodiscard]] std::vector<std::string> list_snapshots(const std::string& dir);
+
+}  // namespace mgrid::serve

@@ -96,6 +96,8 @@ std::string_view to_string(MsgType type) noexcept {
       return "region_query";
     case MsgType::kNearestQuery:
       return "nearest_query";
+    case MsgType::kTick:
+      return "tick";
   }
   return "unknown";
 }
@@ -114,6 +116,8 @@ std::size_t payload_size(MsgType type) noexcept {
       return 32;
     case MsgType::kNearestQuery:
       return 24;
+    case MsgType::kTick:
+      return 16;
   }
   return 0;
 }
@@ -180,6 +184,13 @@ std::size_t encode(std::vector<std::uint8_t>& out,
   put_f64(out, msg.y);
   put_u32(out, msg.k);
   put_u32(out, 0);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const TickMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kTick);
+  put_f64(out, msg.t);
+  put_u64(out, msg.tick);
   return out.size() - start;
 }
 
@@ -280,6 +291,13 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
       msg.x = get_f64(buffer, p);
       msg.y = get_f64(buffer, p + 8);
       msg.k = get_u32(buffer, p + 16);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kTick: {
+      TickMsg msg;
+      msg.t = get_f64(buffer, p);
+      msg.tick = get_u64(buffer, p + 8);
       result.msg = msg;
       break;
     }

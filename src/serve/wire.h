@@ -20,6 +20,7 @@
 //   kRegionQuery (5), 32 bytes: x f64, y f64, radius f64, max_results u32,
 //                               pad u32
 //   kNearestQuery (6), 24 bytes: x f64, y f64, k u32, pad u32
+//   kTick (7), 16 bytes:        t f64, tick u64
 //
 // decode_frame() never throws on hostile bytes: it returns a typed status
 // (bad magic / version / type / length, or "need more data" for a prefix of
@@ -46,6 +47,11 @@ enum class MsgType : std::uint8_t {
   kLookupReply = 4,
   kRegionQuery = 5,
   kNearestQuery = 6,
+  /// Tick barrier: "every LU before this frame has been applied; the
+  /// directory then advanced its estimates to t". Emitted by the serving
+  /// layer's write-ahead log at each flush/advance boundary so recovery can
+  /// replay to a consistent cut (see serve/wal.h).
+  kTick = 7,
 };
 
 enum class AckStatus : std::uint8_t {
@@ -101,8 +107,16 @@ struct NearestQueryMsg {
   std::uint32_t k = 0;
 };
 
-using Message = std::variant<std::monostate, LuMsg, AckMsg, LookupMsg,
-                             LookupReplyMsg, RegionQueryMsg, NearestQueryMsg>;
+/// A tick barrier (WAL only): all preceding LUs were applied, then the
+/// directory advanced estimates to `t`. `tick` is the driver's tick index.
+struct TickMsg {
+  double t = 0.0;
+  std::uint64_t tick = 0;
+};
+
+using Message =
+    std::variant<std::monostate, LuMsg, AckMsg, LookupMsg, LookupReplyMsg,
+                 RegionQueryMsg, NearestQueryMsg, TickMsg>;
 
 enum class DecodeStatus : std::uint8_t {
   kOk = 0,
@@ -140,6 +154,7 @@ std::size_t encode(std::vector<std::uint8_t>& out, const LookupMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const LookupReplyMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const RegionQueryMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const NearestQueryMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const TickMsg& msg);
 
 /// Decodes the frame at the start of `buffer`. Never throws; malformed
 /// bytes yield a non-kOk status with consumed == 0 so the caller decides

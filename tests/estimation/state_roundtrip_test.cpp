@@ -1,0 +1,164 @@
+// save_state/load_state round-trip for every estimator in the chain — the
+// contract the serving layer's snapshot/recovery path depends on: loading
+// captured state into an identically-configured fresh estimator must
+// reproduce every future estimate bit-identically.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estimation/basic_estimators.h"
+#include "estimation/brown_estimator.h"
+#include "estimation/estimator.h"
+#include "estimation/horizon_clamped.h"
+#include "estimation/map_matched.h"
+#include "geo/campus.h"
+
+namespace mgrid::estimation {
+namespace {
+
+/// Irregular observation schedule — exactly what filtering produces.
+void feed(LocationEstimator& estimator) {
+  estimator.observe(1.0, {100.0, 50.0}, geo::Vec2{1.5, -0.5});
+  estimator.observe(2.0, {101.7, 49.4}, geo::Vec2{1.7, -0.6});
+  estimator.observe(4.5, {106.0, 48.0}, geo::Vec2{1.8, -0.55});
+  estimator.observe(5.0, {106.9, 47.7}, geo::Vec2{1.9, -0.6});
+  estimator.observe(8.0, {112.3, 46.1}, geo::Vec2{1.75, -0.5});
+}
+
+/// Saves `original`'s state, loads it into a fresh clone-alike built by
+/// `make_fresh`, and asserts both produce bit-identical estimates — before
+/// AND after further shared observations (so internal smoother state, not
+/// just the last fix, must have survived).
+void expect_roundtrip(LocationEstimator& original,
+                      std::unique_ptr<LocationEstimator> fresh) {
+  std::vector<double> words;
+  ASSERT_TRUE(original.save_state(words)) << original.name();
+
+  const double* it = words.data();
+  const double* end = words.data() + words.size();
+  ASSERT_TRUE(fresh->load_state(it, end)) << original.name();
+  EXPECT_EQ(it, end) << original.name()
+                     << ": load_state left unconsumed words";
+
+  for (const double t : {8.0, 9.0, 12.5, 20.0}) {
+    const geo::Vec2 a = original.estimate(t);
+    const geo::Vec2 b = fresh->estimate(t);
+    EXPECT_EQ(a.x, b.x) << original.name() << " @ t=" << t;
+    EXPECT_EQ(a.y, b.y) << original.name() << " @ t=" << t;
+  }
+  // Keep observing both: the recovered estimator must evolve identically.
+  original.observe(10.0, {115.0, 45.0}, geo::Vec2{1.6, -0.4});
+  fresh->observe(10.0, {115.0, 45.0}, geo::Vec2{1.6, -0.4});
+  for (const double t : {10.0, 11.0, 15.0}) {
+    const geo::Vec2 a = original.estimate(t);
+    const geo::Vec2 b = fresh->estimate(t);
+    EXPECT_EQ(a.x, b.x) << original.name() << " @ t=" << t;
+    EXPECT_EQ(a.y, b.y) << original.name() << " @ t=" << t;
+  }
+}
+
+class StateRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StateRoundTripTest, FactoryEstimatorsRoundTripBitIdentically) {
+  const std::unique_ptr<LocationEstimator> original =
+      make_estimator(GetParam(), 0.3, 1.0);
+  feed(*original);
+  expect_roundtrip(*original, make_estimator(GetParam(), 0.3, 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFactoryNames, StateRoundTripTest,
+                         ::testing::Values("last_known", "dead_reckoning",
+                                           "brown_polar", "brown_cartesian",
+                                           "ses", "ar"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(StateRoundTrip, HorizonClampedWrapperRoundTrips) {
+  HorizonClampedEstimator original(make_estimator("brown_polar", 0.3, 1.0),
+                                   5.0);
+  feed(original);
+  expect_roundtrip(
+      original, std::make_unique<HorizonClampedEstimator>(
+                    make_estimator("brown_polar", 0.3, 1.0), 5.0));
+}
+
+TEST(StateRoundTrip, MapMatchedWrapperRoundTrips) {
+  const geo::CampusMap campus = geo::CampusMap::default_campus();
+  MapMatchedEstimator original(make_estimator("dead_reckoning"), campus);
+  // On-road observations so the snapping flag is exercised.
+  original.observe(1.0, {300.0, 50.0}, geo::Vec2{0.0, 8.0});
+  original.observe(2.0, {300.0, 58.0}, geo::Vec2{0.0, 8.0});
+
+  std::vector<double> words;
+  ASSERT_TRUE(original.save_state(words));
+  MapMatchedEstimator fresh(make_estimator("dead_reckoning"), campus);
+  const double* it = words.data();
+  ASSERT_TRUE(fresh.load_state(it, words.data() + words.size()));
+  EXPECT_EQ(fresh.snapping(), original.snapping());
+  for (const double t : {2.0, 3.0, 6.0}) {
+    EXPECT_EQ(original.estimate(t).x, fresh.estimate(t).x);
+    EXPECT_EQ(original.estimate(t).y, fresh.estimate(t).y);
+  }
+}
+
+TEST(StateRoundTrip, LoadRejectsShortInput) {
+  const std::unique_ptr<LocationEstimator> original =
+      make_estimator("brown_polar", 0.3, 1.0);
+  feed(*original);
+  std::vector<double> words;
+  ASSERT_TRUE(original->save_state(words));
+  ASSERT_GT(words.size(), 1u);
+  words.pop_back();  // truncated snapshot
+
+  const std::unique_ptr<LocationEstimator> fresh =
+      make_estimator("brown_polar", 0.3, 1.0);
+  const double* it = words.data();
+  EXPECT_FALSE(fresh->load_state(it, words.data() + words.size()));
+}
+
+TEST(StateRoundTrip, ArLoadRejectsHostileWindowCount) {
+  const std::unique_ptr<LocationEstimator> original =
+      make_estimator("ar", 0.0, 1.0);
+  feed(*original);
+  std::vector<double> words;
+  ASSERT_TRUE(original->save_state(words));
+  // The first word is the vx window count: a snapshot claiming a bogus
+  // count (huge, negative or fractional) must be rejected, not trusted.
+  for (const double hostile : {1e18, -1.0, 2.5}) {
+    std::vector<double> bad = words;
+    bad[0] = hostile;
+    const std::unique_ptr<LocationEstimator> fresh =
+        make_estimator("ar", 0.0, 1.0);
+    const double* it = bad.data();
+    EXPECT_FALSE(fresh->load_state(it, bad.data() + bad.size()))
+        << "count=" << hostile;
+  }
+}
+
+TEST(StateRoundTrip, BaseClassDefaultsDeclineStateCapture) {
+  // A custom estimator that does not override save/load must make the
+  // snapshot writer refuse, not silently persist a lossy image.
+  class Opaque final : public LocationEstimator {
+   public:
+    void observe(SimTime, geo::Vec2, std::optional<geo::Vec2>) override {}
+    [[nodiscard]] geo::Vec2 estimate(SimTime) const override { return {}; }
+    void reset() override {}
+    [[nodiscard]] std::string_view name() const noexcept override {
+      return "opaque";
+    }
+    [[nodiscard]] std::unique_ptr<LocationEstimator> clone() const override {
+      return std::make_unique<Opaque>();
+    }
+  };
+  Opaque opaque;
+  std::vector<double> words;
+  EXPECT_FALSE(opaque.save_state(words));
+  const double* it = words.data();
+  EXPECT_FALSE(opaque.load_state(it, words.data()));
+}
+
+}  // namespace
+}  // namespace mgrid::estimation

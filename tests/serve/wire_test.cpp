@@ -173,7 +173,25 @@ TEST(Wire, PayloadSizesMatchSpec) {
   EXPECT_EQ(payload_size(MsgType::kLookupReply), 32u);
   EXPECT_EQ(payload_size(MsgType::kRegionQuery), 32u);
   EXPECT_EQ(payload_size(MsgType::kNearestQuery), 24u);
+  EXPECT_EQ(payload_size(MsgType::kTick), 16u);
   EXPECT_EQ(payload_size(static_cast<MsgType>(0)), 0u);
+}
+
+TEST(Wire, TickRoundTripsExactly) {
+  TickMsg tick;
+  tick.t = 1234.5;
+  tick.tick = 0xFFFF'FFFF'0000'0001ull;
+
+  std::vector<std::uint8_t> buffer;
+  const std::size_t frame_size = encode(buffer, tick);
+  EXPECT_EQ(frame_size, kHeaderBytes + payload_size(MsgType::kTick));
+
+  const Decoded decoded = decode_frame(buffer);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.consumed, frame_size);
+  const TickMsg& got = std::get<TickMsg>(decoded.msg);
+  EXPECT_EQ(got.t, 1234.5);
+  EXPECT_EQ(got.tick, tick.tick);
 }
 
 }  // namespace
