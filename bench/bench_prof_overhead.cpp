@@ -1,0 +1,368 @@
+// Latency-attribution + CPU-profiler overhead guard.
+//
+// Drains a pre-generated synthetic LU stream through the ingestion pipeline
+// (producers out of the timed region: queues are pre-filled while the
+// worker is parked, then resume -> flush is timed, telemetry enabled in
+// every arm) and measures what the two observability features cost on top:
+//
+//   spans     — a SpanTracer wired into the pipeline (deterministic 1/64
+//               sampling, exemplars + top-K bookkeeping on every sampled LU)
+//   profiler  — the SIGPROF sampling CpuProfiler running over the drain
+//
+// Arms are interleaved across reps in rotating order (so no arm always
+// runs first into a cold cache or a throttling core) and each arm's figure
+// is its BEST drain by process CPU time (falling back to wall where
+// getrusage is unavailable): CPU time is blind to descheduling, and on a
+// shared machine noise only ever makes a run slower, so best-of-N
+// converges on the true cost while plain medians inherit the neighbour
+// noise. Each overhead is then the smaller of two upper-bound estimators
+// (best-vs-best and the median of per-rep paired ratios), so a single
+// unlucky estimator cannot trip the gate.
+//
+// Also times the span check at both ends of the hot submit path: disabled
+// (one relaxed atomic load — the price every LU pays when no one listens)
+// and enabled (load + splitmix64 hash + modulo).
+//
+// After the overhead loop a dedicated profiling session drains repeatedly
+// for ~1 s so the folded flame-graph artifact has enough ticks to be
+// meaningful.
+//
+// Keys: lus [600000; quick 200000] nodes [1000] shards [4] sources [4]
+//       workers [1] batch [1024] reps [9] hz [99] strict [false]
+//       json_out [path] folded_out [path]
+//
+// json_out writes BENCH_prof_overhead.json (mgrid-bench-v1): guarded
+// span_overhead_pct / profiler_overhead_pct / span_disabled_check_ns with
+// absolute limits 5% / 5% / 2 ns the CI gate enforces even without a
+// baseline. strict=true additionally exits non-zero on a limit breach or an
+// empty profile.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "mobilegrid/mobilegrid.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define MGRID_BENCH_HAS_RUSAGE 1
+#endif
+
+using namespace mgrid;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Process CPU seconds (user + system); 0 when unavailable.
+double cpu_seconds() {
+#if defined(MGRID_BENCH_HAS_RUSAGE)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_utime.tv_sec + usage.ru_stime.tv_sec) +
+         1e-6 * static_cast<double>(usage.ru_utime.tv_usec +
+                                    usage.ru_stime.tv_usec);
+#else
+  return 0.0;
+#endif
+}
+
+struct DrainConfig {
+  std::size_t shards = 4;
+  std::size_t sources = 4;
+  std::size_t workers = 1;
+  std::size_t batch = 1024;
+};
+
+/// Pre-fills a parked pipeline with `stream`, then times resume -> flush:
+/// pure drain throughput (queue pop -> batch -> apply), the path the span
+/// stamps and record() calls live on. Returns CPU seconds over the drain
+/// (the parked producer and waiting main thread burn none, so this is the
+/// worker's cost), or wall seconds when CPU time is unavailable.
+double drain_once(const std::vector<serve::wire::LuMsg>& stream,
+                  const DrainConfig& config, obs::SpanTracer* spans) {
+  serve::DirectoryOptions directory_options;
+  directory_options.shards = config.shards;
+  serve::ShardedDirectory directory(directory_options, nullptr);
+  serve::IngestOptions ingest_options;
+  ingest_options.sources = config.sources;
+  ingest_options.workers = config.workers;
+  ingest_options.batch_size = config.batch;
+  ingest_options.start_paused = true;
+  ingest_options.spans = spans;
+  serve::IngestPipeline pipeline(directory, ingest_options);
+  for (const serve::wire::LuMsg& lu : stream) pipeline.submit(lu);
+  const double cpu_before = cpu_seconds();
+  const auto start = Clock::now();
+  pipeline.flush();
+  const double wall = seconds_since(start);
+  const double cpu = cpu_seconds() - cpu_before;
+  pipeline.stop();
+  return cpu > 0.0 ? cpu : wall;
+}
+
+/// ns per span check over 50M varying identities. With the tracer disabled
+/// this is the one relaxed atomic load the hot submit path pays when no one
+/// listens; enabled it adds the splitmix64 hash + modulo. The accumulated
+/// count defeats dead-code elimination.
+double span_check_ns(const obs::SpanTracer& tracer) {
+  constexpr std::uint64_t kOps = 50'000'000;
+  std::uint64_t hits = 0;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    hits += tracer.sampled(0, static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(i >> 16))
+                ? 1
+                : 0;
+  }
+  const double seconds = seconds_since(start);
+  if (!tracer.enabled() && hits != 0) {
+    std::cerr << "unexpected: disabled tracer sampled an LU\n";
+  }
+  return 1e9 * seconds / static_cast<double>(kOps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  (void)mgbench::parse_args(argc, argv, &config);
+  const bool quick = config.get_bool("quick", false);
+  const auto total_lus = static_cast<std::size_t>(
+      config.get_int("lus", quick ? 200000 : 600000));
+  const auto nodes = static_cast<std::uint32_t>(config.get_int("nodes", 1000));
+  DrainConfig drain;
+  drain.shards = static_cast<std::size_t>(config.get_int("shards", 4));
+  drain.sources = static_cast<std::size_t>(config.get_int("sources", 4));
+  drain.workers = static_cast<std::size_t>(config.get_int("workers", 1));
+  drain.batch = static_cast<std::size_t>(config.get_int("batch", 1024));
+  const auto reps = static_cast<std::size_t>(config.get_int("reps", 9));
+  const auto hz = static_cast<std::uint32_t>(config.get_int("hz", 99));
+  const bool strict = config.get_bool("strict", false);
+
+  std::cout << "=== span + profiler overhead (" << total_lus << " LUs over "
+            << nodes << " MNs, " << drain.shards << " shards / "
+            << drain.workers << " worker(s), best of " << reps
+            << " interleaved drains) ===\n\n";
+
+  // Deterministic synthetic stream (same walk as bench_serve_throughput).
+  util::RngRegistry rng(
+      static_cast<std::uint64_t>(config.get_int("seed", 42)));
+  std::vector<geo::Vec2> position(nodes);
+  std::vector<geo::Vec2> velocity(nodes);
+  for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+    util::RngStream stream = rng.stream("serve_bench", mn);
+    position[mn] = {stream.uniform(0.0, 1000.0), stream.uniform(0.0, 1000.0)};
+    const double heading = stream.uniform(0.0, 6.283185307179586);
+    velocity[mn] = {1.5 * std::cos(heading), 1.5 * std::sin(heading)};
+  }
+  std::vector<serve::wire::LuMsg> stream;
+  stream.reserve(total_lus);
+  for (std::size_t i = 0; i < total_lus; ++i) {
+    const auto mn = static_cast<std::uint32_t>(i % nodes);
+    position[mn].x += velocity[mn].x;
+    position[mn].y += velocity[mn].y;
+    serve::wire::LuMsg lu;
+    lu.mn = mn;
+    lu.seq = static_cast<std::uint32_t>(i);
+    lu.t = 1.0 + std::floor(static_cast<double>(i) /
+                            static_cast<double>(nodes));
+    lu.x = position[mn].x;
+    lu.y = position[mn].y;
+    lu.vx = velocity[mn].x;
+    lu.vy = velocity[mn].y;
+    stream.push_back(lu);
+  }
+
+  // Every arm runs with telemetry on: the comparison isolates the span /
+  // profiler cost, not the instrumentation cost obs_overhead already gates.
+  obs::set_enabled(true);
+  obs::SpanTracer tracer;  // default 1/64 sampling
+  tracer.set_enabled(true);
+
+  (void)drain_once(stream, drain, nullptr);  // warmup
+
+  obs::CpuProfilerOptions prof_options;
+  prof_options.hz = static_cast<int>(hz);
+  std::vector<double> base_times;
+  std::vector<double> span_times;
+  std::vector<double> prof_times;
+  bool prof_available = false;
+  const auto run_base = [&] {
+    base_times.push_back(drain_once(stream, drain, nullptr));
+  };
+  const auto run_span = [&] {
+    tracer.clear();
+    span_times.push_back(drain_once(stream, drain, &tracer));
+  };
+  const auto run_prof = [&] {
+    if (obs::CpuProfiler::start(prof_options)) {
+      prof_available = true;
+      prof_times.push_back(drain_once(stream, drain, nullptr));
+      (void)obs::CpuProfiler::stop();
+    }
+  };
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // Rotate the arm order every rep so no arm systematically inherits the
+    // same thermal / scheduler position.
+    for (std::size_t j = 0; j < 3; ++j) {
+      switch ((rep + j) % 3) {
+        case 0: run_base(); break;
+        case 1: run_span(); break;
+        default: run_prof(); break;
+      }
+    }
+  }
+  // Two robust estimators per arm, gated on whichever is smaller. Noise on
+  // a shared machine only ever inflates a drain, so both best-vs-best and
+  // the median of per-rep paired ratios (arm i / base i, adjacent in time)
+  // are upper bounds on the true cost; requiring BOTH to misfire before the
+  // gate trips makes the 5% ceiling safe to enforce without a baseline.
+  const auto best_of = [](const std::vector<double>& times) {
+    double best = 1e300;
+    for (double t : times) best = std::min(best, t);
+    return best;
+  };
+  const auto paired_pct = [&](const std::vector<double>& times) {
+    std::vector<double> ratios;
+    const std::size_t pairs = std::min(times.size(), base_times.size());
+    for (std::size_t i = 0; i < pairs; ++i)
+      ratios.push_back(100.0 * (times[i] / base_times[i] - 1.0));
+    if (ratios.empty()) return 0.0;
+    std::sort(ratios.begin(), ratios.end());
+    return ratios[ratios.size() / 2];
+  };
+  const double best_base = best_of(base_times);
+  const double best_span = best_of(span_times);
+  const double best_prof = best_of(prof_times);
+  const double lus = static_cast<double>(stream.size());
+  const double base = lus / best_base;
+  const double spans = lus / best_span;
+  const double prof = prof_available ? lus / best_prof : 0.0;
+  const double span_best_pct =
+      spans > 0.0 ? 100.0 * (base / spans - 1.0) : 0.0;
+  const double prof_best_pct = prof > 0.0 ? 100.0 * (base / prof - 1.0) : 0.0;
+  const double span_pct = std::min(span_best_pct, paired_pct(span_times));
+  const double prof_pct =
+      prof_available ? std::min(prof_best_pct, paired_pct(prof_times)) : 0.0;
+
+  // Dedicated profiling session (~1 s of drains) so the folded artifact has
+  // enough ticks to mean something.
+  obs::ProfileReport profile;
+  if (prof_available && obs::CpuProfiler::start(prof_options)) {
+    const auto session_start = Clock::now();
+    do {
+      (void)drain_once(stream, drain, nullptr);
+    } while (seconds_since(session_start) < 1.0);
+    profile = obs::CpuProfiler::stop();
+  }
+  obs::set_enabled(false);
+
+  const double enabled_check_ns = span_check_ns(tracer);
+  obs::SpanTracer disabled_tracer;
+  const double check_ns = span_check_ns(disabled_tracer);
+  const auto folded_lines = static_cast<std::uint64_t>(
+      std::count(profile.folded.begin(), profile.folded.end(), '\n'));
+
+  stats::Table table({"arm", "best LU/cpu-s", "overhead"});
+  table.add_row({"telemetry only", stats::format_double(base, 0), "baseline"});
+  table.add_row({"+ span tracer (1/64)", stats::format_double(spans, 0),
+                 stats::format_double(span_pct, 2) + " %"});
+  table.add_row({"+ cpu profiler @ " + std::to_string(hz) + " Hz",
+                 stats::format_double(prof, 0),
+                 stats::format_double(prof_pct, 2) + " %"});
+  table.write_pretty(std::cout);
+  std::cout << "span check: disabled " << stats::format_double(check_ns, 3)
+            << " ns (relaxed atomic load), enabled "
+            << stats::format_double(enabled_check_ns, 3)
+            << " ns (+ hash + modulo)\n";
+  std::cout << "profile: " << profile.samples << " samples ("
+            << profile.dropped << " dropped), " << profile.threads
+            << " threads, " << folded_lines << " folded stacks\n";
+
+  const std::string folded_out = config.get_string("folded_out", "");
+  if (!folded_out.empty()) {
+    std::ofstream out(folded_out, std::ios::binary);
+    out << profile.folded;
+    std::cout << "wrote " << folded_out << '\n';
+  }
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "prof_overhead");
+    json.field("lus", static_cast<std::uint64_t>(total_lus));
+    json.field("nodes", static_cast<std::uint64_t>(nodes));
+    json.key("guarded").begin_object();
+    json.field("span_overhead_pct", std::max(0.0, span_pct));
+    json.field("profiler_overhead_pct", std::max(0.0, prof_pct));
+    json.field("span_disabled_check_ns", check_ns);
+    json.end_object();
+    // Absolute ceilings enforced by ci/check_bench_regression.py even when
+    // no baseline is checked in.
+    json.key("limits").begin_object();
+    json.field("span_overhead_pct", 5.0);
+    json.field("profiler_overhead_pct", 5.0);
+    json.field("span_disabled_check_ns", 2.0);
+    json.end_object();
+    json.key("info").begin_object();
+    json.field("baseline_lus_per_second", base);
+    json.field("span_lus_per_second", spans);
+    json.field("profiler_lus_per_second", prof);
+    json.field("span_enabled_check_ns", enabled_check_ns);
+    json.field("profiler_hz", static_cast<std::uint64_t>(hz));
+    json.field("profiler_samples", profile.samples);
+    json.field("profiler_dropped", profile.dropped);
+    json.field("profiler_threads",
+               static_cast<std::uint64_t>(profile.threads));
+    json.field("folded_lines", folded_lines);
+    json.field("spans_sampled", tracer.snapshot().sampled);
+    json.field("span_best_of_pct", span_best_pct);
+    json.field("profiler_best_of_pct", prof_best_pct);
+    json.field("reps", static_cast<std::uint64_t>(reps));
+    json.field("shards", static_cast<std::uint64_t>(drain.shards));
+    json.field("workers", static_cast<std::uint64_t>(drain.workers));
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "wrote " << json_out << '\n';
+  }
+
+  if (strict) {
+    bool ok = true;
+    if (span_pct > 5.0) {
+      std::cerr << "FAIL: span overhead " << span_pct << "% > 5%\n";
+      ok = false;
+    }
+    if (prof_pct > 5.0) {
+      std::cerr << "FAIL: profiler overhead " << prof_pct << "% > 5%\n";
+      ok = false;
+    }
+    if (check_ns > 2.0) {
+      std::cerr << "FAIL: disabled span check " << check_ns << " ns > 2 ns\n";
+      ok = false;
+    }
+    if (prof_available &&
+        (profile.samples == 0 || profile.folded.empty())) {
+      std::cerr << "FAIL: profiler produced an empty profile\n";
+      ok = false;
+    }
+    if (!ok) return EXIT_FAILURE;
+    std::cout << "strict bounds hold (overheads <= 5%, disabled check <= 2 "
+                 "ns, profile non-empty)\n";
+  }
+  return 0;
+}

@@ -14,6 +14,8 @@
 // Keys: lus [400000; quick 40000] nodes [1000] shards [8] workers [8]
 //       batch [1024] lookups [100000; quick 10000] estimator [brown_polar]
 //       quick [false] json_out [path] min_scaling [0]
+//       profile_out [path: run the scaled ingest under the sampling CPU
+//       profiler and write collapsed folded stacks — flamegraph.pl input]
 //       scrape [false] scrape_interval_ms [250] scrape_reps [5]
 //       scrape_phase_seconds [1.0]
 //
@@ -329,8 +331,20 @@ int main(int argc, char** argv) {
             << ") ===\nhardware concurrency: " << hardware << "\n\n";
 
   const IngestRun serial = run_ingest(stream, 1, 1, batch, estimator_name);
+  // profile_out= wraps the scaled run with the sampling CPU profiler; the
+  // folded stacks show where the drain actually spends its cycles.
+  const std::string profile_out = config.get_string("profile_out", "");
+  const bool profiling = !profile_out.empty() && obs::CpuProfiler::start();
   const IngestRun scaled =
       run_ingest(stream, shards, workers, batch, estimator_name);
+  if (profiling) {
+    const obs::ProfileReport profile = obs::CpuProfiler::stop();
+    std::ofstream out(profile_out, std::ios::binary);
+    out << profile.folded;
+    std::cout << "profile: " << profile.samples << " samples over "
+              << stats::format_double(profile.duration_seconds, 3)
+              << " s -> " << profile_out << '\n';
+  }
   const double scaling =
       serial.lus_per_second > 0.0
           ? scaled.lus_per_second / serial.lus_per_second

@@ -7,7 +7,9 @@ bench_obs_overhead json_out= / bench_sweep_scaling json_out=):
 1. Absolute limits: when the document carries a "limits" section, every
    guarded value named there must stay at or below its ceiling. This runs
    unconditionally — no baseline required — so hard budgets (e.g. the
-   eventlog-enabled overhead must stay under 5%) hold from the first CI run.
+   eventlog-enabled overhead and bench_prof_overhead's span/profiler
+   overheads must stay under 5%, its disabled-path check under 2 ns) hold
+   from the first CI run.
    A "floors" section is the higher-is-better mirror: every named value
    (looked up in "guarded" first, then "info") must stay at or above its
    minimum — used for throughput floors like the serving layer's LU/s.

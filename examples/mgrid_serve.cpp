@@ -25,8 +25,12 @@
 //   admin_port [presence starts the HTTP admin plane on 127.0.0.1; 0 =
 //             ephemeral — the bound port is printed as
 //             "admin server listening on 127.0.0.1:PORT". Serves /metrics,
-//             /healthz, /readyz, /statusz, /varz and /quitz, and enables
-//             telemetry + the SLO monitor.]
+//             /healthz, /readyz, /statusz, /varz, /tracez, /profilez and
+//             /quitz, and enables telemetry + the SLO monitor + per-LU
+//             latency attribution.]
+//   span_period [64: deterministic span sampling period — LU spans with
+//             trace_id % span_period == 0 get a queue/wal/apply/visible
+//             stage breakdown on /tracez; 0 disables sampling]
 //
 // Durability (synthetic mode):
 //   wal_dir  [directory for the write-ahead log + snapshots; enables both]
@@ -245,9 +249,15 @@ int run_replay(const util::Config& config) {
     // both feeds the update-latency SLI and rolls the epoch ring (advance()
     // is thread-safe and clamps non-monotonic times).
     obs::SloMonitor slo;
+    obs::SpanTracerOptions span_options;
+    span_options.sample_period =
+        static_cast<std::uint64_t>(config.get_int("span_period", 64));
+    obs::SpanTracer tracer(span_options);
     const auto wall_start = std::chrono::steady_clock::now();
     if (config.contains("admin_port")) {
       slo.bind_registry(obs::MetricsRegistry::global());
+      tracer.set_enabled(true);
+      knobs.ingest.spans = &tracer;
       knobs.ingest.backpressure_hook = [&slo, wall_start](std::size_t,
                                                           double seconds) {
         slo.observe_update(seconds);
@@ -261,6 +271,7 @@ int run_replay(const util::Config& config) {
     admin_hooks.directory = &directory;
     admin_hooks.pipeline = &pipeline;
     admin_hooks.slo = &slo;
+    admin_hooks.spans = &tracer;
     admin_hooks.extra_status = [&](util::JsonWriter& json) {
       json.field("mode", "replay");
       json.field("eventlog", eventlog_path);
@@ -348,8 +359,14 @@ int run_synthetic(const util::Config& config) {
   // backpressure hook, lookup latencies from timed probes each tick, and
   // staleness from the directory's per-MN freshness summary.
   obs::SloMonitor slo;
+  obs::SpanTracerOptions span_options;
+  span_options.sample_period =
+      static_cast<std::uint64_t>(config.get_int("span_period", 64));
+  obs::SpanTracer tracer(span_options);
   if (admin_enabled) {
     slo.bind_registry(obs::MetricsRegistry::global());
+    tracer.set_enabled(true);
+    knobs.ingest.spans = &tracer;
     knobs.ingest.backpressure_hook = [&slo](std::size_t, double seconds) {
       slo.observe_update(seconds);
     };
@@ -363,6 +380,7 @@ int run_synthetic(const util::Config& config) {
   std::atomic<double> sim_now{0.0};
   serve::AdminHooks admin_hooks;
   admin_hooks.slo = &slo;
+  admin_hooks.spans = &tracer;
   admin_hooks.ready = [&recovering](std::string* reason) {
     if (recovering.load(std::memory_order_acquire)) {
       if (reason != nullptr) *reason = "recovering from WAL";

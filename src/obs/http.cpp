@@ -255,6 +255,7 @@ std::uint16_t Server::port() const noexcept { return bound_port_; }
 ServerStats Server::stats() const {
   ServerStats out;
   out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.requests = requests_.load(std::memory_order_relaxed);
   out.served = served_.load(std::memory_order_relaxed);
   out.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
   out.bad_requests = bad_requests_.load(std::memory_order_relaxed);
@@ -318,7 +319,6 @@ void Server::serve_connection(int fd) {
   std::string head;
   head.reserve(512);
   char buffer[2048];
-  std::size_t body_bytes_seen = 0;
   std::size_t terminator = std::string::npos;
   while (terminator == std::string::npos) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
@@ -343,19 +343,22 @@ void Server::serve_connection(int fd) {
       return;
     }
   }
-  body_bytes_seen = head.size() - (terminator + kHeaderTerminator.size());
-
   Request request;
   if (!parse_head(std::string_view(head).substr(0, terminator), request)) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     write_response(fd, Response::text(400, "malformed request\n"), false);
     return;
   }
-  // The admin plane is read-only: any request body is refused outright
-  // rather than read and ignored.
+  // One well-formed request parsed — exactly one count, however many recv()
+  // calls the head trickled in across.
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  // The admin plane is read-only: a request that *declares* a body is
+  // refused outright rather than read and ignored. Judged by the headers
+  // alone — stray bytes after the head terminator are a pipelined follow-up
+  // request, not a body, and are dropped when the connection closes.
   const std::string* content_length = request.header("content-length");
-  if (body_bytes_seen > 0 ||
-      (content_length != nullptr && *content_length != "0")) {
+  if ((content_length != nullptr && *content_length != "0") ||
+      request.header("transfer-encoding") != nullptr) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     write_response(fd, Response::text(413, "request bodies not accepted\n"),
                    false);

@@ -3,9 +3,12 @@
 // Dependency-free (POSIX sockets only): one accept thread feeds a bounded
 // connection queue drained by a small fixed pool of worker threads. Each
 // connection serves exactly one request (`Connection: close` semantics — a
-// scrape is one round trip, keep-alive buys nothing but lifecycle bugs) and
-// is bounded in every dimension: header bytes (431 beyond
-// max_request_bytes), body (413 — the admin plane is read-only), wall time
+// scrape is one round trip, keep-alive buys nothing but lifecycle bugs;
+// pipelined bytes after the first head are ignored, the response closes the
+// connection) and is bounded in every dimension: header bytes (431 beyond
+// max_request_bytes), a declared body (413 — the admin plane is read-only,
+// judged by Content-Length/Transfer-Encoding, not by how the bytes happened
+// to land in recv()), wall time
 // (SO_RCVTIMEO/SO_SNDTIMEO) and queued connections (excess accepts get an
 // immediate 503 and close, so a scrape storm cannot pile up file
 // descriptors).
@@ -80,6 +83,10 @@ struct ServerOptions {
 /// Monotonic server counters (snapshot copy).
 struct ServerStats {
   std::uint64_t accepted = 0;       ///< Connections accepted.
+  /// Well-formed requests parsed. Counted exactly once per request after
+  /// the full head has been assembled — a head trickling in byte-by-byte
+  /// across many recv() calls (slowloris) still counts as one.
+  std::uint64_t requests = 0;
   std::uint64_t served = 0;         ///< Responses written (any status).
   std::uint64_t rejected_busy = 0;  ///< 503s from a full connection queue.
   std::uint64_t bad_requests = 0;   ///< 400/413/431 protocol rejections.
@@ -131,6 +138,7 @@ class Server {
   std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
 
   std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};
   std::atomic<std::uint64_t> bad_requests_{0};

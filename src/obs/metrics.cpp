@@ -18,6 +18,32 @@ std::uint64_t next_registry_uid() noexcept {
 
 }  // namespace
 
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+#if defined(MGRID_VERSION_STRING)
+    b.version = MGRID_VERSION_STRING;
+#else
+    b.version = "0.0.0";
+#endif
+#if defined(__clang__)
+    b.compiler = "clang-" + std::to_string(__clang_major__) + "." +
+                 std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+    b.compiler = "gcc-" + std::to_string(__GNUC__) + "." +
+                 std::to_string(__GNUC_MINOR__);
+#else
+    b.compiler = "unknown";
+#endif
+#if defined(MGRID_BUILD_TYPE)
+    b.build_type = MGRID_BUILD_TYPE;
+#endif
+    if (b.build_type.empty()) b.build_type = "unspecified";
+    return b;
+  }();
+  return info;
+}
+
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) noexcept {
@@ -104,7 +130,16 @@ const MetricSample* MetricsSnapshot::find(std::string_view name,
   return nullptr;
 }
 
-MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {}
+MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {
+  const BuildInfo& info = build_info();
+  const Gauge handle = gauge("mgrid_build_info",
+                             {{"version", info.version},
+                              {"compiler", info.compiler},
+                              {"build_type", info.build_type}},
+                             "Build metadata; the value is always 1");
+  build_info_cell_ = handle.cell_;
+  build_info_cell_->set(1.0);
+}
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
@@ -221,6 +256,8 @@ void MetricsRegistry::reset() {
   for (auto& cell : counters_) cell.reset();
   for (auto& cell : gauges_) cell.set(0.0);
   for (auto& cell : histograms_) cell.reset();
+  // Build info is a constant fact, not a measurement: it survives resets.
+  if (build_info_cell_ != nullptr) build_info_cell_->set(1.0);
 }
 
 std::size_t MetricsRegistry::size() const {

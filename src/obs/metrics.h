@@ -62,6 +62,17 @@ class ScopedEnable {
   bool previous_;
 };
 
+/// Compile-time build metadata, exported as the `mgrid_build_info` gauge
+/// (value always 1) every registry carries — the standard scrape-join idiom
+/// so dashboards can group series by version/compiler/build type.
+struct BuildInfo {
+  std::string version;
+  std::string compiler;
+  std::string build_type;
+};
+
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
 /// Label key/value pairs attached to a metric (kept sorted by key).
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
@@ -334,6 +345,10 @@ class MetricsRegistry {
                                           const Labels& labels);
 
   std::uint64_t uid_;
+  /// The mgrid_build_info gauge's cell, pinned to 1 at construction and
+  /// re-pinned after reset() (the cell is written directly: the handle's
+  /// set() is gated on obs::enabled(), but build info must always export).
+  detail::GaugeCell* build_info_cell_ = nullptr;
   mutable std::mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_;
   // Deques give cells stable addresses for the lifetime of the registry.

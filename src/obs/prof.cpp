@@ -1,0 +1,239 @@
+#include "obs/prof.h"
+
+#if defined(__linux__)
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mgrid::obs {
+
+namespace {
+
+constexpr std::size_t kMaxDepthCap = 64;
+// Frames belonging to the capture machinery itself: the signal handler and
+// the kernel's signal trampoline (__restore_rt).
+constexpr int kSkipFrames = 2;
+
+struct Sample {
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  void* frames[kMaxDepthCap];
+  /// Release-published by the handler once frames are written; stop() only
+  /// reads slots whose flag it acquire-loads as set.
+  std::atomic<std::uint32_t> done{0};
+};
+
+// All handler-visible state is plain globals: the handler must not touch
+// anything that could allocate, lock or run constructors.
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_next_slot{0};
+Sample* g_arena = nullptr;
+std::size_t g_arena_capacity = 0;
+std::size_t g_max_depth = 0;
+
+/// Control-plane lock for start()/stop(); never taken by the handler.
+std::mutex& control_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::chrono::steady_clock::time_point g_started_at;
+CpuProfilerOptions g_options;
+
+extern "C" void mgrid_sigprof_handler(int) {
+  if (!g_active.load(std::memory_order_acquire)) return;
+  const int saved_errno = errno;
+  const std::uint64_t slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  if (slot < g_arena_capacity) {
+    Sample& sample = g_arena[slot];
+    // syscall(2) is async-signal-safe; a cached thread_local would pull a
+    // lazy TLS initializer into the handler.
+    sample.tid = static_cast<std::uint32_t>(syscall(SYS_gettid));
+    void* raw[kMaxDepthCap + kSkipFrames];
+    const int captured = backtrace(
+        raw, static_cast<int>(g_max_depth) + kSkipFrames);
+    const int skip = captured < kSkipFrames ? 0 : kSkipFrames;
+    const int depth = captured - skip;
+    sample.depth = depth > 0 ? static_cast<std::uint32_t>(depth) : 0;
+    if (depth > 0) {
+      std::memcpy(sample.frames, raw + skip,
+                  static_cast<std::size_t>(depth) * sizeof(void*));
+    }
+    sample.done.store(1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+void install_handler_once() {
+  static bool installed = [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = &mgrid_sigprof_handler;
+    action.sa_flags = SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGPROF, &action, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+std::string symbolize(void* address) {
+  Dl_info info;
+  if (dladdr(address, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string name(demangled);
+      std::free(demangled);
+      return name;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%zx",
+                reinterpret_cast<std::size_t>(address));
+  return buffer;
+}
+
+}  // namespace
+
+bool CpuProfiler::start(const CpuProfilerOptions& options) {
+  const std::lock_guard<std::mutex> lock(control_mutex());
+  if (g_active.load(std::memory_order_relaxed)) return false;
+  if (options.hz <= 0 || options.max_samples == 0) return false;
+
+  g_options = options;
+  g_max_depth = std::min(options.max_depth, kMaxDepthCap);
+  if (g_max_depth == 0) g_max_depth = 1;
+  g_arena_capacity = options.max_samples;
+  g_arena = new Sample[g_arena_capacity];
+  g_next_slot.store(0, std::memory_order_relaxed);
+
+  // Prime backtrace(): its first call may dlopen libgcc_s (which mallocs),
+  // which must not happen inside the signal handler.
+  void* prime[2];
+  backtrace(prime, 2);
+
+  install_handler_once();
+  g_started_at = std::chrono::steady_clock::now();
+  g_active.store(true, std::memory_order_release);
+
+  itimerval timer;
+  timer.it_interval.tv_sec = 0;
+  timer.it_interval.tv_usec = static_cast<suseconds_t>(1000000 / options.hz);
+  if (timer.it_interval.tv_usec == 0) timer.it_interval.tv_usec = 1;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active.store(false, std::memory_order_release);
+    delete[] g_arena;
+    g_arena = nullptr;
+    return false;
+  }
+  return true;
+}
+
+bool CpuProfiler::running() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+ProfileReport CpuProfiler::stop() {
+  const std::lock_guard<std::mutex> lock(control_mutex());
+  ProfileReport report;
+  if (!g_active.load(std::memory_order_relaxed)) return report;
+
+  itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  g_active.store(false, std::memory_order_release);
+  // A tick delivered just before the disarm may still be mid-handler on
+  // another thread; give it time to publish (per-slot `done` flags make
+  // stragglers safe to skip regardless).
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  const std::uint64_t ticks = g_next_slot.load(std::memory_order_acquire);
+  const std::uint64_t captured =
+      std::min<std::uint64_t>(ticks, g_arena_capacity);
+  report.dropped = ticks - captured;
+  report.hz = g_options.hz;
+  report.duration_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_started_at)
+          .count();
+
+  std::map<void*, std::string> symbols;
+  std::map<std::string, std::uint64_t> folded;
+  std::set<std::uint32_t> tids;
+  for (std::uint64_t i = 0; i < captured; ++i) {
+    Sample& sample = g_arena[i];
+    if (sample.done.load(std::memory_order_acquire) == 0) continue;
+    if (sample.depth == 0) continue;
+    ++report.samples;
+    tids.insert(sample.tid);
+    // backtrace() is leaf-first; folded stacks read root-first.
+    std::string line;
+    for (std::uint32_t f = sample.depth; f-- > 0;) {
+      void* address = sample.frames[f];
+      auto it = symbols.find(address);
+      if (it == symbols.end()) {
+        it = symbols.emplace(address, symbolize(address)).first;
+      }
+      if (!line.empty()) line += ';';
+      line += it->second;
+    }
+    ++folded[line];
+  }
+  report.threads = tids.size();
+
+  std::vector<std::pair<std::string, std::uint64_t>> lines(folded.begin(),
+                                                           folded.end());
+  std::sort(lines.begin(), lines.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [stack, count] : lines) {
+    report.folded += stack;
+    report.folded += ' ';
+    report.folded += std::to_string(count);
+    report.folded += '\n';
+  }
+
+  delete[] g_arena;
+  g_arena = nullptr;
+  g_arena_capacity = 0;
+  return report;
+}
+
+}  // namespace mgrid::obs
+
+#else  // !defined(__linux__)
+
+namespace mgrid::obs {
+
+bool CpuProfiler::start(const CpuProfilerOptions&) { return false; }
+bool CpuProfiler::running() noexcept { return false; }
+ProfileReport CpuProfiler::stop() { return {}; }
+
+}  // namespace mgrid::obs
+
+#endif

@@ -1,0 +1,64 @@
+// Dependency-free in-process sampling CPU profiler.
+//
+// A SIGPROF timer (ITIMER_PROF, CPU-time driven) fires in whichever thread
+// is burning CPU; the signal handler captures a backtrace(3) into a
+// preallocated lock-free sample arena. Symbolization (dladdr +
+// __cxa_demangle) happens offline in stop(), never in the handler. Output
+// is collapsed-stack "folded" text — one "frame;frame;leaf count" line per
+// distinct stack — ready for flamegraph.pl or speedscope.
+//
+// Signal-safety rules (see DESIGN §5g):
+//   * the handler touches only the preallocated arena, claims its slot with
+//     one atomic fetch_add, and publishes it with a release store — no
+//     malloc, no locks, no formatted I/O;
+//   * backtrace() is primed once in start() before the timer is armed (its
+//     first call may dlopen libgcc_s, which allocates);
+//   * errno is saved and restored around the handler body;
+//   * the SIGPROF disposition is installed once and never restored — a
+//     still-pending signal hitting SIG_DFL would kill the process.
+//
+// Process-wide singleton: at most one profile runs at a time (start()
+// returns false when busy). Linux-only; on other platforms start() returns
+// false and stop() returns an empty report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mgrid::obs {
+
+struct CpuProfilerOptions {
+  /// Sampling frequency (samples per second of consumed CPU time).
+  int hz = 99;
+  /// Arena capacity; samples beyond it are counted as dropped.
+  std::size_t max_samples = 1 << 15;
+  /// Deepest stack recorded per sample (clamped to a compile-time cap).
+  std::size_t max_depth = 48;
+};
+
+struct ProfileReport {
+  std::uint64_t samples = 0;  ///< stacks captured into the arena
+  std::uint64_t dropped = 0;  ///< ticks lost to a full arena
+  std::size_t threads = 0;    ///< distinct thread ids observed
+  double duration_seconds = 0.0;
+  int hz = 0;
+  /// Collapsed stacks: "outermost;...;leaf count\n", sorted by descending
+  /// count then lexicographically. Empty when nothing was sampled.
+  std::string folded;
+};
+
+class CpuProfiler {
+ public:
+  /// Arms the profiler. Returns false when one is already running or the
+  /// platform is unsupported.
+  static bool start(const CpuProfilerOptions& options = {});
+
+  [[nodiscard]] static bool running() noexcept;
+
+  /// Disarms the timer, symbolizes the captured stacks and returns the
+  /// report. Returns an empty report when not running.
+  static ProfileReport stop();
+};
+
+}  // namespace mgrid::obs

@@ -50,6 +50,13 @@ const char* slo_state_name(SloState state) noexcept {
   return "unknown";
 }
 
+const SloSliReport* SloReport::find(std::string_view name) const noexcept {
+  for (const SloSliReport& sli : slis) {
+    if (sli.name == name) return &sli;
+  }
+  return nullptr;
+}
+
 double SloWindowStats::burn_rate(
     const SloObjective& objective) const noexcept {
   const double budget = 1.0 - objective.target_fraction;

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -109,6 +110,9 @@ struct SloReport {
   std::size_t epochs_filled = 0;  ///< Ring occupancy (<= window_epochs).
   std::vector<SloSliReport> slis;  ///< lookup_latency, update_latency, staleness.
   SloState overall = SloState::kOk;  ///< Worst per-SLI state.
+
+  /// The SLI report with this name, nullptr when absent.
+  [[nodiscard]] const SloSliReport* find(std::string_view name) const noexcept;
 };
 
 class SloMonitor {

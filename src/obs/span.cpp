@@ -1,0 +1,182 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/trace.h"
+
+namespace mgrid::obs {
+
+const char* lu_stage_name(LuStage stage) noexcept {
+  switch (stage) {
+    case LuStage::kQueue:
+      return "queue";
+    case LuStage::kWal:
+      return "wal";
+    case LuStage::kApply:
+      return "apply";
+    case LuStage::kVisible:
+      return "visible";
+  }
+  return "unknown";
+}
+
+SpanTracer::SpanTracer(SpanTracerOptions options) : options_(options) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  ring_.reserve(std::min<std::size_t>(options_.ring_capacity, 1024));
+}
+
+std::uint64_t SpanTracer::trace_id(std::uint32_t source, std::uint32_t mn,
+                                   std::uint32_t seq) noexcept {
+  // splitmix64 finalizer over the packed identity. Pure arithmetic on
+  // fixed-width integers: the id is identical on every platform, process
+  // and worker count, which is what makes the sampled set deterministic.
+  std::uint64_t z = (static_cast<std::uint64_t>(mn) << 32) |
+                    static_cast<std::uint64_t>(seq);
+  z ^= (static_cast<std::uint64_t>(source) + 1) * 0x9E3779B97F4A7C15ULL;
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SpanTracer::SliState& SpanTracer::sli_state_locked(std::string_view name,
+                                                   double lo, double hi,
+                                                   std::size_t buckets) {
+  for (SliState& sli : slis_) {
+    if (sli.name == name) return sli;
+  }
+  SliState sli;
+  sli.name = std::string(name);
+  sli.lo = lo;
+  sli.hi = hi > lo ? hi : lo + 1.0;
+  sli.buckets = buckets == 0 ? 1 : buckets;
+  sli.latest.resize(sli.buckets + 1);
+  sli.filled.assign(sli.buckets + 1, false);
+  slis_.push_back(std::move(sli));
+  return slis_.back();
+}
+
+void SpanTracer::register_sli(std::string_view name, double lo, double hi,
+                              std::size_t buckets) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sli_state_locked(name, lo, hi, buckets);
+}
+
+void SpanTracer::record(std::string_view sli_name, const LuSpan& span) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Recent ring.
+    if (ring_.size() < options_.ring_capacity) {
+      ring_.push_back(span);
+      next_ = ring_.size() % options_.ring_capacity;
+    } else {
+      ring_[next_] = span;
+      next_ = (next_ + 1) % options_.ring_capacity;
+    }
+    ++recorded_total_;
+
+    SliState& sli = sli_state_locked(sli_name, 0.0, 0.1, 100);
+    ++sli.recorded;
+
+    // Exemplar: latest span per histogram bucket.
+    const double width =
+        (sli.hi - sli.lo) / static_cast<double>(sli.buckets);
+    std::size_t bucket = sli.buckets;  // overflow
+    if (span.total_seconds < sli.hi) {
+      const double offset = span.total_seconds - sli.lo;
+      bucket = offset <= 0.0
+                   ? 0
+                   : std::min(sli.buckets - 1,
+                              static_cast<std::size_t>(offset / width));
+    }
+    sli.latest[bucket] = span;
+    sli.filled[bucket] = true;
+
+    // Top-K slowest, kept sorted descending by total_seconds.
+    if (sli.slowest.size() < options_.top_k ||
+        span.total_seconds > sli.slowest.back().total_seconds) {
+      const auto pos = std::upper_bound(
+          sli.slowest.begin(), sli.slowest.end(), span,
+          [](const LuSpan& a, const LuSpan& b) {
+            return a.total_seconds > b.total_seconds;
+          });
+      sli.slowest.insert(pos, span);
+      if (sli.slowest.size() > options_.top_k) sli.slowest.pop_back();
+    }
+  }
+
+  if (options_.emit_trace_events) {
+    TraceRecorder& recorder = current_trace_recorder();
+    if (recorder.enabled()) {
+      // Reconstruct the stage timeline back-to-front from "now": the span
+      // just completed, so its stages tile [now - total, now].
+      const std::uint64_t end_us = recorder.now_us();
+      std::uint64_t cursor = end_us;
+      for (std::size_t i = kLuStageCount; i-- > 0;) {
+        const auto duration_us = static_cast<std::uint64_t>(
+            span.stage_seconds[i] * 1e6);
+        const std::uint64_t start =
+            cursor >= duration_us ? cursor - duration_us : 0;
+        recorder.complete(lu_stage_name(static_cast<LuStage>(i)), "lu_span",
+                          start, duration_us);
+        cursor = start;
+      }
+    }
+  }
+}
+
+SpanSnapshot SpanTracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SpanSnapshot out;
+  out.sampled = recorded_total_;
+  out.dropped = recorded_total_ - ring_.size();
+  out.sample_period = options_.sample_period;
+  out.recent.reserve(ring_.size());
+  if (ring_.size() < options_.ring_capacity) {
+    out.recent = ring_;
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.recent.push_back(ring_[(next_ + i) % options_.ring_capacity]);
+    }
+  }
+  out.slis.reserve(slis_.size());
+  for (const SliState& sli : slis_) {
+    SliSpans spans;
+    spans.name = sli.name;
+    spans.lo = sli.lo;
+    spans.hi = sli.hi;
+    spans.buckets = sli.buckets;
+    spans.recorded = sli.recorded;
+    const double width =
+        (sli.hi - sli.lo) / static_cast<double>(sli.buckets);
+    for (std::size_t b = 0; b <= sli.buckets; ++b) {
+      if (!sli.filled[b]) continue;
+      BucketExemplar exemplar;
+      exemplar.bucket = b;
+      exemplar.le = b == sli.buckets
+                        ? std::numeric_limits<double>::infinity()
+                        : sli.lo + width * static_cast<double>(b + 1);
+      exemplar.span = sli.latest[b];
+      spans.exemplars.push_back(std::move(exemplar));
+    }
+    spans.slowest = sli.slowest;
+    out.slis.push_back(std::move(spans));
+  }
+  return out;
+}
+
+void SpanTracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  recorded_total_ = 0;
+  for (SliState& sli : slis_) {
+    sli.recorded = 0;
+    sli.filled.assign(sli.buckets + 1, false);
+    sli.slowest.clear();
+  }
+}
+
+}  // namespace mgrid::obs

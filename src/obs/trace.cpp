@@ -1,23 +1,20 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "util/json.h"
 
 namespace mgrid::obs {
 
-namespace {
-
-/// Small dense id for the calling thread (Chrome's tid field).
-std::uint32_t thread_tid() noexcept {
+std::uint32_t trace_thread_id() noexcept {
   static std::atomic<std::uint32_t> next{1};
   thread_local const std::uint32_t tid =
       next.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }
-
-}  // namespace
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
     : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
@@ -53,8 +50,22 @@ std::uint64_t TraceRecorder::now_us() const {
           .count());
 }
 
+void TraceRecorder::set_process_name(std::string name) {
+  std::lock_guard lock(mutex_);
+  process_name_ = std::move(name);
+}
+
+void TraceRecorder::set_thread_name(std::uint32_t tid, std::string name) {
+  std::lock_guard lock(mutex_);
+  if (name.empty()) {
+    thread_names_.erase(tid);
+  } else {
+    thread_names_[tid] = std::move(name);
+  }
+}
+
 void TraceRecorder::push(TraceEvent event) {
-  event.tid = thread_tid();
+  event.tid = trace_thread_id();
   std::lock_guard lock(mutex_);
   event.sim_time = clock_ ? clock_() : 0.0;
   if (ring_.size() < capacity_) {
@@ -170,10 +181,57 @@ std::string TraceRecorder::to_chrome_json() const {
   const std::vector<TraceEvent> snapshot = events();
   const DroppedInfo dropped_events_info = dropped_info();
   const std::uint64_t dropped_events = dropped_events_info.count;
+  std::string process_name;
+  // (name, tid) sorted: the sort index is a function of the names alone, so
+  // the same set of named threads always groups identically regardless of
+  // which thread happened to grab which trace id first.
+  std::vector<std::pair<std::string, std::uint32_t>> named_threads;
+  {
+    std::lock_guard lock(mutex_);
+    process_name = process_name_;
+    named_threads.reserve(thread_names_.size());
+    for (const auto& [tid, name] : thread_names_) {
+      named_threads.emplace_back(name, tid);
+    }
+  }
+  std::sort(named_threads.begin(), named_threads.end());
 
   util::JsonWriter json;
   json.begin_object();
   json.key("traceEvents").begin_array();
+  // Metadata first: viewers apply 'M' events to everything that follows.
+  // These are synthesized at export time and never occupy ring slots.
+  if (!process_name.empty()) {
+    json.begin_object();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", static_cast<std::uint64_t>(1));
+    json.key("args").begin_object();
+    json.field("name", process_name);
+    json.end_object();
+    json.end_object();
+  }
+  for (std::size_t i = 0; i < named_threads.size(); ++i) {
+    const auto& [thread_name, tid] = named_threads[i];
+    json.begin_object();
+    json.field("name", "thread_name");
+    json.field("ph", "M");
+    json.field("pid", static_cast<std::uint64_t>(1));
+    json.field("tid", static_cast<std::uint64_t>(tid));
+    json.key("args").begin_object();
+    json.field("name", thread_name);
+    json.end_object();
+    json.end_object();
+    json.begin_object();
+    json.field("name", "thread_sort_index");
+    json.field("ph", "M");
+    json.field("pid", static_cast<std::uint64_t>(1));
+    json.field("tid", static_cast<std::uint64_t>(tid));
+    json.key("args").begin_object();
+    json.field("sort_index", static_cast<std::uint64_t>(i));
+    json.end_object();
+    json.end_object();
+  }
   for (const TraceEvent& event : snapshot) {
     json.begin_object();
     json.field("name", event.name);

@@ -18,12 +18,19 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace mgrid::obs {
+
+/// Small dense id of the calling thread — the `tid` every recorder stamps
+/// into its events (first caller gets 1, then 2, ...). Public so pipeline
+/// workers can name themselves via set_thread_name() and so span records can
+/// carry the same id the trace timeline shows.
+[[nodiscard]] std::uint32_t trace_thread_id() noexcept;
 
 struct TraceEvent {
   std::string name;
@@ -111,8 +118,20 @@ class TraceRecorder {
   };
   [[nodiscard]] DroppedInfo dropped_info() const;
 
-  /// Chrome trace_event JSON ("traceEvents" array form). Each event carries
-  /// args.sim_time; dropped-event metadata is attached when relevant.
+  /// Names the exported process ('M' process_name metadata event). Applies
+  /// to future exports; empty clears it.
+  void set_process_name(std::string name);
+
+  /// Names a thread for the export ('M' thread_name metadata event), keyed
+  /// by its trace_thread_id(). Named threads also get stable
+  /// thread_sort_index metadata — sorted by (name, tid) — so Perfetto
+  /// groups e.g. ingest workers together instead of by raw-tid order.
+  void set_thread_name(std::uint32_t tid, std::string name);
+
+  /// Chrome trace_event JSON ("traceEvents" array form). Metadata events
+  /// (process_name / thread_name / thread_sort_index) come first, then each
+  /// recorded event with args.sim_time; dropped-event metadata is attached
+  /// when relevant.
   [[nodiscard]] std::string to_chrome_json() const;
 
  private:
@@ -124,6 +143,8 @@ class TraceRecorder {
 
   mutable std::mutex mutex_;
   std::function<double()> clock_;
+  std::string process_name_;
+  std::map<std::uint32_t, std::string> thread_names_;
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;        // ring slot the next event lands in
   std::uint64_t recorded_ = 0;  // lifetime total

@@ -1,8 +1,15 @@
 #include "serve/admin.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <thread>
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/prof.h"
 
 namespace mgrid::serve {
 
@@ -24,6 +31,49 @@ std::string varz_series_name(const obs::MetricSample& sample) {
   }
   out += '}';
   return out;
+}
+
+/// Value of `name` in a query string ("a=1&b=2"), "" when absent.
+std::string query_param(std::string_view query, std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+/// 64-bit trace ids travel as fixed-width hex strings: JSON numbers are
+/// doubles and would silently corrupt ids above 2^53.
+std::string hex_trace_id(std::uint64_t id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+void write_span(util::JsonWriter& json, const obs::LuSpan& span) {
+  json.begin_object();
+  json.field("trace_id", hex_trace_id(span.trace_id));
+  json.field("mn", static_cast<std::uint64_t>(span.mn));
+  json.field("seq", static_cast<std::uint64_t>(span.seq));
+  json.field("source", static_cast<std::uint64_t>(span.source));
+  json.field("tid", static_cast<std::uint64_t>(span.tid));
+  json.field("wall_us", span.wall_us);
+  json.field("total_seconds", span.total_seconds);
+  json.key("stages").begin_object();
+  for (std::size_t i = 0; i < obs::kLuStageCount; ++i) {
+    json.field(obs::lu_stage_name(static_cast<obs::LuStage>(i)),
+               span.stage_seconds[i]);
+  }
+  json.end_object();
+  json.end_object();
 }
 
 void write_window(util::JsonWriter& json, const char* name,
@@ -90,6 +140,8 @@ obs::http::Response AdminServer::handle(const obs::http::Request& request) {
   if (request.path == "/readyz") return readyz();
   if (request.path == "/statusz") return statusz();
   if (request.path == "/varz") return varz();
+  if (request.path == "/tracez") return tracez(request);
+  if (request.path == "/profilez") return profilez(request);
   if (request.path == "/quitz") {
     quit_requests_.fetch_add(1, std::memory_order_relaxed);
     if (hooks_.on_quit) hooks_.on_quit();
@@ -99,7 +151,8 @@ obs::http::Response AdminServer::handle(const obs::http::Request& request) {
     return obs::http::Response::text(
         200,
         "mgrid admin\n"
-        "  /metrics /healthz /readyz /statusz /varz /quitz\n");
+        "  /metrics /healthz /readyz /statusz /varz /tracez /profilez"
+        " /quitz\n");
   }
   return obs::http::Response::not_found();
 }
@@ -151,6 +204,108 @@ bool AdminServer::is_ready(std::string* reason) const {
   return true;
 }
 
+obs::http::Response AdminServer::tracez(
+    const obs::http::Request& request) const {
+  if (hooks_.spans == nullptr) {
+    return obs::http::Response::text(404, "no span tracer attached\n");
+  }
+  std::size_t top_k = hooks_.spans->options().top_k;
+  const std::string k_param = query_param(request.query, "k");
+  if (!k_param.empty()) {
+    try {
+      top_k = std::min<std::size_t>(top_k, std::stoul(k_param));
+    } catch (...) {
+      return obs::http::Response::text(400, "bad k parameter\n");
+    }
+  }
+
+  const obs::SpanSnapshot spans = hooks_.spans->snapshot();
+  // Join each SLI against its SLO objective when a monitor is attached, so
+  // a /tracez page shows the threshold the slow traces violated.
+  obs::SloReport slo_report;
+  if (hooks_.slo != nullptr) slo_report = hooks_.slo->report();
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "mgrid-tracez-v1");
+  json.field("enabled", hooks_.spans->enabled());
+  json.field("sample_period", spans.sample_period);
+  json.field("sampled", spans.sampled);
+  json.field("dropped", spans.dropped);
+  json.key("slis").begin_array();
+  for (const obs::SliSpans& sli : spans.slis) {
+    json.begin_object();
+    json.field("name", sli.name);
+    json.field("recorded", sli.recorded);
+    json.field("lo", sli.lo);
+    json.field("hi", sli.hi);
+    json.field("buckets", static_cast<std::uint64_t>(sli.buckets));
+    if (const obs::SloSliReport* objective = slo_report.find(sli.name)) {
+      json.key("objective").begin_object();
+      json.field("threshold", objective->objective.threshold);
+      json.field("target_fraction", objective->objective.target_fraction);
+      json.field("state", obs::slo_state_name(objective->state));
+      json.end_object();
+    }
+    json.key("exemplars").begin_array();
+    for (const obs::BucketExemplar& exemplar : sli.exemplars) {
+      json.begin_object();
+      json.field("bucket", static_cast<std::uint64_t>(exemplar.bucket));
+      if (std::isinf(exemplar.le)) {
+        json.field("le", "+Inf");
+      } else {
+        json.field("le", exemplar.le);
+      }
+      json.key("trace");
+      write_span(json, exemplar.span);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("slowest").begin_array();
+    const std::size_t count = std::min(top_k, sli.slowest.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      write_span(json, sli.slowest[i]);
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return obs::http::Response::json(200, json.str());
+}
+
+obs::http::Response AdminServer::profilez(
+    const obs::http::Request& request) const {
+  double seconds = 2.0;
+  const std::string seconds_param = query_param(request.query, "seconds");
+  if (!seconds_param.empty()) {
+    try {
+      seconds = std::stod(seconds_param);
+    } catch (...) {
+      return obs::http::Response::text(400, "bad seconds parameter\n");
+    }
+  }
+  seconds = std::clamp(seconds, 0.1, 30.0);
+  if (obs::CpuProfiler::running()) {
+    return obs::http::Response::text(503, "profiler already running\n");
+  }
+  if (!obs::CpuProfiler::start()) {
+    return obs::http::Response::text(503, "profiler unavailable\n");
+  }
+  // Deliberately synchronous: one HTTP worker sleeps for the window while
+  // the process runs; the pool has another worker for health checks.
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  const obs::ProfileReport report = obs::CpuProfiler::stop();
+  std::string body = "# mgrid cpu profile: ";
+  body += std::to_string(report.samples) + " samples @ " +
+          std::to_string(report.hz) + " Hz over " +
+          std::to_string(report.duration_seconds) + "s, " +
+          std::to_string(report.threads) + " threads, " +
+          std::to_string(report.dropped) + " dropped\n";
+  body += report.folded;
+  return obs::http::Response::text(200, body);
+}
+
 obs::http::Response AdminServer::readyz() const {
   std::string reason;
   if (is_ready(&reason)) return obs::http::Response::text(200, "ready\n");
@@ -189,6 +344,7 @@ obs::http::Response AdminServer::statusz() const {
   json.field("rejected_busy", http.rejected_busy);
   json.field("bad_requests", http.bad_requests);
   json.field("io_errors", http.io_errors);
+  json.field("requests", http.requests);
   json.end_object();
 
   if (directory != nullptr) {
@@ -267,6 +423,16 @@ obs::http::Response AdminServer::statusz() const {
       json.end_object();
     }
     json.end_array();
+    json.end_object();
+  }
+
+  if (hooks_.spans != nullptr) {
+    const obs::SpanSnapshot spans = hooks_.spans->snapshot();
+    json.key("spans").begin_object();
+    json.field("enabled", hooks_.spans->enabled());
+    json.field("sample_period", spans.sample_period);
+    json.field("sampled", spans.sampled);
+    json.field("dropped", spans.dropped);
     json.end_object();
   }
 

@@ -15,6 +15,15 @@
 //                 and per-source queue depths, SLO report, plus any
 //                 driver-provided progress fields
 //   GET /varz     raw counter dump, one `name{labels} value` per line
+//   GET /tracez   latency attribution (mgrid-tracez-v1): per-SLI histogram
+//                 exemplars and the top-K slowest sampled LU spans with
+//                 their queue/wal/apply/visible stage breakdown; ?k=N
+//                 bounds the slowest list
+//   GET /profilez runs the in-process sampling CPU profiler for
+//                 ?seconds=N (default 2, clamped to [0.1, 30]) and returns
+//                 collapsed "folded" stacks as text/plain — feed straight
+//                 into flamegraph.pl. 503 while a profile is already
+//                 running; blocks one HTTP worker for the duration
 //   GET /quitz    requests driver shutdown (fires the on_quit hook; the
 //                 driver loop exits and stops the server — /quitz never
 //                 blocks on the shutdown itself)
@@ -35,6 +44,7 @@
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/span.h"
 #include "serve/directory.h"
 #include "serve/ingest.h"
 #include "serve/wal.h"
@@ -58,6 +68,8 @@ struct AdminHooks {
   IngestPipeline* pipeline = nullptr;       ///< Optional.
   obs::SloMonitor* slo = nullptr;           ///< Optional.
   WalWriter* wal = nullptr;                 ///< Optional: /statusz wal block.
+  /// Optional: /tracez exemplars + slowest spans, /statusz spans block.
+  obs::SpanTracer* spans = nullptr;
   /// Current sim-time, for the /statusz staleness block (with directory).
   std::function<double()> sim_now;
   /// Extra readiness predicate; fill `*reason` when returning false.
@@ -100,6 +112,10 @@ class AdminServer {
   [[nodiscard]] obs::http::Response varz() const;
   [[nodiscard]] obs::http::Response readyz() const;
   [[nodiscard]] obs::http::Response statusz() const;
+  [[nodiscard]] obs::http::Response tracez(
+      const obs::http::Request& request) const;
+  [[nodiscard]] obs::http::Response profilez(
+      const obs::http::Request& request) const;
   [[nodiscard]] bool is_ready(std::string* reason) const;
 
   AdminOptions options_;

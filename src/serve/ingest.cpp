@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace mgrid::serve {
 
 /// Registry handles for the pipeline's backpressure telemetry, resolved
@@ -87,6 +89,11 @@ IngestPipeline::IngestPipeline(ShardedDirectory& directory,
   home_registry_ = &obs::current_registry();
   telemetry_ = std::make_shared<Telemetry>(*home_registry_, options_.sources,
                                            options_.batch_size);
+  if (options_.spans != nullptr) {
+    // Exemplar buckets mirror the enqueue-to-apply latency histogram, so a
+    // /tracez exemplar maps 1:1 onto a /metrics bucket.
+    options_.spans->register_sli("update_latency", 0.0, 0.1, 100);
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -99,6 +106,12 @@ bool IngestPipeline::submit(const wire::LuMsg& msg) {
   if (!accepting_.load(std::memory_order_acquire)) return false;
   const bool telemetry = obs::enabled();
   const std::size_t source = msg.mn % queues_.size();
+  // Producer-side sampling decision: a pure function of the LU's identity,
+  // so the sampled set cannot depend on worker count or timing.
+  const bool span_sampled =
+      options_.spans != nullptr &&
+      options_.spans->sampled(static_cast<std::uint32_t>(source), msg.mn,
+                              msg.seq);
   SourceQueue& queue = *queues_[source];
   bool was_empty = false;
   std::size_t depth = 0;
@@ -137,12 +150,27 @@ bool IngestPipeline::submit(const wire::LuMsg& msg) {
     was_empty = queue.lus.empty();
     QueuedLu item;
     item.msg = msg;
-    if (telemetry) item.enqueued = std::chrono::steady_clock::now();
+    item.sampled = span_sampled;
+    if (telemetry || span_sampled) {
+      item.enqueued = std::chrono::steady_clock::now();
+    }
     queue.lus.push_back(item);
     queue.last_position[msg.mn] = geo::Vec2{msg.x, msg.y};
     // WAL write inside the queue lock: the log's per-MN record order is the
     // queue's, so serial replay reproduces exactly what the workers apply.
-    if (options_.wal != nullptr) options_.wal->append(msg);
+    if (options_.wal != nullptr) {
+      if (span_sampled) {
+        // Carve the WAL append (+fsync) out of the queue-wait stage.
+        const auto wal_start = std::chrono::steady_clock::now();
+        options_.wal->append(msg);
+        queue.lus.back().wal_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wal_start)
+                .count());
+      } else {
+        options_.wal->append(msg);
+      }
+    }
     depth = queue.lus.size();
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -212,8 +240,20 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
   // Workers record through the owner's registry (directory apply metrics,
   // pipeline histograms), not whatever the global happens to be.
   const obs::ScopedRegistry scoped_registry(*home_registry_);
+  // Name the thread for trace exports so Perfetto groups the pipeline's
+  // workers instead of showing raw trace ids.
+  obs::current_trace_recorder().set_thread_name(
+      obs::trace_thread_id(), "ingest-worker-" + std::to_string(worker_id));
+  /// A span-sampled LU awaiting its apply/visible stage stamps.
+  struct PendingSpan {
+    std::uint32_t mn = 0;
+    std::uint32_t seq = 0;
+    std::uint64_t wal_ns = 0;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
   std::vector<ShardedDirectory::LuApply> batch;
   std::vector<std::chrono::steady_clock::time_point> enqueue_times;
+  std::vector<PendingSpan> pending_spans;
   batch.reserve(options_.batch_size);
   enqueue_times.reserve(options_.batch_size);
   for (;;) {
@@ -229,6 +269,7 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
       SourceQueue& queue = *queues_[q];
       batch.clear();
       enqueue_times.clear();
+      pending_spans.clear();
       std::size_t remaining_depth = 0;
       {
         const std::lock_guard<std::mutex> lock(queue.mutex);
@@ -241,6 +282,10 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
                            {item.msg.x, item.msg.y},
                            {item.msg.vx, item.msg.vy}});
           enqueue_times.push_back(item.enqueued);
+          if (item.sampled) {
+            pending_spans.push_back(
+                {item.msg.mn, item.msg.seq, item.wal_ns, item.enqueued});
+          }
         }
         queue.lus.erase(queue.lus.begin(),
                         queue.lus.begin() + static_cast<std::ptrdiff_t>(take));
@@ -248,7 +293,15 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
       }
       if (batch.empty()) continue;
       drained_any = true;
+      std::chrono::steady_clock::time_point apply_start;
+      if (!pending_spans.empty()) {
+        apply_start = std::chrono::steady_clock::now();
+      }
       const std::size_t applied = directory_.apply_batch(batch);
+      std::chrono::steady_clock::time_point apply_end;
+      if (!pending_spans.empty()) {
+        apply_end = std::chrono::steady_clock::now();
+      }
       applied_.fetch_add(applied, std::memory_order_relaxed);
       rejected_stale_.fetch_add(batch.size() - applied,
                                 std::memory_order_relaxed);
@@ -276,6 +329,48 @@ void IngestPipeline::worker_main(std::size_t worker_id) {
       }
       if (options_.backpressure_hook && have_latency) {
         options_.backpressure_hook(batch.size(), max_latency);
+      }
+
+      if (!pending_spans.empty()) {
+        // "Visible" is stamped after the telemetry/hook work above: it is
+        // the moment a lookup issued now would see the applied batch with
+        // all observability side effects settled. The four stages tile
+        // [enqueued, visible] exactly, so their sum IS the span total.
+        const auto visible = std::chrono::steady_clock::now();
+        for (const PendingSpan& pending_span : pending_spans) {
+          obs::LuSpan span;
+          span.mn = pending_span.mn;
+          span.seq = pending_span.seq;
+          span.source = static_cast<std::uint32_t>(q);
+          span.trace_id = obs::SpanTracer::trace_id(
+              span.source, pending_span.mn, pending_span.seq);
+          span.tid = obs::trace_thread_id();
+          span.wall_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  visible.time_since_epoch())
+                  .count());
+          const double wal_seconds =
+              static_cast<double>(pending_span.wal_ns) * 1e-9;
+          const double to_apply_start =
+              std::chrono::duration<double>(apply_start -
+                                            pending_span.enqueued)
+                  .count();
+          span.stage_seconds[static_cast<std::size_t>(obs::LuStage::kWal)] =
+              wal_seconds;
+          span.stage_seconds[static_cast<std::size_t>(
+              obs::LuStage::kQueue)] =
+              std::max(0.0, to_apply_start - wal_seconds);
+          span.stage_seconds[static_cast<std::size_t>(
+              obs::LuStage::kApply)] =
+              std::chrono::duration<double>(apply_end - apply_start).count();
+          span.stage_seconds[static_cast<std::size_t>(
+              obs::LuStage::kVisible)] =
+              std::chrono::duration<double>(visible - apply_end).count();
+          for (const double stage : span.stage_seconds) {
+            span.total_seconds += stage;
+          }
+          options_.spans->record("update_latency", span);
+        }
       }
 
       if (pending_.fetch_sub(batch.size(), std::memory_order_acq_rel) ==

@@ -19,6 +19,13 @@
 // mode (queue_capacity > 0) turns overload into counted rejects instead of
 // unbounded memory growth. All of it is gated on obs::enabled(): the
 // disabled cost per submit is one relaxed atomic load.
+//
+// Latency attribution (options.spans): deterministically sampled LUs carry
+// a per-stage span — source-queue wait, WAL append, directory apply,
+// visible-to-lookup — recorded into an obs::SpanTracer under the
+// "update_latency" SLI. Sampling is a hash of (source, mn, seq), so any
+// worker count selects the byte-identical span set. The stage values tile
+// the span: their sum equals its total exactly.
 #pragma once
 
 #include <atomic>
@@ -34,6 +41,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/directory.h"
 #include "serve/wal.h"
 #include "serve/wire.h"
@@ -74,6 +82,11 @@ struct IngestOptions {
   /// replay reproduces the directory exactly. Shed and rejected LUs never
   /// reach the WAL. Must outlive the pipeline.
   WalWriter* wal = nullptr;
+  /// Latency attribution: when set, deterministically sampled LUs record
+  /// stage-sliced spans (queue/wal/apply/visible) under the
+  /// "update_latency" SLI. Must outlive the pipeline. Cost when the tracer
+  /// is disabled: one relaxed atomic load per submit.
+  obs::SpanTracer* spans = nullptr;
 };
 
 struct IngestStats {
@@ -125,10 +138,15 @@ class IngestPipeline {
 
  private:
   /// One queued LU; `enqueued` is stamped only while telemetry is enabled
-  /// (epoch time_point otherwise) so the disabled path never reads a clock.
+  /// or the LU is span-sampled (epoch time_point otherwise) so the disabled
+  /// path never reads a clock.
   struct QueuedLu {
     wire::LuMsg msg;
     std::chrono::steady_clock::time_point enqueued{};
+    /// WAL append duration for span-sampled LUs (0 otherwise / no WAL).
+    std::uint64_t wal_ns = 0;
+    /// Selected by the span tracer's deterministic sampler.
+    bool sampled = false;
   };
 
   struct SourceQueue {

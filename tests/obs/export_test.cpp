@@ -33,7 +33,15 @@ MetricsSnapshot sample_snapshot() {
 
 TEST(PrometheusExport, GoldenText) {
   const std::string text = to_prometheus(sample_snapshot());
+  // mgrid_build_info sorts first; its labels are build-dependent, so the
+  // expected prefix is assembled from obs::build_info() itself.
+  const BuildInfo& info = build_info();
   const std::string expected =
+      "# HELP mgrid_build_info Build metadata; the value is always 1\n"
+      "# TYPE mgrid_build_info gauge\n"
+      "mgrid_build_info{build_type=\"" + info.build_type +
+      "\",compiler=\"" + info.compiler + "\",version=\"" + info.version +
+      "\"} 1\n"
       "# HELP mgrid_test_depth Queue depth\n"
       "# TYPE mgrid_test_depth gauge\n"
       "mgrid_test_depth 7\n"
@@ -206,7 +214,7 @@ TEST(JsonExport, GoldenDocument) {
 
 TEST(CsvExport, OneRowPerSample) {
   const stats::Table table = to_csv_table(sample_snapshot());
-  EXPECT_EQ(table.row_count(), 3u);
+  EXPECT_EQ(table.row_count(), 4u);  // 3 test metrics + mgrid_build_info
 }
 
 TEST(WriteMetricsFile, DispatchesOnExtension) {

@@ -212,7 +212,68 @@ TEST(HttpServer, CountsAcceptedAndServed) {
   }
   const http::ServerStats stats = server.stats();
   EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.requests, 3u);
   EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.bad_requests, 0u);
+}
+
+TEST(HttpServer, SlowlorisHeadCountsExactlyOneRequest) {
+  http::Server server(ephemeral(), [](const http::Request&) {
+    return http::Response::text(200, "ok");
+  });
+  server.start();
+
+  // Trickle the head in one byte per send(): the server sees many partial
+  // recv() returns but must still parse — and count — a single request.
+  const std::string wire = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  for (const char byte : wire) {
+    ASSERT_EQ(::send(fd, &byte, 1, 0), 1);
+  }
+  std::string response;
+  char buffer[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const http::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.bad_requests, 0u);
+}
+
+TEST(HttpServer, PipelinedSecondRequestIsDroppedNotMistakenForABody) {
+  http::Server server(ephemeral(), [](const http::Request& request) {
+    return http::Response::text(200, "echo:" + request.path);
+  });
+  server.start();
+
+  // Two pipelined GETs in one segment. Connection: close semantics — the
+  // first is served, the trailing bytes are neither a 413-triggering body
+  // nor a second served request.
+  const std::string wire =
+      "GET /first HTTP/1.1\r\n\r\n"
+      "GET /second HTTP/1.1\r\n\r\n";
+  const std::string response = raw_exchange(server.port(), wire);
+
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("echo:/first"), std::string::npos);
+  EXPECT_EQ(response.find("echo:/second"), std::string::npos);
+  EXPECT_EQ(response.find("413"), std::string::npos);
+  const http::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.served, 1u);
   EXPECT_EQ(stats.bad_requests, 0u);
 }
 

@@ -91,7 +91,7 @@ TEST(MetricsRegistry, LabelsDistinguishCells) {
   down.inc(5);
   EXPECT_EQ(up.value(), 3u);
   EXPECT_EQ(down.value(), 5u);
-  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.size(), 3u);  // the two cells + mgrid_build_info
 }
 
 TEST(MetricsRegistry, ReRegistrationReturnsTheSameCell) {
@@ -103,7 +103,7 @@ TEST(MetricsRegistry, ReRegistrationReturnsTheSameCell) {
   a.inc(2);
   b.inc(3);
   EXPECT_EQ(a.value(), 5u);
-  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.size(), 2u);  // the shared cell + mgrid_build_info
 }
 
 TEST(MetricsRegistry, GaugeSetAndAdd) {
@@ -162,11 +162,40 @@ TEST(MetricsRegistry, SnapshotIsSortedByNameThenLabels) {
   registry.counter("a_total", {{"x", "2"}});
   registry.counter("a_total", {{"x", "1"}});
   const MetricsSnapshot snapshot = registry.snapshot();
-  ASSERT_EQ(snapshot.samples.size(), 3u);
+  // 3 registered cells + the built-in mgrid_build_info gauge (which sorts
+  // after b_total, leaving the leading indices stable).
+  ASSERT_EQ(snapshot.samples.size(), 4u);
   EXPECT_EQ(snapshot.samples[0].name, "a_total");
   EXPECT_EQ(snapshot.samples[0].labels, (Labels{{"x", "1"}}));
   EXPECT_EQ(snapshot.samples[1].labels, (Labels{{"x", "2"}}));
   EXPECT_EQ(snapshot.samples[2].name, "b_total");
+  EXPECT_EQ(snapshot.samples[3].name, "mgrid_build_info");
+}
+
+TEST(MetricsRegistry, EveryRegistryCarriesTheBuildInfoGauge) {
+  // No ScopedEnable: build info is a constant fact, exported even while
+  // recording is globally disabled.
+  MetricsRegistry registry;
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  const Labels labels{{"build_type", info.build_type},
+                      {"compiler", info.compiler},
+                      {"version", info.version}};
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricSample* sample = snapshot.find("mgrid_build_info", labels);
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(sample->value, 1.0);
+
+  // reset() zeroes measurements but re-pins the constant gauge.
+  registry.reset();
+  const MetricSample* after =
+      registry.snapshot().find("mgrid_build_info", labels);
+  ASSERT_NE(after, nullptr);
+  EXPECT_DOUBLE_EQ(after->value, 1.0);
 }
 
 TEST(ScopedEnableTest, RestoresPreviousState) {

@@ -1,0 +1,206 @@
+// obs::SpanTracer — deterministic trace-id sampling, the recent-span ring,
+// per-bucket exemplars (incl. overflow), top-K slowest and the trace-event
+// mirror.
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace mgrid::obs {
+namespace {
+
+LuSpan span_with_total(std::uint32_t mn, double total) {
+  LuSpan span;
+  span.mn = mn;
+  span.seq = mn;
+  span.trace_id = SpanTracer::trace_id(0, mn, mn);
+  // Put the whole span in one stage so stage_seconds still tiles total.
+  span.stage_seconds[static_cast<std::size_t>(LuStage::kApply)] = total;
+  span.total_seconds = total;
+  return span;
+}
+
+TEST(SpanTracer, TraceIdIsAPureFunctionOfIdentity) {
+  EXPECT_EQ(SpanTracer::trace_id(1, 2, 3), SpanTracer::trace_id(1, 2, 3));
+  // Any coordinate change moves the id.
+  EXPECT_NE(SpanTracer::trace_id(1, 2, 3), SpanTracer::trace_id(0, 2, 3));
+  EXPECT_NE(SpanTracer::trace_id(1, 2, 3), SpanTracer::trace_id(1, 3, 3));
+  EXPECT_NE(SpanTracer::trace_id(1, 2, 3), SpanTracer::trace_id(1, 2, 4));
+}
+
+TEST(SpanTracer, TraceIdsSpreadAcrossSequentialInputs) {
+  // Sequential (mn, seq) pairs — the common stream shape — must hash to
+  // distinct, well-spread ids or sampling would cluster on some MNs.
+  std::set<std::uint64_t> ids;
+  std::size_t sampled_64 = 0;
+  for (std::uint32_t mn = 0; mn < 64; ++mn) {
+    for (std::uint32_t seq = 0; seq < 64; ++seq) {
+      const std::uint64_t id = SpanTracer::trace_id(mn % 4, mn, seq);
+      ids.insert(id);
+      if (id % 64 == 0) ++sampled_64;
+    }
+  }
+  EXPECT_EQ(ids.size(), 64u * 64u);  // no collisions on 4096 inputs
+  // 1/64 sampling over 4096 LUs expects 64; allow a generous band.
+  EXPECT_GT(sampled_64, 20u);
+  EXPECT_LT(sampled_64, 200u);
+}
+
+TEST(SpanTracer, SamplingNeedsEnableAndPeriod) {
+  SpanTracer tracer;  // default period 64
+  // Find an id the default period selects.
+  std::uint32_t selected = 0;
+  while (SpanTracer::trace_id(0, selected, 0) % 64 != 0) ++selected;
+
+  EXPECT_FALSE(tracer.sampled(0, selected, 0));  // disabled by default
+  tracer.set_enabled(true);
+  EXPECT_TRUE(tracer.sampled(0, selected, 0));
+
+  SpanTracerOptions always;
+  always.sample_period = 1;
+  SpanTracer sample_all(always);
+  sample_all.set_enabled(true);
+  EXPECT_TRUE(sample_all.sampled(7, 8, 9));
+
+  SpanTracerOptions never;
+  never.sample_period = 0;
+  SpanTracer sample_none(never);
+  sample_none.set_enabled(true);
+  EXPECT_FALSE(sample_none.sampled(0, selected, 0));
+}
+
+TEST(SpanTracer, RecordFillsRingOldestFirstAndCountsDrops) {
+  SpanTracerOptions options;
+  options.ring_capacity = 4;
+  options.emit_trace_events = false;
+  SpanTracer tracer(options);
+  for (std::uint32_t mn = 0; mn < 6; ++mn) {
+    tracer.record("lat", span_with_total(mn, 0.001 * (mn + 1)));
+  }
+  const SpanSnapshot snapshot = tracer.snapshot();
+  EXPECT_EQ(snapshot.sampled, 6u);
+  EXPECT_EQ(snapshot.dropped, 2u);
+  ASSERT_EQ(snapshot.recent.size(), 4u);
+  // mn 0 and 1 were pushed out; the survivors come back oldest-first.
+  EXPECT_EQ(snapshot.recent[0].mn, 2u);
+  EXPECT_EQ(snapshot.recent[3].mn, 5u);
+}
+
+TEST(SpanTracer, ExemplarsKeepTheLatestSpanPerBucket) {
+  SpanTracerOptions options;
+  options.emit_trace_events = false;
+  SpanTracer tracer(options);
+  tracer.register_sli("lat", 0.0, 1.0, 10);  // buckets 0.1 wide
+  tracer.record("lat", span_with_total(1, 0.05));   // bucket 0
+  tracer.record("lat", span_with_total(2, 0.55));   // bucket 5
+  tracer.record("lat", span_with_total(3, 0.57));   // bucket 5, newer
+  tracer.record("lat", span_with_total(4, 42.0));   // overflow
+
+  const SpanSnapshot snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.slis.size(), 1u);
+  const SliSpans& sli = snapshot.slis[0];
+  EXPECT_EQ(sli.name, "lat");
+  EXPECT_EQ(sli.recorded, 4u);
+  ASSERT_EQ(sli.exemplars.size(), 3u);  // buckets 0, 5, overflow
+
+  EXPECT_EQ(sli.exemplars[0].bucket, 0u);
+  EXPECT_DOUBLE_EQ(sli.exemplars[0].le, 0.1);
+  EXPECT_EQ(sli.exemplars[0].span.mn, 1u);
+
+  EXPECT_EQ(sli.exemplars[1].bucket, 5u);
+  EXPECT_DOUBLE_EQ(sli.exemplars[1].le, 0.6);
+  EXPECT_EQ(sli.exemplars[1].span.mn, 3u);  // latest wins within a bucket
+
+  EXPECT_EQ(sli.exemplars[2].bucket, 10u);  // overflow slot
+  EXPECT_TRUE(std::isinf(sli.exemplars[2].le));
+  EXPECT_EQ(sli.exemplars[2].span.mn, 4u);
+}
+
+TEST(SpanTracer, ReRegisteringAnSliKeepsTheFirstLayout) {
+  SpanTracerOptions options;
+  options.emit_trace_events = false;
+  SpanTracer tracer(options);
+  tracer.register_sli("lat", 0.0, 1.0, 10);
+  tracer.register_sli("lat", 0.0, 100.0, 2);  // ignored
+  tracer.record("lat", span_with_total(1, 0.05));
+  const SpanSnapshot snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.slis.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.slis[0].hi, 1.0);
+  EXPECT_EQ(snapshot.slis[0].buckets, 10u);
+}
+
+TEST(SpanTracer, SlowestIsDescendingAndBoundedByTopK) {
+  SpanTracerOptions options;
+  options.top_k = 3;
+  options.emit_trace_events = false;
+  SpanTracer tracer(options);
+  const double totals[] = {0.02, 0.09, 0.01, 0.07, 0.05};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    tracer.record("lat", span_with_total(i, totals[i]));
+  }
+  const SpanSnapshot snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.slis.size(), 1u);
+  const std::vector<LuSpan>& slowest = snapshot.slis[0].slowest;
+  ASSERT_EQ(slowest.size(), 3u);
+  EXPECT_DOUBLE_EQ(slowest[0].total_seconds, 0.09);
+  EXPECT_DOUBLE_EQ(slowest[1].total_seconds, 0.07);
+  EXPECT_DOUBLE_EQ(slowest[2].total_seconds, 0.05);
+}
+
+TEST(SpanTracer, ClearDropsSpansButKeepsRegistrations) {
+  SpanTracerOptions options;
+  options.emit_trace_events = false;
+  SpanTracer tracer(options);
+  tracer.register_sli("lat", 0.0, 1.0, 10);
+  tracer.record("lat", span_with_total(1, 0.05));
+  tracer.clear();
+  const SpanSnapshot snapshot = tracer.snapshot();
+  EXPECT_EQ(snapshot.sampled, 0u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+  EXPECT_TRUE(snapshot.recent.empty());
+  ASSERT_EQ(snapshot.slis.size(), 1u);  // registration survives
+  EXPECT_EQ(snapshot.slis[0].recorded, 0u);
+  EXPECT_TRUE(snapshot.slis[0].exemplars.empty());
+  EXPECT_TRUE(snapshot.slis[0].slowest.empty());
+}
+
+TEST(SpanTracer, MirrorsStagesIntoTheThreadTraceRecorder) {
+  TraceRecorder& recorder = current_trace_recorder();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  SpanTracer tracer;  // emit_trace_events defaults to true
+  LuSpan span = span_with_total(1, 0.0);
+  for (std::size_t i = 0; i < kLuStageCount; ++i) {
+    span.stage_seconds[i] = 1e-4 * static_cast<double>(i + 1);
+    span.total_seconds += span.stage_seconds[i];
+  }
+  tracer.record("lat", span);
+
+  const std::vector<TraceEvent> events = recorder.events();
+  recorder.set_enabled(false);
+  recorder.clear();
+  ASSERT_EQ(events.size(), kLuStageCount);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.phase, 'X');
+    EXPECT_EQ(event.category, "lu_span");
+  }
+  // All four stage names appear exactly once.
+  std::vector<std::string> names;
+  names.reserve(events.size());
+  for (const TraceEvent& event : events) names.push_back(event.name);
+  std::sort(names.begin(), names.end());
+  const std::vector<std::string> expected{"apply", "queue", "visible",
+                                          "wal"};
+  EXPECT_EQ(names, expected);
+}
+
+}  // namespace
+}  // namespace mgrid::obs

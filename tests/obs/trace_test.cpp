@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 namespace mgrid::obs {
@@ -114,6 +115,66 @@ TEST(TraceRecorder, ChromeJsonReportsDrops) {
   for (int i = 0; i < 5; ++i) recorder.instant("e", "test");
   const std::string json = recorder.to_chrome_json();
   EXPECT_NE(json.find("mgrid_dropped_events"), std::string::npos);
+}
+
+TEST(TraceRecorder, MetadataEventsComeFirstAndUseNoRingSlots) {
+  TraceRecorder recorder(4);
+  recorder.set_enabled(true);
+  recorder.set_process_name("mgrid_serve");
+  recorder.set_thread_name(7, "ingest-worker-0");
+  recorder.instant("tick", "sim");
+
+  // Naming is export-time metadata: the ring still holds only the event.
+  EXPECT_EQ(recorder.size(), 1u);
+
+  const std::string json = recorder.to_chrome_json();
+  const std::size_t process_pos = json.find("\"process_name\"");
+  const std::size_t thread_pos = json.find("\"thread_name\"");
+  const std::size_t sort_pos = json.find("\"thread_sort_index\"");
+  const std::size_t event_pos = json.find("\"tick\"");
+  ASSERT_NE(process_pos, std::string::npos);
+  ASSERT_NE(thread_pos, std::string::npos);
+  ASSERT_NE(sort_pos, std::string::npos);
+  ASSERT_NE(event_pos, std::string::npos);
+  // Viewers apply 'M' metadata to what follows: it must lead the array.
+  EXPECT_LT(process_pos, event_pos);
+  EXPECT_LT(thread_pos, event_pos);
+  EXPECT_LT(sort_pos, event_pos);
+  EXPECT_NE(json.find("\"mgrid_serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"ingest-worker-0\""), std::string::npos);
+}
+
+TEST(TraceRecorder, ThreadSortIndexFollowsNameThenTidOrder) {
+  TraceRecorder recorder(4);
+  // Register out of order: sort indices are assigned by (name, tid), not
+  // by registration or raw-tid order, so worker groups stay together.
+  recorder.set_thread_name(9, "worker");
+  recorder.set_thread_name(2, "worker");
+  recorder.set_thread_name(5, "apply");
+  const std::string json = recorder.to_chrome_json();
+
+  // "apply" (tid 5) sorts before "worker" (tids 2 then 9).
+  const auto sort_index_of = [&json](std::uint32_t tid) {
+    const std::string needle = "\"tid\":" + std::to_string(tid);
+    std::size_t pos = json.find(needle);
+    EXPECT_NE(pos, std::string::npos);
+    // The thread_sort_index metadata is the second object carrying the
+    // tid; its args hold the index.
+    pos = json.find(needle, pos + 1);
+    EXPECT_NE(pos, std::string::npos);
+    const std::size_t args = json.find("\"sort_index\":", pos);
+    EXPECT_NE(args, std::string::npos);
+    return std::stoul(json.substr(args + 13));
+  };
+  EXPECT_EQ(sort_index_of(5), 0u);
+  EXPECT_EQ(sort_index_of(2), 1u);
+  EXPECT_EQ(sort_index_of(9), 2u);
+}
+
+TEST(TraceThreadId, IsStableAndPositiveWithinAThread) {
+  const std::uint32_t id = trace_thread_id();
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(trace_thread_id(), id);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "obs/http.h"
 #include "obs/metrics.h"
 #include "obs/slo.h"
+#include "obs/span.h"
 #include "serve/directory.h"
 #include "serve/ingest.h"
 #include "serve/wire.h"
@@ -18,11 +19,17 @@
 namespace mgrid::serve {
 namespace {
 
-obs::http::Request get(std::string path) {
+obs::http::Request get(std::string target) {
   obs::http::Request request;
   request.method = "GET";
-  request.target = path;
-  request.path = std::move(path);
+  request.target = target;
+  const std::size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request.path = std::move(target);
+  } else {
+    request.path = target.substr(0, question);
+    request.query = target.substr(question + 1);
+  }
   request.version = "HTTP/1.1";
   return request;
 }
@@ -198,6 +205,135 @@ TEST(AdminServer, StatuszReportsEverySubsystem) {
 
   EXPECT_EQ(status.at("driver").at("mode").as_string(), "test");
   pipeline.stop();
+}
+
+TEST(AdminServer, TracezWithoutATracerIs404) {
+  obs::MetricsRegistry registry;
+  AdminHooks hooks;
+  hooks.registry = &registry;
+  AdminServer admin(ephemeral_options(), std::move(hooks));
+  const obs::http::Response response = admin.handle(get("/tracez"));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("no span tracer"), std::string::npos);
+}
+
+TEST(AdminServer, TracezReportsSampledSpansWithTiledStages) {
+  obs::MetricsRegistry registry;
+  obs::SpanTracerOptions span_options;
+  span_options.sample_period = 1;  // sample everything: deterministic count
+  span_options.emit_trace_events = false;
+  obs::SpanTracer tracer(span_options);
+  tracer.set_enabled(true);
+
+  ShardedDirectory directory(DirectoryOptions{});
+  IngestOptions ingest_options;
+  ingest_options.spans = &tracer;
+  IngestPipeline pipeline(directory, ingest_options);
+  for (std::uint32_t mn = 0; mn < 50; ++mn) {
+    ASSERT_TRUE(pipeline.submit(lu(mn, 1.0, 0.0, 0.0)));
+  }
+  pipeline.flush();
+
+  AdminHooks hooks;
+  hooks.registry = &registry;
+  hooks.pipeline = &pipeline;
+  hooks.spans = &tracer;
+  AdminServer admin(ephemeral_options(), std::move(hooks));
+
+  const obs::http::Response response = admin.handle(get("/tracez"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  const util::JsonValue tracez = util::JsonValue::parse(response.body);
+  EXPECT_EQ(tracez.at("schema").as_string(), "mgrid-tracez-v1");
+  EXPECT_TRUE(tracez.at("enabled").as_bool());
+  EXPECT_DOUBLE_EQ(tracez.at("sample_period").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(tracez.at("sampled").as_double(), 50.0);
+
+  const auto& slis = tracez.at("slis").as_array();
+  ASSERT_EQ(slis.size(), 1u);
+  EXPECT_EQ(slis[0].at("name").as_string(), "update_latency");
+  EXPECT_DOUBLE_EQ(slis[0].at("recorded").as_double(), 50.0);
+
+  const auto& exemplars = slis[0].at("exemplars").as_array();
+  ASSERT_FALSE(exemplars.empty());
+  for (const util::JsonValue& exemplar : exemplars) {
+    const util::JsonValue& trace = exemplar.at("trace");
+    const util::JsonValue& stages = trace.at("stages");
+    const double total = trace.at("total_seconds").as_double();
+    const double sum = stages.at("queue").as_double() +
+                       stages.at("wal").as_double() +
+                       stages.at("apply").as_double() +
+                       stages.at("visible").as_double();
+    EXPECT_GT(total, 0.0);
+    // The acceptance bar is 5%; by construction the stages tile exactly,
+    // so the JSON round trip only has to preserve the doubles.
+    EXPECT_NEAR(sum, total, 0.05 * total);
+    EXPECT_EQ(trace.at("trace_id").as_string().size(), 16u);
+  }
+
+  const auto& slowest = slis[0].at("slowest").as_array();
+  EXPECT_FALSE(slowest.empty());
+  EXPECT_LE(slowest.size(), tracer.options().top_k);
+  // Descending total_seconds.
+  for (std::size_t i = 1; i < slowest.size(); ++i) {
+    EXPECT_GE(slowest[i - 1].at("total_seconds").as_double(),
+              slowest[i].at("total_seconds").as_double());
+  }
+
+  // ?k= caps the slowest list; a bad k is a 400.
+  const obs::http::Response capped = admin.handle(get("/tracez?k=1"));
+  const util::JsonValue capped_json = util::JsonValue::parse(capped.body);
+  EXPECT_EQ(
+      capped_json.at("slis").as_array()[0].at("slowest").as_array().size(),
+      1u);
+  EXPECT_EQ(admin.handle(get("/tracez?k=banana")).status, 400);
+  pipeline.stop();
+}
+
+TEST(AdminServer, StatuszReportsSpanCountersWhenWired) {
+  obs::MetricsRegistry registry;
+  obs::SpanTracerOptions span_options;
+  span_options.sample_period = 1;
+  span_options.emit_trace_events = false;
+  obs::SpanTracer tracer(span_options);
+  tracer.set_enabled(true);
+
+  ShardedDirectory directory(DirectoryOptions{});
+  IngestOptions ingest_options;
+  ingest_options.spans = &tracer;
+  IngestPipeline pipeline(directory, ingest_options);
+  for (std::uint32_t mn = 0; mn < 8; ++mn) {
+    ASSERT_TRUE(pipeline.submit(lu(mn, 1.0, 0.0, 0.0)));
+  }
+  pipeline.flush();
+
+  AdminHooks hooks;
+  hooks.registry = &registry;
+  hooks.pipeline = &pipeline;
+  hooks.spans = &tracer;
+  AdminServer admin(ephemeral_options(), std::move(hooks));
+  const obs::http::Response response = admin.handle(get("/statusz"));
+  const util::JsonValue status = util::JsonValue::parse(response.body);
+  EXPECT_TRUE(status.at("spans").at("enabled").as_bool());
+  EXPECT_DOUBLE_EQ(status.at("spans").at("sampled").as_double(), 8.0);
+  EXPECT_DOUBLE_EQ(status.at("spans").at("sample_period").as_double(), 1.0);
+  pipeline.stop();
+}
+
+TEST(AdminServer, ProfilezRunsAShortSession) {
+  obs::MetricsRegistry registry;
+  AdminHooks hooks;
+  hooks.registry = &registry;
+  AdminServer admin(ephemeral_options(), std::move(hooks));
+
+  const obs::http::Response response =
+      admin.handle(get("/profilez?seconds=0.2"));
+  if (response.status == 503) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.rfind("# mgrid cpu profile:", 0), 0u);
+  EXPECT_EQ(admin.handle(get("/profilez?seconds=nope")).status, 400);
 }
 
 TEST(AdminServer, FullStackScrapeOverHttp) {
