@@ -18,6 +18,17 @@
 //       profiler and write collapsed folded stacks — flamegraph.pl input]
 //       scrape [false] scrape_interval_ms [250] scrape_reps [5]
 //       scrape_phase_seconds [1.0]
+//       topology [false] topology_shards [3] topology_min_threads [4]
+//
+// topology=true switches to the cluster-topology arm: `topology_shards`
+// shard nodes (each a ShardedDirectory + IngestPipeline behind its own
+// mgrid-lu-v1 LuServer on an ephemeral loopback port) driven through a
+// consistent-hashing cluster::Router, one tick barrier per `nodes` LUs —
+// the full serving path including TCP framing, batching and the cluster
+// barrier. The aggregate LU/s floor (125000) rides in the JSON "floors"
+// section; under 4 hardware threads the arm self-skips and the floor is
+// emitted with no measured value, which ci/check_bench_regression.py
+// reports as skipped rather than failed.
 //
 // scrape=true switches to the scrape-under-load mode: paired alternating
 // ingest phases with and without a live admin /metrics scraper (telemetry
@@ -43,6 +54,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -265,6 +277,151 @@ int run_scrape_mode(const util::Config& config,
   return 0;
 }
 
+/// Cluster-topology arm: N in-process shard nodes behind real loopback TCP
+/// LuServers, driven through the consistent-hashing router with one tick
+/// barrier per `nodes` LUs. Returns the gate's exit code.
+int run_topology_mode(const util::Config& config,
+                      const std::vector<serve::wire::LuMsg>& stream,
+                      std::size_t batch, const std::string& estimator_name,
+                      std::uint32_t nodes) {
+  const auto shard_count =
+      static_cast<std::size_t>(config.get_int("topology_shards", 3));
+  const unsigned hardware = std::thread::hardware_concurrency();
+  // Router + per-shard accept/worker threads oversubscribe a small machine
+  // into measuring the scheduler, not the serving path.
+  const auto min_threads = static_cast<unsigned>(
+      config.get_int("topology_min_threads", 4));
+  const bool skip = hardware < min_threads;
+
+  /// One shard node: directory + pipeline + LU listener, as mgrid_serve
+  /// mode=shard runs them (minus WAL/replication — this arm times the
+  /// forwarding path).
+  struct ShardNode {
+    serve::ShardedDirectory directory;
+    serve::IngestPipeline pipeline;
+    cluster::LuServer server;
+    ShardNode(std::size_t batch, const std::string& estimator_name)
+        : directory(serve::DirectoryOptions{},
+                    estimator_name.empty() || estimator_name == "none"
+                        ? nullptr
+                        : estimation::make_estimator(estimator_name, 0.0, 1.0)),
+          pipeline(directory,
+                   [batch] {
+                     serve::IngestOptions options;
+                     options.sources = 2;
+                     options.workers = 2;
+                     options.batch_size = batch;
+                     return options;
+                   }()),
+          server(cluster::LuServerOptions{},
+                 [this] {
+                   cluster::LuServerHooks hooks;
+                   hooks.directory = &directory;
+                   hooks.pipeline = &pipeline;
+                   return hooks;
+                 }()) {
+      server.start();
+    }
+    ~ShardNode() {
+      server.stop();
+      pipeline.stop();
+    }
+  };
+
+  double aggregate = 0.0;
+  double wall = 0.0;
+  std::uint64_t ticks = 0;
+  bool clean = true;
+  if (skip) {
+    std::cout << "topology arm skipped: only " << hardware
+              << " hardware thread(s) (needs >= " << min_threads << ")\n";
+  } else {
+    std::vector<std::unique_ptr<ShardNode>> shards;
+    std::vector<cluster::RouterShardConfig> configs;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards.push_back(std::make_unique<ShardNode>(batch, estimator_name));
+      cluster::RouterShardConfig shard_config;
+      shard_config.name = "shard-" + std::to_string(i);
+      shard_config.lu_port = shards.back()->server.port();
+      configs.push_back(shard_config);
+    }
+    cluster::RouterOptions router_options;
+    router_options.batch_size = batch;
+    router_options.health_period_seconds = 0.0;  // no probe surface here
+    cluster::Router router(router_options, configs);
+    std::string error;
+    if (!router.start(&error)) {
+      std::cerr << "FAIL: router start: " << error << '\n';
+      return EXIT_FAILURE;
+    }
+
+    const auto start = Clock::now();
+    std::size_t i = 0;
+    while (i < stream.size()) {
+      ++ticks;
+      const std::size_t end = std::min(stream.size(), i + nodes);
+      for (; i < end; ++i) clean = router.submit(stream[i]) && clean;
+      clean = router.tick(static_cast<double>(ticks), ticks) && clean;
+    }
+    wall = seconds_since(start);
+    aggregate =
+        wall > 0.0 ? static_cast<double>(stream.size()) / wall : 0.0;
+    const cluster::RouterStats router_stats = router.stats();
+    clean = clean && router_stats.lus_dropped == 0 &&
+            router_stats.tick_failures == 0;
+    router.stop();
+
+    stats::Table table({"topology", "wall (s)", "aggregate LU/s", "ticks"});
+    table.add_row({"router -> " + std::to_string(shard_count) +
+                       " TCP shards",
+                   stats::format_double(wall, 3),
+                   stats::format_double(aggregate, 0),
+                   std::to_string(ticks)});
+    table.write_pretty(std::cout);
+    std::cout << '\n'
+              << router_stats.batches_sent << " batches, "
+              << router_stats.lus_dropped << " dropped, "
+              << router_stats.tick_failures << " tick failure(s)\n";
+  }
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "serve_topology");
+    json.field("lus", static_cast<std::uint64_t>(stream.size()));
+    json.field("nodes", static_cast<std::uint64_t>(nodes));
+    json.key("guarded").begin_object();
+    json.end_object();
+    // The floor is always declared; on a skipped run the measured value is
+    // absent and the regression gate reports the floor as skipped.
+    json.key("floors").begin_object();
+    json.field("topology_lus_per_second", 125000.0);
+    json.end_object();
+    json.key("info").begin_object();
+    if (!skip) {
+      json.field("topology_lus_per_second", aggregate);
+      json.field("wall_seconds", wall);
+      json.field("ticks", ticks);
+    }
+    json.field("skipped", skip);
+    json.field("topology_shards", static_cast<std::uint64_t>(shard_count));
+    json.field("hardware_concurrency", static_cast<std::uint64_t>(hardware));
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "\nwrote " << json_out << '\n';
+  }
+  if (!skip && !clean) {
+    std::cerr << "\nFAIL: the topology run dropped LUs or failed a tick "
+                 "barrier\n";
+    return EXIT_FAILURE;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,6 +472,13 @@ int main(int argc, char** argv) {
     lu.vx = velocity[mn].x;
     lu.vy = velocity[mn].y;
     stream.push_back(lu);
+  }
+
+  if (config.get_bool("topology", false)) {
+    std::cout << "=== serve cluster topology (" << total_lus << " LUs over "
+              << nodes << " MNs) ===\nhardware concurrency: " << hardware
+              << "\n\n";
+    return run_topology_mode(config, stream, batch, estimator_name, nodes);
   }
 
   if (config.get_bool("scrape", false)) {

@@ -1,0 +1,234 @@
+// Cluster front-end: one router process that makes N `mgrid_serve
+// mode=shard` nodes look like a single location directory.
+//
+// Consistent-hashes each MN onto the shard ring, batches and forwards LUs
+// over mgrid-lu-v1 TCP, runs the cluster-wide tick barrier, fans out
+// spatial queries and merges their kNeighbor streams by (distance, mn) —
+// so the clustered answers are byte-identical to a single directory's (see
+// src/cluster/router.h). Drives the same deterministic synthetic walk as
+// `mgrid_serve mode=synthetic`: with equal seed/nodes/ticks, the union of
+// the shards' final states equals the single-process run's.
+//
+//   mgrid_router shards=7001/7101,7002/7102,7003/7103 nodes=300 ticks=200
+//
+// Keys (defaults in brackets):
+//   shards   [required: comma list of shard endpoints, each
+//            "lu_port[/admin_port]" on 127.0.0.1. An admin_port enables the
+//            /readyz health probe for that shard; without one the shard
+//            counts as up while its LU connection is open.]
+//   nodes [300] ticks [200: 0 = run until /quitz or SIGINT/SIGTERM]
+//   seed [42] speed [1.5] pace_ms [0: sleep per tick]
+//   batch [64: LUs per shard batch] vnodes [64] probes [21]
+//   health_period [0.5 s] health_timeout [1.0 s]
+//   admin_port [presence starts the router's own admin plane on 127.0.0.1;
+//            its /readyz is the AND over shard healths, and /statusz gains
+//            a "cluster" block with ring version, per-shard epochs and
+//            forward/merge counters — the chaos test watches a SIGKILL'd
+//            shard degrade the router here and a restart recover it.]
+//
+// A tick some shard fails to ack is counted and retried next tick — a dead
+// shard degrades the router (readiness 503) but never wedges it; the
+// health thread reconnects when the shard returns.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+namespace {
+
+std::atomic<bool> g_quit{false};
+
+void request_quit(int) { g_quit.store(true, std::memory_order_release); }
+
+/// Parses "7001/7101,7002,7003/7103" into shard configs named
+/// shard-0..shard-N-1 on 127.0.0.1.
+std::vector<cluster::RouterShardConfig> parse_shards(const std::string& spec) {
+  std::vector<cluster::RouterShardConfig> configs;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    if (!entry.empty()) {
+      cluster::RouterShardConfig config;
+      config.name = "shard-" + std::to_string(configs.size());
+      const std::size_t slash = entry.find('/');
+      config.lu_port =
+          static_cast<std::uint16_t>(std::stoi(entry.substr(0, slash)));
+      if (slash != std::string::npos) {
+        config.admin_port =
+            static_cast<std::uint16_t>(std::stoi(entry.substr(slash + 1)));
+      }
+      configs.push_back(config);
+    }
+    start = end + 1;
+  }
+  if (configs.empty()) {
+    throw util::ConfigError("shards= must name at least one lu_port");
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Config config = util::Config::from_argv(argc, argv);
+    obs::set_role("router");
+    obs::set_enabled(true);
+    std::signal(SIGINT, request_quit);
+    std::signal(SIGTERM, request_quit);
+
+    const std::vector<cluster::RouterShardConfig> shards =
+        parse_shards(config.require_string("shards"));
+    cluster::RouterOptions options;
+    options.batch_size = static_cast<std::size_t>(config.get_int("batch", 64));
+    options.vnodes = static_cast<std::size_t>(config.get_int("vnodes", 64));
+    options.probes = static_cast<std::size_t>(config.get_int("probes", 21));
+    options.health_period_seconds = config.get_double("health_period", 0.5);
+    options.health_timeout_seconds = config.get_double("health_timeout", 1.0);
+    cluster::Router router(options, shards);
+    std::string error;
+    if (!router.start(&error)) {
+      std::cerr << "mgrid_router: " << error << '\n';
+      return 1;
+    }
+    std::cout << "router: " << shards.size() << " shard(s)";
+    for (const cluster::RouterShardConfig& shard : shards) {
+      std::cout << ' ' << shard.name << "=127.0.0.1:" << shard.lu_port;
+    }
+    std::cout << std::endl;
+
+    std::atomic<std::uint64_t> ticks_done{0};
+    std::unique_ptr<serve::AdminServer> admin;
+    if (config.contains("admin_port")) {
+      serve::AdminOptions admin_options;
+      admin_options.http.port =
+          static_cast<std::uint16_t>(config.get_int("admin_port", 0));
+      admin_options.build_info = "mgrid_router";
+      serve::AdminHooks hooks;
+      hooks.registry = &obs::MetricsRegistry::global();
+      hooks.ready = [&router](std::string* reason) {
+        if (router.all_ready()) return true;
+        if (reason != nullptr) {
+          *reason = "shard down";
+          for (const cluster::ShardHealth& health : router.health()) {
+            if (!health.up) *reason += " " + health.name;
+          }
+        }
+        return false;
+      };
+      hooks.extra_status = [&](util::JsonWriter& json) {
+        json.field("mode", "router");
+        json.field("ticks_done", ticks_done.load(std::memory_order_relaxed));
+      };
+      hooks.cluster_status = [&router](util::JsonWriter& json) {
+        router.write_cluster_status(json);
+      };
+      hooks.on_quit = [] { g_quit.store(true, std::memory_order_release); };
+      admin = std::make_unique<serve::AdminServer>(std::move(admin_options),
+                                                   std::move(hooks));
+      admin->start();
+      std::cout << "admin server listening on 127.0.0.1:" << admin->port()
+                << std::endl;
+    }
+
+    const auto nodes =
+        static_cast<std::uint32_t>(config.get_int("nodes", 300));
+    const auto ticks = static_cast<std::size_t>(config.get_int("ticks", 200));
+    const double speed = config.get_double("speed", 1.5);
+    const auto pace_ms = config.get_int("pace_ms", 0);
+
+    // The identical deterministic walk mgrid_serve mode=synthetic drives:
+    // same seed => the shard union equals the single-process directory.
+    util::RngRegistry rng(
+        static_cast<std::uint64_t>(config.get_int("seed", 42)));
+    std::vector<geo::Vec2> position(nodes);
+    std::vector<geo::Vec2> velocity(nodes);
+    for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+      util::RngStream stream = rng.stream("serve_synthetic", mn);
+      position[mn] = {stream.uniform(0.0, 1000.0),
+                      stream.uniform(0.0, 1000.0)};
+      const double heading = stream.uniform(0.0, 6.283185307179586);
+      velocity[mn] = {speed * std::cos(heading), speed * std::sin(heading)};
+    }
+
+    std::uint64_t submitted = 0;
+    std::uint64_t tick_failures = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t k = 1;
+         (ticks == 0 || k <= ticks) && !g_quit.load(std::memory_order_acquire);
+         ++k) {
+      const double t = static_cast<double>(k);
+      for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+        position[mn].x += velocity[mn].x;
+        position[mn].y += velocity[mn].y;
+        if (position[mn].x < 0.0 || position[mn].x > 1000.0) {
+          velocity[mn].x = -velocity[mn].x;
+        }
+        if (position[mn].y < 0.0 || position[mn].y > 1000.0) {
+          velocity[mn].y = -velocity[mn].y;
+        }
+        serve::wire::LuMsg lu;
+        lu.mn = mn;
+        lu.seq = static_cast<std::uint32_t>(k);
+        lu.t = t;
+        lu.x = position[mn].x;
+        lu.y = position[mn].y;
+        lu.vx = velocity[mn].x;
+        lu.vy = velocity[mn].y;
+        if (router.submit(lu)) ++submitted;
+      }
+      if (!router.tick(t, k)) ++tick_failures;
+      ticks_done.store(k, std::memory_order_relaxed);
+      if (pace_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+      }
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    const cluster::RouterStats stats = router.stats();
+    std::cout << "router: " << submitted << " LUs forwarded ("
+              << stats.lus_dropped << " dropped), "
+              << ticks_done.load(std::memory_order_relaxed) << " ticks ("
+              << tick_failures << " degraded) in "
+              << stats::format_double(wall_seconds, 3) << " s ("
+              << stats::format_double(
+                     wall_seconds > 0.0
+                         ? static_cast<double>(submitted) / wall_seconds
+                         : 0.0,
+                     0)
+              << " LU/s)\n";
+
+    // A few merged queries as a smoke signal that the fan-out plane works.
+    const std::vector<serve::wire::NeighborMsg> nearest =
+        router.k_nearest(500.0, 500.0, 5);
+    std::cout << "queries: " << nearest.size() << " nearest to (500, 500)";
+    for (const serve::wire::NeighborMsg& hit : nearest) {
+      std::cout << " MN" << hit.mn << "@"
+                << stats::format_double(hit.distance, 1) << "m";
+    }
+    std::cout << '\n';
+
+    router.stop();
+    // A chaos-killed shard makes dropped batches and failed ticks expected;
+    // a healthy run must forward everything.
+    const bool healthy = tick_failures == 0 && stats.lus_dropped == 0;
+    return healthy || config.get_int("allow_degraded", 0) != 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "mgrid_router: " << error.what() << '\n';
+    return 2;
+  }
+}

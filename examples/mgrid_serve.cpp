@@ -9,6 +9,20 @@
 //
 //   mgrid_serve eventlog=run.jsonl result=run.json shards=8 workers=4
 //   mgrid_serve mode=synthetic nodes=500 ticks=120 estimator=brown_polar
+//   mgrid_serve mode=shard port=0 admin_port=0 estimator=brown_polar
+//   mgrid_serve mode=follower primary=127.0.0.1:7001 estimator=brown_polar
+//
+// Cluster modes (see src/cluster/):
+//   mode=shard opens an mgrid-lu-v1 TCP listener (prints "lu server
+//   listening on 127.0.0.1:PORT") and serves LUs/ticks/queries pushed by an
+//   mgrid_router; followers may subscribe for replication. Runs until
+//   /quitz or SIGINT/SIGTERM, then writes final_out. Keys: port [0 =
+//   ephemeral], plus the directory/ingest/durability knobs below.
+//   mode=follower connects to primary=host:port, bootstraps from the
+//   primary's snapshot and replays its LU substream until the primary
+//   closes (clean exit) or a signal arrives, then writes final_out. The
+//   estimator/shards/history knobs must match the primary's, or the
+//   snapshot restore fails.
 //
 // Keys (defaults in brackets; flag spellings like --final-out accepted):
 //   eventlog [path: mgrid-eventlog-v1 JSONL; switches on replay mode]
@@ -581,29 +595,224 @@ int run_synthetic(const util::Config& config) {
   return ingest_stats.applied == submitted ? 0 : 1;
 }
 
+std::unique_ptr<serve::ShardedDirectory> make_cluster_directory(
+    const util::Config& config, const Knobs& knobs) {
+  const std::string estimator_name = config.get_string("estimator", "");
+  const double alpha = config.get_double("alpha", 0.0);
+  std::unique_ptr<estimation::LocationEstimator> prototype;
+  if (!estimator_name.empty() && estimator_name != "none") {
+    prototype = estimation::make_estimator(estimator_name, alpha, 1.0);
+  }
+  return std::make_unique<serve::ShardedDirectory>(knobs.directory,
+                                                   std::move(prototype));
+}
+
+/// One shard node of a cluster: LU listener + ingest + optional WAL +
+/// replication hub, driven entirely by a router over TCP.
+int run_shard(const util::Config& config) {
+  Knobs knobs = read_knobs(config);
+  const std::string wal_dir = config.get_string("wal_dir", "");
+  const auto snapshot_every =
+      static_cast<std::size_t>(config.get_int("snapshot_every", 0));
+  if (wal_dir.empty() && snapshot_every > 0) {
+    throw util::ConfigError("snapshot_every= requires wal_dir=");
+  }
+
+  const std::unique_ptr<serve::ShardedDirectory> directory =
+      make_cluster_directory(config, knobs);
+  std::unique_ptr<serve::WalWriter> wal;
+  if (!wal_dir.empty()) {
+    std::filesystem::create_directories(wal_dir);
+    wal = std::make_unique<serve::WalWriter>(wal_dir + "/wal.log",
+                                             read_fsync_policy(config));
+    knobs.ingest.wal = wal.get();
+  }
+  cluster::ReplicationHub hub(*directory);
+  knobs.ingest.lu_tap = [&hub](const serve::wire::LuMsg& lu) {
+    hub.on_lu(lu);
+  };
+  serve::IngestPipeline pipeline(*directory, knobs.ingest);
+
+  std::atomic<std::uint64_t> ticks_done{0};
+  std::atomic<double> sim_now{0.0};
+  cluster::LuServerOptions server_options;
+  server_options.port =
+      static_cast<std::uint16_t>(config.get_int("port", 0));
+  cluster::LuServerHooks server_hooks;
+  server_hooks.directory = directory.get();
+  server_hooks.pipeline = &pipeline;
+  server_hooks.wal = wal.get();
+  server_hooks.replication = &hub;
+  server_hooks.on_tick = [&](double t, std::uint64_t tick) {
+    ticks_done.store(tick, std::memory_order_relaxed);
+    sim_now.store(t, std::memory_order_relaxed);
+    if (wal != nullptr && snapshot_every > 0 && tick % snapshot_every == 0) {
+      // Runs inside the tick barrier, so the snapshot is an exact cut.
+      serve::write_snapshot(*directory, wal_dir, wal->records_appended(), t);
+    }
+  };
+  cluster::LuServer server(server_options, server_hooks);
+  server.start();
+  std::cout << "lu server listening on 127.0.0.1:" << server.port()
+            << std::endl;
+
+  serve::AdminHooks admin_hooks;
+  admin_hooks.directory = directory.get();
+  admin_hooks.pipeline = &pipeline;
+  admin_hooks.wal = wal.get();
+  admin_hooks.sim_now = [&sim_now] {
+    return sim_now.load(std::memory_order_relaxed);
+  };
+  admin_hooks.extra_status = [&](util::JsonWriter& json) {
+    json.field("mode", "shard");
+    json.field("lu_port", static_cast<std::uint64_t>(server.port()));
+    json.field("ticks_done", ticks_done.load(std::memory_order_relaxed));
+  };
+  admin_hooks.cluster_status = [&](util::JsonWriter& json) {
+    const cluster::LuServerStats stats = server.stats();
+    const cluster::ReplicationHub::Stats repl = hub.stats();
+    json.field("lus", stats.lus);
+    json.field("lus_rejected", stats.lus_rejected);
+    json.field("ticks", stats.ticks);
+    json.field("bad_frames", stats.bad_frames);
+    json.field("subscribers", repl.subscribers);
+    json.field("replication_lus_streamed", repl.lus_streamed);
+    json.field("replication_bytes_streamed", repl.bytes_streamed);
+    json.field("replication_dropped_slow", repl.dropped_slow);
+  };
+  const std::unique_ptr<serve::AdminServer> admin =
+      start_admin(config, std::move(admin_hooks));
+
+  while (!g_quit.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Deliver the stream's tail to any follower before tearing down, so a
+  // follower that outlives this shard holds the exact final state.
+  hub.drain();
+  server.stop();
+  hub.stop();
+  pipeline.stop();
+
+  const serve::IngestStats ingest_stats = pipeline.stats();
+  std::cout << "shard: " << ingest_stats.applied << " LUs applied, "
+            << ticks_done.load(std::memory_order_relaxed) << " ticks, "
+            << directory->size() << " MNs tracked\n";
+  const std::string final_out = config.get_string("final_out", "");
+  if (!final_out.empty()) write_final_state(final_out, *directory);
+  return 0;
+}
+
+/// A replication follower: mirrors one primary shard's directory by
+/// replaying its LU substream (see cluster/replication.h).
+int run_follower(const util::Config& config) {
+  const Knobs knobs = read_knobs(config);
+  const std::string primary = config.require_string("primary");
+  const std::size_t colon = primary.rfind(':');
+  if (colon == std::string::npos) {
+    throw util::ConfigError("primary must be host:port, got " + primary);
+  }
+  cluster::FollowerOptions follower_options;
+  follower_options.host = primary.substr(0, colon);
+  follower_options.port =
+      static_cast<std::uint16_t>(std::stoi(primary.substr(colon + 1)));
+
+  const std::unique_ptr<serve::ShardedDirectory> directory =
+      make_cluster_directory(config, knobs);
+  cluster::Follower follower(*directory, follower_options);
+  std::string error;
+  if (!follower.connect(&error)) {
+    std::cerr << "follower: cannot reach primary " << primary << ": " << error
+              << '\n';
+    return 1;
+  }
+  std::cout << "follower: subscribed to " << primary << std::endl;
+
+  serve::AdminHooks admin_hooks;
+  admin_hooks.directory = directory.get();
+  admin_hooks.ready = [&follower](std::string* reason) {
+    if (!follower.stats().snapshot_loaded) {
+      if (reason != nullptr) *reason = "bootstrapping from primary snapshot";
+      return false;
+    }
+    return true;
+  };
+  admin_hooks.extra_status = [&](util::JsonWriter& json) {
+    json.field("mode", "follower");
+    json.field("primary", primary);
+  };
+  admin_hooks.cluster_status = [&](util::JsonWriter& json) {
+    const cluster::Follower::Stats stats = follower.stats();
+    json.field("snapshot_loaded", stats.snapshot_loaded);
+    json.field("tracks_restored", stats.tracks_restored);
+    json.field("lus_applied", stats.lus_applied);
+    json.field("ticks_applied", stats.ticks_applied);
+    json.field("last_tick", stats.last_tick);
+  };
+  const std::unique_ptr<serve::AdminServer> admin =
+      start_admin(config, std::move(admin_hooks));
+
+  std::atomic<bool> done{false};
+  bool clean = false;
+  std::thread runner([&] {
+    clean = follower.run();
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire) &&
+         !g_quit.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const bool stopped_by_signal = !done.load(std::memory_order_acquire);
+  follower.stop();
+  runner.join();
+
+  const cluster::Follower::Stats stats = follower.stats();
+  std::cout << "follower: snapshot "
+            << (stats.snapshot_loaded ? "loaded" : "missing") << " ("
+            << stats.tracks_restored << " tracks), " << stats.lus_applied
+            << " LUs replayed, " << stats.ticks_applied
+            << " ticks, last tick " << stats.last_tick << " -> "
+            << (clean ? "clean end of stream"
+                      : (stopped_by_signal ? "stopped"
+                                           : follower.last_error()))
+            << '\n';
+  const std::string final_out = config.get_string("final_out", "");
+  if (!final_out.empty()) write_final_state(final_out, *directory);
+  return clean || stopped_by_signal ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::Config config = util::Config::from_argv(argc, argv);
 
+    const std::string mode = config.get_string(
+        "mode", config.contains("eventlog") ? "replay" : "synthetic");
+    // The role label on mgrid_build_info is captured at registry
+    // construction, so it must be set before any telemetry comes up.
+    if (mode == "shard" || mode == "follower") obs::set_role(mode);
+
     const std::string metrics_out = config.get_string("metrics_out", "");
     if (!metrics_out.empty()) obs::set_enabled(true);
-    if (config.contains("admin_port")) {
+    if (config.contains("admin_port") || mode == "shard" ||
+        mode == "follower") {
       obs::set_enabled(true);
       std::signal(SIGINT, request_quit);
       std::signal(SIGTERM, request_quit);
     }
 
-    const std::string mode = config.get_string(
-        "mode", config.contains("eventlog") ? "replay" : "synthetic");
     int exit_code = 0;
     if (mode == "replay") {
       exit_code = run_replay(config);
     } else if (mode == "synthetic") {
       exit_code = run_synthetic(config);
+    } else if (mode == "shard") {
+      exit_code = run_shard(config);
+    } else if (mode == "follower") {
+      exit_code = run_follower(config);
     } else {
-      std::cerr << "unknown mode: " << mode << " (replay|synthetic)\n";
+      std::cerr << "unknown mode: " << mode
+                << " (replay|synthetic|shard|follower)\n";
       return 2;
     }
 

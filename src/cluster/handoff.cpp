@@ -1,0 +1,53 @@
+#include "cluster/handoff.h"
+
+#include <unordered_set>
+#include <variant>
+
+#include "serve/wal.h"
+
+namespace mgrid::cluster {
+
+std::size_t transfer_tracks(const serve::SnapshotData& snapshot,
+                            const std::vector<std::uint32_t>& mns,
+                            serve::ShardedDirectory& to) {
+  const std::unordered_set<std::uint32_t> wanted(mns.begin(), mns.end());
+  std::size_t restored = 0;
+  for (const serve::SnapshotData::Track& track : snapshot.tracks) {
+    if (wanted.find(track.mn) == wanted.end()) continue;
+    const double* it = track.words.data();
+    const double* end = it + track.words.size();
+    if (to.restore_track(track.mn, it, end) && it == end) ++restored;
+  }
+  return restored;
+}
+
+std::int64_t replay_wal_tail(const std::string& wal_path,
+                             std::uint64_t from_record,
+                             const std::vector<std::uint32_t>& mns,
+                             serve::ShardedDirectory& to) {
+  serve::WalReadResult wal;
+  try {
+    wal = serve::read_wal(wal_path);
+  } catch (const std::exception&) {
+    return -1;
+  }
+  const std::unordered_set<std::uint32_t> wanted(mns.begin(), mns.end());
+  std::int64_t applied = 0;
+  std::uint64_t index = 0;
+  for (const serve::wire::Message& record : wal.records) {
+    const std::uint64_t record_number = ++index;
+    if (record_number <= from_record) continue;
+    if (const auto* lu = std::get_if<serve::wire::LuMsg>(&record)) {
+      if (wanted.find(lu->mn) == wanted.end()) continue;
+      if (to.update(lu->mn, lu->t, {lu->x, lu->y}, {lu->vx, lu->vy})) {
+        ++applied;
+      }
+    } else if (const auto* tick =
+                   std::get_if<serve::wire::TickMsg>(&record)) {
+      to.advance_estimates(tick->t);
+    }
+  }
+  return applied;
+}
+
+}  // namespace mgrid::cluster

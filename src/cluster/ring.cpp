@@ -1,0 +1,95 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace mgrid::cluster {
+
+HashRing::HashRing(RingOptions options) : options_(options) {
+  if (options_.vnodes == 0) options_.vnodes = 1;
+  if (options_.probes == 0) options_.probes = 1;
+}
+
+bool HashRing::add_node(const std::string& name) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), name);
+  if (it != nodes_.end() && *it == name) return false;
+  nodes_.insert(it, name);
+  rebuild_points();
+  ++version_;
+  return true;
+}
+
+bool HashRing::remove_node(const std::string& name) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), name);
+  if (it == nodes_.end() || *it != name) return false;
+  nodes_.erase(it);
+  rebuild_points();
+  ++version_;
+  return true;
+}
+
+const std::string& HashRing::owner(std::uint32_t mn) const {
+  if (points_.empty()) {
+    throw std::logic_error("HashRing::owner on an empty ring");
+  }
+  // Multi-probe lookup: the key hashes to `probes` positions; the winner is
+  // the point with the smallest forward (clockwise) distance over all of
+  // them. Ties break by (point, node index) so every process agrees.
+  const std::uint64_t key = key_hash(mn);
+  std::uint64_t best_distance = 0;
+  const std::pair<std::uint64_t, std::uint32_t>* best = nullptr;
+  for (std::size_t p = 0; p < options_.probes; ++p) {
+    const std::uint64_t probe =
+        util::splitmix64(key + p * 0x9E3779B97F4A7C15ull);
+    auto it = std::upper_bound(
+        points_.begin(), points_.end(), probe,
+        [](std::uint64_t k, const auto& point) { return k < point.first; });
+    if (it == points_.end()) it = points_.begin();  // wrap past 2^64
+    const std::uint64_t distance = it->first - probe;  // mod-2^64 wraps
+    if (best == nullptr || distance < best_distance ||
+        (distance == best_distance && *it < *best)) {
+      best_distance = distance;
+      best = &*it;
+    }
+  }
+  return nodes_[best->second];
+}
+
+std::vector<std::string> HashRing::nodes() const { return nodes_; }
+
+bool HashRing::contains(const std::string& name) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), name);
+}
+
+std::uint64_t HashRing::key_hash(std::uint32_t mn) noexcept {
+  return util::splitmix64(mn);
+}
+
+void HashRing::rebuild_points() {
+  points_.clear();
+  points_.reserve(nodes_.size() * options_.vnodes);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    for (std::size_t v = 0; v < options_.vnodes; ++v) {
+      const std::uint64_t point = util::splitmix64(
+          util::fnv1a64(nodes_[n] + "#" + std::to_string(v)));
+      points_.emplace_back(point, n);
+    }
+  }
+  // nodes_ is sorted by name, so the index order is the name order and ties
+  // break deterministically regardless of insertion order.
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::uint32_t> moved_mns(const HashRing& before,
+                                     const HashRing& after,
+                                     const std::vector<std::uint32_t>& mns) {
+  std::vector<std::uint32_t> moved;
+  for (const std::uint32_t mn : mns) {
+    if (before.owner(mn) != after.owner(mn)) moved.push_back(mn);
+  }
+  return moved;
+}
+
+}  // namespace mgrid::cluster

@@ -1,8 +1,10 @@
 #include "obs/http.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -50,6 +52,76 @@ void set_io_timeout(int fd, double seconds) {
       (seconds - std::floor(seconds)) * 1e6);
   (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Connects with a hard deadline: the socket is flipped non-blocking for
+/// the connect so a black-holed peer (SYN swallowed by a firewall, a
+/// SIGKILLed shard whose address still routes) cannot park the caller in
+/// the kernel's minutes-long default; poll() is retried on EINTR. Returns
+/// false with `error` set on failure; the socket is left in blocking mode
+/// on success.
+bool connect_with_deadline(int fd, const sockaddr_in& addr, double seconds,
+                           std::string& error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    error = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    error = std::string("connect: ") + std::strerror(errno);
+    return false;
+  }
+  if (rc != 0) {
+    // In progress: poll for writability until the deadline, re-arming the
+    // remaining budget after every EINTR so signals cannot extend it.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(
+                              seconds > 0.0 ? seconds : 5.0);
+    for (;;) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        error = "connect: timed out";
+        return false;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int polled =
+          ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (polled < 0) {
+        if (errno == EINTR) continue;
+        error = std::string("poll: ") + std::strerror(errno);
+        return false;
+      }
+      if (polled == 0) {
+        error = "connect: timed out";
+        return false;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        error = std::string("getsockopt: ") + std::strerror(errno);
+        return false;
+      }
+      if (so_error != 0) {
+        error = std::string("connect: ") + std::strerror(so_error);
+        return false;
+      }
+      break;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    error = std::string("fcntl: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
 }
 
 /// send() the whole buffer; false on error/timeout. MSG_NOSIGNAL so a peer
@@ -409,9 +481,10 @@ ClientResponse http_get(const std::string& host, std::uint16_t port,
     out.error = "bad host address " + host;
     return out;
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    out.error = std::string("connect: ") + std::strerror(errno);
+  // The connect honours the same budget as the reads: a health-check loop
+  // probing a wedged or vanished peer returns within ~timeout_seconds
+  // instead of hanging on the kernel's default connect timeout.
+  if (!connect_with_deadline(fd, addr, timeout_seconds, out.error)) {
     ::close(fd);
     return out;
   }
@@ -423,6 +496,13 @@ ClientResponse http_get(const std::string& host, std::uint16_t port,
     ::close(fd);
     return out;
   }
+  // Overall read deadline: SO_RCVTIMEO bounds each recv(), but a peer
+  // dripping one byte per interval would reset that clock forever — the
+  // wall deadline bounds the whole response.
+  const auto read_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(timeout_seconds > 0.0 ? timeout_seconds
+                                                          : 5.0);
   std::string raw;
   char buffer[4096];
   for (;;) {
@@ -435,6 +515,11 @@ ClientResponse http_get(const std::string& host, std::uint16_t port,
     }
     if (n == 0) break;
     raw.append(buffer, static_cast<std::size_t>(n));
+    if (std::chrono::steady_clock::now() > read_deadline) {
+      out.error = "recv: response deadline exceeded";
+      ::close(fd);
+      return out;
+    }
   }
   ::close(fd);
 

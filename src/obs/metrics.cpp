@@ -44,6 +44,19 @@ const BuildInfo& build_info() noexcept {
   return info;
 }
 
+namespace {
+
+std::string& role_storage() {
+  static std::string role = "standalone";
+  return role;
+}
+
+}  // namespace
+
+const std::string& role() noexcept { return role_storage(); }
+
+void set_role(std::string role) { role_storage() = std::move(role); }
+
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) noexcept {
@@ -135,7 +148,8 @@ MetricsRegistry::MetricsRegistry() : uid_(next_registry_uid()) {
   const Gauge handle = gauge("mgrid_build_info",
                              {{"version", info.version},
                               {"compiler", info.compiler},
-                              {"build_type", info.build_type}},
+                              {"build_type", info.build_type},
+                              {"role", role()}},
                              "Build metadata; the value is always 1");
   build_info_cell_ = handle.cell_;
   build_info_cell_->set(1.0);

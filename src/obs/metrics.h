@@ -73,6 +73,13 @@ struct BuildInfo {
 
 [[nodiscard]] const BuildInfo& build_info() noexcept;
 
+/// Process role exported as the `role` label on `mgrid_build_info`:
+/// "standalone" (default), "router", "shard" or "follower". Set it in main()
+/// *before* any registry is constructed — the label is captured at registry
+/// construction and never re-read.
+[[nodiscard]] const std::string& role() noexcept;
+void set_role(std::string role);
+
 /// Label key/value pairs attached to a metric (kept sorted by key).
 using Labels = std::vector<std::pair<std::string, std::string>>;
 

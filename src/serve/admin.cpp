@@ -326,6 +326,7 @@ obs::http::Response AdminServer::statusz() const {
   json.begin_object();
   json.field("schema", "mgrid-statusz-v1");
   json.field("build", options_.build_info);
+  json.field("role", obs::role());
   json.field("uptime_seconds",
              std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            started_)
@@ -433,6 +434,12 @@ obs::http::Response AdminServer::statusz() const {
     json.field("sample_period", spans.sample_period);
     json.field("sampled", spans.sampled);
     json.field("dropped", spans.dropped);
+    json.end_object();
+  }
+
+  if (hooks_.cluster_status) {
+    json.key("cluster").begin_object();
+    hooks_.cluster_status(json);
     json.end_object();
   }
 

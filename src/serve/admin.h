@@ -10,10 +10,11 @@
 //                 backlog at or under ready_max_pending and the driver's
 //                 ready predicate, when set, agrees); 503 with the reason
 //                 otherwise
-//   GET /statusz  JSON snapshot (mgrid-statusz-v1): build info, uptime,
-//                 directory shard occupancy, ingest/backpressure counters
-//                 and per-source queue depths, SLO report, plus any
-//                 driver-provided progress fields
+//   GET /statusz  JSON snapshot (mgrid-statusz-v1): build info, process
+//                 role, uptime, directory shard occupancy,
+//                 ingest/backpressure counters and per-source queue depths,
+//                 SLO report, a cluster block on router/shard/follower
+//                 nodes, plus any driver-provided progress fields
 //   GET /varz     raw counter dump, one `name{labels} value` per line
 //   GET /tracez   latency attribution (mgrid-tracez-v1): per-SLI histogram
 //                 exemplars and the top-K slowest sampled LU spans with
@@ -76,6 +77,11 @@ struct AdminHooks {
   std::function<bool(std::string* reason)> ready;
   /// Appends driver-specific fields inside /statusz's "driver" object.
   std::function<void(util::JsonWriter&)> extra_status;
+  /// Appends cluster-plane fields (ring version, shard epochs,
+  /// forward/merge counters) inside /statusz's "cluster" object — wired by
+  /// router/shard/follower drivers (see cluster/router.h). Absent on
+  /// standalone nodes, and so is the block.
+  std::function<void(util::JsonWriter&)> cluster_status;
   /// Fired by /quitz (e.g. set an atomic the driver loop polls).
   std::function<void()> on_quit;
 };

@@ -171,6 +171,10 @@ bool IngestPipeline::submit(const wire::LuMsg& msg) {
         options_.wal->append(msg);
       }
     }
+    // Replication tap under the same lock: the tapped stream's per-MN order
+    // is the queue's (== the WAL's), which is what makes follower replay
+    // deterministic. Tap time lands in the span's queue stage.
+    if (options_.lu_tap) options_.lu_tap(msg);
     depth = queue.lus.size();
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);

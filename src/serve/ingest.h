@@ -87,6 +87,13 @@ struct IngestOptions {
   /// "update_latency" SLI. Must outlive the pipeline. Cost when the tracer
   /// is disabled: one relaxed atomic load per submit.
   obs::SpanTracer* spans = nullptr;
+  /// Replication tap: called for every *accepted* LU under the source-queue
+  /// lock, right after the WAL append — the tap sees the exact per-MN
+  /// record order the WAL and the workers see, so a follower replaying the
+  /// tapped stream serially reaches the same directory state (see
+  /// cluster/replication.h). Must be fast (buffer, don't block on I/O) and
+  /// must not call back into the pipeline. Empty = disabled.
+  std::function<void(const wire::LuMsg&)> lu_tap;
 };
 
 struct IngestStats {

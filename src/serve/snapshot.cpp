@@ -47,9 +47,10 @@ double get_f64(const std::uint8_t* p) {
 
 }  // namespace
 
-bool write_snapshot(const ShardedDirectory& directory, const std::string& dir,
-                    std::uint64_t wal_records, double snap_time) {
-  std::vector<std::uint8_t> bytes;
+bool encode_snapshot(const ShardedDirectory& directory,
+                     std::uint64_t wal_records, double snap_time,
+                     std::vector<std::uint8_t>& bytes) {
+  bytes.clear();
   bytes.insert(bytes.end(), kSnapshotMagic, kSnapshotMagic + 4);
   bytes.push_back(kSnapshotVersion);
   bytes.push_back(0);
@@ -82,6 +83,13 @@ bool write_snapshot(const ShardedDirectory& directory, const std::string& dir,
   bytes[count_offset + 2] = static_cast<std::uint8_t>(track_count >> 16);
   bytes[count_offset + 3] = static_cast<std::uint8_t>(track_count >> 24);
   put_u32(bytes, crc32c(bytes.data(), bytes.size()));
+  return true;
+}
+
+bool write_snapshot(const ShardedDirectory& directory, const std::string& dir,
+                    std::uint64_t wal_records, double snap_time) {
+  std::vector<std::uint8_t> bytes;
+  if (!encode_snapshot(directory, wal_records, snap_time, bytes)) return false;
 
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -104,42 +112,47 @@ bool write_snapshot(const ShardedDirectory& directory, const std::string& dir,
   return true;
 }
 
-bool load_snapshot(const std::string& path, SnapshotData& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
-                                  std::istreambuf_iterator<char>()};
+bool decode_snapshot(const std::uint8_t* data, std::size_t size,
+                     SnapshotData& out) {
   // Fixed part: magic(4) + version(1) + pad(3) + wal_records(8) +
   // snap_time(8) + track_count(4) + trailing crc(4).
   constexpr std::size_t kFixedBytes = 4 + 4 + 8 + 8 + 4 + 4;
-  if (bytes.size() < kFixedBytes) return false;
-  if (std::memcmp(bytes.data(), kSnapshotMagic, 4) != 0) return false;
-  if (bytes[4] != kSnapshotVersion) return false;
-  const std::uint32_t stored_crc = get_u32(bytes.data() + bytes.size() - 4);
-  if (crc32c(bytes.data(), bytes.size() - 4) != stored_crc) return false;
+  if (size < kFixedBytes) return false;
+  if (std::memcmp(data, kSnapshotMagic, 4) != 0) return false;
+  if (data[4] != kSnapshotVersion) return false;
+  const std::uint32_t stored_crc = get_u32(data + size - 4);
+  if (crc32c(data, size - 4) != stored_crc) return false;
 
-  out.wal_records = get_u64(bytes.data() + 8);
-  out.snap_time = get_f64(bytes.data() + 16);
-  const std::uint32_t track_count = get_u32(bytes.data() + 24);
+  out.wal_records = get_u64(data + 8);
+  out.snap_time = get_f64(data + 16);
+  const std::uint32_t track_count = get_u32(data + 24);
   out.tracks.clear();
   out.tracks.reserve(track_count);
   std::size_t pos = 28;
-  const std::size_t body_end = bytes.size() - 4;
+  const std::size_t body_end = size - 4;
   for (std::uint32_t i = 0; i < track_count; ++i) {
     if (body_end - pos < 8) return false;
     SnapshotData::Track track;
-    track.mn = get_u32(bytes.data() + pos);
-    const std::uint32_t word_count = get_u32(bytes.data() + pos + 4);
+    track.mn = get_u32(data + pos);
+    const std::uint32_t word_count = get_u32(data + pos + 4);
     pos += 8;
     if ((body_end - pos) / 8 < word_count) return false;
     track.words.reserve(word_count);
     for (std::uint32_t w = 0; w < word_count; ++w) {
-      track.words.push_back(get_f64(bytes.data() + pos));
+      track.words.push_back(get_f64(data + pos));
       pos += 8;
     }
     out.tracks.push_back(std::move(track));
   }
   return pos == body_end;
+}
+
+bool load_snapshot(const std::string& path, SnapshotData& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return decode_snapshot(bytes.data(), bytes.size(), out);
 }
 
 std::size_t apply_snapshot(ShardedDirectory& directory,

@@ -41,6 +41,15 @@ inline constexpr std::uint8_t kSnapshotVersion = 1;
 bool write_snapshot(const ShardedDirectory& directory, const std::string& dir,
                     std::uint64_t wal_records, double snap_time);
 
+/// Serializes `directory` to an in-memory mgrid-snap-v1 image (the exact
+/// bytes write_snapshot() would put on disk) — the cluster layer ships this
+/// over the wire to bootstrap followers and hand off shards. Same barrier
+/// requirement as write_snapshot(); returns false when any track refuses
+/// state capture (`out` is then unspecified).
+bool encode_snapshot(const ShardedDirectory& directory,
+                     std::uint64_t wal_records, double snap_time,
+                     std::vector<std::uint8_t>& out);
+
 /// A parsed snapshot, not yet applied to a directory.
 struct SnapshotData {
   std::uint64_t wal_records = 0;
@@ -56,6 +65,12 @@ struct SnapshotData {
 /// on any damage: short file, foreign magic, unsupported version, CRC
 /// mismatch or inconsistent counts. Never throws on damaged content.
 [[nodiscard]] bool load_snapshot(const std::string& path, SnapshotData& out);
+
+/// Parses an in-memory mgrid-snap-v1 image (load_snapshot() minus the
+/// file read) — the receiving side of snapshot shipping. Same validation
+/// and failure contract as load_snapshot().
+[[nodiscard]] bool decode_snapshot(const std::uint8_t* data, std::size_t size,
+                                   SnapshotData& out);
 
 /// Applies a parsed snapshot to an *empty* directory. Returns the number of
 /// tracks restored; tracks whose state fails validation are skipped (the

@@ -98,6 +98,16 @@ std::string_view to_string(MsgType type) noexcept {
       return "nearest_query";
     case MsgType::kTick:
       return "tick";
+    case MsgType::kNeighbor:
+      return "neighbor";
+    case MsgType::kQueryDone:
+      return "query_done";
+    case MsgType::kSubscribe:
+      return "subscribe";
+    case MsgType::kSnapshotChunk:
+      return "snapshot_chunk";
+    case MsgType::kSnapshotDone:
+      return "snapshot_done";
   }
   return "unknown";
 }
@@ -117,6 +127,16 @@ std::size_t payload_size(MsgType type) noexcept {
     case MsgType::kNearestQuery:
       return 24;
     case MsgType::kTick:
+      return 16;
+    case MsgType::kNeighbor:
+      return 32;
+    case MsgType::kQueryDone:
+      return 16;
+    case MsgType::kSubscribe:
+      return 16;
+    case MsgType::kSnapshotChunk:
+      return kVariablePayload;
+    case MsgType::kSnapshotDone:
       return 16;
   }
   return 0;
@@ -194,6 +214,51 @@ std::size_t encode(std::vector<std::uint8_t>& out, const TickMsg& msg) {
   return out.size() - start;
 }
 
+std::size_t encode(std::vector<std::uint8_t>& out, const NeighborMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kNeighbor);
+  put_u32(out, msg.mn);
+  put_u32(out, 0);
+  put_f64(out, msg.distance);
+  put_f64(out, msg.x);
+  put_f64(out, msg.y);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const QueryDoneMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kQueryDone);
+  put_u32(out, msg.count);
+  put_u32(out, 0);
+  put_f64(out, msg.t);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const SubscribeMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kSubscribe);
+  put_u64(out, msg.from_record);
+  put_u64(out, msg.flags);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out,
+                   const SnapshotChunkMsg& msg) {
+  if (msg.bytes.size() > kMaxChunkBytes) return 0;
+  const std::size_t start = out.size();
+  put_u16(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(MsgType::kSnapshotChunk));
+  put_u32(out, static_cast<std::uint32_t>(msg.bytes.size()));
+  out.insert(out.end(), msg.bytes.begin(), msg.bytes.end());
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out,
+                   const SnapshotDoneMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kSnapshotDone);
+  put_u64(out, msg.total_bytes);
+  put_u64(out, msg.wal_records);
+  return out.size() - start;
+}
+
 Decoded decode_frame(std::span<const std::uint8_t> buffer) {
   Decoded result;
   if (buffer.size() < kHeaderBytes) {
@@ -223,12 +288,21 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
     return result;
   }
   const auto type = static_cast<MsgType>(buffer[3]);
-  const std::size_t expected = payload_size(type);
+  std::size_t expected = payload_size(type);
   if (expected == 0) {
     result.status = DecodeStatus::kBadType;
     return result;
   }
-  if (get_u32(buffer, 4) != expected) {
+  const std::uint32_t declared = get_u32(buffer, 4);
+  if (expected == kVariablePayload) {
+    // The one variable-length type: the header's length is authoritative,
+    // bounded so a hostile header cannot demand an unbounded buffer.
+    if (declared > kMaxChunkBytes) {
+      result.status = DecodeStatus::kBadLength;
+      return result;
+    }
+    expected = declared;
+  } else if (declared != expected) {
     result.status = DecodeStatus::kBadLength;
     return result;
   }
@@ -298,6 +372,43 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
       TickMsg msg;
       msg.t = get_f64(buffer, p);
       msg.tick = get_u64(buffer, p + 8);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kNeighbor: {
+      NeighborMsg msg;
+      msg.mn = get_u32(buffer, p);
+      msg.distance = get_f64(buffer, p + 8);
+      msg.x = get_f64(buffer, p + 16);
+      msg.y = get_f64(buffer, p + 24);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kQueryDone: {
+      QueryDoneMsg msg;
+      msg.count = get_u32(buffer, p);
+      msg.t = get_f64(buffer, p + 8);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kSubscribe: {
+      SubscribeMsg msg;
+      msg.from_record = get_u64(buffer, p);
+      msg.flags = get_u64(buffer, p + 8);
+      result.msg = msg;
+      break;
+    }
+    case MsgType::kSnapshotChunk: {
+      SnapshotChunkMsg msg;
+      msg.bytes.assign(buffer.begin() + static_cast<std::ptrdiff_t>(p),
+                       buffer.begin() + static_cast<std::ptrdiff_t>(p + expected));
+      result.msg = std::move(msg);
+      break;
+    }
+    case MsgType::kSnapshotDone: {
+      SnapshotDoneMsg msg;
+      msg.total_bytes = get_u64(buffer, p);
+      msg.wal_records = get_u64(buffer, p + 8);
       result.msg = msg;
       break;
     }

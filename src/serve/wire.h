@@ -22,6 +22,22 @@
 //   kNearestQuery (6), 24 bytes: x f64, y f64, k u32, pad u32
 //   kTick (7), 16 bytes:        t f64, tick u64
 //
+// Cluster extensions (same version — an old decoder rejects them as
+// kBadType and drops the connection, which is the desired failure mode for
+// a mixed-version cluster):
+//
+//   kNeighbor (8), 32 bytes:    mn u32, pad u32, distance f64, x f64, y f64
+//                               (one spatial-query hit; a query's reply is a
+//                               kNeighbor stream closed by kQueryDone)
+//   kQueryDone (9), 16 bytes:   count u32, pad u32, t f64
+//   kSubscribe (10), 16 bytes:  from_record u64, flags u64
+//                               (follower -> primary: stream your per-MN LU
+//                               substream; the primary bootstraps the
+//                               follower with a snapshot first)
+//   kSnapshotChunk (11), VARIABLE payload (<= kMaxChunkBytes): raw bytes of
+//                               an mgrid-snap-v1 image, in order
+//   kSnapshotDone (12), 16 bytes: total_bytes u64, wal_records u64
+//
 // decode_frame() never throws on hostile bytes: it returns a typed status
 // (bad magic / version / type / length, or "need more data" for a prefix of
 // a valid frame) so a network reader can resynchronise or disconnect.
@@ -52,6 +68,23 @@ enum class MsgType : std::uint8_t {
   /// layer's write-ahead log at each flush/advance boundary so recovery can
   /// replay to a consistent cut (see serve/wal.h).
   kTick = 7,
+  /// One spatial-query hit (server -> client). A query's reply is a
+  /// kNeighbor stream terminated by kQueryDone, so the router can merge
+  /// shard replies without knowing result counts up front.
+  kNeighbor = 8,
+  /// Terminates a kNeighbor stream; `count` echoes the hits sent.
+  kQueryDone = 9,
+  /// Follower -> primary: subscribe to the primary's LU substream. The
+  /// primary bootstraps the subscriber with a snapshot (kSnapshotChunk* +
+  /// kSnapshotDone) taken at the next tick barrier, then streams every
+  /// subsequent kLu/kTick in WAL order (see cluster/replication.h).
+  kSubscribe = 10,
+  /// One chunk of an mgrid-snap-v1 image. The only variable-length frame:
+  /// payload_len is the chunk size (<= kMaxChunkBytes).
+  kSnapshotChunk = 11,
+  /// Ends a snapshot transfer; total_bytes lets the receiver verify no
+  /// chunk went missing before parsing.
+  kSnapshotDone = 12,
 };
 
 enum class AckStatus : std::uint8_t {
@@ -114,9 +147,49 @@ struct TickMsg {
   std::uint64_t tick = 0;
 };
 
+/// One spatial-query hit on the wire (mirrors serve::Neighbor).
+struct NeighborMsg {
+  std::uint32_t mn = 0;
+  double distance = 0.0;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Terminates a kNeighbor stream.
+struct QueryDoneMsg {
+  std::uint32_t count = 0;
+  double t = 0.0;
+};
+
+/// Follower subscription request. `from_record` is reserved for resuming a
+/// broken stream at a WAL position (0 = bootstrap from snapshot); `flags`
+/// is reserved and must be 0.
+struct SubscribeMsg {
+  std::uint64_t from_record = 0;
+  std::uint64_t flags = 0;
+};
+
+/// One chunk of a snapshot image. The single variable-length message; an
+/// encoder may send any chunk size up to kMaxChunkBytes.
+struct SnapshotChunkMsg {
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Ends a snapshot transfer.
+struct SnapshotDoneMsg {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t wal_records = 0;
+};
+
+/// Ceiling on a kSnapshotChunk payload; larger declared lengths are
+/// kBadLength so a hostile header cannot make a reader buffer gigabytes.
+inline constexpr std::size_t kMaxChunkBytes = 1 << 20;
+
 using Message =
     std::variant<std::monostate, LuMsg, AckMsg, LookupMsg, LookupReplyMsg,
-                 RegionQueryMsg, NearestQueryMsg, TickMsg>;
+                 RegionQueryMsg, NearestQueryMsg, TickMsg, NeighborMsg,
+                 QueryDoneMsg, SubscribeMsg, SnapshotChunkMsg,
+                 SnapshotDoneMsg>;
 
 enum class DecodeStatus : std::uint8_t {
   kOk = 0,
@@ -144,7 +217,14 @@ struct Decoded {
   }
 };
 
-/// Fixed payload size for a message type; 0 for an unknown type byte.
+/// Sentinel returned by payload_size() for the variable-length type
+/// (kSnapshotChunk): the header's payload_len is authoritative, bounded by
+/// kMaxChunkBytes.
+inline constexpr std::size_t kVariablePayload =
+    static_cast<std::size_t>(-1);
+
+/// Fixed payload size for a message type; kVariablePayload for
+/// kSnapshotChunk; 0 for an unknown type byte.
 [[nodiscard]] std::size_t payload_size(MsgType type) noexcept;
 
 /// Appends one encoded frame to `out`. Returns the frame size in bytes.
@@ -155,6 +235,12 @@ std::size_t encode(std::vector<std::uint8_t>& out, const LookupReplyMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const RegionQueryMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const NearestQueryMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const TickMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const NeighborMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const QueryDoneMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const SubscribeMsg& msg);
+/// Fails (returns 0, appends nothing) when msg.bytes > kMaxChunkBytes.
+std::size_t encode(std::vector<std::uint8_t>& out, const SnapshotChunkMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const SnapshotDoneMsg& msg);
 
 /// Decodes the frame at the start of `buffer`. Never throws; malformed
 /// bytes yield a non-kOk status with consumed == 0 so the caller decides

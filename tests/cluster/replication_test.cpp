@@ -1,0 +1,265 @@
+#include "cluster/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/lu_server.h"
+#include "estimation/estimator.h"
+#include "serve/directory.h"
+#include "serve/ingest.h"
+#include "serve/wal.h"
+#include "serve/wire.h"
+
+namespace mgrid::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+serve::DirectoryOptions directory_options() {
+  serve::DirectoryOptions options;
+  options.shards = 4;
+  options.history_limit = 4;
+  return options;
+}
+
+std::unique_ptr<serve::ShardedDirectory> make_directory() {
+  return std::make_unique<serve::ShardedDirectory>(
+      directory_options(), estimation::make_estimator("brown_polar", 0.3, 1.0));
+}
+
+wire::LuMsg walk_lu(std::uint32_t mn, std::uint64_t k) {
+  wire::LuMsg lu;
+  lu.mn = mn;
+  lu.seq = static_cast<std::uint32_t>(k);
+  lu.t = static_cast<double>(k);
+  lu.x = 100.0 + 3.0 * static_cast<double>(mn) +
+         1.7 * static_cast<double>(k) + 0.1 * std::sin(static_cast<double>(k));
+  lu.y = 50.0 + 2.0 * static_cast<double>(mn) - 0.9 * static_cast<double>(k);
+  lu.vx = 1.7;
+  lu.vy = -0.9;
+  return lu;
+}
+
+void expect_identical(const serve::ShardedDirectory& a,
+                      const serve::ShardedDirectory& b) {
+  const std::vector<serve::DirectoryEntry> sa = a.snapshot();
+  const std::vector<serve::DirectoryEntry> sb = b.snapshot();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].mn, sb[i].mn);
+    EXPECT_EQ(sa[i].t, sb[i].t) << "mn " << sa[i].mn;
+    EXPECT_EQ(sa[i].position.x, sb[i].position.x) << "mn " << sa[i].mn;
+    EXPECT_EQ(sa[i].position.y, sb[i].position.y) << "mn " << sa[i].mn;
+    EXPECT_EQ(sa[i].estimated, sb[i].estimated) << "mn " << sa[i].mn;
+  }
+}
+
+/// A primary shard: directory + WAL + pipeline whose lu_tap feeds the hub +
+/// LU server that hands kSubscribe sockets to it.
+struct Primary {
+  std::string wal_dir;
+  std::unique_ptr<serve::ShardedDirectory> directory = make_directory();
+  std::unique_ptr<ReplicationHub> hub;
+  std::unique_ptr<serve::WalWriter> wal;
+  std::unique_ptr<serve::IngestPipeline> pipeline;
+  std::unique_ptr<LuServer> server;
+
+  explicit Primary(const std::string& dir) : wal_dir(dir) {
+    fs::remove_all(wal_dir);
+    fs::create_directories(wal_dir);
+    hub = std::make_unique<ReplicationHub>(*directory);
+    wal = std::make_unique<serve::WalWriter>(wal_dir + "/wal.log",
+                                             serve::FsyncPolicy::kNever);
+    serve::IngestOptions ingest;
+    ingest.sources = 3;
+    ingest.workers = 2;
+    ingest.wal = wal.get();
+    ingest.lu_tap = [this](const wire::LuMsg& msg) { hub->on_lu(msg); };
+    pipeline = std::make_unique<serve::IngestPipeline>(*directory, ingest);
+    LuServerHooks hooks;
+    hooks.directory = directory.get();
+    hooks.pipeline = pipeline.get();
+    hooks.wal = wal.get();
+    hooks.replication = hub.get();
+    server = std::make_unique<LuServer>(LuServerOptions{}, hooks);
+    server->start();
+  }
+  ~Primary() {
+    server->stop();
+    hub->stop();
+    pipeline->stop();
+    fs::remove_all(wal_dir);
+  }
+};
+
+/// Polls `predicate` with a wall deadline — replication is asynchronous, so
+/// assertions about the follower's progress must wait for delivery.
+template <typename Predicate>
+bool eventually(Predicate predicate, double timeout_seconds = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  while (!predicate()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+void drive_ticks(ShardClient& client, std::uint64_t first, std::uint64_t last,
+                 std::uint32_t nodes) {
+  for (std::uint64_t k = first; k <= last; ++k) {
+    std::vector<wire::LuMsg> batch;
+    for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+      if (mn == 0 && k % 2 == 1) continue;
+      batch.push_back(walk_lu(mn, k));
+    }
+    ASSERT_TRUE(client.send_lus(batch));
+    ASSERT_TRUE(client.tick(static_cast<double>(k), k));
+  }
+}
+
+TEST(Replication, MidStreamFollowerConvergesBitExact) {
+  Primary primary(
+      (fs::temp_directory_path() / "mgrid_repl_midstream_test").string());
+  ShardClientOptions driver_options;
+  driver_options.port = primary.server->port();
+  ShardClient driver(driver_options);
+  std::string error;
+  ASSERT_TRUE(driver.connect(&error)) << error;
+
+  constexpr std::uint32_t kNodes = 6;
+  // History the follower will have to bootstrap from a snapshot.
+  drive_ticks(driver, 1, 5, kNodes);
+
+  const std::unique_ptr<serve::ShardedDirectory> follower_dir =
+      make_directory();
+  FollowerOptions follower_options;
+  follower_options.port = primary.server->port();
+  Follower follower(*follower_dir, follower_options);
+  ASSERT_TRUE(follower.connect(&error)) << error;
+  std::thread runner([&follower] { follower.run(); });
+
+  // Wait for the server to hand the subscriber to the hub, so the very next
+  // barrier (tick 6) bootstraps it — making the snapshot boundary
+  // deterministic for the assertions below.
+  ASSERT_TRUE(eventually([&primary] {
+    const ReplicationHub::Stats stats = primary.hub->stats();
+    return stats.pending + stats.subscribers >= 1;
+  }));
+
+  drive_ticks(driver, 6, 12, kNodes);
+  ASSERT_TRUE(primary.hub->drain());
+  ASSERT_TRUE(eventually(
+      [&follower] { return follower.stats().last_tick == 12; }))
+      << "follower stalled: " << follower.last_error();
+
+  follower.stop();
+  runner.join();
+
+  const Follower::Stats stats = follower.stats();
+  EXPECT_TRUE(stats.snapshot_loaded);
+  EXPECT_GT(stats.snapshot_bytes, 0u);
+  EXPECT_EQ(stats.tracks_restored, kNodes);  // all MNs active by tick 6
+  EXPECT_EQ(stats.ticks_applied, 6u);        // barriers 7..12 streamed
+  EXPECT_EQ(stats.lus_rejected, 0u);
+  EXPECT_EQ(stats.last_tick_t, 12.0);
+
+  // The determinism gate: follower == primary to the bit (0 m deviation).
+  expect_identical(*primary.directory, *follower_dir);
+
+  // Estimator internals replicated exactly too: both sides forecast the
+  // same positions past the end of the stream.
+  primary.directory->advance_estimates(15.0);
+  follower_dir->advance_estimates(15.0);
+  expect_identical(*primary.directory, *follower_dir);
+
+  const ReplicationHub::Stats hub_stats = primary.hub->stats();
+  EXPECT_EQ(hub_stats.attached_total, 1u);
+  EXPECT_EQ(hub_stats.dropped_slow, 0u);
+  EXPECT_GT(hub_stats.bytes_streamed, 0u);
+}
+
+TEST(Replication, FollowerAttachedBeforeAnyDataStartsEmpty) {
+  Primary primary(
+      (fs::temp_directory_path() / "mgrid_repl_fresh_test").string());
+  ShardClientOptions driver_options;
+  driver_options.port = primary.server->port();
+  ShardClient driver(driver_options);
+  ASSERT_TRUE(driver.connect());
+
+  const std::unique_ptr<serve::ShardedDirectory> follower_dir =
+      make_directory();
+  FollowerOptions follower_options;
+  follower_options.port = primary.server->port();
+  Follower follower(*follower_dir, follower_options);
+  std::string error;
+  ASSERT_TRUE(follower.connect(&error)) << error;
+  std::thread runner([&follower] { follower.run(); });
+  ASSERT_TRUE(eventually([&primary] {
+    const ReplicationHub::Stats stats = primary.hub->stats();
+    return stats.pending + stats.subscribers >= 1;
+  }));
+
+  drive_ticks(driver, 1, 8, 5);
+  ASSERT_TRUE(primary.hub->drain());
+  ASSERT_TRUE(eventually(
+      [&follower] { return follower.stats().last_tick == 8; }))
+      << "follower stalled: " << follower.last_error();
+  follower.stop();
+  runner.join();
+
+  const Follower::Stats stats = follower.stats();
+  EXPECT_TRUE(stats.snapshot_loaded);
+  // The bootstrap snapshot was empty (taken at tick 1 with the stream
+  // racing in behind it, or at worst covered tick 1): everything else
+  // arrived as live LUs.
+  EXPECT_GT(stats.lus_applied, 0u);
+  expect_identical(*primary.directory, *follower_dir);
+}
+
+TEST(Replication, StoppingTheFollowerDetachesItFromTheHub) {
+  Primary primary(
+      (fs::temp_directory_path() / "mgrid_repl_detach_test").string());
+  ShardClientOptions driver_options;
+  driver_options.port = primary.server->port();
+  ShardClient driver(driver_options);
+  ASSERT_TRUE(driver.connect());
+
+  const std::unique_ptr<serve::ShardedDirectory> follower_dir =
+      make_directory();
+  FollowerOptions follower_options;
+  follower_options.port = primary.server->port();
+  Follower follower(*follower_dir, follower_options);
+  ASSERT_TRUE(follower.connect());
+  std::thread runner([&follower] { follower.run(); });
+  ASSERT_TRUE(eventually([&primary] {
+    const ReplicationHub::Stats stats = primary.hub->stats();
+    return stats.pending + stats.subscribers >= 1;
+  }));
+  drive_ticks(driver, 1, 3, 4);
+
+  follower.stop();
+  runner.join();
+
+  // The hub notices the dead socket at the next write and reaps it.
+  drive_ticks(driver, 4, 6, 4);
+  ASSERT_TRUE(eventually([&primary] {
+    const ReplicationHub::Stats stats = primary.hub->stats();
+    return stats.subscribers == 0 && stats.pending == 0;
+  }));
+  EXPECT_GE(primary.hub->stats().detached_total, 1u);
+}
+
+}  // namespace
+}  // namespace mgrid::cluster

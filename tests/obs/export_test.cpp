@@ -40,8 +40,8 @@ TEST(PrometheusExport, GoldenText) {
       "# HELP mgrid_build_info Build metadata; the value is always 1\n"
       "# TYPE mgrid_build_info gauge\n"
       "mgrid_build_info{build_type=\"" + info.build_type +
-      "\",compiler=\"" + info.compiler + "\",version=\"" + info.version +
-      "\"} 1\n"
+      "\",compiler=\"" + info.compiler + "\",role=\"" + role() +
+      "\",version=\"" + info.version + "\"} 1\n"
       "# HELP mgrid_test_depth Queue depth\n"
       "# TYPE mgrid_test_depth gauge\n"
       "mgrid_test_depth 7\n"

@@ -182,7 +182,9 @@ TEST(MetricsRegistry, EveryRegistryCarriesTheBuildInfoGauge) {
   EXPECT_FALSE(info.build_type.empty());
   const Labels labels{{"build_type", info.build_type},
                       {"compiler", info.compiler},
+                      {"role", role()},
                       {"version", info.version}};
+  EXPECT_EQ(role(), "standalone");  // the default until set_role()
 
   const MetricsSnapshot snapshot = registry.snapshot();
   const MetricSample* sample = snapshot.find("mgrid_build_info", labels);
@@ -192,8 +194,8 @@ TEST(MetricsRegistry, EveryRegistryCarriesTheBuildInfoGauge) {
 
   // reset() zeroes measurements but re-pins the constant gauge.
   registry.reset();
-  const MetricSample* after =
-      registry.snapshot().find("mgrid_build_info", labels);
+  const MetricsSnapshot reset_snapshot = registry.snapshot();
+  const MetricSample* after = reset_snapshot.find("mgrid_build_info", labels);
   ASSERT_NE(after, nullptr);
   EXPECT_DOUBLE_EQ(after->value, 1.0);
 }

@@ -174,7 +174,92 @@ TEST(Wire, PayloadSizesMatchSpec) {
   EXPECT_EQ(payload_size(MsgType::kRegionQuery), 32u);
   EXPECT_EQ(payload_size(MsgType::kNearestQuery), 24u);
   EXPECT_EQ(payload_size(MsgType::kTick), 16u);
+  EXPECT_EQ(payload_size(MsgType::kNeighbor), 32u);
+  EXPECT_EQ(payload_size(MsgType::kQueryDone), 16u);
+  EXPECT_EQ(payload_size(MsgType::kSubscribe), 16u);
+  EXPECT_EQ(payload_size(MsgType::kSnapshotChunk), kVariablePayload);
+  EXPECT_EQ(payload_size(MsgType::kSnapshotDone), 16u);
   EXPECT_EQ(payload_size(static_cast<MsgType>(0)), 0u);
+}
+
+TEST(Wire, ClusterMessageTypesRoundTrip) {
+  std::vector<std::uint8_t> buffer;
+  NeighborMsg neighbor{17, 42.5, -3.25, 1e-12};
+  encode(buffer, neighbor);
+  QueryDoneMsg done{9, 88.0};
+  encode(buffer, done);
+  SubscribeMsg subscribe{0xABCDEF0123456789ull, 0};
+  encode(buffer, subscribe);
+  SnapshotDoneMsg snap_done{123456789ull, 987ull};
+  encode(buffer, snap_done);
+
+  std::span<const std::uint8_t> cursor(buffer);
+  Decoded d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<NeighborMsg>(d.msg).mn, 17u);
+  EXPECT_EQ(std::get<NeighborMsg>(d.msg).distance, 42.5);
+  EXPECT_EQ(std::get<NeighborMsg>(d.msg).x, -3.25);
+  EXPECT_EQ(std::get<NeighborMsg>(d.msg).y, 1e-12);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<QueryDoneMsg>(d.msg).count, 9u);
+  EXPECT_EQ(std::get<QueryDoneMsg>(d.msg).t, 88.0);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<SubscribeMsg>(d.msg).from_record, 0xABCDEF0123456789ull);
+  EXPECT_EQ(std::get<SubscribeMsg>(d.msg).flags, 0u);
+  cursor = cursor.subspan(d.consumed);
+
+  d = decode_frame(cursor);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(std::get<SnapshotDoneMsg>(d.msg).total_bytes, 123456789ull);
+  EXPECT_EQ(std::get<SnapshotDoneMsg>(d.msg).wal_records, 987ull);
+  cursor = cursor.subspan(d.consumed);
+  EXPECT_TRUE(cursor.empty());
+}
+
+TEST(Wire, SnapshotChunkCarriesVariablePayload) {
+  SnapshotChunkMsg chunk;
+  chunk.bytes.resize(4099);
+  for (std::size_t i = 0; i < chunk.bytes.size(); ++i) {
+    chunk.bytes[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  std::vector<std::uint8_t> buffer;
+  const std::size_t frame_size = encode(buffer, chunk);
+  EXPECT_EQ(frame_size, kHeaderBytes + chunk.bytes.size());
+
+  const Decoded decoded = decode_frame(buffer);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.consumed, frame_size);
+  EXPECT_EQ(std::get<SnapshotChunkMsg>(decoded.msg).bytes, chunk.bytes);
+
+  // An empty chunk is legal (a zero-byte snapshot tail).
+  SnapshotChunkMsg empty;
+  std::vector<std::uint8_t> small;
+  encode(small, empty);
+  const Decoded decoded_empty = decode_frame(small);
+  ASSERT_TRUE(decoded_empty.ok());
+  EXPECT_TRUE(std::get<SnapshotChunkMsg>(decoded_empty.msg).bytes.empty());
+
+  // Oversized chunks refuse to encode; an oversized declared length is
+  // kBadLength on decode (a hostile header must not buffer gigabytes).
+  SnapshotChunkMsg huge;
+  huge.bytes.resize(kMaxChunkBytes + 1);
+  std::vector<std::uint8_t> refused;
+  EXPECT_EQ(encode(refused, huge), 0u);
+  EXPECT_TRUE(refused.empty());
+
+  std::vector<std::uint8_t> bad = buffer;
+  const std::uint32_t lie = kMaxChunkBytes + 1;
+  bad[4] = static_cast<std::uint8_t>(lie & 0xFF);
+  bad[5] = static_cast<std::uint8_t>((lie >> 8) & 0xFF);
+  bad[6] = static_cast<std::uint8_t>((lie >> 16) & 0xFF);
+  bad[7] = static_cast<std::uint8_t>((lie >> 24) & 0xFF);
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadLength);
 }
 
 TEST(Wire, TickRoundTripsExactly) {
