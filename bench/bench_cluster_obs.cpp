@@ -1,0 +1,425 @@
+// Cluster observability plane overhead guard.
+//
+// Builds the cluster-topology arm once — `shards` shard nodes (directory +
+// IngestPipeline + LuServer + admin plane) behind real loopback TCP, driven
+// through the consistent-hashing cluster::Router with one tick barrier per
+// `nodes` LUs — then alternates paired ingest phases with the observability
+// plane OFF and ON:
+//
+//   OFF  router tracer disabled (plain kLu frames), shard tracers disabled,
+//        no federation scraping — the bare forwarding path
+//   ON   cluster trace propagation live (span_period samples each LU's
+//        deterministic trace id; sampled LUs ride as kTracedLu frames and
+//        the shards record stage-sliced spans) AND a FederationCollector
+//        scraping every shard's /metrics + /statusz + /tracez each
+//        scrape_period_ms, merging cross-process spans into the router
+//        tracer — the full plane the router runs in production
+//
+// Both arms keep obs metrics enabled, so the comparison isolates what the
+// *cluster* plane adds (traced frames, span recording, scrape I/O, span
+// merging), not the cost of counters that are on either way. The defaults
+// match the production shape (span_period 64; the 250 ms scrape period is
+// 2x the production 500 ms default, so several rounds land per phase).
+//
+// Phases repeat the chunked ingest until `phase_seconds` of timed wall
+// accumulates; arms alternate so machine-load drift hits both equally and
+// the medians make one noisy phase harmless. The gate: the plane costs
+// under 5% of aggregate LU/s (guarded cluster_obs_overhead_fraction,
+// absolute limit 0.05). The aggregate floor (125000 LU/s, the same figure
+// the serve topology arm guards) rides in "floors" on the OFF arm.
+//
+// Under `min_threads` (4) hardware threads the bench self-skips: the
+// topology oversubscribes a small machine into measuring the scheduler.
+// The floor is still declared with no measured value, which
+// ci/check_bench_regression.py reports as skipped rather than failed.
+//
+// Keys: lus [50000; quick 20000 — LUs per ingest chunk] nodes [1000]
+//       shards [3] batch [512] reps [5; quick 2] phase_seconds [0.6;
+//       quick 0.3] span_period [64] scrape_period_ms [250] seed [42]
+//       estimator [brown_polar] min_threads [4] quick [false]
+//       json_out [path]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "mobilegrid/mobilegrid.h"
+
+using namespace mgrid;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Deterministic synthetic LU generator: `nodes` MNs walking a 1 km
+/// square, one LU per MN per tick, strictly increasing per-MN timestamps
+/// and seqs ACROSS chunks — the same topology ingests every chunk, so time
+/// must never rewind.
+class StreamGen {
+ public:
+  StreamGen(std::uint32_t nodes, std::uint64_t seed) : nodes_(nodes) {
+    util::RngRegistry rng(seed);
+    position_.resize(nodes);
+    velocity_.resize(nodes);
+    for (std::uint32_t mn = 0; mn < nodes; ++mn) {
+      util::RngStream stream = rng.stream("cluster_obs_bench", mn);
+      position_[mn] = {stream.uniform(0.0, 1000.0),
+                       stream.uniform(0.0, 1000.0)};
+      const double heading = stream.uniform(0.0, 6.283185307179586);
+      velocity_[mn] = {1.5 * std::cos(heading), 1.5 * std::sin(heading)};
+    }
+  }
+
+  /// Appends `count` LUs continuing from the generator's state.
+  void generate(std::size_t count, std::vector<serve::wire::LuMsg>* out) {
+    out->clear();
+    out->reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t mn = static_cast<std::uint32_t>(next_ % nodes_);
+      if (mn == 0) ++tick_;
+      position_[mn].x += velocity_[mn].x;
+      position_[mn].y += velocity_[mn].y;
+      serve::wire::LuMsg lu;
+      lu.mn = mn;
+      lu.seq = static_cast<std::uint32_t>(next_++);
+      lu.t = static_cast<double>(tick_);
+      lu.x = position_[mn].x;
+      lu.y = position_[mn].y;
+      lu.vx = velocity_[mn].x;
+      lu.vy = velocity_[mn].y;
+      out->push_back(lu);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t tick() const noexcept { return tick_; }
+
+ private:
+  std::uint32_t nodes_;
+  std::uint64_t next_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<geo::Vec2> position_;
+  std::vector<geo::Vec2> velocity_;
+};
+
+/// One shard node with its full production surface: directory + pipeline
+/// (span-instrumented) + LU listener + admin plane, as mgrid_serve
+/// mode=shard runs them (minus WAL/replication — this bench times the
+/// observability plane, not durability).
+struct ShardNode {
+  serve::ShardedDirectory directory;
+  obs::SpanTracer tracer;
+  serve::IngestPipeline pipeline;
+  std::atomic<std::uint64_t> last_tick{0};
+  std::atomic<double> last_tick_t{0.0};
+  cluster::LuServer server;
+  serve::AdminServer admin;
+
+  ShardNode(std::size_t batch, const std::string& estimator_name,
+            std::uint64_t span_period)
+      : directory(serve::DirectoryOptions{},
+                  estimator_name.empty() || estimator_name == "none"
+                      ? nullptr
+                      : estimation::make_estimator(estimator_name, 0.0, 1.0)),
+        tracer([span_period] {
+          obs::SpanTracerOptions options;
+          options.sample_period = span_period;
+          options.emit_trace_events = false;
+          return options;
+        }()),
+        pipeline(directory,
+                 [this, batch] {
+                   serve::IngestOptions options;
+                   options.sources = 2;
+                   options.workers = 2;
+                   options.batch_size = batch;
+                   options.spans = &tracer;
+                   return options;
+                 }()),
+        server(cluster::LuServerOptions{},
+               [this] {
+                 cluster::LuServerHooks hooks;
+                 hooks.directory = &directory;
+                 hooks.pipeline = &pipeline;
+                 hooks.on_tick = [this](double t, std::uint64_t tick) {
+                   last_tick.store(tick, std::memory_order_relaxed);
+                   last_tick_t.store(t, std::memory_order_relaxed);
+                 };
+                 return hooks;
+               }()),
+        admin(serve::AdminOptions{}, [this] {
+          serve::AdminHooks hooks;
+          hooks.registry = &obs::MetricsRegistry::global();
+          hooks.directory = &directory;
+          hooks.pipeline = &pipeline;
+          hooks.spans = &tracer;
+          hooks.cluster_status = [this](util::JsonWriter& json) {
+            json.field("role", "shard");
+            json.field("last_tick",
+                       last_tick.load(std::memory_order_relaxed));
+            json.field("last_tick_t",
+                       last_tick_t.load(std::memory_order_relaxed));
+          };
+          return hooks;
+        }()) {
+    server.start();
+    admin.start();
+  }
+
+  ~ShardNode() {
+    admin.stop();
+    server.stop();
+    pipeline.stop();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config config;
+  (void)mgbench::parse_args(argc, argv, &config);
+  const bool quick = config.get_bool("quick", false);
+  const auto chunk_lus = static_cast<std::size_t>(
+      config.get_int("lus", quick ? 20000 : 50000));
+  const auto nodes =
+      static_cast<std::uint32_t>(config.get_int("nodes", 1000));
+  const auto shard_count =
+      static_cast<std::size_t>(config.get_int("shards", 3));
+  const auto batch = static_cast<std::size_t>(config.get_int("batch", 512));
+  const auto reps =
+      static_cast<std::size_t>(config.get_int("reps", quick ? 2 : 5));
+  const double phase_seconds =
+      config.get_double("phase_seconds", quick ? 0.3 : 0.6);
+  const auto span_period =
+      static_cast<std::uint64_t>(config.get_int("span_period", 64));
+  const auto scrape_period_ms = config.get_int("scrape_period_ms", 250);
+  const std::string estimator_name =
+      config.get_string("estimator", "brown_polar");
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const auto min_threads =
+      static_cast<unsigned>(config.get_int("min_threads", 4));
+  const bool skip = hardware < min_threads;
+
+  std::cout << "=== cluster observability overhead (" << shard_count
+            << " TCP shards, " << chunk_lus << " LUs/chunk over " << nodes
+            << " MNs) ===\nhardware concurrency: " << hardware << "\n\n";
+
+  double baseline = 0.0;
+  double observed = 0.0;
+  double overhead = 0.0;
+  std::uint64_t scrape_rounds = 0;
+  std::uint64_t traces_merged = 0;
+  std::uint64_t ticks = 0;
+  bool clean = true;
+
+  if (skip) {
+    std::cout << "skipped: only " << hardware
+              << " hardware thread(s) (needs >= " << min_threads << ")\n";
+  } else {
+    obs::set_enabled(true);  // metrics on in BOTH arms
+
+    std::vector<std::unique_ptr<ShardNode>> shards;
+    std::vector<cluster::RouterShardConfig> configs;
+    std::vector<cluster::FederationTarget> targets;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards.push_back(std::make_unique<ShardNode>(batch, estimator_name,
+                                                   span_period));
+      cluster::RouterShardConfig shard_config;
+      shard_config.name = "shard-" + std::to_string(i);
+      shard_config.lu_port = shards.back()->server.port();
+      configs.push_back(shard_config);
+      cluster::FederationTarget target;
+      target.name = shard_config.name;
+      target.admin_port = shards.back()->admin.port();
+      targets.push_back(target);
+    }
+
+    obs::SpanTracer router_tracer([span_period] {
+      obs::SpanTracerOptions options;
+      options.sample_period = span_period;
+      options.emit_trace_events = false;
+      return options;
+    }());
+
+    std::atomic<double> cluster_t{0.0};
+    cluster::FederationOptions fed_options;
+    fed_options.spans = &router_tracer;
+    fed_options.cluster_now = [&cluster_t] {
+      return cluster_t.load(std::memory_order_relaxed);
+    };
+    cluster::FederationCollector collector(targets, fed_options);
+
+    cluster::RouterOptions router_options;
+    router_options.batch_size = batch;
+    router_options.health_period_seconds = 0.0;  // no probe noise
+    router_options.spans = &router_tracer;
+    cluster::Router router(router_options, configs);
+    std::string error;
+    if (!router.start(&error)) {
+      std::cerr << "FAIL: router start: " << error << '\n';
+      return EXIT_FAILURE;
+    }
+
+    // The ON/OFF toggle: tracer enablement gates kTracedLu emission and
+    // span recording at every hop; `observing` gates the scraper thread
+    // (the collector is driven by hand so the toggle is instant).
+    std::atomic<bool> observing{false};
+    std::atomic<bool> stop_scraper{false};
+    std::thread scraper([&] {
+      while (!stop_scraper.load(std::memory_order_acquire)) {
+        if (observing.load(std::memory_order_acquire)) {
+          collector.scrape_once();
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(scrape_period_ms));
+        } else {
+          // Poll fast while parked so a scrape lands early in each phase.
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+    const auto set_observing = [&](bool on) {
+      router_tracer.set_enabled(on);
+      for (auto& shard : shards) shard->tracer.set_enabled(on);
+      observing.store(on, std::memory_order_release);
+    };
+
+    StreamGen gen(nodes, static_cast<std::uint64_t>(
+                             config.get_int("seed", 42)));
+    std::vector<serve::wire::LuMsg> chunk;
+    std::uint64_t tick_counter = 0;
+
+    // One phase: chunked ingest (generation outside the timed region)
+    // repeated until `phase_seconds` of timed wall accumulates, so several
+    // scrape rounds land inside each ON phase.
+    const auto timed_phase = [&] {
+      double wall = 0.0;
+      std::uint64_t lus = 0;
+      do {
+        gen.generate(chunk_lus, &chunk);
+        const auto start = Clock::now();
+        std::size_t i = 0;
+        while (i < chunk.size()) {
+          ++tick_counter;
+          ++ticks;
+          const std::size_t end = std::min(chunk.size(), i + nodes);
+          for (; i < end; ++i) clean = router.submit(chunk[i]) && clean;
+          const double t = static_cast<double>(gen.tick());
+          clean = router.tick(t, tick_counter) && clean;
+          cluster_t.store(t, std::memory_order_relaxed);
+        }
+        wall += seconds_since(start);
+        lus += chunk.size();
+      } while (wall < phase_seconds);
+      return wall > 0.0 ? static_cast<double>(lus) / wall : 0.0;
+    };
+
+    // Alternating pairs so machine-load drift hits both arms equally.
+    std::vector<double> off_rates;
+    std::vector<double> on_rates;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      set_observing(false);
+      off_rates.push_back(timed_phase());
+      set_observing(true);
+      on_rates.push_back(timed_phase());
+    }
+    set_observing(false);
+    stop_scraper.store(true, std::memory_order_release);
+    scraper.join();
+
+    const cluster::RouterStats router_stats = router.stats();
+    clean = clean && router_stats.lus_dropped == 0 &&
+            router_stats.tick_failures == 0;
+    const cluster::FederationCollector::Stats fed_stats = collector.stats();
+    scrape_rounds = fed_stats.rounds;
+    traces_merged = fed_stats.traces_merged;
+    router.stop();
+    obs::set_enabled(false);
+
+    baseline = median(off_rates);
+    observed = median(on_rates);
+    overhead = baseline > 0.0 ? std::max(0.0, 1.0 - observed / baseline)
+                              : 0.0;
+
+    stats::Table table({"arm", "median LU/s", "phases"});
+    table.add_row({"plane off", stats::format_double(baseline, 0),
+                   std::to_string(reps)});
+    table.add_row({"traces + federation on",
+                   stats::format_double(observed, 0),
+                   std::to_string(reps)});
+    table.write_pretty(std::cout);
+    std::cout << "\nobservability overhead: "
+              << stats::format_double(100.0 * overhead, 2) << "% ("
+              << scrape_rounds << " scrape rounds, " << traces_merged
+              << " cluster traces merged, " << ticks << " ticks)\n";
+  }
+
+  const std::string json_out = config.get_string("json_out", "");
+  if (!json_out.empty()) {
+    util::JsonWriter json;
+    json.begin_object();
+    json.field("schema", "mgrid-bench-v1");
+    json.field("bench", "cluster_obs");
+    json.field("lus", static_cast<std::uint64_t>(chunk_lus));
+    json.field("nodes", static_cast<std::uint64_t>(nodes));
+    json.key("guarded").begin_object();
+    if (!skip) json.field("cluster_obs_overhead_fraction", overhead);
+    json.end_object();
+    json.key("limits").begin_object();
+    json.field("cluster_obs_overhead_fraction", 0.05);
+    json.end_object();
+    // The floor is always declared; on a skipped run the measured value is
+    // absent and the regression gate reports the floor as skipped.
+    json.key("floors").begin_object();
+    json.field("cluster_obs_lus_per_second", 125000.0);
+    json.end_object();
+    json.key("info").begin_object();
+    if (!skip) {
+      json.field("cluster_obs_lus_per_second", baseline);
+      json.field("observed_lus_per_second", observed);
+      json.field("scrape_rounds", scrape_rounds);
+      json.field("traces_merged", traces_merged);
+      json.field("ticks", ticks);
+    }
+    json.field("skipped", skip);
+    json.field("shards", static_cast<std::uint64_t>(shard_count));
+    json.field("span_period", span_period);
+    json.field("scrape_period_ms",
+               static_cast<std::int64_t>(scrape_period_ms));
+    json.field("reps", static_cast<std::uint64_t>(reps));
+    json.field("hardware_concurrency",
+               static_cast<std::uint64_t>(hardware));
+    json.end_object();
+    json.end_object();
+    std::ofstream out(json_out, std::ios::binary);
+    out << json.str() << '\n';
+    std::cout << "\nwrote " << json_out << '\n';
+  }
+
+  if (!skip && !clean) {
+    std::cerr << "\nFAIL: the run dropped LUs or failed a tick barrier\n";
+    return EXIT_FAILURE;
+  }
+  if (!skip && scrape_rounds == 0) {
+    std::cerr << "\nFAIL: no federation scrape landed inside an ON phase — "
+                 "increase phase_seconds= or lower scrape_period_ms=\n";
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

@@ -13,12 +13,20 @@ over loopback TCP:
 
 Chaos mode (--chaos) additionally murders a shard mid-run:
 
-1. same topology, but the router runs paced with health probing on;
-2. SIGKILL shard-2 (never the follower's primary) and assert the router's
-   own /readyz degrades to 503 naming the dead shard;
-3. restart the shard on the same ports and assert /readyz recovers to 200
-   with the shard's epoch bumped in the router's /statusz cluster block;
-4. after the run, the follower must still match its primary bit-exactly —
+1. same topology, but the router runs paced with health probing AND the
+   federation plane on (scraping every shard admin plane plus the
+   follower's into /clusterz);
+2. assert /clusterz reports every target up, no SLI paging and at least
+   one cross-process trace merged before anything dies;
+3. SIGKILL shard-2 (never the follower's primary) and assert the router's
+   own /readyz degrades to 503 naming the dead shard, that /clusterz shows
+   shard-2's replication lag spiking past the SLO threshold, and that the
+   multi-window burn-rate monitor pages availability:shard-2 — the page
+   names the burning shard, not just "something is wrong";
+4. restart the shard on the same ports and assert /readyz recovers to 200
+   (the short burn window drains), the page clears, the lag returns under
+   threshold, and the shard's epoch is bumped in /statusz's cluster block;
+5. after the run, the follower must still match its primary bit-exactly —
    replication determinism survives an unrelated shard's crash.
 
 Stdlib only (urllib/subprocess) — runs on a bare CI python3.
@@ -111,6 +119,38 @@ def await_readyz(port, status, what, deadline=20.0):
                      f"(last: {code} {body.strip()!r})")
 
 
+def get_json(port, path):
+    """Fetches and parses an admin-plane JSON endpoint; None when down."""
+    try:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=2.0) as response:
+            return json.load(response)
+    except (OSError, ValueError):
+        return None
+
+
+def await_clusterz(port, predicate, what, deadline=30.0):
+    """Polls /clusterz until `predicate(doc)` holds; returns the document."""
+    end = time.monotonic() + deadline
+    doc = None
+    while time.monotonic() < end:
+        doc = get_json(port, "/clusterz")
+        if doc is not None and predicate(doc):
+            print(f"clusterz: {what}")
+            return doc
+        time.sleep(0.2)
+    sys.stderr.write(f"last /clusterz: {json.dumps(doc, indent=2)}\n")
+    raise SystemExit(f"clusterz: {what!r} never held within {deadline}s")
+
+
+def sli_states(doc):
+    return {sli["name"]: sli["state"] for sli in doc["slo"]["slis"]}
+
+
+def target_by_name(doc, name):
+    return next(t for t in doc["targets"] if t["name"] == name)
+
+
 def entries(path):
     doc = json.load(open(path, encoding="utf-8"))
     assert doc["schema"] == "mgrid-serve-final-v1", doc["schema"]
@@ -141,26 +181,43 @@ def main():
     ports = [s.ports({"lu", "admin"} if args.chaos else {"lu"})
              for s in shards]
 
-    follower = Process(
-        "follower",
-        [args.serve, "mode=follower",
-         f"primary=127.0.0.1:{ports[0]['lu']}", *ESTIMATOR,
-         f"final_out={work}/follower.json"],
-        f"{work}/follower.log")
+    follower_argv = [args.serve, "mode=follower",
+                     f"primary=127.0.0.1:{ports[0]['lu']}", *ESTIMATOR,
+                     f"final_out={work}/follower.json"]
+    if args.chaos:
+        follower_argv.append("admin_port=0")  # federation scrape target
+    follower = Process("follower", follower_argv, f"{work}/follower.log")
+    follower_admin = follower.ports({"admin"})["admin"] if args.chaos else None
     time.sleep(0.2)  # let the subscription land before traffic starts
 
     shard_list = ",".join(
         f"{p['lu']}/{p['admin']}" if args.chaos else str(p["lu"])
         for p in ports)
     if args.chaos:
+        # ticks=0: the router runs until /quitz, so the SLO windows — not a
+        # fixed tick budget — set the timeline for page and recovery.
         router = Process(
             "router",
-            [args.router, f"shards={shard_list}", *WORKLOAD, "ticks=240",
+            [args.router, f"shards={shard_list}", *WORKLOAD, "ticks=0",
              "pace_ms=50", "admin_port=0", "health_period=0.2",
-             "allow_degraded=1"],
+             "allow_degraded=1", "scrape_period=0.2", "span_period=8",
+             f"followers={follower_admin}"],
             f"{work}/router.log")
         router_admin = router.ports({"admin"})["admin"]
         await_readyz(router_admin, 200, "router (all shards up)")
+
+        # Federation healthy before the murder: every target (3 shards +
+        # the follower) up, nothing paging, and at least one cross-process
+        # span tree merged out of the shards' /tracez exemplars.
+        healthy = await_clusterz(
+            router_admin,
+            lambda doc: (all(t["up"] for t in doc["targets"])
+                         and len(doc["targets"]) == 4
+                         and doc["slo"]["overall"] == "ok"
+                         and doc["traces"]["merged"] >= 1),
+            "all 4 targets up, slo ok, >=1 cluster trace merged")
+        lag_before = target_by_name(healthy, "shard-2")[
+            "replication_lag_seconds"]
 
         print("SIGKILL shard-2")
         shards[2].proc.kill()
@@ -169,21 +226,53 @@ def main():
         if "shard-2" not in body:
             raise SystemExit(f"degraded /readyz does not name shard-2: {body!r}")
 
+        # The dead shard's tick cursor freezes while cluster time advances:
+        # its replication lag must spike past the SLO threshold, and the
+        # multi-window burn-rate monitor must page the availability SLI
+        # that names shard-2 specifically.
+        paged = await_clusterz(
+            router_admin,
+            lambda doc: (not target_by_name(doc, "shard-2")["up"]
+                         and target_by_name(
+                             doc, "shard-2")["replication_lag_seconds"] > 1.5
+                         and sli_states(doc).get(
+                             "availability:shard-2") == "page"),
+            "shard-2 down, lag past threshold, availability:shard-2 pages")
+        lag_dead = target_by_name(paged, "shard-2")["replication_lag_seconds"]
+        assert lag_dead > lag_before, (lag_before, lag_dead)
+        print(f"clusterz: shard-2 lag {lag_before:.2f}s -> {lag_dead:.2f}s, "
+              "availability:shard-2 paging")
+
         print("restarting shard-2 on the same ports")
         shards[2] = shard(2, port=ports[2]["lu"], admin=ports[2]["admin"])
         shards[2].ports({"lu", "admin"})
-        await_readyz(router_admin, 200, "router (shard-2 recovered)")
+        # Readiness comes back once the health probe succeeds AND the short
+        # burn window drains — 200 here means the page has already cleared.
+        await_readyz(router_admin, 200, "router (shard-2 recovered)",
+                     deadline=40.0)
+        recovered = await_clusterz(
+            router_admin,
+            lambda doc: (target_by_name(doc, "shard-2")["up"]
+                         and target_by_name(
+                             doc, "shard-2")["replication_lag_seconds"] < 1.5
+                         and sli_states(doc).get(
+                             "availability:shard-2") == "ok"),
+            "shard-2 up, lag back under threshold, page cleared")
+        print(f"clusterz: shard-2 lag recovered to "
+              f"{target_by_name(recovered, 'shard-2')['replication_lag_seconds']:.2f}s")
 
-        with urllib.request.urlopen(
-                f"http://127.0.0.1:{router_admin}/statusz",
-                timeout=2.0) as response:
-            status = json.load(response)
+        status = get_json(router_admin, "/statusz")
         health = {s["name"]: s for s in status["cluster"]["shards"]}
         assert health["shard-2"]["epoch"] >= 2, health
         assert status["cluster"]["forward"]["tick_failures"] > 0, status
         print(f"statusz: shard-2 epoch {health['shard-2']['epoch']}, "
               f"{status['cluster']['forward']['tick_failures']} degraded "
               "tick(s) — crash observed and recovered")
+
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{router_admin}/quitz",
+                timeout=2.0) as response:
+            response.read()
         code = router.wait(deadline=60.0)
     else:
         router = Process(

@@ -21,10 +21,21 @@
 //   batch [64: LUs per shard batch] vnodes [64] probes [21]
 //   health_period [0.5 s] health_timeout [1.0 s]
 //   admin_port [presence starts the router's own admin plane on 127.0.0.1;
-//            its /readyz is the AND over shard healths, and /statusz gains
-//            a "cluster" block with ring version, per-shard epochs and
-//            forward/merge counters — the chaos test watches a SIGKILL'd
-//            shard degrade the router here and a restart recover it.]
+//            its /readyz is the AND over shard healths and the cluster SLO
+//            monitor, and /statusz gains a "cluster" block with ring
+//            version, per-shard epochs and forward/merge counters — the
+//            chaos test watches a SIGKILL'd shard degrade the router here
+//            and a restart recover it.]
+//   span_period [64: cluster trace sampling period — LUs whose
+//            deterministic cluster trace id samples are forwarded as
+//            kTracedLu frames; their merged cross-process span trees show
+//            up on this router's /tracez. 0 disables.]
+//   federation [1: with admin_port, scrape every shard admin plane (and
+//            followers=) into /clusterz, derive the cluster SLIs and gate
+//            /readyz on their burn rates; 0 disables the collector.]
+//   scrape_period [0.5 s between federation scrape rounds]
+//   followers [comma list of follower admin ports on 127.0.0.1, named
+//            follower-0.. and federated alongside the shards]
 //
 // A tick some shard fails to ack is counted and retried next tick — a dead
 // shard degrades the router (readiness 503) but never wedges it; the
@@ -97,6 +108,16 @@ int main(int argc, char** argv) {
     options.probes = static_cast<std::size_t>(config.get_int("probes", 21));
     options.health_period_seconds = config.get_double("health_period", 0.5);
     options.health_timeout_seconds = config.get_double("health_timeout", 1.0);
+
+    // Cluster trace sampling: sampled LUs leave here as kTracedLu frames
+    // and come back — merged across shard and follower /tracez scrapes —
+    // as full span trees on this router's own /tracez.
+    obs::SpanTracerOptions span_options;
+    span_options.sample_period =
+        static_cast<std::uint64_t>(config.get_int("span_period", 64));
+    obs::SpanTracer tracer(span_options);
+    tracer.set_enabled(span_options.sample_period != 0);
+    options.spans = &tracer;
     cluster::Router router(options, shards);
     std::string error;
     if (!router.start(&error)) {
@@ -110,6 +131,49 @@ int main(int argc, char** argv) {
     std::cout << std::endl;
 
     std::atomic<std::uint64_t> ticks_done{0};
+    std::atomic<double> cluster_t{0.0};
+
+    // Metrics federation: scrape every shard that exposes an admin port
+    // (plus any followers=) into /clusterz and the cluster SLO monitor.
+    std::unique_ptr<cluster::FederationCollector> federation;
+    if (config.contains("admin_port") &&
+        config.get_int("federation", 1) != 0) {
+      std::vector<cluster::FederationTarget> targets;
+      for (const cluster::RouterShardConfig& shard : shards) {
+        if (shard.admin_port == 0) continue;
+        targets.push_back({shard.name, "shard", shard.host,
+                           shard.admin_port});
+      }
+      const std::string followers = config.get_string("followers", "");
+      std::size_t start = 0;
+      std::size_t follower_count = 0;
+      while (start <= followers.size() && !followers.empty()) {
+        std::size_t end = followers.find(',', start);
+        if (end == std::string::npos) end = followers.size();
+        const std::string entry = followers.substr(start, end - start);
+        if (!entry.empty()) {
+          cluster::FederationTarget target;
+          target.name = "follower-" + std::to_string(follower_count++);
+          target.role = "follower";
+          target.admin_port = static_cast<std::uint16_t>(std::stoi(entry));
+          targets.push_back(std::move(target));
+        }
+        start = end + 1;
+      }
+      if (!targets.empty()) {
+        cluster::FederationOptions fed_options;
+        fed_options.scrape_period_seconds =
+            config.get_double("scrape_period", 0.5);
+        fed_options.spans = &tracer;
+        fed_options.cluster_now = [&cluster_t] {
+          return cluster_t.load(std::memory_order_relaxed);
+        };
+        federation = std::make_unique<cluster::FederationCollector>(
+            std::move(targets), std::move(fed_options));
+        federation->slo().bind_registry(obs::MetricsRegistry::global());
+      }
+    }
+
     std::unique_ptr<serve::AdminServer> admin;
     if (config.contains("admin_port")) {
       serve::AdminOptions admin_options;
@@ -118,15 +182,20 @@ int main(int argc, char** argv) {
       admin_options.build_info = "mgrid_router";
       serve::AdminHooks hooks;
       hooks.registry = &obs::MetricsRegistry::global();
-      hooks.ready = [&router](std::string* reason) {
-        if (router.all_ready()) return true;
-        if (reason != nullptr) {
-          *reason = "shard down";
-          for (const cluster::ShardHealth& health : router.health()) {
-            if (!health.up) *reason += " " + health.name;
+      hooks.spans = &tracer;
+      if (federation != nullptr) hooks.slo = &federation->slo();
+      hooks.ready = [&router, &federation](std::string* reason) {
+        if (!router.all_ready()) {
+          if (reason != nullptr) {
+            *reason = "shard down";
+            for (const cluster::ShardHealth& health : router.health()) {
+              if (!health.up) *reason += " " + health.name;
+            }
           }
+          return false;
         }
-        return false;
+        if (federation != nullptr && !federation->ready(reason)) return false;
+        return true;
       };
       hooks.extra_status = [&](util::JsonWriter& json) {
         json.field("mode", "router");
@@ -135,6 +204,11 @@ int main(int argc, char** argv) {
       hooks.cluster_status = [&router](util::JsonWriter& json) {
         router.write_cluster_status(json);
       };
+      if (federation != nullptr) {
+        hooks.clusterz = [&federation](const obs::http::Request& request) {
+          return federation->clusterz(request);
+        };
+      }
       hooks.on_quit = [] { g_quit.store(true, std::memory_order_release); };
       admin = std::make_unique<serve::AdminServer>(std::move(admin_options),
                                                    std::move(hooks));
@@ -142,6 +216,7 @@ int main(int argc, char** argv) {
       std::cout << "admin server listening on 127.0.0.1:" << admin->port()
                 << std::endl;
     }
+    if (federation != nullptr) federation->start();
 
     const auto nodes =
         static_cast<std::uint32_t>(config.get_int("nodes", 300));
@@ -191,6 +266,7 @@ int main(int argc, char** argv) {
       }
       if (!router.tick(t, k)) ++tick_failures;
       ticks_done.store(k, std::memory_order_relaxed);
+      cluster_t.store(t, std::memory_order_relaxed);
       if (pace_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
       }

@@ -628,7 +628,19 @@ int run_shard(const util::Config& config) {
     knobs.ingest.wal = wal.get();
   }
   cluster::ReplicationHub hub(*directory);
+  // Cluster traces: spans propagated from the router (kTracedLu) record
+  // here with router_batch/net stages attached; the traced tap keeps the
+  // trace context on the replication stream so the follower joins it too.
+  obs::SpanTracerOptions span_options;
+  span_options.sample_period =
+      static_cast<std::uint64_t>(config.get_int("span_period", 64));
+  obs::SpanTracer tracer(span_options);
+  tracer.set_enabled(true);
+  knobs.ingest.spans = &tracer;
   knobs.ingest.lu_tap = [&hub](const serve::wire::LuMsg& lu) {
+    hub.on_lu(lu);
+  };
+  knobs.ingest.traced_lu_tap = [&hub](const serve::wire::TracedLuMsg& lu) {
     hub.on_lu(lu);
   };
   serve::IngestPipeline pipeline(*directory, knobs.ingest);
@@ -660,6 +672,7 @@ int run_shard(const util::Config& config) {
   admin_hooks.directory = directory.get();
   admin_hooks.pipeline = &pipeline;
   admin_hooks.wal = wal.get();
+  admin_hooks.spans = &tracer;
   admin_hooks.sim_now = [&sim_now] {
     return sim_now.load(std::memory_order_relaxed);
   };
@@ -674,11 +687,16 @@ int run_shard(const util::Config& config) {
     json.field("lus", stats.lus);
     json.field("lus_rejected", stats.lus_rejected);
     json.field("ticks", stats.ticks);
+    // Tick cursor for the router's federation collector: how far this
+    // shard has applied, in tick time (the replication-lag SLI minuend).
+    json.field("last_tick", ticks_done.load(std::memory_order_relaxed));
+    json.field("last_tick_t", sim_now.load(std::memory_order_relaxed));
     json.field("bad_frames", stats.bad_frames);
     json.field("subscribers", repl.subscribers);
     json.field("replication_lus_streamed", repl.lus_streamed);
     json.field("replication_bytes_streamed", repl.bytes_streamed);
     json.field("replication_dropped_slow", repl.dropped_slow);
+    json.field("replication_lag_records", repl.subscriber_lag_records);
   };
   const std::unique_ptr<serve::AdminServer> admin =
       start_admin(config, std::move(admin_hooks));
@@ -716,6 +734,15 @@ int run_follower(const util::Config& config) {
   follower_options.port =
       static_cast<std::uint16_t>(std::stoi(primary.substr(colon + 1)));
 
+  // Traced LUs on the replication stream record follower_apply spans under
+  // their propagated cluster trace id.
+  obs::SpanTracerOptions span_options;
+  span_options.sample_period =
+      static_cast<std::uint64_t>(config.get_int("span_period", 64));
+  obs::SpanTracer tracer(span_options);
+  tracer.set_enabled(true);
+  follower_options.spans = &tracer;
+
   const std::unique_ptr<serve::ShardedDirectory> directory =
       make_cluster_directory(config, knobs);
   cluster::Follower follower(*directory, follower_options);
@@ -729,6 +756,7 @@ int run_follower(const util::Config& config) {
 
   serve::AdminHooks admin_hooks;
   admin_hooks.directory = directory.get();
+  admin_hooks.spans = &tracer;
   admin_hooks.ready = [&follower](std::string* reason) {
     if (!follower.stats().snapshot_loaded) {
       if (reason != nullptr) *reason = "bootstrapping from primary snapshot";
@@ -747,6 +775,7 @@ int run_follower(const util::Config& config) {
     json.field("lus_applied", stats.lus_applied);
     json.field("ticks_applied", stats.ticks_applied);
     json.field("last_tick", stats.last_tick);
+    json.field("last_tick_t", stats.last_tick_t);
   };
   const std::unique_ptr<serve::AdminServer> admin =
       start_admin(config, std::move(admin_hooks));

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace mgrid::cluster {
 
 namespace {
@@ -240,6 +242,28 @@ bool ShardClient::send_lus(const std::vector<wire::LuMsg>& batch) {
   if (batch.empty()) return true;
   scratch_.clear();
   for (const wire::LuMsg& msg : batch) wire::encode(scratch_, msg);
+  return conn_.send(scratch_);
+}
+
+bool ShardClient::send_lus(const std::vector<BatchLu>& batch) {
+  if (batch.empty()) return true;
+  scratch_.clear();
+  std::uint64_t send_us = 0;  // stamped lazily: untraced batches skip the clock
+  for (const BatchLu& entry : batch) {
+    if (entry.trace_id == 0) {
+      wire::encode(scratch_, entry.lu);
+      continue;
+    }
+    if (send_us == 0) send_us = obs::span_now_us();
+    wire::TracedLuMsg traced;
+    traced.lu = entry.lu;
+    traced.trace.trace_id = entry.trace_id;
+    traced.trace.origin_us = entry.origin_us;
+    traced.trace.send_us = send_us;
+    traced.trace.parent_stage =
+        static_cast<std::uint32_t>(obs::LuStage::kNet);
+    wire::encode(scratch_, traced);
+  }
   return conn_.send(scratch_);
 }
 

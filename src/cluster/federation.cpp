@@ -1,0 +1,556 @@
+#include "cluster/federation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+namespace mgrid::cluster {
+
+namespace {
+
+/// Value of `name` in a query string ("a=1&b=2"), "" when absent.
+std::string query_param(std::string_view query, std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+std::string hex_trace_id(std::uint64_t id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buffer;
+}
+
+/// The cluster SLI set: one cluster-wide e2e indicator plus availability /
+/// replication-lag (every target) and ingest-share (shards only) indicators
+/// named per target, so a burn-rate page names the burning node.
+std::vector<obs::SloSliSpec> make_specs(
+    const std::vector<FederationTarget>& targets,
+    const FederationOptions& options) {
+  std::vector<obs::SloSliSpec> specs;
+  specs.push_back({"cluster_e2e", options.e2e, 1.0, 100});
+  for (const FederationTarget& target : targets) {
+    specs.push_back({"availability:" + target.name, options.availability,
+                     2.0, 2});
+    specs.push_back({"replication_lag:" + target.name,
+                     options.replication_lag, 60.0, 120});
+    if (target.role == "shard") {
+      specs.push_back({"ingest_share:" + target.name, options.ingest_share,
+                       2.0, 100});
+    }
+  }
+  return specs;
+}
+
+/// Parses one span object of a scraped mgrid-tracez-v1 document. Trace ids
+/// travel as 16-digit hex strings (JSON numbers are doubles).
+obs::LuSpan parse_span(const util::JsonValue& node) {
+  obs::LuSpan span;
+  if (const util::JsonValue* id = node.find("trace_id");
+      id != nullptr && id->kind() == util::JsonValue::Kind::kString) {
+    span.trace_id = std::strtoull(id->as_string().c_str(), nullptr, 16);
+  }
+  span.mn = static_cast<std::uint32_t>(node.number_or("mn", 0.0));
+  span.seq = static_cast<std::uint32_t>(node.number_or("seq", 0.0));
+  span.source = static_cast<std::uint32_t>(node.number_or("source", 0.0));
+  span.wall_us = static_cast<std::uint64_t>(node.number_or("wall_us", 0.0));
+  if (const util::JsonValue* stages = node.find("stages")) {
+    for (std::size_t i = 0; i < obs::kLuStageCount; ++i) {
+      span.stage_seconds[i] = stages->number_or(
+          obs::lu_stage_name(static_cast<obs::LuStage>(i)), 0.0);
+    }
+  }
+  span.total_seconds = 0.0;
+  for (const double stage : span.stage_seconds) span.total_seconds += stage;
+  return span;
+}
+
+/// Collects every span (exemplars and slowest lists, all SLIs) out of a
+/// tracez document. Spans without a nonzero trace id are skipped.
+void collect_spans(const util::JsonValue& tracez,
+                   std::vector<obs::LuSpan>& out) {
+  const util::JsonValue* slis = tracez.find("slis");
+  if (slis == nullptr || !slis->is_array()) return;
+  for (const util::JsonValue& sli : slis->as_array()) {
+    if (const util::JsonValue* exemplars = sli.find("exemplars");
+        exemplars != nullptr && exemplars->is_array()) {
+      for (const util::JsonValue& exemplar : exemplars->as_array()) {
+        if (const util::JsonValue* trace = exemplar.find("trace")) {
+          const obs::LuSpan span = parse_span(*trace);
+          if (span.trace_id != 0) out.push_back(span);
+        }
+      }
+    }
+    if (const util::JsonValue* slowest = sli.find("slowest");
+        slowest != nullptr && slowest->is_array()) {
+      for (const util::JsonValue& node : slowest->as_array()) {
+        const obs::LuSpan span = parse_span(node);
+        if (span.trace_id != 0) out.push_back(span);
+      }
+    }
+  }
+}
+
+/// Injects `shard="<name>",role="<role>"` into one Prometheus exposition
+/// sample line (federation relabeling). Comment lines pass through the
+/// caller unchanged.
+std::string relabel_line(std::string_view line, const std::string& labels) {
+  const std::size_t brace = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (brace != std::string_view::npos &&
+      (space == std::string_view::npos || brace < space)) {
+    std::string out(line.substr(0, brace + 1));
+    out += labels;
+    out += ',';
+    out += line.substr(brace + 1);
+    return out;
+  }
+  if (space == std::string_view::npos) return std::string(line);
+  std::string out(line.substr(0, space));
+  out += '{';
+  out += labels;
+  out += '}';
+  out += line.substr(space);
+  return out;
+}
+
+/// One gauge's value out of a raw Prometheus text body (first series with
+/// this name); NaN when absent.
+double scrape_value(const std::string& text, std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
+    if (line.substr(0, name.size()) == name &&
+        (line.size() == name.size() || line[name.size()] == ' ' ||
+         line[name.size()] == '{')) {
+      const std::size_t space = line.rfind(' ');
+      if (space != std::string_view::npos) {
+        return std::strtod(std::string(line.substr(space + 1)).c_str(),
+                           nullptr);
+      }
+    }
+    pos = end + 1;
+  }
+  return std::nan("");
+}
+
+void write_window_json(util::JsonWriter& json, const char* name,
+                       const obs::SloWindowStats& window,
+                       const obs::SloObjective& objective) {
+  json.key(name).begin_object();
+  json.field("count", window.count);
+  json.field("bad", window.bad);
+  json.field("burn_rate", window.burn_rate(objective));
+  json.field("p99", window.p99);
+  json.field("max", window.max);
+  json.end_object();
+}
+
+}  // namespace
+
+FederationCollector::FederationCollector(std::vector<FederationTarget> targets,
+                                         FederationOptions options)
+    : options_(std::move(options)),
+      slo_(make_specs(targets, options_), options_.slo) {
+  for (FederationTarget& target : targets) {
+    TargetState state;
+    state.config = std::move(target);
+    targets_.push_back(std::move(state));
+  }
+  if (options_.spans != nullptr) {
+    options_.spans->register_sli("cluster_e2e", 0.0, 1.0, 100);
+  }
+}
+
+FederationCollector::~FederationCollector() { stop(); }
+
+void FederationCollector::start() {
+  const std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { scrape_main(); });
+}
+
+void FederationCollector::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  const std::lock_guard<std::mutex> lock(thread_mutex_);
+  running_ = false;
+}
+
+void FederationCollector::scrape_main() {
+  for (;;) {
+    scrape_once();
+    std::unique_lock<std::mutex> lock(thread_mutex_);
+    if (stop_cv_.wait_for(
+            lock,
+            std::chrono::duration<double>(options_.scrape_period_seconds),
+            [this] { return stop_; })) {
+      return;
+    }
+  }
+}
+
+void FederationCollector::scrape_once() {
+  // Snapshot the target list, then do all I/O without the mutex: a hung
+  // target must never block /clusterz or ready().
+  std::vector<FederationTarget> configs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    configs.reserve(targets_.size());
+    for (const TargetState& state : targets_) configs.push_back(state.config);
+  }
+  const double now =
+      options_.cluster_now ? options_.cluster_now() : std::nan("");
+
+  struct ScrapeResult {
+    bool up = false;
+    std::string metrics;
+    double last_tick_t = std::nan("");
+    std::uint64_t last_tick = 0;
+    double ingest_accepted = std::nan("");
+    std::vector<obs::LuSpan> spans;
+  };
+  std::vector<ScrapeResult> results(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const FederationTarget& target = configs[i];
+    ScrapeResult& result = results[i];
+    const double timeout = options_.scrape_timeout_seconds;
+    const obs::http::ClientResponse status = obs::http::http_get(
+        target.host, target.admin_port, "/statusz", timeout);
+    if (!status.ok || status.status != 200) continue;
+    try {
+      const util::JsonValue doc = util::JsonValue::parse(status.body);
+      if (const util::JsonValue* cluster = doc.find("cluster")) {
+        result.last_tick_t = cluster->number_or("last_tick_t", std::nan(""));
+        result.last_tick = static_cast<std::uint64_t>(
+            cluster->number_or("last_tick", 0.0));
+      }
+      if (const util::JsonValue* ingest = doc.find("ingest")) {
+        result.ingest_accepted = ingest->number_or("accepted", std::nan(""));
+      }
+    } catch (const util::JsonParseError&) {
+      continue;
+    }
+    const obs::http::ClientResponse metrics = obs::http::http_get(
+        target.host, target.admin_port, "/metrics", timeout);
+    if (!metrics.ok || metrics.status != 200) continue;
+    result.metrics = metrics.body;
+    if (options_.spans != nullptr) {
+      const obs::http::ClientResponse tracez = obs::http::http_get(
+          target.host, target.admin_port, "/tracez", timeout);
+      if (tracez.ok && tracez.status == 200) {
+        try {
+          collect_spans(util::JsonValue::parse(tracez.body), result.spans);
+        } catch (const util::JsonParseError&) {
+          // A torn tracez body costs this round's spans, not the scrape.
+        }
+      }
+    }
+    result.up = true;
+  }
+
+  // Fold the round into collector state and the SLO monitor.
+  std::vector<obs::LuSpan> changed;
+  double total_accepted = 0.0;
+  std::size_t shard_count = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++rounds_;
+    for (std::size_t i = 0; i < targets_.size() && i < results.size(); ++i) {
+      TargetState& state = targets_[i];
+      const ScrapeResult& result = results[i];
+      ++state.scrapes;
+      ++scrapes_;
+      state.up = result.up;
+      state.ingest_delta = 0.0;
+      if (!result.up) {
+        ++state.failures;
+        ++scrape_failures_;
+      } else {
+        state.metrics_text = result.metrics;
+        if (!std::isnan(result.last_tick_t)) {
+          state.last_tick_t = result.last_tick_t;
+          state.last_tick = result.last_tick;
+        }
+        if (!std::isnan(result.ingest_accepted)) {
+          // Share samples come from per-round deltas, not lifetime totals:
+          // a counter that went backwards is a restarted process, and its
+          // new total is the delta since we last saw it.
+          state.ingest_delta =
+              std::isnan(state.ingest_prev) ||
+                      result.ingest_accepted < state.ingest_prev
+                  ? result.ingest_accepted
+                  : result.ingest_accepted - state.ingest_prev;
+          state.ingest_prev = result.ingest_accepted;
+          state.ingest_accepted = result.ingest_accepted;
+        }
+        const double lag_records = scrape_value(
+            state.metrics_text, "mgrid_replication_subscriber_lag_records");
+        if (!std::isnan(lag_records)) state.lag_records = lag_records;
+      }
+      if (!std::isnan(now)) {
+        state.replication_lag_seconds =
+            std::max(0.0, now - state.last_tick_t);
+      }
+      if (state.config.role == "shard") {
+        ++shard_count;
+        total_accepted += state.ingest_delta;
+      }
+      for (const obs::LuSpan& span : result.spans) {
+        if (merge_span_locked(span)) {
+          MergedTrace& merged = traces_[span.trace_id];
+          // A follower-only span whose apply fit inside the 1 µs clock
+          // granularity is all zeros — not worth an exemplar slot yet.
+          if (merged.span.total_seconds <= 0.0) continue;
+          changed.push_back(merged.span);
+          ++spans_recorded_;
+          // Feed the e2e SLI once per trace, as soon as the shard-side
+          // stages are present (the follower stage is additive detail).
+          const auto& stages = merged.span.stage_seconds;
+          const bool has_shard_part =
+              stages[static_cast<std::size_t>(obs::LuStage::kVisible)] > 0.0 ||
+              stages[static_cast<std::size_t>(obs::LuStage::kApply)] > 0.0;
+          if (!merged.fed && has_shard_part) {
+            merged.fed = true;
+            slo_.observe("cluster_e2e", merged.span.total_seconds);
+          }
+        }
+      }
+    }
+    // Per-target SLI samples for this round.
+    for (const TargetState& state : targets_) {
+      slo_.observe("availability:" + state.config.name,
+                   state.up ? 0.0 : 1.0);
+      if (!std::isnan(now)) {
+        slo_.observe("replication_lag:" + state.config.name,
+                     state.replication_lag_seconds);
+      }
+    }
+    if (shard_count > 0 && total_accepted > 0.0) {
+      const double expected = 1.0 / static_cast<double>(shard_count);
+      for (TargetState& state : targets_) {
+        if (state.config.role != "shard") continue;
+        state.ingest_share = state.ingest_delta / total_accepted;
+        slo_.observe("ingest_share:" + state.config.name,
+                     std::abs(state.ingest_share - expected) / expected);
+      }
+    }
+    // Bound the merge table; cluster sampling is sparse, so this only
+    // trips on very long runs.
+    if (traces_.size() > 4096) traces_.clear();
+  }
+  if (options_.spans != nullptr) {
+    for (const obs::LuSpan& span : changed) {
+      options_.spans->record("cluster_e2e", span);
+    }
+  }
+  slo_.advance(static_cast<double>(obs::span_now_us()) * 1e-6);
+}
+
+bool FederationCollector::merge_span_locked(const obs::LuSpan& span) {
+  MergedTrace& merged = traces_[span.trace_id];
+  bool changed = false;
+  if (merged.span.trace_id == 0) {
+    merged.span = span;
+    return true;
+  }
+  for (std::size_t i = 0; i < obs::kLuStageCount; ++i) {
+    if (span.stage_seconds[i] > merged.span.stage_seconds[i]) {
+      merged.span.stage_seconds[i] = span.stage_seconds[i];
+      changed = true;
+    }
+  }
+  if (!changed) return false;
+  merged.span.wall_us = std::max(merged.span.wall_us, span.wall_us);
+  merged.span.total_seconds = 0.0;
+  for (const double stage : merged.span.stage_seconds) {
+    merged.span.total_seconds += stage;
+  }
+  return true;
+}
+
+bool FederationCollector::ready(std::string* reason) const {
+  const obs::SloReport report = slo_.report();
+  for (const obs::SloSliReport& sli : report.slis) {
+    if (sli.state != obs::SloState::kPage) continue;
+    if (reason != nullptr) {
+      char burn[64];
+      std::snprintf(burn, sizeof(burn), " (burn %.1fx/%.1fx)",
+                    sli.short_window.burn_rate(sli.objective),
+                    sli.long_window.burn_rate(sli.objective));
+      *reason = "slo page: " + sli.name + burn;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::vector<FederationTargetStatus> FederationCollector::targets() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FederationTargetStatus> out;
+  out.reserve(targets_.size());
+  for (const TargetState& state : targets_) {
+    FederationTargetStatus status;
+    status.name = state.config.name;
+    status.role = state.config.role;
+    status.up = state.up;
+    status.scrapes = state.scrapes;
+    status.failures = state.failures;
+    status.last_tick_t = state.last_tick_t;
+    status.last_tick = state.last_tick;
+    status.replication_lag_seconds = state.replication_lag_seconds;
+    status.lag_records = state.lag_records;
+    status.ingest_accepted = state.ingest_accepted;
+    status.ingest_share = state.ingest_share;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+FederationCollector::Stats FederationCollector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.rounds = rounds_;
+  s.scrapes = scrapes_;
+  s.scrape_failures = scrape_failures_;
+  s.traces_merged = traces_.size();
+  s.spans_recorded = spans_recorded_;
+  return s;
+}
+
+void FederationCollector::write_slo_json(util::JsonWriter& json) const {
+  const obs::SloReport report = slo_.report();
+  json.field("overall", obs::slo_state_name(report.overall));
+  json.field("epochs_filled",
+             static_cast<std::uint64_t>(report.epochs_filled));
+  json.key("slis").begin_array();
+  for (const obs::SloSliReport& sli : report.slis) {
+    json.begin_object();
+    json.field("name", sli.name);
+    json.field("state", obs::slo_state_name(sli.state));
+    json.field("threshold", sli.objective.threshold);
+    write_window_json(json, "short_window", sli.short_window, sli.objective);
+    write_window_json(json, "long_window", sli.long_window, sli.objective);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+obs::http::Response FederationCollector::clusterz(
+    const obs::http::Request& request) const {
+  if (query_param(request.query, "format") == "prom") {
+    std::string body;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const TargetState& state : targets_) {
+      const std::string labels = "shard=\"" + state.config.name +
+                                 "\",role=\"" + state.config.role + "\"";
+      body += "mgrid_cluster_target_up{" + labels + "} " +
+              (state.up ? std::string("1") : std::string("0")) + "\n";
+      body += "mgrid_cluster_replication_lag_seconds{" + labels + "} " +
+              std::to_string(state.replication_lag_seconds) + "\n";
+      body += "mgrid_cluster_lag_records{" + labels + "} " +
+              std::to_string(state.lag_records) + "\n";
+      std::size_t pos = 0;
+      const std::string& text = state.metrics_text;
+      while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos) end = text.size();
+        const std::string_view line(text.data() + pos, end - pos);
+        if (!line.empty()) {
+          if (line[0] == '#') {
+            body += line;
+          } else {
+            body += relabel_line(line, labels);
+          }
+          body += '\n';
+        }
+        pos = end + 1;
+      }
+    }
+    return obs::http::Response::text(200, body);
+  }
+
+  util::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "mgrid-clusterz-v1");
+  if (options_.cluster_now) json.field("cluster_now", options_.cluster_now());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    json.field("rounds", rounds_);
+    json.field("scrapes", scrapes_);
+    json.field("scrape_failures", scrape_failures_);
+    json.key("targets").begin_array();
+    for (const TargetState& state : targets_) {
+      json.begin_object();
+      json.field("name", state.config.name);
+      json.field("role", state.config.role);
+      json.field("up", state.up);
+      json.field("scrapes", state.scrapes);
+      json.field("failures", state.failures);
+      json.field("last_tick_t", state.last_tick_t);
+      json.field("last_tick", state.last_tick);
+      json.field("replication_lag_seconds", state.replication_lag_seconds);
+      json.field("lag_records", state.lag_records);
+      json.field("ingest_accepted", state.ingest_accepted);
+      json.field("ingest_share", state.ingest_share);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("traces").begin_object();
+    json.field("merged", static_cast<std::uint64_t>(traces_.size()));
+    json.field("spans_recorded", spans_recorded_);
+    if (!traces_.empty()) {
+      // The most recently completed merged span tree, as a worked example
+      // of the stage tiling (full trees live on the router's /tracez).
+      const MergedTrace* latest = nullptr;
+      for (const auto& [id, trace] : traces_) {
+        if (latest == nullptr || trace.span.wall_us > latest->span.wall_us) {
+          latest = &trace;
+        }
+      }
+      json.key("latest").begin_object();
+      json.field("trace_id", hex_trace_id(latest->span.trace_id));
+      json.field("mn", static_cast<std::uint64_t>(latest->span.mn));
+      json.field("seq", static_cast<std::uint64_t>(latest->span.seq));
+      json.field("total_seconds", latest->span.total_seconds);
+      json.key("stages").begin_object();
+      for (std::size_t i = 0; i < obs::kLuStageCount; ++i) {
+        json.field(obs::lu_stage_name(static_cast<obs::LuStage>(i)),
+                   latest->span.stage_seconds[i]);
+      }
+      json.end_object();
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.key("slo").begin_object();
+  write_slo_json(json);
+  json.end_object();
+  json.end_object();
+  return obs::http::Response::json(200, json.str());
+}
+
+}  // namespace mgrid::cluster

@@ -1,0 +1,201 @@
+// Metrics federation: the router-side collector that turns N per-process
+// admin planes into one cluster observability surface.
+//
+// A background thread scrapes each configured target's (shard or follower)
+// admin endpoints on a fixed period:
+//
+//   /metrics   raw Prometheus text, stored verbatim and re-exported at
+//              /clusterz?format=prom with `shard="<name>",role="<role>"`
+//              labels injected into every series — the standard federation
+//              relabeling, so one scrape of the router sees the whole
+//              cluster without series collisions
+//   /statusz   parsed (util::JsonValue) for the per-target tick cursor
+//              (cluster.last_tick_t / last_tick) and ingest counters that
+//              feed the derived cluster SLIs
+//   /tracez    sampled span snapshots, merged by trace id: a shard's span
+//              carries the router_batch/net/queue/wal/apply/visible stages
+//              of a cluster trace, the follower's span the follower_apply
+//              stage — the union is the full cross-process span tree,
+//              recorded into the router's own SpanTracer under the
+//              "cluster_e2e" SLI so the router's /tracez serves per-hop
+//              exemplars for the whole cluster
+//
+// Derived cluster SLIs (multi-window burn-rate SLO monitor, obs/slo.h):
+//
+//   cluster_e2e               end-to-end seconds of each merged cluster
+//                             trace (router submit -> visible on the shard)
+//   availability:<target>     0 per successful scrape round, 1 per failure
+//                             — a SIGKILLed shard burns its error budget at
+//                             ~100x and pages within the short window
+//   replication_lag:<target>  cluster tick time (cluster_now) minus the
+//                             target's last applied tick time: a paused
+//                             follower or dead shard grows it, a resumed
+//                             one drives it back to 0
+//   ingest_share:<shard>      relative deviation of the shard's share of
+//                             accepted LUs from the 1/N the ring's bounded
+//                             spread predicts
+//
+// ready() surfaces the worst SLI: any paging indicator fails readiness
+// with a reason naming the SLI (and therefore the burning target) — wired
+// into the router's /readyz by the driver.
+//
+// Thread-safety: every public method takes the collector mutex or defers
+// to an internally-locked component; scrapes do their I/O without the
+// mutex held so a slow target never blocks /clusterz.
+#pragma once
+
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/http.h"
+#include "obs/slo.h"
+#include "obs/span.h"
+#include "util/json.h"
+
+namespace mgrid::cluster {
+
+struct FederationTarget {
+  std::string name;  ///< Label value; ring node name for shards.
+  std::string role = "shard";  ///< "shard" or "follower".
+  std::string host = "127.0.0.1";
+  std::uint16_t admin_port = 0;
+};
+
+struct FederationOptions {
+  double scrape_period_seconds = 0.5;
+  double scrape_timeout_seconds = 1.0;
+  /// Epoch/window/burn shape of the cluster SLO monitor. The per-SLI
+  /// objectives below override the triple defaults inside.
+  obs::SloOptions slo;
+  obs::SloObjective e2e{0.25, 0.99};          ///< merged trace seconds
+  obs::SloObjective availability{0.5, 0.99};  ///< scrape failures (0/1)
+  obs::SloObjective replication_lag{1.5, 0.99};  ///< tick-time seconds behind
+  obs::SloObjective ingest_share{0.5, 0.99};  ///< relative deviation vs 1/N
+  /// Router tracer: merged cluster span trees are recorded here under the
+  /// "cluster_e2e" SLI (served by the router's /tracez). Optional; must
+  /// outlive the collector.
+  obs::SpanTracer* spans = nullptr;
+  /// The cluster's tick clock (the router's last tick t): the minuend of
+  /// the replication-lag SLI. Unset disables the lag SLI's samples.
+  std::function<double()> cluster_now;
+};
+
+/// Snapshot of one target's scrape state.
+struct FederationTargetStatus {
+  std::string name;
+  std::string role;
+  bool up = false;  ///< Last scrape round succeeded.
+  std::uint64_t scrapes = 0;
+  std::uint64_t failures = 0;
+  double last_tick_t = 0.0;
+  std::uint64_t last_tick = 0;
+  double replication_lag_seconds = 0.0;
+  double lag_records = 0.0;  ///< mgrid_replication_subscriber_lag_records
+  double ingest_accepted = 0.0;
+  /// Fraction of the LUs the cluster accepted over the last scrape round
+  /// (per-round delta, so it stays meaningful across shard restarts).
+  double ingest_share = 0.0;
+};
+
+class FederationCollector {
+ public:
+  FederationCollector(std::vector<FederationTarget> targets,
+                      FederationOptions options);
+  ~FederationCollector();  ///< Implies stop().
+
+  FederationCollector(const FederationCollector&) = delete;
+  FederationCollector& operator=(const FederationCollector&) = delete;
+
+  /// Starts the background scrape thread (idempotent).
+  void start();
+  /// Stops and joins it (idempotent).
+  void stop();
+
+  /// One synchronous scrape round (the thread's body; public so tests can
+  /// drive the collector without timing dependence).
+  void scrape_once();
+
+  /// False while any cluster SLI pages; `reason` names the SLI — and,
+  /// through the per-target SLI naming, the burning shard/follower.
+  [[nodiscard]] bool ready(std::string* reason = nullptr) const;
+
+  /// Serves GET /clusterz: mgrid-clusterz-v1 JSON by default,
+  /// ?format=prom re-exports the scraped /metrics union with shard=/role=
+  /// labels plus the derived cluster gauges.
+  [[nodiscard]] obs::http::Response clusterz(
+      const obs::http::Request& request) const;
+
+  [[nodiscard]] std::vector<FederationTargetStatus> targets() const;
+
+  /// The cluster SLO monitor (wire it into the router admin's slo hook so
+  /// /statusz and /tracez join against the cluster objectives).
+  [[nodiscard]] obs::SloMonitor& slo() noexcept { return slo_; }
+
+  struct Stats {
+    std::uint64_t rounds = 0;          ///< Scrape rounds completed.
+    std::uint64_t scrapes = 0;         ///< Target scrapes attempted.
+    std::uint64_t scrape_failures = 0;
+    std::uint64_t traces_merged = 0;   ///< Distinct cluster trace ids seen.
+    std::uint64_t spans_recorded = 0;  ///< Merged spans recorded/updated.
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct TargetState {
+    FederationTarget config;
+    bool up = false;
+    std::uint64_t scrapes = 0;
+    std::uint64_t failures = 0;
+    double last_tick_t = 0.0;
+    std::uint64_t last_tick = 0;
+    double replication_lag_seconds = 0.0;
+    double lag_records = 0.0;
+    double ingest_accepted = 0.0;
+    /// Accepted-counter reading at the previous round (NaN before the
+    /// first), so shares are computed over per-round deltas — a restarted
+    /// shard's counter reset must not read as minutes of starvation.
+    double ingest_prev = std::nan("");
+    double ingest_delta = 0.0;  ///< Accepted this round (0 while down).
+    double ingest_share = 0.0;
+    std::string metrics_text;  ///< Latest raw /metrics body.
+  };
+
+  /// One cluster trace's merged span; `fed` marks the e2e SLI sample sent.
+  struct MergedTrace {
+    obs::LuSpan span;
+    bool fed = false;
+  };
+
+  void scrape_main();
+  /// Merges one scraped span; returns true when a stage value grew (the
+  /// span changed and should be re-recorded).
+  bool merge_span_locked(const obs::LuSpan& span);
+  void write_slo_json(util::JsonWriter& json) const;
+
+  FederationOptions options_;
+
+  mutable std::mutex mutex_;
+  std::vector<TargetState> targets_;
+  std::unordered_map<std::uint64_t, MergedTrace> traces_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t scrapes_ = 0;
+  std::uint64_t scrape_failures_ = 0;
+  std::uint64_t spans_recorded_ = 0;
+
+  obs::SloMonitor slo_;
+
+  std::mutex thread_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mgrid::cluster

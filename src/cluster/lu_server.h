@@ -10,6 +10,9 @@
 //   kLu            pipeline->submit() (no per-LU ack; queue-full rejects
 //                  are counted and visible in /statusz, matching the ADF
 //                  paper's fire-and-forget update model)
+//   kTracedLu      pipeline->submit_traced() with the propagated trace
+//                  context, stamping the receive time that closes the
+//                  network stage of the cluster span
 //   kTick          the cluster's barrier: flush the pipeline, append the
 //                  WAL tick record, advance_estimates(t), notify the
 //                  replication hub — the exact sequence the single-process

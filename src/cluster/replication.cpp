@@ -41,12 +41,23 @@ ReplicationHub::ReplicationHub(const serve::ShardedDirectory& directory,
     : directory_(directory), options_(options) {
   options_.chunk_bytes =
       std::clamp<std::size_t>(options_.chunk_bytes, 1, wire::kMaxChunkBytes);
+  lag_gauge_ = obs::current_registry().gauge(
+      "mgrid_replication_subscriber_lag_records", {},
+      "Records enqueued to replication subscribers and not yet fully "
+      "flushed to their sockets");
   streamer_ = std::thread([this] { streamer_main(); });
 }
 
 ReplicationHub::~ReplicationHub() { stop(); }
 
 void ReplicationHub::on_lu(const wire::LuMsg& msg) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_ || (subscribers_.empty() && pending_fds_.empty())) return;
+  wire::encode(live_, msg);
+  ++live_lus_;
+}
+
+void ReplicationHub::on_lu(const wire::TracedLuMsg& msg) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (stopping_ || (subscribers_.empty() && pending_fds_.empty())) return;
   wire::encode(live_, msg);
@@ -65,8 +76,8 @@ void ReplicationHub::on_tick(double t, std::uint64_t tick,
 
     for (auto& sub : subscribers_) {
       if (sub->dead) continue;
-      enqueue_locked(*sub, live_.data(), live_.size());
-      enqueue_locked(*sub, tick_frame.data(), tick_frame.size());
+      enqueue_locked(*sub, live_.data(), live_.size(), live_lus_);
+      enqueue_locked(*sub, tick_frame.data(), tick_frame.size(), 1);
       lus_streamed_ += live_lus_;
       notify = true;
     }
@@ -99,17 +110,18 @@ void ReplicationHub::on_tick(double t, std::uint64_t tick,
                                  static_cast<std::ptrdiff_t>(pos + len));
           frame.clear();
           wire::encode(frame, chunk);
-          enqueue_locked(*sub, frame.data(), frame.size());
+          enqueue_locked(*sub, frame.data(), frame.size(), 1);
         }
         frame.clear();
         wire::encode(frame, wire::SnapshotDoneMsg{image.size(), wal_records});
-        enqueue_locked(*sub, frame.data(), frame.size());
+        enqueue_locked(*sub, frame.data(), frame.size(), 1);
         subscribers_.push_back(std::move(sub));
         ++attached_total_;
         notify = true;
       }
       pending_fds_.clear();
     }
+    refresh_lag_locked();
   }
   if (notify) work_cv_.notify_all();
 }
@@ -168,7 +180,11 @@ ReplicationHub::Stats ReplicationHub::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
   for (const auto& sub : subscribers_) {
-    if (!sub->dead) ++s.subscribers;
+    if (sub->dead) continue;
+    ++s.subscribers;
+    if (!sub->outgoing.empty()) {
+      s.subscriber_lag_records += sub->buffered_records;
+    }
   }
   s.pending = pending_fds_.size();
   s.attached_total = attached_total_;
@@ -181,17 +197,33 @@ ReplicationHub::Stats ReplicationHub::stats() const {
 }
 
 void ReplicationHub::enqueue_locked(Subscriber& sub, const std::uint8_t* data,
-                                    std::size_t size) {
+                                    std::size_t size, std::uint64_t records) {
   if (sub.dead || sub.fd < 0) return;
   sub.outgoing.insert(sub.outgoing.end(), data, data + size);
+  sub.buffered_records += records;
   if (sub.outgoing.size() > options_.max_buffered_bytes) {
     // A consumer this far behind is dead or wedged; protect the primary's
     // memory instead of the replica's continuity.
     sub.dead = true;
     sub.outgoing.clear();
+    sub.buffered_records = 0;
     ::shutdown(sub.fd, SHUT_RDWR);
     ++dropped_slow_;
   }
+}
+
+void ReplicationHub::refresh_lag_locked() {
+  std::uint64_t lag = 0;
+  for (const auto& sub : subscribers_) {
+    if (sub->dead) continue;
+    // A fully drained queue settles to exactly 0; partial drains keep the
+    // enqueued count (the gauge answers "how far behind", not "how many
+    // bytes are in flight").
+    if (sub->outgoing.empty()) sub->buffered_records = 0;
+    lag += sub->buffered_records;
+  }
+  subscriber_lag_records_ = lag;
+  if (obs::enabled()) lag_gauge_.set(static_cast<double>(lag));
 }
 
 void ReplicationHub::streamer_main() {
@@ -248,14 +280,20 @@ void ReplicationHub::streamer_main() {
         // `target` stays valid: only this thread erases subscribers.
         target->dead = true;
         target->outgoing.clear();
+        target->buffered_records = 0;
       }
+      refresh_lag_locked();
     }
     drained_cv_.notify_all();
   }
 }
 
 Follower::Follower(serve::ShardedDirectory& directory, FollowerOptions options)
-    : directory_(directory), options_(options) {}
+    : directory_(directory), options_(options) {
+  if (options_.spans != nullptr) {
+    options_.spans->register_sli("follower_apply", 0.0, 0.1, 100);
+  }
+}
 
 bool Follower::connect(std::string* error) {
   std::string local_error;
@@ -316,6 +354,35 @@ bool Follower::run() {
     if (const auto* lu = std::get_if<wire::LuMsg>(&msg)) {
       const bool applied = directory_.update(lu->mn, lu->t, {lu->x, lu->y},
                                              {lu->vx, lu->vy});
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (applied) {
+        ++stats_.lus_applied;
+      } else {
+        ++stats_.lus_rejected;
+      }
+      continue;
+    }
+    if (const auto* traced = std::get_if<wire::TracedLuMsg>(&msg)) {
+      // The final hop of the cluster trace: a one-stage span under the
+      // propagated id covering the serial apply on this replica.
+      const wire::LuMsg& lu = traced->lu;
+      const std::uint64_t apply_start_us =
+          options_.spans != nullptr ? obs::span_now_us() : 0;
+      const bool applied = directory_.update(lu.mn, lu.t, {lu.x, lu.y},
+                                             {lu.vx, lu.vy});
+      if (options_.spans != nullptr) {
+        obs::LuSpan span;
+        span.trace_id = traced->trace.trace_id;
+        span.mn = lu.mn;
+        span.seq = lu.seq;
+        span.wall_us = obs::span_now_us();
+        span.stage_seconds[static_cast<std::size_t>(
+            obs::LuStage::kFollowerApply)] =
+            static_cast<double>(span.wall_us - apply_start_us) * 1e-6;
+        span.total_seconds = span.stage_seconds[static_cast<std::size_t>(
+            obs::LuStage::kFollowerApply)];
+        options_.spans->record("follower_apply", span);
+      }
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       if (applied) {
         ++stats_.lus_applied;

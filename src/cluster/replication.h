@@ -36,6 +36,8 @@
 #include <vector>
 
 #include "cluster/client.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/directory.h"
 #include "serve/wire.h"
 
@@ -65,6 +67,10 @@ class ReplicationHub {
   /// perform I/O.
   void on_lu(const wire::LuMsg& msg);
 
+  /// The traced_lu_tap target: buffers a sampled LU with its trace context,
+  /// so the follower end of the stream joins the same cluster trace.
+  void on_lu(const wire::TracedLuMsg& msg);
+
   /// Tick barrier (must be quiescent: pipeline flushed, no concurrent
   /// submits). Broadcasts the buffered LUs + the tick frame to attached
   /// subscribers and bootstraps pending ones with a snapshot taken now.
@@ -93,6 +99,11 @@ class ReplicationHub {
     std::uint64_t lus_streamed = 0;     ///< LU frames broadcast (per sub).
     std::uint64_t bytes_streamed = 0;   ///< Bytes written to sockets.
     std::uint64_t snapshot_failures = 0;
+    /// Records enqueued to subscribers and not yet fully flushed to their
+    /// sockets (summed over subscribers; a paused follower grows it, a
+    /// drained one drives it back to 0). Mirrored into the
+    /// mgrid_replication_subscriber_lag_records gauge.
+    std::uint64_t subscriber_lag_records = 0;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -101,12 +112,18 @@ class ReplicationHub {
     int fd = -1;
     std::deque<std::uint8_t> outgoing;  ///< Guarded by the hub mutex.
     bool dead = false;
+    /// Frames in `outgoing` (cleared when it fully drains): the per-
+    /// subscriber slice of the lag-records gauge.
+    std::uint64_t buffered_records = 0;
   };
 
   void streamer_main();
-  /// Appends bytes to one subscriber's queue (hub mutex held).
+  /// Appends bytes to one subscriber's queue (hub mutex held). `records`
+  /// is the frame count in the blob, for lag accounting.
   void enqueue_locked(Subscriber& sub, const std::uint8_t* data,
-                      std::size_t size);
+                      std::size_t size, std::uint64_t records);
+  /// Recomputes the lag total and mirrors it into the gauge (mutex held).
+  void refresh_lag_locked();
 
   const serve::ShardedDirectory& directory_;
   ReplicationOptions options_;
@@ -129,7 +146,9 @@ class ReplicationHub {
   std::uint64_t dropped_slow_ = 0;
   std::uint64_t lus_streamed_ = 0;
   std::uint64_t snapshot_failures_ = 0;
+  std::uint64_t subscriber_lag_records_ = 0;
   std::atomic<std::uint64_t> bytes_streamed_{0};
+  obs::Gauge lag_gauge_;  ///< mgrid_replication_subscriber_lag_records
 
   std::thread streamer_;
 };
@@ -140,6 +159,10 @@ struct FollowerOptions {
   double connect_timeout_seconds = 5.0;
   /// Also the granularity at which run() notices stop() while idle.
   double io_timeout_seconds = 0.25;
+  /// Latency attribution: kTracedLu frames on the stream record a
+  /// follower-apply span under the propagated trace id, SLI
+  /// "follower_apply". Must outlive the follower. Optional.
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// Replays a primary's replication stream into a local directory.

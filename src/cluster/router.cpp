@@ -20,10 +20,13 @@ bool neighbor_less(const wire::NeighborMsg& a, const wire::NeighborMsg& b) {
 }  // namespace
 
 Router::Shard::Shard(const RouterShardConfig& cfg, const RouterOptions& opts)
-    : config(cfg), client(ShardClientOptions{
-                       cfg.name, cfg.host, cfg.lu_port,
-                       opts.connect_timeout_seconds,
-                       opts.io_timeout_seconds}) {
+    : config(cfg),
+      client(ShardClientOptions{cfg.name, cfg.host, cfg.lu_port,
+                                opts.connect_timeout_seconds,
+                                opts.io_timeout_seconds}),
+      forwarded(obs::current_registry().counter(
+          "mgrid_router_forwarded_lus_total", {{"shard", cfg.name}},
+          "LUs forwarded to this shard by the router")) {
   batch.reserve(opts.batch_size);
 }
 
@@ -35,6 +38,10 @@ Router::Router(RouterOptions options, std::vector<RouterShardConfig> shards)
     shards_.push_back(std::make_unique<Shard>(config, options_));
     health_[config.name].name = config.name;
   }
+  ring_version_gauge_ = obs::current_registry().gauge(
+      "mgrid_cluster_ring_version", {},
+      "Monotonic version of the router's consistent-hash ring");
+  ring_version_gauge_.set(static_cast<double>(ring_.version()));
 }
 
 Router::~Router() { stop(); }
@@ -71,11 +78,19 @@ void Router::stop() {
 }
 
 bool Router::submit(const wire::LuMsg& msg) {
+  BatchLu entry;
+  entry.lu = msg;
+  if (options_.spans != nullptr &&
+      options_.spans->sampled(obs::kClusterTraceSource, msg.mn, msg.seq)) {
+    entry.trace_id =
+        obs::SpanTracer::trace_id(obs::kClusterTraceSource, msg.mn, msg.seq);
+    entry.origin_us = obs::span_now_us();
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   if (shards_.empty()) return false;
   Shard* shard = find_locked(ring_.owner(msg.mn));
   if (shard == nullptr) return false;
-  shard->batch.push_back(msg);
+  shard->batch.push_back(entry);
   if (shard->batch.size() >= options_.batch_size) {
     return send_batch_locked(*shard);
   }
@@ -189,6 +204,7 @@ bool Router::add_shard(const RouterShardConfig& config, std::string* error) {
     return false;
   }
   shards_.push_back(std::move(shard));
+  ring_version_gauge_.set(static_cast<double>(ring_.version()));
   const std::lock_guard<std::mutex> health_lock(health_mutex_);
   health_[config.name].name = config.name;
   return true;
@@ -197,6 +213,7 @@ bool Router::add_shard(const RouterShardConfig& config, std::string* error) {
 bool Router::remove_shard(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!ring_.remove_node(name)) return false;
+  ring_version_gauge_.set(static_cast<double>(ring_.version()));
   for (auto it = shards_.begin(); it != shards_.end(); ++it) {
     if ((*it)->config.name == name) {
       (*it)->client.close();
@@ -338,6 +355,7 @@ bool Router::send_batch_locked(Shard& shard) {
   if (ok) {
     lus_forwarded_.fetch_add(count, std::memory_order_relaxed);
     batches_sent_.fetch_add(1, std::memory_order_relaxed);
+    shard.forwarded.inc(count);
   } else {
     lus_dropped_.fetch_add(count, std::memory_order_relaxed);
   }

@@ -42,6 +42,8 @@
 
 #include "cluster/client.h"
 #include "cluster/ring.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "serve/wire.h"
 #include "util/json.h"
 
@@ -65,6 +67,12 @@ struct RouterOptions {
   /// as up while their connection is open).
   double health_period_seconds = 0.5;
   double health_timeout_seconds = 1.0;
+  /// Cluster trace sampling: when set, each submitted LU whose
+  /// deterministic trace id (SpanTracer::trace_id(kClusterTraceSource, mn,
+  /// seq)) samples is forwarded as a kTracedLu frame carrying that id and
+  /// the router's accept/send timestamps — the root of the cross-process
+  /// span tree. Must outlive the router.
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// Health view of one shard (snapshot copy).
@@ -147,7 +155,9 @@ class Router {
   struct Shard {
     RouterShardConfig config;
     ShardClient client;
-    std::vector<wire::LuMsg> batch;
+    std::vector<BatchLu> batch;
+    /// mgrid_router_forwarded_lus_total{shard=<name>}
+    obs::Counter forwarded;
     explicit Shard(const RouterShardConfig& cfg, const RouterOptions& opts);
   };
 
@@ -183,6 +193,8 @@ class Router {
   std::atomic<std::uint64_t> neighbors_merged_{0};
   std::atomic<std::uint64_t> query_failures_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+
+  obs::Gauge ring_version_gauge_;  ///< mgrid_cluster_ring_version
 };
 
 }  // namespace mgrid::cluster

@@ -360,7 +360,9 @@ void Server::accept_main() {
     }
     if (!enqueued) {
       rejected_busy_.fetch_add(1, std::memory_order_relaxed);
-      write_response(fd, Response::text(503, "busy\n"), false);
+      // Sent before the request is read, so the method is unknown — an
+      // empty body (Content-Length: 0) is correct for GET and HEAD alike.
+      write_response(fd, Response::text(503, ""), false);
       ::close(fd);
     }
   }
@@ -391,6 +393,10 @@ void Server::serve_connection(int fd) {
   std::string head;
   head.reserve(512);
   char buffer[2048];
+  // A HEAD request must get headers-only responses on the rejection paths
+  // too; the method is the first bytes of the head, readable even when the
+  // rest is oversized or malformed.
+  const auto is_head = [&head] { return head.rfind("HEAD ", 0) == 0; };
   std::size_t terminator = std::string::npos;
   while (terminator == std::string::npos) {
     const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
@@ -411,14 +417,14 @@ void Server::serve_connection(int fd) {
     if (head_bytes > options_.max_request_bytes) {
       bad_requests_.fetch_add(1, std::memory_order_relaxed);
       write_response(fd, Response::text(431, "request head too large\n"),
-                     false);
+                     is_head());
       return;
     }
   }
   Request request;
   if (!parse_head(std::string_view(head).substr(0, terminator), request)) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
-    write_response(fd, Response::text(400, "malformed request\n"), false);
+    write_response(fd, Response::text(400, "malformed request\n"), is_head());
     return;
   }
   // One well-formed request parsed — exactly one count, however many recv()
@@ -433,7 +439,7 @@ void Server::serve_connection(int fd) {
       request.header("transfer-encoding") != nullptr) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     write_response(fd, Response::text(413, "request bodies not accepted\n"),
-                   false);
+                   is_head());
     return;
   }
 

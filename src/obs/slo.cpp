@@ -122,34 +122,43 @@ SloWindowStats SloMonitor::Sli::window(std::size_t epochs) const {
   return out;
 }
 
-SloMonitor::SloMonitor(SloOptions options) : options_(options) {
-  if (!(options_.epoch_seconds > 0.0)) {
+namespace {
+
+void validate_options(const SloOptions& options) {
+  if (!(options.epoch_seconds > 0.0)) {
     throw std::invalid_argument("SloMonitor: epoch_seconds must be > 0");
   }
-  if (options_.window_epochs == 0 || options_.short_epochs == 0 ||
-      options_.short_epochs > options_.window_epochs) {
+  if (options.window_epochs == 0 || options.short_epochs == 0 ||
+      options.short_epochs > options.window_epochs) {
     throw std::invalid_argument(
         "SloMonitor: need 1 <= short_epochs <= window_epochs");
   }
-  if (!(options_.latency_range_seconds > 0.0) ||
-      !(options_.staleness_range_seconds > 0.0) ||
-      options_.latency_buckets == 0 || options_.staleness_buckets == 0) {
+  if (!(options.latency_range_seconds > 0.0) ||
+      !(options.staleness_range_seconds > 0.0) ||
+      options.latency_buckets == 0 || options.staleness_buckets == 0) {
     throw std::invalid_argument("SloMonitor: histogram shape must be > 0");
   }
-  auto make_sli = [this](std::string name, SloObjective objective, double hi,
-                         std::size_t buckets) {
-    Sli sli;
-    sli.name = std::move(name);
-    sli.objective = objective;
-    sli.range_hi = hi;
-    sli.buckets = buckets;
-    sli.ring.reserve(options_.window_epochs);
-    for (std::size_t i = 0; i < options_.window_epochs; ++i) {
-      sli.ring.emplace_back(hi, buckets);
-    }
-    sli.ring[0].index = 0;
-    return sli;
-  };
+}
+
+}  // namespace
+
+SloMonitor::Sli SloMonitor::make_sli(std::string name, SloObjective objective,
+                                     double hi, std::size_t buckets) const {
+  Sli sli;
+  sli.name = std::move(name);
+  sli.objective = objective;
+  sli.range_hi = hi;
+  sli.buckets = buckets;
+  sli.ring.reserve(options_.window_epochs);
+  for (std::size_t i = 0; i < options_.window_epochs; ++i) {
+    sli.ring.emplace_back(hi, buckets);
+  }
+  sli.ring[0].index = 0;
+  return sli;
+}
+
+SloMonitor::SloMonitor(SloOptions options) : options_(options) {
+  validate_options(options_);
   slis_.push_back(make_sli("lookup_latency", options_.lookup,
                            options_.latency_range_seconds,
                            options_.latency_buckets));
@@ -159,6 +168,21 @@ SloMonitor::SloMonitor(SloOptions options) : options_(options) {
   slis_.push_back(make_sli("staleness", options_.staleness,
                            options_.staleness_range_seconds,
                            options_.staleness_buckets));
+}
+
+SloMonitor::SloMonitor(std::vector<SloSliSpec> specs, SloOptions options)
+    : options_(options) {
+  validate_options(options_);
+  if (specs.empty()) {
+    throw std::invalid_argument("SloMonitor: need at least one SLI spec");
+  }
+  for (SloSliSpec& spec : specs) {
+    if (!(spec.range_hi > 0.0) || spec.buckets == 0) {
+      throw std::invalid_argument("SloMonitor: histogram shape must be > 0");
+    }
+    slis_.push_back(make_sli(std::move(spec.name), spec.objective,
+                             spec.range_hi, spec.buckets));
+  }
 }
 
 void SloMonitor::bind_registry(MetricsRegistry& registry) {
@@ -200,6 +224,16 @@ void SloMonitor::observe_update(double seconds) {
 void SloMonitor::observe_staleness(double seconds) {
   const std::lock_guard<std::mutex> lock(mutex_);
   slis_[2].observe(seconds);
+}
+
+void SloMonitor::observe(std::string_view name, double sample) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Sli& sli : slis_) {
+    if (sli.name == name) {
+      sli.observe(sample);
+      return;
+    }
+  }
 }
 
 void SloMonitor::roll_locked(double now) {

@@ -79,6 +79,17 @@ struct SloOptions {
   std::size_t staleness_buckets = 120;
 };
 
+/// One SLI definition for the spec-based constructor: custom monitors (the
+/// cluster federation plane) declare their own indicator set instead of the
+/// default lookup/update/staleness triple.
+struct SloSliSpec {
+  std::string name;
+  SloObjective objective;
+  /// Histogram range [0, range_hi) with `buckets` equal-width buckets.
+  double range_hi = 1.0;
+  std::size_t buckets = 100;
+};
+
 /// Aggregate over one window of epochs.
 struct SloWindowStats {
   std::uint64_t count = 0;
@@ -119,12 +130,22 @@ class SloMonitor {
  public:
   explicit SloMonitor(SloOptions options = {});
 
+  /// Custom indicator set (e.g. the cluster monitor's e2e latency /
+  /// ingest share / replication lag / availability). The triple-specific
+  /// observe_*() helpers are meaningless on a custom monitor — feed it
+  /// through observe(name, sample) instead.
+  SloMonitor(std::vector<SloSliSpec> specs, SloOptions options);
+
   /// Mirrors the report into gauges in `registry` on every advance().
   void bind_registry(MetricsRegistry& registry);
 
   void observe_lookup(double seconds);
   void observe_update(double seconds);
   void observe_staleness(double seconds);
+
+  /// Records a sample against the SLI with this name; unknown names are
+  /// ignored (a federated scraper may race a config change).
+  void observe(std::string_view name, double sample);
 
   /// Rolls the epoch ring to the epoch containing `now` (monotonic;
   /// earlier times are clamped to the current epoch) and refreshes bound
@@ -171,6 +192,8 @@ class SloMonitor {
     Gauge max;
   };
 
+  [[nodiscard]] Sli make_sli(std::string name, SloObjective objective,
+                             double hi, std::size_t buckets) const;
   void roll_locked(double now);
   [[nodiscard]] SloReport report_locked() const;
   void refresh_gauges_locked(const SloReport& report);
@@ -180,7 +203,9 @@ class SloMonitor {
   std::int64_t current_epoch_ = 0;
   double now_ = 0.0;
   std::size_t epochs_seen_ = 1;  ///< Distinct epochs entered (ring fill).
-  std::vector<Sli> slis_;        ///< [0]=lookup, [1]=update, [2]=staleness.
+  /// Default construction: [0]=lookup, [1]=update, [2]=staleness.
+  /// Spec construction: declaration order.
+  std::vector<Sli> slis_;
   std::vector<SliGauges> gauges_;
   bool bound_ = false;
 };

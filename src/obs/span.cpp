@@ -1,6 +1,7 @@
 #include "obs/span.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -8,8 +9,19 @@
 
 namespace mgrid::obs {
 
+std::uint64_t span_now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 const char* lu_stage_name(LuStage stage) noexcept {
   switch (stage) {
+    case LuStage::kRouterBatch:
+      return "router_batch";
+    case LuStage::kNet:
+      return "net";
     case LuStage::kQueue:
       return "queue";
     case LuStage::kWal:
@@ -18,6 +30,8 @@ const char* lu_stage_name(LuStage stage) noexcept {
       return "apply";
     case LuStage::kVisible:
       return "visible";
+    case LuStage::kFollowerApply:
+      return "follower_apply";
   }
   return "unknown";
 }

@@ -30,17 +30,36 @@
 
 namespace mgrid::obs {
 
-/// Pipeline stages a location update passes through, in order.
+/// Pipeline stages a location update passes through, in cluster-wide
+/// chronological order. A process-local span fills only the stages it
+/// observed (the rest stay 0), so the sum-equals-total tiling invariant
+/// holds for single-process and cross-process spans alike.
 enum class LuStage : std::uint8_t {
-  kQueue = 0,    ///< source-queue wait (submit to worker pickup)
-  kWal = 1,      ///< WAL append (+fsync) inside submit
-  kApply = 2,    ///< directory apply_batch
-  kVisible = 3,  ///< apply end to visible-to-lookup (telemetry, barriers)
+  kRouterBatch = 0,    ///< router submit to batch flush (cluster only)
+  kNet = 1,            ///< batch flush to shard receive (cluster only)
+  kQueue = 2,          ///< source-queue wait (submit to worker pickup)
+  kWal = 3,            ///< WAL append (+fsync) inside submit
+  kApply = 4,          ///< directory apply_batch
+  kVisible = 5,        ///< apply end to visible-to-lookup
+  kFollowerApply = 6,  ///< replication-stream apply on a follower
 };
 
-inline constexpr std::size_t kLuStageCount = 4;
+inline constexpr std::size_t kLuStageCount = 7;
 
 [[nodiscard]] const char* lu_stage_name(LuStage stage) noexcept;
+
+/// The `source` value a router feeds SpanTracer::trace_id() for
+/// cluster-wide sampling. A fixed, out-of-band constant (no shard computes
+/// it as a queue index) so every router over the same ring — and any test
+/// predicting the sampled set — derives identical trace ids from (mn, seq)
+/// alone.
+inline constexpr std::uint32_t kClusterTraceSource = 0xFFFFFFFFu;
+
+/// CLOCK_MONOTONIC microseconds (steady_clock). The timestamp base for
+/// cross-process trace propagation: monotonic clocks share the boot epoch,
+/// so deltas are comparable between processes on one machine — which is
+/// the only place stage attribution across a TCP hop is meaningful.
+[[nodiscard]] std::uint64_t span_now_us() noexcept;
 
 /// One completed, sampled per-LU span.
 struct LuSpan {

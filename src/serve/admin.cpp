@@ -141,6 +141,10 @@ obs::http::Response AdminServer::handle(const obs::http::Request& request) {
   if (request.path == "/statusz") return statusz();
   if (request.path == "/varz") return varz();
   if (request.path == "/tracez") return tracez(request);
+  if (request.path == "/clusterz") {
+    if (hooks_.clusterz) return hooks_.clusterz(request);
+    return obs::http::Response::text(404, "no federation collector attached\n");
+  }
   if (request.path == "/profilez") return profilez(request);
   if (request.path == "/quitz") {
     quit_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -151,8 +155,8 @@ obs::http::Response AdminServer::handle(const obs::http::Request& request) {
     return obs::http::Response::text(
         200,
         "mgrid admin\n"
-        "  /metrics /healthz /readyz /statusz /varz /tracez /profilez"
-        " /quitz\n");
+        "  /metrics /healthz /readyz /statusz /varz /tracez /clusterz"
+        " /profilez /quitz\n");
   }
   return obs::http::Response::not_found();
 }

@@ -16,6 +16,10 @@
 //                 SLO report, a cluster block on router/shard/follower
 //                 nodes, plus any driver-provided progress fields
 //   GET /varz     raw counter dump, one `name{labels} value` per line
+//   GET /clusterz federated cluster view on routers (mgrid-clusterz-v1
+//                 JSON; ?format=prom re-exports every scraped target's
+//                 metrics with shard=/role= labels) — present only when a
+//                 FederationCollector is hooked in
 //   GET /tracez   latency attribution (mgrid-tracez-v1): per-SLI histogram
 //                 exemplars and the top-K slowest sampled LU spans with
 //                 their queue/wal/apply/visible stage breakdown; ?k=N
@@ -82,6 +86,9 @@ struct AdminHooks {
   /// router/shard/follower drivers (see cluster/router.h). Absent on
   /// standalone nodes, and so is the block.
   std::function<void(util::JsonWriter&)> cluster_status;
+  /// Serves GET /clusterz (the router's federation plane — see
+  /// cluster/federation.h). Absent => /clusterz is 404.
+  std::function<obs::http::Response(const obs::http::Request&)> clusterz;
   /// Fired by /quitz (e.g. set an atomic the driver loop polls).
   std::function<void()> on_quit;
 };

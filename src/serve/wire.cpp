@@ -56,10 +56,34 @@ double get_f64(std::span<const std::uint8_t> in, std::size_t at) {
 std::size_t begin_frame(std::vector<std::uint8_t>& out, MsgType type) {
   const std::size_t start = out.size();
   put_u16(out, kMagic);
-  out.push_back(kVersion);
+  out.push_back(type == MsgType::kTracedLu ? kTracedVersion : kVersion);
   out.push_back(static_cast<std::uint8_t>(type));
   put_u32(out, static_cast<std::uint32_t>(payload_size(type)));
   return start;
+}
+
+void put_lu_payload(std::vector<std::uint8_t>& out, const LuMsg& msg) {
+  put_u32(out, msg.mn);
+  put_u32(out, msg.seq);
+  put_f64(out, msg.t);
+  put_f64(out, msg.x);
+  put_f64(out, msg.y);
+  put_f64(out, msg.vx);
+  put_f64(out, msg.vy);
+  put_f64(out, msg.battery);
+}
+
+LuMsg get_lu_payload(std::span<const std::uint8_t> in, std::size_t at) {
+  LuMsg msg;
+  msg.mn = get_u32(in, at);
+  msg.seq = get_u32(in, at + 4);
+  msg.t = get_f64(in, at + 8);
+  msg.x = get_f64(in, at + 16);
+  msg.y = get_f64(in, at + 24);
+  msg.vx = get_f64(in, at + 32);
+  msg.vy = get_f64(in, at + 40);
+  msg.battery = get_f64(in, at + 48);
+  return msg;
 }
 
 }  // namespace
@@ -108,6 +132,8 @@ std::string_view to_string(MsgType type) noexcept {
       return "snapshot_chunk";
     case MsgType::kSnapshotDone:
       return "snapshot_done";
+    case MsgType::kTracedLu:
+      return "traced_lu";
   }
   return "unknown";
 }
@@ -138,20 +164,26 @@ std::size_t payload_size(MsgType type) noexcept {
       return kVariablePayload;
     case MsgType::kSnapshotDone:
       return 16;
+    case MsgType::kTracedLu:
+      return 88;
   }
   return 0;
 }
 
 std::size_t encode(std::vector<std::uint8_t>& out, const LuMsg& msg) {
   const std::size_t start = begin_frame(out, MsgType::kLu);
-  put_u32(out, msg.mn);
-  put_u32(out, msg.seq);
-  put_f64(out, msg.t);
-  put_f64(out, msg.x);
-  put_f64(out, msg.y);
-  put_f64(out, msg.vx);
-  put_f64(out, msg.vy);
-  put_f64(out, msg.battery);
+  put_lu_payload(out, msg);
+  return out.size() - start;
+}
+
+std::size_t encode(std::vector<std::uint8_t>& out, const TracedLuMsg& msg) {
+  const std::size_t start = begin_frame(out, MsgType::kTracedLu);
+  put_lu_payload(out, msg.lu);
+  put_u64(out, msg.trace.trace_id);
+  put_u64(out, msg.trace.origin_us);
+  put_u64(out, msg.trace.send_us);
+  put_u32(out, msg.trace.parent_stage);
+  put_u32(out, 0);
   return out.size() - start;
 }
 
@@ -272,7 +304,8 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
       result.status = DecodeStatus::kBadMagic;
       return result;
     }
-    if (buffer.size() >= 3 && buffer[2] != kVersion) {
+    if (buffer.size() >= 3 && buffer[2] != kVersion &&
+        buffer[2] != kTracedVersion) {
       result.status = DecodeStatus::kBadVersion;
       return result;
     }
@@ -283,11 +316,17 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
     result.status = DecodeStatus::kBadMagic;
     return result;
   }
-  if (buffer[2] != kVersion) {
+  const auto type = static_cast<MsgType>(buffer[3]);
+  // Version gate: kTracedLu is the one v2 frame; everything else is v1. A
+  // mismatched pairing (v2 header on a legacy type, or a traced type under
+  // v1) is rejected as kBadVersion — exactly what a v1-only decoder
+  // answers for any v2 frame, so skew fails identically in both directions.
+  const std::uint8_t required =
+      type == MsgType::kTracedLu ? kTracedVersion : kVersion;
+  if (buffer[2] != required) {
     result.status = DecodeStatus::kBadVersion;
     return result;
   }
-  const auto type = static_cast<MsgType>(buffer[3]);
   std::size_t expected = payload_size(type);
   if (expected == 0) {
     result.status = DecodeStatus::kBadType;
@@ -313,15 +352,16 @@ Decoded decode_frame(std::span<const std::uint8_t> buffer) {
   const std::size_t p = kHeaderBytes;
   switch (type) {
     case MsgType::kLu: {
-      LuMsg msg;
-      msg.mn = get_u32(buffer, p);
-      msg.seq = get_u32(buffer, p + 4);
-      msg.t = get_f64(buffer, p + 8);
-      msg.x = get_f64(buffer, p + 16);
-      msg.y = get_f64(buffer, p + 24);
-      msg.vx = get_f64(buffer, p + 32);
-      msg.vy = get_f64(buffer, p + 40);
-      msg.battery = get_f64(buffer, p + 48);
+      result.msg = get_lu_payload(buffer, p);
+      break;
+    }
+    case MsgType::kTracedLu: {
+      TracedLuMsg msg;
+      msg.lu = get_lu_payload(buffer, p);
+      msg.trace.trace_id = get_u64(buffer, p + 56);
+      msg.trace.origin_us = get_u64(buffer, p + 64);
+      msg.trace.send_us = get_u64(buffer, p + 72);
+      msg.trace.parent_stage = get_u32(buffer, p + 80);
       result.msg = msg;
       break;
     }

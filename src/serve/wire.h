@@ -38,6 +38,18 @@
 //                               an mgrid-snap-v1 image, in order
 //   kSnapshotDone (12), 16 bytes: total_bytes u64, wal_records u64
 //
+// Version-2 extension (trace propagation). kTracedLu is the only frame
+// whose header carries version 2; every other frame stays version 1, so a
+// v1 peer keeps decoding plain traffic unchanged and rejects a traced frame
+// cleanly as kBadVersion at the header (it never misparses the payload).
+// A v2 decoder accepts both versions; senders emit kTracedLu only for the
+// sampled slice of LUs, so mixed-version clusters interoperate as long as
+// tracing stays off toward old peers:
+//
+//   kTracedLu (13), 88 bytes:   the kLu payload (56 bytes, same layout),
+//                               then trace_id u64, origin_us u64,
+//                               send_us u64, parent_stage u32, pad u32
+//
 // decode_frame() never throws on hostile bytes: it returns a typed status
 // (bad magic / version / type / length, or "need more data" for a prefix of
 // a valid frame) so a network reader can resynchronise or disconnect.
@@ -54,6 +66,10 @@ namespace mgrid::serve::wire {
 
 inline constexpr std::uint16_t kMagic = 0x4D47;  // "MG"
 inline constexpr std::uint8_t kVersion = 1;
+/// Header version carried only by kTracedLu frames: a v1 decoder rejects
+/// them as kBadVersion without touching the payload, a v2 decoder accepts
+/// both versions. See the "Version-2 extension" header note.
+inline constexpr std::uint8_t kTracedVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 8;
 
 enum class MsgType : std::uint8_t {
@@ -85,6 +101,10 @@ enum class MsgType : std::uint8_t {
   /// Ends a snapshot transfer; total_bytes lets the receiver verify no
   /// chunk went missing before parsing.
   kSnapshotDone = 12,
+  /// A kLu plus its trace context (version-2 frame). Emitted only for the
+  /// deterministically sampled LU slice so one sampled update carries its
+  /// trace id and upstream timestamps router -> shard -> follower.
+  kTracedLu = 13,
 };
 
 enum class AckStatus : std::uint8_t {
@@ -181,6 +201,27 @@ struct SnapshotDoneMsg {
   std::uint64_t wal_records = 0;
 };
 
+/// Trace context propagated alongside a sampled LU. Timestamps are
+/// CLOCK_MONOTONIC microseconds (obs::SpanTracer-compatible): comparable
+/// across processes on one machine, which is where stage attribution is
+/// meaningful; 0 = "not stamped by the sender".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  /// When the originating router accepted the LU (before batching).
+  std::uint64_t origin_us = 0;
+  /// When the batch containing the LU was flushed to the socket.
+  std::uint64_t send_us = 0;
+  /// static_cast<u32>(obs::LuStage): the sender's last completed stage
+  /// (kNet from a router, kVisible from a primary's replication stream).
+  std::uint32_t parent_stage = 0;
+};
+
+/// A location update carrying its trace context (version-2 frame).
+struct TracedLuMsg {
+  LuMsg lu;
+  TraceContext trace;
+};
+
 /// Ceiling on a kSnapshotChunk payload; larger declared lengths are
 /// kBadLength so a hostile header cannot make a reader buffer gigabytes.
 inline constexpr std::size_t kMaxChunkBytes = 1 << 20;
@@ -189,7 +230,7 @@ using Message =
     std::variant<std::monostate, LuMsg, AckMsg, LookupMsg, LookupReplyMsg,
                  RegionQueryMsg, NearestQueryMsg, TickMsg, NeighborMsg,
                  QueryDoneMsg, SubscribeMsg, SnapshotChunkMsg,
-                 SnapshotDoneMsg>;
+                 SnapshotDoneMsg, TracedLuMsg>;
 
 enum class DecodeStatus : std::uint8_t {
   kOk = 0,
@@ -241,6 +282,7 @@ std::size_t encode(std::vector<std::uint8_t>& out, const SubscribeMsg& msg);
 /// Fails (returns 0, appends nothing) when msg.bytes > kMaxChunkBytes.
 std::size_t encode(std::vector<std::uint8_t>& out, const SnapshotChunkMsg& msg);
 std::size_t encode(std::vector<std::uint8_t>& out, const SnapshotDoneMsg& msg);
+std::size_t encode(std::vector<std::uint8_t>& out, const TracedLuMsg& msg);
 
 /// Decodes the frame at the start of `buffer`. Never throws; malformed
 /// bytes yield a non-kOk status with consumed == 0 so the caller decides

@@ -192,13 +192,14 @@ TEST(SpanTracer, MirrorsStagesIntoTheThreadTraceRecorder) {
     EXPECT_EQ(event.phase, 'X');
     EXPECT_EQ(event.category, "lu_span");
   }
-  // All four stage names appear exactly once.
+  // Every stage name appears exactly once.
   std::vector<std::string> names;
   names.reserve(events.size());
   for (const TraceEvent& event : events) names.push_back(event.name);
   std::sort(names.begin(), names.end());
-  const std::vector<std::string> expected{"apply", "queue", "visible",
-                                          "wal"};
+  const std::vector<std::string> expected{
+      "apply", "follower_apply", "net", "queue",
+      "router_batch", "visible", "wal"};
   EXPECT_EQ(names, expected);
 }
 

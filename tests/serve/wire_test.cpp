@@ -179,6 +179,7 @@ TEST(Wire, PayloadSizesMatchSpec) {
   EXPECT_EQ(payload_size(MsgType::kSubscribe), 16u);
   EXPECT_EQ(payload_size(MsgType::kSnapshotChunk), kVariablePayload);
   EXPECT_EQ(payload_size(MsgType::kSnapshotDone), 16u);
+  EXPECT_EQ(payload_size(MsgType::kTracedLu), 88u);
   EXPECT_EQ(payload_size(static_cast<MsgType>(0)), 0u);
 }
 
@@ -260,6 +261,123 @@ TEST(Wire, SnapshotChunkCarriesVariablePayload) {
   bad[6] = static_cast<std::uint8_t>((lie >> 16) & 0xFF);
   bad[7] = static_cast<std::uint8_t>((lie >> 24) & 0xFF);
   EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadLength);
+}
+
+TEST(Wire, TracedLuRoundTripsExactly) {
+  TracedLuMsg traced;
+  traced.lu.mn = 0xCAFEBABE;
+  traced.lu.seq = 77;
+  traced.lu.t = 99.125;
+  traced.lu.x = -1.5;
+  traced.lu.y = 2.25;
+  traced.lu.vx = 0.0625;
+  traced.lu.vy = -0.0;
+  traced.lu.battery = 0.5;
+  traced.trace.trace_id = 0xFEEDFACE01234567ull;
+  traced.trace.origin_us = 0xFFFF0000AAAA5555ull;
+  traced.trace.send_us = traced.trace.origin_us + 1234;
+  traced.trace.parent_stage = 1;
+
+  std::vector<std::uint8_t> buffer;
+  const std::size_t frame_size = encode(buffer, traced);
+  EXPECT_EQ(frame_size, kHeaderBytes + payload_size(MsgType::kTracedLu));
+  EXPECT_EQ(payload_size(MsgType::kTracedLu), 88u);
+  // The traced frame is the only one stamped version 2.
+  EXPECT_EQ(buffer[2], kTracedVersion);
+
+  const Decoded decoded = decode_frame(buffer);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.consumed, frame_size);
+  const TracedLuMsg& got = std::get<TracedLuMsg>(decoded.msg);
+  EXPECT_EQ(got.lu.mn, traced.lu.mn);
+  EXPECT_EQ(got.lu.seq, traced.lu.seq);
+  EXPECT_EQ(got.lu.t, traced.lu.t);
+  EXPECT_EQ(got.lu.x, traced.lu.x);
+  EXPECT_EQ(got.lu.y, traced.lu.y);
+  EXPECT_EQ(got.lu.vx, traced.lu.vx);
+  EXPECT_TRUE(std::signbit(got.lu.vy));
+  EXPECT_EQ(got.lu.battery, traced.lu.battery);
+  EXPECT_EQ(got.trace.trace_id, traced.trace.trace_id);
+  EXPECT_EQ(got.trace.origin_us, traced.trace.origin_us);
+  EXPECT_EQ(got.trace.send_us, traced.trace.send_us);
+  EXPECT_EQ(got.trace.parent_stage, traced.trace.parent_stage);
+
+  // The first 56 payload bytes are the plain kLu layout: a traced frame
+  // whose header is rewritten to (version 1, kLu, 56) decodes to the same
+  // LU — the trace context is a strict suffix extension.
+  std::vector<std::uint8_t> as_v1(buffer.begin(),
+                                  buffer.begin() + kHeaderBytes + 56);
+  as_v1[2] = kVersion;
+  as_v1[3] = static_cast<std::uint8_t>(MsgType::kLu);
+  as_v1[4] = 56;
+  as_v1[5] = as_v1[6] = as_v1[7] = 0;
+  const Decoded plain = decode_frame(as_v1);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(std::get<LuMsg>(plain.msg).mn, traced.lu.mn);
+  EXPECT_EQ(std::get<LuMsg>(plain.msg).t, traced.lu.t);
+}
+
+TEST(Wire, TracedLuVersionSkewRejectsBothDirections) {
+  // Forward skew: a v1-era decoder sees version 2 and must reject at the
+  // header without misparsing the payload. Our decoder enforces the exact
+  // type<->version pairing, so flipping either field alone is kBadVersion.
+  std::vector<std::uint8_t> traced;
+  encode(traced, TracedLuMsg{});
+
+  std::vector<std::uint8_t> bad = traced;
+  bad[2] = kVersion;  // traced type with a v1 header
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadVersion);
+
+  // Backward skew: a plain frame claiming version 2 (e.g. a buggy sender
+  // stamping everything v2) is equally rejected.
+  std::vector<std::uint8_t> plain;
+  encode(plain, LuMsg{});
+  bad = plain;
+  bad[2] = kTracedVersion;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadVersion);
+
+  // Versions beyond 2 stay unknown even on the traced type.
+  bad = traced;
+  bad[2] = 3;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadVersion);
+
+  // Truncating the trace suffix is a length error, not an accepted kLu.
+  bad = traced;
+  bad[4] = 56;  // declared payload_len: the v1 LU size
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBadLength);
+}
+
+TEST(Wire, TracedLuPartialFramesAskForMoreData) {
+  std::vector<std::uint8_t> buffer;
+  TracedLuMsg traced;
+  traced.trace.trace_id = 1;
+  encode(buffer, traced);
+  for (std::size_t n = 0; n < buffer.size(); ++n) {
+    const Decoded decoded =
+        decode_frame(std::span<const std::uint8_t>(buffer.data(), n));
+    EXPECT_EQ(decoded.status, DecodeStatus::kNeedMoreData) << "prefix " << n;
+    EXPECT_EQ(decoded.consumed, 0u);
+  }
+}
+
+TEST(Wire, TracedLuHostileHeaderFuzz) {
+  // Mutate every header byte of a valid traced frame through all 256
+  // values: decode must always return a typed status and never crash or
+  // over-consume.
+  std::vector<std::uint8_t> good;
+  encode(good, TracedLuMsg{});
+  for (std::size_t index = 0; index < kHeaderBytes; ++index) {
+    for (int value = 0; value < 256; ++value) {
+      std::vector<std::uint8_t> bad = good;
+      bad[index] = static_cast<std::uint8_t>(value);
+      const Decoded decoded = decode_frame(bad);
+      if (decoded.ok()) {
+        EXPECT_LE(decoded.consumed, bad.size());
+      } else if (decoded.status != DecodeStatus::kNeedMoreData) {
+        EXPECT_EQ(decoded.consumed, 0u);
+      }
+    }
+  }
 }
 
 TEST(Wire, TickRoundTripsExactly) {
